@@ -1,0 +1,24 @@
+//! # dhmm-baselines
+//!
+//! Baseline sequential labelers the paper compares against (Fig. 11) plus an
+//! extra sparse-prior HMM used by the ablation benches:
+//!
+//! * [`naive_bayes::BernoulliNaiveBayes`] — classifies each position
+//!   independently (no chain structure); the weakest baseline in Fig. 11,
+//! * [`optimized_hmm::OptimizedHmm`] — a supervised HMM with the smoothing /
+//!   emission-weighting tricks of Krevat & Cuzzillo (2006), the
+//!   "Optimized HMM" bar of Fig. 11,
+//! * [`sparse_hmm::SparseTransitionUpdater`] — an entropic/sparse prior on
+//!   the transition rows (Bicego et al.), the natural opposite of the
+//!   diversity prior and a useful ablation point.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod naive_bayes;
+pub mod optimized_hmm;
+pub mod sparse_hmm;
+
+pub use naive_bayes::BernoulliNaiveBayes;
+pub use optimized_hmm::{OptimizedHmm, OptimizedHmmConfig};
+pub use sparse_hmm::SparseTransitionUpdater;

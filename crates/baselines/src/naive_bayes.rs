@@ -1,0 +1,187 @@
+//! Bernoulli Naive Bayes classifier for binary-vector observations.
+//!
+//! The weakest baseline of the paper's Fig. 11: each letter image is
+//! classified independently from its pixels, ignoring the letter-to-letter
+//! chain structure that the HMM family exploits.
+
+use dhmm_hmm::HmmError;
+use dhmm_linalg::Matrix;
+
+/// A Bernoulli Naive Bayes classifier over `D`-dimensional binary vectors
+/// with `K` classes.
+#[derive(Debug, Clone)]
+pub struct BernoulliNaiveBayes {
+    /// Log class priors, length `K`.
+    log_prior: Vec<f64>,
+    /// `K × D` per-class log probability of a pixel being on.
+    log_on: Matrix,
+    /// `K × D` per-class log probability of a pixel being off.
+    log_off: Matrix,
+}
+
+impl BernoulliNaiveBayes {
+    /// Fits the classifier from labeled examples with Laplace smoothing
+    /// `smoothing > 0`.
+    pub fn fit(
+        examples: &[(usize, Vec<bool>)],
+        num_classes: usize,
+        dim: usize,
+        smoothing: f64,
+    ) -> Result<Self, HmmError> {
+        if examples.is_empty() {
+            return Err(HmmError::InvalidData {
+                reason: "no training examples".into(),
+            });
+        }
+        if num_classes == 0 || dim == 0 {
+            return Err(HmmError::InvalidParameters {
+                reason: "num_classes and dim must be positive".into(),
+            });
+        }
+        let smoothing = smoothing.max(1e-9);
+        let mut class_counts = vec![0.0_f64; num_classes];
+        let mut pixel_on = Matrix::zeros(num_classes, dim);
+        for (label, pixels) in examples {
+            if *label >= num_classes {
+                return Err(HmmError::InvalidData {
+                    reason: format!("label {label} out of range"),
+                });
+            }
+            if pixels.len() != dim {
+                return Err(HmmError::InvalidData {
+                    reason: format!("example has {} pixels, expected {dim}", pixels.len()),
+                });
+            }
+            class_counts[*label] += 1.0;
+            for (d, &bit) in pixels.iter().enumerate() {
+                if bit {
+                    pixel_on[(*label, d)] += 1.0;
+                }
+            }
+        }
+        let total: f64 = class_counts.iter().sum();
+        let log_prior: Vec<f64> = class_counts
+            .iter()
+            .map(|&c| ((c + smoothing) / (total + smoothing * num_classes as f64)).ln())
+            .collect();
+        let mut log_on = Matrix::zeros(num_classes, dim);
+        let mut log_off = Matrix::zeros(num_classes, dim);
+        for k in 0..num_classes {
+            let denom = class_counts[k] + 2.0 * smoothing;
+            for d in 0..dim {
+                let p_on = (pixel_on[(k, d)] + smoothing) / denom;
+                log_on[(k, d)] = p_on.ln();
+                log_off[(k, d)] = (1.0 - p_on).ln();
+            }
+        }
+        Ok(Self {
+            log_prior,
+            log_on,
+            log_off,
+        })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.log_prior.len()
+    }
+
+    /// Pixel dimensionality.
+    pub fn dim(&self) -> usize {
+        self.log_on.cols()
+    }
+
+    /// Log joint score `log P(class) + log P(pixels | class)` for every class.
+    pub fn log_scores(&self, pixels: &[bool]) -> Result<Vec<f64>, HmmError> {
+        if pixels.len() != self.dim() {
+            return Err(HmmError::InvalidData {
+                reason: format!("expected {} pixels, got {}", self.dim(), pixels.len()),
+            });
+        }
+        Ok((0..self.num_classes())
+            .map(|k| {
+                let mut score = self.log_prior[k];
+                for (d, &bit) in pixels.iter().enumerate() {
+                    score += if bit {
+                        self.log_on[(k, d)]
+                    } else {
+                        self.log_off[(k, d)]
+                    };
+                }
+                score
+            })
+            .collect())
+    }
+
+    /// Predicts the most likely class of one observation.
+    pub fn predict(&self, pixels: &[bool]) -> Result<usize, HmmError> {
+        let scores = self.log_scores(pixels)?;
+        Ok(dhmm_linalg::argmax(&scores).unwrap_or(0))
+    }
+
+    /// Predicts every position of a sequence independently.
+    pub fn predict_sequence(&self, sequence: &[Vec<bool>]) -> Result<Vec<usize>, HmmError> {
+        sequence.iter().map(|obs| self.predict(obs)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_examples() -> Vec<(usize, Vec<bool>)> {
+        // Class 0 has the first pixel on, class 1 the second.
+        vec![
+            (0, vec![true, false, false]),
+            (0, vec![true, false, true]),
+            (0, vec![true, true, false]),
+            (1, vec![false, true, false]),
+            (1, vec![false, true, true]),
+            (1, vec![true, true, false]),
+        ]
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        assert!(BernoulliNaiveBayes::fit(&[], 2, 3, 1.0).is_err());
+        assert!(BernoulliNaiveBayes::fit(&toy_examples(), 0, 3, 1.0).is_err());
+        assert!(BernoulliNaiveBayes::fit(&toy_examples(), 2, 0, 1.0).is_err());
+        assert!(BernoulliNaiveBayes::fit(&[(5, vec![true])], 2, 1, 1.0).is_err());
+        assert!(BernoulliNaiveBayes::fit(&[(0, vec![true])], 2, 3, 1.0).is_err());
+    }
+
+    #[test]
+    fn predicts_separable_classes() {
+        let nb = BernoulliNaiveBayes::fit(&toy_examples(), 2, 3, 1.0).unwrap();
+        assert_eq!(nb.num_classes(), 2);
+        assert_eq!(nb.dim(), 3);
+        assert_eq!(nb.predict(&[true, false, false]).unwrap(), 0);
+        assert_eq!(nb.predict(&[false, true, true]).unwrap(), 1);
+        assert!(nb.predict(&[true]).is_err());
+    }
+
+    #[test]
+    fn log_scores_are_finite_and_ordered() {
+        let nb = BernoulliNaiveBayes::fit(&toy_examples(), 2, 3, 1.0).unwrap();
+        let scores = nb.log_scores(&[true, false, false]).unwrap();
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        assert!(scores[0] > scores[1]);
+    }
+
+    #[test]
+    fn sequence_prediction_is_positionwise() {
+        let nb = BernoulliNaiveBayes::fit(&toy_examples(), 2, 3, 1.0).unwrap();
+        let seq = vec![vec![true, false, false], vec![false, true, false]];
+        assert_eq!(nb.predict_sequence(&seq).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn smoothing_keeps_unseen_pixels_nonfatal() {
+        // A pixel never on in training should not give -inf at test time.
+        let examples = vec![(0, vec![false, false]), (1, vec![true, false])];
+        let nb = BernoulliNaiveBayes::fit(&examples, 2, 2, 0.5).unwrap();
+        let scores = nb.log_scores(&[true, true]).unwrap();
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

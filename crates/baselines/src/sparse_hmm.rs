@@ -1,0 +1,105 @@
+//! Sparse-prior HMM transition update (after Bicego et al., 2007).
+//!
+//! The related-work section of the dHMM paper contrasts the diversity prior
+//! with *sparseness*-inducing priors on the transition rows. This module
+//! implements a simple entropic / negative-Dirichlet style update that can
+//! be plugged into the same Baum–Welch loop as the diversity prior, giving
+//! the ablation benches a third point on the prior spectrum
+//! (sparse ↔ none ↔ diverse).
+
+use dhmm_hmm::baum_welch::TransitionUpdater;
+use dhmm_hmm::HmmError;
+use dhmm_linalg::Matrix;
+
+/// A transition updater that subtracts a fixed "negative pseudo-count" from
+/// every expected transition count before normalizing, clipping at zero —
+/// the MAP update under a negative-Dirichlet (sparsity) prior. Larger
+/// `sparsity` values zero out more of each row.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseTransitionUpdater {
+    /// The negative pseudo-count subtracted from each expected count.
+    pub sparsity: f64,
+}
+
+impl SparseTransitionUpdater {
+    /// Creates an updater with the given sparsity level (clamped at 0).
+    pub fn new(sparsity: f64) -> Self {
+        Self {
+            sparsity: sparsity.max(0.0),
+        }
+    }
+}
+
+impl TransitionUpdater for SparseTransitionUpdater {
+    fn update(&self, xi_sum: &Matrix, _current: &Matrix) -> Result<Matrix, HmmError> {
+        let mut a = xi_sum.map(|v| (v - self.sparsity).max(0.0));
+        // Rows that lost all mass keep their largest original entry so every
+        // state still has at least one outgoing transition.
+        for i in 0..a.rows() {
+            if a.row(i).iter().sum::<f64>() <= 0.0 {
+                if let Some(j) = dhmm_linalg::argmax(xi_sum.row(i)) {
+                    a[(i, j)] = 1.0;
+                }
+            }
+        }
+        a.normalize_rows();
+        Ok(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhmm_prob::entropy;
+
+    #[test]
+    fn zero_sparsity_is_plain_mle() {
+        let xi = Matrix::from_rows(&[vec![6.0, 4.0], vec![2.0, 8.0]]).unwrap();
+        let a = SparseTransitionUpdater::new(0.0)
+            .update(&xi, &Matrix::identity(2))
+            .unwrap();
+        assert!((a[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((a[(1, 1)] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_zeroes_out_weak_transitions() {
+        let xi = Matrix::from_rows(&[vec![10.0, 1.0, 1.0], vec![1.0, 10.0, 1.0]]).unwrap();
+        let a = SparseTransitionUpdater::new(2.0)
+            .update(&xi, &Matrix::identity(3))
+            .unwrap();
+        assert!(a.is_row_stochastic(1e-9));
+        assert_eq!(a[(0, 1)], 0.0);
+        assert_eq!(a[(0, 2)], 0.0);
+        assert!((a[(0, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparser_rows_have_lower_entropy() {
+        let xi = Matrix::from_rows(&[vec![8.0, 5.0, 3.0, 2.0]]).unwrap();
+        let plain = SparseTransitionUpdater::new(0.0)
+            .update(&xi, &Matrix::identity(1))
+            .unwrap();
+        let sparse = SparseTransitionUpdater::new(2.5)
+            .update(&xi, &Matrix::identity(1))
+            .unwrap();
+        assert!(entropy(sparse.row(0)) < entropy(plain.row(0)));
+    }
+
+    #[test]
+    fn fully_suppressed_rows_keep_their_mode() {
+        let xi = Matrix::from_rows(&[vec![0.5, 0.9], vec![3.0, 4.0]]).unwrap();
+        let a = SparseTransitionUpdater::new(10.0)
+            .update(&xi, &Matrix::identity(2))
+            .unwrap();
+        assert!(a.is_row_stochastic(1e-9));
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn negative_sparsity_is_clamped() {
+        let u = SparseTransitionUpdater::new(-5.0);
+        assert_eq!(u.sparsity, 0.0);
+    }
+}

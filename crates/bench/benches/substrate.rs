@@ -1,0 +1,101 @@
+//! Microbenchmarks of the substrates the dHMM is built on: forward–backward,
+//! Viterbi, the DPP log-determinant and its gradient, the simplex
+//! projection and the Hungarian alignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhmm_dpp::{grad_log_det_kernel, log_det_kernel, ProductKernel};
+use dhmm_eval::hungarian_max;
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::forward_backward::forward_backward;
+use dhmm_hmm::init::{random_parameters, random_stochastic_matrix, InitStrategy};
+use dhmm_hmm::model::Hmm;
+use dhmm_hmm::viterbi::viterbi;
+use dhmm_linalg::{project_to_simplex, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_hmm(k: usize, v: usize, seed: u64) -> Hmm<DiscreteEmission> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (pi, a) = random_parameters(k, InitStrategy::Dirichlet { concentration: 2.0 }, &mut rng)
+        .expect("valid parameters");
+    let b = random_stochastic_matrix(k, v, 1.0, &mut rng).expect("valid emission");
+    Hmm::new(pi, a, DiscreteEmission::new(b).expect("valid")).expect("valid model")
+}
+
+fn random_stochastic(k: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_stochastic_matrix(k, k, 1.0, &mut rng).expect("valid matrix")
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_backward");
+    for &(k, t) in &[(5usize, 50usize), (15, 100), (26, 200)] {
+        let model = random_hmm(k, 40, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq: Vec<usize> = (0..t).map(|_| rng.gen_range(0..40)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}_T{t}")), &seq, |b, seq| {
+            b.iter(|| forward_backward(black_box(&model), black_box(seq)).expect("fb"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("viterbi");
+    for &(k, t) in &[(15usize, 100usize), (26, 200)] {
+        let model = random_hmm(k, 40, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq: Vec<usize> = (0..t).map(|_| rng.gen_range(0..40)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}_T{t}")), &seq, |b, seq| {
+            b.iter(|| viterbi(black_box(&model), black_box(seq)).expect("viterbi"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dpp_prior(c: &mut Criterion) {
+    let kernel = ProductKernel::bhattacharyya();
+    let mut group = c.benchmark_group("dpp_prior");
+    for &k in &[5usize, 15, 26] {
+        let a = random_stochastic(k, 5);
+        group.bench_with_input(BenchmarkId::new("log_det", k), &a, |b, a| {
+            b.iter(|| log_det_kernel(black_box(a), &kernel).expect("log det"))
+        });
+        group.bench_with_input(BenchmarkId::new("gradient", k), &a, |b, a| {
+            b.iter(|| grad_log_det_kernel(black_box(a), &kernel).expect("gradient"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_projection");
+    for &n in &[5usize, 26, 128] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| project_to_simplex(black_box(v)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &n in &[15usize, 26, 46] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let profit = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..100.0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profit, |b, p| {
+            b.iter(|| hungarian_max(black_box(p)).expect("assignment"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forward_backward, bench_viterbi, bench_dpp_prior, bench_simplex_projection, bench_hungarian
+}
+criterion_main!(benches);

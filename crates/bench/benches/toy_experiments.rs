@@ -1,0 +1,45 @@
+//! Benches regenerating the paper's toy-data artifacts: Table 1, Fig. 2 and
+//! the σ sweep of Figs. 3–5. Each bench runs the same runner the `exp-*`
+//! binaries use (at quick scale) and reports its wall-clock cost; the
+//! resulting rows are printed once per bench so `cargo bench` output doubles
+//! as a reproduction log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhmm_experiments::{toy, Scale};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let result = toy::run_table1(Scale::Quick, 1).expect("table1");
+    println!("\n[bench_table1] Table 1 reproduction (quick scale):\n{}", result.render());
+    c.bench_function("table1_toy_hmm_vs_dhmm", |b| {
+        b.iter(|| toy::run_table1(black_box(Scale::Quick), black_box(1)).expect("table1"))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let result = toy::run_fig2(Scale::Quick, 2).expect("fig2");
+    println!("\n[bench_fig2] Fig. 2 reproduction (quick scale):\n{}", result.render());
+    c.bench_function("fig2_parameter_recovery", |b| {
+        b.iter(|| toy::run_fig2(black_box(Scale::Quick), black_box(2)).expect("fig2"))
+    });
+}
+
+fn bench_sigma_sweep(c: &mut Criterion) {
+    let result = toy::run_sigma_sweep(Scale::Quick, 3).expect("sweep");
+    println!(
+        "\n[bench_sigma_sweep] Figs. 3-5 reproduction (quick scale):\n{}\n{}\n{}",
+        result.render_fig3(),
+        result.render_fig4(),
+        result.render_fig5()
+    );
+    c.bench_function("fig3_4_5_sigma_sweep", |b| {
+        b.iter(|| toy::run_sigma_sweep(black_box(Scale::Quick), black_box(3)).expect("sweep"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig2, bench_sigma_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Error type for diversified-HMM training.
+
+use dhmm_dpp::DppError;
+use dhmm_hmm::HmmError;
+use dhmm_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced while training or configuring a diversified HMM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DhmmError {
+    /// A configuration value was invalid (negative `α`, zero iterations, …).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An error from the underlying HMM machinery.
+    Hmm(HmmError),
+    /// An error from the DPP prior machinery.
+    Dpp(DppError),
+    /// An error from the linear-algebra substrate.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for DhmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhmmError::InvalidConfig { reason } => write!(f, "invalid dHMM configuration: {reason}"),
+            DhmmError::Hmm(e) => write!(f, "HMM error: {e}"),
+            DhmmError::Dpp(e) => write!(f, "DPP error: {e}"),
+            DhmmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DhmmError {}
+
+impl From<HmmError> for DhmmError {
+    fn from(e: HmmError) -> Self {
+        DhmmError::Hmm(e)
+    }
+}
+
+impl From<DppError> for DhmmError {
+    fn from(e: DppError) -> Self {
+        DhmmError::Dpp(e)
+    }
+}
+
+impl From<LinalgError> for DhmmError {
+    fn from(e: LinalgError) -> Self {
+        DhmmError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = DhmmError::InvalidConfig {
+            reason: "alpha must be non-negative".into(),
+        };
+        assert!(e.to_string().contains("alpha"));
+        let e: DhmmError = HmmError::InvalidData { reason: "x".into() }.into();
+        assert!(matches!(e, DhmmError::Hmm(_)));
+        let e: DhmmError = DppError::InvalidParameter { parameter: "rho", value: 0.0 }.into();
+        assert!(matches!(e, DhmmError::Dpp(_)));
+        let e: DhmmError = LinalgError::Singular { pivot: 0 }.into();
+        assert!(matches!(e, DhmmError::Linalg(_)));
+    }
+}

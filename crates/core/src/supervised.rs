@@ -1,0 +1,222 @@
+//! Supervised diversified-HMM training (Eq. 8 of the paper).
+//!
+//! In the supervised setting the hidden states are observed at training
+//! time. `π`, the emission parameters and the anchor transition matrix `A0`
+//! are estimated by counting (crate `dhmm-hmm`'s supervised estimator); the
+//! final transition matrix then maximizes
+//!
+//! ```text
+//! Σ_ij c_ij · log A_ij + α · log det K̃_A − α_A · ‖A − A0‖²
+//! ```
+//!
+//! by projected gradient ascent starting from `A0`, where `c_ij` are the
+//! observed transition counts. Decoding of unlabeled test sequences uses
+//! Viterbi exactly as in the unsupervised case.
+
+use crate::config::SupervisedConfig;
+use crate::error::DhmmError;
+use crate::transition_update::{maximize_transition_objective, TransitionObjective};
+use dhmm_dpp::log_det_kernel;
+use dhmm_hmm::emission::Emission;
+use dhmm_hmm::model::Hmm;
+use dhmm_hmm::supervised::supervised_estimate;
+use dhmm_linalg::Matrix;
+use dhmm_prob::mean_pairwise_bhattacharyya;
+
+/// Diagnostics of a supervised dHMM fit.
+#[derive(Debug, Clone)]
+pub struct SupervisedFitReport {
+    /// The count-based anchor transition matrix `A0`.
+    pub anchor_transition: Matrix,
+    /// Mean pairwise Bhattacharyya diversity of `A0`.
+    pub anchor_diversity: f64,
+    /// Mean pairwise Bhattacharyya diversity of the final transition matrix.
+    pub final_diversity: f64,
+    /// `α·log det K̃_A` of the final transition matrix.
+    pub final_log_prior: f64,
+    /// Squared Frobenius distance `‖A − A0‖²` between the final and anchor
+    /// transition matrices.
+    pub drift_from_anchor: f64,
+}
+
+/// The supervised diversified-HMM trainer.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisedDiversifiedHmm {
+    config: SupervisedConfig,
+}
+
+impl SupervisedDiversifiedHmm {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: SupervisedConfig) -> Self {
+        Self { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &SupervisedConfig {
+        &self.config
+    }
+
+    /// Fits a supervised dHMM from labeled sequences.
+    ///
+    /// `emission` provides the (untrained) emission model whose state count
+    /// defines `k`; it is re-estimated from the labels. Returns the trained
+    /// model and a diagnostics report.
+    pub fn fit<E: Emission>(
+        &self,
+        labeled: &[(Vec<usize>, Vec<E::Obs>)],
+        emission: E,
+    ) -> Result<(Hmm<E>, SupervisedFitReport), DhmmError> {
+        let kernel = self.config.validate()?;
+
+        // Count-based estimation of (π, A0, B) — the λ0 of the paper.
+        let (mut model, counts) =
+            supervised_estimate(labeled, emission, self.config.pseudo_count)?;
+        let anchor = model.transition().clone();
+        let anchor_diversity = mean_pairwise_bhattacharyya(&anchor);
+
+        // Diversified refinement of the transition matrix (Eq. 8). With
+        // α = 0 the anchor itself is already the maximizer.
+        let final_transition = if self.config.alpha > 0.0 {
+            let objective = TransitionObjective::supervised(
+                counts.transition_counts.clone(),
+                self.config.alpha,
+                kernel,
+                anchor.clone(),
+                self.config.alpha_anchor,
+            );
+            maximize_transition_objective(&objective, &anchor, &self.config.ascent)?
+        } else {
+            anchor.clone()
+        };
+        model.set_transition(final_transition.clone())?;
+
+        let report = SupervisedFitReport {
+            anchor_diversity,
+            final_diversity: mean_pairwise_bhattacharyya(&final_transition),
+            final_log_prior: if self.config.alpha > 0.0 {
+                self.config.alpha * log_det_kernel(&final_transition, &kernel)?
+            } else {
+                0.0
+            },
+            drift_from_anchor: final_transition.squared_distance(&anchor)?,
+            anchor_transition: anchor,
+        };
+        Ok((model, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AscentConfig;
+    use dhmm_data::ocr::{generate, OcrConfig};
+    use dhmm_hmm::emission::{BernoulliEmission, DiscreteEmission};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled_toy() -> Vec<(Vec<usize>, Vec<usize>)> {
+        vec![
+            (vec![0, 1, 0, 1], vec![0, 1, 0, 1]),
+            (vec![1, 0, 1], vec![1, 0, 1]),
+            (vec![0, 0, 1], vec![0, 0, 1]),
+        ]
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let trainer = SupervisedDiversifiedHmm::new(SupervisedConfig {
+            alpha: f64::NAN,
+            ..SupervisedConfig::default()
+        });
+        assert!(trainer
+            .fit(&labeled_toy(), DiscreteEmission::uniform(2, 2).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn alpha_zero_keeps_the_count_estimate() {
+        let trainer = SupervisedDiversifiedHmm::new(SupervisedConfig {
+            alpha: 0.0,
+            pseudo_count: 0.0,
+            ..SupervisedConfig::default()
+        });
+        let (model, report) = trainer
+            .fit(&labeled_toy(), DiscreteEmission::uniform(2, 2).unwrap())
+            .unwrap();
+        assert!(model.transition().approx_eq(&report.anchor_transition, 1e-12));
+        assert_eq!(report.drift_from_anchor, 0.0);
+        assert_eq!(report.final_log_prior, 0.0);
+    }
+
+    #[test]
+    fn diversity_refinement_stays_near_anchor_with_large_anchor_weight() {
+        let trainer = SupervisedDiversifiedHmm::new(SupervisedConfig {
+            alpha: 10.0,
+            alpha_anchor: 1e5,
+            pseudo_count: 0.1,
+            ascent: AscentConfig::default(),
+            ..SupervisedConfig::default()
+        });
+        let (model, report) = trainer
+            .fit(&labeled_toy(), DiscreteEmission::uniform(2, 2).unwrap())
+            .unwrap();
+        assert!(model.transition().is_row_stochastic(1e-8));
+        assert!(report.drift_from_anchor < 1e-2, "drift {}", report.drift_from_anchor);
+        // Diversity should not decrease relative to the anchor.
+        assert!(report.final_diversity >= report.anchor_diversity - 1e-6);
+    }
+
+    #[test]
+    fn small_anchor_weight_allows_more_diversification() {
+        let tight = SupervisedDiversifiedHmm::new(SupervisedConfig {
+            alpha: 20.0,
+            alpha_anchor: 1e6,
+            ..SupervisedConfig::default()
+        });
+        let loose = SupervisedDiversifiedHmm::new(SupervisedConfig {
+            alpha: 20.0,
+            alpha_anchor: 1.0,
+            ..SupervisedConfig::default()
+        });
+        let data = labeled_toy();
+        let (_, tight_report) = tight
+            .fit(&data, DiscreteEmission::uniform(2, 2).unwrap())
+            .unwrap();
+        let (_, loose_report) = loose
+            .fit(&data, DiscreteEmission::uniform(2, 2).unwrap())
+            .unwrap();
+        assert!(loose_report.drift_from_anchor >= tight_report.drift_from_anchor - 1e-9);
+    }
+
+    #[test]
+    fn supervised_ocr_training_and_decoding_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = generate(
+            &OcrConfig {
+                num_words: 150,
+                ..OcrConfig::default()
+            },
+            &mut rng,
+        );
+        let trainer = SupervisedDiversifiedHmm::new(SupervisedConfig {
+            alpha: 10.0,
+            alpha_anchor: 1e5,
+            pseudo_count: 0.5,
+            ..SupervisedConfig::default()
+        });
+        let emission = BernoulliEmission::uniform(26, 128).unwrap();
+        let (model, report) = trainer.fit(&data.corpus.sequences, emission).unwrap();
+        assert_eq!(model.num_states(), 26);
+        assert!(report.final_diversity > 0.0);
+        // The trained model should decode training words far better than chance.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (labels, images) in data.corpus.sequences.iter().take(50) {
+            let decoded = model.decode(images).unwrap();
+            correct += decoded.iter().zip(labels).filter(|(a, b)| a == b).count();
+            total += labels.len();
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.5, "training accuracy only {acc}");
+    }
+}

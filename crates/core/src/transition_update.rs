@@ -1,0 +1,417 @@
+//! The diversified transition M-step (the paper's Algorithm 1).
+//!
+//! Given the expected transition counts `ξ_ij = Σ_n Σ_t q(X_{t-1}=i, X_t=j)`
+//! from the E-step, the dHMM M-step for `A` maximizes the penalized
+//! objective
+//!
+//! ```text
+//! L_A(A) = Σ_ij ξ_ij · log A_ij + α · log det K̃_A  [ − α_A · ‖A − A0‖² ]
+//! ```
+//!
+//! subject to every row of `A` lying on the probability simplex. The bracket
+//! term appears only in the supervised setting (Eq. 8). The maximizer is a
+//! projected gradient ascent: gradient step (Eq. 15 / 18), row-wise
+//! projection onto the simplex (Wang & Carreira-Perpiñán), repeated until
+//! the objective improvement drops below `δ`. The step size is adapted by a
+//! backtracking line search — the paper only says "adaptive step"; DESIGN.md
+//! records this choice and the ablation bench compares it against a fixed
+//! step.
+
+use crate::config::AscentConfig;
+use crate::error::DhmmError;
+use dhmm_dpp::{grad_log_det_kernel, log_det_kernel, ProductKernel};
+use dhmm_hmm::baum_welch::TransitionUpdater;
+use dhmm_hmm::HmmError;
+use dhmm_linalg::{project_row_stochastic, Matrix};
+
+/// Floor applied to transition probabilities inside logs and divisions.
+const PROB_FLOOR: f64 = 1e-12;
+
+/// The penalized transition objective `L_A` and its gradient.
+#[derive(Debug, Clone)]
+pub struct TransitionObjective {
+    /// Expected transition counts `ξ` (or hard counts in the supervised case).
+    pub counts: Matrix,
+    /// Diversity weight `α`.
+    pub alpha: f64,
+    /// Product kernel defining `K̃_A`.
+    pub kernel: ProductKernel,
+    /// Optional anchor `(A0, α_A)` for the supervised objective.
+    pub anchor: Option<(Matrix, f64)>,
+}
+
+impl TransitionObjective {
+    /// Creates the unsupervised objective (no anchor term).
+    pub fn unsupervised(counts: Matrix, alpha: f64, kernel: ProductKernel) -> Self {
+        Self {
+            counts,
+            alpha,
+            kernel,
+            anchor: None,
+        }
+    }
+
+    /// Creates the supervised objective with an anchor matrix `A0` and
+    /// weight `α_A`.
+    pub fn supervised(
+        counts: Matrix,
+        alpha: f64,
+        kernel: ProductKernel,
+        anchor: Matrix,
+        alpha_anchor: f64,
+    ) -> Self {
+        Self {
+            counts,
+            alpha,
+            kernel,
+            anchor: Some((anchor, alpha_anchor)),
+        }
+    }
+
+    /// Evaluates `L_A(a)`.
+    pub fn value(&self, a: &Matrix) -> Result<f64, DhmmError> {
+        let mut obj = 0.0;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                let c = self.counts[(i, j)];
+                if c > 0.0 {
+                    obj += c * a[(i, j)].max(PROB_FLOOR).ln();
+                }
+            }
+        }
+        if self.alpha > 0.0 {
+            obj += self.alpha * log_det_kernel(a, &self.kernel)?;
+        }
+        if let Some((a0, w)) = &self.anchor {
+            obj -= w * a.squared_distance(a0)?;
+        }
+        Ok(obj)
+    }
+
+    /// Evaluates `∇_A L_A(a)` (Eq. 15, plus the anchor term of Eq. 18 when
+    /// present).
+    pub fn gradient(&self, a: &Matrix) -> Result<Matrix, DhmmError> {
+        let mut grad = Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+            self.counts[(i, j)] / a[(i, j)].max(PROB_FLOOR)
+        });
+        if self.alpha > 0.0 {
+            let prior_grad = grad_log_det_kernel(a, &self.kernel)?;
+            grad = &grad + &prior_grad.scale(self.alpha);
+        }
+        if let Some((a0, w)) = &self.anchor {
+            let anchor_grad = &(a - a0) * (-2.0 * w);
+            grad = &grad + &anchor_grad;
+        }
+        Ok(grad)
+    }
+
+    /// Just the prior part `α·log det K̃_A` of the objective (used to monitor
+    /// the MAP objective across EM iterations).
+    pub fn prior_value(&self, a: &Matrix) -> f64 {
+        if self.alpha == 0.0 {
+            return 0.0;
+        }
+        self.alpha * log_det_kernel(a, &self.kernel).unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// Runs the projected-gradient ascent of Algorithm 1, starting from
+/// `initial` (which is projected onto the simplex first) and returning the
+/// improved row-stochastic matrix.
+pub fn maximize_transition_objective(
+    objective: &TransitionObjective,
+    initial: &Matrix,
+    config: &AscentConfig,
+) -> Result<Matrix, DhmmError> {
+    config.validate()?;
+    let mut current = initial.clone();
+    project_row_stochastic(&mut current);
+    let mut current_value = objective.value(&current)?;
+    let mut step = config.initial_step;
+
+    for _iter in 0..config.max_iterations {
+        let grad = objective.gradient(&current)?;
+        // Normalize the step by the gradient scale so the same initial step
+        // size works across very different count magnitudes.
+        let grad_scale = grad.max_abs().max(1e-12);
+
+        let mut improved = false;
+        let mut trial_step = step;
+        for _ in 0..=config.max_backtracks {
+            let mut candidate = &current + &grad.scale(trial_step / grad_scale);
+            project_row_stochastic(&mut candidate);
+            let candidate_value = objective.value(&candidate)?;
+            if candidate_value > current_value {
+                let gain = candidate_value - current_value;
+                current = candidate;
+                current_value = candidate_value;
+                improved = true;
+                // Be mildly greedy: grow the step after a successful move.
+                step = (trial_step / config.backtrack_factor).min(config.initial_step * 10.0);
+                if gain < config.tolerance {
+                    return Ok(current);
+                }
+                break;
+            }
+            trial_step *= config.backtrack_factor;
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(current)
+}
+
+/// A [`TransitionUpdater`] implementing the diversified M-step, pluggable
+/// into [`dhmm_hmm::BaumWelch::fit_with_updater`].
+#[derive(Debug, Clone)]
+pub struct DppTransitionUpdater {
+    /// Diversity weight `α`.
+    pub alpha: f64,
+    /// Product kernel defining the prior.
+    pub kernel: ProductKernel,
+    /// Ascent configuration.
+    pub ascent: AscentConfig,
+}
+
+impl DppTransitionUpdater {
+    /// Creates an updater with the given prior weight, kernel and ascent
+    /// settings.
+    pub fn new(alpha: f64, kernel: ProductKernel, ascent: AscentConfig) -> Self {
+        Self {
+            alpha,
+            kernel,
+            ascent,
+        }
+    }
+}
+
+impl TransitionUpdater for DppTransitionUpdater {
+    fn update(&self, xi_sum: &Matrix, current: &Matrix) -> Result<Matrix, HmmError> {
+        // α = 0 has the closed-form MLE solution (the paper's Eq. for A with
+        // α = 0); fall back to it for exactness and speed.
+        if self.alpha == 0.0 {
+            let mut a = xi_sum.map(|v| v + PROB_FLOOR);
+            a.normalize_rows();
+            return Ok(a);
+        }
+        let objective =
+            TransitionObjective::unsupervised(xi_sum.clone(), self.alpha, self.kernel);
+
+        // Candidate starting points for the ascent: the MLE solution, the
+        // previous iterate, and a symmetry-broken perturbation of the MLE.
+        // The perturbation matters when the expected counts make all rows
+        // identical (the collapsed regime the prior exists to escape): that
+        // configuration is a stationary point of the ascent because the
+        // gradient is then the same for every row, so without breaking the
+        // symmetry the update could never diversify the rows.
+        let mut mle = xi_sum.map(|v| v + PROB_FLOOR);
+        mle.normalize_rows();
+        let mut perturbed = Matrix::from_fn(mle.rows(), mle.cols(), |i, j| {
+            mle[(i, j)] * (1.0 + 0.02 * (((i + j) % 2) as f64) + 0.005 * (i as f64 / mle.rows().max(1) as f64))
+        });
+        perturbed.normalize_rows();
+        let start = [&mle, current, &perturbed]
+            .into_iter()
+            .filter_map(|cand| objective.value(cand).ok().map(|v| (cand.clone(), v)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"))
+            .map(|(m, _)| m)
+            .unwrap_or(mle);
+
+        maximize_transition_objective(&objective, &start, &self.ascent).map_err(|e| {
+            HmmError::InvalidParameters {
+                reason: format!("diversified transition update failed: {e}"),
+            }
+        })
+    }
+
+    fn prior_objective(&self, a: &Matrix) -> f64 {
+        if self.alpha == 0.0 {
+            0.0
+        } else {
+            self.alpha * log_det_kernel(a, &self.kernel).unwrap_or(f64::NEG_INFINITY)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhmm_prob::mean_pairwise_bhattacharyya;
+
+    fn counts() -> Matrix {
+        Matrix::from_rows(&[
+            vec![30.0, 20.0, 10.0],
+            vec![25.0, 20.0, 15.0],
+            vec![20.0, 20.0, 20.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn objective_value_matches_components() {
+        let kernel = ProductKernel::bhattacharyya();
+        let a = Matrix::from_rows(&[
+            vec![0.5, 0.3, 0.2],
+            vec![0.4, 0.35, 0.25],
+            vec![0.3, 0.3, 0.4],
+        ])
+        .unwrap();
+        let obj0 = TransitionObjective::unsupervised(counts(), 0.0, kernel);
+        let data_only = obj0.value(&a).unwrap();
+        let expected: f64 = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| counts()[(i, j)] * a[(i, j)].ln())
+            .sum();
+        assert!((data_only - expected).abs() < 1e-9);
+        assert_eq!(obj0.prior_value(&a), 0.0);
+
+        let obj1 = TransitionObjective::unsupervised(counts(), 2.0, kernel);
+        let with_prior = obj1.value(&a).unwrap();
+        let prior = 2.0 * log_det_kernel(&a, &kernel).unwrap();
+        assert!((with_prior - data_only - prior).abs() < 1e-9);
+        assert!((obj1.prior_value(&a) - prior).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supervised_objective_penalizes_distance_from_anchor() {
+        let kernel = ProductKernel::bhattacharyya();
+        let a0 = Matrix::from_rows(&[vec![0.6, 0.4], vec![0.3, 0.7]]).unwrap();
+        let obj = TransitionObjective::supervised(
+            Matrix::filled(2, 2, 1.0),
+            0.0,
+            kernel,
+            a0.clone(),
+            10.0,
+        );
+        let at_anchor = obj.value(&a0).unwrap();
+        let away = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        let away_value = obj.value(&away).unwrap();
+        assert!(at_anchor > away_value);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let kernel = ProductKernel::bhattacharyya();
+        let a0 = Matrix::from_rows(&[
+            vec![0.5, 0.3, 0.2],
+            vec![0.3, 0.4, 0.3],
+            vec![0.2, 0.3, 0.5],
+        ])
+        .unwrap();
+        let obj = TransitionObjective::supervised(counts(), 1.5, kernel, a0.clone(), 3.0);
+        let a = Matrix::from_rows(&[
+            vec![0.45, 0.35, 0.2],
+            vec![0.25, 0.45, 0.3],
+            vec![0.3, 0.25, 0.45],
+        ])
+        .unwrap();
+        let grad = obj.gradient(&a).unwrap();
+        let eps = 1e-6;
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut plus = a.clone();
+                plus[(i, j)] += eps;
+                let mut minus = a.clone();
+                minus[(i, j)] -= eps;
+                let numeric = (obj.value(&plus).unwrap() - obj.value(&minus).unwrap()) / (2.0 * eps);
+                let diff = (grad[(i, j)] - numeric).abs();
+                assert!(
+                    diff / numeric.abs().max(1.0) < 1e-3,
+                    "gradient mismatch at ({i},{j}): {} vs {numeric}",
+                    grad[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ascent_never_decreases_the_objective() {
+        let kernel = ProductKernel::bhattacharyya();
+        let obj = TransitionObjective::unsupervised(counts(), 5.0, kernel);
+        let mut start = counts();
+        start.normalize_rows();
+        let before = obj.value(&start).unwrap();
+        let result =
+            maximize_transition_objective(&obj, &start, &AscentConfig::default()).unwrap();
+        let after = obj.value(&result).unwrap();
+        assert!(after >= before - 1e-9, "{after} < {before}");
+        assert!(result.is_row_stochastic(1e-8));
+    }
+
+    #[test]
+    fn zero_alpha_recovers_the_mle_update() {
+        let kernel = ProductKernel::bhattacharyya();
+        let updater = DppTransitionUpdater::new(0.0, kernel, AscentConfig::default());
+        let xi = counts();
+        let updated = updater.update(&xi, &Matrix::filled(3, 3, 1.0 / 3.0)).unwrap();
+        let mut expected = xi.clone();
+        expected.normalize_rows();
+        assert!(updated.approx_eq(&expected, 1e-6));
+        assert_eq!(updater.prior_objective(&updated), 0.0);
+    }
+
+    #[test]
+    fn positive_alpha_increases_transition_diversity() {
+        // Counts whose MLE rows are identical: the diversity prior must pull
+        // the rows apart.
+        let kernel = ProductKernel::bhattacharyya();
+        let xi = Matrix::filled(3, 3, 10.0);
+        let mle_updater = DppTransitionUpdater::new(0.0, kernel, AscentConfig::default());
+        let dpp_updater = DppTransitionUpdater::new(50.0, kernel, AscentConfig::default());
+        let uniform_start = Matrix::filled(3, 3, 1.0 / 3.0);
+        let mle = mle_updater.update(&xi, &uniform_start).unwrap();
+        let diversified = dpp_updater.update(&xi, &uniform_start).unwrap();
+        let d_mle = mean_pairwise_bhattacharyya(&mle);
+        let d_dpp = mean_pairwise_bhattacharyya(&diversified);
+        assert!(
+            d_dpp > d_mle + 1e-3,
+            "diversified {d_dpp} not more diverse than MLE {d_mle}"
+        );
+        assert!(diversified.is_row_stochastic(1e-8));
+    }
+
+    #[test]
+    fn larger_alpha_gives_at_least_as_much_diversity() {
+        let kernel = ProductKernel::bhattacharyya();
+        let xi = Matrix::from_rows(&[
+            vec![40.0, 30.0, 30.0],
+            vec![35.0, 35.0, 30.0],
+            vec![30.0, 35.0, 35.0],
+        ])
+        .unwrap();
+        let uniform_start = Matrix::filled(3, 3, 1.0 / 3.0);
+        let small = DppTransitionUpdater::new(1.0, kernel, AscentConfig::default())
+            .update(&xi, &uniform_start)
+            .unwrap();
+        let large = DppTransitionUpdater::new(200.0, kernel, AscentConfig::default())
+            .update(&xi, &uniform_start)
+            .unwrap();
+        assert!(
+            mean_pairwise_bhattacharyya(&large) >= mean_pairwise_bhattacharyya(&small) - 1e-6
+        );
+    }
+
+    #[test]
+    fn supervised_anchor_keeps_result_near_a0() {
+        let kernel = ProductKernel::bhattacharyya();
+        let a0 = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
+        let counts = Matrix::from_rows(&[vec![7.0, 3.0], vec![2.0, 8.0]]).unwrap();
+        // Huge anchor weight: the result should barely move from A0.
+        let obj = TransitionObjective::supervised(counts, 1.0, kernel, a0.clone(), 1e6);
+        let result =
+            maximize_transition_objective(&obj, &a0, &AscentConfig::default()).unwrap();
+        assert!(result.squared_distance(&a0).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn invalid_ascent_config_is_rejected() {
+        let kernel = ProductKernel::bhattacharyya();
+        let obj = TransitionObjective::unsupervised(counts(), 1.0, kernel);
+        let bad = AscentConfig {
+            initial_step: -1.0,
+            ..AscentConfig::default()
+        };
+        assert!(maximize_transition_objective(&obj, &counts(), &bad).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Shared corpus containers and train/test splitting.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A corpus of labeled sequences: per-position hidden labels and
+/// observations of type `O`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledCorpus<O> {
+    /// One `(labels, observations)` pair per sequence, with equal lengths.
+    pub sequences: Vec<(Vec<usize>, Vec<O>)>,
+    /// Number of distinct labels.
+    pub num_labels: usize,
+}
+
+impl<O: Clone> LabeledCorpus<O> {
+    /// Creates a corpus, asserting that labels and observations are aligned.
+    ///
+    /// # Panics
+    /// Panics if any sequence has mismatched label/observation lengths —
+    /// generator bugs should fail loudly rather than silently truncate.
+    pub fn new(sequences: Vec<(Vec<usize>, Vec<O>)>, num_labels: usize) -> Self {
+        for (i, (labels, obs)) in sequences.iter().enumerate() {
+            assert_eq!(
+                labels.len(),
+                obs.len(),
+                "sequence {i}: {} labels vs {} observations",
+                labels.len(),
+                obs.len()
+            );
+        }
+        Self {
+            sequences,
+            num_labels,
+        }
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// `true` if the corpus has no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Total number of labeled positions.
+    pub fn num_positions(&self) -> usize {
+        self.sequences.iter().map(|(l, _)| l.len()).sum()
+    }
+
+    /// Just the observation sequences (for unsupervised training).
+    pub fn observations(&self) -> Vec<Vec<O>> {
+        self.sequences.iter().map(|(_, o)| o.clone()).collect()
+    }
+
+    /// Just the label sequences (the gold standard for evaluation).
+    pub fn labels(&self) -> Vec<Vec<usize>> {
+        self.sequences.iter().map(|(l, _)| l.clone()).collect()
+    }
+
+    /// Frequency of each label across the corpus.
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_labels];
+        for (labels, _) in &self.sequences {
+            for &l in labels {
+                if l < self.num_labels {
+                    counts[l] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Splits the corpus into a train and a test part after shuffling, with
+    /// `test_fraction` of the sequences (rounded down, at least one if the
+    /// corpus has two or more sequences) held out.
+    pub fn split<R: Rng + ?Sized>(&self, test_fraction: f64, rng: &mut R) -> TrainTestSplit<O> {
+        let n = self.sequences.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut test_size = ((n as f64) * test_fraction.clamp(0.0, 1.0)) as usize;
+        if n >= 2 {
+            test_size = test_size.clamp(1, n - 1);
+        }
+        let test_idx: Vec<usize> = order[..test_size].to_vec();
+        let train_idx: Vec<usize> = order[test_size..].to_vec();
+        TrainTestSplit {
+            train: self.subset(&train_idx),
+            test: self.subset(&test_idx),
+        }
+    }
+
+    /// Builds a sub-corpus from sequence indices (out-of-range indices are
+    /// ignored).
+    pub fn subset(&self, indices: &[usize]) -> LabeledCorpus<O> {
+        let sequences = indices
+            .iter()
+            .filter_map(|&i| self.sequences.get(i).cloned())
+            .collect();
+        LabeledCorpus {
+            sequences,
+            num_labels: self.num_labels,
+        }
+    }
+}
+
+/// A train/test split of a labeled corpus.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit<O> {
+    /// The training portion.
+    pub train: LabeledCorpus<O>,
+    /// The held-out test portion.
+    pub test: LabeledCorpus<O>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus() -> LabeledCorpus<usize> {
+        LabeledCorpus::new(
+            vec![
+                (vec![0, 1], vec![10, 11]),
+                (vec![1, 1, 0], vec![12, 13, 14]),
+                (vec![0], vec![15]),
+                (vec![1], vec![16]),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = corpus();
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.num_positions(), 7);
+        assert_eq!(c.observations()[1], vec![12, 13, 14]);
+        assert_eq!(c.labels()[0], vec![0, 1]);
+        assert_eq!(c.label_histogram(), vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels vs")]
+    fn mismatched_lengths_panic() {
+        LabeledCorpus::new(vec![(vec![0], vec![1usize, 2])], 2);
+    }
+
+    #[test]
+    fn subset_selects_requested_sequences() {
+        let c = corpus();
+        let s = c.subset(&[2, 0, 99]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.sequences[0].1, vec![15]);
+        assert_eq!(s.num_labels, 2);
+    }
+
+    #[test]
+    fn split_partitions_all_sequences() {
+        let c = corpus();
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = c.split(0.25, &mut rng);
+        assert_eq!(split.train.len() + split.test.len(), c.len());
+        assert!(!split.test.is_empty());
+        assert!(!split.train.is_empty());
+    }
+
+    #[test]
+    fn split_fraction_is_clamped() {
+        let c = corpus();
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = c.split(5.0, &mut rng);
+        // Even with an absurd fraction the train set keeps at least one sequence.
+        assert!(!split.train.is_empty());
+        let split = c.split(-1.0, &mut rng);
+        assert!(!split.test.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Plain-text persistence for corpora and matrices.
+//!
+//! Experiments write their learned transition matrices and generated corpora
+//! to simple line-oriented text files so results can be inspected and
+//! re-loaded without any serialization dependency.
+
+use dhmm_linalg::Matrix;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Serializes a matrix to a text block: the first line is `rows cols`, then
+/// one whitespace-separated row per line.
+pub fn matrix_to_string(m: &Matrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", m.rows(), m.cols());
+    for row in m.iter_rows() {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.12e}")).collect();
+        let _ = writeln!(out, "{}", line.join(" "));
+    }
+    out
+}
+
+/// Parses a matrix from the format written by [`matrix_to_string`].
+pub fn matrix_from_string(s: &str) -> Result<Matrix, String> {
+    let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty matrix text")?;
+    let mut parts = header.split_whitespace();
+    let rows: usize = parts
+        .next()
+        .ok_or("missing row count")?
+        .parse()
+        .map_err(|e| format!("bad row count: {e}"))?;
+    let cols: usize = parts
+        .next()
+        .ok_or("missing column count")?
+        .parse()
+        .map_err(|e| format!("bad column count: {e}"))?;
+    let mut data = Vec::with_capacity(rows * cols);
+    for (i, line) in lines.enumerate().take(rows) {
+        let values: Result<Vec<f64>, _> = line
+            .split_whitespace()
+            .map(|t| t.parse::<f64>().map_err(|e| format!("row {i}: {e}")))
+            .collect();
+        let values = values?;
+        if values.len() != cols {
+            return Err(format!("row {i} has {} values, expected {cols}", values.len()));
+        }
+        data.extend(values);
+    }
+    if data.len() != rows * cols {
+        return Err(format!(
+            "expected {} values, found {}",
+            rows * cols,
+            data.len()
+        ));
+    }
+    Matrix::from_vec(rows, cols, data).map_err(|e| e.to_string())
+}
+
+/// Writes a matrix to a file.
+pub fn save_matrix(path: &Path, m: &Matrix) -> io::Result<()> {
+    std::fs::write(path, matrix_to_string(m))
+}
+
+/// Reads a matrix from a file written by [`save_matrix`].
+pub fn load_matrix(path: &Path) -> io::Result<Matrix> {
+    let text = std::fs::read_to_string(path)?;
+    matrix_from_string(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Serializes a labeled corpus of discrete observations: one sequence per
+/// line as `label:obs` pairs separated by spaces.
+pub fn discrete_corpus_to_string(sequences: &[(Vec<usize>, Vec<usize>)]) -> String {
+    let mut out = String::new();
+    for (labels, obs) in sequences {
+        let pairs: Vec<String> = labels
+            .iter()
+            .zip(obs)
+            .map(|(l, o)| format!("{l}:{o}"))
+            .collect();
+        let _ = writeln!(out, "{}", pairs.join(" "));
+    }
+    out
+}
+
+/// Parses a labeled corpus written by [`discrete_corpus_to_string`].
+pub fn discrete_corpus_from_string(s: &str) -> Result<Vec<(Vec<usize>, Vec<usize>)>, String> {
+    let mut sequences = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut labels = Vec::new();
+        let mut obs = Vec::new();
+        for token in line.split_whitespace() {
+            let (l, o) = token
+                .split_once(':')
+                .ok_or_else(|| format!("line {i}: token '{token}' is not label:obs"))?;
+            labels.push(l.parse::<usize>().map_err(|e| format!("line {i}: {e}"))?);
+            obs.push(o.parse::<usize>().map_err(|e| format!("line {i}: {e}"))?);
+        }
+        sequences.push((labels, obs));
+    }
+    Ok(sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.5e-3], vec![-7.0, 0.0]]).unwrap();
+        let text = matrix_to_string(&m);
+        let back = matrix_from_string(&text).unwrap();
+        assert!(back.approx_eq(&m, 1e-15));
+    }
+
+    #[test]
+    fn matrix_parsing_errors() {
+        assert!(matrix_from_string("").is_err());
+        assert!(matrix_from_string("2").is_err());
+        assert!(matrix_from_string("2 2\n1 2\n3").is_err());
+        assert!(matrix_from_string("1 2\n1 x").is_err());
+        assert!(matrix_from_string("2 2\n1 2 3\n4 5 6").is_err());
+    }
+
+    #[test]
+    fn matrix_file_roundtrip() {
+        let dir = std::env::temp_dir().join("dhmm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matrix.txt");
+        let m = Matrix::identity(3);
+        save_matrix(&path, &m).unwrap();
+        let back = load_matrix(&path).unwrap();
+        assert!(back.approx_eq(&m, 1e-15));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corpus_roundtrip() {
+        let corpus = vec![
+            (vec![0, 1, 2], vec![5, 6, 7]),
+            (vec![3], vec![9]),
+        ];
+        let text = discrete_corpus_to_string(&corpus);
+        let back = discrete_corpus_from_string(&text).unwrap();
+        assert_eq!(back, corpus);
+    }
+
+    #[test]
+    fn corpus_parsing_errors() {
+        assert!(discrete_corpus_from_string("0:1 23").is_err());
+        assert!(discrete_corpus_from_string("a:1").is_err());
+        assert!(discrete_corpus_from_string("1:b").is_err());
+        assert_eq!(discrete_corpus_from_string("\n\n").unwrap().len(), 0);
+    }
+}

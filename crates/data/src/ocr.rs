@@ -1,0 +1,558 @@
+//! Synthetic handwriting dataset for supervised OCR.
+//!
+//! The paper uses the MIT/Kassel handwriting set processed by Taskar et al.:
+//! 6877 words, first capital letter removed, remaining lowercase letters
+//! rasterized to 16×8 binary images. That dataset is not redistributable
+//! here, so this module generates a synthetic equivalent that preserves the
+//! properties the dHMM experiment exercises:
+//!
+//! * 26 letter classes, each with a fixed 16×8 prototype glyph (a small
+//!   pixel font defined below), so letters such as `m`/`n` and `i`/`l` are
+//!   genuinely confusable under noise,
+//! * per-sample distortions (pixel flips and small shifts) playing the role
+//!   of different writers' handwriting,
+//! * words sampled from an embedded English word list (lengths 1–14), so the
+//!   letter-transition matrix is skewed exactly as highlighted in Table 3
+//!   ('m' frequently followed by 'a'/'b'/'e', 'q' almost always by 'u', …).
+
+use crate::corpus::LabeledCorpus;
+use dhmm_prob::Zipf;
+use rand::Rng;
+
+/// Number of letter classes (lowercase a–z).
+pub const NUM_LETTERS: usize = 26;
+/// Glyph height in pixels.
+pub const GLYPH_ROWS: usize = 16;
+/// Glyph width in pixels.
+pub const GLYPH_COLS: usize = 8;
+/// Flattened glyph dimensionality (16 × 8 = 128), matching the paper.
+pub const GLYPH_DIM: usize = GLYPH_ROWS * GLYPH_COLS;
+
+/// 8×8 prototype templates for the 26 lowercase letters; `#` marks an "on"
+/// pixel. Each template is stretched vertically ×2 to the 16×8 paper format.
+const TEMPLATES: [&str; NUM_LETTERS] = [
+    // a
+    "........\
+     ..####..\
+     ......#.\
+     ..#####.\
+     .#....#.\
+     .#....#.\
+     ..####.#\
+     ........",
+    // b
+    ".#......\
+     .#......\
+     .#......\
+     .#####..\
+     .#....#.\
+     .#....#.\
+     .#####..\
+     ........",
+    // c
+    "........\
+     ..####..\
+     .#....#.\
+     .#......\
+     .#......\
+     .#....#.\
+     ..####..\
+     ........",
+    // d
+    "......#.\
+     ......#.\
+     ......#.\
+     ..#####.\
+     .#....#.\
+     .#....#.\
+     ..#####.\
+     ........",
+    // e
+    "........\
+     ..####..\
+     .#....#.\
+     .######.\
+     .#......\
+     .#....#.\
+     ..####..\
+     ........",
+    // f
+    "...###..\
+     ..#.....\
+     ..#.....\
+     .#####..\
+     ..#.....\
+     ..#.....\
+     ..#.....\
+     ........",
+    // g
+    "........\
+     ..#####.\
+     .#....#.\
+     .#....#.\
+     ..#####.\
+     ......#.\
+     ..####..\
+     ........",
+    // h
+    ".#......\
+     .#......\
+     .#......\
+     .#####..\
+     .#....#.\
+     .#....#.\
+     .#....#.\
+     ........",
+    // i
+    "........\
+     ...#....\
+     ........\
+     ...#....\
+     ...#....\
+     ...#....\
+     ...##...\
+     ........",
+    // j
+    ".....#..\
+     ........\
+     .....#..\
+     .....#..\
+     .....#..\
+     .#...#..\
+     ..###...\
+     ........",
+    // k
+    ".#......\
+     .#......\
+     .#...#..\
+     .#..#...\
+     .###....\
+     .#..#...\
+     .#...#..\
+     ........",
+    // l
+    "...#....\
+     ...#....\
+     ...#....\
+     ...#....\
+     ...#....\
+     ...#....\
+     ...##...\
+     ........",
+    // m
+    "........\
+     .##.##..\
+     .#.#..#.\
+     .#.#..#.\
+     .#.#..#.\
+     .#.#..#.\
+     .#.#..#.\
+     ........",
+    // n
+    "........\
+     .#.###..\
+     .##...#.\
+     .#....#.\
+     .#....#.\
+     .#....#.\
+     .#....#.\
+     ........",
+    // o
+    "........\
+     ..####..\
+     .#....#.\
+     .#....#.\
+     .#....#.\
+     .#....#.\
+     ..####..\
+     ........",
+    // p
+    "........\
+     .#####..\
+     .#....#.\
+     .#....#.\
+     .#####..\
+     .#......\
+     .#......\
+     ........",
+    // q
+    "........\
+     ..#####.\
+     .#....#.\
+     .#....#.\
+     ..#####.\
+     ......#.\
+     ......#.\
+     ......##",
+    // r
+    "........\
+     .#.###..\
+     .##.....\
+     .#......\
+     .#......\
+     .#......\
+     .#......\
+     ........",
+    // s
+    "........\
+     ..#####.\
+     .#......\
+     ..####..\
+     ......#.\
+     ......#.\
+     .#####..\
+     ........",
+    // t
+    "..#.....\
+     ..#.....\
+     .#####..\
+     ..#.....\
+     ..#.....\
+     ..#...#.\
+     ...###..\
+     ........",
+    // u
+    "........\
+     .#....#.\
+     .#....#.\
+     .#....#.\
+     .#....#.\
+     .#...##.\
+     ..###.#.\
+     ........",
+    // v
+    "........\
+     .#....#.\
+     .#....#.\
+     ..#..#..\
+     ..#..#..\
+     ...##...\
+     ...##...\
+     ........",
+    // w
+    "........\
+     .#.#..#.\
+     .#.#..#.\
+     .#.#..#.\
+     .#.#..#.\
+     .#.#..#.\
+     ..#.##..\
+     ........",
+    // x
+    "........\
+     .#....#.\
+     ..#..#..\
+     ...##...\
+     ...##...\
+     ..#..#..\
+     .#....#.\
+     ........",
+    // y
+    "........\
+     .#....#.\
+     .#....#.\
+     .#....#.\
+     ..#####.\
+     ......#.\
+     ..####..\
+     ........",
+    // z
+    "........\
+     .######.\
+     .....#..\
+     ....#...\
+     ...#....\
+     ..#.....\
+     .######.\
+     ........",
+];
+
+/// An embedded word list (a small sample of common English words of lengths
+/// 1–14). Words are sampled from it with a Zipf distribution, so frequent
+/// short words dominate exactly as in natural text, and the letter-bigram
+/// statistics of English (including the 'm'/'n' transitions highlighted in
+/// Table 3) carry over to the synthetic corpus.
+pub const WORD_LIST: &[&str] = &[
+    "a", "i", "an", "be", "he", "in", "is", "it", "of", "on", "or", "to", "we", "and", "are",
+    "but", "can", "for", "had", "has", "her", "him", "his", "how", "man", "new", "not", "now",
+    "one", "our", "out", "she", "the", "was", "who", "you", "also", "back", "been", "come",
+    "each", "from", "good", "have", "here", "into", "just", "know", "like", "long", "look",
+    "make", "many", "more", "most", "much", "must", "name", "only", "over", "said", "same",
+    "some", "take", "than", "that", "them", "then", "they", "this", "time", "very", "want",
+    "well", "went", "were", "what", "when", "will", "with", "word", "work", "year", "about",
+    "after", "again", "black", "bring", "could", "every", "first", "found", "great", "house",
+    "large", "learn", "never", "other", "place", "right", "small", "sound", "still", "their",
+    "there", "these", "thing", "think", "three", "water", "where", "which", "world", "would",
+    "embraces", "commanding", "volcanic", "different", "important", "following",
+    "understanding", "questions", "interesting", "development", "considerable",
+];
+
+/// Configuration of the synthetic OCR dataset generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcrConfig {
+    /// Number of handwritten words (the paper's dataset has 6877).
+    pub num_words: usize,
+    /// Probability of flipping each pixel (handwriting noise).
+    pub pixel_noise: f64,
+    /// Maximum absolute vertical/horizontal shift of a glyph, in pixels.
+    pub max_shift: usize,
+    /// Zipf exponent for sampling words from the embedded word list.
+    pub word_zipf_exponent: f64,
+}
+
+impl Default for OcrConfig {
+    fn default() -> Self {
+        Self {
+            num_words: 6877,
+            pixel_noise: 0.08,
+            max_shift: 1,
+            word_zipf_exponent: 1.0,
+        }
+    }
+}
+
+impl OcrConfig {
+    /// A reduced dataset for fast tests and benches.
+    pub fn small() -> Self {
+        Self {
+            num_words: 400,
+            ..Self::default()
+        }
+    }
+}
+
+/// The synthetic OCR dataset.
+#[derive(Debug, Clone)]
+pub struct OcrDataset {
+    /// Labeled sequences: letter ids (0 = 'a') and 128-dimensional binary
+    /// pixel vectors.
+    pub corpus: LabeledCorpus<Vec<bool>>,
+    /// The source word of each sequence.
+    pub words: Vec<String>,
+}
+
+/// Returns the clean 16×8 prototype glyph of a letter (0 = 'a'),
+/// row-major flattened to 128 booleans.
+pub fn prototype_glyph(letter: usize) -> Vec<bool> {
+    let template: Vec<char> = TEMPLATES[letter.min(NUM_LETTERS - 1)]
+        .chars()
+        .filter(|c| *c == '#' || *c == '.')
+        .collect();
+    debug_assert_eq!(template.len(), 64, "template must be 8x8");
+    let mut glyph = vec![false; GLYPH_DIM];
+    for row in 0..GLYPH_ROWS {
+        let src_row = row / 2; // vertical ×2 stretch
+        for col in 0..GLYPH_COLS {
+            glyph[row * GLYPH_COLS + col] = template[src_row * 8 + col] == '#';
+        }
+    }
+    glyph
+}
+
+/// Renders a noisy sample of a letter: the prototype glyph shifted by up to
+/// `max_shift` pixels in each direction and corrupted by independent pixel
+/// flips with probability `pixel_noise`.
+pub fn render_letter<R: Rng + ?Sized>(
+    letter: usize,
+    pixel_noise: f64,
+    max_shift: usize,
+    rng: &mut R,
+) -> Vec<bool> {
+    let proto = prototype_glyph(letter);
+    let shift_range = max_shift as i32;
+    let dr = if shift_range > 0 { rng.gen_range(-shift_range..=shift_range) } else { 0 };
+    let dc = if shift_range > 0 { rng.gen_range(-shift_range..=shift_range) } else { 0 };
+    let noise = pixel_noise.clamp(0.0, 0.5);
+    let mut out = vec![false; GLYPH_DIM];
+    for row in 0..GLYPH_ROWS as i32 {
+        for col in 0..GLYPH_COLS as i32 {
+            let src_r = row - dr;
+            let src_c = col - dc;
+            let mut pixel = if (0..GLYPH_ROWS as i32).contains(&src_r)
+                && (0..GLYPH_COLS as i32).contains(&src_c)
+            {
+                proto[(src_r as usize) * GLYPH_COLS + src_c as usize]
+            } else {
+                false
+            };
+            if rng.gen::<f64>() < noise {
+                pixel = !pixel;
+            }
+            out[(row as usize) * GLYPH_COLS + col as usize] = pixel;
+        }
+    }
+    out
+}
+
+/// Maps an ASCII lowercase letter to its class id; non-letters map to `None`.
+pub fn letter_index(c: char) -> Option<usize> {
+    if c.is_ascii_lowercase() {
+        Some((c as u8 - b'a') as usize)
+    } else {
+        None
+    }
+}
+
+/// Generates the synthetic OCR dataset.
+pub fn generate<R: Rng + ?Sized>(config: &OcrConfig, rng: &mut R) -> OcrDataset {
+    // Keep only words consisting purely of ASCII lowercase letters and of
+    // length 1–14 (matching the paper's dataset description).
+    let usable: Vec<&str> = WORD_LIST
+        .iter()
+        .copied()
+        .filter(|w| !w.is_empty() && w.len() <= 14 && w.chars().all(|c| c.is_ascii_lowercase()))
+        .collect();
+    let zipf = Zipf::new(usable.len(), config.word_zipf_exponent.max(0.1))
+        .expect("word list is non-empty");
+
+    let mut sequences = Vec::with_capacity(config.num_words.max(1));
+    let mut words = Vec::with_capacity(config.num_words.max(1));
+    for _ in 0..config.num_words.max(1) {
+        let word = usable[zipf.sample_index(rng)];
+        let mut labels = Vec::with_capacity(word.len());
+        let mut images = Vec::with_capacity(word.len());
+        for c in word.chars() {
+            let letter = letter_index(c).expect("filtered to lowercase ASCII");
+            labels.push(letter);
+            images.push(render_letter(letter, config.pixel_noise, config.max_shift, rng));
+        }
+        sequences.push((labels, images));
+        words.push(word.to_string());
+    }
+    OcrDataset {
+        corpus: LabeledCorpus::new(sequences, NUM_LETTERS),
+        words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hamming(a: &[bool], b: &[bool]) -> usize {
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+
+    #[test]
+    fn templates_are_well_formed() {
+        for (i, t) in TEMPLATES.iter().enumerate() {
+            let cells = t.chars().filter(|c| *c == '#' || *c == '.').count();
+            assert_eq!(cells, 64, "template {i} has {cells} cells");
+            let on = t.chars().filter(|c| *c == '#').count();
+            assert!(on >= 6, "template {i} has too few on pixels ({on})");
+        }
+    }
+
+    #[test]
+    fn prototype_glyphs_have_the_paper_dimensions() {
+        for letter in 0..NUM_LETTERS {
+            let g = prototype_glyph(letter);
+            assert_eq!(g.len(), GLYPH_DIM);
+            assert!(g.iter().any(|&p| p), "letter {letter} is blank");
+        }
+        assert_eq!(GLYPH_DIM, 128);
+    }
+
+    #[test]
+    fn distinct_letters_have_distinct_prototypes() {
+        for a in 0..NUM_LETTERS {
+            for b in (a + 1)..NUM_LETTERS {
+                let d = hamming(&prototype_glyph(a), &prototype_glyph(b));
+                assert!(d >= 4, "letters {a} and {b} differ by only {d} pixels");
+            }
+        }
+    }
+
+    #[test]
+    fn confusable_pairs_are_closer_than_random_pairs() {
+        // i/l should be much closer than i/m — the confusability structure the
+        // OCR experiment relies on.
+        let i = letter_index('i').unwrap();
+        let l = letter_index('l').unwrap();
+        let m = letter_index('m').unwrap();
+        let d_il = hamming(&prototype_glyph(i), &prototype_glyph(l));
+        let d_im = hamming(&prototype_glyph(i), &prototype_glyph(m));
+        assert!(d_il < d_im, "i/l distance {d_il} not smaller than i/m {d_im}");
+    }
+
+    #[test]
+    fn rendering_adds_bounded_noise() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let letter = letter_index('e').unwrap();
+        let proto = prototype_glyph(letter);
+        let clean = render_letter(letter, 0.0, 0, &mut rng);
+        assert_eq!(clean, proto);
+        let noisy = render_letter(letter, 0.1, 1, &mut rng);
+        assert_eq!(noisy.len(), GLYPH_DIM);
+        // Noise should change some but not most pixels.
+        let d = hamming(&noisy, &proto);
+        assert!(d > 0 && d < GLYPH_DIM / 2, "distance {d}");
+    }
+
+    #[test]
+    fn letter_index_mapping() {
+        assert_eq!(letter_index('a'), Some(0));
+        assert_eq!(letter_index('z'), Some(25));
+        assert_eq!(letter_index('A'), None);
+        assert_eq!(letter_index('!'), None);
+    }
+
+    #[test]
+    fn generated_dataset_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = generate(&OcrConfig::small(), &mut rng);
+        assert_eq!(data.corpus.len(), 400);
+        assert_eq!(data.words.len(), 400);
+        assert_eq!(data.corpus.num_labels, NUM_LETTERS);
+        for ((labels, images), word) in data.corpus.sequences.iter().zip(&data.words) {
+            assert_eq!(labels.len(), word.len());
+            assert!(word.len() >= 1 && word.len() <= 14);
+            assert!(images.iter().all(|img| img.len() == GLYPH_DIM));
+            for (c, &l) in word.chars().zip(labels) {
+                assert_eq!(letter_index(c), Some(l));
+            }
+        }
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = generate(&OcrConfig { num_words: 1000, ..OcrConfig::default() }, &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for w in &data.words {
+            *counts.entry(w.clone()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let distinct = counts.len();
+        assert!(distinct > 30, "only {distinct} distinct words");
+        assert!(max > 20, "most frequent word appears only {max} times");
+    }
+
+    #[test]
+    fn letter_transitions_reflect_english_bigrams() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = generate(&OcrConfig { num_words: 2000, ..OcrConfig::default() }, &mut rng);
+        // Count transitions out of 't' — 'h' should be the most common
+        // successor given words like "the", "that", "this", "then".
+        let t = letter_index('t').unwrap();
+        let h = letter_index('h').unwrap();
+        let mut from_t = vec![0usize; NUM_LETTERS];
+        for (labels, _) in &data.corpus.sequences {
+            for w in labels.windows(2) {
+                if w[0] == t {
+                    from_t[w[1]] += 1;
+                }
+            }
+        }
+        let best = from_t.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_eq!(best, h, "most common successor of 't' is {best}, expected 'h'");
+    }
+
+    #[test]
+    fn default_config_matches_paper_scale() {
+        assert_eq!(OcrConfig::default().num_words, 6877);
+        assert_eq!(OcrConfig::small().num_words, 400);
+    }
+}

@@ -1,0 +1,451 @@
+//! Synthetic WSJ-like corpus for unsupervised PoS tagging.
+//!
+//! The paper's PoS experiment uses the Penn Treebank WSJ corpus with the 46
+//! gold tags merged down to 15 groups (Table 2), a vocabulary of ≈10K word
+//! types, and 3828 sentences of length 2–250. The WSJ corpus is licensed and
+//! cannot be bundled here, so this module builds a **generative stand-in**
+//! with the statistics the dHMM experiment actually interacts with:
+//!
+//! * the 15 merged tags with the aggregate frequencies of Table 2,
+//! * a structured tag-transition matrix in which closed-class tags
+//!   (determiners, prepositions, modals, …) have sharply distinct successor
+//!   profiles while open-class tags are broader — the diversity structure
+//!   Figs. 7–8 measure,
+//! * per-tag vocabularies: open-class tags emit from large Zipf-distributed
+//!   blocks of word types, closed-class tags from small ones, reproducing
+//!   the skewed long-tail word/tag distribution of Fig. 9,
+//! * sentence lengths drawn from a right-skewed distribution clipped to
+//!   `[2, 250]`.
+
+use crate::corpus::LabeledCorpus;
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::generate::generate_sequences_with_lengths;
+use dhmm_hmm::model::Hmm;
+use dhmm_linalg::Matrix;
+use dhmm_prob::{Gamma, Zipf};
+use rand::Rng;
+
+/// Number of merged PoS tags (Table 2 of the paper).
+pub const NUM_TAGS: usize = 15;
+
+/// Human-readable names of the 15 merged tags, in index order.
+pub const TAG_NAMES: [&str; NUM_TAGS] = [
+    "NOUN",  // 1: NNP, NNPS, NNS, NN, SYM
+    "PUNCT", // 2: , -- " : . $ ( ) LS #
+    "CD",    // 3: cardinal numbers
+    "ADJ",   // 4: JJS, JJ, JJR
+    "MD",    // 5: modal
+    "VERB",  // 6: VBZ, VB, VBG, VBD, VBN, VBP
+    "DT",    // 7: DT, PDT
+    "IN",    // 8: IN, CC, TO
+    "FW",    // 9: foreign word
+    "ADV",   // 10: WRB, RB, RBS, RBR
+    "UH",    // 11: interjection
+    "PRON",  // 12: WP, WP$, PRP, PRP$
+    "POS",   // 13: possessive ending
+    "EX",    // 14: existential there
+    "RP",    // 15: particle
+];
+
+/// Aggregate gold-tag frequencies of the merged tag set (summed from the
+/// per-tag counts in Table 2 of the paper). These drive both the stationary
+/// behaviour of the synthetic tag chain and the Table-2 reproduction.
+pub const TAG_FREQUENCIES: [u32; NUM_TAGS] = [
+    28_866, // NOUN
+    11_727, // PUNCT
+    3_546,  // CD
+    6_397,  // ADJ
+    927,    // MD
+    12_637, // VERB
+    8_192,  // DT
+    14_403, // IN
+    4,      // FW
+    3_178,  // ADV
+    3,      // UH
+    2_737,  // PRON
+    824,    // POS
+    88,     // EX
+    107,    // RP
+];
+
+/// Configuration of the synthetic corpus generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosConfig {
+    /// Number of sentences (the paper uses all 3828 WSJ training sentences).
+    pub num_sentences: usize,
+    /// Vocabulary size (the paper reports ≈10K word types).
+    pub vocab_size: usize,
+    /// Minimum sentence length (2 in the paper).
+    pub min_length: usize,
+    /// Maximum sentence length (250 in the paper).
+    pub max_length: usize,
+}
+
+impl Default for PosConfig {
+    fn default() -> Self {
+        Self {
+            num_sentences: 3828,
+            vocab_size: 10_000,
+            min_length: 2,
+            max_length: 250,
+        }
+    }
+}
+
+/// A smaller configuration for fast tests and benches.
+impl PosConfig {
+    /// A reduced corpus (a few hundred sentences, small vocabulary) that
+    /// keeps the qualitative statistics but runs in milliseconds.
+    pub fn small() -> Self {
+        Self {
+            num_sentences: 400,
+            vocab_size: 1_000,
+            min_length: 2,
+            max_length: 40,
+        }
+    }
+}
+
+/// The synthetic PoS corpus.
+#[derive(Debug, Clone)]
+pub struct PosCorpus {
+    /// Labeled sentences: gold tag ids and word ids.
+    pub corpus: LabeledCorpus<usize>,
+    /// Vocabulary size used by the generator.
+    pub vocab_size: usize,
+    /// The generative tag-chain model the corpus was sampled from (the
+    /// "ground truth" of Fig. 9).
+    pub ground_truth: Hmm<DiscreteEmission>,
+}
+
+impl PosCorpus {
+    /// Tag names, index-aligned with the label ids in the corpus.
+    pub fn tag_names(&self) -> &'static [&'static str; NUM_TAGS] {
+        &TAG_NAMES
+    }
+}
+
+/// Builds the ground-truth tag-transition matrix. Rows are constructed from
+/// a frequency-proportional base (so the chain's stationary distribution
+/// roughly matches [`TAG_FREQUENCIES`]) plus strong syntactic preferences for
+/// the closed-class tags (DT→NOUN, MD→VERB, ADJ→NOUN, POS→NOUN, …).
+pub fn ground_truth_transition() -> Matrix {
+    let total: f64 = TAG_FREQUENCIES.iter().map(|&c| c as f64).sum();
+    let base: Vec<f64> = TAG_FREQUENCIES.iter().map(|&c| c as f64 / total).collect();
+
+    // (from, to, extra weight) syntactic boosts, expressed on top of the base.
+    // Indices follow TAG_NAMES order.
+    const NOUN: usize = 0;
+    const PUNCT: usize = 1;
+    const CD: usize = 2;
+    const ADJ: usize = 3;
+    const MD: usize = 4;
+    const VERB: usize = 5;
+    const DT: usize = 6;
+    const IN: usize = 7;
+    const FW: usize = 8;
+    const ADV: usize = 9;
+    const UH: usize = 10;
+    const PRON: usize = 11;
+    const POS: usize = 12;
+    const EX: usize = 13;
+    const RP: usize = 14;
+    let boosts: &[(usize, usize, f64)] = &[
+        (DT, NOUN, 1.6),
+        (DT, ADJ, 0.6),
+        (ADJ, NOUN, 1.5),
+        (ADJ, ADJ, 0.3),
+        (NOUN, VERB, 0.5),
+        (NOUN, PUNCT, 0.5),
+        (NOUN, IN, 0.5),
+        (NOUN, NOUN, 0.6),
+        (NOUN, POS, 0.15),
+        (MD, VERB, 2.2),
+        (MD, ADV, 0.3),
+        (VERB, DT, 0.7),
+        (VERB, IN, 0.5),
+        (VERB, NOUN, 0.4),
+        (VERB, ADV, 0.3),
+        (VERB, VERB, 0.3),
+        (VERB, RP, 0.1),
+        (IN, DT, 1.0),
+        (IN, NOUN, 0.9),
+        (IN, CD, 0.3),
+        (IN, PRON, 0.25),
+        (PRON, VERB, 1.6),
+        (PRON, MD, 0.3),
+        (POS, NOUN, 2.0),
+        (POS, ADJ, 0.4),
+        (ADV, VERB, 0.8),
+        (ADV, ADJ, 0.5),
+        (ADV, PUNCT, 0.3),
+        (CD, NOUN, 1.3),
+        (CD, PUNCT, 0.5),
+        (CD, CD, 0.3),
+        (PUNCT, NOUN, 0.6),
+        (PUNCT, DT, 0.5),
+        (PUNCT, IN, 0.4),
+        (PUNCT, PRON, 0.3),
+        (PUNCT, CD, 0.25),
+        (EX, VERB, 2.5),
+        (RP, DT, 1.0),
+        (RP, NOUN, 0.8),
+        (UH, PUNCT, 1.5),
+        (UH, PRON, 0.8),
+        (FW, NOUN, 1.0),
+        (FW, PUNCT, 0.8),
+    ];
+
+    let mut a = Matrix::from_fn(NUM_TAGS, NUM_TAGS, |_, j| 0.35 * base[j]);
+    for &(from, to, w) in boosts {
+        a[(from, to)] += w;
+    }
+    a.normalize_rows();
+    a
+}
+
+/// Builds the ground-truth initial tag distribution: sentence-initial
+/// positions favour determiners, nouns, pronouns, prepositions and adverbs.
+pub fn ground_truth_initial() -> Vec<f64> {
+    let mut pi = vec![0.01; NUM_TAGS];
+    pi[0] = 0.26; // NOUN
+    pi[6] = 0.28; // DT
+    pi[7] = 0.14; // IN
+    pi[11] = 0.12; // PRON
+    pi[9] = 0.06; // ADV
+    pi[2] = 0.03; // CD
+    pi[3] = 0.02; // ADJ
+    let s: f64 = pi.iter().sum();
+    pi.iter_mut().for_each(|p| *p /= s);
+    pi
+}
+
+/// Builds the per-tag emission table over a vocabulary of `vocab_size` word
+/// types. Each tag owns a block of word ids sized roughly proportionally to
+/// its open-class-ness, with a Zipf distribution inside the block; a small
+/// probability of emitting from the shared "function word" block models tag
+/// ambiguity.
+pub fn ground_truth_emission(vocab_size: usize) -> DiscreteEmission {
+    let vocab_size = vocab_size.max(NUM_TAGS * 4);
+    // Relative block sizes per tag (open-class tags get large vocabularies).
+    let weights: [f64; NUM_TAGS] = [
+        0.42, // NOUN
+        0.003, // PUNCT
+        0.06, // CD
+        0.18, // ADJ
+        0.002, // MD
+        0.24, // VERB
+        0.004, // DT
+        0.012, // IN
+        0.004, // FW
+        0.04, // ADV
+        0.002, // UH
+        0.006, // PRON
+        0.001, // POS
+        0.001, // EX
+        0.005, // RP
+    ];
+    let total_w: f64 = weights.iter().sum();
+    // Assign contiguous blocks.
+    let mut starts = [0usize; NUM_TAGS];
+    let mut sizes = [0usize; NUM_TAGS];
+    let mut cursor = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let mut size = ((w / total_w) * vocab_size as f64).round() as usize;
+        size = size.max(2);
+        if cursor + size > vocab_size {
+            size = vocab_size.saturating_sub(cursor).max(1);
+        }
+        starts[i] = cursor.min(vocab_size - 1);
+        sizes[i] = size.max(1);
+        cursor = (cursor + size).min(vocab_size);
+    }
+
+    let mut b = Matrix::zeros(NUM_TAGS, vocab_size);
+    for tag in 0..NUM_TAGS {
+        let zipf = Zipf::new(sizes[tag], 1.05).expect("valid Zipf parameters");
+        for r in 0..sizes[tag] {
+            let word = (starts[tag] + r).min(vocab_size - 1);
+            b[(tag, word)] += 0.97 * zipf.pmf(r + 1);
+        }
+        // Small ambiguous mass spread over the first (function-word) block so
+        // that tags share some word types, as in real corpora.
+        let shared = sizes[1].max(4).min(vocab_size);
+        for word in 0..shared {
+            b[(tag, word)] += 0.03 / shared as f64;
+        }
+    }
+    b.normalize_rows();
+    DiscreteEmission::new(b).expect("constructed table is row stochastic")
+}
+
+/// Builds the full ground-truth generative model.
+pub fn ground_truth_model(vocab_size: usize) -> Hmm<DiscreteEmission> {
+    Hmm::new(
+        ground_truth_initial(),
+        ground_truth_transition(),
+        ground_truth_emission(vocab_size),
+    )
+    .expect("ground-truth parameters are valid")
+}
+
+/// Generates the synthetic corpus.
+pub fn generate<R: Rng + ?Sized>(config: &PosConfig, rng: &mut R) -> PosCorpus {
+    let vocab_size = config.vocab_size.max(NUM_TAGS * 4);
+    let ground_truth = ground_truth_model(vocab_size);
+    let min_len = config.min_length.max(1);
+    let max_len = config.max_length.max(min_len);
+    // Right-skewed sentence lengths: 2 + Gamma(2, 11) gives a mean ≈ 24 with
+    // a long tail, clipped to the paper's [2, 250] range.
+    let length_dist = Gamma::new(2.0, 11.0).expect("valid Gamma parameters");
+    let sequences = generate_sequences_with_lengths(
+        &ground_truth,
+        config.num_sentences.max(1),
+        rng,
+        |r| {
+            let raw = min_len as f64 + length_dist.sample(r);
+            (raw.round() as usize).clamp(min_len, max_len)
+        },
+    )
+    .expect("generation from a valid model cannot fail");
+    let corpus = LabeledCorpus::new(
+        sequences
+            .into_iter()
+            .map(|s| (s.states, s.observations))
+            .collect(),
+        NUM_TAGS,
+    );
+    PosCorpus {
+        corpus,
+        vocab_size,
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhmm_prob::divergence::row_bhattacharyya_profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tag_metadata_is_consistent() {
+        assert_eq!(TAG_NAMES.len(), NUM_TAGS);
+        assert_eq!(TAG_FREQUENCIES.len(), NUM_TAGS);
+        // NOUN is the most frequent tag, UH the least (3 occurrences).
+        assert_eq!(TAG_NAMES[0], "NOUN");
+        assert_eq!(TAG_FREQUENCIES.iter().max().unwrap(), &TAG_FREQUENCIES[0]);
+        assert_eq!(TAG_FREQUENCIES[10], 3);
+    }
+
+    #[test]
+    fn ground_truth_parameters_are_valid() {
+        let a = ground_truth_transition();
+        assert!(a.is_row_stochastic(1e-9));
+        assert_eq!(a.shape(), (NUM_TAGS, NUM_TAGS));
+        let pi = ground_truth_initial();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let b = ground_truth_emission(2_000);
+        assert!(b.probs().is_row_stochastic(1e-8));
+        assert_eq!(b.vocab_size(), 2_000);
+    }
+
+    #[test]
+    fn syntactic_structure_is_present() {
+        let a = ground_truth_transition();
+        // DT is overwhelmingly followed by NOUN or ADJ.
+        assert!(a[(6, 0)] + a[(6, 3)] > 0.6);
+        // MD is followed by VERB.
+        let verb_after_md = a[(4, 5)];
+        assert!(verb_after_md > 0.5);
+        // Transition rows are diverse: NOUN's successor profile differs from
+        // rare closed-class tags much more than from other open classes.
+        let profile = row_bhattacharyya_profile(&a, 0);
+        assert!(profile.iter().cloned().fold(0.0_f64, f64::max) > 0.2);
+    }
+
+    #[test]
+    fn small_corpus_generation_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = generate(&PosConfig::small(), &mut rng);
+        assert_eq!(data.corpus.len(), 400);
+        assert_eq!(data.corpus.num_labels, NUM_TAGS);
+        assert_eq!(data.vocab_size, 1_000);
+        for (tags, words) in &data.corpus.sequences {
+            assert!(tags.len() >= 2 && tags.len() <= 40);
+            assert!(words.iter().all(|&w| w < 1_000));
+            assert!(tags.iter().all(|&t| t < NUM_TAGS));
+        }
+    }
+
+    #[test]
+    fn tag_frequencies_are_skewed_like_the_paper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = generate(&PosConfig::small(), &mut rng);
+        let hist = data.corpus.label_histogram();
+        // NOUN should be the most frequent tag; the rare tags (FW, UH) should
+        // be near-absent, reproducing the "25% of tags cover ~85% of words"
+        // skew the paper reports.
+        let noun = hist[0];
+        assert_eq!(hist.iter().max().unwrap(), &noun);
+        let total: usize = hist.iter().sum();
+        let mut sorted = hist.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: usize = sorted.iter().take(4).sum();
+        assert!(
+            top4 as f64 / total as f64 > 0.6,
+            "top-4 tags cover only {:.2}",
+            top4 as f64 / total as f64
+        );
+        assert!(hist[8] < total / 100); // FW is rare
+        assert!(hist[10] < total / 100); // UH is rare
+    }
+
+    #[test]
+    fn word_frequencies_have_a_long_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = generate(&PosConfig::small(), &mut rng);
+        let mut word_counts = vec![0usize; data.vocab_size];
+        for (_, words) in &data.corpus.sequences {
+            for &w in words {
+                word_counts[w] += 1;
+            }
+        }
+        let used_types = word_counts.iter().filter(|&&c| c > 0).count();
+        let total: usize = word_counts.iter().sum();
+        let mut sorted = word_counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top_100: usize = sorted.iter().take(100).sum();
+        assert!(used_types > 200, "only {used_types} word types used");
+        assert!(
+            top_100 as f64 / total as f64 > 0.4,
+            "top-100 words cover only {:.2}",
+            top_100 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn default_config_matches_paper_scale() {
+        let c = PosConfig::default();
+        assert_eq!(c.num_sentences, 3828);
+        assert_eq!(c.vocab_size, 10_000);
+        assert_eq!(c.min_length, 2);
+        assert_eq!(c.max_length, 250);
+    }
+
+    #[test]
+    fn tag_names_accessor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = generate(
+            &PosConfig {
+                num_sentences: 5,
+                vocab_size: 200,
+                min_length: 2,
+                max_length: 10,
+            },
+            &mut rng,
+        );
+        assert_eq!(data.tag_names()[6], "DT");
+    }
+}

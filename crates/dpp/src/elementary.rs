@@ -1,0 +1,98 @@
+//! Elementary symmetric polynomials of a spectrum.
+//!
+//! The k-DPP of Eq. (1) in the paper normalizes `det(K_Y)` by
+//! `e_k(λ_1, λ_2, ...)`, the k-th elementary symmetric polynomial of the
+//! kernel's eigenvalues. These polynomials are computed with the standard
+//! `O(n·k)` dynamic-programming recurrence (Kulesza & Taskar, Algorithm 7).
+
+/// Computes the elementary symmetric polynomials `e_0, e_1, ..., e_max_k` of
+/// the given values. `e_0` is always 1.
+///
+/// The recurrence is `e_k^{(n)} = e_k^{(n-1)} + λ_n · e_{k-1}^{(n-1)}` where
+/// `e_k^{(n)}` uses only the first `n` values.
+pub fn elementary_symmetric(values: &[f64], max_k: usize) -> Vec<f64> {
+    let mut e = vec![0.0; max_k + 1];
+    e[0] = 1.0;
+    for &lambda in values {
+        // Iterate k downward so each value is used at most once per e_k.
+        for k in (1..=max_k).rev() {
+            e[k] += lambda * e[k - 1];
+        }
+    }
+    e
+}
+
+/// The k-DPP normalization constant `e_k(λ)` for a spectrum `λ`.
+/// Returns 0.0 if `k` exceeds the number of eigenvalues.
+pub fn k_dpp_normalizer(eigenvalues: &[f64], k: usize) -> f64 {
+    if k > eigenvalues.len() {
+        return 0.0;
+    }
+    elementary_symmetric(eigenvalues, k)[k]
+}
+
+/// Log of the full-DPP normalization constant `Π (1 + λ_n)`.
+pub fn dpp_log_normalizer(eigenvalues: &[f64]) -> f64 {
+    eigenvalues.iter().map(|&l| (1.0 + l.max(0.0)).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_cases() {
+        // e_0 = 1, e_1 = a+b+c, e_2 = ab+ac+bc, e_3 = abc
+        let e = elementary_symmetric(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(e[0], 1.0);
+        assert_eq!(e[1], 6.0);
+        assert_eq!(e[2], 11.0);
+        assert_eq!(e[3], 6.0);
+    }
+
+    #[test]
+    fn truncation_at_max_k() {
+        let e = elementary_symmetric(&[1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[1], 10.0);
+        assert_eq!(e[2], 35.0); // 1·2+1·3+1·4+2·3+2·4+3·4
+    }
+
+    #[test]
+    fn empty_spectrum() {
+        let e = elementary_symmetric(&[], 3);
+        assert_eq!(e, vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(k_dpp_normalizer(&[], 1), 0.0);
+        assert_eq!(dpp_log_normalizer(&[]), 0.0);
+    }
+
+    #[test]
+    fn k_dpp_normalizer_matches_polynomial() {
+        let lambda = [0.5, 1.5, 2.0, 0.1];
+        assert_eq!(k_dpp_normalizer(&lambda, 0), 1.0);
+        let e = elementary_symmetric(&lambda, 4);
+        for k in 0..=4 {
+            assert!((k_dpp_normalizer(&lambda, k) - e[k]).abs() < 1e-12);
+        }
+        assert_eq!(k_dpp_normalizer(&lambda, 5), 0.0);
+    }
+
+    #[test]
+    fn dpp_normalizer_is_product_of_one_plus_lambda() {
+        let lambda = [0.5, 2.0];
+        assert!((dpp_log_normalizer(&lambda) - (1.5_f64 * 3.0).ln()).abs() < 1e-12);
+        // Negative eigenvalues (numerical noise) are clamped.
+        assert!(dpp_log_normalizer(&[-0.1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_spectrum_gives_binomials() {
+        // All eigenvalues 1: e_k(1,...,1) = C(n, k).
+        let ones = vec![1.0; 5];
+        let e = elementary_symmetric(&ones, 5);
+        assert_eq!(e[1], 5.0);
+        assert_eq!(e[2], 10.0);
+        assert_eq!(e[3], 10.0);
+        assert_eq!(e[5], 1.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The probability product kernel and the DPP kernel matrix `K̃_A`.
+//!
+//! For two discrete distributions `P(·|A_i)` and `P(·|A_j)` parameterized by
+//! the rows `A_i`, `A_j` of a transition matrix, the probability product
+//! kernel (Jebara, Kondor & Howard, 2004) is
+//!
+//! ```text
+//! K(A_i, A_j; ρ) = Σ_x P(x|A_i)^ρ · P(x|A_j)^ρ = Σ_x (A_ix · A_jx)^ρ
+//! ```
+//!
+//! and the normalized correlation kernel (Eq. 2 / Eq. 5 of the dHMM paper) is
+//!
+//! ```text
+//! K̃(A_i, A_j; ρ) = K(A_i, A_j) / sqrt(K(A_i, A_i) · K(A_j, A_j))
+//! ```
+//!
+//! With `ρ = 0.5` (the value used throughout the paper) the kernel is the
+//! Bhattacharyya coefficient between the two rows, and `K̃_A` is symmetric
+//! positive semi-definite with unit diagonal; `det(K̃_A)` is 1 when the rows
+//! are mutually orthogonal (maximally diverse) and 0 when any two rows are
+//! identical.
+
+use crate::error::DppError;
+use dhmm_linalg::Matrix;
+
+/// The (normalized) probability product kernel with exponent `ρ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProductKernel {
+    rho: f64,
+}
+
+impl ProductKernel {
+    /// The paper's default exponent, `ρ = 0.5` (Bhattacharyya kernel).
+    pub const DEFAULT_RHO: f64 = 0.5;
+
+    /// Creates a product kernel with exponent `ρ > 0`.
+    pub fn new(rho: f64) -> Result<Self, DppError> {
+        if !(rho > 0.0) || !rho.is_finite() {
+            return Err(DppError::InvalidParameter {
+                parameter: "rho",
+                value: rho,
+            });
+        }
+        Ok(Self { rho })
+    }
+
+    /// The Bhattacharyya kernel (`ρ = 0.5`) used by the paper.
+    pub fn bhattacharyya() -> Self {
+        Self { rho: Self::DEFAULT_RHO }
+    }
+
+    /// The exponent `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Unnormalized kernel `K(p, q; ρ) = Σ_x (p_x q_x)^ρ`.
+    ///
+    /// Negative entries are clamped to zero (they can appear transiently in
+    /// gradient updates before projection).
+    pub fn unnormalized(&self, p: &[f64], q: &[f64]) -> Result<f64, DppError> {
+        if p.len() != q.len() {
+            return Err(DppError::InvalidInput {
+                reason: format!("kernel arguments have lengths {} and {}", p.len(), q.len()),
+            });
+        }
+        if p.is_empty() {
+            return Err(DppError::InvalidInput {
+                reason: "kernel arguments must be non-empty".into(),
+            });
+        }
+        Ok(p.iter()
+            .zip(q)
+            .map(|(&a, &b)| (a.max(0.0) * b.max(0.0)).powf(self.rho))
+            .sum())
+    }
+
+    /// Normalized correlation kernel `K̃(p, q; ρ)` (Eq. 5). Returns 0 when
+    /// either argument has zero self-similarity (all-zero row).
+    pub fn normalized(&self, p: &[f64], q: &[f64]) -> Result<f64, DppError> {
+        let kpq = self.unnormalized(p, q)?;
+        let kpp = self.unnormalized(p, p)?;
+        let kqq = self.unnormalized(q, q)?;
+        if kpp <= 0.0 || kqq <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok(kpq / (kpp.sqrt() * kqq.sqrt()))
+    }
+
+    /// Builds the `k × k` DPP kernel matrix `K̃_A` whose `(i, j)` entry is the
+    /// normalized kernel between rows `i` and `j` of `a`.
+    pub fn kernel_matrix(&self, a: &Matrix) -> Result<Matrix, DppError> {
+        let k = a.rows();
+        if k == 0 || a.cols() == 0 {
+            return Err(DppError::InvalidInput {
+                reason: "kernel matrix requires a non-empty input matrix".into(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(DppError::InvalidInput {
+                reason: "input matrix contains non-finite entries".into(),
+            });
+        }
+        // Precompute self-similarities once.
+        let self_sim: Vec<f64> = (0..k)
+            .map(|i| self.unnormalized(a.row(i), a.row(i)))
+            .collect::<Result<_, _>>()?;
+        let mut kernel = Matrix::zeros(k, k);
+        for i in 0..k {
+            kernel[(i, i)] = 1.0;
+            for j in (i + 1)..k {
+                let denom = (self_sim[i] * self_sim[j]).sqrt();
+                let v = if denom > 0.0 {
+                    self.unnormalized(a.row(i), a.row(j))? / denom
+                } else {
+                    0.0
+                };
+                kernel[(i, j)] = v;
+                kernel[(j, i)] = v;
+            }
+        }
+        Ok(kernel)
+    }
+}
+
+impl Default for ProductKernel {
+    fn default() -> Self {
+        Self::bhattacharyya()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhmm_prob::bhattacharyya_coefficient;
+
+    #[test]
+    fn construction_validates_rho() {
+        assert!(ProductKernel::new(0.5).is_ok());
+        assert!(ProductKernel::new(0.0).is_err());
+        assert!(ProductKernel::new(-1.0).is_err());
+        assert!(ProductKernel::new(f64::NAN).is_err());
+        assert_eq!(ProductKernel::default().rho(), 0.5);
+        assert_eq!(ProductKernel::bhattacharyya().rho(), 0.5);
+    }
+
+    #[test]
+    fn rho_half_matches_bhattacharyya_coefficient() {
+        let k = ProductKernel::bhattacharyya();
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.6, 0.3, 0.1];
+        let expected = bhattacharyya_coefficient(&p, &q).unwrap();
+        assert!((k.unnormalized(&p, &q).unwrap() - expected).abs() < 1e-12);
+        // Rows on the simplex have unit self-similarity at rho = 0.5, so the
+        // normalized kernel equals the unnormalized one.
+        assert!((k.normalized(&p, &q).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_is_symmetric_and_bounded() {
+        let k = ProductKernel::new(0.7).unwrap();
+        let p = [0.1, 0.9];
+        let q = [0.8, 0.2];
+        let kpq = k.normalized(&p, &q).unwrap();
+        let kqp = k.normalized(&q, &p).unwrap();
+        assert!((kpq - kqp).abs() < 1e-12);
+        assert!(kpq > 0.0 && kpq <= 1.0 + 1e-12);
+        assert!((k.normalized(&p, &p).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let k = ProductKernel::bhattacharyya();
+        assert!(k.unnormalized(&[0.5], &[0.5, 0.5]).is_err());
+        assert!(k.unnormalized(&[], &[]).is_err());
+        assert!(k.kernel_matrix(&Matrix::zeros(0, 0)).is_err());
+        let mut bad = Matrix::filled(2, 2, 0.5);
+        bad[(0, 0)] = f64::NAN;
+        assert!(k.kernel_matrix(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_rows_yield_zero_similarity() {
+        let k = ProductKernel::bhattacharyya();
+        assert_eq!(k.normalized(&[0.0, 0.0], &[0.5, 0.5]).unwrap(), 0.0);
+        // Negative entries are clamped rather than propagated.
+        assert!(k.unnormalized(&[-0.5, 1.0], &[0.5, 0.5]).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn kernel_matrix_of_identical_rows_is_all_ones() {
+        let a = Matrix::from_rows(&[vec![0.3, 0.7], vec![0.3, 0.7], vec![0.3, 0.7]]).unwrap();
+        let km = ProductKernel::bhattacharyya().kernel_matrix(&a).unwrap();
+        assert!(km.approx_eq(&Matrix::filled(3, 3, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn kernel_matrix_of_orthogonal_rows_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let km = ProductKernel::bhattacharyya().kernel_matrix(&a).unwrap();
+        assert!(km.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn kernel_matrix_has_unit_diagonal_and_symmetry() {
+        let a = Matrix::from_rows(&[
+            vec![0.5, 0.3, 0.2],
+            vec![0.1, 0.1, 0.8],
+            vec![0.4, 0.4, 0.2],
+            vec![0.25, 0.25, 0.5],
+        ])
+        .unwrap();
+        let km = ProductKernel::bhattacharyya().kernel_matrix(&a).unwrap();
+        assert!(km.is_symmetric(1e-12));
+        for i in 0..4 {
+            assert!((km[(i, i)] - 1.0).abs() < 1e-12);
+        }
+        // Off-diagonal entries are correlations in (0, 1].
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(km[(i, j)] > 0.0 && km[(i, j)] <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn more_diverse_rows_give_larger_determinant() {
+        let kernel = ProductKernel::bhattacharyya();
+        let similar = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.55, 0.45]]).unwrap();
+        let diverse = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let det_similar =
+            dhmm_linalg::lu::determinant(&kernel.kernel_matrix(&similar).unwrap()).unwrap();
+        let det_diverse =
+            dhmm_linalg::lu::determinant(&kernel.kernel_matrix(&diverse).unwrap()).unwrap();
+        assert!(det_diverse > det_similar);
+        assert!(det_similar >= 0.0);
+        assert!(det_diverse <= 1.0 + 1e-12);
+    }
+}

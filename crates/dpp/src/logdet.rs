@@ -1,0 +1,134 @@
+//! Log-determinants of DPP kernel matrices.
+//!
+//! `log det K̃_A` is the (unnormalized) log prior of the diversified HMM.
+//! When the rows of `A` are nearly identical the kernel matrix approaches
+//! the all-ones matrix and becomes singular; the log-determinant then tends
+//! to `-∞`, which is exactly the penalty the prior is meant to apply. The
+//! helpers here evaluate the log-determinant robustly in that regime:
+//! a Cholesky factorization with increasing diagonal jitter, falling back to
+//! LU with a floor when even the jittered factorization fails.
+
+use crate::error::DppError;
+use crate::kernel::ProductKernel;
+use dhmm_linalg::{lu, Cholesky, Matrix};
+
+/// Initial jitter used when the kernel matrix is not positive definite.
+const INITIAL_JITTER: f64 = 1e-10;
+/// Number of ×10 jitter escalations to attempt.
+const JITTER_ATTEMPTS: usize = 12;
+/// Value returned when the kernel matrix is numerically singular even after
+/// jittering; acts as a large-but-finite diversity penalty.
+const LOG_DET_FLOOR: f64 = -1e12;
+
+/// Log-determinant of a symmetric positive semi-definite matrix.
+///
+/// Uses a plain Cholesky factorization when possible; otherwise adds an
+/// escalating diagonal jitter; otherwise falls back to the LU
+/// log-determinant; and finally clamps to a large negative floor so callers
+/// never see `-inf`/NaN.
+pub fn log_det_psd(m: &Matrix) -> Result<f64, DppError> {
+    if !m.is_square() {
+        return Err(DppError::InvalidInput {
+            reason: format!("matrix is {:?}, expected square", m.shape()),
+        });
+    }
+    if m.is_empty() {
+        return Ok(0.0);
+    }
+    if !m.is_finite() {
+        return Err(DppError::InvalidInput {
+            reason: "matrix contains non-finite entries".into(),
+        });
+    }
+    if let Ok(ch) = Cholesky::new_with_jitter(m, INITIAL_JITTER, JITTER_ATTEMPTS) {
+        let ld = ch.log_determinant();
+        if ld.is_finite() {
+            return Ok(ld.max(LOG_DET_FLOOR));
+        }
+    }
+    let (sign, logdet) = lu::sign_log_determinant(m)?;
+    if sign > 0.0 && logdet.is_finite() {
+        Ok(logdet.max(LOG_DET_FLOOR))
+    } else {
+        Ok(LOG_DET_FLOOR)
+    }
+}
+
+/// `log det K̃_A` for a transition matrix `a` under the given kernel — the
+/// diversity log prior of the dHMM (up to the DPP normalization constant,
+/// which the paper drops because it does not depend on `A`).
+pub fn log_det_kernel(a: &Matrix, kernel: &ProductKernel) -> Result<f64, DppError> {
+    let km = kernel.kernel_matrix(a)?;
+    log_det_psd(&km)
+}
+
+/// The largest finite penalty used for singular kernels; exposed so callers
+/// can detect the clamped regime.
+pub fn log_det_floor() -> f64 {
+    LOG_DET_FLOOR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_zero_log_det() {
+        assert!(log_det_psd(&Matrix::identity(5)).unwrap().abs() < 1e-9);
+        assert_eq!(log_det_psd(&Matrix::zeros(0, 0)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_diagonal_log_det() {
+        let d = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        assert!((log_det_psd(&d).unwrap() - 24.0_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(log_det_psd(&Matrix::zeros(2, 3)).is_err());
+        let mut bad = Matrix::identity(2);
+        bad[(0, 1)] = f64::NAN;
+        assert!(log_det_psd(&bad).is_err());
+    }
+
+    #[test]
+    fn near_singular_matrix_gets_large_negative_value() {
+        // The all-ones matrix is singular; the jittered value is very negative
+        // but finite.
+        let ones = Matrix::filled(4, 4, 1.0);
+        let ld = log_det_psd(&ones).unwrap();
+        assert!(ld.is_finite());
+        assert!(ld < -10.0);
+        assert!(ld >= log_det_floor());
+    }
+
+    #[test]
+    fn diverse_transition_matrix_has_higher_log_prior() {
+        let kernel = ProductKernel::bhattacharyya();
+        let collapsed =
+            Matrix::from_rows(&[vec![0.5, 0.3, 0.2], vec![0.5, 0.3, 0.2], vec![0.5, 0.3, 0.2]])
+                .unwrap();
+        let diverse =
+            Matrix::from_rows(&[vec![0.8, 0.1, 0.1], vec![0.1, 0.8, 0.1], vec![0.1, 0.1, 0.8]])
+                .unwrap();
+        let ld_collapsed = log_det_kernel(&collapsed, &kernel).unwrap();
+        let ld_diverse = log_det_kernel(&diverse, &kernel).unwrap();
+        assert!(
+            ld_diverse > ld_collapsed + 1.0,
+            "diverse {ld_diverse} vs collapsed {ld_collapsed}"
+        );
+        // The maximally diverse (orthogonal rows) matrix has log det = 0.
+        let orthogonal = Matrix::identity(3);
+        assert!(log_det_kernel(&orthogonal, &kernel).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_det_kernel_matches_direct_computation() {
+        let kernel = ProductKernel::bhattacharyya();
+        let a = Matrix::from_rows(&[vec![0.6, 0.4], vec![0.2, 0.8]]).unwrap();
+        let km = kernel.kernel_matrix(&a).unwrap();
+        let direct = dhmm_linalg::lu::determinant(&km).unwrap().ln();
+        assert!((log_det_kernel(&a, &kernel).unwrap() - direct).abs() < 1e-6);
+    }
+}

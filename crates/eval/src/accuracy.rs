@@ -1,0 +1,265 @@
+//! Sequence-labeling accuracy measures.
+//!
+//! * **plain accuracy** — fraction of positions where predicted == gold
+//!   (used for supervised OCR, Fig. 10–11),
+//! * **1-to-1 accuracy** — predicted cluster ids are first mapped to gold
+//!   labels by a Hungarian matching (each cluster maps to at most one gold
+//!   label), then plain accuracy is computed (used for the toy experiment
+//!   and unsupervised PoS tagging, Table 1 / Fig. 7),
+//! * **many-to-1 accuracy** — each cluster maps to its most frequent gold
+//!   label, an upper bound often reported alongside 1-to-1.
+
+use crate::error::EvalError;
+use crate::hungarian::hungarian_max;
+use dhmm_linalg::Matrix;
+
+/// Validates that the two label sequences-of-sequences have matching shapes
+/// and returns the total number of positions.
+fn validate_pairs(
+    predicted: &[Vec<usize>],
+    gold: &[Vec<usize>],
+    op: &'static str,
+) -> Result<usize, EvalError> {
+    if predicted.len() != gold.len() {
+        return Err(EvalError::LengthMismatch {
+            op,
+            left: predicted.len(),
+            right: gold.len(),
+        });
+    }
+    let mut total = 0usize;
+    for (p, g) in predicted.iter().zip(gold) {
+        if p.len() != g.len() {
+            return Err(EvalError::LengthMismatch {
+                op,
+                left: p.len(),
+                right: g.len(),
+            });
+        }
+        total += p.len();
+    }
+    if total == 0 {
+        return Err(EvalError::Empty { op });
+    }
+    Ok(total)
+}
+
+/// Fraction of positions where the predicted label equals the gold label.
+pub fn plain_accuracy(predicted: &[Vec<usize>], gold: &[Vec<usize>]) -> Result<f64, EvalError> {
+    let total = validate_pairs(predicted, gold, "plain_accuracy")?;
+    let correct: usize = predicted
+        .iter()
+        .zip(gold)
+        .map(|(p, g)| p.iter().zip(g).filter(|(a, b)| a == b).count())
+        .sum();
+    Ok(correct as f64 / total as f64)
+}
+
+/// Builds the `num_pred × num_gold` co-occurrence count matrix.
+fn cooccurrence(
+    predicted: &[Vec<usize>],
+    gold: &[Vec<usize>],
+    num_pred: usize,
+    num_gold: usize,
+) -> Matrix {
+    let mut counts = Matrix::zeros(num_pred, num_gold);
+    for (p_seq, g_seq) in predicted.iter().zip(gold) {
+        for (&p, &g) in p_seq.iter().zip(g_seq) {
+            if p < num_pred && g < num_gold {
+                counts[(p, g)] += 1.0;
+            }
+        }
+    }
+    counts
+}
+
+fn max_label(seqs: &[Vec<usize>]) -> usize {
+    seqs.iter()
+        .flat_map(|s| s.iter())
+        .copied()
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0)
+}
+
+/// 1-to-1 accuracy: the Hungarian algorithm maps each predicted cluster to at
+/// most one gold label so as to maximize the number of matching positions;
+/// the accuracy of the remapped labels is returned together with the mapping
+/// (`mapping[cluster] = gold label`, `usize::MAX` for unmapped clusters).
+pub fn one_to_one_accuracy(
+    predicted: &[Vec<usize>],
+    gold: &[Vec<usize>],
+) -> Result<(f64, Vec<usize>), EvalError> {
+    let total = validate_pairs(predicted, gold, "one_to_one_accuracy")?;
+    let num_pred = max_label(predicted).max(1);
+    let num_gold = max_label(gold).max(1);
+    let counts = cooccurrence(predicted, gold, num_pred, num_gold);
+    let (mapping, matched) = hungarian_max(&counts)?;
+    Ok((matched / total as f64, mapping))
+}
+
+/// Many-to-1 accuracy: each predicted cluster maps to its most frequent gold
+/// label (several clusters may map to the same label).
+pub fn many_to_one_accuracy(
+    predicted: &[Vec<usize>],
+    gold: &[Vec<usize>],
+) -> Result<f64, EvalError> {
+    let total = validate_pairs(predicted, gold, "many_to_one_accuracy")?;
+    let num_pred = max_label(predicted).max(1);
+    let num_gold = max_label(gold).max(1);
+    let counts = cooccurrence(predicted, gold, num_pred, num_gold);
+    let matched: f64 = (0..num_pred)
+        .map(|p| {
+            counts
+                .row(p)
+                .iter()
+                .cloned()
+                .fold(0.0_f64, f64::max)
+        })
+        .sum();
+    Ok(matched / total as f64)
+}
+
+/// Per-gold-label accuracy (recall): for each gold label, the fraction of its
+/// positions that were predicted correctly (after the caller has already
+/// mapped cluster ids to gold labels if needed). Labels never seen in the
+/// gold data get `f64::NAN`.
+pub fn per_state_accuracy(
+    predicted: &[Vec<usize>],
+    gold: &[Vec<usize>],
+    num_states: usize,
+) -> Result<Vec<f64>, EvalError> {
+    validate_pairs(predicted, gold, "per_state_accuracy")?;
+    let mut correct = vec![0usize; num_states];
+    let mut total = vec![0usize; num_states];
+    for (p_seq, g_seq) in predicted.iter().zip(gold) {
+        for (&p, &g) in p_seq.iter().zip(g_seq) {
+            if g < num_states {
+                total[g] += 1;
+                if p == g {
+                    correct[g] += 1;
+                }
+            }
+        }
+    }
+    Ok((0..num_states)
+        .map(|i| {
+            if total[i] == 0 {
+                f64::NAN
+            } else {
+                correct[i] as f64 / total[i] as f64
+            }
+        })
+        .collect())
+}
+
+/// Applies a cluster-to-label mapping (as returned by
+/// [`one_to_one_accuracy`]) to predicted sequences. Unmapped clusters keep
+/// their original id offset past the gold label range so they never collide.
+pub fn apply_mapping(predicted: &[Vec<usize>], mapping: &[usize]) -> Vec<Vec<usize>> {
+    let num_gold = mapping
+        .iter()
+        .filter(|&&m| m != usize::MAX)
+        .max()
+        .map(|&m| m + 1)
+        .unwrap_or(0);
+    predicted
+        .iter()
+        .map(|seq| {
+            seq.iter()
+                .map(|&p| match mapping.get(p) {
+                    Some(&m) if m != usize::MAX => m,
+                    _ => num_gold + p,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_accuracy_basics() {
+        let gold = vec![vec![0, 1, 2], vec![1, 1]];
+        let pred = vec![vec![0, 1, 1], vec![1, 0]];
+        assert!((plain_accuracy(&pred, &gold).unwrap() - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(plain_accuracy(&gold, &gold).unwrap(), 1.0);
+        assert!(plain_accuracy(&[vec![0]], &[vec![0, 1]]).is_err());
+        assert!(plain_accuracy(&[vec![0]], &[]).is_err());
+        assert!(plain_accuracy(&[vec![]], &[vec![]]).is_err());
+    }
+
+    #[test]
+    fn one_to_one_fixes_permuted_labels() {
+        // Predictions are a relabeling of gold: 0<->1 swapped.
+        let gold = vec![vec![0, 0, 1, 1, 2]];
+        let pred = vec![vec![1, 1, 0, 0, 2]];
+        let (acc, mapping) = one_to_one_accuracy(&pred, &gold).unwrap();
+        assert_eq!(acc, 1.0);
+        assert_eq!(mapping[0], 1);
+        assert_eq!(mapping[1], 0);
+        assert_eq!(mapping[2], 2);
+    }
+
+    #[test]
+    fn one_to_one_penalizes_collapsed_clusters() {
+        // The predictor collapsed everything to one cluster: 1-to-1 accuracy
+        // is bounded by the largest gold class share.
+        let gold = vec![vec![0, 0, 0, 1, 1, 2]];
+        let pred = vec![vec![0, 0, 0, 0, 0, 0]];
+        let (acc, _) = one_to_one_accuracy(&pred, &gold).unwrap();
+        assert!((acc - 0.5).abs() < 1e-12);
+        // Many-to-1 is the same here because there is only one cluster.
+        assert!((many_to_one_accuracy(&pred, &gold).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_to_one_is_at_least_one_to_one() {
+        let gold = vec![vec![0, 0, 1, 1, 2, 2, 2]];
+        let pred = vec![vec![3, 3, 1, 0, 2, 2, 1]];
+        let (one, _) = one_to_one_accuracy(&pred, &gold).unwrap();
+        let many = many_to_one_accuracy(&pred, &gold).unwrap();
+        assert!(many >= one - 1e-12);
+    }
+
+    #[test]
+    fn accuracy_is_permutation_invariant_for_perfect_clusterings() {
+        // Any bijective relabeling of a perfect clustering gives 1-to-1 accuracy 1.
+        let gold = vec![vec![0, 1, 2, 0, 1, 2]];
+        let relabeled = vec![vec![2, 0, 1, 2, 0, 1]];
+        let (acc, _) = one_to_one_accuracy(&relabeled, &gold).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn per_state_accuracy_reports_recall() {
+        let gold = vec![vec![0, 0, 1, 1, 2]];
+        let pred = vec![vec![0, 1, 1, 1, 0]];
+        let acc = per_state_accuracy(&pred, &gold, 4).unwrap();
+        assert!((acc[0] - 0.5).abs() < 1e-12);
+        assert!((acc[1] - 1.0).abs() < 1e-12);
+        assert_eq!(acc[2], 0.0);
+        assert!(acc[3].is_nan());
+    }
+
+    #[test]
+    fn apply_mapping_relabels_and_offsets_unmapped() {
+        let pred = vec![vec![0, 1, 2]];
+        let mapping = vec![1, 0, usize::MAX];
+        let mapped = apply_mapping(&pred, &mapping);
+        assert_eq!(mapped[0][0], 1);
+        assert_eq!(mapped[0][1], 0);
+        assert!(mapped[0][2] >= 2);
+    }
+
+    #[test]
+    fn more_predicted_clusters_than_gold_labels() {
+        let gold = vec![vec![0, 0, 1, 1]];
+        let pred = vec![vec![0, 2, 1, 3]];
+        let (acc, mapping) = one_to_one_accuracy(&pred, &gold).unwrap();
+        assert!((acc - 0.5).abs() < 1e-12);
+        assert_eq!(mapping.len(), 4);
+    }
+}

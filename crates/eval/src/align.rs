@@ -1,0 +1,189 @@
+//! Alignment of learned parameters to ground-truth parameters.
+//!
+//! Unsupervised learning recovers states only up to a permutation. To compare
+//! a learned `(π, A, B)` against the ground truth (as the paper does in
+//! Fig. 2), the learned states are permuted so that the learned transition
+//! matrix (or emission parameters) is as close as possible to the truth. The
+//! permutation is found with the Hungarian algorithm on a negative-distance
+//! profit matrix.
+
+use crate::error::EvalError;
+use crate::hungarian::hungarian_max;
+use dhmm_linalg::Matrix;
+
+/// Finds the permutation `perm` (learned state `i` corresponds to true state
+/// `perm[i]`) minimizing the summed squared distance between the rows of
+/// `learned_features` and `true_features`. Feature rows can be transition
+/// rows, emission means, or any per-state descriptor.
+pub fn align_states_to_truth(
+    learned_features: &Matrix,
+    true_features: &Matrix,
+) -> Result<Vec<usize>, EvalError> {
+    if learned_features.rows() != true_features.rows()
+        || learned_features.cols() != true_features.cols()
+    {
+        return Err(EvalError::LengthMismatch {
+            op: "align_states_to_truth",
+            left: learned_features.rows(),
+            right: true_features.rows(),
+        });
+    }
+    if learned_features.rows() == 0 {
+        return Err(EvalError::Empty {
+            op: "align_states_to_truth",
+        });
+    }
+    let k = learned_features.rows();
+    // profit[i][j] = -||learned_i - true_j||^2
+    let profit = Matrix::from_fn(k, k, |i, j| {
+        -learned_features
+            .row(i)
+            .iter()
+            .zip(true_features.row(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+    });
+    let (assignment, _) = hungarian_max(&profit)?;
+    Ok(assignment)
+}
+
+/// Applies a state permutation to a transition matrix: both the rows and the
+/// columns are permuted so that `result[perm[i]][perm[j]] = a[i][j]`.
+pub fn permute_transition(a: &Matrix, perm: &[usize]) -> Result<Matrix, EvalError> {
+    let k = a.rows();
+    if perm.len() != k || !a.is_square() {
+        return Err(EvalError::InvalidParameter {
+            reason: format!(
+                "permutation length {} does not match transition matrix {:?}",
+                perm.len(),
+                a.shape()
+            ),
+        });
+    }
+    let mut out = Matrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            out[(perm[i], perm[j])] = a[(i, j)];
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a state permutation to a per-state vector (e.g. `π` or the
+/// Gaussian means): `result[perm[i]] = v[i]`.
+pub fn permute_vector(v: &[f64], perm: &[usize]) -> Result<Vec<f64>, EvalError> {
+    if perm.len() != v.len() {
+        return Err(EvalError::LengthMismatch {
+            op: "permute_vector",
+            left: perm.len(),
+            right: v.len(),
+        });
+    }
+    let mut out = vec![0.0; v.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        if p >= v.len() {
+            return Err(EvalError::InvalidParameter {
+                reason: format!("permutation target {p} out of range"),
+            });
+        }
+        out[p] = v[i];
+    }
+    Ok(out)
+}
+
+/// Applies a state permutation to per-state feature rows (e.g. an emission
+/// table): `result[perm[i]] = m.row(i)`.
+pub fn permute_rows(m: &Matrix, perm: &[usize]) -> Result<Matrix, EvalError> {
+    if perm.len() != m.rows() {
+        return Err(EvalError::LengthMismatch {
+            op: "permute_rows",
+            left: perm.len(),
+            right: m.rows(),
+        });
+    }
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for (i, &p) in perm.iter().enumerate() {
+        if p >= m.rows() {
+            return Err(EvalError::InvalidParameter {
+                reason: format!("permutation target {p} out of range"),
+            });
+        }
+        for j in 0..m.cols() {
+            out[(p, j)] = m[(i, j)];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_known_permutation() {
+        let truth = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        // Learned features are the truth with rows cycled by one.
+        let learned = Matrix::from_rows(&[
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let perm = align_states_to_truth(&learned, &truth).unwrap();
+        assert_eq!(perm, vec![2, 0, 1]);
+        // Applying the permutation recovers the truth.
+        let restored = permute_rows(&learned, &perm).unwrap();
+        assert!(restored.approx_eq(&truth, 1e-12));
+    }
+
+    #[test]
+    fn alignment_tolerates_noise() {
+        let truth = Matrix::from_rows(&[vec![1.0, 2.0], vec![5.0, 6.0]]).unwrap();
+        let learned = Matrix::from_rows(&[vec![5.1, 5.9], vec![0.9, 2.1]]).unwrap();
+        let perm = align_states_to_truth(&learned, &truth).unwrap();
+        assert_eq!(perm, vec![1, 0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 2);
+        assert!(align_states_to_truth(&a, &b).is_err());
+        assert!(align_states_to_truth(&Matrix::zeros(0, 0), &Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn permute_transition_conjugates_rows_and_columns() {
+        let a = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.3, 0.7]]).unwrap();
+        let perm = vec![1, 0];
+        let p = permute_transition(&a, &perm).unwrap();
+        assert_eq!(p[(1, 1)], 0.9);
+        assert_eq!(p[(0, 0)], 0.7);
+        assert_eq!(p[(1, 0)], 0.1);
+        assert!(permute_transition(&a, &[0]).is_err());
+        assert!(permute_transition(&Matrix::zeros(2, 3), &perm).is_err());
+    }
+
+    #[test]
+    fn permute_vector_moves_entries() {
+        let v = vec![10.0, 20.0, 30.0];
+        let out = permute_vector(&v, &[2, 0, 1]).unwrap();
+        assert_eq!(out, vec![20.0, 30.0, 10.0]);
+        assert!(permute_vector(&v, &[0, 1]).is_err());
+        assert!(permute_vector(&v, &[0, 1, 9]).is_err());
+    }
+
+    #[test]
+    fn permute_rows_checks_bounds() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(permute_rows(&m, &[1]).is_err());
+        assert!(permute_rows(&m, &[0, 5]).is_err());
+        let ok = permute_rows(&m, &[1, 0]).unwrap();
+        assert_eq!(ok[(0, 0)], 2.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Confusion matrices for sequential labeling.
+
+use crate::error::EvalError;
+use dhmm_linalg::Matrix;
+
+/// A confusion matrix: `counts[gold][predicted]`.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    counts: Matrix,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from predicted and gold label sequences.
+    pub fn from_sequences(
+        predicted: &[Vec<usize>],
+        gold: &[Vec<usize>],
+        num_states: usize,
+    ) -> Result<Self, EvalError> {
+        if predicted.len() != gold.len() {
+            return Err(EvalError::LengthMismatch {
+                op: "ConfusionMatrix::from_sequences",
+                left: predicted.len(),
+                right: gold.len(),
+            });
+        }
+        if num_states == 0 {
+            return Err(EvalError::InvalidParameter {
+                reason: "num_states must be positive".into(),
+            });
+        }
+        let mut counts = Matrix::zeros(num_states, num_states);
+        for (p_seq, g_seq) in predicted.iter().zip(gold) {
+            if p_seq.len() != g_seq.len() {
+                return Err(EvalError::LengthMismatch {
+                    op: "ConfusionMatrix::from_sequences",
+                    left: p_seq.len(),
+                    right: g_seq.len(),
+                });
+            }
+            for (&p, &g) in p_seq.iter().zip(g_seq) {
+                if p < num_states && g < num_states {
+                    counts[(g, p)] += 1.0;
+                }
+            }
+        }
+        Ok(Self { counts })
+    }
+
+    /// The raw count matrix (`counts[gold][predicted]`).
+    pub fn counts(&self) -> &Matrix {
+        &self.counts
+    }
+
+    /// Number of label classes.
+    pub fn num_states(&self) -> usize {
+        self.counts.rows()
+    }
+
+    /// Overall accuracy (trace over total).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.counts.sum();
+        if total == 0.0 {
+            return f64::NAN;
+        }
+        self.counts.trace().unwrap_or(0.0) / total
+    }
+
+    /// Per-class recall: `counts[g][g] / Σ_p counts[g][p]` (NaN for classes
+    /// with no gold instances).
+    pub fn recall(&self) -> Vec<f64> {
+        (0..self.num_states())
+            .map(|g| {
+                let row_sum: f64 = self.counts.row(g).iter().sum();
+                if row_sum == 0.0 {
+                    f64::NAN
+                } else {
+                    self.counts[(g, g)] / row_sum
+                }
+            })
+            .collect()
+    }
+
+    /// Per-class precision: `counts[g][g] / Σ_q counts[q][g]` (NaN for
+    /// classes never predicted).
+    pub fn precision(&self) -> Vec<f64> {
+        let col_sums = self.counts.col_sums();
+        (0..self.num_states())
+            .map(|g| {
+                if col_sums[g] == 0.0 {
+                    f64::NAN
+                } else {
+                    self.counts[(g, g)] / col_sums[g]
+                }
+            })
+            .collect()
+    }
+
+    /// Per-class F1 score (harmonic mean of precision and recall; NaN where
+    /// either is undefined).
+    pub fn f1(&self) -> Vec<f64> {
+        self.precision()
+            .iter()
+            .zip(self.recall())
+            .map(|(&p, r)| {
+                if p.is_nan() || r.is_nan() || p + r == 0.0 {
+                    f64::NAN
+                } else {
+                    2.0 * p * r / (p + r)
+                }
+            })
+            .collect()
+    }
+
+    /// The most confused pair `(gold, predicted, count)` excluding the
+    /// diagonal; `None` if there are no off-diagonal errors.
+    pub fn most_confused_pair(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for g in 0..self.num_states() {
+            for p in 0..self.num_states() {
+                if g == p {
+                    continue;
+                }
+                let c = self.counts[(g, p)];
+                if c > 0.0 && best.map(|(_, _, bc)| c > bc).unwrap_or(true) {
+                    best = Some((g, p, c));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> ConfusionMatrix {
+        let gold = vec![vec![0, 0, 1, 1, 1, 2]];
+        let pred = vec![vec![0, 1, 1, 1, 0, 2]];
+        ConfusionMatrix::from_sequences(&pred, &gold, 3).unwrap()
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let cm = example();
+        assert_eq!(cm.num_states(), 3);
+        assert_eq!(cm.counts()[(0, 0)], 1.0);
+        assert_eq!(cm.counts()[(0, 1)], 1.0);
+        assert_eq!(cm.counts()[(1, 1)], 2.0);
+        assert_eq!(cm.counts()[(1, 0)], 1.0);
+        assert_eq!(cm.counts()[(2, 2)], 1.0);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let cm = example();
+        let recall = cm.recall();
+        assert!((recall[0] - 0.5).abs() < 1e-12);
+        assert!((recall[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall[2] - 1.0).abs() < 1e-12);
+        let precision = cm.precision();
+        assert!((precision[0] - 0.5).abs() < 1e-12);
+        assert!((precision[1] - 2.0 / 3.0).abs() < 1e-12);
+        let f1 = cm.f1();
+        assert!((f1[0] - 0.5).abs() < 1e-12);
+        assert!((f1[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_classes_are_nan() {
+        let gold = vec![vec![0, 0]];
+        let pred = vec![vec![0, 0]];
+        let cm = ConfusionMatrix::from_sequences(&pred, &gold, 2).unwrap();
+        assert!(cm.recall()[1].is_nan());
+        assert!(cm.precision()[1].is_nan());
+        assert!(cm.f1()[1].is_nan());
+    }
+
+    #[test]
+    fn most_confused_pair_and_validation() {
+        let cm = example();
+        let (g, p, c) = cm.most_confused_pair().unwrap();
+        assert_eq!(c, 1.0);
+        assert!(g != p);
+        let perfect =
+            ConfusionMatrix::from_sequences(&[vec![0, 1]], &[vec![0, 1]], 2).unwrap();
+        assert!(perfect.most_confused_pair().is_none());
+        assert!(ConfusionMatrix::from_sequences(&[vec![0]], &[vec![0], vec![1]], 2).is_err());
+        assert!(ConfusionMatrix::from_sequences(&[vec![0, 1]], &[vec![0]], 2).is_err());
+        assert!(ConfusionMatrix::from_sequences(&[vec![0]], &[vec![0]], 0).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_is_nan() {
+        let cm = ConfusionMatrix::from_sequences(&[], &[], 2).unwrap();
+        assert!(cm.accuracy().is_nan());
+    }
+}

@@ -1,0 +1,165 @@
+//! k-fold cross-validation.
+//!
+//! The OCR experiments of the paper are run with 10-fold cross-validation
+//! and report mean ± standard deviation of the test accuracy (Figs. 10–11).
+
+use crate::error::EvalError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Per-fold evaluation summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldSummary {
+    /// Fold index (0-based).
+    pub fold: usize,
+    /// Metric value measured on this fold's held-out data.
+    pub score: f64,
+}
+
+/// Summary statistics over folds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidation {
+    /// Per-fold scores.
+    pub folds: Vec<FoldSummary>,
+}
+
+impl CrossValidation {
+    /// Builds a summary from raw per-fold scores.
+    pub fn from_scores(scores: &[f64]) -> Self {
+        Self {
+            folds: scores
+                .iter()
+                .enumerate()
+                .map(|(fold, &score)| FoldSummary { fold, score })
+                .collect(),
+        }
+    }
+
+    /// Mean score over folds (NaN if there are no folds).
+    pub fn mean(&self) -> f64 {
+        if self.folds.is_empty() {
+            return f64::NAN;
+        }
+        self.folds.iter().map(|f| f.score).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Sample standard deviation over folds (0 for a single fold).
+    pub fn std_dev(&self) -> f64 {
+        if self.folds.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .folds
+            .iter()
+            .map(|f| (f.score - mean) * (f.score - mean))
+            .sum::<f64>()
+            / (self.folds.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Produces `k` train/test index splits of `n` items, shuffled with `rng`.
+/// Every item appears in exactly one test fold; folds differ in size by at
+/// most one item.
+pub fn kfold_indices<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<(Vec<usize>, Vec<usize>)>, EvalError> {
+    if k < 2 {
+        return Err(EvalError::InvalidParameter {
+            reason: format!("need at least 2 folds, got {k}"),
+        });
+    }
+    if n < k {
+        return Err(EvalError::InvalidParameter {
+            reason: format!("cannot split {n} items into {k} folds"),
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    // Distribute items round-robin over folds so sizes differ by at most 1.
+    let mut fold_members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, &item) in order.iter().enumerate() {
+        fold_members[pos % k].push(item);
+    }
+
+    let mut splits = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test = fold_members[fold].clone();
+        let mut train = Vec::with_capacity(n - test.len());
+        for (other, members) in fold_members.iter().enumerate() {
+            if other != fold {
+                train.extend_from_slice(members);
+            }
+        }
+        splits.push((train, test));
+    }
+    Ok(splits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn summary_statistics() {
+        let cv = CrossValidation::from_scores(&[0.7, 0.8, 0.9]);
+        assert!((cv.mean() - 0.8).abs() < 1e-12);
+        assert!((cv.std_dev() - 0.1).abs() < 1e-12);
+        assert_eq!(cv.folds.len(), 3);
+        assert_eq!(cv.folds[1].fold, 1);
+        let single = CrossValidation::from_scores(&[0.5]);
+        assert_eq!(single.std_dev(), 0.0);
+        assert!(CrossValidation::from_scores(&[]).mean().is_nan());
+    }
+
+    #[test]
+    fn kfold_covers_every_item_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let splits = kfold_indices(103, 10, &mut rng).unwrap();
+        assert_eq!(splits.len(), 10);
+        let mut seen = vec![0usize; 103];
+        for (train, test) in &splits {
+            assert_eq!(train.len() + test.len(), 103);
+            for &i in test {
+                seen[i] += 1;
+            }
+            // No overlap between train and test.
+            for &i in test {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let splits = kfold_indices(25, 4, &mut rng).unwrap();
+        let sizes: Vec<usize> = splits.iter().map(|(_, test)| test.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes = {sizes:?}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(kfold_indices(10, 1, &mut rng).is_err());
+        assert!(kfold_indices(3, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shuffling_depends_on_seed() {
+        let mut rng1 = StdRng::seed_from_u64(10);
+        let mut rng2 = StdRng::seed_from_u64(20);
+        let s1 = kfold_indices(50, 5, &mut rng1).unwrap();
+        let s2 = kfold_indices(50, 5, &mut rng2).unwrap();
+        assert_ne!(s1[0].1, s2[0].1);
+    }
+}

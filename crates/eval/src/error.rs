@@ -1,0 +1,63 @@
+//! Error type for evaluation routines.
+
+use std::fmt;
+
+/// Errors produced by evaluation utilities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Two inputs that must be the same length were not.
+    LengthMismatch {
+        /// Description of the operation.
+        op: &'static str,
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// An input was empty where data is required.
+    Empty {
+        /// Description of the operation.
+        op: &'static str,
+    },
+    /// A parameter was out of range (e.g. zero folds).
+    InvalidParameter {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::LengthMismatch { op, left, right } => {
+                write!(f, "{op}: length mismatch ({left} vs {right})")
+            }
+            EvalError::Empty { op } => write!(f, "{op}: empty input"),
+            EvalError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EvalError::LengthMismatch {
+            op: "accuracy",
+            left: 1,
+            right: 2
+        }
+        .to_string()
+        .contains("accuracy"));
+        assert!(EvalError::Empty { op: "histogram" }.to_string().contains("histogram"));
+        assert!(EvalError::InvalidParameter {
+            reason: "k must be >= 2".into()
+        }
+        .to_string()
+        .contains("k must be"));
+    }
+}

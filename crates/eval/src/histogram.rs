@@ -1,0 +1,103 @@
+//! State-frequency histograms and the "number of identified states"
+//! statistic.
+//!
+//! Table 1 of the paper compares the histograms of inferred hidden states
+//! under HMM and dHMM; Figs. 4–5 count how many states a model "identifies"
+//! by thresholding those frequencies (states used fewer than `σ_F = 50`
+//! times are considered not identified).
+
+use crate::error::EvalError;
+
+/// Counts how often each state id in `0..num_states` appears across the
+/// label sequences.
+pub fn state_histogram(sequences: &[Vec<usize>], num_states: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; num_states];
+    for seq in sequences {
+        for &s in seq {
+            if s < num_states {
+                counts[s] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Number of states whose frequency is at least `threshold` — the
+/// "identified states" count of Figs. 4–5 (the paper uses `σ_F = 50`).
+pub fn num_identified_states(histogram: &[usize], threshold: usize) -> usize {
+    histogram.iter().filter(|&&c| c >= threshold).count()
+}
+
+/// Normalizes a histogram into a frequency distribution. Returns an error
+/// for an all-zero histogram.
+pub fn histogram_to_distribution(histogram: &[usize]) -> Result<Vec<f64>, EvalError> {
+    let total: usize = histogram.iter().sum();
+    if total == 0 {
+        return Err(EvalError::Empty {
+            op: "histogram_to_distribution",
+        });
+    }
+    Ok(histogram.iter().map(|&c| c as f64 / total as f64).collect())
+}
+
+/// Total-variation distance between two histograms (after normalizing each
+/// to a distribution); used to compare inferred state histograms against the
+/// ground-truth histogram in Table 1.
+pub fn histogram_distance(a: &[usize], b: &[usize]) -> Result<f64, EvalError> {
+    if a.len() != b.len() {
+        return Err(EvalError::LengthMismatch {
+            op: "histogram_distance",
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let pa = histogram_to_distribution(a)?;
+    let pb = histogram_to_distribution(b)?;
+    Ok(pa
+        .iter()
+        .zip(&pb)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_occurrences() {
+        let seqs = vec![vec![0, 1, 1, 2], vec![2, 2, 0]];
+        let h = state_histogram(&seqs, 4);
+        assert_eq!(h, vec![2, 2, 3, 0]);
+        // Out-of-range states are ignored.
+        let h2 = state_histogram(&[vec![9, 0]], 2);
+        assert_eq!(h2, vec![1, 0]);
+        assert_eq!(state_histogram(&[], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn identified_states_threshold() {
+        let h = vec![100, 49, 50, 0, 1000];
+        assert_eq!(num_identified_states(&h, 50), 3);
+        assert_eq!(num_identified_states(&h, 1), 4);
+        assert_eq!(num_identified_states(&h, 0), 5);
+        assert_eq!(num_identified_states(&[], 1), 0);
+    }
+
+    #[test]
+    fn distribution_normalization() {
+        let d = histogram_to_distribution(&[1, 3]).unwrap();
+        assert_eq!(d, vec![0.25, 0.75]);
+        assert!(histogram_to_distribution(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn histogram_distance_properties() {
+        assert_eq!(histogram_distance(&[5, 5], &[1, 1]).unwrap(), 0.0);
+        assert_eq!(histogram_distance(&[10, 0], &[0, 10]).unwrap(), 1.0);
+        let d = histogram_distance(&[3, 1], &[1, 3]).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+        assert!(histogram_distance(&[1], &[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! The Hungarian (Kuhn–Munkres) assignment algorithm.
+//!
+//! The paper maps inferred cluster labels to gold labels "by Hungarian
+//! algorithm" before computing 1-to-1 accuracy (§4.1.1, §4.2.1). The solver
+//! here maximizes the total weight of a perfect matching on a square (or
+//! implicitly zero-padded rectangular) profit matrix; it runs in `O(n³)`,
+//! comfortably fast for the `k ≤ 46` label sets of the paper.
+
+use crate::error::EvalError;
+use dhmm_linalg::Matrix;
+
+/// Solves the assignment problem: returns `assignment[row] = col` maximizing
+/// `Σ profit[row][assignment[row]]`, together with the total profit.
+///
+/// Rectangular inputs are handled by implicit zero padding; padded rows map
+/// to padded (dummy) columns whose profit is zero, and rows assigned to a
+/// dummy column get `usize::MAX` in the output.
+pub fn hungarian_max(profit: &Matrix) -> Result<(Vec<usize>, f64), EvalError> {
+    let rows = profit.rows();
+    let cols = profit.cols();
+    if rows == 0 || cols == 0 {
+        return Err(EvalError::Empty { op: "hungarian_max" });
+    }
+    let n = rows.max(cols);
+
+    // Convert to a minimization problem on an n×n padded cost matrix.
+    let max_profit = profit.max_abs();
+    let mut cost = vec![vec![0.0_f64; n + 1]; n + 1]; // 1-based
+    for i in 0..n {
+        for j in 0..n {
+            let p = if i < rows && j < cols { profit[(i, j)] } else { 0.0 };
+            cost[i + 1][j + 1] = max_profit - p;
+        }
+    }
+
+    // Jonker-style O(n^3) implementation of the Hungarian algorithm with
+    // potentials (see e-maxx / CP-algorithms "Assignment problem").
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0][j] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    // Recover the assignment for the original (unpadded) rows.
+    let mut assignment = vec![usize::MAX; rows];
+    let mut total = 0.0;
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= rows && j <= cols {
+            assignment[i - 1] = j - 1;
+            total += profit[(i - 1, j - 1)];
+        }
+    }
+    Ok((assignment, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(hungarian_max(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn identity_profit_assigns_diagonal() {
+        let profit = Matrix::identity(4);
+        let (assignment, total) = hungarian_max(&profit).unwrap();
+        assert_eq!(assignment, vec![0, 1, 2, 3]);
+        assert_eq!(total, 4.0);
+    }
+
+    #[test]
+    fn known_small_instance() {
+        // Classic example: optimal assignment is (0->1, 1->0, 2->2) with profit 9+8+9=26? verify.
+        let profit = Matrix::from_rows(&[
+            vec![7.0, 9.0, 3.0],
+            vec![8.0, 6.0, 5.0],
+            vec![2.0, 4.0, 9.0],
+        ])
+        .unwrap();
+        let (assignment, total) = hungarian_max(&profit).unwrap();
+        // Brute force check.
+        let mut best = f64::NEG_INFINITY;
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for perm in perms {
+            let s: f64 = (0..3).map(|i| profit[(i, perm[i])]).sum();
+            best = best.max(s);
+        }
+        assert!((total - best).abs() < 1e-9, "got {total}, best {best}");
+        let s: f64 = (0..3).map(|i| profit[(i, assignment[i])]).sum();
+        assert!((s - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let profit = Matrix::from_fn(6, 6, |i, j| ((i * 7 + j * 13) % 11) as f64);
+        let (assignment, _) = hungarian_max(&profit).unwrap();
+        let mut seen = vec![false; 6];
+        for &c in &assignment {
+            assert!(c < 6);
+            assert!(!seen[c], "column {c} assigned twice");
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic pseudo-random 4x4 matrices; compare to brute force.
+        for seed in 0..20u64 {
+            let profit = Matrix::from_fn(4, 4, |i, j| {
+                let x = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(((i * 4 + j) as u64).wrapping_mul(1442695040888963407));
+                ((x >> 33) % 1000) as f64 / 10.0
+            });
+            let (_, total) = hungarian_max(&profit).unwrap();
+            let mut best = f64::NEG_INFINITY;
+            let mut perm = [0usize, 1, 2, 3];
+            permute(&mut perm, 0, &mut |p| {
+                let s: f64 = (0..4).map(|i| profit[(i, p[i])]).sum();
+                if s > best {
+                    best = s;
+                }
+            });
+            assert!((total - best).abs() < 1e-9, "seed {seed}: {total} vs {best}");
+        }
+    }
+
+    #[test]
+    fn rectangular_profit_wide() {
+        // More columns than rows: each row gets a distinct best column.
+        let profit = Matrix::from_rows(&[
+            vec![1.0, 10.0, 2.0, 3.0],
+            vec![10.0, 1.0, 2.0, 3.0],
+        ])
+        .unwrap();
+        let (assignment, total) = hungarian_max(&profit).unwrap();
+        assert_eq!(assignment, vec![1, 0]);
+        assert_eq!(total, 20.0);
+    }
+
+    #[test]
+    fn rectangular_profit_tall() {
+        // More rows than columns: some rows stay unassigned (usize::MAX).
+        let profit = Matrix::from_rows(&[
+            vec![5.0, 1.0],
+            vec![6.0, 2.0],
+            vec![1.0, 9.0],
+        ])
+        .unwrap();
+        let (assignment, total) = hungarian_max(&profit).unwrap();
+        let assigned: Vec<usize> = assignment.iter().copied().filter(|&c| c != usize::MAX).collect();
+        assert_eq!(assigned.len(), 2);
+        assert!((total - 15.0).abs() < 1e-9); // 6 (row 1 -> col 0) + 9 (row 2 -> col 1)
+    }
+
+    fn permute(arr: &mut [usize; 4], k: usize, f: &mut impl FnMut(&[usize; 4])) {
+        if k == 4 {
+            f(arr);
+            return;
+        }
+        for i in k..4 {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+}

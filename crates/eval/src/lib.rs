@@ -1,0 +1,40 @@
+//! # dhmm-eval
+//!
+//! Evaluation substrate for the diversified-HMM reproduction.
+//!
+//! The paper evaluates unsupervised sequential labeling with **1-to-1
+//! accuracy**: the inferred cluster labels are mapped to gold labels with the
+//! Hungarian algorithm and the fraction of correctly labeled positions is
+//! reported. Supervised experiments use plain accuracy with 10-fold
+//! cross-validation. This crate provides:
+//!
+//! * [`hungarian`] — the Kuhn–Munkres assignment algorithm,
+//! * [`accuracy`] — 1-to-1 and many-to-1 accuracy, per-state accuracy,
+//! * [`align`] — alignment of learned parameters to ground-truth parameters
+//!   (used to produce the paper's Fig. 2 comparison),
+//! * [`histogram`] — state-frequency histograms and the
+//!   "number of identified states" statistic of Figs. 4–5,
+//! * [`confusion`] — confusion matrices,
+//! * [`crossval`] — k-fold cross-validation splits with per-fold summaries,
+//! * [`reporting`] — plain-text tables used by the experiment binaries.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod accuracy;
+pub mod align;
+pub mod confusion;
+pub mod crossval;
+pub mod error;
+pub mod histogram;
+pub mod hungarian;
+pub mod reporting;
+
+pub use accuracy::{many_to_one_accuracy, one_to_one_accuracy, plain_accuracy};
+pub use align::align_states_to_truth;
+pub use confusion::ConfusionMatrix;
+pub use crossval::{kfold_indices, CrossValidation, FoldSummary};
+pub use error::EvalError;
+pub use histogram::{num_identified_states, state_histogram};
+pub use hungarian::hungarian_max;
+pub use reporting::TextTable;

@@ -1,0 +1,171 @@
+//! Plain-text tables and CSV output for the experiment binaries.
+//!
+//! Every experiment runner prints the rows/series that the corresponding
+//! table or figure of the paper reports; this module keeps that formatting
+//! in one place.
+
+/// A simple aligned text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of pre-formatted cells. Rows shorter than the header are
+    /// padded with empty cells; longer rows are truncated.
+    pub fn add_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Convenience for adding a row of displayable values.
+    pub fn add_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        let formatted: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.add_row(&formatted);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&render_row(&sep, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated, quotes around cells that
+    /// contain commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals, rendering NaN as "-".
+pub fn fmt_float(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+/// Formats a mean ± standard deviation pair (as in Fig. 11 of the paper).
+pub fn fmt_mean_std(mean: f64, std: f64, decimals: usize) -> String {
+    format!(
+        "{} ± {}",
+        fmt_float(mean, decimals),
+        fmt_float(std, decimals)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["model", "accuracy"]);
+        t.add_row(&["HMM".to_string(), "0.4117".to_string()]);
+        t.add_row(&["dHMM".to_string(), "0.4728".to_string()]);
+        let s = t.render();
+        assert!(s.contains("model"));
+        assert!(s.contains("dHMM"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.add_row(&["1".to_string()]);
+        t.add_row(&["1".to_string(), "2".to_string(), "3".to_string()]);
+        let s = t.render();
+        assert!(s.contains('1'));
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn display_row_formats_values() {
+        let mut t = TextTable::new(&["x", "y"]);
+        t.add_display_row(&[1.5, 2.25]);
+        assert!(t.render().contains("2.25"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.add_row(&["a,b".to_string(), "say \"hi\"".to_string()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.starts_with("name,value\n"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_float(0.123456, 3), "0.123");
+        assert_eq!(fmt_float(f64::NAN, 3), "-");
+        assert_eq!(fmt_mean_std(0.72, 0.022, 2), "0.72 ± 0.02");
+    }
+}

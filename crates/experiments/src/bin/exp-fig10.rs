@@ -1,0 +1,11 @@
+//! Reproduces Fig. 10 of the paper (OCR accuracy vs alpha, alpha_A = 1e5).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{ocr, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = ocr::run_alpha_sweep(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 10 — supervised OCR accuracy vs alpha ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 11 of the paper (classifier comparison on OCR).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{ocr, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = ocr::run_fig11(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 11 — OCR test accuracy of the four classifiers ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

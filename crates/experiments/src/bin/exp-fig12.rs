@@ -1,0 +1,11 @@
+//! Reproduces Fig. 12 of the paper (transition diversity of letters 'x' and 'y').
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{ocr, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = ocr::run_fig12(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 12 — transition diversity of 'x' and 'y' vs all other letters ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

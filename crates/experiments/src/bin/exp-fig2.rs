@@ -1,0 +1,11 @@
+//! Reproduces Fig. 2 of the paper (learned toy parameters vs ground truth).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{toy, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = toy::run_fig2(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 2 — toy parameters, aligned to the ground truth ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

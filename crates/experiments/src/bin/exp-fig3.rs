@@ -1,0 +1,11 @@
+//! Reproduces Fig. 3 of the paper (transition diversity vs emission sigma).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{toy, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = toy::run_sigma_sweep(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 3 — diversity of the learned transition matrix vs sigma ({scale:?} scale)\n");
+    println!("{}", result.render_fig3());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 4 of the paper (inferred-state histogram in the collapsed regime).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{toy, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = toy::run_sigma_sweep(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 4 — inferred-state histograms ({scale:?} scale)\n");
+    println!("{}", result.render_fig4());
+}

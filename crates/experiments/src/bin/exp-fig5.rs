@@ -1,0 +1,11 @@
+//! Reproduces Fig. 5 of the paper (number of identified states vs sigma).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{toy, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = toy::run_sigma_sweep(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 5 — number of identified hidden states vs sigma ({scale:?} scale)\n");
+    println!("{}", result.render_fig5());
+}

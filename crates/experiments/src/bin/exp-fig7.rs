@@ -1,0 +1,18 @@
+//! Reproduces Fig. 7 of the paper (PoS tagging accuracy vs alpha).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{pos, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = pos::run_alpha_sweep(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 7 — unsupervised PoS tagging accuracy vs alpha ({scale:?} scale)\n");
+    println!("{}", result.render());
+    let (best_alpha, best_acc) = result.best_dhmm();
+    println!(
+        "HMM (alpha = 0): {:.4}   best dHMM: {:.4} at alpha = {}",
+        result.hmm_accuracy(),
+        best_acc,
+        best_alpha
+    );
+}

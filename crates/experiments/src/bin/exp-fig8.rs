@@ -1,0 +1,11 @@
+//! Reproduces Fig. 8 of the paper (transition diversity of NOUN vs other tags).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{pos, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = pos::run_fig8(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 8 — transition diversity between NOUN and the other tags ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

@@ -1,0 +1,16 @@
+//! Reproduces Fig. 9 of the paper (word-frequency mass per tag).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{pos, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = pos::run_fig9(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Fig. 9 — word tokens per tag: ground truth vs HMM vs dHMM ({scale:?} scale)\n");
+    println!("{}", result.render());
+    println!(
+        "total-variation distance to the gold distribution: HMM = {:.4}, dHMM = {:.4}",
+        result.distance_to_gold(&result.hmm),
+        result.distance_to_gold(&result.dhmm)
+    );
+}

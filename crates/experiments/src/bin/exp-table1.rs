@@ -1,0 +1,12 @@
+//! Reproduces Table 1 of the paper (toy-data state histograms and 1-to-1
+//! accuracies). Pass `--paper` for the paper-scale run.
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{toy, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = toy::run_table1(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Table 1 — toy experiment: HMM vs dHMM ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Table 2 of the paper (the merged PoS tag inventory).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{pos, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = pos::run_table2(scale, DEFAULT_SEED);
+    println!("Table 2 — merged PoS tag set and corpus statistics ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Table 3 of the paper (OCR dataset examples).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{ocr, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = ocr::run_table3(scale, DEFAULT_SEED);
+    println!("Table 3 — synthetic OCR dataset examples ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

@@ -1,0 +1,110 @@
+//! Shared experiment plumbing: scales, seeds and configuration presets.
+
+use dhmm_core::{AscentConfig, DiversifiedConfig, SupervisedConfig};
+
+/// How big an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's data sizes and sweep grids (minutes of compute).
+    Paper,
+    /// Reduced sizes for tests, benches and smoke runs (seconds of compute).
+    Quick,
+}
+
+impl Scale {
+    /// Parses the scale from command-line arguments: `--paper` selects
+    /// [`Scale::Paper`], anything else (including `--quick`) selects
+    /// [`Scale::Quick`].
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        for a in args {
+            if a == "--paper" || a == "--full" {
+                return Scale::Paper;
+            }
+        }
+        Scale::Quick
+    }
+
+    /// `true` for the paper-sized configuration.
+    pub fn is_paper(&self) -> bool {
+        matches!(self, Scale::Paper)
+    }
+}
+
+/// Default random seed used by the experiment binaries so runs are
+/// reproducible.
+pub const DEFAULT_SEED: u64 = 20160412;
+
+/// Unsupervised dHMM configuration preset used by the toy experiments.
+pub fn toy_dhmm_config(scale: Scale, alpha: f64) -> DiversifiedConfig {
+    DiversifiedConfig {
+        alpha,
+        max_em_iterations: if scale.is_paper() { 60 } else { 12 },
+        em_tolerance: 1e-6,
+        ascent: AscentConfig {
+            max_iterations: if scale.is_paper() { 40 } else { 15 },
+            ..AscentConfig::default()
+        },
+        ..DiversifiedConfig::default()
+    }
+}
+
+/// Unsupervised dHMM configuration preset used by the PoS experiments.
+pub fn pos_dhmm_config(scale: Scale, alpha: f64) -> DiversifiedConfig {
+    DiversifiedConfig {
+        alpha,
+        max_em_iterations: if scale.is_paper() { 40 } else { 8 },
+        em_tolerance: 1e-5,
+        ascent: AscentConfig {
+            max_iterations: if scale.is_paper() { 30 } else { 10 },
+            ..AscentConfig::default()
+        },
+        ..DiversifiedConfig::default()
+    }
+}
+
+/// Supervised dHMM configuration preset used by the OCR experiments
+/// (`α_A = 1e5` as in the paper).
+pub fn ocr_dhmm_config(scale: Scale, alpha: f64) -> SupervisedConfig {
+    SupervisedConfig {
+        alpha,
+        alpha_anchor: 1e5,
+        pseudo_count: 0.5,
+        ascent: AscentConfig {
+            max_iterations: if scale.is_paper() { 40 } else { 15 },
+            ..AscentConfig::default()
+        },
+        ..SupervisedConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_args(vec!["--paper".to_string()]), Scale::Paper);
+        assert_eq!(Scale::from_args(vec!["--full".to_string()]), Scale::Paper);
+        assert_eq!(Scale::from_args(vec!["--quick".to_string()]), Scale::Quick);
+        assert_eq!(Scale::from_args(Vec::<String>::new()), Scale::Quick);
+        assert!(Scale::Paper.is_paper());
+        assert!(!Scale::Quick.is_paper());
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(toy_dhmm_config(Scale::Quick, 1.0).validate().is_ok());
+        assert!(toy_dhmm_config(Scale::Paper, 0.0).validate().is_ok());
+        assert!(pos_dhmm_config(Scale::Quick, 100.0).validate().is_ok());
+        assert!(ocr_dhmm_config(Scale::Paper, 10.0).validate().is_ok());
+        assert_eq!(ocr_dhmm_config(Scale::Quick, 10.0).alpha_anchor, 1e5);
+    }
+
+    #[test]
+    fn paper_scale_uses_more_iterations() {
+        assert!(
+            toy_dhmm_config(Scale::Paper, 1.0).max_em_iterations
+                > toy_dhmm_config(Scale::Quick, 1.0).max_em_iterations
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # dhmm-experiments
+//!
+//! One runner per table and figure of the dHMM paper's evaluation section.
+//!
+//! Every experiment is exposed as a library function returning a plain
+//! result struct (so the integration tests and Criterion benches can call it
+//! directly) plus a `render` helper that prints the same rows/series the
+//! paper reports. The binaries in `src/bin/` are thin wrappers.
+//!
+//! All runners accept a [`Scale`]:
+//!
+//! * [`Scale::Quick`] — reduced data sizes, EM iterations and sweep grids so
+//!   a full reproduction pass runs in seconds (used by tests and the default
+//!   bench profile),
+//! * [`Scale::Paper`] — the paper's sizes (3828 sentences / 10K vocabulary,
+//!   6877 OCR words, 50-point σ sweep with 10 restarts, 10-fold CV).
+//!
+//! | Paper artifact | Runner |
+//! |---|---|
+//! | Table 1 | [`toy::run_table1`] |
+//! | Fig. 2  | [`toy::run_fig2`] |
+//! | Figs. 3–5 | [`toy::run_sigma_sweep`] |
+//! | Table 2 / Fig. 6 | [`pos::run_table2`] |
+//! | Fig. 7 | [`pos::run_alpha_sweep`] |
+//! | Fig. 8 | [`pos::run_fig8`] |
+//! | Fig. 9 | [`pos::run_fig9`] |
+//! | Table 3 | [`ocr::run_table3`] |
+//! | Fig. 10 | [`ocr::run_alpha_sweep`] |
+//! | Fig. 11 | [`ocr::run_fig11`] |
+//! | Fig. 12 | [`ocr::run_fig12`] |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod common;
+pub mod ocr;
+pub mod pos;
+pub mod toy;
+
+pub use common::Scale;

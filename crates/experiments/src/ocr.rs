@@ -1,0 +1,451 @@
+//! Supervised OCR experiments: Table 3 and Figs. 10–12.
+
+use crate::common::{ocr_dhmm_config, Scale};
+use dhmm_baselines::{BernoulliNaiveBayes, OptimizedHmm, OptimizedHmmConfig};
+use dhmm_core::{DhmmError, SupervisedDiversifiedHmm};
+use dhmm_data::ocr::{self, letter_index, OcrConfig, GLYPH_COLS, GLYPH_DIM, GLYPH_ROWS, NUM_LETTERS};
+use dhmm_data::LabeledCorpus;
+use dhmm_eval::accuracy::plain_accuracy;
+use dhmm_eval::crossval::{kfold_indices, CrossValidation};
+use dhmm_eval::reporting::{fmt_float, fmt_mean_std, TextTable};
+use dhmm_hmm::emission::BernoulliEmission;
+use dhmm_prob::divergence::row_bhattacharyya_profile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of the Table 3 reproduction: example rendered words and the most
+/// frequent letter-to-letter transitions in the generated dataset.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// Example words together with their ASCII-rendered glyph strips.
+    pub examples: Vec<(String, String)>,
+    /// The five most frequent letter bigrams `(from, to, count)`.
+    pub top_bigrams: Vec<(char, char, usize)>,
+}
+
+/// One α point of the Fig. 10 sweep.
+#[derive(Debug, Clone)]
+pub struct OcrAlphaPoint {
+    /// The diversity weight α.
+    pub alpha: f64,
+    /// Cross-validated test accuracy (mean over folds).
+    pub accuracy_mean: f64,
+    /// Standard deviation of the test accuracy over folds.
+    pub accuracy_std: f64,
+}
+
+/// Result of the Fig. 10 α sweep.
+#[derive(Debug, Clone)]
+pub struct OcrAlphaSweepResult {
+    /// One entry per α (the α = 0 entry is the plain supervised HMM).
+    pub points: Vec<OcrAlphaPoint>,
+    /// The anchor weight α_A used throughout (1e5 in the paper).
+    pub alpha_anchor: f64,
+}
+
+/// Result of the Fig. 11 comparison of classifiers.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// (classifier name, mean accuracy, std over folds), in the paper's
+    /// order: Naive Bayes, HMM, Optimized HMM, dHMM.
+    pub classifiers: Vec<(String, f64, f64)>,
+}
+
+/// Result of the Fig. 12 reproduction: per-letter transition-diversity
+/// profiles of the letters 'x' and 'y'.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// The other 25 letters, in order, for the 'x' profile.
+    pub x_others: Vec<char>,
+    /// HMM diversity between 'x' and every other letter.
+    pub x_hmm: Vec<f64>,
+    /// dHMM diversity between 'x' and every other letter.
+    pub x_dhmm: Vec<f64>,
+    /// The other 25 letters, in order, for the 'y' profile.
+    pub y_others: Vec<char>,
+    /// HMM diversity between 'y' and every other letter.
+    pub y_hmm: Vec<f64>,
+    /// dHMM diversity between 'y' and every other letter.
+    pub y_dhmm: Vec<f64>,
+}
+
+fn dataset_config(scale: Scale) -> OcrConfig {
+    if scale.is_paper() {
+        OcrConfig::default()
+    } else {
+        OcrConfig {
+            num_words: 300,
+            ..OcrConfig::default()
+        }
+    }
+}
+
+fn num_folds(scale: Scale) -> usize {
+    if scale.is_paper() {
+        10
+    } else {
+        3
+    }
+}
+
+/// Renders a glyph as a 16-line ASCII block.
+fn render_glyph(glyph: &[bool]) -> String {
+    let mut out = String::new();
+    for r in 0..GLYPH_ROWS {
+        for c in 0..GLYPH_COLS {
+            out.push(if glyph[r * GLYPH_COLS + c] { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Reproduces Table 3: example handwritten words and the letter-transition
+/// skew the paper highlights.
+pub fn run_table3(scale: Scale, seed: u64) -> Table3Result {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = ocr::generate(&dataset_config(scale), &mut rng);
+
+    // Pick up to three reasonably long example words.
+    let mut examples = Vec::new();
+    for ((labels, images), word) in data.corpus.sequences.iter().zip(&data.words) {
+        if word.len() >= 5 && examples.len() < 3 {
+            let mut strip = String::new();
+            for (i, img) in images.iter().enumerate() {
+                strip.push_str(&format!("letter '{}':\n{}", word.as_bytes()[i] as char, render_glyph(img)));
+            }
+            let _ = labels;
+            examples.push((word.clone(), strip));
+        }
+    }
+
+    // Letter bigram counts.
+    let mut bigrams = vec![vec![0usize; NUM_LETTERS]; NUM_LETTERS];
+    for (labels, _) in &data.corpus.sequences {
+        for w in labels.windows(2) {
+            bigrams[w[0]][w[1]] += 1;
+        }
+    }
+    let mut flat: Vec<(char, char, usize)> = Vec::new();
+    for (i, row) in bigrams.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c > 0 {
+                flat.push(((b'a' + i as u8) as char, (b'a' + j as u8) as char, c));
+            }
+        }
+    }
+    flat.sort_by(|a, b| b.2.cmp(&a.2));
+    flat.truncate(5);
+
+    Table3Result {
+        examples,
+        top_bigrams: flat,
+    }
+}
+
+impl Table3Result {
+    /// Renders the example words and bigram summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (word, _) in &self.examples {
+            out.push_str(&format!("example word: {word}\n"));
+        }
+        out.push_str("most frequent letter transitions:\n");
+        for (a, b, c) in &self.top_bigrams {
+            out.push_str(&format!("  {a} -> {b}: {c}\n"));
+        }
+        out
+    }
+}
+
+/// Classifier under evaluation in the OCR cross-validation harness.
+enum OcrClassifier {
+    NaiveBayes,
+    Hmm,
+    OptimizedHmm,
+    Dhmm { alpha: f64 },
+}
+
+/// Trains the requested classifier on the train split and returns its plain
+/// accuracy on the test split.
+fn evaluate_fold(
+    classifier: &OcrClassifier,
+    train: &LabeledCorpus<Vec<bool>>,
+    test: &LabeledCorpus<Vec<bool>>,
+    scale: Scale,
+) -> Result<f64, DhmmError> {
+    let gold = test.labels();
+    let predictions: Vec<Vec<usize>> = match classifier {
+        OcrClassifier::NaiveBayes => {
+            let examples: Vec<(usize, Vec<bool>)> = train
+                .sequences
+                .iter()
+                .flat_map(|(labels, images)| labels.iter().copied().zip(images.iter().cloned()))
+                .collect();
+            let nb = BernoulliNaiveBayes::fit(&examples, NUM_LETTERS, GLYPH_DIM, 1.0)?;
+            test.sequences
+                .iter()
+                .map(|(_, images)| nb.predict_sequence(images))
+                .collect::<Result<_, _>>()?
+        }
+        OcrClassifier::Hmm => {
+            let trainer = SupervisedDiversifiedHmm::new(ocr_dhmm_config(scale, 0.0));
+            let (model, _) =
+                trainer.fit(&train.sequences, BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM)?)?;
+            model.decode_all(&test.observations())?
+        }
+        OcrClassifier::OptimizedHmm => {
+            let opt = OptimizedHmm::fit(
+                &train.sequences,
+                NUM_LETTERS,
+                GLYPH_DIM,
+                OptimizedHmmConfig::default(),
+            )?;
+            test.sequences
+                .iter()
+                .map(|(_, images)| opt.decode(images))
+                .collect::<Result<_, _>>()?
+        }
+        OcrClassifier::Dhmm { alpha } => {
+            let trainer = SupervisedDiversifiedHmm::new(ocr_dhmm_config(scale, *alpha));
+            let (model, _) =
+                trainer.fit(&train.sequences, BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM)?)?;
+            model.decode_all(&test.observations())?
+        }
+    };
+    Ok(plain_accuracy(&predictions, &gold).expect("aligned sequences"))
+}
+
+/// Runs k-fold cross-validation of one classifier on one dataset.
+fn cross_validate(
+    classifier: &OcrClassifier,
+    data: &LabeledCorpus<Vec<bool>>,
+    scale: Scale,
+    seed: u64,
+) -> Result<CrossValidation, DhmmError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let folds = kfold_indices(data.len(), num_folds(scale), &mut rng)
+        .expect("dataset large enough for the requested folds");
+    let mut scores = Vec::with_capacity(folds.len());
+    for (train_idx, test_idx) in folds {
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        scores.push(evaluate_fold(classifier, &train, &test, scale)?);
+    }
+    Ok(CrossValidation::from_scores(&scores))
+}
+
+/// Reproduces Fig. 10: supervised OCR accuracy vs α with `α_A = 1e5`.
+pub fn run_alpha_sweep(scale: Scale, seed: u64) -> Result<OcrAlphaSweepResult, DhmmError> {
+    let alphas: Vec<f64> = if scale.is_paper() {
+        vec![0.0, 0.1, 1.0, 10.0, 100.0, 1000.0]
+    } else {
+        vec![0.0, 10.0, 1000.0]
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = ocr::generate(&dataset_config(scale), &mut rng);
+    let mut points = Vec::with_capacity(alphas.len());
+    for &alpha in &alphas {
+        let cv = cross_validate(
+            &OcrClassifier::Dhmm { alpha },
+            &data.corpus,
+            scale,
+            seed ^ 0x0c0a,
+        )?;
+        points.push(OcrAlphaPoint {
+            alpha,
+            accuracy_mean: cv.mean(),
+            accuracy_std: cv.std_dev(),
+        });
+    }
+    Ok(OcrAlphaSweepResult {
+        points,
+        alpha_anchor: 1e5,
+    })
+}
+
+impl OcrAlphaSweepResult {
+    /// The α = 0 (plain HMM) accuracy.
+    pub fn hmm_accuracy(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.alpha == 0.0)
+            .map(|p| p.accuracy_mean)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Renders the accuracy-vs-α series of Fig. 10.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["alpha", "test accuracy (mean ± std)"]);
+        for p in &self.points {
+            table.add_row(&[
+                format!("{}", p.alpha),
+                fmt_mean_std(p.accuracy_mean, p.accuracy_std, 4),
+            ]);
+        }
+        format!("alpha_A = {:e}\n{}", self.alpha_anchor, table.render())
+    }
+}
+
+/// Reproduces Fig. 11: cross-validated test accuracy of Naive Bayes, HMM,
+/// Optimized HMM and dHMM (α = 10, α_A = 1e5).
+pub fn run_fig11(scale: Scale, seed: u64) -> Result<Fig11Result, DhmmError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = ocr::generate(&dataset_config(scale), &mut rng);
+    let classifiers = vec![
+        ("Naive Bayes".to_string(), OcrClassifier::NaiveBayes),
+        ("HMM".to_string(), OcrClassifier::Hmm),
+        ("Optimized HMM".to_string(), OcrClassifier::OptimizedHmm),
+        ("dHMM".to_string(), OcrClassifier::Dhmm { alpha: 10.0 }),
+    ];
+    let mut results = Vec::with_capacity(classifiers.len());
+    for (name, classifier) in classifiers {
+        let cv = cross_validate(&classifier, &data.corpus, scale, seed ^ 0x0f11)?;
+        results.push((name, cv.mean(), cv.std_dev()));
+    }
+    Ok(Fig11Result {
+        classifiers: results,
+    })
+}
+
+impl Fig11Result {
+    /// Accuracy of a named classifier (NaN if missing).
+    pub fn accuracy_of(&self, name: &str) -> f64 {
+        self.classifiers
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, m, _)| *m)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Renders the classifier comparison of Fig. 11.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["classifier", "test accuracy (mean ± std)"]);
+        for (name, mean, std) in &self.classifiers {
+            table.add_row(&[name.clone(), fmt_mean_std(*mean, *std, 4)]);
+        }
+        table.render()
+    }
+}
+
+/// Reproduces Fig. 12: transition-diversity profiles of the letters 'x' and
+/// 'y' under the supervised HMM (α = 0) and dHMM (α = 10, α_A = 1e5).
+pub fn run_fig12(scale: Scale, seed: u64) -> Result<Fig12Result, DhmmError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = ocr::generate(&dataset_config(scale), &mut rng);
+
+    let hmm_trainer = SupervisedDiversifiedHmm::new(ocr_dhmm_config(scale, 0.0));
+    let (hmm, _) = hmm_trainer.fit(
+        &data.corpus.sequences,
+        BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM)?,
+    )?;
+    let dhmm_trainer = SupervisedDiversifiedHmm::new(ocr_dhmm_config(scale, 10.0));
+    let (dhmm, _) = dhmm_trainer.fit(
+        &data.corpus.sequences,
+        BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM)?,
+    )?;
+
+    let profile = |letter: char, model: &dhmm_hmm::Hmm<BernoulliEmission>| -> Vec<f64> {
+        let idx = letter_index(letter).expect("lowercase letter");
+        row_bhattacharyya_profile(model.transition(), idx)
+    };
+    let others = |letter: char| -> Vec<char> {
+        (b'a'..=b'z')
+            .map(|b| b as char)
+            .filter(|&c| c != letter)
+            .collect()
+    };
+
+    Ok(Fig12Result {
+        x_others: others('x'),
+        x_hmm: profile('x', &hmm),
+        x_dhmm: profile('x', &dhmm),
+        y_others: others('y'),
+        y_hmm: profile('y', &hmm),
+        y_dhmm: profile('y', &dhmm),
+    })
+}
+
+impl Fig12Result {
+    /// Renders both letter profiles.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut table_x = TextTable::new(&["letter", "HMM div vs 'x'", "dHMM div vs 'x'"]);
+        for (i, c) in self.x_others.iter().enumerate() {
+            table_x.add_row(&[
+                c.to_string(),
+                fmt_float(self.x_hmm.get(i).copied().unwrap_or(f64::NAN), 4),
+                fmt_float(self.x_dhmm.get(i).copied().unwrap_or(f64::NAN), 4),
+            ]);
+        }
+        out.push_str(&table_x.render());
+        out.push('\n');
+        let mut table_y = TextTable::new(&["letter", "HMM div vs 'y'", "dHMM div vs 'y'"]);
+        for (i, c) in self.y_others.iter().enumerate() {
+            table_y.add_row(&[
+                c.to_string(),
+                fmt_float(self.y_hmm.get(i).copied().unwrap_or(f64::NAN), 4),
+                fmt_float(self.y_dhmm.get(i).copied().unwrap_or(f64::NAN), 4),
+            ]);
+        }
+        out.push_str(&table_y.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_examples_and_bigrams() {
+        let result = run_table3(Scale::Quick, 1);
+        assert!(!result.examples.is_empty());
+        assert!(!result.top_bigrams.is_empty());
+        assert!(result.top_bigrams[0].2 >= result.top_bigrams.last().unwrap().2);
+        let rendered = result.render();
+        assert!(rendered.contains("example word"));
+        assert!(rendered.contains("->"));
+    }
+
+    #[test]
+    fn fig10_alpha_sweep_quick() {
+        let result = run_alpha_sweep(Scale::Quick, 2).unwrap();
+        assert_eq!(result.points.len(), 3);
+        for p in &result.points {
+            assert!((0.0..=1.0).contains(&p.accuracy_mean), "accuracy {}", p.accuracy_mean);
+            assert!(p.accuracy_std >= 0.0);
+        }
+        assert!((0.0..=1.0).contains(&result.hmm_accuracy()));
+        assert!(result.render().contains("alpha_A"));
+    }
+
+    #[test]
+    fn fig11_ranking_matches_paper_shape() {
+        let result = run_fig11(Scale::Quick, 3).unwrap();
+        assert_eq!(result.classifiers.len(), 4);
+        let nb = result.accuracy_of("Naive Bayes");
+        let hmm = result.accuracy_of("HMM");
+        let dhmm = result.accuracy_of("dHMM");
+        assert!((0.0..=1.0).contains(&nb));
+        // The chain-structured models should beat the position-independent
+        // Naive Bayes, and the dHMM should not fall below the HMM by much —
+        // the qualitative ordering of the paper's Fig. 11.
+        assert!(hmm >= nb - 0.02, "HMM {hmm} worse than Naive Bayes {nb}");
+        assert!(dhmm >= hmm - 0.03, "dHMM {dhmm} much worse than HMM {hmm}");
+        assert!(result.render().contains("Optimized HMM"));
+    }
+
+    #[test]
+    fn fig12_profiles_have_25_entries_each() {
+        let result = run_fig12(Scale::Quick, 4).unwrap();
+        assert_eq!(result.x_others.len(), 25);
+        assert_eq!(result.x_hmm.len(), 25);
+        assert_eq!(result.x_dhmm.len(), 25);
+        assert_eq!(result.y_others.len(), 25);
+        assert!(!result.x_others.contains(&'x'));
+        assert!(!result.y_others.contains(&'y'));
+        assert!(result.x_hmm.iter().all(|d| *d >= 0.0));
+        assert!(result.render().contains("dHMM div vs 'x'"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Unsupervised PoS-tagging experiments: Table 2 and Figs. 7–9.
+
+use crate::common::{pos_dhmm_config, Scale, DEFAULT_SEED};
+use dhmm_core::{DhmmError, DiversifiedHmm};
+use dhmm_data::pos::{self, PosConfig, PosCorpus, NUM_TAGS, TAG_FREQUENCIES, TAG_NAMES};
+use dhmm_eval::accuracy::{apply_mapping, one_to_one_accuracy};
+use dhmm_eval::reporting::{fmt_float, TextTable};
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::model::Hmm;
+use dhmm_prob::divergence::row_bhattacharyya_profile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of the Table 2 reproduction: the merged tag inventory with its
+/// target (paper) frequencies and the frequencies observed in the generated
+/// synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// Tag names in index order.
+    pub tag_names: Vec<&'static str>,
+    /// The paper's aggregate tag frequencies (Table 2).
+    pub paper_frequencies: Vec<u32>,
+    /// Tag frequencies observed in the generated corpus.
+    pub corpus_frequencies: Vec<usize>,
+    /// Number of sentences generated.
+    pub num_sentences: usize,
+    /// Number of word tokens generated.
+    pub num_tokens: usize,
+    /// Number of distinct word types observed.
+    pub num_types: usize,
+}
+
+/// One α point of the Fig. 7 sweep.
+#[derive(Debug, Clone)]
+pub struct AlphaPoint {
+    /// The prior weight α (α = 0 is the plain HMM).
+    pub alpha: f64,
+    /// 1-to-1 tagging accuracy.
+    pub accuracy: f64,
+    /// Mean pairwise Bhattacharyya diversity of the learned transitions.
+    pub diversity: f64,
+}
+
+/// Result of the Fig. 7 α sweep.
+#[derive(Debug, Clone)]
+pub struct PosAlphaSweepResult {
+    /// One point per α value (the first entry is α = 0, the HMM baseline).
+    pub points: Vec<AlphaPoint>,
+}
+
+/// Result of the Fig. 8 reproduction: transition diversity between the NOUN
+/// tag and every other tag under HMM and dHMM.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// Names of the non-NOUN tags, index-aligned with the profiles.
+    pub other_tags: Vec<&'static str>,
+    /// Bhattacharyya distance from NOUN's transition row under the HMM.
+    pub hmm_profile: Vec<f64>,
+    /// Bhattacharyya distance from NOUN's transition row under the dHMM.
+    pub dhmm_profile: Vec<f64>,
+}
+
+/// Result of the Fig. 9 reproduction: how many word tokens each tag accounts
+/// for under the gold labels, the HMM labeling and the dHMM labeling.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// Tag names in index order.
+    pub tag_names: Vec<&'static str>,
+    /// Token counts per gold tag.
+    pub ground_truth: Vec<usize>,
+    /// Token counts per tag as labeled by the HMM (after 1-to-1 mapping).
+    pub hmm: Vec<usize>,
+    /// Token counts per tag as labeled by the dHMM (after 1-to-1 mapping).
+    pub dhmm: Vec<usize>,
+}
+
+fn corpus_config(scale: Scale) -> PosConfig {
+    if scale.is_paper() {
+        PosConfig::default()
+    } else {
+        PosConfig::small()
+    }
+}
+
+/// Reproduces Table 2: the merged tag set, the paper's frequencies and the
+/// statistics of the generated synthetic corpus.
+pub fn run_table2(scale: Scale, seed: u64) -> Table2Result {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = pos::generate(&corpus_config(scale), &mut rng);
+    let corpus_frequencies = data.corpus.label_histogram();
+    let num_tokens = data.corpus.num_positions();
+    let mut seen = vec![false; data.vocab_size];
+    for (_, words) in &data.corpus.sequences {
+        for &w in words {
+            seen[w] = true;
+        }
+    }
+    Table2Result {
+        tag_names: TAG_NAMES.to_vec(),
+        paper_frequencies: TAG_FREQUENCIES.to_vec(),
+        corpus_frequencies,
+        num_sentences: data.corpus.len(),
+        num_tokens,
+        num_types: seen.iter().filter(|&&s| s).count(),
+    }
+}
+
+impl Table2Result {
+    /// Renders the tag summary table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["idx", "PoS", "paper freq", "synthetic freq"]);
+        for i in 0..NUM_TAGS {
+            table.add_row(&[
+                (i + 1).to_string(),
+                self.tag_names[i].to_string(),
+                self.paper_frequencies[i].to_string(),
+                self.corpus_frequencies[i].to_string(),
+            ]);
+        }
+        format!(
+            "{}\nsentences = {}, tokens = {}, word types = {}\n",
+            table.render(),
+            self.num_sentences,
+            self.num_tokens,
+            self.num_types
+        )
+    }
+}
+
+/// Trains a dHMM tagger with the given α on a generated corpus and returns
+/// the model together with its 1-to-1 accuracy and cluster→tag mapping.
+fn train_tagger(
+    data: &PosCorpus,
+    alpha: f64,
+    scale: Scale,
+    seed: u64,
+) -> Result<(Hmm<DiscreteEmission>, f64, Vec<usize>), DhmmError> {
+    let observations = data.corpus.observations();
+    let gold = data.corpus.labels();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trainer = DiversifiedHmm::new(pos_dhmm_config(scale, alpha));
+    let (model, _) = trainer.fit_discrete(&observations, NUM_TAGS, data.vocab_size, &mut rng)?;
+    let predicted = model.decode_all(&observations)?;
+    let (accuracy, mapping) =
+        one_to_one_accuracy(&predicted, &gold).expect("aligned label sequences");
+    Ok((model, accuracy, mapping))
+}
+
+/// Reproduces Fig. 7: unsupervised tagging accuracy as a function of α
+/// (α ∈ {0, 0.1, 1, 10, 100, 1000} in the paper).
+pub fn run_alpha_sweep(scale: Scale, seed: u64) -> Result<PosAlphaSweepResult, DhmmError> {
+    let alphas: Vec<f64> = if scale.is_paper() {
+        vec![0.0, 0.1, 1.0, 10.0, 100.0, 1000.0]
+    } else {
+        vec![0.0, 1.0, 100.0, 1000.0]
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = pos::generate(&corpus_config(scale), &mut rng);
+    let mut points = Vec::with_capacity(alphas.len());
+    for &alpha in &alphas {
+        let (model, accuracy, _) = train_tagger(&data, alpha, scale, seed ^ 0x705)?;
+        points.push(AlphaPoint {
+            alpha,
+            accuracy,
+            diversity: dhmm_prob::mean_pairwise_bhattacharyya(model.transition()),
+        });
+    }
+    Ok(PosAlphaSweepResult { points })
+}
+
+impl PosAlphaSweepResult {
+    /// The α = 0 (plain HMM) accuracy.
+    pub fn hmm_accuracy(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.alpha == 0.0)
+            .map(|p| p.accuracy)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// The best accuracy over positive α values and the α achieving it.
+    pub fn best_dhmm(&self) -> (f64, f64) {
+        self.points
+            .iter()
+            .filter(|p| p.alpha > 0.0)
+            .map(|p| (p.alpha, p.accuracy))
+            .fold((f64::NAN, f64::NEG_INFINITY), |acc, (a, v)| {
+                if v > acc.1 {
+                    (a, v)
+                } else {
+                    acc
+                }
+            })
+    }
+
+    /// Renders the accuracy-vs-α series of Fig. 7.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["alpha", "1-to-1 accuracy", "transition diversity"]);
+        for p in &self.points {
+            table.add_row(&[
+                format!("{}", p.alpha),
+                fmt_float(p.accuracy, 4),
+                fmt_float(p.diversity, 4),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Reproduces Fig. 8: Bhattacharyya distance between the NOUN tag's learned
+/// transition row and every other tag's, for HMM (α = 0) and dHMM
+/// (α = 100).
+pub fn run_fig8(scale: Scale, seed: u64) -> Result<Fig8Result, DhmmError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = pos::generate(&corpus_config(scale), &mut rng);
+    let (hmm, _, hmm_mapping) = train_tagger(&data, 0.0, scale, seed ^ 0xf18)?;
+    let (dhmm, _, dhmm_mapping) = train_tagger(&data, 100.0, scale, seed ^ 0xf18)?;
+
+    // Identify which learned cluster maps to the NOUN gold tag (index 0); if
+    // no cluster maps to it, fall back to cluster 0.
+    let find_noun = |mapping: &[usize]| -> usize {
+        mapping.iter().position(|&g| g == 0).unwrap_or(0)
+    };
+    let hmm_profile = row_bhattacharyya_profile(hmm.transition(), find_noun(&hmm_mapping));
+    let dhmm_profile = row_bhattacharyya_profile(dhmm.transition(), find_noun(&dhmm_mapping));
+    let other_tags: Vec<&'static str> = TAG_NAMES.iter().skip(1).copied().collect();
+    Ok(Fig8Result {
+        other_tags,
+        hmm_profile,
+        dhmm_profile,
+    })
+}
+
+impl Fig8Result {
+    /// Renders the per-tag diversity profile of Fig. 8.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["tag", "HMM diversity vs NOUN", "dHMM diversity vs NOUN"]);
+        for (i, name) in self.other_tags.iter().enumerate() {
+            table.add_row(&[
+                name.to_string(),
+                fmt_float(self.hmm_profile.get(i).copied().unwrap_or(f64::NAN), 4),
+                fmt_float(self.dhmm_profile.get(i).copied().unwrap_or(f64::NAN), 4),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Reproduces Fig. 9: word-token mass per tag under the gold labeling and
+/// under the labelings produced by HMM (α = 0) and dHMM (α = 100).
+pub fn run_fig9(scale: Scale, seed: u64) -> Result<Fig9Result, DhmmError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = pos::generate(&corpus_config(scale), &mut rng);
+    let gold = data.corpus.labels();
+    let observations = data.corpus.observations();
+
+    let (hmm, _, hmm_mapping) = train_tagger(&data, 0.0, scale, seed ^ 0xf19)?;
+    let (dhmm, _, dhmm_mapping) = train_tagger(&data, 100.0, scale, seed ^ 0xf19)?;
+
+    let count_tags = |pred: &[Vec<usize>]| -> Vec<usize> {
+        dhmm_eval::histogram::state_histogram(pred, NUM_TAGS)
+    };
+    let hmm_pred = apply_mapping(&hmm.decode_all(&observations)?, &hmm_mapping);
+    let dhmm_pred = apply_mapping(&dhmm.decode_all(&observations)?, &dhmm_mapping);
+
+    Ok(Fig9Result {
+        tag_names: TAG_NAMES.to_vec(),
+        ground_truth: count_tags(&gold),
+        hmm: count_tags(&hmm_pred),
+        dhmm: count_tags(&dhmm_pred),
+    })
+}
+
+impl Fig9Result {
+    /// Renders the word-frequency-per-tag comparison of Fig. 9.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["tag", "ground-truth", "HMM", "dHMM"]);
+        for i in 0..NUM_TAGS {
+            table.add_row(&[
+                self.tag_names[i].to_string(),
+                self.ground_truth[i].to_string(),
+                self.hmm[i].to_string(),
+                self.dhmm[i].to_string(),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Total-variation distance between a labeling's tag-mass distribution
+    /// and the gold distribution; smaller is better (the paper's claim is
+    /// that dHMM tracks the skewed gold distribution more closely).
+    pub fn distance_to_gold(&self, counts: &[usize]) -> f64 {
+        dhmm_eval::histogram::histogram_distance(counts, &self.ground_truth).unwrap_or(f64::NAN)
+    }
+}
+
+/// Convenience wrapper used by the default binaries.
+pub fn default_seed() -> u64 {
+    DEFAULT_SEED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reports_paper_and_synthetic_statistics() {
+        let result = run_table2(Scale::Quick, 1);
+        assert_eq!(result.tag_names.len(), NUM_TAGS);
+        assert_eq!(result.paper_frequencies[0], 28_866);
+        assert_eq!(result.num_sentences, 400);
+        assert!(result.num_tokens > 400);
+        assert!(result.num_types > 100);
+        let rendered = result.render();
+        assert!(rendered.contains("NOUN"));
+        assert!(rendered.contains("word types"));
+    }
+
+    #[test]
+    fn alpha_sweep_has_hmm_baseline_and_best_dhmm() {
+        let result = run_alpha_sweep(Scale::Quick, 2).unwrap();
+        assert_eq!(result.points.len(), 4);
+        let hmm_acc = result.hmm_accuracy();
+        assert!((0.0..=1.0).contains(&hmm_acc));
+        let (best_alpha, best_acc) = result.best_dhmm();
+        assert!(best_alpha > 0.0);
+        assert!((0.0..=1.0).contains(&best_acc));
+        // Diversity should not decrease as alpha grows from 0 to a large value.
+        let d0 = result.points.first().unwrap().diversity;
+        let d_big = result
+            .points
+            .iter()
+            .find(|p| p.alpha >= 100.0)
+            .unwrap()
+            .diversity;
+        assert!(d_big >= d0 - 0.05, "diversity {d_big} fell below baseline {d0}");
+        assert!(result.render().contains("alpha"));
+    }
+
+    #[test]
+    fn fig8_profiles_cover_all_other_tags() {
+        let result = run_fig8(Scale::Quick, 3).unwrap();
+        assert_eq!(result.other_tags.len(), NUM_TAGS - 1);
+        assert_eq!(result.hmm_profile.len(), NUM_TAGS - 1);
+        assert_eq!(result.dhmm_profile.len(), NUM_TAGS - 1);
+        assert!(result.hmm_profile.iter().all(|d| *d >= 0.0));
+        assert!(result.dhmm_profile.iter().all(|d| *d >= 0.0));
+        assert!(result.render().contains("dHMM diversity vs NOUN"));
+    }
+
+    #[test]
+    fn fig9_counts_are_conserved() {
+        let result = run_fig9(Scale::Quick, 4).unwrap();
+        let total: usize = result.ground_truth.iter().sum();
+        assert_eq!(result.hmm.iter().sum::<usize>(), total);
+        assert_eq!(result.dhmm.iter().sum::<usize>(), total);
+        assert!(result.render().contains("ground-truth"));
+        let d_hmm = result.distance_to_gold(&result.hmm);
+        let d_dhmm = result.distance_to_gold(&result.dhmm);
+        assert!((0.0..=1.0).contains(&d_hmm));
+        assert!((0.0..=1.0).contains(&d_dhmm));
+    }
+}

@@ -1,0 +1,424 @@
+//! Toy-data experiments: Table 1, Fig. 2 and the σ sweep of Figs. 3–5.
+
+use crate::common::{toy_dhmm_config, Scale};
+use dhmm_core::{DhmmError, DiversifiedHmm};
+use dhmm_data::toy::{self, ToyConfig, TOY_STATES};
+use dhmm_eval::accuracy::one_to_one_accuracy;
+use dhmm_eval::histogram::{num_identified_states, state_histogram};
+use dhmm_eval::reporting::{fmt_float, TextTable};
+use dhmm_hmm::emission::GaussianEmission;
+use dhmm_hmm::model::Hmm;
+use dhmm_prob::mean_pairwise_bhattacharyya;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of the Table 1 reproduction: inferred-state histograms and 1-to-1
+/// labeling accuracies of HMM vs dHMM on the toy data.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Histogram of the ground-truth hidden states.
+    pub true_histogram: Vec<usize>,
+    /// Histogram of states decoded with the plain-HMM parameters.
+    pub hmm_histogram: Vec<usize>,
+    /// Histogram of states decoded with the dHMM parameters.
+    pub dhmm_histogram: Vec<usize>,
+    /// 1-to-1 accuracy of the plain HMM (paper: 0.4117).
+    pub hmm_accuracy: f64,
+    /// 1-to-1 accuracy of the dHMM (paper: 0.4728).
+    pub dhmm_accuracy: f64,
+}
+
+/// Result of the Fig. 2 reproduction: ground-truth vs learned parameters,
+/// with the learned states aligned to the truth.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Ground-truth transition matrix.
+    pub true_transition: dhmm_linalg::Matrix,
+    /// HMM-learned transition matrix (aligned to the truth).
+    pub hmm_transition: dhmm_linalg::Matrix,
+    /// dHMM-learned transition matrix (aligned to the truth).
+    pub dhmm_transition: dhmm_linalg::Matrix,
+    /// Ground-truth, HMM and dHMM initial distributions (aligned).
+    pub initials: [Vec<f64>; 3],
+    /// Ground-truth, HMM and dHMM emission means (aligned).
+    pub means: [Vec<f64>; 3],
+    /// Ground-truth, HMM and dHMM emission standard deviations (aligned).
+    pub std_devs: [Vec<f64>; 3],
+}
+
+/// One σ point of the Figs. 3–5 sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The emission standard deviation.
+    pub sigma: f64,
+    /// Mean pairwise Bhattacharyya diversity of the HMM-learned transitions
+    /// (averaged over restarts).
+    pub hmm_diversity: f64,
+    /// Diversity of the dHMM-learned transitions.
+    pub dhmm_diversity: f64,
+    /// Number of states identified (frequency ≥ σ_F) by the HMM.
+    pub hmm_states: f64,
+    /// Number of states identified by the dHMM.
+    pub dhmm_states: f64,
+    /// Histogram of decoded states for the HMM (last restart).
+    pub hmm_histogram: Vec<usize>,
+    /// Histogram of decoded states for the dHMM (last restart).
+    pub dhmm_histogram: Vec<usize>,
+    /// Histogram of the ground-truth states.
+    pub true_histogram: Vec<usize>,
+}
+
+/// Result of the σ sweep (Figs. 3, 4 and 5 share it).
+#[derive(Debug, Clone)]
+pub struct SigmaSweepResult {
+    /// One entry per σ value.
+    pub points: Vec<SweepPoint>,
+    /// Diversity of the ground-truth transition matrix (the paper's green
+    /// line at 0.531).
+    pub true_diversity: f64,
+    /// The state-frequency threshold σ_F used to count identified states.
+    pub frequency_threshold: usize,
+}
+
+/// Fits an HMM (α = 0) and a dHMM (given α) on toy observations and returns
+/// `(hmm, dhmm)`. Both models use the same number of EM iterations and the
+/// same random initialization seed, so differences come only from the prior.
+fn fit_pair(
+    observations: &[Vec<f64>],
+    alpha: f64,
+    scale: Scale,
+    seed: u64,
+) -> Result<(Hmm<GaussianEmission>, Hmm<GaussianEmission>), DhmmError> {
+    let mut rng_hmm = StdRng::seed_from_u64(seed);
+    let mut rng_dhmm = StdRng::seed_from_u64(seed);
+    let (hmm, _) = DiversifiedHmm::new(toy_dhmm_config(scale, 0.0)).fit_gaussian(
+        observations,
+        TOY_STATES,
+        &mut rng_hmm,
+    )?;
+    let (dhmm, _) = DiversifiedHmm::new(toy_dhmm_config(scale, alpha)).fit_gaussian(
+        observations,
+        TOY_STATES,
+        &mut rng_dhmm,
+    )?;
+    Ok((hmm, dhmm))
+}
+
+/// Reproduces Table 1: state histograms and 1-to-1 accuracies on the toy
+/// data with `σ = 0.025` and `α = 1`.
+pub fn run_table1(scale: Scale, seed: u64) -> Result<Table1Result, DhmmError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = ToyConfig {
+        num_sequences: if scale.is_paper() { 300 } else { 120 },
+        ..ToyConfig::default()
+    };
+    let data = toy::generate(&config, &mut rng);
+    let observations = data.corpus.observations();
+    let gold = data.corpus.labels();
+
+    let (hmm, dhmm) = fit_pair(&observations, 1.0, scale, seed ^ 0x5eed)?;
+
+    let hmm_pred = hmm.decode_all(&observations)?;
+    let dhmm_pred = dhmm.decode_all(&observations)?;
+    let (hmm_accuracy, _) =
+        one_to_one_accuracy(&hmm_pred, &gold).expect("aligned label sequences");
+    let (dhmm_accuracy, _) =
+        one_to_one_accuracy(&dhmm_pred, &gold).expect("aligned label sequences");
+
+    Ok(Table1Result {
+        true_histogram: state_histogram(&gold, TOY_STATES),
+        hmm_histogram: state_histogram(&hmm_pred, TOY_STATES),
+        dhmm_histogram: state_histogram(&dhmm_pred, TOY_STATES),
+        hmm_accuracy,
+        dhmm_accuracy,
+    })
+}
+
+impl Table1Result {
+    /// Renders the table in the layout of the paper's Table 1.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["", "ground-truth", "HMM", "dHMM"]);
+        for s in 0..TOY_STATES {
+            table.add_row(&[
+                format!("state {} freq", s + 1),
+                self.true_histogram[s].to_string(),
+                self.hmm_histogram[s].to_string(),
+                self.dhmm_histogram[s].to_string(),
+            ]);
+        }
+        table.add_row(&[
+            "1-to-1 accuracy".to_string(),
+            "1.0000".to_string(),
+            fmt_float(self.hmm_accuracy, 4),
+            fmt_float(self.dhmm_accuracy, 4),
+        ]);
+        table.render()
+    }
+}
+
+/// Reproduces Fig. 2: learned parameters aligned against the ground truth.
+pub fn run_fig2(scale: Scale, seed: u64) -> Result<Fig2Result, DhmmError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = ToyConfig {
+        num_sequences: if scale.is_paper() { 300 } else { 120 },
+        ..ToyConfig::default()
+    };
+    let data = toy::generate(&config, &mut rng);
+    let observations = data.corpus.observations();
+    let (hmm, dhmm) = fit_pair(&observations, 1.0, scale, seed ^ 0xf162)?;
+
+    let truth = &data.ground_truth;
+    let align = |model: &Hmm<GaussianEmission>| -> (dhmm_linalg::Matrix, Vec<f64>, Vec<f64>, Vec<f64>) {
+        // Align learned states to true states using the emission means as the
+        // per-state feature (the most identifiable parameter here).
+        let learned_means = dhmm_linalg::Matrix::from_fn(TOY_STATES, 1, |i, _| {
+            model.emission().means()[i]
+        });
+        let true_means =
+            dhmm_linalg::Matrix::from_fn(TOY_STATES, 1, |i, _| truth.emission().means()[i]);
+        let perm = dhmm_eval::align::align_states_to_truth(&learned_means, &true_means)
+            .expect("shapes match");
+        let a = dhmm_eval::align::permute_transition(model.transition(), &perm)
+            .expect("valid permutation");
+        let pi = dhmm_eval::align::permute_vector(model.initial(), &perm).expect("valid");
+        let means =
+            dhmm_eval::align::permute_vector(model.emission().means(), &perm).expect("valid");
+        let stds =
+            dhmm_eval::align::permute_vector(model.emission().std_devs(), &perm).expect("valid");
+        (a, pi, means, stds)
+    };
+
+    let (hmm_a, hmm_pi, hmm_mu, hmm_sigma) = align(&hmm);
+    let (dhmm_a, dhmm_pi, dhmm_mu, dhmm_sigma) = align(&dhmm);
+
+    Ok(Fig2Result {
+        true_transition: truth.transition().clone(),
+        hmm_transition: hmm_a,
+        dhmm_transition: dhmm_a,
+        initials: [truth.initial().to_vec(), hmm_pi, dhmm_pi],
+        means: [truth.emission().means().to_vec(), hmm_mu, dhmm_mu],
+        std_devs: [truth.emission().std_devs().to_vec(), hmm_sigma, dhmm_sigma],
+    })
+}
+
+impl Fig2Result {
+    /// Renders the per-parameter comparison of Fig. 2b plus the transition
+    /// diversity of Fig. 2a.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut table = TextTable::new(&["parameter", "ground-truth", "HMM", "dHMM"]);
+        for s in 0..TOY_STATES {
+            table.add_row(&[
+                format!("pi[{}]", s + 1),
+                fmt_float(self.initials[0][s], 4),
+                fmt_float(self.initials[1][s], 4),
+                fmt_float(self.initials[2][s], 4),
+            ]);
+        }
+        for s in 0..TOY_STATES {
+            table.add_row(&[
+                format!("B.mu[{}]", s + 1),
+                fmt_float(self.means[0][s], 3),
+                fmt_float(self.means[1][s], 3),
+                fmt_float(self.means[2][s], 3),
+            ]);
+        }
+        for s in 0..TOY_STATES {
+            table.add_row(&[
+                format!("B.sigma[{}]", s + 1),
+                fmt_float(self.std_devs[0][s], 3),
+                fmt_float(self.std_devs[1][s], 3),
+                fmt_float(self.std_devs[2][s], 3),
+            ]);
+        }
+        table.add_row(&[
+            "A diversity".to_string(),
+            fmt_float(mean_pairwise_bhattacharyya(&self.true_transition), 3),
+            fmt_float(mean_pairwise_bhattacharyya(&self.hmm_transition), 3),
+            fmt_float(mean_pairwise_bhattacharyya(&self.dhmm_transition), 3),
+        ]);
+        out.push_str(&table.render());
+        out
+    }
+}
+
+/// Reproduces the σ sweep shared by Figs. 3, 4 and 5: for each emission
+/// standard deviation, fit HMM and dHMM and record transition diversity and
+/// the number of identified states.
+pub fn run_sigma_sweep(scale: Scale, seed: u64) -> Result<SigmaSweepResult, DhmmError> {
+    let (num_sigmas, num_runs, num_sequences) = if scale.is_paper() {
+        (50, 10, 300)
+    } else {
+        (6, 1, 100)
+    };
+    let frequency_threshold = if scale.is_paper() { 50 } else { 20 };
+    let sigma_step = if scale.is_paper() { 1 } else { 8 };
+
+    let mut points = Vec::with_capacity(num_sigmas);
+    for sweep_idx in 0..num_sigmas {
+        let sigma = ToyConfig::sweep_std(sweep_idx * sigma_step);
+        let mut hmm_div = 0.0;
+        let mut dhmm_div = 0.0;
+        let mut hmm_states = 0.0;
+        let mut dhmm_states = 0.0;
+        let mut hmm_hist = vec![0usize; TOY_STATES];
+        let mut dhmm_hist = vec![0usize; TOY_STATES];
+        let mut true_hist = vec![0usize; TOY_STATES];
+        for run in 0..num_runs {
+            let run_seed = seed
+                .wrapping_add(sweep_idx as u64 * 1009)
+                .wrapping_add(run as u64 * 7919);
+            let mut rng = StdRng::seed_from_u64(run_seed);
+            let data = toy::generate(
+                &ToyConfig {
+                    num_sequences,
+                    emission_std: sigma,
+                    ..ToyConfig::default()
+                },
+                &mut rng,
+            );
+            let observations = data.corpus.observations();
+            let (hmm, dhmm) = fit_pair(&observations, 1.0, scale, run_seed ^ 0xabcd)?;
+
+            hmm_div += mean_pairwise_bhattacharyya(hmm.transition());
+            dhmm_div += mean_pairwise_bhattacharyya(dhmm.transition());
+
+            let hmm_pred = hmm.decode_all(&observations)?;
+            let dhmm_pred = dhmm.decode_all(&observations)?;
+            hmm_hist = state_histogram(&hmm_pred, TOY_STATES);
+            dhmm_hist = state_histogram(&dhmm_pred, TOY_STATES);
+            true_hist = state_histogram(&data.corpus.labels(), TOY_STATES);
+            hmm_states += num_identified_states(&hmm_hist, frequency_threshold) as f64;
+            dhmm_states += num_identified_states(&dhmm_hist, frequency_threshold) as f64;
+        }
+        let n = num_runs as f64;
+        points.push(SweepPoint {
+            sigma,
+            hmm_diversity: hmm_div / n,
+            dhmm_diversity: dhmm_div / n,
+            hmm_states: hmm_states / n,
+            dhmm_states: dhmm_states / n,
+            hmm_histogram: hmm_hist,
+            dhmm_histogram: dhmm_hist,
+            true_histogram: true_hist,
+        });
+    }
+
+    Ok(SigmaSweepResult {
+        points,
+        true_diversity: mean_pairwise_bhattacharyya(&toy::ground_truth_transition()),
+        frequency_threshold,
+    })
+}
+
+impl SigmaSweepResult {
+    /// Renders the Fig. 3 series (diversity vs σ).
+    pub fn render_fig3(&self) -> String {
+        let mut table = TextTable::new(&["sigma", "HMM diversity", "dHMM diversity", "ground-truth"]);
+        for p in &self.points {
+            table.add_row(&[
+                fmt_float(p.sigma, 3),
+                fmt_float(p.hmm_diversity, 4),
+                fmt_float(p.dhmm_diversity, 4),
+                fmt_float(self.true_diversity, 4),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Renders the Fig. 5 series (number of identified states vs σ).
+    pub fn render_fig5(&self) -> String {
+        let mut table = TextTable::new(&["sigma", "HMM #states", "dHMM #states"]);
+        for p in &self.points {
+            table.add_row(&[
+                fmt_float(p.sigma, 3),
+                fmt_float(p.hmm_states, 2),
+                fmt_float(p.dhmm_states, 2),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Renders the Fig. 4 histogram at the sweep point whose HMM identifies
+    /// the fewest states (the regime the paper's Fig. 4 illustrates).
+    pub fn render_fig4(&self) -> String {
+        let point = self
+            .points
+            .iter()
+            .min_by(|a, b| a.hmm_states.partial_cmp(&b.hmm_states).expect("finite"))
+            .expect("sweep has at least one point");
+        let mut table = TextTable::new(&["state", "true freq", "HMM freq", "dHMM freq"]);
+        for s in 0..TOY_STATES {
+            table.add_row(&[
+                (s + 1).to_string(),
+                point.true_histogram[s].to_string(),
+                point.hmm_histogram[s].to_string(),
+                point.dhmm_histogram[s].to_string(),
+            ]);
+        }
+        format!(
+            "sigma = {:.3}, frequency threshold = {}\n{}",
+            point.sigma,
+            self.frequency_threshold,
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_quick_run_produces_sane_numbers() {
+        let result = run_table1(Scale::Quick, 7).unwrap();
+        assert!((0.0..=1.0).contains(&result.hmm_accuracy));
+        assert!((0.0..=1.0).contains(&result.dhmm_accuracy));
+        let total: usize = result.true_histogram.iter().sum();
+        assert_eq!(total, 120 * 6);
+        assert_eq!(result.hmm_histogram.iter().sum::<usize>(), total);
+        assert_eq!(result.dhmm_histogram.iter().sum::<usize>(), total);
+        let rendered = result.render();
+        assert!(rendered.contains("1-to-1 accuracy"));
+        assert!(rendered.contains("dHMM"));
+    }
+
+    #[test]
+    fn fig2_alignment_recovers_means_in_order() {
+        let result = run_fig2(Scale::Quick, 3).unwrap();
+        assert_eq!(result.means[0], vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Aligned learned means should be sorted roughly like the truth.
+        let rendered = result.render();
+        assert!(rendered.contains("B.mu[1]"));
+        assert!(rendered.contains("A diversity"));
+        assert!(result.hmm_transition.is_row_stochastic(1e-6));
+        assert!(result.dhmm_transition.is_row_stochastic(1e-6));
+    }
+
+    #[test]
+    fn sigma_sweep_quick_has_expected_shape() {
+        let result = run_sigma_sweep(Scale::Quick, 11).unwrap();
+        assert_eq!(result.points.len(), 6);
+        assert!(result.true_diversity > 0.3);
+        for p in &result.points {
+            assert!(p.sigma >= 0.025);
+            assert!(p.hmm_diversity >= 0.0);
+            assert!(p.dhmm_diversity >= 0.0);
+            assert!(p.hmm_states >= 1.0 && p.hmm_states <= 5.0);
+            assert!(p.dhmm_states >= 1.0 && p.dhmm_states <= 5.0);
+        }
+        // The dHMM should be at least as diverse as the HMM on average
+        // (the paper's Fig. 3 headline).
+        let mean_hmm: f64 =
+            result.points.iter().map(|p| p.hmm_diversity).sum::<f64>() / result.points.len() as f64;
+        let mean_dhmm: f64 = result.points.iter().map(|p| p.dhmm_diversity).sum::<f64>()
+            / result.points.len() as f64;
+        assert!(
+            mean_dhmm >= mean_hmm - 0.02,
+            "dHMM mean diversity {mean_dhmm} below HMM {mean_hmm}"
+        );
+        assert!(result.render_fig3().contains("sigma"));
+        assert!(result.render_fig4().contains("frequency threshold"));
+        assert!(result.render_fig5().contains("#states"));
+    }
+}

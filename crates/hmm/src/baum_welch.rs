@@ -1,0 +1,428 @@
+//! Baum–Welch (EM) training of HMM parameters.
+//!
+//! The E-step runs the scaled forward–backward pass over every sequence
+//! (optionally in parallel); the M-step re-estimates `π`, `A` and the
+//! emission parameters from the collected sufficient statistics.
+//!
+//! The transition M-step is factored out behind the [`TransitionUpdater`]
+//! trait so that the diversified HMM can replace the closed-form MLE update
+//! (`A_ij ∝ Σ_t ξ_t(i,j)`, the `α = 0` case of the paper's Eq. 15) with its
+//! DPP-regularized projected-gradient update without duplicating the rest of
+//! the EM loop.
+
+use crate::emission::Emission;
+use crate::error::HmmError;
+use crate::forward_backward::{forward_backward, SequenceStats};
+use crate::model::Hmm;
+use dhmm_linalg::Matrix;
+
+/// Strategy for re-estimating the transition matrix from the expected
+/// transition counts collected in the E-step.
+pub trait TransitionUpdater {
+    /// Produces a new row-stochastic transition matrix.
+    ///
+    /// * `xi_sum` — `k × k` matrix of expected transition counts
+    ///   `Σ_n Σ_t q(X_{t-1} = i, X_t = j)`,
+    /// * `current` — the transition matrix from the previous iteration
+    ///   (the starting point for gradient-based updaters).
+    fn update(&self, xi_sum: &Matrix, current: &Matrix) -> Result<Matrix, HmmError>;
+
+    /// Extra objective contributed by this updater's prior, evaluated at `a`
+    /// (zero for plain MLE). Added to the data log-likelihood when
+    /// monitoring convergence of MAP-EM.
+    fn prior_objective(&self, _a: &Matrix) -> f64 {
+        0.0
+    }
+}
+
+/// The classical maximum-likelihood transition update:
+/// `A_ij = Σ ξ(i,j) / Σ_j Σ ξ(i,j)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MleTransitionUpdater {
+    /// Pseudo-count added to every expected transition count before
+    /// normalization (0.0 recovers the unsmoothed MLE).
+    pub pseudo_count: f64,
+}
+
+impl TransitionUpdater for MleTransitionUpdater {
+    fn update(&self, xi_sum: &Matrix, _current: &Matrix) -> Result<Matrix, HmmError> {
+        let mut a = xi_sum.map(|v| v + self.pseudo_count.max(0.0) + 1e-12);
+        a.normalize_rows();
+        Ok(a)
+    }
+}
+
+/// Configuration of the EM loop.
+#[derive(Debug, Clone, Copy)]
+pub struct BaumWelchConfig {
+    /// Maximum number of EM iterations.
+    pub max_iterations: usize,
+    /// Relative log-likelihood improvement below which EM stops.
+    pub tolerance: f64,
+    /// Print nothing; kept for future verbosity hooks.
+    pub verbose: bool,
+}
+
+impl Default for BaumWelchConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            tolerance: 1e-6,
+            verbose: false,
+        }
+    }
+}
+
+/// Outcome of an EM fit.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// Objective value (data log-likelihood plus any prior term) after each
+    /// iteration.
+    pub objective_history: Vec<f64>,
+    /// Data log-likelihood after each iteration.
+    pub log_likelihood_history: Vec<f64>,
+    /// Number of iterations actually run.
+    pub iterations: usize,
+    /// Whether the relative-improvement stopping criterion was met before
+    /// `max_iterations`.
+    pub converged: bool,
+}
+
+impl FitResult {
+    /// Final data log-likelihood (NaN if no iteration ran).
+    pub fn final_log_likelihood(&self) -> f64 {
+        self.log_likelihood_history.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Final objective value (NaN if no iteration ran).
+    pub fn final_objective(&self) -> f64 {
+        self.objective_history.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// The Baum–Welch trainer.
+#[derive(Debug, Clone, Default)]
+pub struct BaumWelch {
+    config: BaumWelchConfig,
+}
+
+impl BaumWelch {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: BaumWelchConfig) -> Self {
+        Self { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &BaumWelchConfig {
+        &self.config
+    }
+
+    /// Fits the model in place using the classical MLE M-step.
+    pub fn fit<E>(
+        &self,
+        model: &mut Hmm<E>,
+        sequences: &[Vec<E::Obs>],
+    ) -> Result<FitResult, HmmError>
+    where
+        E: Emission + Sync,
+        E::Obs: Sync,
+    {
+        self.fit_with_updater(model, sequences, &MleTransitionUpdater::default())
+    }
+
+    /// Fits the model in place, delegating the transition M-step to
+    /// `updater`. This is the entry point the diversified HMM uses.
+    pub fn fit_with_updater<E, U: TransitionUpdater>(
+        &self,
+        model: &mut Hmm<E>,
+        sequences: &[Vec<E::Obs>],
+        updater: &U,
+    ) -> Result<FitResult, HmmError>
+    where
+        E: Emission + Sync,
+        E::Obs: Sync,
+    {
+        if sequences.is_empty() {
+            return Err(HmmError::InvalidData {
+                reason: "no training sequences".into(),
+            });
+        }
+        if sequences.iter().any(|s| s.is_empty()) {
+            return Err(HmmError::InvalidData {
+                reason: "training sequences must be non-empty".into(),
+            });
+        }
+
+        let k = model.num_states();
+        let mut objective_history = Vec::new();
+        let mut log_likelihood_history = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _iter in 0..self.config.max_iterations {
+            iterations += 1;
+
+            // ---------------- E-step ----------------
+            let stats = e_step(model, sequences)?;
+            let data_ll: f64 = stats.iter().map(|s| s.log_likelihood).sum();
+
+            // ---------------- M-step ----------------
+            // Initial distribution: average of the first-step posteriors.
+            let mut new_pi = vec![0.0; k];
+            for s in &stats {
+                for i in 0..k {
+                    new_pi[i] += s.gamma[(0, i)];
+                }
+            }
+            dhmm_linalg::normalize_in_place(&mut new_pi);
+            model.set_initial(new_pi)?;
+
+            // Transition matrix: delegated to the updater.
+            let mut xi_total = Matrix::zeros(k, k);
+            for s in &stats {
+                xi_total = &xi_total + &s.xi_sum;
+            }
+            let new_a = updater.update(&xi_total, model.transition())?;
+            model.set_transition(new_a)?;
+
+            // Emission parameters.
+            let gammas: Vec<Matrix> = stats.iter().map(|s| s.gamma.clone()).collect();
+            model.emission_mut().reestimate(sequences, &gammas)?;
+
+            // ---------------- Convergence check ----------------
+            let objective = data_ll + updater.prior_objective(model.transition());
+            log_likelihood_history.push(data_ll);
+            objective_history.push(objective);
+            if objective_history.len() >= 2 {
+                let prev = objective_history[objective_history.len() - 2];
+                if dhmm_linalg::stats::relative_change(prev, objective) < self.config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        Ok(FitResult {
+            objective_history,
+            log_likelihood_history,
+            iterations,
+            converged,
+        })
+    }
+}
+
+/// Runs the E-step over all sequences, using scoped threads when the data is
+/// large enough to amortize the spawn cost.
+pub fn e_step<E>(
+    model: &Hmm<E>,
+    sequences: &[Vec<E::Obs>],
+) -> Result<Vec<SequenceStats>, HmmError>
+where
+    E: Emission + Sync,
+    E::Obs: Sync,
+{
+    let total_obs: usize = sequences.iter().map(|s| s.len()).sum();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads <= 1 || sequences.len() < 8 || total_obs < 4_000 {
+        return sequences.iter().map(|s| forward_backward(model, s)).collect();
+    }
+
+    let chunk_size = sequences.len().div_ceil(threads);
+    let mut results: Vec<Option<Result<Vec<SequenceStats>, HmmError>>> =
+        (0..sequences.len().div_ceil(chunk_size)).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in sequences.chunks(chunk_size).enumerate() {
+            let model_ref = &*model;
+            handles.push((
+                chunk_idx,
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|s| forward_backward(model_ref, s))
+                        .collect::<Result<Vec<_>, _>>()
+                }),
+            ));
+        }
+        for (idx, handle) in handles {
+            results[idx] = Some(handle.join().expect("E-step worker panicked"));
+        }
+    })
+    .expect("E-step thread scope panicked");
+
+    let mut all = Vec::with_capacity(sequences.len());
+    for r in results.into_iter().flatten() {
+        all.extend(r?);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::{DiscreteEmission, GaussianEmission};
+    use crate::generate::generate_sequences;
+    use crate::init::{random_parameters, InitStrategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ground_truth() -> Hmm<DiscreteEmission> {
+        let emission = DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.9, 0.05, 0.05], vec![0.05, 0.05, 0.9]]).unwrap(),
+        )
+        .unwrap();
+        let transition = Matrix::from_rows(&[vec![0.85, 0.15], vec![0.2, 0.8]]).unwrap();
+        Hmm::new(vec![0.6, 0.4], transition, emission).unwrap()
+    }
+
+    fn random_model(seed: u64) -> Hmm<DiscreteEmission> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pi, a) = random_parameters(2, InitStrategy::default(), &mut rng).unwrap();
+        let b = crate::init::random_stochastic_matrix(2, 3, 1.0, &mut rng).unwrap();
+        Hmm::new(pi, a, DiscreteEmission::new(b).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empty_training_data_is_rejected() {
+        let bw = BaumWelch::default();
+        let mut m = random_model(0);
+        assert!(bw.fit(&mut m, &[]).is_err());
+        assert!(bw.fit(&mut m, &[vec![]]).is_err());
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_nondecreasing() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<Vec<usize>> = generate_sequences(&ground_truth(), 60, 12, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+        let mut m = random_model(3);
+        let bw = BaumWelch::new(BaumWelchConfig {
+            max_iterations: 25,
+            tolerance: 0.0,
+            verbose: false,
+        });
+        let result = bw.fit(&mut m, &data).unwrap();
+        for w in result.log_likelihood_history.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "log-likelihood decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(result.iterations, 25);
+    }
+
+    #[test]
+    fn em_improves_over_initialization() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<Vec<usize>> = generate_sequences(&ground_truth(), 80, 10, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+        let mut m = random_model(5);
+        let initial_ll = m.total_log_likelihood(&data).unwrap();
+        let bw = BaumWelch::new(BaumWelchConfig {
+            max_iterations: 30,
+            tolerance: 1e-8,
+            verbose: false,
+        });
+        let result = bw.fit(&mut m, &data).unwrap();
+        assert!(result.final_log_likelihood() > initial_ll);
+        assert!(m.transition().is_row_stochastic(1e-6));
+        assert!(dhmm_linalg::vector::is_distribution(m.initial(), 1e-6));
+    }
+
+    #[test]
+    fn convergence_flag_is_set_with_loose_tolerance() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data: Vec<Vec<usize>> = generate_sequences(&ground_truth(), 40, 8, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+        let mut m = random_model(1);
+        let bw = BaumWelch::new(BaumWelchConfig {
+            max_iterations: 200,
+            tolerance: 1e-3,
+            verbose: false,
+        });
+        let result = bw.fit(&mut m, &data).unwrap();
+        assert!(result.converged);
+        assert!(result.iterations < 200);
+        assert!(result.final_objective().is_finite());
+    }
+
+    #[test]
+    fn recovers_separated_gaussian_means() {
+        // Two well-separated Gaussian states should be recovered by EM.
+        let emission = GaussianEmission::new(vec![0.0, 10.0], vec![0.5, 0.5]).unwrap();
+        let transition = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let truth = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let data: Vec<Vec<f64>> = generate_sequences(&truth, 50, 15, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+
+        let init_emission = GaussianEmission::new(vec![2.0, 6.0], vec![2.0, 2.0]).unwrap();
+        let init_a = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        let mut m = Hmm::new(vec![0.5, 0.5], init_a, init_emission).unwrap();
+        let bw = BaumWelch::new(BaumWelchConfig {
+            max_iterations: 50,
+            tolerance: 1e-8,
+            verbose: false,
+        });
+        bw.fit(&mut m, &data).unwrap();
+        let mut means = m.emission().means().to_vec();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 0.0).abs() < 0.5, "means = {means:?}");
+        assert!((means[1] - 10.0).abs() < 0.5, "means = {means:?}");
+    }
+
+    #[test]
+    fn mle_updater_with_pseudocounts_keeps_support() {
+        let xi = Matrix::from_rows(&[vec![10.0, 0.0], vec![0.0, 10.0]]).unwrap();
+        let plain = MleTransitionUpdater::default()
+            .update(&xi, &Matrix::identity(2))
+            .unwrap();
+        assert!(plain[(0, 1)] < 1e-9);
+        let smoothed = MleTransitionUpdater { pseudo_count: 1.0 }
+            .update(&xi, &Matrix::identity(2))
+            .unwrap();
+        assert!(smoothed[(0, 1)] > 0.05);
+        assert!(smoothed.is_row_stochastic(1e-9));
+        assert_eq!(MleTransitionUpdater::default().prior_objective(&xi), 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_e_step_agree() {
+        let truth = ground_truth();
+        let mut rng = StdRng::seed_from_u64(2);
+        // Enough data to trigger the parallel path.
+        let data: Vec<Vec<usize>> = generate_sequences(&truth, 200, 40, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+        let parallel = e_step(&truth, &data).unwrap();
+        let serial: Vec<SequenceStats> = data
+            .iter()
+            .map(|s| forward_backward(&truth, s).unwrap())
+            .collect();
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert!((p.log_likelihood - s.log_likelihood).abs() < 1e-9);
+            assert!(p.gamma.approx_eq(&s.gamma, 1e-9));
+            assert!(p.xi_sum.approx_eq(&s.xi_sum, 1e-9));
+        }
+    }
+}

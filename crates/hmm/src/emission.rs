@@ -1,0 +1,626 @@
+//! Emission models for HMMs.
+//!
+//! The paper uses three emission families:
+//!
+//! * **multinomial / discrete** — unsupervised PoS tagging, where each hidden
+//!   tag emits a word id from a vocabulary of ≈10K types,
+//! * **Gaussian** — the toy experiment of §4.1, single-mode Gaussians with
+//!   means `1..5`,
+//! * **Bernoulli vector** — supervised OCR, where each hidden letter emits a
+//!   128-dimensional binary pixel vector under a Naive-Bayes assumption.
+//!
+//! All three implement the [`Emission`] trait so the forward–backward,
+//! Viterbi and EM code is written once. Re-estimation follows the standard
+//! Baum–Welch M-step formulas (Eqs. 11–12 of the paper for the Gaussian
+//! case, the weighted-count formula for the discrete and Bernoulli cases).
+
+use crate::error::HmmError;
+use dhmm_linalg::Matrix;
+use dhmm_prob::{BernoulliVector, Categorical, Gaussian};
+use rand::Rng;
+
+/// Floor applied to re-estimated probabilities to keep log-likelihoods finite.
+const PROB_FLOOR: f64 = 1e-12;
+
+/// An emission model `B`: the conditional distribution of an observation
+/// given the hidden state.
+pub trait Emission {
+    /// The observation type this model emits.
+    type Obs: Clone;
+
+    /// Number of hidden states.
+    fn num_states(&self) -> usize;
+
+    /// Log-probability (density or mass) of `obs` under state `state`.
+    fn log_prob(&self, state: usize, obs: &Self::Obs) -> f64;
+
+    /// Re-estimates the emission parameters from weighted data.
+    ///
+    /// `sequences[n]` is the n-th observation sequence and `gammas[n]` the
+    /// matching `T_n × k` matrix of posterior state probabilities
+    /// `q(X_t = i)` from the E-step.
+    fn reestimate(
+        &mut self,
+        sequences: &[Vec<Self::Obs>],
+        gammas: &[Matrix],
+    ) -> Result<(), HmmError>;
+
+    /// Draws an observation from state `state`.
+    fn sample<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> Self::Obs;
+
+    /// Fills `out[i] = log P(obs | state = i)` for all states. The default
+    /// implementation calls [`Emission::log_prob`] per state.
+    fn log_prob_all(&self, obs: &Self::Obs, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate().take(self.num_states()) {
+            *o = self.log_prob(i, obs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Discrete (multinomial) emissions
+// ---------------------------------------------------------------------------
+
+/// Multinomial emission model: state `i` emits symbol `v` with probability
+/// `B[i][v]`. Used for PoS tagging where symbols are word ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteEmission {
+    /// `k × V` row-stochastic emission table.
+    probs: Matrix,
+}
+
+impl DiscreteEmission {
+    /// Creates a discrete emission model from a `k × V` row-stochastic table.
+    pub fn new(probs: Matrix) -> Result<Self, HmmError> {
+        if probs.rows() == 0 || probs.cols() == 0 {
+            return Err(HmmError::InvalidParameters {
+                reason: "emission table must be non-empty".into(),
+            });
+        }
+        if !probs.is_row_stochastic(1e-6) {
+            return Err(HmmError::InvalidParameters {
+                reason: "emission table rows must be probability distributions".into(),
+            });
+        }
+        Ok(Self { probs })
+    }
+
+    /// Creates a uniform emission table over `vocab_size` symbols.
+    pub fn uniform(num_states: usize, vocab_size: usize) -> Result<Self, HmmError> {
+        if num_states == 0 || vocab_size == 0 {
+            return Err(HmmError::InvalidParameters {
+                reason: "num_states and vocab_size must be positive".into(),
+            });
+        }
+        Ok(Self {
+            probs: Matrix::filled(num_states, vocab_size, 1.0 / vocab_size as f64),
+        })
+    }
+
+    /// The emission probability table (`k × V`).
+    pub fn probs(&self) -> &Matrix {
+        &self.probs
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.probs.cols()
+    }
+}
+
+impl Emission for DiscreteEmission {
+    type Obs = usize;
+
+    fn num_states(&self) -> usize {
+        self.probs.rows()
+    }
+
+    fn log_prob(&self, state: usize, obs: &usize) -> f64 {
+        if state >= self.probs.rows() || *obs >= self.probs.cols() {
+            return f64::NEG_INFINITY;
+        }
+        let p = self.probs[(state, *obs)];
+        if p > 0.0 {
+            p.ln()
+        } else {
+            PROB_FLOOR.ln()
+        }
+    }
+
+    fn reestimate(
+        &mut self,
+        sequences: &[Vec<usize>],
+        gammas: &[Matrix],
+    ) -> Result<(), HmmError> {
+        let k = self.num_states();
+        let v = self.vocab_size();
+        let mut counts = Matrix::filled(k, v, PROB_FLOOR);
+        for (seq, gamma) in sequences.iter().zip(gammas) {
+            if gamma.rows() != seq.len() || gamma.cols() != k {
+                return Err(HmmError::InvalidData {
+                    reason: format!(
+                        "gamma shape {:?} does not match sequence length {} / {} states",
+                        gamma.shape(),
+                        seq.len(),
+                        k
+                    ),
+                });
+            }
+            for (t, &obs) in seq.iter().enumerate() {
+                if obs >= v {
+                    return Err(HmmError::InvalidData {
+                        reason: format!("observation {obs} out of vocabulary (V = {v})"),
+                    });
+                }
+                for i in 0..k {
+                    counts[(i, obs)] += gamma[(t, i)];
+                }
+            }
+        }
+        counts.normalize_rows();
+        self.probs = counts;
+        Ok(())
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> usize {
+        Categorical::new(self.probs.row(state))
+            .expect("emission rows are valid distributions")
+            .sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gaussian emissions
+// ---------------------------------------------------------------------------
+
+/// Univariate Gaussian emission model: state `i` emits
+/// `N(mean_i, std_dev_i²)`. Used by the toy experiment of §4.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianEmission {
+    means: Vec<f64>,
+    std_devs: Vec<f64>,
+    /// Lower bound on the re-estimated standard deviation; prevents the
+    /// singular (zero-variance) estimates that plain MLE is prone to.
+    min_std_dev: f64,
+}
+
+impl GaussianEmission {
+    /// Default lower bound on re-estimated standard deviations.
+    pub const DEFAULT_MIN_STD: f64 = 1e-3;
+
+    /// Creates a Gaussian emission model from per-state means and standard
+    /// deviations.
+    pub fn new(means: Vec<f64>, std_devs: Vec<f64>) -> Result<Self, HmmError> {
+        Self::with_min_std(means, std_devs, Self::DEFAULT_MIN_STD)
+    }
+
+    /// Creates a Gaussian emission model with an explicit lower bound on the
+    /// standard deviations.
+    pub fn with_min_std(
+        means: Vec<f64>,
+        std_devs: Vec<f64>,
+        min_std_dev: f64,
+    ) -> Result<Self, HmmError> {
+        if means.is_empty() || means.len() != std_devs.len() {
+            return Err(HmmError::InvalidParameters {
+                reason: "means and std_devs must be non-empty and equal length".into(),
+            });
+        }
+        if std_devs.iter().any(|&s| !(s > 0.0) || !s.is_finite()) {
+            return Err(HmmError::InvalidParameters {
+                reason: "standard deviations must be positive and finite".into(),
+            });
+        }
+        if means.iter().any(|m| !m.is_finite()) {
+            return Err(HmmError::InvalidParameters {
+                reason: "means must be finite".into(),
+            });
+        }
+        if !(min_std_dev > 0.0) {
+            return Err(HmmError::InvalidParameters {
+                reason: "min_std_dev must be positive".into(),
+            });
+        }
+        Ok(Self {
+            means,
+            std_devs,
+            min_std_dev,
+        })
+    }
+
+    /// Per-state means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-state standard deviations.
+    pub fn std_devs(&self) -> &[f64] {
+        &self.std_devs
+    }
+}
+
+impl Emission for GaussianEmission {
+    type Obs = f64;
+
+    fn num_states(&self) -> usize {
+        self.means.len()
+    }
+
+    fn log_prob(&self, state: usize, obs: &f64) -> f64 {
+        if state >= self.means.len() {
+            return f64::NEG_INFINITY;
+        }
+        let g = Gaussian::new(self.means[state], self.std_devs[state])
+            .expect("validated at construction");
+        g.log_pdf(*obs)
+    }
+
+    fn reestimate(&mut self, sequences: &[Vec<f64>], gammas: &[Matrix]) -> Result<(), HmmError> {
+        let k = self.num_states();
+        // Weighted means (Eq. 11 of the paper).
+        let mut weight_sum = vec![PROB_FLOOR; k];
+        let mut weighted_obs = vec![0.0; k];
+        for (seq, gamma) in sequences.iter().zip(gammas) {
+            if gamma.rows() != seq.len() || gamma.cols() != k {
+                return Err(HmmError::InvalidData {
+                    reason: "gamma shape does not match sequence".into(),
+                });
+            }
+            for (t, &y) in seq.iter().enumerate() {
+                for i in 0..k {
+                    weight_sum[i] += gamma[(t, i)];
+                    weighted_obs[i] += gamma[(t, i)] * y;
+                }
+            }
+        }
+        let new_means: Vec<f64> = weighted_obs
+            .iter()
+            .zip(&weight_sum)
+            .map(|(&num, &den)| num / den)
+            .collect();
+
+        // Weighted variances around the *new* means (Eq. 12).
+        let mut weighted_sq = vec![0.0; k];
+        for (seq, gamma) in sequences.iter().zip(gammas) {
+            for (t, &y) in seq.iter().enumerate() {
+                for i in 0..k {
+                    let d = y - new_means[i];
+                    weighted_sq[i] += gamma[(t, i)] * d * d;
+                }
+            }
+        }
+        let new_stds: Vec<f64> = weighted_sq
+            .iter()
+            .zip(&weight_sum)
+            .map(|(&num, &den)| (num / den).sqrt().max(self.min_std_dev))
+            .collect();
+
+        self.means = new_means;
+        self.std_devs = new_stds;
+        Ok(())
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> f64 {
+        Gaussian::new(self.means[state], self.std_devs[state])
+            .expect("validated at construction")
+            .sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bernoulli-vector emissions
+// ---------------------------------------------------------------------------
+
+/// Independent-Bernoulli (Naive-Bayes) emission model over binary vectors:
+/// state `i` emits a `D`-dimensional binary vector whose `d`-th pixel is on
+/// with probability `P[i][d]`. Used by the OCR experiment (§4.2.2) with
+/// `D = 128` pixels and `k = 26` letters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BernoulliEmission {
+    /// One Bernoulli vector per state.
+    models: Vec<BernoulliVector>,
+}
+
+impl BernoulliEmission {
+    /// Creates a Bernoulli emission model from a `k × D` matrix of pixel-on
+    /// probabilities.
+    pub fn new(probs: &Matrix) -> Result<Self, HmmError> {
+        if probs.rows() == 0 || probs.cols() == 0 {
+            return Err(HmmError::InvalidParameters {
+                reason: "Bernoulli emission table must be non-empty".into(),
+            });
+        }
+        let models = probs
+            .iter_rows()
+            .map(|row| BernoulliVector::new(row.to_vec(), BernoulliVector::DEFAULT_FLOOR))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { models })
+    }
+
+    /// Creates the uninformative (all pixels 0.5) model.
+    pub fn uniform(num_states: usize, dim: usize) -> Result<Self, HmmError> {
+        if num_states == 0 || dim == 0 {
+            return Err(HmmError::InvalidParameters {
+                reason: "num_states and dim must be positive".into(),
+            });
+        }
+        Self::new(&Matrix::filled(num_states, dim, 0.5))
+    }
+
+    /// Pixel dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.models.first().map(|m| m.dim()).unwrap_or(0)
+    }
+
+    /// The per-state pixel probabilities as a `k × D` matrix.
+    pub fn probs(&self) -> Matrix {
+        let k = self.models.len();
+        let d = self.dim();
+        Matrix::from_fn(k, d, |i, j| self.models[i].probs()[j])
+    }
+}
+
+impl Emission for BernoulliEmission {
+    type Obs = Vec<bool>;
+
+    fn num_states(&self) -> usize {
+        self.models.len()
+    }
+
+    fn log_prob(&self, state: usize, obs: &Vec<bool>) -> f64 {
+        match self.models.get(state) {
+            Some(m) => m.log_pmf(obs).unwrap_or(f64::NEG_INFINITY),
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    fn reestimate(
+        &mut self,
+        sequences: &[Vec<Vec<bool>>],
+        gammas: &[Matrix],
+    ) -> Result<(), HmmError> {
+        let k = self.num_states();
+        let d = self.dim();
+        let mut weight_sum = vec![PROB_FLOOR; k];
+        let mut pixel_sum = Matrix::zeros(k, d);
+        for (seq, gamma) in sequences.iter().zip(gammas) {
+            if gamma.rows() != seq.len() || gamma.cols() != k {
+                return Err(HmmError::InvalidData {
+                    reason: "gamma shape does not match sequence".into(),
+                });
+            }
+            for (t, obs) in seq.iter().enumerate() {
+                if obs.len() != d {
+                    return Err(HmmError::InvalidData {
+                        reason: format!("observation dimension {} != {d}", obs.len()),
+                    });
+                }
+                for i in 0..k {
+                    let w = gamma[(t, i)];
+                    weight_sum[i] += w;
+                    for (dim, &bit) in obs.iter().enumerate() {
+                        if bit {
+                            pixel_sum[(i, dim)] += w;
+                        }
+                    }
+                }
+            }
+        }
+        let mut new_models = Vec::with_capacity(k);
+        for i in 0..k {
+            let probs: Vec<f64> = (0..d).map(|j| pixel_sum[(i, j)] / weight_sum[i]).collect();
+            new_models.push(BernoulliVector::new(probs, BernoulliVector::DEFAULT_FLOOR)?);
+        }
+        self.models = new_models;
+        Ok(())
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> Vec<bool> {
+        self.models[state].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn discrete() -> DiscreteEmission {
+        DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn discrete_construction_validation() {
+        assert!(DiscreteEmission::new(Matrix::zeros(0, 0)).is_err());
+        let not_stochastic = Matrix::from_rows(&[vec![0.5, 0.6]]).unwrap();
+        assert!(DiscreteEmission::new(not_stochastic).is_err());
+        assert!(DiscreteEmission::uniform(0, 3).is_err());
+        let u = DiscreteEmission::uniform(2, 4).unwrap();
+        assert_eq!(u.vocab_size(), 4);
+        assert_eq!(u.num_states(), 2);
+        assert!((u.log_prob(0, &0) - 0.25_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_log_prob_and_out_of_range() {
+        let e = discrete();
+        assert!((e.log_prob(0, &0) - 0.7_f64.ln()).abs() < 1e-12);
+        assert!((e.log_prob(1, &2) - 0.8_f64.ln()).abs() < 1e-12);
+        assert_eq!(e.log_prob(5, &0), f64::NEG_INFINITY);
+        assert_eq!(e.log_prob(0, &9), f64::NEG_INFINITY);
+        let mut out = vec![0.0; 2];
+        e.log_prob_all(&0, &mut out);
+        assert!((out[0] - 0.7_f64.ln()).abs() < 1e-12);
+        assert!((out[1] - 0.1_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_reestimate_from_hard_assignments() {
+        let mut e = DiscreteEmission::uniform(2, 3).unwrap();
+        // One sequence, hard posteriors: state 0 emits symbol 0 twice, state 1 emits symbol 2 once.
+        let seqs = vec![vec![0usize, 0, 2]];
+        let gamma = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        e.reestimate(&seqs, &[gamma]).unwrap();
+        assert!(e.probs().is_row_stochastic(1e-9));
+        assert!(e.probs()[(0, 0)] > 0.99);
+        assert!(e.probs()[(1, 2)] > 0.99);
+    }
+
+    #[test]
+    fn discrete_reestimate_rejects_bad_shapes() {
+        let mut e = DiscreteEmission::uniform(2, 3).unwrap();
+        let bad_gamma = Matrix::zeros(2, 2);
+        assert!(e.reestimate(&[vec![0, 1, 2]], &[bad_gamma]).is_err());
+        let gamma = Matrix::filled(1, 2, 0.5);
+        assert!(e.reestimate(&[vec![7]], &[gamma]).is_err());
+    }
+
+    #[test]
+    fn discrete_sampling_respects_distribution() {
+        let e = discrete();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<usize> = (0..10_000).map(|_| e.sample(1, &mut rng)).collect();
+        let freq2 = samples.iter().filter(|&&s| s == 2).count() as f64 / 10_000.0;
+        assert!((freq2 - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn gaussian_construction_validation() {
+        assert!(GaussianEmission::new(vec![0.0], vec![1.0]).is_ok());
+        assert!(GaussianEmission::new(vec![], vec![]).is_err());
+        assert!(GaussianEmission::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(GaussianEmission::new(vec![0.0], vec![0.0]).is_err());
+        assert!(GaussianEmission::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(GaussianEmission::with_min_std(vec![0.0], vec![1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn gaussian_log_prob_matches_distribution() {
+        let e = GaussianEmission::new(vec![1.0, 5.0], vec![0.5, 2.0]).unwrap();
+        let g = Gaussian::new(5.0, 2.0).unwrap();
+        assert!((e.log_prob(1, &4.0) - g.log_pdf(4.0)).abs() < 1e-12);
+        assert_eq!(e.log_prob(7, &0.0), f64::NEG_INFINITY);
+        assert_eq!(e.num_states(), 2);
+        assert_eq!(e.means(), &[1.0, 5.0]);
+        assert_eq!(e.std_devs(), &[0.5, 2.0]);
+    }
+
+    #[test]
+    fn gaussian_reestimate_recovers_cluster_means() {
+        let mut e = GaussianEmission::new(vec![0.0, 1.0], vec![1.0, 1.0]).unwrap();
+        // Hard-assign observations around 0 to state 0 and around 10 to state 1.
+        let seqs = vec![vec![0.1, -0.1, 10.2, 9.8, 0.0, 10.0]];
+        let gamma = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        e.reestimate(&seqs, &[gamma]).unwrap();
+        assert!((e.means()[0] - 0.0).abs() < 0.1);
+        assert!((e.means()[1] - 10.0).abs() < 0.1);
+        assert!(e.std_devs().iter().all(|&s| s >= GaussianEmission::DEFAULT_MIN_STD));
+    }
+
+    #[test]
+    fn gaussian_reestimate_rejects_bad_shapes() {
+        let mut e = GaussianEmission::new(vec![0.0], vec![1.0]).unwrap();
+        assert!(e.reestimate(&[vec![1.0, 2.0]], &[Matrix::zeros(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn gaussian_sampling_is_near_mean() {
+        let e = GaussianEmission::new(vec![3.0], vec![0.01]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = e.sample(0, &mut rng);
+        assert!((x - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bernoulli_construction_validation() {
+        assert!(BernoulliEmission::new(&Matrix::zeros(0, 0)).is_err());
+        assert!(BernoulliEmission::uniform(0, 5).is_err());
+        let e = BernoulliEmission::uniform(3, 8).unwrap();
+        assert_eq!(e.num_states(), 3);
+        assert_eq!(e.dim(), 8);
+        assert_eq!(e.probs().shape(), (3, 8));
+    }
+
+    #[test]
+    fn bernoulli_log_prob() {
+        let probs = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let e = BernoulliEmission::new(&probs).unwrap();
+        let lp = e.log_prob(0, &vec![true, false]);
+        assert!((lp - (0.9_f64.ln() + 0.9_f64.ln())).abs() < 1e-6);
+        assert_eq!(e.log_prob(5, &vec![true, false]), f64::NEG_INFINITY);
+        assert_eq!(e.log_prob(0, &vec![true]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bernoulli_reestimate_matches_pixel_frequencies() {
+        let mut e = BernoulliEmission::uniform(2, 2).unwrap();
+        // State 0 sees [1,0] twice; state 1 sees [0,1] once and [1,1] once.
+        let seqs = vec![vec![
+            vec![true, false],
+            vec![true, false],
+            vec![false, true],
+            vec![true, true],
+        ]];
+        let gamma = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        e.reestimate(&seqs, &[gamma]).unwrap();
+        let p = e.probs();
+        assert!(p[(0, 0)] > 0.95);
+        assert!(p[(0, 1)] < 0.05);
+        assert!((p[(1, 0)] - 0.5).abs() < 0.01);
+        assert!(p[(1, 1)] > 0.95);
+    }
+
+    #[test]
+    fn bernoulli_reestimate_rejects_bad_dims() {
+        let mut e = BernoulliEmission::uniform(1, 3).unwrap();
+        let gamma = Matrix::filled(1, 1, 1.0);
+        assert!(e.reestimate(&[vec![vec![true, false]]], &[gamma]).is_err());
+        let bad_gamma = Matrix::filled(2, 1, 1.0);
+        assert!(e
+            .reestimate(&[vec![vec![true, false, true]]], &[bad_gamma])
+            .is_err());
+    }
+
+    #[test]
+    fn bernoulli_sampling_respects_probabilities() {
+        let probs = Matrix::from_rows(&[vec![0.99, 0.01]]).unwrap();
+        let e = BernoulliEmission::new(&probs).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut on0 = 0;
+        let mut on1 = 0;
+        for _ in 0..1000 {
+            let s = e.sample(0, &mut rng);
+            if s[0] {
+                on0 += 1;
+            }
+            if s[1] {
+                on1 += 1;
+            }
+        }
+        assert!(on0 > 950);
+        assert!(on1 < 50);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for HMM construction and training.
+
+use dhmm_linalg::LinalgError;
+use dhmm_prob::ProbError;
+use std::fmt;
+
+/// Errors produced while building or training an HMM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmmError {
+    /// The model parameters were inconsistent (e.g. `π` length differs from
+    /// the number of transition-matrix rows).
+    InvalidParameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The provided observation sequences were unusable (empty set, empty
+    /// sequence, or an observation out of the emission model's range).
+    InvalidData {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A labeled sequence had mismatched lengths of states and observations.
+    LabelMismatch {
+        /// Index of the offending sequence.
+        sequence: usize,
+        /// Number of states in the sequence.
+        states: usize,
+        /// Number of observations in the sequence.
+        observations: usize,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// An underlying probability-distribution operation failed.
+    Prob(ProbError),
+}
+
+impl fmt::Display for HmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmmError::InvalidParameters { reason } => write!(f, "invalid HMM parameters: {reason}"),
+            HmmError::InvalidData { reason } => write!(f, "invalid observation data: {reason}"),
+            HmmError::LabelMismatch {
+                sequence,
+                states,
+                observations,
+            } => write!(
+                f,
+                "sequence {sequence}: {states} states but {observations} observations"
+            ),
+            HmmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            HmmError::Prob(e) => write!(f, "probability error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HmmError {}
+
+impl From<LinalgError> for HmmError {
+    fn from(e: LinalgError) -> Self {
+        HmmError::Linalg(e)
+    }
+}
+
+impl From<ProbError> for HmmError {
+    fn from(e: ProbError) -> Self {
+        HmmError::Prob(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HmmError::InvalidParameters {
+            reason: "pi has wrong length".into(),
+        };
+        assert!(e.to_string().contains("pi has wrong length"));
+
+        let e = HmmError::InvalidData {
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().contains("empty"));
+
+        let e = HmmError::LabelMismatch {
+            sequence: 3,
+            states: 5,
+            observations: 6,
+        };
+        assert!(e.to_string().contains("sequence 3"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let le: HmmError = LinalgError::Singular { pivot: 0 }.into();
+        assert!(matches!(le, HmmError::Linalg(_)));
+        let pe: HmmError = ProbError::InvalidProbability {
+            distribution: "Bernoulli",
+            value: 2.0,
+        }
+        .into();
+        assert!(matches!(pe, HmmError::Prob(_)));
+        assert!(le.to_string().contains("linear algebra"));
+        assert!(pe.to_string().contains("probability"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Scaled forward–backward recursions (the E-step of Baum–Welch).
+//!
+//! Implements Eqs. (9)–(10) of the paper with per-time-step scaling so the
+//! recursions stay in a numerically safe range for sequences hundreds of
+//! steps long (the WSJ-like corpus has sentences up to 250 tokens). The
+//! outputs are exactly the sufficient statistics the (d)HMM M-step needs:
+//!
+//! * `gamma[t][i] = q(X_t = i)` — unary posteriors,
+//! * `xi_sum[i][j] = Σ_t q(X_{t-1} = i, X_t = j)` — summed pairwise
+//!   posteriors,
+//! * `log_likelihood = log P(Y | λ)`.
+
+use crate::emission::Emission;
+use crate::error::HmmError;
+use crate::model::Hmm;
+use dhmm_linalg::Matrix;
+
+/// Sufficient statistics produced by one forward–backward pass over one
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct SequenceStats {
+    /// `T × k` matrix of unary posteriors `q(X_t = i)`.
+    pub gamma: Matrix,
+    /// `k × k` matrix of summed pairwise posteriors
+    /// `Σ_{t=2..T} q(X_{t-1} = i, X_t = j)`.
+    pub xi_sum: Matrix,
+    /// Marginal log-likelihood `log P(Y | λ)` of the sequence.
+    pub log_likelihood: f64,
+}
+
+/// Intermediate scaled forward/backward variables; exposed for tests and for
+/// diagnostics (e.g. posteriors at a particular time step).
+#[derive(Debug, Clone)]
+pub struct ForwardBackward {
+    /// Scaled forward variables `α̂(t, i)`, each row normalized to sum to 1.
+    pub alpha: Matrix,
+    /// Scaled backward variables `β̂(t, i)`.
+    pub beta: Matrix,
+    /// Per-step log scaling constants `log c_t` (the log normalizers of the
+    /// forward pass); their sum is `log P(Y | λ)`.
+    pub log_scales: Vec<f64>,
+}
+
+/// Runs the scaled forward–backward algorithm for one observation sequence
+/// and returns the EM sufficient statistics.
+pub fn forward_backward<E: Emission>(
+    model: &Hmm<E>,
+    observations: &[E::Obs],
+) -> Result<SequenceStats, HmmError> {
+    let detail = forward_backward_detailed(model, observations)?;
+    let k = model.num_states();
+    let t_len = observations.len();
+
+    // Unary posteriors: gamma(t, i) ∝ alpha(t, i) * beta(t, i).
+    let mut gamma = Matrix::zeros(t_len, k);
+    for t in 0..t_len {
+        let mut row: Vec<f64> = (0..k)
+            .map(|i| detail.alpha[(t, i)] * detail.beta[(t, i)])
+            .collect();
+        dhmm_linalg::normalize_in_place(&mut row);
+        gamma.set_row(t, &row)?;
+    }
+
+    // Pairwise posteriors summed over time:
+    // xi(t-1, t; i, j) ∝ alpha(t-1, i) * A[i][j] * b_j(y_t) * beta(t, j).
+    let mut xi_sum = Matrix::zeros(k, k);
+    let mut log_b = vec![0.0; k];
+    for t in 1..t_len {
+        model
+            .emission()
+            .log_prob_all(&observations[t], &mut log_b);
+        // Work with exp(log_b - max) to avoid underflow for very unlikely
+        // observations; the per-step normalization removes the shift.
+        let max_log_b = log_b.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let shift = if max_log_b.is_finite() { max_log_b } else { 0.0 };
+        let mut xi_t = Matrix::zeros(k, k);
+        let mut total = 0.0;
+        for i in 0..k {
+            let a_prev = detail.alpha[(t - 1, i)];
+            if a_prev == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                let v = a_prev
+                    * model.transition()[(i, j)]
+                    * (log_b[j] - shift).exp()
+                    * detail.beta[(t, j)];
+                xi_t[(i, j)] = v;
+                total += v;
+            }
+        }
+        if total > 0.0 {
+            for i in 0..k {
+                for j in 0..k {
+                    xi_sum[(i, j)] += xi_t[(i, j)] / total;
+                }
+            }
+        }
+    }
+
+    // Log-likelihood from the scaling constants: log P(Y) = Σ_t log c_t.
+    let log_likelihood = detail.log_scales.iter().sum();
+
+    Ok(SequenceStats {
+        gamma,
+        xi_sum,
+        log_likelihood,
+    })
+}
+
+/// Runs the scaled forward and backward passes and returns the raw scaled
+/// variables together with the scaling constants.
+pub fn forward_backward_detailed<E: Emission>(
+    model: &Hmm<E>,
+    observations: &[E::Obs],
+) -> Result<ForwardBackward, HmmError> {
+    let k = model.num_states();
+    let t_len = observations.len();
+    if t_len == 0 {
+        return Err(HmmError::InvalidData {
+            reason: "cannot run forward-backward on an empty sequence".into(),
+        });
+    }
+
+    let mut alpha = Matrix::zeros(t_len, k);
+    let mut beta = Matrix::zeros(t_len, k);
+    let mut log_scales = vec![0.0; t_len];
+    let mut log_b = vec![0.0; k];
+
+    // --- Forward pass (Eq. 9), scaled per time step. ---
+    model
+        .emission()
+        .log_prob_all(&observations[0], &mut log_b);
+    let shift0 = finite_shift(&log_b);
+    {
+        let mut row: Vec<f64> = (0..k)
+            .map(|i| model.initial()[i] * (log_b[i] - shift0).exp())
+            .collect();
+        let c = dhmm_linalg::normalize_in_place(&mut row);
+        // Undo the shift in log space so Σ log c_t equals log P(Y) even when
+        // the per-step likelihood underflows a plain f64.
+        log_scales[0] = if c > 0.0 {
+            c.ln() + shift0
+        } else {
+            f64::MIN_POSITIVE.ln() + shift0
+        };
+        alpha.set_row(0, &row)?;
+    }
+    for t in 1..t_len {
+        model
+            .emission()
+            .log_prob_all(&observations[t], &mut log_b);
+        let shift = finite_shift(&log_b);
+        let mut row = vec![0.0; k];
+        for j in 0..k {
+            let mut acc = 0.0;
+            for i in 0..k {
+                acc += alpha[(t - 1, i)] * model.transition()[(i, j)];
+            }
+            row[j] = acc * (log_b[j] - shift).exp();
+        }
+        let c = dhmm_linalg::normalize_in_place(&mut row);
+        log_scales[t] = if c > 0.0 {
+            c.ln() + shift
+        } else {
+            f64::MIN_POSITIVE.ln() + shift
+        };
+        alpha.set_row(t, &row)?;
+    }
+
+    // --- Backward pass (Eq. 10), scaled with the forward constants. ---
+    for i in 0..k {
+        beta[(t_len - 1, i)] = 1.0;
+    }
+    for t in (0..t_len - 1).rev() {
+        model
+            .emission()
+            .log_prob_all(&observations[t + 1], &mut log_b);
+        let shift = finite_shift(&log_b);
+        let mut row = vec![0.0; k];
+        for i in 0..k {
+            let mut acc = 0.0;
+            for j in 0..k {
+                acc += model.transition()[(i, j)] * (log_b[j] - shift).exp() * beta[(t + 1, j)];
+            }
+            row[i] = acc;
+        }
+        // Scale the backward variables by the same constant family so that
+        // alpha·beta stays O(1); the exact constant does not matter because
+        // gamma is re-normalized.
+        let norm: f64 = row.iter().sum();
+        if norm > 0.0 {
+            for v in &mut row {
+                *v /= norm;
+            }
+        }
+        beta.set_row(t, &row)?;
+    }
+
+    Ok(ForwardBackward {
+        alpha,
+        beta,
+        log_scales,
+    })
+}
+
+/// Largest finite value in a log-probability vector, or 0.0 if none is finite.
+fn finite_shift(log_b: &[f64]) -> f64 {
+    let m = log_b.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_finite() {
+        m
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::{DiscreteEmission, GaussianEmission};
+
+    fn weather_model() -> Hmm<DiscreteEmission> {
+        let emission = DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap(),
+        )
+        .unwrap();
+        let transition = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
+        Hmm::new(vec![0.5, 0.5], transition, emission).unwrap()
+    }
+
+    #[test]
+    fn empty_sequence_is_rejected() {
+        let m = weather_model();
+        assert!(forward_backward(&m, &[]).is_err());
+    }
+
+    #[test]
+    fn gamma_rows_are_distributions() {
+        let m = weather_model();
+        let stats = forward_backward(&m, &[0usize, 1, 1, 0, 0]).unwrap();
+        assert_eq!(stats.gamma.shape(), (5, 2));
+        for t in 0..5 {
+            let s: f64 = stats.gamma.row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(stats.gamma.row(t).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn xi_sum_total_equals_t_minus_one() {
+        let m = weather_model();
+        let obs = vec![0usize, 1, 1, 0, 0, 1];
+        let stats = forward_backward(&m, &obs).unwrap();
+        // Each of the T-1 transitions contributes a normalized distribution.
+        assert!((stats.xi_sum.sum() - (obs.len() - 1) as f64).abs() < 1e-9);
+        assert!(stats.xi_sum.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn log_likelihood_matches_brute_force() {
+        let m = weather_model();
+        let obs = vec![0usize, 1, 0, 1];
+        let stats = forward_backward(&m, &obs).unwrap();
+        // Brute force over all 2^4 paths.
+        let mut total = 0.0;
+        for path in 0..16u32 {
+            let states: Vec<usize> = (0..4).map(|t| ((path >> t) & 1) as usize).collect();
+            total += m.joint_log_likelihood(&states, &obs).unwrap().exp();
+        }
+        assert!(
+            (stats.log_likelihood - total.ln()).abs() < 1e-9,
+            "{} vs {}",
+            stats.log_likelihood,
+            total.ln()
+        );
+    }
+
+    #[test]
+    fn gamma_matches_brute_force_posteriors() {
+        let m = weather_model();
+        let obs = vec![0usize, 1, 0];
+        let stats = forward_backward(&m, &obs).unwrap();
+        // Brute force P(X_1 = i | Y).
+        let mut joint = vec![0.0; 2];
+        let mut total = 0.0;
+        for s0 in 0..2 {
+            for s1 in 0..2 {
+                for s2 in 0..2 {
+                    let p = m.joint_log_likelihood(&[s0, s1, s2], &obs).unwrap().exp();
+                    joint[s1] += p;
+                    total += p;
+                }
+            }
+        }
+        for i in 0..2 {
+            assert!((stats.gamma[(1, i)] - joint[i] / total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_observation_sequence_works() {
+        let m = weather_model();
+        let stats = forward_backward(&m, &[1usize]).unwrap();
+        assert_eq!(stats.gamma.shape(), (1, 2));
+        assert_eq!(stats.xi_sum.sum(), 0.0);
+        // P(Y=1) = 0.5*0.1 + 0.5*0.8 = 0.45
+        assert!((stats.log_likelihood - 0.45_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_sequences_stay_finite() {
+        let m = weather_model();
+        let obs: Vec<usize> = (0..5000).map(|t| (t % 3 == 0) as usize).collect();
+        let stats = forward_backward(&m, &obs).unwrap();
+        assert!(stats.log_likelihood.is_finite());
+        assert!(stats.gamma.is_finite());
+        assert!(stats.xi_sum.is_finite());
+    }
+
+    #[test]
+    fn gaussian_emissions_with_tiny_variance_stay_finite() {
+        // Extremely peaked emissions produce very small densities for
+        // off-mean observations; scaling must keep everything finite.
+        let emission =
+            GaussianEmission::new(vec![0.0, 100.0], vec![1e-3, 1e-3]).unwrap();
+        let transition = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        let m = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
+        let obs = vec![0.0, 100.0, 0.0, 50.0, 100.0];
+        let stats = forward_backward(&m, &obs).unwrap();
+        assert!(stats.log_likelihood.is_finite());
+        assert!(stats.gamma.is_finite());
+    }
+
+    #[test]
+    fn detailed_variables_have_expected_shapes() {
+        let m = weather_model();
+        let fb = forward_backward_detailed(&m, &[0usize, 1, 0]).unwrap();
+        assert_eq!(fb.alpha.shape(), (3, 2));
+        assert_eq!(fb.beta.shape(), (3, 2));
+        assert_eq!(fb.log_scales.len(), 3);
+        // Scaled alphas are row-normalized.
+        for t in 0..3 {
+            assert!((fb.alpha.row(t).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Final beta row is all ones.
+        assert!(fb.beta.row(2).iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+}

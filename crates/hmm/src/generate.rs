@@ -1,0 +1,164 @@
+//! Sampling labeled sequences from an HMM.
+//!
+//! The toy experiment of §4.1 generates 300 sequences of length 6 from a
+//! ground-truth HMM; the synthetic PoS and OCR datasets are also produced by
+//! ancestral sampling from generative chain models built on this function.
+
+use crate::emission::Emission;
+use crate::error::HmmError;
+use crate::model::Hmm;
+use dhmm_prob::Categorical;
+use rand::Rng;
+
+/// A labeled sequence: hidden states and the observations they emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSequence<O> {
+    /// Hidden state indices, one per time step.
+    pub states: Vec<usize>,
+    /// Observations, one per time step.
+    pub observations: Vec<O>,
+}
+
+/// Samples a single labeled sequence of length `len` from the model.
+pub fn generate_sequence<E: Emission, R: Rng + ?Sized>(
+    model: &Hmm<E>,
+    len: usize,
+    rng: &mut R,
+) -> Result<LabeledSequence<E::Obs>, HmmError> {
+    if len == 0 {
+        return Err(HmmError::InvalidData {
+            reason: "cannot generate an empty sequence".into(),
+        });
+    }
+    let initial = Categorical::new(model.initial())?;
+    let transitions: Vec<Categorical> = (0..model.num_states())
+        .map(|i| Categorical::new(model.transition().row(i)))
+        .collect::<Result<_, _>>()?;
+
+    let mut states = Vec::with_capacity(len);
+    let mut observations = Vec::with_capacity(len);
+    let mut state = initial.sample(rng);
+    states.push(state);
+    observations.push(model.emission().sample(state, rng));
+    for _ in 1..len {
+        state = transitions[state].sample(rng);
+        states.push(state);
+        observations.push(model.emission().sample(state, rng));
+    }
+    Ok(LabeledSequence {
+        states,
+        observations,
+    })
+}
+
+/// Samples `n` labeled sequences, each of length `len`.
+pub fn generate_sequences<E: Emission, R: Rng + ?Sized>(
+    model: &Hmm<E>,
+    n: usize,
+    len: usize,
+    rng: &mut R,
+) -> Result<Vec<LabeledSequence<E::Obs>>, HmmError> {
+    (0..n).map(|_| generate_sequence(model, len, rng)).collect()
+}
+
+/// Samples `n` labeled sequences whose lengths are drawn by the caller-provided
+/// closure (used for corpora with variable sentence/word lengths).
+pub fn generate_sequences_with_lengths<E: Emission, R: Rng + ?Sized>(
+    model: &Hmm<E>,
+    n: usize,
+    rng: &mut R,
+    mut length_fn: impl FnMut(&mut R) -> usize,
+) -> Result<Vec<LabeledSequence<E::Obs>>, HmmError> {
+    (0..n)
+        .map(|_| {
+            let len = length_fn(rng).max(1);
+            generate_sequence(model, len, rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::DiscreteEmission;
+    use dhmm_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> Hmm<DiscreteEmission> {
+        let emission = DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.95, 0.05], vec![0.05, 0.95]]).unwrap(),
+        )
+        .unwrap();
+        let transition = Matrix::from_rows(&[vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+        Hmm::new(vec![1.0, 0.0], transition, emission).unwrap()
+    }
+
+    #[test]
+    fn generated_sequence_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq = generate_sequence(&model(), 10, &mut rng).unwrap();
+        assert_eq!(seq.states.len(), 10);
+        assert_eq!(seq.observations.len(), 10);
+        assert!(seq.states.iter().all(|&s| s < 2));
+        assert!(generate_sequence(&model(), 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn initial_state_follows_pi() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // pi = [1, 0] so every sequence starts in state 0.
+        for _ in 0..50 {
+            let seq = generate_sequence(&model(), 3, &mut rng).unwrap();
+            assert_eq!(seq.states[0], 0);
+        }
+    }
+
+    #[test]
+    fn observations_track_states() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seqs = generate_sequences(&model(), 200, 8, &mut rng).unwrap();
+        // With 95% emission fidelity, most observations equal their state.
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for s in &seqs {
+            for (st, ob) in s.states.iter().zip(&s.observations) {
+                if st == ob {
+                    matches += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(matches as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn transition_frequencies_match_matrix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let seqs = generate_sequences(&model(), 500, 20, &mut rng).unwrap();
+        let mut stay = 0usize;
+        let mut total = 0usize;
+        for s in &seqs {
+            for t in 1..s.states.len() {
+                if s.states[t] == s.states[t - 1] {
+                    stay += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!((stay as f64 / total as f64 - 0.8).abs() < 0.03);
+    }
+
+    #[test]
+    fn variable_length_generation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut next = 0usize;
+        let seqs = generate_sequences_with_lengths(&model(), 5, &mut rng, |_| {
+            next += 2;
+            next
+        })
+        .unwrap();
+        let lengths: Vec<usize> = seqs.iter().map(|s| s.states.len()).collect();
+        assert_eq!(lengths, vec![2, 4, 6, 8, 10]);
+    }
+}

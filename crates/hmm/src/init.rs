@@ -1,0 +1,184 @@
+//! Random initialization of HMM parameters.
+//!
+//! The paper initializes `π` and the rows of `A` from a Dirichlet
+//! distribution (`Dir(η)` with `η_i = 3` in the toy experiment, symmetric
+//! Dirichlet for the PoS experiment) and the Gaussian emission parameters
+//! from Gaussian / Gamma draws. These helpers centralize that logic so that
+//! every experiment initializes parameters the same way.
+
+use crate::error::HmmError;
+use dhmm_linalg::Matrix;
+use dhmm_prob::{Dirichlet, Gamma, Gaussian};
+use rand::Rng;
+
+/// Strategy for drawing the initial `(π, A)` parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitStrategy {
+    /// Sample `π` and each row of `A` from a symmetric Dirichlet with the
+    /// given concentration (the paper uses concentration 3 in the toy
+    /// experiment).
+    Dirichlet {
+        /// Concentration parameter of the symmetric Dirichlet.
+        concentration: f64,
+    },
+    /// Uniform `π` and uniform rows of `A`.
+    Uniform,
+}
+
+impl Default for InitStrategy {
+    fn default() -> Self {
+        InitStrategy::Dirichlet { concentration: 3.0 }
+    }
+}
+
+/// Draws a random initial distribution and transition matrix for a model
+/// with `k` states.
+pub fn random_parameters<R: Rng + ?Sized>(
+    k: usize,
+    strategy: InitStrategy,
+    rng: &mut R,
+) -> Result<(Vec<f64>, Matrix), HmmError> {
+    if k == 0 {
+        return Err(HmmError::InvalidParameters {
+            reason: "cannot initialize a zero-state model".into(),
+        });
+    }
+    match strategy {
+        InitStrategy::Uniform => {
+            let pi = vec![1.0 / k as f64; k];
+            let a = Matrix::filled(k, k, 1.0 / k as f64);
+            Ok((pi, a))
+        }
+        InitStrategy::Dirichlet { concentration } => {
+            if k == 1 {
+                return Ok((vec![1.0], Matrix::filled(1, 1, 1.0)));
+            }
+            let dir = Dirichlet::symmetric(k, concentration)?;
+            let pi = dir.sample(rng);
+            let mut a = Matrix::zeros(k, k);
+            for i in 0..k {
+                let row = dir.sample(rng);
+                a.set_row(i, &row)?;
+            }
+            Ok((pi, a))
+        }
+    }
+}
+
+/// Draws random Gaussian emission parameters: means from
+/// `N(mean_center, mean_spread²)` and standard deviations from
+/// `Gamma(2, scale)` (as in the toy experiment's initialization).
+pub fn random_gaussian_emission<R: Rng + ?Sized>(
+    k: usize,
+    mean_center: f64,
+    mean_spread: f64,
+    std_scale: f64,
+    rng: &mut R,
+) -> Result<(Vec<f64>, Vec<f64>), HmmError> {
+    if k == 0 {
+        return Err(HmmError::InvalidParameters {
+            reason: "cannot initialize a zero-state model".into(),
+        });
+    }
+    let mean_dist = Gaussian::new(mean_center, mean_spread.max(1e-6))?;
+    let std_dist = Gamma::new(2.0, std_scale.max(1e-6))?;
+    let means: Vec<f64> = (0..k).map(|_| mean_dist.sample(rng)).collect();
+    let stds: Vec<f64> = (0..k).map(|_| std_dist.sample(rng).max(1e-3)).collect();
+    Ok((means, stds))
+}
+
+/// Draws a random row-stochastic `rows × cols` matrix with each row sampled
+/// from a symmetric Dirichlet. Used to initialize discrete emission tables.
+pub fn random_stochastic_matrix<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    concentration: f64,
+    rng: &mut R,
+) -> Result<Matrix, HmmError> {
+    if rows == 0 || cols == 0 {
+        return Err(HmmError::InvalidParameters {
+            reason: "matrix dimensions must be positive".into(),
+        });
+    }
+    if cols == 1 {
+        return Ok(Matrix::filled(rows, 1, 1.0));
+    }
+    let dir = Dirichlet::symmetric(cols, concentration)?;
+    let mut m = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        let row = dir.sample(rng);
+        m.set_row(i, &row)?;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhmm_linalg::vector::is_distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dirichlet_init_produces_valid_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (pi, a) = random_parameters(5, InitStrategy::default(), &mut rng).unwrap();
+        assert!(is_distribution(&pi, 1e-9));
+        assert!(a.is_row_stochastic(1e-9));
+        assert_eq!(a.shape(), (5, 5));
+    }
+
+    #[test]
+    fn uniform_init() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (pi, a) = random_parameters(4, InitStrategy::Uniform, &mut rng).unwrap();
+        assert_eq!(pi, vec![0.25; 4]);
+        assert!(a.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zero_states_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_parameters(0, InitStrategy::Uniform, &mut rng).is_err());
+        assert!(random_gaussian_emission(0, 0.0, 1.0, 1.0, &mut rng).is_err());
+        assert!(random_stochastic_matrix(0, 3, 1.0, &mut rng).is_err());
+        assert!(random_stochastic_matrix(3, 0, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn single_state_degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (pi, a) = random_parameters(1, InitStrategy::default(), &mut rng).unwrap();
+        assert_eq!(pi, vec![1.0]);
+        assert_eq!(a[(0, 0)], 1.0);
+        let m = random_stochastic_matrix(3, 1, 1.0, &mut rng).unwrap();
+        assert!(m.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn gaussian_emission_init_is_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (means, stds) = random_gaussian_emission(5, 3.0, 2.0, 0.5, &mut rng).unwrap();
+        assert_eq!(means.len(), 5);
+        assert_eq!(stds.len(), 5);
+        assert!(stds.iter().all(|&s| s > 0.0));
+        assert!(means.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn random_stochastic_matrix_is_stochastic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = random_stochastic_matrix(4, 10, 1.0, &mut rng).unwrap();
+        assert!(m.is_row_stochastic(1e-9));
+        assert_eq!(m.shape(), (4, 10));
+    }
+
+    #[test]
+    fn different_seeds_give_different_parameters() {
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let (pi1, _) = random_parameters(5, InitStrategy::default(), &mut rng1).unwrap();
+        let (pi2, _) = random_parameters(5, InitStrategy::default(), &mut rng2).unwrap();
+        assert!(pi1.iter().zip(&pi2).any(|(a, b)| (a - b).abs() > 1e-6));
+    }
+}

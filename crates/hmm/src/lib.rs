@@ -1,0 +1,43 @@
+//! # dhmm-hmm
+//!
+//! Classical first-order Hidden Markov Models — the substrate the diversified
+//! HMM of Qiao et al. builds on, and the main baseline it is compared
+//! against.
+//!
+//! The crate provides:
+//!
+//! * [`model::Hmm`] — a first-order HMM parameterized by `λ = (π, A, B)`,
+//!   generic over the emission model `B`,
+//! * [`emission`] — discrete (multinomial), Gaussian and Bernoulli-vector
+//!   (Naive-Bayes pixel) emission models, the three used in the paper,
+//! * [`forward_backward`] — the scaled forward–backward recursions (E-step),
+//! * [`viterbi`] — log-space Viterbi decoding (`max_X P(X, Y | λ)`),
+//! * [`baum_welch`] — the EM (Baum–Welch) trainer with a pluggable
+//!   transition-matrix updater so that the diversified M-step of the dHMM
+//!   can be slotted in without re-implementing the rest of EM,
+//! * [`supervised`] — count-based supervised estimation with smoothing,
+//! * [`generate`] — sampling of labeled sequences from a model (used by the
+//!   synthetic datasets and the toy experiment of §4.1).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baum_welch;
+pub mod emission;
+pub mod error;
+pub mod forward_backward;
+pub mod generate;
+pub mod init;
+pub mod model;
+pub mod supervised;
+pub mod viterbi;
+
+pub use baum_welch::{BaumWelch, BaumWelchConfig, FitResult, MleTransitionUpdater, TransitionUpdater};
+pub use emission::{BernoulliEmission, DiscreteEmission, Emission, GaussianEmission};
+pub use error::HmmError;
+pub use forward_backward::{forward_backward, ForwardBackward, SequenceStats};
+pub use generate::generate_sequences;
+pub use init::{random_parameters, InitStrategy};
+pub use model::Hmm;
+pub use supervised::{supervised_estimate, SupervisedCounts};
+pub use viterbi::viterbi;

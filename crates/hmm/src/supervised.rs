@@ -1,0 +1,218 @@
+//! Supervised (count-based) estimation of HMM parameters.
+//!
+//! In the supervised setting of the paper (§3.4.2), the hidden states are
+//! observed at training time, so `π` and `A` are estimated by counting:
+//! `π_i` is the fraction of sequences starting in state `i`, and `A0_ij` is
+//! the fraction of transitions `i → j` among all transitions. The emission
+//! model is fit from the (state, observation) pairs. The resulting `A0` is
+//! the anchor matrix of the supervised dHMM objective (Eq. 8).
+
+use crate::emission::Emission;
+use crate::error::HmmError;
+use crate::model::Hmm;
+use dhmm_linalg::Matrix;
+
+/// Raw counts collected from a labeled corpus.
+#[derive(Debug, Clone)]
+pub struct SupervisedCounts {
+    /// How many sequences started in each state.
+    pub initial_counts: Vec<f64>,
+    /// `k × k` matrix of transition counts.
+    pub transition_counts: Matrix,
+    /// Per-state total occupancy (number of time steps spent in each state).
+    pub state_counts: Vec<f64>,
+    /// Number of sequences observed.
+    pub num_sequences: usize,
+}
+
+impl SupervisedCounts {
+    /// Tallies counts from labeled sequences.
+    ///
+    /// `labeled[n] = (states, observations)`; only the states are needed for
+    /// the counts, but lengths are validated against the observations.
+    pub fn from_labeled<O>(
+        labeled: &[(Vec<usize>, Vec<O>)],
+        num_states: usize,
+    ) -> Result<Self, HmmError> {
+        if labeled.is_empty() {
+            return Err(HmmError::InvalidData {
+                reason: "no labeled sequences".into(),
+            });
+        }
+        let mut initial_counts = vec![0.0; num_states];
+        let mut transition_counts = Matrix::zeros(num_states, num_states);
+        let mut state_counts = vec![0.0; num_states];
+        for (n, (states, obs)) in labeled.iter().enumerate() {
+            if states.len() != obs.len() {
+                return Err(HmmError::LabelMismatch {
+                    sequence: n,
+                    states: states.len(),
+                    observations: obs.len(),
+                });
+            }
+            if states.is_empty() {
+                return Err(HmmError::InvalidData {
+                    reason: format!("sequence {n} is empty"),
+                });
+            }
+            if let Some(&bad) = states.iter().find(|&&s| s >= num_states) {
+                return Err(HmmError::InvalidData {
+                    reason: format!("state {bad} out of range (k = {num_states})"),
+                });
+            }
+            initial_counts[states[0]] += 1.0;
+            for t in 0..states.len() {
+                state_counts[states[t]] += 1.0;
+                if t > 0 {
+                    transition_counts[(states[t - 1], states[t])] += 1.0;
+                }
+            }
+        }
+        Ok(Self {
+            initial_counts,
+            transition_counts,
+            state_counts,
+            num_sequences: labeled.len(),
+        })
+    }
+
+    /// Maximum-likelihood initial distribution `π_i = count_i / N`, with an
+    /// optional additive smoothing pseudo-count.
+    pub fn initial_distribution(&self, pseudo_count: f64) -> Vec<f64> {
+        let mut pi: Vec<f64> = self
+            .initial_counts
+            .iter()
+            .map(|&c| c + pseudo_count.max(0.0))
+            .collect();
+        dhmm_linalg::normalize_in_place(&mut pi);
+        pi
+    }
+
+    /// Maximum-likelihood transition matrix with an optional additive
+    /// smoothing pseudo-count. Rows with no observed transitions become
+    /// uniform.
+    pub fn transition_matrix(&self, pseudo_count: f64) -> Matrix {
+        let mut a = self
+            .transition_counts
+            .map(|v| v + pseudo_count.max(0.0));
+        a.normalize_rows();
+        a
+    }
+}
+
+/// Estimates a full supervised HMM from labeled sequences.
+///
+/// The emission model is re-estimated via [`Emission::reestimate`] with hard
+/// (one-hot) posteriors built from the labels, which reduces to the usual
+/// per-state MLE. `pseudo_count` smooths `π` and `A`.
+pub fn supervised_estimate<E: Emission>(
+    labeled: &[(Vec<usize>, Vec<E::Obs>)],
+    mut emission: E,
+    pseudo_count: f64,
+) -> Result<(Hmm<E>, SupervisedCounts), HmmError> {
+    let k = emission.num_states();
+    let counts = SupervisedCounts::from_labeled(labeled, k)?;
+
+    // Hard posteriors from the labels.
+    let sequences: Vec<Vec<E::Obs>> = labeled.iter().map(|(_, o)| o.clone()).collect();
+    let gammas: Vec<Matrix> = labeled
+        .iter()
+        .map(|(states, _)| {
+            let mut g = Matrix::zeros(states.len(), k);
+            for (t, &s) in states.iter().enumerate() {
+                g[(t, s)] = 1.0;
+            }
+            g
+        })
+        .collect();
+    emission.reestimate(&sequences, &gammas)?;
+
+    let model = Hmm::new(
+        counts.initial_distribution(pseudo_count),
+        counts.transition_matrix(pseudo_count),
+        emission,
+    )?;
+    Ok((model, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::DiscreteEmission;
+
+    fn labeled_data() -> Vec<(Vec<usize>, Vec<usize>)> {
+        vec![
+            (vec![0, 0, 1], vec![0, 0, 1]),
+            (vec![0, 1, 1], vec![0, 1, 1]),
+            (vec![1, 1, 0], vec![1, 1, 0]),
+        ]
+    }
+
+    #[test]
+    fn counts_are_tallied_correctly() {
+        let counts = SupervisedCounts::from_labeled(&labeled_data(), 2).unwrap();
+        assert_eq!(counts.num_sequences, 3);
+        assert_eq!(counts.initial_counts, vec![2.0, 1.0]);
+        // Transitions: (0,0),(0,1) ; (0,1),(1,1) ; (1,1),(1,0)
+        assert_eq!(counts.transition_counts[(0, 0)], 1.0);
+        assert_eq!(counts.transition_counts[(0, 1)], 2.0);
+        assert_eq!(counts.transition_counts[(1, 1)], 2.0);
+        assert_eq!(counts.transition_counts[(1, 0)], 1.0);
+        assert_eq!(counts.state_counts, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn distributions_normalize_with_and_without_smoothing() {
+        let counts = SupervisedCounts::from_labeled(&labeled_data(), 2).unwrap();
+        let pi = counts.initial_distribution(0.0);
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-12);
+        let a = counts.transition_matrix(0.0);
+        assert!(a.is_row_stochastic(1e-12));
+        assert!((a[(0, 1)] - 2.0 / 3.0).abs() < 1e-12);
+        let a_smooth = counts.transition_matrix(1.0);
+        assert!(a_smooth.is_row_stochastic(1e-12));
+        assert!(a_smooth[(0, 0)] > a[(0, 0)] - 1e-12);
+    }
+
+    #[test]
+    fn unseen_states_get_uniform_rows() {
+        // State 2 never appears: its transition row must still be a distribution.
+        let data = vec![(vec![0, 1], vec![0usize, 1])];
+        let counts = SupervisedCounts::from_labeled(&data, 3).unwrap();
+        let a = counts.transition_matrix(0.0);
+        assert!(a.is_row_stochastic(1e-12));
+        assert!((a[(2, 0)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(SupervisedCounts::from_labeled::<usize>(&[], 2).is_err());
+        let mismatch = vec![(vec![0, 1], vec![0usize])];
+        assert!(SupervisedCounts::from_labeled(&mismatch, 2).is_err());
+        let empty = vec![(vec![], Vec::<usize>::new())];
+        assert!(SupervisedCounts::from_labeled(&empty, 2).is_err());
+        let out_of_range = vec![(vec![5], vec![0usize])];
+        assert!(SupervisedCounts::from_labeled(&out_of_range, 2).is_err());
+    }
+
+    #[test]
+    fn supervised_estimate_builds_consistent_model() {
+        let emission = DiscreteEmission::uniform(2, 2).unwrap();
+        let (model, counts) = supervised_estimate(&labeled_data(), emission, 0.0).unwrap();
+        assert_eq!(counts.num_sequences, 3);
+        assert!(model.transition().is_row_stochastic(1e-9));
+        assert!(dhmm_linalg::vector::is_distribution(model.initial(), 1e-9));
+        // In the training data observations equal states, so the emission
+        // table should be near-diagonal.
+        assert!(model.emission().probs()[(0, 0)] > 0.9);
+        assert!(model.emission().probs()[(1, 1)] > 0.9);
+    }
+
+    #[test]
+    fn supervised_model_decodes_training_data_well() {
+        let emission = DiscreteEmission::uniform(2, 2).unwrap();
+        let (model, _) = supervised_estimate(&labeled_data(), emission, 0.1).unwrap();
+        let decoded = model.decode(&[0usize, 0, 1]).unwrap();
+        assert_eq!(decoded, vec![0, 0, 1]);
+    }
+}

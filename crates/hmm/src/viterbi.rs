@@ -1,0 +1,185 @@
+//! Log-space Viterbi decoding: `argmax_X P(X, Y | λ)`.
+//!
+//! Used at test time in both the unsupervised (PoS) and supervised (OCR)
+//! experiments of the paper to infer the most likely label sequence.
+
+use crate::emission::Emission;
+use crate::error::HmmError;
+use crate::model::Hmm;
+
+/// Floor applied to zero probabilities before taking logs.
+const LOG_FLOOR: f64 = 1e-300;
+
+/// Returns the most likely hidden state sequence for `observations`.
+pub fn viterbi<E: Emission>(
+    model: &Hmm<E>,
+    observations: &[E::Obs],
+) -> Result<Vec<usize>, HmmError> {
+    Ok(viterbi_with_score(model, observations)?.0)
+}
+
+/// Returns the most likely hidden state sequence together with its joint
+/// log-probability `max_X log P(X, Y | λ)`.
+pub fn viterbi_with_score<E: Emission>(
+    model: &Hmm<E>,
+    observations: &[E::Obs],
+) -> Result<(Vec<usize>, f64), HmmError> {
+    let k = model.num_states();
+    let t_len = observations.len();
+    if t_len == 0 {
+        return Err(HmmError::InvalidData {
+            reason: "cannot decode an empty sequence".into(),
+        });
+    }
+
+    let log_pi: Vec<f64> = model.initial().iter().map(|&p| p.max(LOG_FLOOR).ln()).collect();
+    let log_a: Vec<Vec<f64>> = (0..k)
+        .map(|i| {
+            (0..k)
+                .map(|j| model.transition()[(i, j)].max(LOG_FLOOR).ln())
+                .collect()
+        })
+        .collect();
+
+    // delta[t][j]: best log score of any path ending in state j at time t.
+    // psi[t][j]: argmax predecessor.
+    let mut delta = vec![vec![f64::NEG_INFINITY; k]; t_len];
+    let mut psi = vec![vec![0usize; k]; t_len];
+    let mut log_b = vec![0.0; k];
+
+    model
+        .emission()
+        .log_prob_all(&observations[0], &mut log_b);
+    for j in 0..k {
+        delta[0][j] = log_pi[j] + log_b[j];
+    }
+
+    for t in 1..t_len {
+        model
+            .emission()
+            .log_prob_all(&observations[t], &mut log_b);
+        for j in 0..k {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_i = 0;
+            for i in 0..k {
+                let score = delta[t - 1][i] + log_a[i][j];
+                if score > best {
+                    best = score;
+                    best_i = i;
+                }
+            }
+            delta[t][j] = best + log_b[j];
+            psi[t][j] = best_i;
+        }
+    }
+
+    // Backtrack from the best final state.
+    let (mut best_state, mut best_score) = (0usize, f64::NEG_INFINITY);
+    for (j, &score) in delta[t_len - 1].iter().enumerate() {
+        if score > best_score {
+            best_score = score;
+            best_state = j;
+        }
+    }
+    let mut path = vec![0usize; t_len];
+    path[t_len - 1] = best_state;
+    for t in (0..t_len - 1).rev() {
+        path[t] = psi[t + 1][path[t + 1]];
+    }
+    Ok((path, best_score))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::{DiscreteEmission, GaussianEmission};
+    use dhmm_linalg::Matrix;
+
+    fn weather_model() -> Hmm<DiscreteEmission> {
+        let emission = DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap(),
+        )
+        .unwrap();
+        let transition = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
+        Hmm::new(vec![0.5, 0.5], transition, emission).unwrap()
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        assert!(viterbi(&weather_model(), &[]).is_err());
+    }
+
+    #[test]
+    fn single_step_picks_most_likely_state() {
+        let m = weather_model();
+        // Observation 0 is much more likely under state 0.
+        assert_eq!(viterbi(&m, &[0usize]).unwrap(), vec![0]);
+        assert_eq!(viterbi(&m, &[1usize]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force() {
+        let m = weather_model();
+        let obs = vec![0usize, 1, 1, 0, 1];
+        let (path, score) = viterbi_with_score(&m, &obs).unwrap();
+        // Brute force over all 2^5 paths.
+        let mut best_ll = f64::NEG_INFINITY;
+        let mut best_path = vec![];
+        for mask in 0..(1u32 << obs.len()) {
+            let states: Vec<usize> = (0..obs.len()).map(|t| ((mask >> t) & 1) as usize).collect();
+            let ll = m.joint_log_likelihood(&states, &obs).unwrap();
+            if ll > best_ll {
+                best_ll = ll;
+                best_path = states;
+            }
+        }
+        assert_eq!(path, best_path);
+        assert!((score - best_ll).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sticky_transitions_produce_smooth_paths() {
+        // Nearly diagonal transition matrix: the decoded path should not
+        // flip states for a single ambiguous observation.
+        let emission = DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap(),
+        )
+        .unwrap();
+        let transition = Matrix::from_rows(&[vec![0.99, 0.01], vec![0.01, 0.99]]).unwrap();
+        let m = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
+        let obs = vec![0usize, 0, 1, 0, 0];
+        let path = viterbi(&m, &obs).unwrap();
+        assert_eq!(path, vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn works_with_gaussian_emissions() {
+        let emission = GaussianEmission::new(vec![0.0, 10.0], vec![1.0, 1.0]).unwrap();
+        let transition = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        let m = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
+        let obs = vec![0.1, -0.2, 9.5, 10.2, 0.3];
+        assert_eq!(viterbi(&m, &obs).unwrap(), vec![0, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn handles_zero_probability_transitions() {
+        // State 1 is unreachable from state 0 and vice versa; paths stay put.
+        let emission = DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap(),
+        )
+        .unwrap();
+        let transition = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let m = Hmm::new(vec![1.0, 0.0], transition, emission).unwrap();
+        let path = viterbi(&m, &[0usize, 1, 0, 1]).unwrap();
+        assert_eq!(path, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn long_sequence_is_decoded_without_numerical_issues() {
+        let m = weather_model();
+        let obs: Vec<usize> = (0..10_000).map(|t| ((t / 7) % 2) as usize).collect();
+        let (path, score) = viterbi_with_score(&m, &obs).unwrap();
+        assert_eq!(path.len(), obs.len());
+        assert!(score.is_finite());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based and cross-module tests for the HMM crate.
+
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::forward_backward::forward_backward;
+use dhmm_hmm::generate::generate_sequences;
+use dhmm_hmm::init::random_stochastic_matrix;
+use dhmm_hmm::viterbi::viterbi_with_score;
+use dhmm_hmm::{BaumWelch, BaumWelchConfig, Hmm};
+use dhmm_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random discrete HMM with `k` states and `v` symbols from a seed.
+fn random_hmm(k: usize, v: usize, seed: u64) -> Hmm<DiscreteEmission> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (pi, a) = dhmm_hmm::init::random_parameters(
+        k,
+        dhmm_hmm::init::InitStrategy::Dirichlet { concentration: 2.0 },
+        &mut rng,
+    )
+    .unwrap();
+    let b = random_stochastic_matrix(k, v, 1.0, &mut rng).unwrap();
+    Hmm::new(pi, a, DiscreteEmission::new(b).unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gamma_rows_are_distributions_for_random_models(
+        k in 2usize..6, v in 2usize..8, seed in 0u64..500, len in 1usize..30
+    ) {
+        let model = random_hmm(k, v, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let seq: Vec<usize> = (0..len).map(|_| {
+            use rand::Rng;
+            rng.gen_range(0..v)
+        }).collect();
+        let stats = forward_backward(&model, &seq).unwrap();
+        for t in 0..len {
+            let s: f64 = stats.gamma.row(t).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+        prop_assert!((stats.xi_sum.sum() - (len as f64 - 1.0)).abs() < 1e-6);
+        prop_assert!(stats.log_likelihood <= 1e-9);
+    }
+
+    #[test]
+    fn viterbi_score_never_exceeds_marginal_likelihood(
+        k in 2usize..5, v in 2usize..6, seed in 0u64..500, len in 1usize..20
+    ) {
+        let model = random_hmm(k, v, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7));
+        let seq: Vec<usize> = (0..len).map(|_| {
+            use rand::Rng;
+            rng.gen_range(0..v)
+        }).collect();
+        let (path, score) = viterbi_with_score(&model, &seq).unwrap();
+        let marginal = model.log_likelihood(&seq).unwrap();
+        // The best single path cannot be more likely than the sum over paths.
+        prop_assert!(score <= marginal + 1e-7, "viterbi {score} > marginal {marginal}");
+        prop_assert_eq!(path.len(), seq.len());
+        // And the path's joint likelihood must equal the viterbi score.
+        let joint = model.joint_log_likelihood(&path, &seq).unwrap();
+        prop_assert!((joint - score).abs() < 1e-7);
+    }
+
+    #[test]
+    fn generated_states_are_valid(k in 2usize..6, v in 2usize..6, seed in 0u64..200) {
+        let model = random_hmm(k, v, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seqs = generate_sequences(&model, 5, 12, &mut rng).unwrap();
+        for s in seqs {
+            prop_assert!(s.states.iter().all(|&st| st < k));
+            prop_assert!(s.observations.iter().all(|&o| o < v));
+            prop_assert_eq!(s.states.len(), 12);
+        }
+    }
+
+    #[test]
+    fn em_never_decreases_likelihood_on_random_data(
+        seed in 0u64..100
+    ) {
+        let truth = random_hmm(3, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(99));
+        let data: Vec<Vec<usize>> = generate_sequences(&truth, 20, 8, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+        let mut model = random_hmm(3, 4, seed.wrapping_add(1));
+        let bw = BaumWelch::new(BaumWelchConfig { max_iterations: 10, tolerance: 0.0, verbose: false });
+        let result = bw.fit(&mut model, &data).unwrap();
+        for w in result.log_likelihood_history.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6, "EM decreased the likelihood: {} -> {}", w[0], w[1]);
+        }
+        prop_assert!(model.transition().is_row_stochastic(1e-6));
+    }
+}
+
+#[test]
+fn em_recovers_strongly_identifiable_model() {
+    // A near-deterministic model should be recoverable up to permutation.
+    let emission = DiscreteEmission::new(
+        Matrix::from_rows(&[vec![0.97, 0.02, 0.01], vec![0.01, 0.02, 0.97]]).unwrap(),
+    )
+    .unwrap();
+    let transition = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.15, 0.85]]).unwrap();
+    let truth = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
+    let mut rng = StdRng::seed_from_u64(33);
+    let data: Vec<Vec<usize>> = generate_sequences(&truth, 150, 20, &mut rng)
+        .unwrap()
+        .into_iter()
+        .map(|s| s.observations)
+        .collect();
+
+    let mut model = random_hmm(2, 3, 77);
+    let bw = BaumWelch::new(BaumWelchConfig {
+        max_iterations: 80,
+        tolerance: 1e-9,
+        verbose: false,
+    });
+    bw.fit(&mut model, &data).unwrap();
+
+    // The learned emission rows should each concentrate on a different symbol
+    // (0 or 2), i.e. the two states have been separated.
+    let b = model.emission().probs();
+    let row0_peak = dhmm_linalg::argmax(b.row(0)).unwrap();
+    let row1_peak = dhmm_linalg::argmax(b.row(1)).unwrap();
+    assert_ne!(row0_peak, row1_peak, "states collapsed: {b}");
+    assert!(b[(0, row0_peak)] > 0.8);
+    assert!(b[(1, row1_peak)] > 0.8);
+}
+
+#[test]
+fn supervised_and_unsupervised_agree_on_easy_data() {
+    // When emissions are nearly deterministic, unsupervised EM should reach
+    // almost the same transition structure as supervised counting.
+    let emission = DiscreteEmission::new(
+        Matrix::from_rows(&[vec![0.99, 0.01], vec![0.01, 0.99]]).unwrap(),
+    )
+    .unwrap();
+    let transition = Matrix::from_rows(&[vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap();
+    let truth = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let labeled: Vec<(Vec<usize>, Vec<usize>)> = generate_sequences(&truth, 300, 15, &mut rng)
+        .unwrap()
+        .into_iter()
+        .map(|s| (s.states, s.observations))
+        .collect();
+
+    // Supervised estimate.
+    let (sup_model, _) = dhmm_hmm::supervised_estimate(
+        &labeled,
+        DiscreteEmission::uniform(2, 2).unwrap(),
+        0.0,
+    )
+    .unwrap();
+
+    // Unsupervised estimate from the same observations.
+    let observations: Vec<Vec<usize>> = labeled.iter().map(|(_, o)| o.clone()).collect();
+    let mut unsup_model = random_hmm(2, 2, 123);
+    let bw = BaumWelch::new(BaumWelchConfig {
+        max_iterations: 60,
+        tolerance: 1e-9,
+        verbose: false,
+    });
+    bw.fit(&mut unsup_model, &observations).unwrap();
+
+    // Align: state identity may be permuted; compare self-transition spectrum.
+    let mut sup_diag: Vec<f64> = (0..2).map(|i| sup_model.transition()[(i, i)]).collect();
+    let mut unsup_diag: Vec<f64> = (0..2).map(|i| unsup_model.transition()[(i, i)]).collect();
+    sup_diag.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    unsup_diag.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (s, u) in sup_diag.iter().zip(&unsup_diag) {
+        assert!((s - u).abs() < 0.08, "supervised {sup_diag:?} vs unsupervised {unsup_diag:?}");
+    }
+}

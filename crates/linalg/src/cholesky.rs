@@ -1,0 +1,244 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! The normalized probability-product kernel matrix `K̃_A` of the dHMM prior
+//! is symmetric positive semi-definite. When the rows of the transition
+//! matrix are nearly identical (the degenerate regime the prior is designed
+//! to escape), the kernel matrix becomes nearly singular; the jittered
+//! variant [`Cholesky::new_with_jitter`] adds a small diagonal ridge so that
+//! `log|K̃_A|` and its gradient stay finite.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` such that `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// The diagonal jitter that had to be added (0.0 if none).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a non-positive pivot
+    /// is encountered.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::factor(a, 0.0)
+    }
+
+    /// Factorizes a symmetric positive semi-definite matrix, adding an
+    /// increasing diagonal jitter (starting at `initial_jitter`, multiplied
+    /// by 10 up to `max_attempts` times) until the factorization succeeds.
+    pub fn new_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_attempts: usize,
+    ) -> Result<Self, LinalgError> {
+        match Self::factor(a, 0.0) {
+            Ok(c) => return Ok(c),
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let mut jitter = initial_jitter.max(f64::MIN_POSITIVE);
+        let mut last_err = LinalgError::NotPositiveDefinite { index: 0 };
+        for _ in 0..max_attempts {
+            match Self::factor(a, jitter) {
+                Ok(c) => return Ok(c),
+                Err(e @ LinalgError::NotPositiveDefinite { .. }) => {
+                    last_err = e;
+                    jitter *= 10.0;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn factor(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                if i == j {
+                    s += jitter;
+                }
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { index: i });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l, jitter })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The diagonal jitter that was added to make the factorization succeed.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Size of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Log-determinant of the original matrix: `2·Σ log L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        self.log_determinant().exp()
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Cholesky::solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for j in 0..i {
+                v -= self.l[(i, j)] * y[j];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for j in (i + 1)..n {
+                v -= self.l[(j, i)] * x[j];
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the original matrix.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+            e[col] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Matrix {
+        // A = M·Mᵀ + I is symmetric positive definite.
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![0.0, 1.0, 1.0],
+            vec![2.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let mut a = m.matmul(&m.transpose()).unwrap();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor_l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.approx_eq(&a, 1e-10));
+        assert_eq!(ch.jitter(), 0.0);
+    }
+
+    #[test]
+    fn log_determinant_matches_lu() {
+        let a = spd();
+        let ch = Cholesky::new(&a).unwrap();
+        let (sign, logdet) = crate::lu::sign_log_determinant(&a).unwrap();
+        assert_eq!(sign, 1.0);
+        assert!((ch.log_determinant() - logdet).abs() < 1e-9);
+        assert!((ch.determinant() - crate::lu::determinant(&a).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_and_inverse() {
+        let a = spd();
+        let ch = Cholesky::new(&a).unwrap();
+        let x_true = vec![0.5, -1.0, 2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+        let inv = ch.inverse().unwrap();
+        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn jitter_rescues_singular_psd_matrix() {
+        // Rank-1 PSD matrix: ones(3,3).
+        let a = Matrix::filled(3, 3, 1.0);
+        assert!(Cholesky::new(&a).is_err());
+        let ch = Cholesky::new_with_jitter(&a, 1e-10, 20).unwrap();
+        assert!(ch.jitter() > 0.0);
+        assert!(ch.log_determinant().is_finite());
+    }
+
+    #[test]
+    fn jitter_gives_up_on_indefinite_matrix_with_few_attempts() {
+        let a = Matrix::from_rows(&[vec![0.0, 1e9], vec![1e9, 0.0]]).unwrap();
+        assert!(Cholesky::new_with_jitter(&a, 1e-12, 1).is_err());
+    }
+
+    #[test]
+    fn identity_has_zero_log_determinant() {
+        let ch = Cholesky::new(&Matrix::identity(4)).unwrap();
+        assert!(ch.log_determinant().abs() < 1e-12);
+    }
+}

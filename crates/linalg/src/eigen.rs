@@ -1,0 +1,239 @@
+//! Symmetric eigenvalue decomposition via the cyclic Jacobi method.
+//!
+//! Eigenvalues of the DPP kernel matrix are needed for the k-DPP
+//! normalization constant (elementary symmetric polynomials of the spectrum,
+//! Eq. (1) of the paper) and for spectral diagnostics of learned transition
+//! matrices. The Jacobi method is simple, numerically robust and more than
+//! fast enough for the `k ≤ 26` matrices that occur here.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigenvalue decomposition `A = V·diag(λ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as columns, in the same order as `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigenvalues and eigenvectors of a symmetric matrix using the
+/// cyclic Jacobi rotation method.
+///
+/// The input must be square and (numerically) symmetric; symmetry is
+/// enforced by averaging `A` and `Aᵀ` before iterating so that tiny
+/// asymmetries from floating-point kernel construction do not matter.
+pub fn jacobi_eigen(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            eigenvalues: Vec::new(),
+            eigenvectors: Matrix::zeros(0, 0),
+        });
+    }
+    // Symmetrize defensively.
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Sum of squares of off-diagonal entries.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // tan of the rotation angle, chosen for stability.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q of M.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract eigenvalues and sort in descending order, permuting the vectors.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eigvals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| eigvals[b].partial_cmp(&eigvals[a]).expect("NaN eigenvalue"));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| eigvals[i]).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |row, col| v[(row, order[col])]);
+
+    Ok(SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+impl SymmetricEigen {
+    /// Reconstructs the original matrix `V·diag(λ)·Vᵀ` (useful for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.eigenvalues.len();
+        let d = Matrix::from_diag(&self.eigenvalues);
+        self.eigenvectors
+            .matmul(&d)
+            .and_then(|vd| vd.matmul(&self.eigenvectors.transpose()))
+            .unwrap_or_else(|_| Matrix::zeros(n, n))
+    }
+
+    /// Number of eigenvalues greater than `threshold` — the numerical rank.
+    pub fn rank(&self, threshold: f64) -> usize {
+        self.eigenvalues.iter().filter(|&&l| l > threshold).count()
+    }
+
+    /// Condition number `λ_max / λ_min` (absolute values); infinite if the
+    /// smallest eigenvalue is zero.
+    pub fn condition_number(&self) -> f64 {
+        if self.eigenvalues.is_empty() {
+            return 1.0;
+        }
+        let max = self.eigenvalues.iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
+        let min = self
+            .eigenvalues
+            .iter()
+            .fold(f64::INFINITY, |a, &b| a.min(b.abs()));
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = jacobi_eigen(&a).unwrap();
+        assert_eq!(e.eigenvalues.len(), 3);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-10);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_two_by_two() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5, 0.0],
+            vec![1.0, 3.0, 0.2, 0.1],
+            vec![0.5, 0.2, 2.0, 0.3],
+            vec![0.0, 0.1, 0.3, 1.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&m).unwrap();
+        assert!(e.reconstruct().approx_eq(&m, 1e-8));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![2.0, 0.5, 0.1],
+            vec![0.5, 1.0, 0.2],
+            vec![0.1, 0.2, 3.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&m).unwrap();
+        let vtv = e
+            .eigenvectors
+            .transpose()
+            .matmul(&e.eigenvectors)
+            .unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn trace_equals_sum_of_eigenvalues() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.3],
+            vec![0.3, 2.0, 0.3],
+            vec![0.3, 0.3, 3.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&m).unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - m.trace().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_and_condition_number() {
+        let a = Matrix::filled(3, 3, 1.0); // rank 1, eigenvalues {3, 0, 0}
+        let e = jacobi_eigen(&a).unwrap();
+        assert_eq!(e.rank(1e-8), 1);
+        assert!(e.condition_number().is_infinite() || e.condition_number() > 1e12);
+        let id = jacobi_eigen(&Matrix::identity(3)).unwrap();
+        assert_eq!(id.rank(0.5), 3);
+        assert!((id.condition_number() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square_and_handles_empty() {
+        assert!(jacobi_eigen(&Matrix::zeros(2, 3)).is_err());
+        let e = jacobi_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.eigenvalues.is_empty());
+        assert_eq!(e.condition_number(), 1.0);
+    }
+
+    #[test]
+    fn handles_nearly_symmetric_input() {
+        let mut a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        a[(0, 1)] += 1e-14; // tiny asymmetry
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-9);
+    }
+}

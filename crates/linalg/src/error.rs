@@ -1,0 +1,139 @@
+//! Error types shared by the linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes (e.g. a 3×4 times a 5×2 product).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The matrix was singular (or numerically singular) where a
+    /// factorization or inverse required it not to be.
+    Singular {
+        /// The pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// The matrix was expected to be square but was not.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix was expected to be symmetric positive definite but a
+    /// non-positive pivot was encountered.
+    NotPositiveDefinite {
+        /// The row/column at which the failure was detected.
+        index: usize,
+    },
+    /// An index was out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// The requested index as `(row, col)`.
+        index: (usize, usize),
+        /// The matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// An empty matrix or vector was passed where a non-empty one is required.
+    Empty {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { index } => write!(
+                f,
+                "matrix is not positive definite (non-positive pivot at index {index})"
+            ),
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::Empty { op } => write!(f, "empty input passed to {op}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: (3, 4),
+            right: (5, 2),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("3x4"));
+        assert!(msg.contains("5x2"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let err = LinalgError::Singular { pivot: 2 };
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let err = LinalgError::NotSquare { shape: (2, 3) };
+        assert!(err.to_string().contains("square"));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let err = LinalgError::NotPositiveDefinite { index: 1 };
+        assert!(err.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = LinalgError::IndexOutOfBounds {
+            index: (5, 5),
+            shape: (2, 2),
+        };
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn display_empty() {
+        let err = LinalgError::Empty { op: "mean" };
+        assert!(err.to_string().contains("mean"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::Singular { pivot: 1 },
+            LinalgError::Singular { pivot: 1 }
+        );
+        assert_ne!(
+            LinalgError::Singular { pivot: 1 },
+            LinalgError::Singular { pivot: 2 }
+        );
+    }
+}

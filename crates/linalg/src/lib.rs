@@ -1,0 +1,45 @@
+//! # dhmm-linalg
+//!
+//! Dense linear-algebra substrate for the diversified-HMM (dHMM) reproduction.
+//!
+//! The dHMM paper (Qiao et al.) only ever manipulates small dense matrices:
+//! `k × k` transition matrices and DPP kernel matrices with `k ≤ 26`, plus
+//! `k × V` emission tables. This crate therefore provides a compact,
+//! dependency-free implementation of exactly the primitives the rest of the
+//! workspace needs:
+//!
+//! * [`Matrix`] / [`vector`] — row-major dense matrices and vector helpers,
+//! * [`lu`] — LU decomposition with partial pivoting (determinant, inverse,
+//!   linear solves, log-determinant with sign),
+//! * [`cholesky`] — Cholesky factorization (and a jittered variant used for
+//!   nearly-singular DPP kernels),
+//! * [`eigen`] — symmetric eigenvalue decomposition via the cyclic Jacobi
+//!   method (used for k-DPP normalizers and spectral diagnostics),
+//! * [`simplex`] — Euclidean projection onto the probability simplex
+//!   (Wang & Carreira-Perpiñán, Algorithm 1), the projection step of the
+//!   paper's Algorithm 1,
+//! * [`stats`] — small numeric helpers (log-sum-exp, normalization, argmax).
+//!
+//! All routines are written for clarity and numerical robustness at the
+//! matrix sizes that occur in the paper; they are not intended to compete
+//! with BLAS at large sizes.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod simplex;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use eigen::{jacobi_eigen, SymmetricEigen};
+pub use error::LinalgError;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use simplex::{project_row_stochastic, project_to_simplex};
+pub use stats::{argmax, log_sum_exp, normalize_in_place};

@@ -1,0 +1,305 @@
+//! LU decomposition with partial pivoting.
+//!
+//! The DPP prior of the dHMM paper requires `log |K̃_A|` and, for the
+//! gradient in Eq. (15), the inverse `K̃_A⁻¹`. Both are computed from an LU
+//! factorization of the (small, `k × k`) kernel matrix. The decomposition
+//! also backs determinants and linear solves used elsewhere in the
+//! workspace.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// LU decomposition `P·A = L·U` of a square matrix with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (unit lower) and U (upper) factors stored in one matrix.
+    lu: Matrix,
+    /// Row permutation applied to `A`: row `i` of `P·A` is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or −1.0), used for the determinant.
+    perm_sign: f64,
+    /// Whether a (numerically) zero pivot was encountered.
+    singular_at: Option<usize>,
+}
+
+/// Relative threshold under which a pivot is considered numerically zero.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl LuDecomposition {
+    /// Factorizes a square matrix. Singular matrices are accepted (so that
+    /// the determinant can still be reported as zero); operations that need
+    /// a non-singular factor ([`Self::inverse`], [`Self::solve`]) will error.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let mut singular_at = None;
+
+        for col in 0..n {
+            // Find the pivot: largest absolute value in this column at or below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for row in (col + 1)..n {
+                let v = lu[(row, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val <= PIVOT_EPS {
+                if singular_at.is_none() {
+                    singular_at = Some(col);
+                }
+                continue;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(col, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(col, col)];
+            for row in (col + 1)..n {
+                let factor = lu[(row, col)] / pivot;
+                lu[(row, col)] = factor;
+                for j in (col + 1)..n {
+                    let delta = factor * lu[(col, j)];
+                    lu[(row, j)] -= delta;
+                }
+            }
+        }
+
+        Ok(Self {
+            lu,
+            perm,
+            perm_sign,
+            singular_at,
+        })
+    }
+
+    /// Size of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// `true` if a zero pivot was encountered during factorization.
+    pub fn is_singular(&self) -> bool {
+        self.singular_at.is_some()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        if self.is_singular() {
+            return 0.0;
+        }
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Log of the absolute determinant together with its sign
+    /// (`sign ∈ {-1.0, 0.0, 1.0}`), computed without overflow.
+    pub fn sign_log_determinant(&self) -> (f64, f64) {
+        if self.is_singular() {
+            return (0.0, f64::NEG_INFINITY);
+        }
+        let mut sign = self.perm_sign;
+        let mut log_det = 0.0;
+        for i in 0..self.dim() {
+            let d = self.lu[(i, i)];
+            if d < 0.0 {
+                sign = -sign;
+            }
+            log_det += d.abs().ln();
+        }
+        (sign, log_det)
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "LuDecomposition::solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        if let Some(p) = self.singular_at {
+            return Err(LinalgError::Singular { pivot: p });
+        }
+        // Forward substitution with permuted rhs: L·y = P·b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[self.perm[i]];
+            for j in 0..i {
+                v -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = v;
+        }
+        // Back substitution: U·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for j in (i + 1)..n {
+                v -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = v / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes the inverse of the original matrix.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if let Some(p) = self.singular_at {
+            return Err(LinalgError::Singular { pivot: p });
+        }
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+            e[col] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience: determinant of a square matrix via LU.
+pub fn determinant(a: &Matrix) -> Result<f64, LinalgError> {
+    Ok(LuDecomposition::new(a)?.determinant())
+}
+
+/// Convenience: `(sign, log|det A|)` of a square matrix via LU.
+pub fn sign_log_determinant(a: &Matrix) -> Result<(f64, f64), LinalgError> {
+    Ok(LuDecomposition::new(a)?.sign_log_determinant())
+}
+
+/// Convenience: inverse of a square matrix via LU.
+pub fn inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+/// Convenience: solves `A·x = b` via LU.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 3.0, 2.0],
+            vec![1.0, 3.0, 1.0],
+            vec![2.0, 1.0, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        // det = 4(9-1) - 3(3-2) + 2(1-6) = 32 - 3 - 10 = 19
+        let d = determinant(&example()).unwrap();
+        assert!((d - 19.0).abs() < 1e-10, "det = {d}");
+    }
+
+    #[test]
+    fn determinant_of_identity_is_one() {
+        assert!((determinant(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_singular_matrix_is_zero() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(determinant(&a).unwrap(), 0.0);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.is_singular());
+        let (sign, logdet) = lu.sign_log_determinant();
+        assert_eq!(sign, 0.0);
+        assert!(logdet.is_infinite() && logdet < 0.0);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(LuDecomposition::new(&a).is_err());
+    }
+
+    #[test]
+    fn sign_log_determinant_matches_determinant() {
+        let a = example();
+        let (sign, logdet) = sign_log_determinant(&a).unwrap();
+        let det = determinant(&a).unwrap();
+        assert!((sign * logdet.exp() - det).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sign_log_determinant_handles_negative_determinant() {
+        // Swapping two rows of the identity gives det = -1.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let (sign, logdet) = sign_log_determinant(&a).unwrap();
+        assert_eq!(sign, -1.0);
+        assert!(logdet.abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = example();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs_and_singular() {
+        let a = example();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+        let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(solve(&singular, &[1.0, 1.0]).is_err());
+        assert!(inverse(&singular).is_err());
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = example();
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+        let prod2 = inv.matmul(&a).unwrap();
+        assert!(prod2.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let inv = inverse(&a).unwrap();
+        assert!(inv.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_rows(&[vec![4.0]]).unwrap();
+        assert!((determinant(&a).unwrap() - 4.0).abs() < 1e-12);
+        let inv = inverse(&a).unwrap();
+        assert!((inv[(0, 0)] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Small numerical helpers shared across the workspace.
+
+/// Numerically stable `log(Σ exp(x_i))`.
+///
+/// Returns `-inf` for an empty slice (the log of an empty sum).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let max = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    if max.is_infinite() && max < 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Index of the maximum element; ties resolve to the first occurrence.
+/// Returns `None` for an empty slice or if every element is NaN.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            None => best = Some((i, x)),
+            Some((_, bx)) if x > bx => best = Some((i, x)),
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element; ties resolve to the first occurrence.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    argmax(&xs.iter().map(|&x| -x).collect::<Vec<_>>())
+}
+
+/// Normalizes a slice in place so it sums to one; returns the original sum
+/// (the normalization constant). A zero or non-finite sum leaves the slice
+/// uniform and returns 0.0.
+pub fn normalize_in_place(xs: &mut [f64]) -> f64 {
+    let s: f64 = xs.iter().sum();
+    if s > 0.0 && s.is_finite() {
+        for x in xs.iter_mut() {
+            *x /= s;
+        }
+        s
+    } else {
+        if !xs.is_empty() {
+            let u = 1.0 / xs.len() as f64;
+            for x in xs.iter_mut() {
+                *x = u;
+            }
+        }
+        0.0
+    }
+}
+
+/// Clamps a probability into `[floor, 1.0]`. Useful to avoid `log(0)` when
+/// taking logarithms of estimated probabilities.
+pub fn clamp_prob(p: f64, floor: f64) -> f64 {
+    if p.is_nan() {
+        floor
+    } else {
+        p.clamp(floor, 1.0)
+    }
+}
+
+/// Natural log with a floor: `ln(max(x, floor))`.
+pub fn safe_ln(x: f64, floor: f64) -> f64 {
+    x.max(floor).ln()
+}
+
+/// Relative change `|new − old| / (|old| + eps)`, the convergence criterion
+/// used by the EM loops in this workspace.
+pub fn relative_change(old: f64, new: f64) -> f64 {
+    (new - old).abs() / (old.abs() + 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small_values() {
+        let xs = [0.1_f64, 0.2, 0.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_values() {
+        let xs = [1000.0, 1000.0];
+        let expected = 1000.0 + 2.0_f64.ln();
+        assert!((log_sum_exp(&xs) - expected).abs() < 1e-9);
+        let xs = [-1e308, -1e308];
+        assert!(log_sum_exp(&xs).is_finite() || log_sum_exp(&xs) == f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_edge_cases() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert!((log_sum_exp(&[0.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_and_argmin() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[1.0, 1.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+        assert_eq!(argmin(&[1.0, -3.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn normalize_in_place_returns_constant() {
+        let mut xs = vec![2.0, 2.0, 4.0];
+        let z = normalize_in_place(&mut xs);
+        assert_eq!(z, 8.0);
+        assert!((xs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(xs[2], 0.5);
+    }
+
+    #[test]
+    fn normalize_in_place_handles_zero_sum() {
+        let mut xs = vec![0.0, 0.0];
+        let z = normalize_in_place(&mut xs);
+        assert_eq!(z, 0.0);
+        assert_eq!(xs, vec![0.5, 0.5]);
+        let mut empty: Vec<f64> = vec![];
+        assert_eq!(normalize_in_place(&mut empty), 0.0);
+    }
+
+    #[test]
+    fn clamping_helpers() {
+        assert_eq!(clamp_prob(0.5, 1e-10), 0.5);
+        assert_eq!(clamp_prob(0.0, 1e-10), 1e-10);
+        assert_eq!(clamp_prob(2.0, 1e-10), 1.0);
+        assert_eq!(clamp_prob(f64::NAN, 1e-10), 1e-10);
+        assert_eq!(safe_ln(0.0, 1e-10), (1e-10_f64).ln());
+        assert_eq!(safe_ln(1.0, 1e-10), 0.0);
+    }
+
+    #[test]
+    fn relative_change_behaviour() {
+        assert!((relative_change(10.0, 11.0) - 0.1).abs() < 1e-9);
+        assert!(relative_change(0.0, 0.0) < 1e-9);
+        assert!(relative_change(-5.0, -5.5) > 0.09);
+    }
+}

@@ -1,0 +1,209 @@
+//! Small helpers for working with `&[f64]` / `Vec<f64>` as dense vectors.
+//!
+//! The probability code in the rest of the workspace stores distributions as
+//! plain `Vec<f64>`; these free functions keep that code close to the paper's
+//! notation without introducing a dedicated vector type.
+
+use crate::error::LinalgError;
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
+    if a.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "dot",
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x * y).sum())
+}
+
+/// Element-wise sum `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "add",
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x + y).collect())
+}
+
+/// Element-wise difference `a - b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "sub",
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x - y).collect())
+}
+
+/// Scales a vector by a scalar.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Maximum norm (largest absolute value); 0 for an empty slice.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+}
+
+/// Squared Euclidean distance between two vectors.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
+    if a.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "squared_distance",
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
+}
+
+/// Sum of all entries.
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Arithmetic mean. Returns an error for an empty slice.
+pub fn mean(a: &[f64]) -> Result<f64, LinalgError> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty { op: "mean" });
+    }
+    Ok(sum(a) / a.len() as f64)
+}
+
+/// Sample variance (divides by `n - 1`; by `1` when `n == 1`).
+pub fn variance(a: &[f64]) -> Result<f64, LinalgError> {
+    let m = mean(a)?;
+    let denom = (a.len().max(2) - 1) as f64;
+    Ok(a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / denom)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(a: &[f64]) -> Result<f64, LinalgError> {
+    Ok(variance(a)?.sqrt())
+}
+
+/// `true` if two vectors are element-wise equal within `tol`.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+/// `true` if the vector is a probability distribution: non-negative entries
+/// summing to one within `tol`.
+pub fn is_distribution(a: &[f64], tol: f64) -> bool {
+    !a.is_empty() && a.iter().all(|&v| v >= -tol) && (sum(a) - 1.0).abs() <= tol
+}
+
+/// Normalizes a vector to sum to one. A zero vector becomes uniform.
+pub fn normalized(a: &[f64]) -> Vec<f64> {
+    let s = sum(a);
+    if s > 0.0 {
+        a.iter().map(|x| x / s).collect()
+    } else if a.is_empty() {
+        Vec::new()
+    } else {
+        vec![1.0 / a.len() as f64; a.len()]
+    }
+}
+
+/// Returns the uniform distribution over `n` outcomes.
+pub fn uniform(n: usize) -> Vec<f64> {
+    if n == 0 {
+        Vec::new()
+    } else {
+        vec![1.0 / n as f64; n]
+    }
+}
+
+/// Cumulative sum of a slice (inclusive).
+pub fn cumsum(a: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    a.iter()
+        .map(|&x| {
+            acc += x;
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 32.0);
+        assert!(dot(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]).unwrap(), vec![4.0, 6.0]);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 2.0]).unwrap(), vec![2.0, 2.0]);
+        assert_eq!(scale(&[1.0, 2.0], 2.5), vec![2.5, 5.0]);
+        assert!(add(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(sub(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm1(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(norm_inf(&[-1.0, 2.0, -3.0]), 3.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 25.0);
+        assert!(squared_distance(&[0.0], &[3.0, 4.0]).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+        assert!((variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 4.571428571428571).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 1.0]).unwrap() - 0.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn distribution_checks_and_normalization() {
+        assert!(is_distribution(&[0.5, 0.5], 1e-9));
+        assert!(!is_distribution(&[0.5, 0.6], 1e-9));
+        assert!(!is_distribution(&[1.5, -0.5], 1e-9));
+        assert!(!is_distribution(&[], 1e-9));
+        assert_eq!(normalized(&[2.0, 2.0]), vec![0.5, 0.5]);
+        assert_eq!(normalized(&[0.0, 0.0]), vec![0.5, 0.5]);
+        assert!(normalized(&[]).is_empty());
+        assert_eq!(uniform(4), vec![0.25; 4]);
+        assert!(uniform(0).is_empty());
+    }
+
+    #[test]
+    fn approx_eq_behaviour() {
+        assert!(approx_eq(&[1.0, 2.0], &[1.0 + 1e-12, 2.0], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-9));
+    }
+
+    #[test]
+    fn cumulative_sum() {
+        assert_eq!(cumsum(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
+        assert!(cumsum(&[]).is_empty());
+    }
+}

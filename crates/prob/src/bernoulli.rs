@@ -1,0 +1,249 @@
+//! Bernoulli and independent Bernoulli-vector (Naive-Bayes) distributions.
+//!
+//! The OCR experiment of the paper models each 16×8 binary letter image as a
+//! 128-dimensional vector of independent Bernoulli pixels ("Naive Bayes
+//! assumption", §4.2.2). [`BernoulliVector`] is that emission model.
+
+use crate::error::ProbError;
+use rand::Rng;
+
+/// A single Bernoulli distribution with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution; `p` must lie in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ProbError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(ProbError::InvalidProbability {
+                distribution: "Bernoulli",
+                value: p,
+            });
+        }
+        Ok(Self { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Log probability mass of outcome `x`.
+    pub fn log_pmf(&self, x: bool) -> f64 {
+        let p = if x { self.p } else { 1.0 - self.p };
+        if p > 0.0 {
+            p.ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Probability mass of outcome `x`.
+    pub fn pmf(&self, x: bool) -> f64 {
+        if x {
+            self.p
+        } else {
+            1.0 - self.p
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+}
+
+/// A vector of independent Bernoulli variables (the Naive-Bayes pixel model
+/// used for OCR emissions). Probabilities are clamped away from 0 and 1 by
+/// `floor` to keep log-likelihoods finite for unseen pixel configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BernoulliVector {
+    probs: Vec<f64>,
+    floor: f64,
+}
+
+impl BernoulliVector {
+    /// Default clamp applied to each pixel probability.
+    pub const DEFAULT_FLOOR: f64 = 1e-6;
+
+    /// Creates a Bernoulli-vector distribution from per-dimension
+    /// probabilities, clamping each into `[floor, 1 - floor]`.
+    pub fn new(probs: Vec<f64>, floor: f64) -> Result<Self, ProbError> {
+        if probs.is_empty() {
+            return Err(ProbError::InvalidWeights {
+                distribution: "BernoulliVector",
+                reason: "empty probability vector",
+            });
+        }
+        if !(0.0..0.5).contains(&floor) {
+            return Err(ProbError::InvalidProbability {
+                distribution: "BernoulliVector",
+                value: floor,
+            });
+        }
+        for &p in &probs {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(ProbError::InvalidProbability {
+                    distribution: "BernoulliVector",
+                    value: p,
+                });
+            }
+        }
+        let clamped = probs
+            .iter()
+            .map(|&p| p.clamp(floor, 1.0 - floor))
+            .collect();
+        Ok(Self {
+            probs: clamped,
+            floor,
+        })
+    }
+
+    /// Creates the uniform (p = 0.5 everywhere) Bernoulli vector.
+    pub fn uniform(dim: usize) -> Result<Self, ProbError> {
+        Self::new(vec![0.5; dim.max(1)], Self::DEFAULT_FLOOR)
+    }
+
+    /// Dimensionality of the vector.
+    pub fn dim(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The clamped per-dimension probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The clamp used for probabilities.
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Log probability mass of a binary observation vector.
+    ///
+    /// Returns an error if the dimensions do not match.
+    pub fn log_pmf(&self, x: &[bool]) -> Result<f64, ProbError> {
+        if x.len() != self.probs.len() {
+            return Err(ProbError::LengthMismatch {
+                op: "BernoulliVector::log_pmf",
+                left: x.len(),
+                right: self.probs.len(),
+            });
+        }
+        Ok(self
+            .probs
+            .iter()
+            .zip(x)
+            .map(|(&p, &xi)| if xi { p.ln() } else { (1.0 - p).ln() })
+            .sum())
+    }
+
+    /// Log probability mass of an observation encoded as 0.0 / 1.0 values.
+    pub fn log_pmf_f64(&self, x: &[f64]) -> Result<f64, ProbError> {
+        if x.len() != self.probs.len() {
+            return Err(ProbError::LengthMismatch {
+                op: "BernoulliVector::log_pmf_f64",
+                left: x.len(),
+                right: self.probs.len(),
+            });
+        }
+        Ok(self
+            .probs
+            .iter()
+            .zip(x)
+            .map(|(&p, &xi)| {
+                // Treat the observation as the probability of the pixel being
+                // on; this also supports soft (fractional) pixels.
+                xi * p.ln() + (1.0 - xi) * (1.0 - p).ln()
+            })
+            .sum())
+    }
+
+    /// Draws one binary vector sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<bool> {
+        self.probs.iter().map(|&p| rng.gen::<f64>() < p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_construction_and_pmf() {
+        assert!(Bernoulli::new(0.5).is_ok());
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+        let b = Bernoulli::new(0.3).unwrap();
+        assert_eq!(b.p(), 0.3);
+        assert!((b.pmf(true) - 0.3).abs() < 1e-12);
+        assert!((b.pmf(false) - 0.7).abs() < 1e-12);
+        assert!((b.log_pmf(true) - 0.3_f64.ln()).abs() < 1e-12);
+        let sure = Bernoulli::new(1.0).unwrap();
+        assert_eq!(sure.log_pmf(false), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bernoulli_sampling_frequency() {
+        let b = Bernoulli::new(0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..50_000).filter(|_| b.sample(&mut rng)).count();
+        assert!((hits as f64 / 50_000.0 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn vector_construction_validates() {
+        assert!(BernoulliVector::new(vec![0.2, 0.8], 1e-6).is_ok());
+        assert!(BernoulliVector::new(vec![], 1e-6).is_err());
+        assert!(BernoulliVector::new(vec![1.5], 1e-6).is_err());
+        assert!(BernoulliVector::new(vec![0.5], 0.6).is_err());
+        assert!(BernoulliVector::new(vec![0.5], -0.1).is_err());
+        let u = BernoulliVector::uniform(128).unwrap();
+        assert_eq!(u.dim(), 128);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let v = BernoulliVector::new(vec![0.0, 1.0, 0.5], 1e-3).unwrap();
+        assert_eq!(v.probs()[0], 1e-3);
+        assert_eq!(v.probs()[1], 1.0 - 1e-3);
+        assert_eq!(v.probs()[2], 0.5);
+        assert_eq!(v.floor(), 1e-3);
+        // log_pmf therefore stays finite even for "impossible" observations.
+        assert!(v.log_pmf(&[true, false, true]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn log_pmf_matches_product_of_bernoullis() {
+        let v = BernoulliVector::new(vec![0.2, 0.9], 1e-9).unwrap();
+        let lp = v.log_pmf(&[true, false]).unwrap();
+        assert!((lp - (0.2_f64.ln() + 0.1_f64.ln())).abs() < 1e-9);
+        let lp2 = v.log_pmf_f64(&[1.0, 0.0]).unwrap();
+        assert!((lp - lp2).abs() < 1e-12);
+        assert!(v.log_pmf(&[true]).is_err());
+        assert!(v.log_pmf_f64(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn vector_sampling_mean_matches_probs() {
+        let v = BernoulliVector::new(vec![0.1, 0.9, 0.5], 1e-9).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0usize; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            for (c, bit) in counts.iter_mut().zip(v.sample(&mut rng)) {
+                if bit {
+                    *c += 1;
+                }
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.02);
+        assert!((counts[1] as f64 / n as f64 - 0.9).abs() < 0.02);
+        assert!((counts[2] as f64 / n as f64 - 0.5).abs() < 0.02);
+    }
+}

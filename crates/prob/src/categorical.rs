@@ -1,0 +1,190 @@
+//! Categorical (discrete) distribution over `{0, 1, ..., k-1}`.
+//!
+//! Categorical distributions are everywhere in the HMM: the initial-state
+//! distribution `π`, every row of the transition matrix `A`, and the
+//! per-state emission rows of a discrete-emission HMM. Sampling uses the
+//! inverse-CDF method on a precomputed cumulative table.
+
+use crate::error::ProbError;
+use rand::Rng;
+
+/// A categorical distribution with probabilities `p_0, ..., p_{k-1}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    probs: Vec<f64>,
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from (possibly unnormalized,
+    /// non-negative) weights.
+    pub fn new(weights: &[f64]) -> Result<Self, ProbError> {
+        if weights.is_empty() {
+            return Err(ProbError::InvalidWeights {
+                distribution: "Categorical",
+                reason: "empty weight vector",
+            });
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err(ProbError::InvalidWeights {
+                distribution: "Categorical",
+                reason: "weights must be non-negative and finite",
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ProbError::InvalidWeights {
+                distribution: "Categorical",
+                reason: "weights must not all be zero",
+            });
+        }
+        let probs: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard against floating point drift: the last entry must be >= 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { probs, cdf })
+    }
+
+    /// Uniform categorical over `k` outcomes.
+    pub fn uniform(k: usize) -> Result<Self, ProbError> {
+        Self::new(&vec![1.0; k.max(0)])
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `true` if there are no categories (never constructible via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The normalized probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Probability of category `i` (0.0 if out of range).
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Log-probability of category `i` (−∞ if out of range or zero).
+    pub fn log_prob(&self, i: usize) -> f64 {
+        let p = self.prob(i);
+        if p > 0.0 {
+            p.ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Entropy in nats.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// Draws one category index via inverse-CDF sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // Binary search for the first cdf entry >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.probs.len() - 1),
+        }
+    }
+
+    /// Draws `n` category indices.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Counts occurrences of each category in `n` draws (a multinomial draw).
+    pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.len()];
+        for _ in 0..n {
+            counts[self.sample(rng)] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_weights() {
+        assert!(Categorical::new(&[1.0, 2.0]).is_ok());
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[-1.0, 2.0]).is_err());
+        assert!(Categorical::new(&[f64::NAN, 1.0]).is_err());
+        assert!(Categorical::uniform(0).is_err());
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let c = Categorical::new(&[2.0, 6.0]).unwrap();
+        assert!((c.prob(0) - 0.25).abs() < 1e-12);
+        assert!((c.prob(1) - 0.75).abs() < 1e-12);
+        assert_eq!(c.prob(5), 0.0);
+        assert_eq!(c.log_prob(5), f64::NEG_INFINITY);
+        assert!((c.log_prob(1) - 0.75_f64.ln()).abs() < 1e-12);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn uniform_has_maximum_entropy() {
+        let u = Categorical::uniform(4).unwrap();
+        assert!((u.entropy() - (4.0_f64).ln()).abs() < 1e-12);
+        let skewed = Categorical::new(&[0.97, 0.01, 0.01, 0.01]).unwrap();
+        assert!(skewed.entropy() < u.entropy());
+        let deterministic = Categorical::new(&[1.0, 0.0]).unwrap();
+        assert!(deterministic.entropy().abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_frequencies_match_probabilities() {
+        let c = Categorical::new(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = c.sample_counts(&mut rng, 100_000);
+        for (i, &cnt) in counts.iter().enumerate() {
+            let freq = cnt as f64 / 100_000.0;
+            assert!((freq - c.prob(i)).abs() < 0.01, "category {i}: {freq}");
+        }
+    }
+
+    #[test]
+    fn deterministic_distribution_always_samples_same_category() {
+        let c = Categorical::new(&[0.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(c.sample_n(&mut rng, 100).iter().all(|&i| i == 2));
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let c = Categorical::uniform(7).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        assert!(c.sample_n(&mut rng, 1000).iter().all(|&i| i < 7));
+    }
+}

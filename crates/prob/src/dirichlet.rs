@@ -1,0 +1,204 @@
+//! Dirichlet distribution over the probability simplex.
+//!
+//! The paper initializes the initial-state distribution and the rows of the
+//! transition matrix by sampling from `Dir(η)` with concentration `η_i = 3`
+//! (toy experiment) or from a symmetric Dirichlet (PoS experiment). The
+//! density is also used by the sparse-prior HMM baseline.
+
+use crate::error::ProbError;
+use crate::gamma::Gamma;
+use crate::special::ln_multivariate_beta;
+use rand::Rng;
+
+/// A Dirichlet distribution with concentration parameters `α`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet distribution from concentration parameters.
+    ///
+    /// All parameters must be strictly positive; at least two are required.
+    pub fn new(alpha: Vec<f64>) -> Result<Self, ProbError> {
+        if alpha.len() < 2 {
+            return Err(ProbError::InvalidWeights {
+                distribution: "Dirichlet",
+                reason: "needs at least two concentration parameters",
+            });
+        }
+        if alpha.iter().any(|&a| !(a > 0.0) || !a.is_finite()) {
+            return Err(ProbError::InvalidWeights {
+                distribution: "Dirichlet",
+                reason: "all concentration parameters must be positive and finite",
+            });
+        }
+        Ok(Self { alpha })
+    }
+
+    /// Creates a symmetric Dirichlet `Dir(concentration, ..., concentration)`
+    /// of dimension `dim`.
+    pub fn symmetric(dim: usize, concentration: f64) -> Result<Self, ProbError> {
+        Self::new(vec![concentration; dim])
+    }
+
+    /// Concentration parameters.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Dimension of the simplex (number of categories).
+    pub fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Mean vector `α_i / Σ α`.
+    pub fn mean(&self) -> Vec<f64> {
+        let s: f64 = self.alpha.iter().sum();
+        self.alpha.iter().map(|&a| a / s).collect()
+    }
+
+    /// Log probability density at a point `x` on the simplex.
+    ///
+    /// Returns `-inf` if `x` is not a valid distribution of matching
+    /// dimension (within a small tolerance) or has zero entries where
+    /// `α_i < 1` would make the density infinite.
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        if x.len() != self.alpha.len() {
+            return f64::NEG_INFINITY;
+        }
+        let sum: f64 = x.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 || x.iter().any(|&v| v < 0.0) {
+            return f64::NEG_INFINITY;
+        }
+        let mut lp = -ln_multivariate_beta(&self.alpha);
+        for (&xi, &ai) in x.iter().zip(&self.alpha) {
+            if xi <= 0.0 {
+                if (ai - 1.0).abs() < 1e-12 {
+                    continue; // x^0 contributes nothing
+                }
+                return f64::NEG_INFINITY;
+            }
+            lp += (ai - 1.0) * xi.ln();
+        }
+        lp
+    }
+
+    /// Draws one sample (a point on the simplex) by normalizing independent
+    /// Gamma draws.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| {
+                Gamma::new(a, 1.0)
+                    .expect("validated at construction")
+                    .sample(rng)
+            })
+            .collect();
+        let s: f64 = draws.iter().sum();
+        if s <= 0.0 || !s.is_finite() {
+            // Degenerate draw (vanishingly unlikely); fall back to the mean.
+            return self.mean();
+        }
+        for d in &mut draws {
+            *d /= s;
+        }
+        draws
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Dirichlet::new(vec![1.0, 2.0]).is_ok());
+        assert!(Dirichlet::new(vec![1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, -1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Dirichlet::symmetric(5, 3.0).is_ok());
+        assert_eq!(Dirichlet::symmetric(5, 3.0).unwrap().dim(), 5);
+    }
+
+    #[test]
+    fn mean_is_normalized_alpha() {
+        let d = Dirichlet::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let m = d.mean();
+        assert!((m[0] - 1.0 / 6.0).abs() < 1e-12);
+        assert!((m[2] - 0.5).abs() < 1e-12);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_dirichlet_has_constant_density() {
+        // Dir(1, 1, 1) is uniform over the 2-simplex with density 2 ( = 1/B(1,1,1) = Γ(3) = 2 ).
+        let d = Dirichlet::new(vec![1.0, 1.0, 1.0]).unwrap();
+        let p1 = d.log_pdf(&[0.2, 0.3, 0.5]);
+        let p2 = d.log_pdf(&[0.6, 0.3, 0.1]);
+        assert!((p1 - p2).abs() < 1e-10);
+        assert!((p1.exp() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pdf_rejects_invalid_points() {
+        let d = Dirichlet::new(vec![2.0, 2.0]).unwrap();
+        assert_eq!(d.log_pdf(&[0.5, 0.6]), f64::NEG_INFINITY);
+        assert_eq!(d.log_pdf(&[1.2, -0.2]), f64::NEG_INFINITY);
+        assert_eq!(d.log_pdf(&[0.5, 0.25, 0.25]), f64::NEG_INFINITY);
+        assert_eq!(d.log_pdf(&[0.0, 1.0]), f64::NEG_INFINITY);
+        // alpha = 1 tolerates zero coordinates.
+        let u = Dirichlet::new(vec![1.0, 1.0]).unwrap();
+        assert!(u.log_pdf(&[0.0, 1.0]).is_finite());
+    }
+
+    #[test]
+    fn samples_lie_on_simplex() {
+        let d = Dirichlet::new(vec![3.0, 3.0, 3.0, 3.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for x in d.sample_n(&mut rng, 100) {
+            assert_eq!(x.len(), 5);
+            assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(x.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sample_mean_approaches_distribution_mean() {
+        let d = Dirichlet::new(vec![2.0, 5.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = d.sample_n(&mut rng, 20_000);
+        let mut mean = vec![0.0; 3];
+        for s in &samples {
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= samples.len() as f64;
+        }
+        let expected = d.mean();
+        for (m, e) in mean.iter().zip(&expected) {
+            assert!((m - e).abs() < 0.01, "{m} vs {e}");
+        }
+    }
+
+    #[test]
+    fn small_concentration_yields_sparse_samples() {
+        // With alpha << 1 most mass concentrates on few coordinates.
+        let d = Dirichlet::symmetric(10, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = d.sample(&mut rng);
+        let max = x.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max > 0.5, "expected a dominant coordinate, got {x:?}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Divergences and distances between discrete probability distributions.
+//!
+//! The paper quantifies the "diversity" of a learned transition matrix as
+//! the **average pairwise Bhattacharyya distance** between its rows
+//! (Figs. 3, 8, 12). This module implements the Bhattacharyya coefficient
+//! and distance, the Hellinger distance, KL divergence and entropy, plus the
+//! matrix-level diversity summaries used by the experiments.
+
+use crate::error::ProbError;
+use dhmm_linalg::Matrix;
+
+/// Bhattacharyya coefficient `BC(p, q) = Σ √(p_i q_i)` between two discrete
+/// distributions. Lies in `[0, 1]`, equal to 1 iff `p == q`.
+pub fn bhattacharyya_coefficient(p: &[f64], q: &[f64]) -> Result<f64, ProbError> {
+    if p.len() != q.len() {
+        return Err(ProbError::LengthMismatch {
+            op: "bhattacharyya_coefficient",
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    Ok(p.iter()
+        .zip(q)
+        .map(|(&a, &b)| (a.max(0.0) * b.max(0.0)).sqrt())
+        .sum())
+}
+
+/// Bhattacharyya distance `-ln BC(p, q)`. Returns `+inf` for distributions
+/// with disjoint support.
+pub fn bhattacharyya_distance(p: &[f64], q: &[f64]) -> Result<f64, ProbError> {
+    let bc = bhattacharyya_coefficient(p, q)?;
+    if bc <= 0.0 {
+        Ok(f64::INFINITY)
+    } else {
+        // Clamp tiny floating point excursions above 1.
+        Ok(-bc.min(1.0).ln())
+    }
+}
+
+/// Hellinger distance `√(1 − BC(p, q))`, bounded in `[0, 1]`.
+pub fn hellinger_distance(p: &[f64], q: &[f64]) -> Result<f64, ProbError> {
+    let bc = bhattacharyya_coefficient(p, q)?;
+    Ok((1.0 - bc.min(1.0)).max(0.0).sqrt())
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q) = Σ p_i ln(p_i / q_i)`.
+/// Returns `+inf` when `q_i = 0` for some `i` with `p_i > 0`.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, ProbError> {
+    if p.len() != q.len() {
+        return Err(ProbError::LengthMismatch {
+            op: "kl_divergence",
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        kl += pi * (pi / qi).ln();
+    }
+    Ok(kl.max(0.0))
+}
+
+/// Shannon entropy `H(p) = −Σ p_i ln p_i` in nats.
+pub fn entropy(p: &[f64]) -> f64 {
+    -p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x * x.ln())
+        .sum::<f64>()
+}
+
+/// Jensen–Shannon divergence (symmetrized, bounded KL), in nats.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> Result<f64, ProbError> {
+    if p.len() != q.len() {
+        return Err(ProbError::LengthMismatch {
+            op: "js_divergence",
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    Ok(0.5 * kl_divergence(p, &m)? + 0.5 * kl_divergence(q, &m)?)
+}
+
+/// Mean pairwise Bhattacharyya distance between the rows of a row-stochastic
+/// matrix — the diversity measure of the paper's Fig. 3.
+///
+/// Infinite pairwise distances (disjoint supports) are clamped to the
+/// largest finite pairwise distance observed, so that a single deterministic
+/// pair cannot dominate the average.
+pub fn mean_pairwise_bhattacharyya(a: &Matrix) -> f64 {
+    let k = a.rows();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut distances = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let d = bhattacharyya_distance(a.row(i), a.row(j)).unwrap_or(f64::INFINITY);
+            distances.push(d);
+        }
+    }
+    let max_finite = distances
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(0.0_f64, f64::max);
+    let clamped: Vec<f64> = distances
+        .iter()
+        .map(|&d| if d.is_finite() { d } else { max_finite })
+        .collect();
+    clamped.iter().sum::<f64>() / clamped.len() as f64
+}
+
+/// Bhattacharyya distance between one row of a row-stochastic matrix and
+/// every other row — the per-tag / per-letter diversity curves of
+/// Figs. 8 and 12.
+pub fn row_bhattacharyya_profile(a: &Matrix, row: usize) -> Vec<f64> {
+    let k = a.rows();
+    (0..k)
+        .filter(|&j| j != row)
+        .map(|j| bhattacharyya_distance(a.row(row), a.row(j)).unwrap_or(f64::INFINITY))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficient_of_identical_distributions_is_one() {
+        let p = [0.2, 0.3, 0.5];
+        assert!((bhattacharyya_coefficient(&p, &p).unwrap() - 1.0).abs() < 1e-12);
+        assert!(bhattacharyya_distance(&p, &p).unwrap().abs() < 1e-12);
+        assert!(hellinger_distance(&p, &p).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_supports_give_infinite_distance() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert_eq!(bhattacharyya_coefficient(&p, &q).unwrap(), 0.0);
+        assert_eq!(bhattacharyya_distance(&p, &q).unwrap(), f64::INFINITY);
+        assert!((hellinger_distance(&p, &q).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_bhattacharyya_value() {
+        let p = [0.5, 0.5];
+        let q = [0.9, 0.1];
+        let bc = (0.5_f64 * 0.9).sqrt() + (0.5_f64 * 0.1).sqrt();
+        assert!((bhattacharyya_coefficient(&p, &q).unwrap() - bc).abs() < 1e-12);
+        assert!((bhattacharyya_distance(&p, &q).unwrap() + bc.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        assert!(bhattacharyya_coefficient(&[0.5], &[0.5, 0.5]).is_err());
+        assert!(kl_divergence(&[0.5], &[0.5, 0.5]).is_err());
+        assert!(js_divergence(&[0.5], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let p = [0.4, 0.6];
+        let q = [0.5, 0.5];
+        let kl = kl_divergence(&p, &q).unwrap();
+        assert!(kl > 0.0);
+        assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+        // KL is asymmetric.
+        assert!((kl - kl_divergence(&q, &p).unwrap()).abs() > 1e-6);
+        // Zero in q with mass in p => infinity.
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap(), f64::INFINITY);
+        // Zero in p is fine.
+        assert!(kl_divergence(&[1.0, 0.0], &[0.5, 0.5]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn entropy_values() {
+        assert!(entropy(&[1.0, 0.0]).abs() < 1e-12);
+        assert!((entropy(&[0.5, 0.5]) - 2.0_f64.ln().abs()).abs() < 1e-12);
+        assert!((entropy(&[0.25; 4]) - 4.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_divergence_is_symmetric_and_bounded() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.1, 0.8];
+        let d1 = js_divergence(&p, &q).unwrap();
+        let d2 = js_divergence(&q, &p).unwrap();
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0 && d1 <= 2.0_f64.ln() + 1e-12);
+        assert!(js_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_diversity_of_identical_rows_is_zero() {
+        let a = Matrix::from_rows(&[vec![0.3, 0.7], vec![0.3, 0.7], vec![0.3, 0.7]]).unwrap();
+        assert!(mean_pairwise_bhattacharyya(&a) < 1e-12);
+    }
+
+    #[test]
+    fn matrix_diversity_increases_with_distinct_rows() {
+        let similar = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.55, 0.45]]).unwrap();
+        let distinct = Matrix::from_rows(&[vec![0.95, 0.05], vec![0.05, 0.95]]).unwrap();
+        assert!(mean_pairwise_bhattacharyya(&distinct) > mean_pairwise_bhattacharyya(&similar));
+    }
+
+    #[test]
+    fn matrix_diversity_handles_deterministic_rows() {
+        // Disjoint-support rows produce infinite pairwise distances; the mean
+        // must stay finite thanks to clamping.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]])
+            .unwrap();
+        let d = mean_pairwise_bhattacharyya(&a);
+        assert!(d.is_finite());
+        let single = Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        assert_eq!(mean_pairwise_bhattacharyya(&single), 0.0);
+    }
+
+    #[test]
+    fn row_profile_has_expected_length_and_order() {
+        let a = Matrix::from_rows(&[
+            vec![0.8, 0.1, 0.1],
+            vec![0.1, 0.8, 0.1],
+            vec![0.34, 0.33, 0.33],
+        ])
+        .unwrap();
+        let profile = row_bhattacharyya_profile(&a, 0);
+        assert_eq!(profile.len(), 2);
+        // Row 1 is more different from row 0 than row 2 is.
+        assert!(profile[0] > profile[1]);
+    }
+}

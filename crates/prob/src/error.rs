@@ -1,0 +1,108 @@
+//! Error type for invalid distribution parameters.
+
+use std::fmt;
+
+/// Errors raised when constructing or evaluating a distribution with
+/// invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the distribution.
+        distribution: &'static str,
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the distribution.
+        distribution: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A weight vector was empty, negative or summed to zero.
+    InvalidWeights {
+        /// Name of the distribution.
+        distribution: &'static str,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Two inputs that must have equal lengths did not.
+    LengthMismatch {
+        /// Description of the operation.
+        op: &'static str,
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::NonPositiveParameter {
+                distribution,
+                parameter,
+                value,
+            } => write!(
+                f,
+                "{distribution}: parameter {parameter} must be positive, got {value}"
+            ),
+            ProbError::InvalidProbability {
+                distribution,
+                value,
+            } => write!(
+                f,
+                "{distribution}: probability must be in [0, 1], got {value}"
+            ),
+            ProbError::InvalidWeights {
+                distribution,
+                reason,
+            } => write!(f, "{distribution}: invalid weights ({reason})"),
+            ProbError::LengthMismatch { op, left, right } => {
+                write!(f, "{op}: length mismatch ({left} vs {right})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ProbError::NonPositiveParameter {
+            distribution: "Gamma",
+            parameter: "shape",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("Gamma"));
+        assert!(e.to_string().contains("shape"));
+
+        let e = ProbError::InvalidProbability {
+            distribution: "Bernoulli",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("[0, 1]"));
+
+        let e = ProbError::InvalidWeights {
+            distribution: "Categorical",
+            reason: "empty",
+        };
+        assert!(e.to_string().contains("empty"));
+
+        let e = ProbError::LengthMismatch {
+            op: "kl_divergence",
+            left: 3,
+            right: 4,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("4"));
+    }
+}

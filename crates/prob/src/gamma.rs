@@ -1,0 +1,169 @@
+//! Gamma distribution (shape/scale parameterization).
+//!
+//! The toy experiment initializes the emission variances from a Gamma
+//! distribution; the Gamma sampler is also the building block of the
+//! Dirichlet sampler used to initialize `π` and the rows of `A`.
+
+use crate::error::ProbError;
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// A Gamma distribution with shape `k` and scale `θ` (mean `k·θ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution. Both parameters must be positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ProbError> {
+        if !(shape > 0.0) || !shape.is_finite() {
+            return Err(ProbError::NonPositiveParameter {
+                distribution: "Gamma",
+                parameter: "shape",
+                value: shape,
+            });
+        }
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(ProbError::NonPositiveParameter {
+                distribution: "Gamma",
+                parameter: "scale",
+                value: scale,
+            });
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Mean `k·θ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Variance `k·θ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Log probability density at `x` (−∞ for `x ≤ 0`).
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.shape - 1.0) * x.ln() - x / self.scale
+            - ln_gamma(self.shape)
+            - self.shape * self.scale.ln()
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Draws one sample using the Marsaglia–Tsang method, with the usual
+    /// boost for shape < 1.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: if X ~ Gamma(shape+1), U ~ Uniform(0,1),
+            // then X·U^(1/shape) ~ Gamma(shape).
+            let boosted = Gamma {
+                shape: self.shape + 1.0,
+                scale: self.scale,
+            };
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // Standard normal via Box-Muller.
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Gamma::new(1.0, 1.0).is_ok());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(Gamma::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn exponential_special_case_density() {
+        // Gamma(1, θ) is Exponential(1/θ): pdf(x) = exp(-x/θ)/θ.
+        let g = Gamma::new(1.0, 2.0).unwrap();
+        for &x in &[0.1, 1.0, 5.0] {
+            let expected = (-x / 2.0_f64).exp() / 2.0;
+            assert!((g.pdf(x) - expected).abs() < 1e-10);
+        }
+        assert_eq!(g.log_pdf(-1.0), f64::NEG_INFINITY);
+        assert_eq!(g.log_pdf(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn moments() {
+        let g = Gamma::new(3.0, 2.0).unwrap();
+        assert_eq!(g.mean(), 6.0);
+        assert_eq!(g.variance(), 12.0);
+        assert_eq!(g.shape(), 3.0);
+        assert_eq!(g.scale(), 2.0);
+    }
+
+    #[test]
+    fn sample_moments_match_for_large_shape() {
+        let g = Gamma::new(4.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = g.sample_n(&mut rng, 30_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var = {var}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn sample_moments_match_for_small_shape() {
+        let g = Gamma::new(0.5, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples = g.sample_n(&mut rng, 30_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean = {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+}

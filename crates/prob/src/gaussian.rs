@@ -1,0 +1,145 @@
+//! Univariate Gaussian distribution.
+//!
+//! The toy experiment of the dHMM paper (§4.1) uses single-mode Gaussian
+//! emissions with means `1..5` and a variance parameter that is swept to
+//! "flatten" the emissions (Figs. 3–5). This module provides sampling
+//! (Box–Muller), the log-density, and the CDF used in tests.
+
+use crate::error::ProbError;
+use crate::special::erf;
+use rand::Rng;
+
+/// A univariate Gaussian (normal) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// Returns an error if `std_dev` is not strictly positive or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ProbError> {
+        if !(std_dev > 0.0) || !std_dev.is_finite() || !mean.is_finite() {
+            return Err(ProbError::NonPositiveParameter {
+                distribution: "Gaussian",
+                parameter: "std_dev",
+                value: std_dev,
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    /// Log probability density at `x`.
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        -0.5 * z * z - self.std_dev.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf((x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2)))
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0, 1], u2 in [0, 1).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Gaussian::new(0.0, 1.0).is_ok());
+        assert!(Gaussian::new(0.0, 0.0).is_err());
+        assert!(Gaussian::new(0.0, -1.0).is_err());
+        assert!(Gaussian::new(f64::NAN, 1.0).is_err());
+        assert!(Gaussian::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn standard_normal_density_at_zero() {
+        let g = Gaussian::standard();
+        let expected = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+        assert!((g.pdf(0.0) - expected).abs() < 1e-12);
+        assert!((g.log_pdf(0.0) - expected.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_is_symmetric_about_mean() {
+        let g = Gaussian::new(2.0, 0.5).unwrap();
+        assert!((g.pdf(2.0 + 0.3) - g.pdf(2.0 - 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let g = Gaussian::new(1.0, 2.0).unwrap();
+        assert!((g.cdf(1.0) - 0.5).abs() < 1e-7);
+        assert!(g.cdf(-100.0) < 1e-6);
+        assert!(g.cdf(100.0) > 1.0 - 1e-6);
+        assert!(g.cdf(2.0) > g.cdf(0.0));
+    }
+
+    #[test]
+    fn sample_moments_match_parameters() {
+        let g = Gaussian::new(3.0, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = g.sample_n(&mut rng, 20_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 0.49).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn accessors() {
+        let g = Gaussian::new(1.5, 2.5).unwrap();
+        assert_eq!(g.mean(), 1.5);
+        assert_eq!(g.std_dev(), 2.5);
+        assert_eq!(g.variance(), 6.25);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dhmm-prob
+//!
+//! Probability substrate for the diversified-HMM reproduction.
+//!
+//! The HMM, dHMM and dataset-generation crates need a handful of
+//! distributions (categorical, Dirichlet, Gaussian, Gamma, Beta,
+//! Bernoulli/multinomial) for sampling and density evaluation, plus the
+//! divergence measures used in the paper's evaluation (Bhattacharyya
+//! distance between transition rows, KL divergence, entropy) and a Zipf
+//! sampler for the synthetic PoS vocabulary. Only the `rand` crate is used
+//! for randomness; every density, sampler and divergence is implemented
+//! here.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bernoulli;
+pub mod categorical;
+pub mod dirichlet;
+pub mod divergence;
+pub mod error;
+pub mod gamma;
+pub mod gaussian;
+pub mod special;
+pub mod zipf;
+
+pub use bernoulli::{BernoulliVector, Bernoulli};
+pub use categorical::Categorical;
+pub use dirichlet::Dirichlet;
+pub use divergence::{
+    bhattacharyya_coefficient, bhattacharyya_distance, entropy, hellinger_distance, kl_divergence,
+    mean_pairwise_bhattacharyya,
+};
+pub use error::ProbError;
+pub use gamma::Gamma;
+pub use gaussian::Gaussian;
+pub use zipf::Zipf;

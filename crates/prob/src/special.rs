@@ -1,0 +1,140 @@
+//! Special mathematical functions: log-gamma, digamma, erf.
+//!
+//! These back the density functions of the Gamma, Beta and Dirichlet
+//! distributions used to initialise and regularise HMM parameters.
+
+/// Natural log of the Gamma function, via the Lanczos approximation
+/// (g = 7, n = 9 coefficients). Accurate to ~15 significant digits for
+/// positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Digamma function ψ(x) = d/dx ln Γ(x), via the asymptotic series with
+/// recurrence shifting for small arguments.
+pub fn digamma(x: f64) -> f64 {
+    let mut x = x;
+    let mut result = 0.0;
+    // Shift x upward until the asymptotic series is accurate.
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+}
+
+/// Error function, via Abramowitz & Stegun formula 7.1.26 (max error ~1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Log of the multivariate Beta function `B(α) = Π Γ(α_i) / Γ(Σ α_i)`,
+/// the normalizer of the Dirichlet distribution.
+pub fn ln_multivariate_beta(alpha: &[f64]) -> f64 {
+    let sum: f64 = alpha.iter().sum();
+    alpha.iter().map(|&a| ln_gamma(a)).sum::<f64>() - ln_gamma(sum)
+}
+
+/// Factorial of small integers as f64 (saturates at `f64::INFINITY` past 170!).
+pub fn factorial(n: usize) -> f64 {
+    (1..=n).fold(1.0_f64, |acc, i| acc * i as f64)
+}
+
+/// Natural log of `n!` via `ln_gamma(n + 1)`.
+pub fn ln_factorial(n: usize) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(3) = 2, Γ(4) = 6, Γ(0.5) = sqrt(pi)
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(3.0) - 2.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(4.0) - 6.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_holds() {
+        // Γ(x+1) = x·Γ(x)  =>  lnΓ(x+1) = ln x + lnΓ(x)
+        for &x in &[0.3, 1.7, 5.5, 20.0, 100.5] {
+            assert!((ln_gamma(x + 1.0) - (x.ln() + ln_gamma(x))).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn digamma_matches_known_values() {
+        // ψ(1) = -γ (Euler–Mascheroni).
+        let euler_gamma = 0.577_215_664_901_532_9;
+        assert!((digamma(1.0) + euler_gamma).abs() < 1e-8);
+        // ψ(x+1) = ψ(x) + 1/x
+        for &x in &[0.5, 2.0, 7.3] {
+            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        // The Abramowitz & Stegun 7.1.26 approximation is accurate to ~1.5e-7.
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-5);
+    }
+
+    #[test]
+    fn multivariate_beta_of_uniform_alpha() {
+        // B(1,1,...,1) = Γ(1)^k / Γ(k) = 1/(k-1)!
+        let alpha = vec![1.0; 4];
+        let expected = -(factorial(3)).ln();
+        assert!((ln_multivariate_beta(&alpha) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(5), 120.0);
+        assert!((ln_factorial(10) - (3_628_800.0_f64).ln()).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,130 @@
+//! Zipf (power-law) distribution over ranks `1..=n`.
+//!
+//! Word frequencies in natural-language corpora are famously Zipfian. The
+//! synthetic WSJ-like corpus used for the unsupervised PoS experiment draws
+//! its per-tag vocabularies from this distribution so that the long-tail
+//! word/tag statistics of Fig. 9 are reproduced.
+
+use crate::categorical::Categorical;
+use crate::error::ProbError;
+use rand::Rng;
+
+/// A Zipf distribution with `n` ranks and exponent `s`:
+/// `P(rank = k) ∝ 1 / k^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: usize,
+    s: f64,
+    categorical: Categorical,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over ranks `1..=n` with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self, ProbError> {
+        if n == 0 {
+            return Err(ProbError::InvalidWeights {
+                distribution: "Zipf",
+                reason: "need at least one rank",
+            });
+        }
+        if !(s > 0.0) || !s.is_finite() {
+            return Err(ProbError::NonPositiveParameter {
+                distribution: "Zipf",
+                parameter: "s",
+                value: s,
+            });
+        }
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let categorical = Categorical::new(&weights)?;
+        Ok(Self { n, s, categorical })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Exponent `s`.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability of rank `k` (1-based). Zero outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.n {
+            0.0
+        } else {
+            self.categorical.prob(k - 1)
+        }
+    }
+
+    /// The full probability vector over ranks `1..=n` (index 0 is rank 1).
+    pub fn probs(&self) -> &[f64] {
+        self.categorical.probs()
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.categorical.sample(rng) + 1
+    }
+
+    /// Draws one 0-based index in `0..n` (convenient for vocabulary lookups).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.categorical.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Zipf::new(10, 1.0).is_ok());
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_is_decreasing_in_rank() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        for k in 1..100 {
+            assert!(z.pmf(k) > z.pmf(k + 1));
+        }
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(101), 0.0);
+        assert!((z.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_ratio_follows_power_law() {
+        let z = Zipf::new(50, 2.0).unwrap();
+        // p(1)/p(2) = 2^s = 4.
+        assert!((z.pmf(1) / z.pmf(2) - 4.0).abs() < 1e-9);
+        assert_eq!(z.n(), 50);
+        assert_eq!(z.s(), 2.0);
+    }
+
+    #[test]
+    fn samples_are_in_range_and_head_heavy() {
+        let z = Zipf::new(1000, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = z.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+            if k <= 10 {
+                head += 1;
+            }
+        }
+        // The top-10 ranks should hold well over a third of the mass.
+        assert!(head as f64 / n as f64 > 0.35, "head mass = {}", head as f64 / n as f64);
+        let idx = z.sample_index(&mut rng);
+        assert!(idx < 1000);
+    }
+}

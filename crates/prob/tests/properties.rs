@@ -1,0 +1,136 @@
+//! Property-based tests for the probability substrate.
+
+use dhmm_linalg::Matrix;
+use dhmm_prob::divergence::{
+    bhattacharyya_coefficient, bhattacharyya_distance, entropy, hellinger_distance,
+    js_divergence, kl_divergence, mean_pairwise_bhattacharyya,
+};
+use dhmm_prob::special::{digamma, ln_gamma};
+use dhmm_prob::{Categorical, Dirichlet, Gaussian, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing a normalized probability vector of length 2..=max_len.
+fn distribution(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    (2..=max_len)
+        .prop_flat_map(|n| proptest::collection::vec(0.01..1.0f64, n))
+        .prop_map(|v| {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| x / s).collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bhattacharyya_is_symmetric_and_bounded((p, q) in (distribution(10), distribution(10))) {
+        if p.len() == q.len() {
+            let bc_pq = bhattacharyya_coefficient(&p, &q).unwrap();
+            let bc_qp = bhattacharyya_coefficient(&q, &p).unwrap();
+            prop_assert!((bc_pq - bc_qp).abs() < 1e-12);
+            prop_assert!(bc_pq > 0.0 && bc_pq <= 1.0 + 1e-12);
+            let d = bhattacharyya_distance(&p, &q).unwrap();
+            prop_assert!(d >= -1e-12);
+            prop_assert!((d - bhattacharyya_distance(&q, &p).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hellinger_satisfies_triangle_like_bounds(p in distribution(8), q in distribution(8)) {
+        if p.len() == q.len() {
+            let h = hellinger_distance(&p, &q).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&h));
+        }
+    }
+
+    #[test]
+    fn kl_divergence_is_nonnegative(p in distribution(10), q in distribution(10)) {
+        if p.len() == q.len() {
+            prop_assert!(kl_divergence(&p, &q).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn js_divergence_bounded_by_ln2(p in distribution(10), q in distribution(10)) {
+        if p.len() == q.len() {
+            let d = js_divergence(&p, &q).unwrap();
+            prop_assert!(d >= -1e-12);
+            prop_assert!(d <= std::f64::consts::LN_2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_support(p in distribution(12)) {
+        let h = entropy(&p);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (p.len() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn matrix_diversity_nonnegative(rows in proptest::collection::vec(distribution(6), 2..5)) {
+        let n = rows[0].len();
+        if rows.iter().all(|r| r.len() == n) {
+            let m = Matrix::from_rows(&rows).unwrap();
+            prop_assert!(mean_pairwise_bhattacharyya(&m) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn categorical_probs_normalized(weights in proptest::collection::vec(0.01..10.0f64, 1..20)) {
+        let c = Categorical::new(&weights).unwrap();
+        let s: f64 = c.probs().iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(c.probs().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn categorical_samples_in_range(weights in proptest::collection::vec(0.01..10.0f64, 1..20), seed in 0u64..1000) {
+        let c = Categorical::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in c.sample_n(&mut rng, 50) {
+            prop_assert!(s < weights.len());
+        }
+    }
+
+    #[test]
+    fn dirichlet_samples_on_simplex(alpha in proptest::collection::vec(0.1..10.0f64, 2..8), seed in 0u64..1000) {
+        let d = Dirichlet::new(alpha.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = d.sample(&mut rng);
+        prop_assert_eq!(x.len(), alpha.len());
+        prop_assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn gaussian_log_pdf_is_maximized_at_mean(mean in -10.0..10.0f64, sd in 0.1..5.0f64, offset in 0.1..5.0f64) {
+        let g = Gaussian::new(mean, sd).unwrap();
+        prop_assert!(g.log_pdf(mean) >= g.log_pdf(mean + offset));
+        prop_assert!(g.log_pdf(mean) >= g.log_pdf(mean - offset));
+    }
+
+    #[test]
+    fn gaussian_cdf_is_monotone(mean in -5.0..5.0f64, sd in 0.1..3.0f64, a in -10.0..10.0f64, delta in 0.01..5.0f64) {
+        let g = Gaussian::new(mean, sd).unwrap();
+        prop_assert!(g.cdf(a + delta) >= g.cdf(a) - 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1..50.0f64) {
+        prop_assert!((ln_gamma(x + 1.0) - (x.ln() + ln_gamma(x))).abs() < 1e-7);
+    }
+
+    #[test]
+    fn digamma_recurrence(x in 0.1..50.0f64) {
+        prop_assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one(n in 1usize..200, s in 0.5..3.0f64) {
+        let z = Zipf::new(n, s).unwrap();
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Supervised optical character recognition on the synthetic handwriting
+//! dataset (the workload of the paper's §4.2.2 / Figs. 10–11): compare
+//! Naive Bayes, the plain supervised HMM and the diversified HMM under
+//! cross-validation.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example ocr_recognition            # reduced dataset
+//! cargo run --release --example ocr_recognition -- --paper # 6877 words, 10 folds
+//! ```
+
+use dhmm::baselines::BernoulliNaiveBayes;
+use dhmm::core::{SupervisedConfig, SupervisedDiversifiedHmm};
+use dhmm::data::ocr::{generate, OcrConfig, GLYPH_DIM, NUM_LETTERS};
+use dhmm::eval::accuracy::plain_accuracy;
+use dhmm::eval::crossval::{kfold_indices, CrossValidation};
+use dhmm::hmm::emission::BernoulliEmission;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let mut rng = StdRng::seed_from_u64(1337);
+
+    // 1. Generate the handwriting corpus: words of lowercase letters rendered
+    //    as noisy 16x8 binary glyphs.
+    let config = if paper_scale {
+        OcrConfig::default()
+    } else {
+        OcrConfig {
+            num_words: 400,
+            ..OcrConfig::default()
+        }
+    };
+    let data = generate(&config, &mut rng);
+    let folds = if paper_scale { 10 } else { 3 };
+    println!(
+        "dataset: {} words, {} letters, {} pixel dimensions, {}-fold cross-validation\n",
+        data.corpus.len(),
+        data.corpus.num_positions(),
+        GLYPH_DIM,
+        folds
+    );
+
+    // 2. Cross-validate the three classifiers.
+    let splits = kfold_indices(data.corpus.len(), folds, &mut rng).expect("valid split");
+    let mut nb_scores = Vec::new();
+    let mut hmm_scores = Vec::new();
+    let mut dhmm_scores = Vec::new();
+    for (train_idx, test_idx) in &splits {
+        let train = data.corpus.subset(train_idx);
+        let test = data.corpus.subset(test_idx);
+        let gold = test.labels();
+
+        // Naive Bayes: classify each letter image independently.
+        let examples: Vec<(usize, Vec<bool>)> = train
+            .sequences
+            .iter()
+            .flat_map(|(labels, images)| labels.iter().copied().zip(images.iter().cloned()))
+            .collect();
+        let nb = BernoulliNaiveBayes::fit(&examples, NUM_LETTERS, GLYPH_DIM, 1.0).expect("fit");
+        let nb_pred: Vec<Vec<usize>> = test
+            .sequences
+            .iter()
+            .map(|(_, images)| nb.predict_sequence(images).expect("predict"))
+            .collect();
+        nb_scores.push(plain_accuracy(&nb_pred, &gold).expect("accuracy"));
+
+        // Supervised HMM (alpha = 0) and dHMM (alpha = 10, alpha_A = 1e5).
+        for (alpha, scores) in [(0.0, &mut hmm_scores), (10.0, &mut dhmm_scores)] {
+            let trainer = SupervisedDiversifiedHmm::new(SupervisedConfig {
+                alpha,
+                alpha_anchor: 1e5,
+                pseudo_count: 0.5,
+                ..SupervisedConfig::default()
+            });
+            let (model, _) = trainer
+                .fit(
+                    &train.sequences,
+                    BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM).expect("emission"),
+                )
+                .expect("training failed");
+            let pred = model.decode_all(&test.observations()).expect("decoding failed");
+            scores.push(plain_accuracy(&pred, &gold).expect("accuracy"));
+        }
+    }
+
+    // 3. Report mean ± std test accuracy, as in Fig. 11.
+    for (name, scores) in [
+        ("Naive Bayes", nb_scores),
+        ("HMM", hmm_scores),
+        ("dHMM", dhmm_scores),
+    ] {
+        let cv = CrossValidation::from_scores(&scores);
+        println!(
+            "{name:<12} test accuracy = {:.2}% ± {:.2}%",
+            100.0 * cv.mean(),
+            100.0 * cv.std_dev()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Integration tests of the experiment runners: every table/figure runner
+//! must execute at quick scale and produce rows of the shape the paper
+//! reports. These are the same entry points the `exp-*` binaries call.
+
+use dhmm::experiments::{ocr, pos, toy, Scale};
+
+#[test]
+fn every_toy_experiment_runner_executes() {
+    let table1 = toy::run_table1(Scale::Quick, 1).expect("table1");
+    assert_eq!(table1.true_histogram.len(), 5);
+    assert!(table1.render().contains("HMM"));
+
+    let fig2 = toy::run_fig2(Scale::Quick, 2).expect("fig2");
+    assert_eq!(fig2.means[0].len(), 5);
+    assert!(fig2.render().contains("B.sigma"));
+
+    let sweep = toy::run_sigma_sweep(Scale::Quick, 3).expect("sweep");
+    assert!(!sweep.points.is_empty());
+    assert!(sweep.render_fig3().lines().count() > sweep.points.len());
+}
+
+#[test]
+fn every_pos_experiment_runner_executes() {
+    let table2 = pos::run_table2(Scale::Quick, 4);
+    assert_eq!(table2.tag_names.len(), 15);
+    assert!(table2.render().contains("paper freq"));
+
+    let fig7 = pos::run_alpha_sweep(Scale::Quick, 5).expect("fig7");
+    assert!(fig7.points.iter().any(|p| p.alpha == 0.0));
+    assert!(fig7.points.iter().any(|p| p.alpha > 0.0));
+
+    let fig8 = pos::run_fig8(Scale::Quick, 6).expect("fig8");
+    assert_eq!(fig8.hmm_profile.len(), 14);
+
+    let fig9 = pos::run_fig9(Scale::Quick, 7).expect("fig9");
+    assert_eq!(fig9.ground_truth.len(), 15);
+}
+
+#[test]
+fn every_ocr_experiment_runner_executes() {
+    let table3 = ocr::run_table3(Scale::Quick, 8);
+    assert!(!table3.top_bigrams.is_empty());
+
+    let fig10 = ocr::run_alpha_sweep(Scale::Quick, 9).expect("fig10");
+    assert!(fig10.points.iter().any(|p| p.alpha == 0.0));
+    assert!(fig10.points.iter().all(|p| (0.0..=1.0).contains(&p.accuracy_mean)));
+
+    let fig11 = ocr::run_fig11(Scale::Quick, 10).expect("fig11");
+    assert_eq!(fig11.classifiers.len(), 4);
+
+    let fig12 = ocr::run_fig12(Scale::Quick, 11).expect("fig12");
+    assert_eq!(fig12.x_hmm.len(), 25);
+    assert_eq!(fig12.y_dhmm.len(), 25);
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration test of the supervised OCR pipeline: synthetic
+//! handwriting generation → supervised HMM / dHMM / baselines → held-out
+//! evaluation (the paper's Figs. 10–11 path).
+
+use dhmm::baselines::{BernoulliNaiveBayes, OptimizedHmm, OptimizedHmmConfig};
+use dhmm::core::{SupervisedConfig, SupervisedDiversifiedHmm};
+use dhmm::data::ocr::{generate, OcrConfig, GLYPH_DIM, NUM_LETTERS};
+use dhmm::eval::accuracy::plain_accuracy;
+use dhmm::hmm::emission::BernoulliEmission;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn split_data() -> (
+    dhmm::data::LabeledCorpus<Vec<bool>>,
+    dhmm::data::LabeledCorpus<Vec<bool>>,
+) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let data = generate(
+        &OcrConfig {
+            num_words: 350,
+            ..OcrConfig::default()
+        },
+        &mut rng,
+    );
+    let split = data.corpus.split(0.3, &mut rng);
+    (split.train, split.test)
+}
+
+#[test]
+fn supervised_models_beat_chance_and_naive_bayes_on_held_out_words() {
+    let (train, test) = split_data();
+    let gold = test.labels();
+
+    // Naive Bayes baseline.
+    let examples: Vec<(usize, Vec<bool>)> = train
+        .sequences
+        .iter()
+        .flat_map(|(labels, images)| labels.iter().copied().zip(images.iter().cloned()))
+        .collect();
+    let nb = BernoulliNaiveBayes::fit(&examples, NUM_LETTERS, GLYPH_DIM, 1.0).expect("NB fit");
+    let nb_pred: Vec<Vec<usize>> = test
+        .sequences
+        .iter()
+        .map(|(_, images)| nb.predict_sequence(images).expect("NB predict"))
+        .collect();
+    let nb_acc = plain_accuracy(&nb_pred, &gold).expect("NB accuracy");
+
+    // Supervised HMM (alpha = 0) and dHMM (alpha = 10).
+    let mut accuracies = Vec::new();
+    for alpha in [0.0, 10.0] {
+        let trainer = SupervisedDiversifiedHmm::new(SupervisedConfig {
+            alpha,
+            alpha_anchor: 1e5,
+            pseudo_count: 0.5,
+            ..SupervisedConfig::default()
+        });
+        let (model, report) = trainer
+            .fit(
+                &train.sequences,
+                BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM).expect("emission"),
+            )
+            .expect("training");
+        assert!(model.transition().is_row_stochastic(1e-6));
+        assert!(report.final_diversity >= 0.0);
+        let pred = model.decode_all(&test.observations()).expect("decode");
+        accuracies.push(plain_accuracy(&pred, &gold).expect("accuracy"));
+    }
+    let (hmm_acc, dhmm_acc) = (accuracies[0], accuracies[1]);
+
+    // Optimized HMM baseline.
+    let opt = OptimizedHmm::fit(
+        &train.sequences,
+        NUM_LETTERS,
+        GLYPH_DIM,
+        OptimizedHmmConfig::default(),
+    )
+    .expect("optimized HMM fit");
+    let opt_pred: Vec<Vec<usize>> = test
+        .sequences
+        .iter()
+        .map(|(_, images)| opt.decode(images).expect("decode"))
+        .collect();
+    let opt_acc = plain_accuracy(&opt_pred, &gold).expect("accuracy");
+
+    // Chance level is 1/26 ≈ 3.8%; every model should be far above it, and
+    // the chain-structured models should not lose to Naive Bayes (the
+    // qualitative ordering of the paper's Fig. 11).
+    for (name, acc) in [
+        ("Naive Bayes", nb_acc),
+        ("HMM", hmm_acc),
+        ("Optimized HMM", opt_acc),
+        ("dHMM", dhmm_acc),
+    ] {
+        assert!(acc > 0.3, "{name} accuracy only {acc}");
+        assert!(acc <= 1.0);
+    }
+    assert!(hmm_acc >= nb_acc - 0.05, "HMM {hmm_acc} vs NB {nb_acc}");
+    assert!(dhmm_acc >= hmm_acc - 0.05, "dHMM {dhmm_acc} vs HMM {hmm_acc}");
+}
+
+#[test]
+fn diversified_refinement_respects_the_anchor() {
+    let (train, _) = split_data();
+    let trainer = SupervisedDiversifiedHmm::new(SupervisedConfig {
+        alpha: 10.0,
+        alpha_anchor: 1e5,
+        pseudo_count: 0.5,
+        ..SupervisedConfig::default()
+    });
+    let (_, report) = trainer
+        .fit(
+            &train.sequences,
+            BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM).expect("emission"),
+        )
+        .expect("training");
+    // With alpha_A = 1e5 the refined matrix stays close to the counts while
+    // being at least as diverse.
+    assert!(report.drift_from_anchor < 0.05, "drift {}", report.drift_from_anchor);
+    assert!(report.final_diversity >= report.anchor_diversity - 1e-6);
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration test of the toy pipeline: data generation →
+//! HMM/dHMM training → decoding → Hungarian evaluation (the paper's Table 1
+//! path), exercising the public facade API only.
+
+use dhmm::core::{AscentConfig, DiversifiedConfig, DiversifiedHmm};
+use dhmm::data::toy::{generate, ToyConfig};
+use dhmm::eval::accuracy::one_to_one_accuracy;
+use dhmm::eval::histogram::state_histogram;
+use dhmm::prob::mean_pairwise_bhattacharyya;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_config(alpha: f64) -> DiversifiedConfig {
+    DiversifiedConfig {
+        alpha,
+        max_em_iterations: 15,
+        ascent: AscentConfig {
+            max_iterations: 15,
+            ..AscentConfig::default()
+        },
+        ..DiversifiedConfig::default()
+    }
+}
+
+#[test]
+fn toy_pipeline_trains_decodes_and_evaluates() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let data = generate(
+        &ToyConfig {
+            num_sequences: 150,
+            ..ToyConfig::default()
+        },
+        &mut rng,
+    );
+    let observations = data.corpus.observations();
+    let gold = data.corpus.labels();
+
+    let mut fit_rng = StdRng::seed_from_u64(3);
+    let (hmm, hmm_report) = DiversifiedHmm::new(quick_config(0.0))
+        .fit_gaussian(&observations, 5, &mut fit_rng)
+        .expect("HMM training");
+    let mut fit_rng = StdRng::seed_from_u64(3);
+    let (dhmm, dhmm_report) = DiversifiedHmm::new(quick_config(1.0))
+        .fit_gaussian(&observations, 5, &mut fit_rng)
+        .expect("dHMM training");
+
+    // Both models are valid probabilistic models.
+    assert!(hmm.transition().is_row_stochastic(1e-6));
+    assert!(dhmm.transition().is_row_stochastic(1e-6));
+    assert!(dhmm_report.final_diversity >= 0.0);
+    assert!(hmm_report.fit.iterations >= 1);
+
+    // Decode and evaluate.
+    let hmm_pred = hmm.decode_all(&observations).expect("decode");
+    let dhmm_pred = dhmm.decode_all(&observations).expect("decode");
+    let (hmm_acc, _) = one_to_one_accuracy(&hmm_pred, &gold).expect("eval");
+    let (dhmm_acc, _) = one_to_one_accuracy(&dhmm_pred, &gold).expect("eval");
+    assert!((0.0..=1.0).contains(&hmm_acc));
+    assert!((0.0..=1.0).contains(&dhmm_acc));
+
+    // With well separated emissions (sigma = 0.025) both models should do
+    // far better than the 20% chance level.
+    assert!(hmm_acc > 0.4, "HMM accuracy {hmm_acc}");
+    assert!(dhmm_acc > 0.4, "dHMM accuracy {dhmm_acc}");
+
+    // Histograms cover the same number of positions as the gold labels.
+    let gold_hist = state_histogram(&gold, 5);
+    let dhmm_hist = state_histogram(&dhmm_pred, 5);
+    assert_eq!(
+        gold_hist.iter().sum::<usize>(),
+        dhmm_hist.iter().sum::<usize>()
+    );
+}
+
+#[test]
+fn diversity_prior_never_reduces_transition_diversity_on_flat_emissions() {
+    // The regime of the paper's Figs. 3-5: flattened emissions make the HMM
+    // collapse; the prior should keep the dHMM transitions at least as
+    // diverse as the HMM's.
+    let mut rng = StdRng::seed_from_u64(77);
+    let data = generate(
+        &ToyConfig {
+            num_sequences: 100,
+            emission_std: 2.0,
+            ..ToyConfig::default()
+        },
+        &mut rng,
+    );
+    let observations = data.corpus.observations();
+
+    let mut rng_a = StdRng::seed_from_u64(5);
+    let (hmm, _) = DiversifiedHmm::new(quick_config(0.0))
+        .fit_gaussian(&observations, 5, &mut rng_a)
+        .expect("HMM training");
+    let mut rng_b = StdRng::seed_from_u64(5);
+    let (dhmm, _) = DiversifiedHmm::new(quick_config(5.0))
+        .fit_gaussian(&observations, 5, &mut rng_b)
+        .expect("dHMM training");
+
+    let hmm_div = mean_pairwise_bhattacharyya(hmm.transition());
+    let dhmm_div = mean_pairwise_bhattacharyya(dhmm.transition());
+    assert!(
+        dhmm_div >= hmm_div - 0.02,
+        "dHMM diversity {dhmm_div} below HMM diversity {hmm_div}"
+    );
+}
+
+#[test]
+fn map_em_objective_is_monotone_through_the_facade() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = generate(
+        &ToyConfig {
+            num_sequences: 80,
+            ..ToyConfig::default()
+        },
+        &mut rng,
+    );
+    let mut fit_rng = StdRng::seed_from_u64(13);
+    let (_, report) = DiversifiedHmm::new(quick_config(2.0))
+        .fit_gaussian(&data.corpus.observations(), 5, &mut fit_rng)
+        .expect("training");
+    for w in report.fit.objective_history.windows(2) {
+        assert!(w[1] >= w[0] - 1e-4, "objective decreased: {} -> {}", w[0], w[1]);
+    }
+}
