@@ -63,7 +63,7 @@ impl OptimizedHmm {
                 reason: "unigram_backoff must lie in [0, 1]".into(),
             });
         }
-        if !(config.emission_weight > 0.0) {
+        if config.emission_weight <= 0.0 || !config.emission_weight.is_finite() {
             return Err(HmmError::InvalidParameters {
                 reason: "emission_weight must be positive".into(),
             });
@@ -198,9 +198,13 @@ mod tests {
     #[test]
     fn fit_produces_valid_model() {
         let data = small_ocr();
-        let opt =
-            OptimizedHmm::fit(&data.corpus.sequences, 26, 128, OptimizedHmmConfig::default())
-                .unwrap();
+        let opt = OptimizedHmm::fit(
+            &data.corpus.sequences,
+            26,
+            128,
+            OptimizedHmmConfig::default(),
+        )
+        .unwrap();
         assert!(opt.model().transition().is_row_stochastic(1e-6));
         assert_eq!(opt.model().num_states(), 26);
         assert_eq!(opt.config().transition_smoothing, 0.5);
@@ -209,9 +213,13 @@ mod tests {
     #[test]
     fn decodes_training_words_reasonably() {
         let data = small_ocr();
-        let opt =
-            OptimizedHmm::fit(&data.corpus.sequences, 26, 128, OptimizedHmmConfig::default())
-                .unwrap();
+        let opt = OptimizedHmm::fit(
+            &data.corpus.sequences,
+            26,
+            128,
+            OptimizedHmmConfig::default(),
+        )
+        .unwrap();
         let mut correct = 0usize;
         let mut total = 0usize;
         for (labels, images) in data.corpus.sequences.iter().take(40) {

@@ -36,7 +36,10 @@ fn bench_ablation_rho(c: &mut Criterion) {
         let objective = TransitionObjective::unsupervised(counts.clone(), 20.0, kernel);
         let result = maximize_transition_objective(&objective, &start, &AscentConfig::default())
             .expect("ascent");
-        println!("  rho = {rho:<5} diversity = {:.4}", mean_pairwise_bhattacharyya(&result));
+        println!(
+            "  rho = {rho:<5} diversity = {:.4}",
+            mean_pairwise_bhattacharyya(&result)
+        );
         group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, _| {
             b.iter(|| {
                 maximize_transition_objective(
@@ -76,8 +79,7 @@ fn bench_ablation_step_size(c: &mut Criterion) {
     ];
     println!("\n[ablation_step_size] objective reached by the two step-size strategies:");
     for (name, config) in &configs {
-        let result =
-            maximize_transition_objective(&objective, &start, config).expect("ascent");
+        let result = maximize_transition_objective(&objective, &start, config).expect("ascent");
         println!(
             "  {name:<17} objective = {:.4}",
             objective.value(&result).expect("objective")
@@ -104,18 +106,38 @@ fn bench_ablation_prior_family(c: &mut Criterion) {
     let d = diverse.update(&counts, &start).expect("update");
     let n = none.update(&counts, &start).expect("update");
     let s = sparse.update(&counts, &start).expect("update");
-    println!("  diverse (DPP)  diversity = {:.4}", mean_pairwise_bhattacharyya(&d));
-    println!("  none (MLE)     diversity = {:.4}", mean_pairwise_bhattacharyya(&n));
-    println!("  sparse         diversity = {:.4}", mean_pairwise_bhattacharyya(&s));
+    println!(
+        "  diverse (DPP)  diversity = {:.4}",
+        mean_pairwise_bhattacharyya(&d)
+    );
+    println!(
+        "  none (MLE)     diversity = {:.4}",
+        mean_pairwise_bhattacharyya(&n)
+    );
+    println!(
+        "  sparse         diversity = {:.4}",
+        mean_pairwise_bhattacharyya(&s)
+    );
 
     group.bench_function("diverse_dpp", |b| {
-        b.iter(|| diverse.update(black_box(&counts), black_box(&start)).expect("update"))
+        b.iter(|| {
+            diverse
+                .update(black_box(&counts), black_box(&start))
+                .expect("update")
+        })
     });
     group.bench_function("mle", |b| {
-        b.iter(|| none.update(black_box(&counts), black_box(&start)).expect("update"))
+        b.iter(|| {
+            none.update(black_box(&counts), black_box(&start))
+                .expect("update")
+        })
     });
     group.bench_function("sparse", |b| {
-        b.iter(|| sparse.update(black_box(&counts), black_box(&start)).expect("update"))
+        b.iter(|| {
+            sparse
+                .update(black_box(&counts), black_box(&start))
+                .expect("update")
+        })
     });
     group.finish();
 }

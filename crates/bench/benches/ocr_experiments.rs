@@ -7,7 +7,10 @@ use std::hint::black_box;
 
 fn bench_table3(c: &mut Criterion) {
     let result = ocr::run_table3(Scale::Quick, 1);
-    println!("\n[bench_table3] Table 3 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_table3] Table 3 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("table3_ocr_dataset", |b| {
         b.iter(|| ocr::run_table3(black_box(Scale::Quick), black_box(1)))
     });
@@ -15,7 +18,10 @@ fn bench_table3(c: &mut Criterion) {
 
 fn bench_fig10(c: &mut Criterion) {
     let result = ocr::run_alpha_sweep(Scale::Quick, 2).expect("fig10");
-    println!("\n[bench_fig10] Fig. 10 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_fig10] Fig. 10 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("fig10_ocr_alpha_sweep", |b| {
         b.iter(|| ocr::run_alpha_sweep(black_box(Scale::Quick), black_box(2)).expect("fig10"))
     });
@@ -23,7 +29,10 @@ fn bench_fig10(c: &mut Criterion) {
 
 fn bench_fig11(c: &mut Criterion) {
     let result = ocr::run_fig11(Scale::Quick, 3).expect("fig11");
-    println!("\n[bench_fig11] Fig. 11 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_fig11] Fig. 11 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("fig11_classifier_comparison", |b| {
         b.iter(|| ocr::run_fig11(black_box(Scale::Quick), black_box(3)).expect("fig11"))
     });
@@ -31,7 +40,10 @@ fn bench_fig11(c: &mut Criterion) {
 
 fn bench_fig12(c: &mut Criterion) {
     let result = ocr::run_fig12(Scale::Quick, 4).expect("fig12");
-    println!("\n[bench_fig12] Fig. 12 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_fig12] Fig. 12 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("fig12_letter_diversity_profiles", |b| {
         b.iter(|| ocr::run_fig12(black_box(Scale::Quick), black_box(4)).expect("fig12"))
     });

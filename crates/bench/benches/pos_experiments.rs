@@ -7,7 +7,10 @@ use std::hint::black_box;
 
 fn bench_table2(c: &mut Criterion) {
     let result = pos::run_table2(Scale::Quick, 1);
-    println!("\n[bench_table2] Table 2 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_table2] Table 2 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("table2_pos_corpus", |b| {
         b.iter(|| pos::run_table2(black_box(Scale::Quick), black_box(1)))
     });
@@ -15,7 +18,10 @@ fn bench_table2(c: &mut Criterion) {
 
 fn bench_fig7(c: &mut Criterion) {
     let result = pos::run_alpha_sweep(Scale::Quick, 2).expect("fig7");
-    println!("\n[bench_fig7] Fig. 7 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_fig7] Fig. 7 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("fig7_pos_alpha_sweep", |b| {
         b.iter(|| pos::run_alpha_sweep(black_box(Scale::Quick), black_box(2)).expect("fig7"))
     });
@@ -23,7 +29,10 @@ fn bench_fig7(c: &mut Criterion) {
 
 fn bench_fig8(c: &mut Criterion) {
     let result = pos::run_fig8(Scale::Quick, 3).expect("fig8");
-    println!("\n[bench_fig8] Fig. 8 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_fig8] Fig. 8 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("fig8_noun_diversity_profile", |b| {
         b.iter(|| pos::run_fig8(black_box(Scale::Quick), black_box(3)).expect("fig8"))
     });
@@ -31,7 +40,10 @@ fn bench_fig8(c: &mut Criterion) {
 
 fn bench_fig9(c: &mut Criterion) {
     let result = pos::run_fig9(Scale::Quick, 4).expect("fig9");
-    println!("\n[bench_fig9] Fig. 9 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_fig9] Fig. 9 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("fig9_tag_mass_histogram", |b| {
         b.iter(|| pos::run_fig9(black_box(Scale::Quick), black_box(4)).expect("fig9"))
     });

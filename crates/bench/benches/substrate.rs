@@ -34,9 +34,11 @@ fn bench_forward_backward(c: &mut Criterion) {
         let model = random_hmm(k, 40, 1);
         let mut rng = StdRng::seed_from_u64(2);
         let seq: Vec<usize> = (0..t).map(|_| rng.gen_range(0..40)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}_T{t}")), &seq, |b, seq| {
-            b.iter(|| forward_backward(black_box(&model), black_box(seq)).expect("fb"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_T{t}")),
+            &seq,
+            |b, seq| b.iter(|| forward_backward(black_box(&model), black_box(seq)).expect("fb")),
+        );
     }
     group.finish();
 }
@@ -47,9 +49,11 @@ fn bench_viterbi(c: &mut Criterion) {
         let model = random_hmm(k, 40, 3);
         let mut rng = StdRng::seed_from_u64(4);
         let seq: Vec<usize> = (0..t).map(|_| rng.gen_range(0..40)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}_T{t}")), &seq, |b, seq| {
-            b.iter(|| viterbi(black_box(&model), black_box(seq)).expect("viterbi"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_T{t}")),
+            &seq,
+            |b, seq| b.iter(|| viterbi(black_box(&model), black_box(seq)).expect("viterbi")),
+        );
     }
     group.finish();
 }

@@ -10,7 +10,10 @@ use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
     let result = toy::run_table1(Scale::Quick, 1).expect("table1");
-    println!("\n[bench_table1] Table 1 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_table1] Table 1 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("table1_toy_hmm_vs_dhmm", |b| {
         b.iter(|| toy::run_table1(black_box(Scale::Quick), black_box(1)).expect("table1"))
     });
@@ -18,7 +21,10 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_fig2(c: &mut Criterion) {
     let result = toy::run_fig2(Scale::Quick, 2).expect("fig2");
-    println!("\n[bench_fig2] Fig. 2 reproduction (quick scale):\n{}", result.render());
+    println!(
+        "\n[bench_fig2] Fig. 2 reproduction (quick scale):\n{}",
+        result.render()
+    );
     c.bench_function("fig2_parameter_recovery", |b| {
         b.iter(|| toy::run_fig2(black_box(Scale::Quick), black_box(2)).expect("fig2"))
     });

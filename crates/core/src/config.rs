@@ -40,7 +40,7 @@ impl AscentConfig {
                 reason: "ascent max_iterations must be positive".into(),
             });
         }
-        if !(self.initial_step > 0.0) || !self.initial_step.is_finite() {
+        if self.initial_step <= 0.0 || !self.initial_step.is_finite() {
             return Err(DhmmError::InvalidConfig {
                 reason: "ascent initial_step must be positive and finite".into(),
             });
@@ -50,7 +50,7 @@ impl AscentConfig {
                 reason: "backtrack_factor must lie in (0, 1)".into(),
             });
         }
-        if !(self.tolerance >= 0.0) {
+        if self.tolerance < 0.0 || self.tolerance.is_nan() {
             return Err(DhmmError::InvalidConfig {
                 reason: "ascent tolerance must be non-negative".into(),
             });
@@ -89,7 +89,7 @@ impl Default for DiversifiedConfig {
 impl DiversifiedConfig {
     /// Validates the configuration and builds the product kernel.
     pub fn validate(&self) -> Result<ProductKernel, DhmmError> {
-        if !(self.alpha >= 0.0) || !self.alpha.is_finite() {
+        if self.alpha < 0.0 || !self.alpha.is_finite() {
             return Err(DhmmError::InvalidConfig {
                 reason: format!("alpha must be non-negative and finite, got {}", self.alpha),
             });
@@ -99,7 +99,7 @@ impl DiversifiedConfig {
                 reason: "max_em_iterations must be positive".into(),
             });
         }
-        if !(self.em_tolerance >= 0.0) {
+        if self.em_tolerance < 0.0 || self.em_tolerance.is_nan() {
             return Err(DhmmError::InvalidConfig {
                 reason: "em_tolerance must be non-negative".into(),
             });
@@ -149,17 +149,17 @@ impl Default for SupervisedConfig {
 impl SupervisedConfig {
     /// Validates the configuration and builds the product kernel.
     pub fn validate(&self) -> Result<ProductKernel, DhmmError> {
-        if !(self.alpha >= 0.0) || !self.alpha.is_finite() {
+        if self.alpha < 0.0 || !self.alpha.is_finite() {
             return Err(DhmmError::InvalidConfig {
                 reason: "alpha must be non-negative and finite".into(),
             });
         }
-        if !(self.alpha_anchor >= 0.0) || !self.alpha_anchor.is_finite() {
+        if self.alpha_anchor < 0.0 || !self.alpha_anchor.is_finite() {
             return Err(DhmmError::InvalidConfig {
                 reason: "alpha_anchor must be non-negative and finite".into(),
             });
         }
-        if !(self.pseudo_count >= 0.0) {
+        if self.pseudo_count < 0.0 || self.pseudo_count.is_nan() {
             return Err(DhmmError::InvalidConfig {
                 reason: "pseudo_count must be non-negative".into(),
             });
@@ -191,27 +191,92 @@ mod tests {
 
     #[test]
     fn invalid_unsupervised_configs_rejected() {
-        assert!(DiversifiedConfig { alpha: -1.0, ..Default::default() }.validate().is_err());
-        assert!(DiversifiedConfig { alpha: f64::NAN, ..Default::default() }.validate().is_err());
-        assert!(DiversifiedConfig { max_em_iterations: 0, ..Default::default() }.validate().is_err());
-        assert!(DiversifiedConfig { em_tolerance: -1.0, ..Default::default() }.validate().is_err());
-        assert!(DiversifiedConfig { rho: 0.0, ..Default::default() }.validate().is_err());
+        assert!(DiversifiedConfig {
+            alpha: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DiversifiedConfig {
+            alpha: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DiversifiedConfig {
+            max_em_iterations: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DiversifiedConfig {
+            em_tolerance: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DiversifiedConfig {
+            rho: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn invalid_supervised_configs_rejected() {
-        assert!(SupervisedConfig { alpha: -1.0, ..Default::default() }.validate().is_err());
-        assert!(SupervisedConfig { alpha_anchor: -1.0, ..Default::default() }.validate().is_err());
-        assert!(SupervisedConfig { pseudo_count: -0.1, ..Default::default() }.validate().is_err());
-        assert!(SupervisedConfig { rho: -1.0, ..Default::default() }.validate().is_err());
+        assert!(SupervisedConfig {
+            alpha: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SupervisedConfig {
+            alpha_anchor: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SupervisedConfig {
+            pseudo_count: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SupervisedConfig {
+            rho: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn invalid_ascent_configs_rejected() {
-        assert!(AscentConfig { max_iterations: 0, ..Default::default() }.validate().is_err());
-        assert!(AscentConfig { initial_step: 0.0, ..Default::default() }.validate().is_err());
-        assert!(AscentConfig { backtrack_factor: 1.5, ..Default::default() }.validate().is_err());
-        assert!(AscentConfig { tolerance: -1.0, ..Default::default() }.validate().is_err());
+        assert!(AscentConfig {
+            max_iterations: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AscentConfig {
+            initial_step: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AscentConfig {
+            backtrack_factor: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AscentConfig {
+            tolerance: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(AscentConfig::default().validate().is_ok());
     }
 

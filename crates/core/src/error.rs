@@ -24,7 +24,9 @@ pub enum DhmmError {
 impl fmt::Display for DhmmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DhmmError::InvalidConfig { reason } => write!(f, "invalid dHMM configuration: {reason}"),
+            DhmmError::InvalidConfig { reason } => {
+                write!(f, "invalid dHMM configuration: {reason}")
+            }
             DhmmError::Hmm(e) => write!(f, "HMM error: {e}"),
             DhmmError::Dpp(e) => write!(f, "DPP error: {e}"),
             DhmmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
@@ -64,7 +66,11 @@ mod tests {
         assert!(e.to_string().contains("alpha"));
         let e: DhmmError = HmmError::InvalidData { reason: "x".into() }.into();
         assert!(matches!(e, DhmmError::Hmm(_)));
-        let e: DhmmError = DppError::InvalidParameter { parameter: "rho", value: 0.0 }.into();
+        let e: DhmmError = DppError::InvalidParameter {
+            parameter: "rho",
+            value: 0.0,
+        }
+        .into();
         assert!(matches!(e, DhmmError::Dpp(_)));
         let e: DhmmError = LinalgError::Singular { pivot: 0 }.into();
         assert!(matches!(e, DhmmError::Linalg(_)));

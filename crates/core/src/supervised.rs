@@ -69,8 +69,7 @@ impl SupervisedDiversifiedHmm {
         let kernel = self.config.validate()?;
 
         // Count-based estimation of (π, A0, B) — the λ0 of the paper.
-        let (mut model, counts) =
-            supervised_estimate(labeled, emission, self.config.pseudo_count)?;
+        let (mut model, counts) = supervised_estimate(labeled, emission, self.config.pseudo_count)?;
         let anchor = model.transition().clone();
         let anchor_diversity = mean_pairwise_bhattacharyya(&anchor);
 
@@ -143,7 +142,9 @@ mod tests {
         let (model, report) = trainer
             .fit(&labeled_toy(), DiscreteEmission::uniform(2, 2).unwrap())
             .unwrap();
-        assert!(model.transition().approx_eq(&report.anchor_transition, 1e-12));
+        assert!(model
+            .transition()
+            .approx_eq(&report.anchor_transition, 1e-12));
         assert_eq!(report.drift_from_anchor, 0.0);
         assert_eq!(report.final_log_prior, 0.0);
     }
@@ -161,7 +162,11 @@ mod tests {
             .fit(&labeled_toy(), DiscreteEmission::uniform(2, 2).unwrap())
             .unwrap();
         assert!(model.transition().is_row_stochastic(1e-8));
-        assert!(report.drift_from_anchor < 1e-2, "drift {}", report.drift_from_anchor);
+        assert!(
+            report.drift_from_anchor < 1e-2,
+            "drift {}",
+            report.drift_from_anchor
+        );
         // Diversity should not decrease relative to the anchor.
         assert!(report.final_diversity >= report.anchor_diversity - 1e-6);
     }

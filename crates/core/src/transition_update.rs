@@ -195,8 +195,7 @@ impl TransitionUpdater for DppTransitionUpdater {
             a.normalize_rows();
             return Ok(a);
         }
-        let objective =
-            TransitionObjective::unsupervised(xi_sum.clone(), self.alpha, self.kernel);
+        let objective = TransitionObjective::unsupervised(xi_sum.clone(), self.alpha, self.kernel);
 
         // Candidate starting points for the ascent: the MLE solution, the
         // previous iterate, and a symmetry-broken perturbation of the MLE.
@@ -208,7 +207,10 @@ impl TransitionUpdater for DppTransitionUpdater {
         let mut mle = xi_sum.map(|v| v + PROB_FLOOR);
         mle.normalize_rows();
         let mut perturbed = Matrix::from_fn(mle.rows(), mle.cols(), |i, j| {
-            mle[(i, j)] * (1.0 + 0.02 * (((i + j) % 2) as f64) + 0.005 * (i as f64 / mle.rows().max(1) as f64))
+            mle[(i, j)]
+                * (1.0
+                    + 0.02 * (((i + j) % 2) as f64)
+                    + 0.005 * (i as f64 / mle.rows().max(1) as f64))
         });
         perturbed.normalize_rows();
         let start = [&mle, current, &perturbed]
@@ -314,7 +316,8 @@ mod tests {
                 plus[(i, j)] += eps;
                 let mut minus = a.clone();
                 minus[(i, j)] -= eps;
-                let numeric = (obj.value(&plus).unwrap() - obj.value(&minus).unwrap()) / (2.0 * eps);
+                let numeric =
+                    (obj.value(&plus).unwrap() - obj.value(&minus).unwrap()) / (2.0 * eps);
                 let diff = (grad[(i, j)] - numeric).abs();
                 assert!(
                     diff / numeric.abs().max(1.0) < 1e-3,
@@ -332,8 +335,7 @@ mod tests {
         let mut start = counts();
         start.normalize_rows();
         let before = obj.value(&start).unwrap();
-        let result =
-            maximize_transition_objective(&obj, &start, &AscentConfig::default()).unwrap();
+        let result = maximize_transition_objective(&obj, &start, &AscentConfig::default()).unwrap();
         let after = obj.value(&result).unwrap();
         assert!(after >= before - 1e-9, "{after} < {before}");
         assert!(result.is_row_stochastic(1e-8));
@@ -344,7 +346,9 @@ mod tests {
         let kernel = ProductKernel::bhattacharyya();
         let updater = DppTransitionUpdater::new(0.0, kernel, AscentConfig::default());
         let xi = counts();
-        let updated = updater.update(&xi, &Matrix::filled(3, 3, 1.0 / 3.0)).unwrap();
+        let updated = updater
+            .update(&xi, &Matrix::filled(3, 3, 1.0 / 3.0))
+            .unwrap();
         let mut expected = xi.clone();
         expected.normalize_rows();
         assert!(updated.approx_eq(&expected, 1e-6));
@@ -387,9 +391,7 @@ mod tests {
         let large = DppTransitionUpdater::new(200.0, kernel, AscentConfig::default())
             .update(&xi, &uniform_start)
             .unwrap();
-        assert!(
-            mean_pairwise_bhattacharyya(&large) >= mean_pairwise_bhattacharyya(&small) - 1e-6
-        );
+        assert!(mean_pairwise_bhattacharyya(&large) >= mean_pairwise_bhattacharyya(&small) - 1e-6);
     }
 
     #[test]
@@ -399,8 +401,7 @@ mod tests {
         let counts = Matrix::from_rows(&[vec![7.0, 3.0], vec![2.0, 8.0]]).unwrap();
         // Huge anchor weight: the result should barely move from A0.
         let obj = TransitionObjective::supervised(counts, 1.0, kernel, a0.clone(), 1e6);
-        let result =
-            maximize_transition_objective(&obj, &a0, &AscentConfig::default()).unwrap();
+        let result = maximize_transition_objective(&obj, &a0, &AscentConfig::default()).unwrap();
         assert!(result.squared_distance(&a0).unwrap() < 1e-4);
     }
 

@@ -242,7 +242,11 @@ mod tests {
         let obs_f: Vec<Vec<f64>> = toy_observations(7, 30);
         let obs: Vec<Vec<usize>> = obs_f
             .iter()
-            .map(|s| s.iter().map(|&y| (y.round().clamp(1.0, 5.0) as usize) - 1).collect())
+            .map(|s| {
+                s.iter()
+                    .map(|&y| (y.round().clamp(1.0, 5.0) as usize) - 1)
+                    .collect()
+            })
             .collect();
         let trainer = DiversifiedHmm::new(fast_config(1.0));
         let mut rng = StdRng::seed_from_u64(8);

@@ -44,7 +44,10 @@ pub fn matrix_from_string(s: &str) -> Result<Matrix, String> {
             .collect();
         let values = values?;
         if values.len() != cols {
-            return Err(format!("row {i} has {} values, expected {cols}", values.len()));
+            return Err(format!(
+                "row {i} has {} values, expected {cols}",
+                values.len()
+            ));
         }
         data.extend(values);
     }
@@ -84,8 +87,11 @@ pub fn discrete_corpus_to_string(sequences: &[(Vec<usize>, Vec<usize>)]) -> Stri
     out
 }
 
+/// One parsed sequence: `(labels, observations)`.
+pub type LabeledDiscreteSequence = (Vec<usize>, Vec<usize>);
+
 /// Parses a labeled corpus written by [`discrete_corpus_to_string`].
-pub fn discrete_corpus_from_string(s: &str) -> Result<Vec<(Vec<usize>, Vec<usize>)>, String> {
+pub fn discrete_corpus_from_string(s: &str) -> Result<Vec<LabeledDiscreteSequence>, String> {
     let mut sequences = Vec::new();
     for (i, line) in s.lines().enumerate() {
         if line.trim().is_empty() {
@@ -140,10 +146,7 @@ mod tests {
 
     #[test]
     fn corpus_roundtrip() {
-        let corpus = vec![
-            (vec![0, 1, 2], vec![5, 6, 7]),
-            (vec![3], vec![9]),
-        ];
+        let corpus = vec![(vec![0, 1, 2], vec![5, 6, 7]), (vec![3], vec![9])];
         let text = discrete_corpus_to_string(&corpus);
         let back = discrete_corpus_from_string(&text).unwrap();
         assert_eq!(back, corpus);

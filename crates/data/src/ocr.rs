@@ -273,18 +273,131 @@ const TEMPLATES: [&str; NUM_LETTERS] = [
 /// statistics of English (including the 'm'/'n' transitions highlighted in
 /// Table 3) carry over to the synthetic corpus.
 pub const WORD_LIST: &[&str] = &[
-    "a", "i", "an", "be", "he", "in", "is", "it", "of", "on", "or", "to", "we", "and", "are",
-    "but", "can", "for", "had", "has", "her", "him", "his", "how", "man", "new", "not", "now",
-    "one", "our", "out", "she", "the", "was", "who", "you", "also", "back", "been", "come",
-    "each", "from", "good", "have", "here", "into", "just", "know", "like", "long", "look",
-    "make", "many", "more", "most", "much", "must", "name", "only", "over", "said", "same",
-    "some", "take", "than", "that", "them", "then", "they", "this", "time", "very", "want",
-    "well", "went", "were", "what", "when", "will", "with", "word", "work", "year", "about",
-    "after", "again", "black", "bring", "could", "every", "first", "found", "great", "house",
-    "large", "learn", "never", "other", "place", "right", "small", "sound", "still", "their",
-    "there", "these", "thing", "think", "three", "water", "where", "which", "world", "would",
-    "embraces", "commanding", "volcanic", "different", "important", "following",
-    "understanding", "questions", "interesting", "development", "considerable",
+    "a",
+    "i",
+    "an",
+    "be",
+    "he",
+    "in",
+    "is",
+    "it",
+    "of",
+    "on",
+    "or",
+    "to",
+    "we",
+    "and",
+    "are",
+    "but",
+    "can",
+    "for",
+    "had",
+    "has",
+    "her",
+    "him",
+    "his",
+    "how",
+    "man",
+    "new",
+    "not",
+    "now",
+    "one",
+    "our",
+    "out",
+    "she",
+    "the",
+    "was",
+    "who",
+    "you",
+    "also",
+    "back",
+    "been",
+    "come",
+    "each",
+    "from",
+    "good",
+    "have",
+    "here",
+    "into",
+    "just",
+    "know",
+    "like",
+    "long",
+    "look",
+    "make",
+    "many",
+    "more",
+    "most",
+    "much",
+    "must",
+    "name",
+    "only",
+    "over",
+    "said",
+    "same",
+    "some",
+    "take",
+    "than",
+    "that",
+    "them",
+    "then",
+    "they",
+    "this",
+    "time",
+    "very",
+    "want",
+    "well",
+    "went",
+    "were",
+    "what",
+    "when",
+    "will",
+    "with",
+    "word",
+    "work",
+    "year",
+    "about",
+    "after",
+    "again",
+    "black",
+    "bring",
+    "could",
+    "every",
+    "first",
+    "found",
+    "great",
+    "house",
+    "large",
+    "learn",
+    "never",
+    "other",
+    "place",
+    "right",
+    "small",
+    "sound",
+    "still",
+    "their",
+    "there",
+    "these",
+    "thing",
+    "think",
+    "three",
+    "water",
+    "where",
+    "which",
+    "world",
+    "would",
+    "embraces",
+    "commanding",
+    "volcanic",
+    "different",
+    "important",
+    "following",
+    "understanding",
+    "questions",
+    "interesting",
+    "development",
+    "considerable",
 ];
 
 /// Configuration of the synthetic OCR dataset generator.
@@ -360,8 +473,16 @@ pub fn render_letter<R: Rng + ?Sized>(
 ) -> Vec<bool> {
     let proto = prototype_glyph(letter);
     let shift_range = max_shift as i32;
-    let dr = if shift_range > 0 { rng.gen_range(-shift_range..=shift_range) } else { 0 };
-    let dc = if shift_range > 0 { rng.gen_range(-shift_range..=shift_range) } else { 0 };
+    let dr = if shift_range > 0 {
+        rng.gen_range(-shift_range..=shift_range)
+    } else {
+        0
+    };
+    let dc = if shift_range > 0 {
+        rng.gen_range(-shift_range..=shift_range)
+    } else {
+        0
+    };
     let noise = pixel_noise.clamp(0.0, 0.5);
     let mut out = vec![false; GLYPH_DIM];
     for row in 0..GLYPH_ROWS as i32 {
@@ -414,7 +535,12 @@ pub fn generate<R: Rng + ?Sized>(config: &OcrConfig, rng: &mut R) -> OcrDataset 
         for c in word.chars() {
             let letter = letter_index(c).expect("filtered to lowercase ASCII");
             labels.push(letter);
-            images.push(render_letter(letter, config.pixel_noise, config.max_shift, rng));
+            images.push(render_letter(
+                letter,
+                config.pixel_noise,
+                config.max_shift,
+                rng,
+            ));
         }
         sequences.push((labels, images));
         words.push(word.to_string());
@@ -474,7 +600,10 @@ mod tests {
         let m = letter_index('m').unwrap();
         let d_il = hamming(&prototype_glyph(i), &prototype_glyph(l));
         let d_im = hamming(&prototype_glyph(i), &prototype_glyph(m));
-        assert!(d_il < d_im, "i/l distance {d_il} not smaller than i/m {d_im}");
+        assert!(
+            d_il < d_im,
+            "i/l distance {d_il} not smaller than i/m {d_im}"
+        );
     }
 
     #[test]
@@ -508,7 +637,7 @@ mod tests {
         assert_eq!(data.corpus.num_labels, NUM_LETTERS);
         for ((labels, images), word) in data.corpus.sequences.iter().zip(&data.words) {
             assert_eq!(labels.len(), word.len());
-            assert!(word.len() >= 1 && word.len() <= 14);
+            assert!(!word.is_empty() && word.len() <= 14);
             assert!(images.iter().all(|img| img.len() == GLYPH_DIM));
             for (c, &l) in word.chars().zip(labels) {
                 assert_eq!(letter_index(c), Some(l));
@@ -519,7 +648,13 @@ mod tests {
     #[test]
     fn word_frequencies_are_skewed() {
         let mut rng = StdRng::seed_from_u64(2);
-        let data = generate(&OcrConfig { num_words: 1000, ..OcrConfig::default() }, &mut rng);
+        let data = generate(
+            &OcrConfig {
+                num_words: 1000,
+                ..OcrConfig::default()
+            },
+            &mut rng,
+        );
         let mut counts = std::collections::HashMap::new();
         for w in &data.words {
             *counts.entry(w.clone()).or_insert(0usize) += 1;
@@ -533,7 +668,13 @@ mod tests {
     #[test]
     fn letter_transitions_reflect_english_bigrams() {
         let mut rng = StdRng::seed_from_u64(3);
-        let data = generate(&OcrConfig { num_words: 2000, ..OcrConfig::default() }, &mut rng);
+        let data = generate(
+            &OcrConfig {
+                num_words: 2000,
+                ..OcrConfig::default()
+            },
+            &mut rng,
+        );
         // Count transitions out of 't' — 'h' should be the most common
         // successor given words like "the", "that", "this", "then".
         let t = letter_index('t').unwrap();
@@ -547,7 +688,10 @@ mod tests {
             }
         }
         let best = from_t.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
-        assert_eq!(best, h, "most common successor of 't' is {best}, expected 'h'");
+        assert_eq!(
+            best, h,
+            "most common successor of 't' is {best}, expected 'h'"
+        );
     }
 
     #[test]

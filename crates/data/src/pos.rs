@@ -229,16 +229,16 @@ pub fn ground_truth_emission(vocab_size: usize) -> DiscreteEmission {
     let vocab_size = vocab_size.max(NUM_TAGS * 4);
     // Relative block sizes per tag (open-class tags get large vocabularies).
     let weights: [f64; NUM_TAGS] = [
-        0.42, // NOUN
+        0.42,  // NOUN
         0.003, // PUNCT
-        0.06, // CD
-        0.18, // ADJ
+        0.06,  // CD
+        0.18,  // ADJ
         0.002, // MD
-        0.24, // VERB
+        0.24,  // VERB
         0.004, // DT
         0.012, // IN
         0.004, // FW
-        0.04, // ADV
+        0.04,  // ADV
         0.002, // UH
         0.006, // PRON
         0.001, // POS
@@ -298,16 +298,12 @@ pub fn generate<R: Rng + ?Sized>(config: &PosConfig, rng: &mut R) -> PosCorpus {
     // Right-skewed sentence lengths: 2 + Gamma(2, 11) gives a mean ≈ 24 with
     // a long tail, clipped to the paper's [2, 250] range.
     let length_dist = Gamma::new(2.0, 11.0).expect("valid Gamma parameters");
-    let sequences = generate_sequences_with_lengths(
-        &ground_truth,
-        config.num_sentences.max(1),
-        rng,
-        |r| {
+    let sequences =
+        generate_sequences_with_lengths(&ground_truth, config.num_sentences.max(1), rng, |r| {
             let raw = min_len as f64 + length_dist.sample(r);
             (raw.round() as usize).clamp(min_len, max_len)
-        },
-    )
-    .expect("generation from a valid model cannot fail");
+        })
+        .expect("generation from a valid model cannot fail");
     let corpus = LabeledCorpus::new(
         sequences
             .into_iter()

@@ -87,8 +87,11 @@ pub fn ground_truth_means() -> Vec<f64> {
 
 /// Builds the ground-truth model for a given emission standard deviation.
 pub fn ground_truth_model(emission_std: f64) -> Hmm<GaussianEmission> {
-    let emission = GaussianEmission::new(ground_truth_means(), vec![emission_std.max(1e-6); TOY_STATES])
-        .expect("valid emission parameters");
+    let emission = GaussianEmission::new(
+        ground_truth_means(),
+        vec![emission_std.max(1e-6); TOY_STATES],
+    )
+    .expect("valid emission parameters");
     Hmm::new(ground_truth_initial(), ground_truth_transition(), emission)
         .expect("valid ground-truth parameters")
 }

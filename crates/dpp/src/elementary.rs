@@ -71,8 +71,8 @@ mod tests {
         let lambda = [0.5, 1.5, 2.0, 0.1];
         assert_eq!(k_dpp_normalizer(&lambda, 0), 1.0);
         let e = elementary_symmetric(&lambda, 4);
-        for k in 0..=4 {
-            assert!((k_dpp_normalizer(&lambda, k) - e[k]).abs() < 1e-12);
+        for (k, &ek) in e.iter().enumerate() {
+            assert!((k_dpp_normalizer(&lambda, k) - ek).abs() < 1e-12);
         }
         assert_eq!(k_dpp_normalizer(&lambda, 5), 0.0);
     }

@@ -183,8 +183,12 @@ mod tests {
     #[test]
     fn gradient_is_finite_at_simplex_boundary() {
         let kernel = ProductKernel::bhattacharyya();
-        let a = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.4, 0.3, 0.3]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.4, 0.3, 0.3],
+        ])
+        .unwrap();
         let grad = grad_log_det_kernel(&a, &kernel).unwrap();
         assert!(grad.is_finite());
     }

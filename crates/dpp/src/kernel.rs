@@ -35,7 +35,7 @@ impl ProductKernel {
 
     /// Creates a product kernel with exponent `ρ > 0`.
     pub fn new(rho: f64) -> Result<Self, DppError> {
-        if !(rho > 0.0) || !rho.is_finite() {
+        if rho <= 0.0 || !rho.is_finite() {
             return Err(DppError::InvalidParameter {
                 parameter: "rho",
                 value: rho,
@@ -46,7 +46,9 @@ impl ProductKernel {
 
     /// The Bhattacharyya kernel (`ρ = 0.5`) used by the paper.
     pub fn bhattacharyya() -> Self {
-        Self { rho: Self::DEFAULT_RHO }
+        Self {
+            rho: Self::DEFAULT_RHO,
+        }
     }
 
     /// The exponent `ρ`.

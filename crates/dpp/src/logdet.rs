@@ -106,12 +106,18 @@ mod tests {
     #[test]
     fn diverse_transition_matrix_has_higher_log_prior() {
         let kernel = ProductKernel::bhattacharyya();
-        let collapsed =
-            Matrix::from_rows(&[vec![0.5, 0.3, 0.2], vec![0.5, 0.3, 0.2], vec![0.5, 0.3, 0.2]])
-                .unwrap();
-        let diverse =
-            Matrix::from_rows(&[vec![0.8, 0.1, 0.1], vec![0.1, 0.8, 0.1], vec![0.1, 0.1, 0.8]])
-                .unwrap();
+        let collapsed = Matrix::from_rows(&[
+            vec![0.5, 0.3, 0.2],
+            vec![0.5, 0.3, 0.2],
+            vec![0.5, 0.3, 0.2],
+        ])
+        .unwrap();
+        let diverse = Matrix::from_rows(&[
+            vec![0.8, 0.1, 0.1],
+            vec![0.1, 0.8, 0.1],
+            vec![0.1, 0.1, 0.8],
+        ])
+        .unwrap();
         let ld_collapsed = log_det_kernel(&collapsed, &kernel).unwrap();
         let ld_diverse = log_det_kernel(&diverse, &kernel).unwrap();
         assert!(

@@ -109,13 +109,7 @@ pub fn many_to_one_accuracy(
     let num_gold = max_label(gold).max(1);
     let counts = cooccurrence(predicted, gold, num_pred, num_gold);
     let matched: f64 = (0..num_pred)
-        .map(|p| {
-            counts
-                .row(p)
-                .iter()
-                .cloned()
-                .fold(0.0_f64, f64::max)
-        })
+        .map(|p| counts.row(p).iter().cloned().fold(0.0_f64, f64::max))
         .sum();
     Ok(matched / total as f64)
 }

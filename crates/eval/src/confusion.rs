@@ -183,8 +183,7 @@ mod tests {
         let (g, p, c) = cm.most_confused_pair().unwrap();
         assert_eq!(c, 1.0);
         assert!(g != p);
-        let perfect =
-            ConfusionMatrix::from_sequences(&[vec![0, 1]], &[vec![0, 1]], 2).unwrap();
+        let perfect = ConfusionMatrix::from_sequences(&[vec![0, 1]], &[vec![0, 1]], 2).unwrap();
         assert!(perfect.most_confused_pair().is_none());
         assert!(ConfusionMatrix::from_sequences(&[vec![0]], &[vec![0], vec![1]], 2).is_err());
         assert!(ConfusionMatrix::from_sequences(&[vec![0, 1]], &[vec![0]], 2).is_err());

@@ -7,6 +7,9 @@ use crate::error::EvalError;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// One train/test split: `(train_indices, test_indices)`.
+pub type FoldSplit = (Vec<usize>, Vec<usize>);
+
 /// Per-fold evaluation summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FoldSummary {
@@ -66,7 +69,7 @@ pub fn kfold_indices<R: Rng + ?Sized>(
     n: usize,
     k: usize,
     rng: &mut R,
-) -> Result<Vec<(Vec<usize>, Vec<usize>)>, EvalError> {
+) -> Result<Vec<FoldSplit>, EvalError> {
     if k < 2 {
         return Err(EvalError::InvalidParameter {
             reason: format!("need at least 2 folds, got {k}"),

@@ -53,7 +53,9 @@ mod tests {
         }
         .to_string()
         .contains("accuracy"));
-        assert!(EvalError::Empty { op: "histogram" }.to_string().contains("histogram"));
+        assert!(EvalError::Empty { op: "histogram" }
+            .to_string()
+            .contains("histogram"));
         assert!(EvalError::InvalidParameter {
             reason: "k must be >= 2".into()
         }

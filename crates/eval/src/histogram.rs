@@ -53,12 +53,7 @@ pub fn histogram_distance(a: &[usize], b: &[usize]) -> Result<f64, EvalError> {
     }
     let pa = histogram_to_distribution(a)?;
     let pb = histogram_to_distribution(b)?;
-    Ok(pa
-        .iter()
-        .zip(&pb)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
-        / 2.0)
+    Ok(pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>() / 2.0)
 }
 
 #[cfg(test)]

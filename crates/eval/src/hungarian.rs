@@ -19,7 +19,9 @@ pub fn hungarian_max(profit: &Matrix) -> Result<(Vec<usize>, f64), EvalError> {
     let rows = profit.rows();
     let cols = profit.cols();
     if rows == 0 || cols == 0 {
-        return Err(EvalError::Empty { op: "hungarian_max" });
+        return Err(EvalError::Empty {
+            op: "hungarian_max",
+        });
     }
     let n = rows.max(cols);
 
@@ -28,7 +30,11 @@ pub fn hungarian_max(profit: &Matrix) -> Result<(Vec<usize>, f64), EvalError> {
     let mut cost = vec![vec![0.0_f64; n + 1]; n + 1]; // 1-based
     for i in 0..n {
         for j in 0..n {
-            let p = if i < rows && j < cols { profit[(i, j)] } else { 0.0 };
+            let p = if i < rows && j < cols {
+                profit[(i, j)]
+            } else {
+                0.0
+            };
             cost[i + 1][j + 1] = max_profit - p;
         }
     }
@@ -129,7 +135,14 @@ mod tests {
         let (assignment, total) = hungarian_max(&profit).unwrap();
         // Brute force check.
         let mut best = f64::NEG_INFINITY;
-        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         for perm in perms {
             let s: f64 = (0..3).map(|i| profit[(i, perm[i])]).sum();
             best = best.max(s);
@@ -143,7 +156,7 @@ mod tests {
     fn assignment_is_a_permutation() {
         let profit = Matrix::from_fn(6, 6, |i, j| ((i * 7 + j * 13) % 11) as f64);
         let (assignment, _) = hungarian_max(&profit).unwrap();
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for &c in &assignment {
             assert!(c < 6);
             assert!(!seen[c], "column {c} assigned twice");
@@ -170,18 +183,18 @@ mod tests {
                     best = s;
                 }
             });
-            assert!((total - best).abs() < 1e-9, "seed {seed}: {total} vs {best}");
+            assert!(
+                (total - best).abs() < 1e-9,
+                "seed {seed}: {total} vs {best}"
+            );
         }
     }
 
     #[test]
     fn rectangular_profit_wide() {
         // More columns than rows: each row gets a distinct best column.
-        let profit = Matrix::from_rows(&[
-            vec![1.0, 10.0, 2.0, 3.0],
-            vec![10.0, 1.0, 2.0, 3.0],
-        ])
-        .unwrap();
+        let profit =
+            Matrix::from_rows(&[vec![1.0, 10.0, 2.0, 3.0], vec![10.0, 1.0, 2.0, 3.0]]).unwrap();
         let (assignment, total) = hungarian_max(&profit).unwrap();
         assert_eq!(assignment, vec![1, 0]);
         assert_eq!(total, 20.0);
@@ -190,14 +203,13 @@ mod tests {
     #[test]
     fn rectangular_profit_tall() {
         // More rows than columns: some rows stay unassigned (usize::MAX).
-        let profit = Matrix::from_rows(&[
-            vec![5.0, 1.0],
-            vec![6.0, 2.0],
-            vec![1.0, 9.0],
-        ])
-        .unwrap();
+        let profit = Matrix::from_rows(&[vec![5.0, 1.0], vec![6.0, 2.0], vec![1.0, 9.0]]).unwrap();
         let (assignment, total) = hungarian_max(&profit).unwrap();
-        let assigned: Vec<usize> = assignment.iter().copied().filter(|&c| c != usize::MAX).collect();
+        let assigned: Vec<usize> = assignment
+            .iter()
+            .copied()
+            .filter(|&c| c != usize::MAX)
+            .collect();
         assert_eq!(assigned.len(), 2);
         assert!((total - 15.0).abs() < 1e-9); // 6 (row 1 -> col 0) + 9 (row 2 -> col 1)
     }

@@ -7,18 +7,42 @@ use dhmm_experiments::{ocr, pos, toy, Scale};
 fn main() {
     let scale = Scale::from_args(std::env::args().skip(1));
     let seed = DEFAULT_SEED;
-    println!("=== Table 1 ===\n{}", toy::run_table1(scale, seed).expect("table1").render());
-    println!("=== Fig. 2 ===\n{}", toy::run_fig2(scale, seed).expect("fig2").render());
+    println!(
+        "=== Table 1 ===\n{}",
+        toy::run_table1(scale, seed).expect("table1").render()
+    );
+    println!(
+        "=== Fig. 2 ===\n{}",
+        toy::run_fig2(scale, seed).expect("fig2").render()
+    );
     let sweep = toy::run_sigma_sweep(scale, seed).expect("sigma sweep");
     println!("=== Fig. 3 ===\n{}", sweep.render_fig3());
     println!("=== Fig. 4 ===\n{}", sweep.render_fig4());
     println!("=== Fig. 5 ===\n{}", sweep.render_fig5());
     println!("=== Table 2 ===\n{}", pos::run_table2(scale, seed).render());
-    println!("=== Fig. 7 ===\n{}", pos::run_alpha_sweep(scale, seed).expect("fig7").render());
-    println!("=== Fig. 8 ===\n{}", pos::run_fig8(scale, seed).expect("fig8").render());
-    println!("=== Fig. 9 ===\n{}", pos::run_fig9(scale, seed).expect("fig9").render());
+    println!(
+        "=== Fig. 7 ===\n{}",
+        pos::run_alpha_sweep(scale, seed).expect("fig7").render()
+    );
+    println!(
+        "=== Fig. 8 ===\n{}",
+        pos::run_fig8(scale, seed).expect("fig8").render()
+    );
+    println!(
+        "=== Fig. 9 ===\n{}",
+        pos::run_fig9(scale, seed).expect("fig9").render()
+    );
     println!("=== Table 3 ===\n{}", ocr::run_table3(scale, seed).render());
-    println!("=== Fig. 10 ===\n{}", ocr::run_alpha_sweep(scale, seed).expect("fig10").render());
-    println!("=== Fig. 11 ===\n{}", ocr::run_fig11(scale, seed).expect("fig11").render());
-    println!("=== Fig. 12 ===\n{}", ocr::run_fig12(scale, seed).expect("fig12").render());
+    println!(
+        "=== Fig. 10 ===\n{}",
+        ocr::run_alpha_sweep(scale, seed).expect("fig10").render()
+    );
+    println!(
+        "=== Fig. 11 ===\n{}",
+        ocr::run_fig11(scale, seed).expect("fig11").render()
+    );
+    println!(
+        "=== Fig. 12 ===\n{}",
+        ocr::run_fig12(scale, seed).expect("fig12").render()
+    );
 }

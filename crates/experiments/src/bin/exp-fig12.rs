@@ -6,6 +6,8 @@ use dhmm_experiments::{ocr, Scale};
 fn main() {
     let scale = Scale::from_args(std::env::args().skip(1));
     let result = ocr::run_fig12(scale, DEFAULT_SEED).expect("experiment failed");
-    println!("Fig. 12 — transition diversity of 'x' and 'y' vs all other letters ({scale:?} scale)\n");
+    println!(
+        "Fig. 12 — transition diversity of 'x' and 'y' vs all other letters ({scale:?} scale)\n"
+    );
     println!("{}", result.render());
 }

@@ -3,7 +3,9 @@
 use crate::common::{ocr_dhmm_config, Scale};
 use dhmm_baselines::{BernoulliNaiveBayes, OptimizedHmm, OptimizedHmmConfig};
 use dhmm_core::{DhmmError, SupervisedDiversifiedHmm};
-use dhmm_data::ocr::{self, letter_index, OcrConfig, GLYPH_COLS, GLYPH_DIM, GLYPH_ROWS, NUM_LETTERS};
+use dhmm_data::ocr::{
+    self, letter_index, OcrConfig, GLYPH_COLS, GLYPH_DIM, GLYPH_ROWS, NUM_LETTERS,
+};
 use dhmm_data::LabeledCorpus;
 use dhmm_eval::accuracy::plain_accuracy;
 use dhmm_eval::crossval::{kfold_indices, CrossValidation};
@@ -112,7 +114,11 @@ pub fn run_table3(scale: Scale, seed: u64) -> Table3Result {
         if word.len() >= 5 && examples.len() < 3 {
             let mut strip = String::new();
             for (i, img) in images.iter().enumerate() {
-                strip.push_str(&format!("letter '{}':\n{}", word.as_bytes()[i] as char, render_glyph(img)));
+                strip.push_str(&format!(
+                    "letter '{}':\n{}",
+                    word.as_bytes()[i] as char,
+                    render_glyph(img)
+                ));
             }
             let _ = labels;
             examples.push((word.clone(), strip));
@@ -134,7 +140,7 @@ pub fn run_table3(scale: Scale, seed: u64) -> Table3Result {
             }
         }
     }
-    flat.sort_by(|a, b| b.2.cmp(&a.2));
+    flat.sort_by_key(|entry| std::cmp::Reverse(entry.2));
     flat.truncate(5);
 
     Table3Result {
@@ -190,8 +196,10 @@ fn evaluate_fold(
         }
         OcrClassifier::Hmm => {
             let trainer = SupervisedDiversifiedHmm::new(ocr_dhmm_config(scale, 0.0));
-            let (model, _) =
-                trainer.fit(&train.sequences, BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM)?)?;
+            let (model, _) = trainer.fit(
+                &train.sequences,
+                BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM)?,
+            )?;
             model.decode_all(&test.observations())?
         }
         OcrClassifier::OptimizedHmm => {
@@ -208,8 +216,10 @@ fn evaluate_fold(
         }
         OcrClassifier::Dhmm { alpha } => {
             let trainer = SupervisedDiversifiedHmm::new(ocr_dhmm_config(scale, *alpha));
-            let (model, _) =
-                trainer.fit(&train.sequences, BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM)?)?;
+            let (model, _) = trainer.fit(
+                &train.sequences,
+                BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM)?,
+            )?;
             model.decode_all(&test.observations())?
         }
     };
@@ -413,7 +423,11 @@ mod tests {
         let result = run_alpha_sweep(Scale::Quick, 2).unwrap();
         assert_eq!(result.points.len(), 3);
         for p in &result.points {
-            assert!((0.0..=1.0).contains(&p.accuracy_mean), "accuracy {}", p.accuracy_mean);
+            assert!(
+                (0.0..=1.0).contains(&p.accuracy_mean),
+                "accuracy {}",
+                p.accuracy_mean
+            );
             assert!(p.accuracy_std >= 0.0);
         }
         assert!((0.0..=1.0).contains(&result.hmm_accuracy()));

@@ -218,9 +218,8 @@ pub fn run_fig8(scale: Scale, seed: u64) -> Result<Fig8Result, DhmmError> {
 
     // Identify which learned cluster maps to the NOUN gold tag (index 0); if
     // no cluster maps to it, fall back to cluster 0.
-    let find_noun = |mapping: &[usize]| -> usize {
-        mapping.iter().position(|&g| g == 0).unwrap_or(0)
-    };
+    let find_noun =
+        |mapping: &[usize]| -> usize { mapping.iter().position(|&g| g == 0).unwrap_or(0) };
     let hmm_profile = row_bhattacharyya_profile(hmm.transition(), find_noun(&hmm_mapping));
     let dhmm_profile = row_bhattacharyya_profile(dhmm.transition(), find_noun(&dhmm_mapping));
     let other_tags: Vec<&'static str> = TAG_NAMES.iter().skip(1).copied().collect();
@@ -333,7 +332,10 @@ mod tests {
             .find(|p| p.alpha >= 100.0)
             .unwrap()
             .diversity;
-        assert!(d_big >= d0 - 0.05, "diversity {d_big} fell below baseline {d0}");
+        assert!(
+            d_big >= d0 - 0.05,
+            "diversity {d_big} fell below baseline {d0}"
+        );
         assert!(result.render().contains("alpha"));
     }
 

@@ -120,8 +120,7 @@ pub fn run_table1(scale: Scale, seed: u64) -> Result<Table1Result, DhmmError> {
 
     let hmm_pred = hmm.decode_all(&observations)?;
     let dhmm_pred = dhmm.decode_all(&observations)?;
-    let (hmm_accuracy, _) =
-        one_to_one_accuracy(&hmm_pred, &gold).expect("aligned label sequences");
+    let (hmm_accuracy, _) = one_to_one_accuracy(&hmm_pred, &gold).expect("aligned label sequences");
     let (dhmm_accuracy, _) =
         one_to_one_accuracy(&dhmm_pred, &gold).expect("aligned label sequences");
 
@@ -168,25 +167,25 @@ pub fn run_fig2(scale: Scale, seed: u64) -> Result<Fig2Result, DhmmError> {
     let (hmm, dhmm) = fit_pair(&observations, 1.0, scale, seed ^ 0xf162)?;
 
     let truth = &data.ground_truth;
-    let align = |model: &Hmm<GaussianEmission>| -> (dhmm_linalg::Matrix, Vec<f64>, Vec<f64>, Vec<f64>) {
-        // Align learned states to true states using the emission means as the
-        // per-state feature (the most identifiable parameter here).
-        let learned_means = dhmm_linalg::Matrix::from_fn(TOY_STATES, 1, |i, _| {
-            model.emission().means()[i]
-        });
-        let true_means =
-            dhmm_linalg::Matrix::from_fn(TOY_STATES, 1, |i, _| truth.emission().means()[i]);
-        let perm = dhmm_eval::align::align_states_to_truth(&learned_means, &true_means)
-            .expect("shapes match");
-        let a = dhmm_eval::align::permute_transition(model.transition(), &perm)
-            .expect("valid permutation");
-        let pi = dhmm_eval::align::permute_vector(model.initial(), &perm).expect("valid");
-        let means =
-            dhmm_eval::align::permute_vector(model.emission().means(), &perm).expect("valid");
-        let stds =
-            dhmm_eval::align::permute_vector(model.emission().std_devs(), &perm).expect("valid");
-        (a, pi, means, stds)
-    };
+    let align =
+        |model: &Hmm<GaussianEmission>| -> (dhmm_linalg::Matrix, Vec<f64>, Vec<f64>, Vec<f64>) {
+            // Align learned states to true states using the emission means as the
+            // per-state feature (the most identifiable parameter here).
+            let learned_means =
+                dhmm_linalg::Matrix::from_fn(TOY_STATES, 1, |i, _| model.emission().means()[i]);
+            let true_means =
+                dhmm_linalg::Matrix::from_fn(TOY_STATES, 1, |i, _| truth.emission().means()[i]);
+            let perm = dhmm_eval::align::align_states_to_truth(&learned_means, &true_means)
+                .expect("shapes match");
+            let a = dhmm_eval::align::permute_transition(model.transition(), &perm)
+                .expect("valid permutation");
+            let pi = dhmm_eval::align::permute_vector(model.initial(), &perm).expect("valid");
+            let means =
+                dhmm_eval::align::permute_vector(model.emission().means(), &perm).expect("valid");
+            let stds = dhmm_eval::align::permute_vector(model.emission().std_devs(), &perm)
+                .expect("valid");
+            (a, pi, means, stds)
+        };
 
     let (hmm_a, hmm_pi, hmm_mu, hmm_sigma) = align(&hmm);
     let (dhmm_a, dhmm_pi, dhmm_mu, dhmm_sigma) = align(&dhmm);
@@ -314,7 +313,8 @@ pub fn run_sigma_sweep(scale: Scale, seed: u64) -> Result<SigmaSweepResult, Dhmm
 impl SigmaSweepResult {
     /// Renders the Fig. 3 series (diversity vs σ).
     pub fn render_fig3(&self) -> String {
-        let mut table = TextTable::new(&["sigma", "HMM diversity", "dHMM diversity", "ground-truth"]);
+        let mut table =
+            TextTable::new(&["sigma", "HMM diversity", "dHMM diversity", "ground-truth"]);
         for p in &self.points {
             table.add_row(&[
                 fmt_float(p.sigma, 3),

@@ -91,7 +91,10 @@ pub struct FitResult {
 impl FitResult {
     /// Final data log-likelihood (NaN if no iteration ran).
     pub fn final_log_likelihood(&self) -> f64 {
-        self.log_likelihood_history.last().copied().unwrap_or(f64::NAN)
+        self.log_likelihood_history
+            .last()
+            .copied()
+            .unwrap_or(f64::NAN)
     }
 
     /// Final objective value (NaN if no iteration ran).
@@ -170,8 +173,8 @@ impl BaumWelch {
             // Initial distribution: average of the first-step posteriors.
             let mut new_pi = vec![0.0; k];
             for s in &stats {
-                for i in 0..k {
-                    new_pi[i] += s.gamma[(0, i)];
+                for (i, pi) in new_pi.iter_mut().enumerate() {
+                    *pi += s.gamma[(0, i)];
                 }
             }
             dhmm_linalg::normalize_in_place(&mut new_pi);
@@ -213,10 +216,7 @@ impl BaumWelch {
 
 /// Runs the E-step over all sequences, using scoped threads when the data is
 /// large enough to amortize the spawn cost.
-pub fn e_step<E>(
-    model: &Hmm<E>,
-    sequences: &[Vec<E::Obs>],
-) -> Result<Vec<SequenceStats>, HmmError>
+pub fn e_step<E>(model: &Hmm<E>, sequences: &[Vec<E::Obs>]) -> Result<Vec<SequenceStats>, HmmError>
 where
     E: Emission + Sync,
     E::Obs: Sync,
@@ -226,20 +226,25 @@ where
         .map(|n| n.get())
         .unwrap_or(1);
     if threads <= 1 || sequences.len() < 8 || total_obs < 4_000 {
-        return sequences.iter().map(|s| forward_backward(model, s)).collect();
+        return sequences
+            .iter()
+            .map(|s| forward_backward(model, s))
+            .collect();
     }
 
     let chunk_size = sequences.len().div_ceil(threads);
     let mut results: Vec<Option<Result<Vec<SequenceStats>, HmmError>>> =
-        (0..sequences.len().div_ceil(chunk_size)).map(|_| None).collect();
+        (0..sequences.len().div_ceil(chunk_size))
+            .map(|_| None)
+            .collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (chunk_idx, chunk) in sequences.chunks(chunk_size).enumerate() {
             let model_ref = &*model;
             handles.push((
                 chunk_idx,
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .iter()
                         .map(|s| forward_backward(model_ref, s))
@@ -250,8 +255,7 @@ where
         for (idx, handle) in handles {
             results[idx] = Some(handle.join().expect("E-step worker panicked"));
         }
-    })
-    .expect("E-step thread scope panicked");
+    });
 
     let mut all = Vec::with_capacity(sequences.len());
     for r in results.into_iter().flatten() {

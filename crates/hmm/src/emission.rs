@@ -127,11 +127,7 @@ impl Emission for DiscreteEmission {
         }
     }
 
-    fn reestimate(
-        &mut self,
-        sequences: &[Vec<usize>],
-        gammas: &[Matrix],
-    ) -> Result<(), HmmError> {
+    fn reestimate(&mut self, sequences: &[Vec<usize>], gammas: &[Matrix]) -> Result<(), HmmError> {
         let k = self.num_states();
         let v = self.vocab_size();
         let mut counts = Matrix::filled(k, v, PROB_FLOOR);
@@ -206,7 +202,7 @@ impl GaussianEmission {
                 reason: "means and std_devs must be non-empty and equal length".into(),
             });
         }
-        if std_devs.iter().any(|&s| !(s > 0.0) || !s.is_finite()) {
+        if std_devs.iter().any(|&s| s <= 0.0 || !s.is_finite()) {
             return Err(HmmError::InvalidParameters {
                 reason: "standard deviations must be positive and finite".into(),
             });
@@ -216,7 +212,7 @@ impl GaussianEmission {
                 reason: "means must be finite".into(),
             });
         }
-        if !(min_std_dev > 0.0) {
+        if min_std_dev <= 0.0 || !min_std_dev.is_finite() {
             return Err(HmmError::InvalidParameters {
                 reason: "min_std_dev must be positive".into(),
             });
@@ -463,12 +459,7 @@ mod tests {
         let mut e = DiscreteEmission::uniform(2, 3).unwrap();
         // One sequence, hard posteriors: state 0 emits symbol 0 twice, state 1 emits symbol 2 once.
         let seqs = vec![vec![0usize, 0, 2]];
-        let gamma = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let gamma = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         e.reestimate(&seqs, &[gamma]).unwrap();
         assert!(e.probs().is_row_stochastic(1e-9));
         assert!(e.probs()[(0, 0)] > 0.99);
@@ -531,13 +522,18 @@ mod tests {
         e.reestimate(&seqs, &[gamma]).unwrap();
         assert!((e.means()[0] - 0.0).abs() < 0.1);
         assert!((e.means()[1] - 10.0).abs() < 0.1);
-        assert!(e.std_devs().iter().all(|&s| s >= GaussianEmission::DEFAULT_MIN_STD));
+        assert!(e
+            .std_devs()
+            .iter()
+            .all(|&s| s >= GaussianEmission::DEFAULT_MIN_STD));
     }
 
     #[test]
     fn gaussian_reestimate_rejects_bad_shapes() {
         let mut e = GaussianEmission::new(vec![0.0], vec![1.0]).unwrap();
-        assert!(e.reestimate(&[vec![1.0, 2.0]], &[Matrix::zeros(1, 1)]).is_err());
+        assert!(e
+            .reestimate(&[vec![1.0, 2.0]], &[Matrix::zeros(1, 1)])
+            .is_err());
     }
 
     #[test]

@@ -65,14 +65,16 @@ pub fn forward_backward<E: Emission>(
     // xi(t-1, t; i, j) ∝ alpha(t-1, i) * A[i][j] * b_j(y_t) * beta(t, j).
     let mut xi_sum = Matrix::zeros(k, k);
     let mut log_b = vec![0.0; k];
-    for t in 1..t_len {
-        model
-            .emission()
-            .log_prob_all(&observations[t], &mut log_b);
+    for (t, obs) in observations.iter().enumerate().skip(1) {
+        model.emission().log_prob_all(obs, &mut log_b);
         // Work with exp(log_b - max) to avoid underflow for very unlikely
         // observations; the per-step normalization removes the shift.
         let max_log_b = log_b.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let shift = if max_log_b.is_finite() { max_log_b } else { 0.0 };
+        let shift = if max_log_b.is_finite() {
+            max_log_b
+        } else {
+            0.0
+        };
         let mut xi_t = Matrix::zeros(k, k);
         let mut total = 0.0;
         for i in 0..k {
@@ -128,9 +130,7 @@ pub fn forward_backward_detailed<E: Emission>(
     let mut log_b = vec![0.0; k];
 
     // --- Forward pass (Eq. 9), scaled per time step. ---
-    model
-        .emission()
-        .log_prob_all(&observations[0], &mut log_b);
+    model.emission().log_prob_all(&observations[0], &mut log_b);
     let shift0 = finite_shift(&log_b);
     {
         let mut row: Vec<f64> = (0..k)
@@ -147,9 +147,7 @@ pub fn forward_backward_detailed<E: Emission>(
         alpha.set_row(0, &row)?;
     }
     for t in 1..t_len {
-        model
-            .emission()
-            .log_prob_all(&observations[t], &mut log_b);
+        model.emission().log_prob_all(&observations[t], &mut log_b);
         let shift = finite_shift(&log_b);
         let mut row = vec![0.0; k];
         for j in 0..k {
@@ -178,12 +176,12 @@ pub fn forward_backward_detailed<E: Emission>(
             .log_prob_all(&observations[t + 1], &mut log_b);
         let shift = finite_shift(&log_b);
         let mut row = vec![0.0; k];
-        for i in 0..k {
+        for (i, r) in row.iter_mut().enumerate() {
             let mut acc = 0.0;
             for j in 0..k {
                 acc += model.transition()[(i, j)] * (log_b[j] - shift).exp() * beta[(t + 1, j)];
             }
-            row[i] = acc;
+            *r = acc;
         }
         // Scale the backward variables by the same constant family so that
         // alpha·beta stays O(1); the exact constant does not matter because
@@ -220,10 +218,9 @@ mod tests {
     use crate::emission::{DiscreteEmission, GaussianEmission};
 
     fn weather_model() -> Hmm<DiscreteEmission> {
-        let emission = DiscreteEmission::new(
-            Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap(),
-        )
-        .unwrap();
+        let emission =
+            DiscreteEmission::new(Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap())
+                .unwrap();
         let transition = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
         Hmm::new(vec![0.5, 0.5], transition, emission).unwrap()
     }
@@ -278,22 +275,22 @@ mod tests {
     #[test]
     fn gamma_matches_brute_force_posteriors() {
         let m = weather_model();
-        let obs = vec![0usize, 1, 0];
+        let obs = [0usize, 1, 0];
         let stats = forward_backward(&m, &obs).unwrap();
         // Brute force P(X_1 = i | Y).
-        let mut joint = vec![0.0; 2];
+        let mut joint = [0.0; 2];
         let mut total = 0.0;
-        for s0 in 0..2 {
-            for s1 in 0..2 {
+        for (s1, j) in joint.iter_mut().enumerate() {
+            for s0 in 0..2 {
                 for s2 in 0..2 {
                     let p = m.joint_log_likelihood(&[s0, s1, s2], &obs).unwrap().exp();
-                    joint[s1] += p;
+                    *j += p;
                     total += p;
                 }
             }
         }
-        for i in 0..2 {
-            assert!((stats.gamma[(1, i)] - joint[i] / total).abs() < 1e-9);
+        for (i, &j) in joint.iter().enumerate() {
+            assert!((stats.gamma[(1, i)] - j / total).abs() < 1e-9);
         }
     }
 
@@ -321,8 +318,7 @@ mod tests {
     fn gaussian_emissions_with_tiny_variance_stay_finite() {
         // Extremely peaked emissions produce very small densities for
         // off-mean observations; scaling must keep everything finite.
-        let emission =
-            GaussianEmission::new(vec![0.0, 100.0], vec![1e-3, 1e-3]).unwrap();
+        let emission = GaussianEmission::new(vec![0.0, 100.0], vec![1e-3, 1e-3]).unwrap();
         let transition = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
         let m = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
         let obs = vec![0.0, 100.0, 0.0, 50.0, 100.0];

@@ -32,7 +32,9 @@ pub mod model;
 pub mod supervised;
 pub mod viterbi;
 
-pub use baum_welch::{BaumWelch, BaumWelchConfig, FitResult, MleTransitionUpdater, TransitionUpdater};
+pub use baum_welch::{
+    BaumWelch, BaumWelchConfig, FitResult, MleTransitionUpdater, TransitionUpdater,
+};
 pub use emission::{BernoulliEmission, DiscreteEmission, Emission, GaussianEmission};
 pub use error::HmmError;
 pub use forward_backward::{forward_backward, ForwardBackward, SequenceStats};

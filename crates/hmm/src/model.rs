@@ -177,10 +177,9 @@ mod tests {
 
     fn weather_model() -> Hmm<DiscreteEmission> {
         // Classic 2-state weather/umbrella model.
-        let emission = DiscreteEmission::new(
-            Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap(),
-        )
-        .unwrap();
+        let emission =
+            DiscreteEmission::new(Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap())
+                .unwrap();
         let transition = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
         Hmm::new(vec![0.5, 0.5], transition, emission).unwrap()
     }
@@ -239,10 +238,7 @@ mod tests {
         for s0 in 0..2 {
             for s1 in 0..2 {
                 for s2 in 0..2 {
-                    let ll = m
-                        .joint_log_likelihood(&[s0, s1, s2], &obs)
-                        .unwrap()
-                        .exp();
+                    let ll = m.joint_log_likelihood(&[s0, s1, s2], &obs).unwrap().exp();
                     total += ll;
                 }
             }

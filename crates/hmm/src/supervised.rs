@@ -92,9 +92,7 @@ impl SupervisedCounts {
     /// smoothing pseudo-count. Rows with no observed transitions become
     /// uniform.
     pub fn transition_matrix(&self, pseudo_count: f64) -> Matrix {
-        let mut a = self
-            .transition_counts
-            .map(|v| v + pseudo_count.max(0.0));
+        let mut a = self.transition_counts.map(|v| v + pseudo_count.max(0.0));
         a.normalize_rows();
         a
     }

@@ -32,7 +32,11 @@ pub fn viterbi_with_score<E: Emission>(
         });
     }
 
-    let log_pi: Vec<f64> = model.initial().iter().map(|&p| p.max(LOG_FLOOR).ln()).collect();
+    let log_pi: Vec<f64> = model
+        .initial()
+        .iter()
+        .map(|&p| p.max(LOG_FLOOR).ln())
+        .collect();
     let log_a: Vec<Vec<f64>> = (0..k)
         .map(|i| {
             (0..k)
@@ -47,17 +51,13 @@ pub fn viterbi_with_score<E: Emission>(
     let mut psi = vec![vec![0usize; k]; t_len];
     let mut log_b = vec![0.0; k];
 
-    model
-        .emission()
-        .log_prob_all(&observations[0], &mut log_b);
+    model.emission().log_prob_all(&observations[0], &mut log_b);
     for j in 0..k {
         delta[0][j] = log_pi[j] + log_b[j];
     }
 
     for t in 1..t_len {
-        model
-            .emission()
-            .log_prob_all(&observations[t], &mut log_b);
+        model.emission().log_prob_all(&observations[t], &mut log_b);
         for j in 0..k {
             let mut best = f64::NEG_INFINITY;
             let mut best_i = 0;
@@ -96,10 +96,9 @@ mod tests {
     use dhmm_linalg::Matrix;
 
     fn weather_model() -> Hmm<DiscreteEmission> {
-        let emission = DiscreteEmission::new(
-            Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap(),
-        )
-        .unwrap();
+        let emission =
+            DiscreteEmission::new(Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap())
+                .unwrap();
         let transition = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
         Hmm::new(vec![0.5, 0.5], transition, emission).unwrap()
     }
@@ -141,10 +140,9 @@ mod tests {
     fn sticky_transitions_produce_smooth_paths() {
         // Nearly diagonal transition matrix: the decoded path should not
         // flip states for a single ambiguous observation.
-        let emission = DiscreteEmission::new(
-            Matrix::from_rows(&[vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap(),
-        )
-        .unwrap();
+        let emission =
+            DiscreteEmission::new(Matrix::from_rows(&[vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap())
+                .unwrap();
         let transition = Matrix::from_rows(&[vec![0.99, 0.01], vec![0.01, 0.99]]).unwrap();
         let m = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
         let obs = vec![0usize, 0, 1, 0, 0];
@@ -164,10 +162,9 @@ mod tests {
     #[test]
     fn handles_zero_probability_transitions() {
         // State 1 is unreachable from state 0 and vice versa; paths stay put.
-        let emission = DiscreteEmission::new(
-            Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap(),
-        )
-        .unwrap();
+        let emission =
+            DiscreteEmission::new(Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap())
+                .unwrap();
         let transition = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         let m = Hmm::new(vec![1.0, 0.0], transition, emission).unwrap();
         let path = viterbi(&m, &[0usize, 1, 0, 1]).unwrap();

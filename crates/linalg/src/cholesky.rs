@@ -122,8 +122,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut v = b[i];
-            for j in 0..i {
-                v -= self.l[(i, j)] * y[j];
+            for (j, &yj) in y[..i].iter().enumerate() {
+                v -= self.l[(i, j)] * yj;
             }
             y[i] = v / self.l[(i, i)];
         }
@@ -131,8 +131,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut v = y[i];
-            for j in (i + 1)..n {
-                v -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                v -= self.l[(j, i)] * xj;
             }
             x[i] = v / self.l[(i, i)];
         }
@@ -206,7 +206,10 @@ mod tests {
             assert!((xi - ti).abs() < 1e-9);
         }
         let inv = ch.inverse().unwrap();
-        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-9));
         assert!(ch.solve(&[1.0]).is_err());
     }
 

@@ -131,7 +131,10 @@ impl SymmetricEigen {
         if self.eigenvalues.is_empty() {
             return 1.0;
         }
-        let max = self.eigenvalues.iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
+        let max = self
+            .eigenvalues
+            .iter()
+            .fold(0.0_f64, |a, &b| a.max(b.abs()));
         let min = self
             .eigenvalues
             .iter()
@@ -189,11 +192,7 @@ mod tests {
         ])
         .unwrap();
         let e = jacobi_eigen(&m).unwrap();
-        let vtv = e
-            .eigenvectors
-            .transpose()
-            .matmul(&e.eigenvectors)
-            .unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
         assert!(vtv.approx_eq(&Matrix::identity(3), 1e-8));
     }
 

@@ -141,8 +141,8 @@ impl LuDecomposition {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut v = b[self.perm[i]];
-            for j in 0..i {
-                v -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y[..i].iter().enumerate() {
+                v -= self.lu[(i, j)] * yj;
             }
             y[i] = v;
         }
@@ -150,8 +150,8 @@ impl LuDecomposition {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut v = y[i];
-            for j in (i + 1)..n {
-                v -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                v -= self.lu[(i, j)] * xj;
             }
             x[i] = v / self.lu[(i, i)];
         }

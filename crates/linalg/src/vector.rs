@@ -176,7 +176,11 @@ mod tests {
         assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
         assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
         assert!(mean(&[]).is_err());
-        assert!((variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 4.571428571428571).abs() < 1e-12);
+        assert!(
+            (variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 4.571428571428571)
+                .abs()
+                < 1e-12
+        );
         assert!((std_dev(&[1.0, 1.0]).unwrap() - 0.0).abs() < 1e-12);
         assert_eq!(variance(&[5.0]).unwrap(), 0.0);
     }

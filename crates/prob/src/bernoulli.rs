@@ -91,10 +91,7 @@ impl BernoulliVector {
                 });
             }
         }
-        let clamped = probs
-            .iter()
-            .map(|&p| p.clamp(floor, 1.0 - floor))
-            .collect();
+        let clamped = probs.iter().map(|&p| p.clamp(floor, 1.0 - floor)).collect();
         Ok(Self {
             probs: clamped,
             floor,

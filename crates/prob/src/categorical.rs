@@ -54,7 +54,7 @@ impl Categorical {
 
     /// Uniform categorical over `k` outcomes.
     pub fn uniform(k: usize) -> Result<Self, ProbError> {
-        Self::new(&vec![1.0; k.max(0)])
+        Self::new(&vec![1.0; k])
     }
 
     /// Number of categories.

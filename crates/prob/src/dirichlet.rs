@@ -27,7 +27,7 @@ impl Dirichlet {
                 reason: "needs at least two concentration parameters",
             });
         }
-        if alpha.iter().any(|&a| !(a > 0.0) || !a.is_finite()) {
+        if alpha.iter().any(|&a| a <= 0.0 || !a.is_finite()) {
             return Err(ProbError::InvalidWeights {
                 distribution: "Dirichlet",
                 reason: "all concentration parameters must be positive and finite",

@@ -175,7 +175,10 @@ mod tests {
         // KL is asymmetric.
         assert!((kl - kl_divergence(&q, &p).unwrap()).abs() > 1e-6);
         // Zero in q with mass in p => infinity.
-        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap(), f64::INFINITY);
+        assert_eq!(
+            kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap(),
+            f64::INFINITY
+        );
         // Zero in p is fine.
         assert!(kl_divergence(&[1.0, 0.0], &[0.5, 0.5]).unwrap().is_finite());
     }
@@ -215,8 +218,12 @@ mod tests {
     fn matrix_diversity_handles_deterministic_rows() {
         // Disjoint-support rows produce infinite pairwise distances; the mean
         // must stay finite thanks to clamping.
-        let a = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
         let d = mean_pairwise_bhattacharyya(&a);
         assert!(d.is_finite());
         let single = Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap();

@@ -18,14 +18,14 @@ pub struct Gamma {
 impl Gamma {
     /// Creates a Gamma distribution. Both parameters must be positive and finite.
     pub fn new(shape: f64, scale: f64) -> Result<Self, ProbError> {
-        if !(shape > 0.0) || !shape.is_finite() {
+        if shape <= 0.0 || !shape.is_finite() {
             return Err(ProbError::NonPositiveParameter {
                 distribution: "Gamma",
                 parameter: "shape",
                 value: shape,
             });
         }
-        if !(scale > 0.0) || !scale.is_finite() {
+        if scale <= 0.0 || !scale.is_finite() {
             return Err(ProbError::NonPositiveParameter {
                 distribution: "Gamma",
                 parameter: "scale",
@@ -60,7 +60,8 @@ impl Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.shape - 1.0) * x.ln() - x / self.scale
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
             - ln_gamma(self.shape)
             - self.shape * self.scale.ln()
     }

@@ -21,7 +21,7 @@ impl Gaussian {
     ///
     /// Returns an error if `std_dev` is not strictly positive or not finite.
     pub fn new(mean: f64, std_dev: f64) -> Result<Self, ProbError> {
-        if !(std_dev > 0.0) || !std_dev.is_finite() || !mean.is_finite() {
+        if std_dev <= 0.0 || !std_dev.is_finite() || !mean.is_finite() {
             return Err(ProbError::NonPositiveParameter {
                 distribution: "Gaussian",
                 parameter: "std_dev",

@@ -24,7 +24,7 @@ pub mod gaussian;
 pub mod special;
 pub mod zipf;
 
-pub use bernoulli::{BernoulliVector, Bernoulli};
+pub use bernoulli::{Bernoulli, BernoulliVector};
 pub use categorical::Categorical;
 pub use dirichlet::Dirichlet;
 pub use divergence::{

@@ -27,7 +27,7 @@ impl Zipf {
                 reason: "need at least one rank",
             });
         }
-        if !(s > 0.0) || !s.is_finite() {
+        if s <= 0.0 || !s.is_finite() {
             return Err(ProbError::NonPositiveParameter {
                 distribution: "Zipf",
                 parameter: "s",
@@ -123,7 +123,11 @@ mod tests {
             }
         }
         // The top-10 ranks should hold well over a third of the mass.
-        assert!(head as f64 / n as f64 > 0.35, "head mass = {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.35,
+            "head mass = {}",
+            head as f64 / n as f64
+        );
         let idx = z.sample_index(&mut rng);
         assert!(idx < 1000);
     }

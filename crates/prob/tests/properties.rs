@@ -2,8 +2,8 @@
 
 use dhmm_linalg::Matrix;
 use dhmm_prob::divergence::{
-    bhattacharyya_coefficient, bhattacharyya_distance, entropy, hellinger_distance,
-    js_divergence, kl_divergence, mean_pairwise_bhattacharyya,
+    bhattacharyya_coefficient, bhattacharyya_distance, entropy, hellinger_distance, js_divergence,
+    kl_divergence, mean_pairwise_bhattacharyya,
 };
 use dhmm_prob::special::{digamma, ln_gamma};
 use dhmm_prob::{Categorical, Dirichlet, Gaussian, Zipf};

@@ -11,8 +11,8 @@
 //! cargo run --release --example diversity_analysis
 //! ```
 
-use dhmm::core::{AscentConfig, TransitionObjective};
 use dhmm::core::transition_update::maximize_transition_objective;
+use dhmm::core::{AscentConfig, TransitionObjective};
 use dhmm::dpp::{log_det_kernel, sample_k_dpp, ProductKernel};
 use dhmm::linalg::Matrix;
 use dhmm::prob::{entropy, mean_pairwise_bhattacharyya};
@@ -42,9 +42,8 @@ fn main() {
     println!("alpha   diversity   log det K   mean row entropy");
     for alpha in [0.0, 1.0, 10.0, 50.0, 200.0] {
         let objective = TransitionObjective::unsupervised(counts.clone(), alpha, kernel);
-        let diversified =
-            maximize_transition_objective(&objective, &mle, &AscentConfig::default())
-                .expect("ascent succeeds");
+        let diversified = maximize_transition_objective(&objective, &mle, &AscentConfig::default())
+            .expect("ascent succeeds");
         let mean_entropy: f64 = (0..diversified.rows())
             .map(|i| entropy(diversified.row(i)))
             .sum::<f64>()

@@ -80,7 +80,9 @@ fn main() {
                     BernoulliEmission::uniform(NUM_LETTERS, GLYPH_DIM).expect("emission"),
                 )
                 .expect("training failed");
-            let pred = model.decode_all(&test.observations()).expect("decoding failed");
+            let pred = model
+                .decode_all(&test.observations())
+                .expect("decoding failed");
             scores.push(plain_accuracy(&pred, &gold).expect("accuracy"));
         }
     }

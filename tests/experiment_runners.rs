@@ -43,7 +43,10 @@ fn every_ocr_experiment_runner_executes() {
 
     let fig10 = ocr::run_alpha_sweep(Scale::Quick, 9).expect("fig10");
     assert!(fig10.points.iter().any(|p| p.alpha == 0.0));
-    assert!(fig10.points.iter().all(|p| (0.0..=1.0).contains(&p.accuracy_mean)));
+    assert!(fig10
+        .points
+        .iter()
+        .all(|p| (0.0..=1.0).contains(&p.accuracy_mean)));
 
     let fig11 = ocr::run_fig11(Scale::Quick, 10).expect("fig11");
     assert_eq!(fig11.classifiers.len(), 4);

@@ -95,7 +95,10 @@ fn supervised_models_beat_chance_and_naive_bayes_on_held_out_words() {
         assert!(acc <= 1.0);
     }
     assert!(hmm_acc >= nb_acc - 0.05, "HMM {hmm_acc} vs NB {nb_acc}");
-    assert!(dhmm_acc >= hmm_acc - 0.05, "dHMM {dhmm_acc} vs HMM {hmm_acc}");
+    assert!(
+        dhmm_acc >= hmm_acc - 0.05,
+        "dHMM {dhmm_acc} vs HMM {hmm_acc}"
+    );
 }
 
 #[test]
@@ -115,6 +118,10 @@ fn diversified_refinement_respects_the_anchor() {
         .expect("training");
     // With alpha_A = 1e5 the refined matrix stays close to the counts while
     // being at least as diverse.
-    assert!(report.drift_from_anchor < 0.05, "drift {}", report.drift_from_anchor);
+    assert!(
+        report.drift_from_anchor < 0.05,
+        "drift {}",
+        report.drift_from_anchor
+    );
     assert!(report.final_diversity >= report.anchor_diversity - 1e-6);
 }

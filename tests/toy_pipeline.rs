@@ -120,6 +120,11 @@ fn map_em_objective_is_monotone_through_the_facade() {
         .fit_gaussian(&data.corpus.observations(), 5, &mut fit_rng)
         .expect("training");
     for w in report.fit.objective_history.windows(2) {
-        assert!(w[1] >= w[0] - 1e-4, "objective decreased: {} -> {}", w[0], w[1]);
+        assert!(
+            w[1] >= w[0] - 1e-4,
+            "objective decreased: {} -> {}",
+            w[0],
+            w[1]
+        );
     }
 }

@@ -1,0 +1,317 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion 0.5 API used by the workspace's
+//! benches: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is intentionally simple — a warm-up pass followed by
+//! `sample_size` timed iterations, reporting the mean wall-clock time per
+//! iteration. `cargo bench -- --test` runs every benchmark body exactly once
+//! (criterion's smoke-test mode), which is what CI uses to keep bench targets
+//! compiling and executable without paying for full measurement.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration from the last `iter` call.
+    last_mean_ns: f64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run the body once, no timing (`cargo bench -- --test`).
+    Test,
+    /// Warm up, then time `sample_size` iterations.
+    Measure,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.last_mean_ns = 0.0;
+            }
+            Mode::Measure => {
+                // One warm-up call, then timed samples.
+                black_box(routine());
+                let start = Instant::now();
+                for _ in 0..self.sample_size {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                self.last_mean_ns = elapsed.as_nanos() as f64 / self.sample_size as f64;
+            }
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark registry and runner, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    mode: Mode,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            mode: Mode::Measure,
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; this stub keys effort off
+    /// `sample_size` alone.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Applies harness CLI arguments (`cargo bench -- --test`, name filters).
+    pub fn configure_from_args(&mut self) {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.mode = Mode::Test,
+                // Flags cargo's bench harness protocol may pass; ignored.
+                "--bench" | "--nocapture" | "--quiet" | "-q" | "--exact" | "--list" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--profile-time"
+                | "--sample-size" | "--warm-up-time" | "--measurement-time" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with('-') => {}
+                other => self.filter = Some(other.to_owned()),
+            }
+        }
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size: self.sample_size,
+            last_mean_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Test => println!("test {id} ... ok"),
+            Mode::Measure => println!(
+                "{id:<50} time: {} ({} samples)",
+                format_time(bencher.last_mean_ns),
+                self.sample_size
+            ),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Final reporting hook (no-op in this stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the group's sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting no-op in this stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            criterion.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0usize;
+        c.bench_function("counter", |b| b.iter(|| calls += 1));
+        // Warm-up + samples ran at least once each.
+        assert!(calls >= 4, "expected >= 4 calls, got {calls}");
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let data = vec![1.0f64, 2.0, 3.0];
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| {
+                seen = d.len();
+                d.iter().sum::<f64>()
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+        assert_eq!(BenchmarkId::from_parameter("k5_T50").id, "k5_T50");
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert_eq!(format_time(12.0), "12.0 ns");
+        assert_eq!(format_time(1_500.0), "1.50 µs");
+        assert_eq!(format_time(2_000_000.0), "2.00 ms");
+        assert_eq!(format_time(3_000_000_000.0), "3.000 s");
+    }
+}
