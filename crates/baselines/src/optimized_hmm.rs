@@ -16,8 +16,9 @@
 use dhmm_hmm::emission::{BernoulliEmission, Emission};
 use dhmm_hmm::model::Hmm;
 use dhmm_hmm::supervised::supervised_estimate;
-use dhmm_hmm::HmmError;
+use dhmm_hmm::{HmmError, InferenceBackend, InferenceWorkspace};
 use dhmm_linalg::Matrix;
+use rand::Rng;
 
 /// Configuration of the Optimized HMM baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +31,9 @@ pub struct OptimizedHmmConfig {
     /// Weight applied to the emission log-likelihood during decoding
     /// (1.0 = standard Viterbi).
     pub emission_weight: f64,
+    /// Inference engine used for decoding (scaled workspace engine by
+    /// default).
+    pub backend: InferenceBackend,
 }
 
 impl Default for OptimizedHmmConfig {
@@ -38,7 +42,45 @@ impl Default for OptimizedHmmConfig {
             transition_smoothing: 0.5,
             unigram_backoff: 0.1,
             emission_weight: 0.3,
+            backend: InferenceBackend::default(),
         }
+    }
+}
+
+/// A Bernoulli emission whose log-likelihood is scaled by a constant weight
+/// `w`: `log b'_i(y) = w · log b_i(y)` (equivalently `b'_i(y) = b_i(y)^w`).
+/// This is exactly the Krevat–Cuzzillo de-emphasis trick expressed as an
+/// [`Emission`], which lets the baseline reuse the shared Viterbi engines
+/// instead of carrying its own decoder.
+#[derive(Debug, Clone)]
+struct WeightedBernoulli {
+    inner: BernoulliEmission,
+    weight: f64,
+}
+
+impl Emission for WeightedBernoulli {
+    type Obs = Vec<bool>;
+
+    fn num_states(&self) -> usize {
+        self.inner.num_states()
+    }
+
+    fn log_prob(&self, state: usize, obs: &Vec<bool>) -> f64 {
+        self.weight * self.inner.log_prob(state, obs)
+    }
+
+    fn reestimate(
+        &mut self,
+        _sequences: &[Vec<Vec<bool>>],
+        _gammas: &[Matrix],
+    ) -> Result<(), HmmError> {
+        Err(HmmError::InvalidParameters {
+            reason: "weighted decoding emissions are fixed at fit time".into(),
+        })
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> Vec<bool> {
+        self.inner.sample(state, rng)
     }
 }
 
@@ -47,6 +89,9 @@ impl Default for OptimizedHmmConfig {
 #[derive(Debug, Clone)]
 pub struct OptimizedHmm {
     model: Hmm<BernoulliEmission>,
+    /// The same `(π, A)` with the emission log-likelihood pre-weighted, so
+    /// decoding is a plain Viterbi call on the shared engines.
+    decoder: Hmm<WeightedBernoulli>,
     config: OptimizedHmmConfig,
 }
 
@@ -82,7 +127,19 @@ impl OptimizedHmm {
             });
             model.set_transition(blended)?;
         }
-        Ok(Self { model, config })
+        let decoder = Hmm::new(
+            model.initial().to_vec(),
+            model.transition().clone(),
+            WeightedBernoulli {
+                inner: model.emission().clone(),
+                weight: config.emission_weight,
+            },
+        )?;
+        Ok(Self {
+            model,
+            decoder,
+            config,
+        })
     }
 
     /// The underlying HMM.
@@ -96,59 +153,27 @@ impl OptimizedHmm {
     }
 
     /// Viterbi decoding with the emission log-likelihood scaled by
-    /// `emission_weight`.
+    /// `emission_weight`, dispatched to the engine selected at fit time.
     pub fn decode(&self, observations: &[Vec<bool>]) -> Result<Vec<usize>, HmmError> {
-        if observations.is_empty() {
-            return Err(HmmError::InvalidData {
-                reason: "cannot decode an empty sequence".into(),
-            });
-        }
-        let k = self.model.num_states();
-        let w = self.config.emission_weight;
-        let floor = 1e-300_f64;
-        let log_pi: Vec<f64> = self
-            .model
-            .initial()
-            .iter()
-            .map(|&p| p.max(floor).ln())
-            .collect();
-        let log_a: Vec<Vec<f64>> = (0..k)
-            .map(|i| {
-                (0..k)
-                    .map(|j| self.model.transition()[(i, j)].max(floor).ln())
-                    .collect()
-            })
-            .collect();
+        self.decode_with(observations, &mut InferenceWorkspace::new())
+    }
 
-        let t_len = observations.len();
-        let mut delta = vec![vec![f64::NEG_INFINITY; k]; t_len];
-        let mut psi = vec![vec![0usize; k]; t_len];
-        for j in 0..k {
-            delta[0][j] = log_pi[j] + w * self.model.emission().log_prob(j, &observations[0]);
-        }
-        for t in 1..t_len {
-            for j in 0..k {
-                let mut best = f64::NEG_INFINITY;
-                let mut best_i = 0;
-                for i in 0..k {
-                    let s = delta[t - 1][i] + log_a[i][j];
-                    if s > best {
-                        best = s;
-                        best_i = i;
-                    }
-                }
-                delta[t][j] = best + w * self.model.emission().log_prob(j, &observations[t]);
-                psi[t][j] = best_i;
-            }
-        }
-        let mut state = dhmm_linalg::argmax(&delta[t_len - 1]).unwrap_or(0);
-        let mut path = vec![0usize; t_len];
-        path[t_len - 1] = state;
-        for t in (0..t_len - 1).rev() {
-            state = psi[t + 1][state];
-            path[t] = state;
-        }
-        Ok(path)
+    /// Like [`OptimizedHmm::decode`] but reusing a caller-provided workspace.
+    pub fn decode_with(
+        &self,
+        observations: &[Vec<bool>],
+        ws: &mut InferenceWorkspace,
+    ) -> Result<Vec<usize>, HmmError> {
+        self.config.backend.viterbi(&self.decoder, observations, ws)
+    }
+
+    /// Decodes every sequence in a set, sharing one workspace.
+    pub fn decode_all(&self, sequences: &[Vec<Vec<bool>>]) -> Result<Vec<Vec<usize>>, HmmError> {
+        let mut ws = InferenceWorkspace::new();
+        sequences
+            .iter()
+            .map(|s| self.decode_with(s, &mut ws))
+            .collect()
     }
 }
 
@@ -230,6 +255,34 @@ mod tests {
         }
         assert!(correct as f64 / total as f64 > 0.5);
         assert!(opt.decode(&[]).is_err());
+    }
+
+    #[test]
+    fn scaled_and_reference_decoders_agree() {
+        let data = small_ocr();
+        let scaled = OptimizedHmm::fit(
+            &data.corpus.sequences,
+            26,
+            128,
+            OptimizedHmmConfig::default(),
+        )
+        .unwrap();
+        let reference = OptimizedHmm::fit(
+            &data.corpus.sequences,
+            26,
+            128,
+            OptimizedHmmConfig {
+                backend: InferenceBackend::LogReference,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (_, images) in data.corpus.sequences.iter().take(30) {
+            assert_eq!(
+                scaled.decode(images).unwrap(),
+                reference.decode(images).unwrap()
+            );
+        }
     }
 
     #[test]

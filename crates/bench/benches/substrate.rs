@@ -5,11 +5,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dhmm_dpp::{grad_log_det_kernel, log_det_kernel, ProductKernel};
 use dhmm_eval::hungarian_max;
-use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::emission::{DiscreteEmission, GaussianEmission};
 use dhmm_hmm::forward_backward::forward_backward;
 use dhmm_hmm::init::{random_parameters, random_stochastic_matrix, InitStrategy};
 use dhmm_hmm::model::Hmm;
 use dhmm_hmm::viterbi::viterbi;
+use dhmm_hmm::{forward_backward_scaled, viterbi_scaled, InferenceWorkspace};
 use dhmm_linalg::{project_to_simplex, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +52,103 @@ fn bench_viterbi(c: &mut Criterion) {
         let seq: Vec<usize> = (0..t).map(|_| rng.gen_range(0..40)).collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("k{k}_T{t}")),
+            &seq,
+            |b, seq| b.iter(|| viterbi(black_box(&model), black_box(seq)).expect("viterbi")),
+        );
+    }
+    group.finish();
+}
+
+/// Head-to-head: the scaled-space workspace engine vs the log-domain
+/// reference, across state counts and sequence lengths, on the discrete
+/// substrate both engines share with the PoS workload.
+fn bench_scaled_vs_log_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaled_vs_log/forward_backward");
+    for &(k, t) in &[(4usize, 128usize), (16, 128), (16, 512), (32, 512)] {
+        let model = random_hmm(k, 40, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let seq: Vec<usize> = (0..t).map(|_| rng.gen_range(0..40)).collect();
+        let mut ws = InferenceWorkspace::new();
+        // Size the workspace outside the timed region so the measurement is
+        // pure steady-state (the one-time resize is the cost being deleted).
+        forward_backward_scaled(&model, &seq, &mut ws).expect("warm-up");
+        group.bench_with_input(
+            BenchmarkId::new("scaled", format!("k{k}_T{t}")),
+            &seq,
+            |b, seq| {
+                b.iter(|| {
+                    forward_backward_scaled(black_box(&model), black_box(seq), &mut ws)
+                        .expect("scaled fb")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("log", format!("k{k}_T{t}")),
+            &seq,
+            |b, seq| b.iter(|| forward_backward(black_box(&model), black_box(seq)).expect("fb")),
+        );
+    }
+    group.finish();
+}
+
+/// The same head-to-head on the toy workload's Gaussian emissions at the
+/// acceptance point (N = 16 states, T = 512).
+fn bench_scaled_vs_log_toy_gaussian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaled_vs_log/toy_gaussian");
+    for &(k, t) in &[(5usize, 128usize), (16, 512)] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (pi, a) =
+            random_parameters(k, InitStrategy::Dirichlet { concentration: 2.0 }, &mut rng)
+                .expect("valid parameters");
+        let means: Vec<f64> = (0..k).map(|i| 1.0 + i as f64).collect();
+        let stds = vec![0.5; k];
+        let model = Hmm::new(pi, a, GaussianEmission::new(means, stds).expect("valid"))
+            .expect("valid model");
+        let seq: Vec<f64> = (0..t)
+            .map(|_| rng.gen_range(0.0..(k as f64 + 1.0)))
+            .collect();
+        let mut ws = InferenceWorkspace::new();
+        forward_backward_scaled(&model, &seq, &mut ws).expect("warm-up");
+        group.bench_with_input(
+            BenchmarkId::new("scaled", format!("k{k}_T{t}")),
+            &seq,
+            |b, seq| {
+                b.iter(|| {
+                    forward_backward_scaled(black_box(&model), black_box(seq), &mut ws)
+                        .expect("scaled fb")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("log", format!("k{k}_T{t}")),
+            &seq,
+            |b, seq| b.iter(|| forward_backward(black_box(&model), black_box(seq)).expect("fb")),
+        );
+    }
+    group.finish();
+}
+
+/// Scaled vs log Viterbi decoding at the same operating points.
+fn bench_scaled_vs_log_viterbi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaled_vs_log/viterbi");
+    for &(k, t) in &[(16usize, 512usize), (32, 512)] {
+        let model = random_hmm(k, 40, 14);
+        let mut rng = StdRng::seed_from_u64(15);
+        let seq: Vec<usize> = (0..t).map(|_| rng.gen_range(0..40)).collect();
+        let mut ws = InferenceWorkspace::new();
+        viterbi_scaled(&model, &seq, &mut ws).expect("warm-up");
+        group.bench_with_input(
+            BenchmarkId::new("scaled", format!("k{k}_T{t}")),
+            &seq,
+            |b, seq| {
+                b.iter(|| {
+                    viterbi_scaled(black_box(&model), black_box(seq), &mut ws)
+                        .expect("scaled viterbi")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("log", format!("k{k}_T{t}")),
             &seq,
             |b, seq| b.iter(|| viterbi(black_box(&model), black_box(seq)).expect("viterbi")),
         );
@@ -100,6 +198,8 @@ fn bench_hungarian(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_forward_backward, bench_viterbi, bench_dpp_prior, bench_simplex_projection, bench_hungarian
+    targets = bench_forward_backward, bench_viterbi, bench_scaled_vs_log_forward_backward,
+        bench_scaled_vs_log_toy_gaussian, bench_scaled_vs_log_viterbi, bench_dpp_prior,
+        bench_simplex_projection, bench_hungarian
 }
 criterion_main!(benches);

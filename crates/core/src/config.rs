@@ -2,6 +2,7 @@
 
 use crate::error::DhmmError;
 use dhmm_dpp::ProductKernel;
+pub use dhmm_hmm::InferenceBackend;
 
 /// Configuration of the projected-gradient ascent used to maximize the
 /// penalized transition objective (the paper's Algorithm 1).
@@ -72,6 +73,12 @@ pub struct DiversifiedConfig {
     pub em_tolerance: f64,
     /// Projected-gradient ascent settings for the transition M-step.
     pub ascent: AscentConfig,
+    /// Inference engine for the E-step and for trainer-level decoding via
+    /// [`crate::unsupervised::DiversifiedHmm::decode_all`] (scaled workspace
+    /// engine by default; `LogReference` forces the log-domain oracle).
+    /// Note `Hmm::decode`/`decode_all` on the model itself always use the
+    /// scaled default.
+    pub backend: InferenceBackend,
 }
 
 impl Default for DiversifiedConfig {
@@ -82,6 +89,7 @@ impl Default for DiversifiedConfig {
             max_em_iterations: 100,
             em_tolerance: 1e-6,
             ascent: AscentConfig::default(),
+            backend: InferenceBackend::default(),
         }
     }
 }
@@ -132,6 +140,9 @@ pub struct SupervisedConfig {
     pub pseudo_count: f64,
     /// Projected-gradient ascent settings.
     pub ascent: AscentConfig,
+    /// Inference engine used when decoding unlabeled sequences (scaled
+    /// workspace engine by default).
+    pub backend: InferenceBackend,
 }
 
 impl Default for SupervisedConfig {
@@ -142,6 +153,7 @@ impl Default for SupervisedConfig {
             rho: ProductKernel::DEFAULT_RHO,
             pseudo_count: 0.1,
             ascent: AscentConfig::default(),
+            backend: InferenceBackend::default(),
         }
     }
 }

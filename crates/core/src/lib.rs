@@ -46,7 +46,7 @@ pub mod supervised;
 pub mod transition_update;
 pub mod unsupervised;
 
-pub use config::{AscentConfig, DiversifiedConfig, SupervisedConfig};
+pub use config::{AscentConfig, DiversifiedConfig, InferenceBackend, SupervisedConfig};
 pub use error::DhmmError;
 pub use supervised::{SupervisedDiversifiedHmm, SupervisedFitReport};
 pub use transition_update::{DppTransitionUpdater, TransitionObjective};

@@ -20,6 +20,7 @@ use dhmm_dpp::log_det_kernel;
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
 use dhmm_hmm::supervised::supervised_estimate;
+use dhmm_hmm::InferenceWorkspace;
 use dhmm_linalg::Matrix;
 use dhmm_prob::mean_pairwise_bhattacharyya;
 
@@ -101,6 +102,25 @@ impl SupervisedDiversifiedHmm {
             anchor_transition: anchor,
         };
         Ok((model, report))
+    }
+
+    /// Viterbi-decodes every sequence with the engine selected by
+    /// `config.backend`, sharing one inference workspace across the set.
+    pub fn decode_all<E: Emission>(
+        &self,
+        model: &Hmm<E>,
+        sequences: &[Vec<E::Obs>],
+    ) -> Result<Vec<Vec<usize>>, DhmmError> {
+        let mut ws = InferenceWorkspace::new();
+        sequences
+            .iter()
+            .map(|s| {
+                self.config
+                    .backend
+                    .viterbi(model, s, &mut ws)
+                    .map_err(DhmmError::from)
+            })
+            .collect()
     }
 }
 
@@ -191,6 +211,38 @@ mod tests {
             .fit(&data, DiscreteEmission::uniform(2, 2).unwrap())
             .unwrap();
         assert!(loose_report.drift_from_anchor >= tight_report.drift_from_anchor - 1e-9);
+    }
+
+    #[test]
+    fn decode_all_backends_agree() {
+        use crate::config::InferenceBackend;
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = generate(
+            &OcrConfig {
+                num_words: 80,
+                ..OcrConfig::default()
+            },
+            &mut rng,
+        );
+        let scaled_trainer = SupervisedDiversifiedHmm::new(SupervisedConfig::default());
+        let reference_trainer = SupervisedDiversifiedHmm::new(SupervisedConfig {
+            backend: InferenceBackend::LogReference,
+            ..SupervisedConfig::default()
+        });
+        let emission = BernoulliEmission::uniform(26, 128).unwrap();
+        let (model, _) = scaled_trainer
+            .fit(&data.corpus.sequences, emission)
+            .unwrap();
+        let images: Vec<Vec<Vec<bool>>> = data
+            .corpus
+            .sequences
+            .iter()
+            .take(20)
+            .map(|(_, obs)| obs.clone())
+            .collect();
+        let scaled_paths = scaled_trainer.decode_all(&model, &images).unwrap();
+        let reference_paths = reference_trainer.decode_all(&model, &images).unwrap();
+        assert_eq!(scaled_paths, reference_paths);
     }
 
     #[test]

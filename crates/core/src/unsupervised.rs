@@ -14,6 +14,7 @@ use dhmm_hmm::baum_welch::{BaumWelch, BaumWelchConfig, FitResult};
 use dhmm_hmm::emission::{DiscreteEmission, Emission, GaussianEmission};
 use dhmm_hmm::init::{random_parameters, random_stochastic_matrix, InitStrategy};
 use dhmm_hmm::model::Hmm;
+use dhmm_hmm::InferenceWorkspace;
 use dhmm_prob::mean_pairwise_bhattacharyya;
 use rand::Rng;
 
@@ -64,6 +65,7 @@ impl DiversifiedHmm {
             max_iterations: self.config.max_em_iterations,
             tolerance: self.config.em_tolerance,
             verbose: false,
+            backend: self.config.backend,
         });
         let fit = bw.fit_with_updater(model, sequences, &updater)?;
         let final_log_prior = if self.config.alpha > 0.0 {
@@ -136,6 +138,27 @@ impl DiversifiedHmm {
         let mut model = Hmm::new(pi, a, emission)?;
         let report = self.fit(&mut model, sequences)?;
         Ok((model, report))
+    }
+
+    /// Viterbi-decodes every sequence with the engine selected by
+    /// `config.backend`, sharing one inference workspace across the set.
+    /// (`Hmm::decode_all` always uses the scaled default; this is the
+    /// trainer-level entry point that honors an explicit backend choice.)
+    pub fn decode_all<E: Emission>(
+        &self,
+        model: &Hmm<E>,
+        sequences: &[Vec<E::Obs>],
+    ) -> Result<Vec<Vec<usize>>, DhmmError> {
+        let mut ws = InferenceWorkspace::new();
+        sequences
+            .iter()
+            .map(|s| {
+                self.config
+                    .backend
+                    .viterbi(model, s, &mut ws)
+                    .map_err(DhmmError::from)
+            })
+            .collect()
     }
 }
 

@@ -12,8 +12,10 @@
 
 use crate::emission::Emission;
 use crate::error::HmmError;
-use crate::forward_backward::{forward_backward, SequenceStats};
+use crate::forward_backward::SequenceStats;
 use crate::model::Hmm;
+use crate::scaled::InferenceBackend;
+use crate::workspace::WorkspacePool;
 use dhmm_linalg::Matrix;
 
 /// Strategy for re-estimating the transition matrix from the expected
@@ -61,6 +63,9 @@ pub struct BaumWelchConfig {
     pub tolerance: f64,
     /// Print nothing; kept for future verbosity hooks.
     pub verbose: bool,
+    /// Which inference engine runs the E-step (scaled workspace engine by
+    /// default; the log-domain reference is the debugging oracle).
+    pub backend: InferenceBackend,
 }
 
 impl Default for BaumWelchConfig {
@@ -69,6 +74,7 @@ impl Default for BaumWelchConfig {
             max_iterations: 100,
             tolerance: 1e-6,
             verbose: false,
+            backend: InferenceBackend::default(),
         }
     }
 }
@@ -161,12 +167,14 @@ impl BaumWelch {
         let mut log_likelihood_history = Vec::new();
         let mut converged = false;
         let mut iterations = 0;
+        // Per-thread inference buffers, allocated once for the whole EM run.
+        let mut pool = WorkspacePool::new();
 
         for _iter in 0..self.config.max_iterations {
             iterations += 1;
 
             // ---------------- E-step ----------------
-            let stats = e_step(model, sequences)?;
+            let stats = e_step_pooled(model, sequences, self.config.backend, &mut pool)?;
             let data_ll: f64 = stats.iter().map(|s| s.log_likelihood).sum();
 
             // ---------------- M-step ----------------
@@ -214,9 +222,40 @@ impl BaumWelch {
     }
 }
 
-/// Runs the E-step over all sequences, using scoped threads when the data is
-/// large enough to amortize the spawn cost.
+/// Runs the E-step over all sequences with the default (scaled) engine and a
+/// transient workspace pool.
 pub fn e_step<E>(model: &Hmm<E>, sequences: &[Vec<E::Obs>]) -> Result<Vec<SequenceStats>, HmmError>
+where
+    E: Emission + Sync,
+    E::Obs: Sync,
+{
+    e_step_with(model, sequences, InferenceBackend::default())
+}
+
+/// Runs the E-step over all sequences with an explicit inference engine.
+pub fn e_step_with<E>(
+    model: &Hmm<E>,
+    sequences: &[Vec<E::Obs>],
+    backend: InferenceBackend,
+) -> Result<Vec<SequenceStats>, HmmError>
+where
+    E: Emission + Sync,
+    E::Obs: Sync,
+{
+    e_step_pooled(model, sequences, backend, &mut WorkspacePool::new())
+}
+
+/// Runs the E-step over all sequences, using scoped threads when the data is
+/// large enough to amortize the spawn cost. Each worker thread draws its own
+/// [`crate::workspace::InferenceWorkspace`] from `pool`, so a pool kept alive
+/// across EM iterations (as [`BaumWelch::fit_with_updater`] does) makes every
+/// iteration after the first allocation-free inside the recursions.
+pub fn e_step_pooled<E>(
+    model: &Hmm<E>,
+    sequences: &[Vec<E::Obs>],
+    backend: InferenceBackend,
+    pool: &mut WorkspacePool,
+) -> Result<Vec<SequenceStats>, HmmError>
 where
     E: Emission + Sync,
     E::Obs: Sync,
@@ -226,28 +265,33 @@ where
         .map(|n| n.get())
         .unwrap_or(1);
     if threads <= 1 || sequences.len() < 8 || total_obs < 4_000 {
+        let ws = &mut pool.ensure(1)[0];
         return sequences
             .iter()
-            .map(|s| forward_backward(model, s))
+            .map(|s| backend.forward_backward(model, s, ws))
             .collect();
     }
 
     let chunk_size = sequences.len().div_ceil(threads);
+    let num_chunks = sequences.len().div_ceil(chunk_size);
+    let workspaces = pool.ensure(num_chunks);
     let mut results: Vec<Option<Result<Vec<SequenceStats>, HmmError>>> =
-        (0..sequences.len().div_ceil(chunk_size))
-            .map(|_| None)
-            .collect();
+        (0..num_chunks).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (chunk_idx, chunk) in sequences.chunks(chunk_size).enumerate() {
+        for ((chunk_idx, chunk), ws) in sequences
+            .chunks(chunk_size)
+            .enumerate()
+            .zip(workspaces.iter_mut())
+        {
             let model_ref = &*model;
             handles.push((
                 chunk_idx,
                 scope.spawn(move || {
                     chunk
                         .iter()
-                        .map(|s| forward_backward(model_ref, s))
+                        .map(|s| backend.forward_backward(model_ref, s, ws))
                         .collect::<Result<Vec<_>, _>>()
                 }),
             ));
@@ -309,7 +353,7 @@ mod tests {
         let bw = BaumWelch::new(BaumWelchConfig {
             max_iterations: 25,
             tolerance: 0.0,
-            verbose: false,
+            ..BaumWelchConfig::default()
         });
         let result = bw.fit(&mut m, &data).unwrap();
         for w in result.log_likelihood_history.windows(2) {
@@ -336,7 +380,7 @@ mod tests {
         let bw = BaumWelch::new(BaumWelchConfig {
             max_iterations: 30,
             tolerance: 1e-8,
-            verbose: false,
+            ..BaumWelchConfig::default()
         });
         let result = bw.fit(&mut m, &data).unwrap();
         assert!(result.final_log_likelihood() > initial_ll);
@@ -356,7 +400,7 @@ mod tests {
         let bw = BaumWelch::new(BaumWelchConfig {
             max_iterations: 200,
             tolerance: 1e-3,
-            verbose: false,
+            ..BaumWelchConfig::default()
         });
         let result = bw.fit(&mut m, &data).unwrap();
         assert!(result.converged);
@@ -383,7 +427,7 @@ mod tests {
         let bw = BaumWelch::new(BaumWelchConfig {
             max_iterations: 50,
             tolerance: 1e-8,
-            verbose: false,
+            ..BaumWelchConfig::default()
         });
         bw.fit(&mut m, &data).unwrap();
         let mut means = m.emission().means().to_vec();
@@ -411,7 +455,8 @@ mod tests {
     fn parallel_and_serial_e_step_agree() {
         let truth = ground_truth();
         let mut rng = StdRng::seed_from_u64(2);
-        // Enough data to trigger the parallel path.
+        // Enough data to trigger the parallel path. The serial side runs the
+        // log-domain reference, so this doubles as a backend parity check.
         let data: Vec<Vec<usize>> = generate_sequences(&truth, 200, 40, &mut rng)
             .unwrap()
             .into_iter()
@@ -420,7 +465,7 @@ mod tests {
         let parallel = e_step(&truth, &data).unwrap();
         let serial: Vec<SequenceStats> = data
             .iter()
-            .map(|s| forward_backward(&truth, s).unwrap())
+            .map(|s| crate::reference::forward_backward(&truth, s).unwrap())
             .collect();
         assert_eq!(parallel.len(), serial.len());
         for (p, s) in parallel.iter().zip(&serial) {
@@ -428,5 +473,43 @@ mod tests {
             assert!(p.gamma.approx_eq(&s.gamma, 1e-9));
             assert!(p.xi_sum.approx_eq(&s.xi_sum, 1e-9));
         }
+    }
+
+    #[test]
+    fn log_reference_backend_runs_the_oracle_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let data: Vec<Vec<usize>> = generate_sequences(&ground_truth(), 30, 10, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+        let mut scaled_model = random_model(9);
+        let mut reference_model = scaled_model.clone();
+        let scaled_fit = BaumWelch::new(BaumWelchConfig {
+            max_iterations: 10,
+            tolerance: 0.0,
+            backend: InferenceBackend::Scaled,
+            ..BaumWelchConfig::default()
+        })
+        .fit(&mut scaled_model, &data)
+        .unwrap();
+        let reference_fit = BaumWelch::new(BaumWelchConfig {
+            max_iterations: 10,
+            tolerance: 0.0,
+            backend: InferenceBackend::LogReference,
+            ..BaumWelchConfig::default()
+        })
+        .fit(&mut reference_model, &data)
+        .unwrap();
+        for (a, b) in scaled_fit
+            .log_likelihood_history
+            .iter()
+            .zip(&reference_fit.log_likelihood_history)
+        {
+            assert!((a - b).abs() < 1e-6, "EM traces diverged: {a} vs {b}");
+        }
+        assert!(scaled_model
+            .transition()
+            .approx_eq(reference_model.transition(), 1e-6));
     }
 }

@@ -55,6 +55,19 @@ pub trait Emission {
             *o = self.log_prob(i, obs);
         }
     }
+
+    /// Fills `out[i] = P(obs | state = i)` in the linear domain, the form the
+    /// scaled-space engine ([`crate::scaled`]) consumes. The default
+    /// implementation exponentiates [`Emission::log_prob`]; models that store
+    /// probabilities directly should override it to skip the `ln`/`exp`
+    /// round-trip. A row that underflows to all zeros is rescued by the
+    /// caller through shifted log-space, so implementations may return exact
+    /// zeros for impossible observations.
+    fn prob_all(&self, obs: &Self::Obs, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate().take(self.num_states()) {
+            *o = self.log_prob(i, obs).exp();
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -124,6 +137,21 @@ impl Emission for DiscreteEmission {
             p.ln()
         } else {
             PROB_FLOOR.ln()
+        }
+    }
+
+    fn prob_all(&self, obs: &usize, out: &mut [f64]) {
+        // Direct table lookups: no ln/exp round-trip. Mirrors `log_prob`:
+        // in-vocabulary zeros are floored (so log-likelihoods stay finite),
+        // out-of-vocabulary symbols are impossible under every state.
+        let k = self.num_states();
+        if *obs >= self.probs.cols() {
+            out[..k].fill(0.0);
+            return;
+        }
+        for (i, o) in out.iter_mut().enumerate().take(k) {
+            let p = self.probs[(i, *obs)];
+            *o = if p > 0.0 { p } else { PROB_FLOOR };
         }
     }
 

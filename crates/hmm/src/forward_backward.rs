@@ -13,6 +13,7 @@
 use crate::emission::Emission;
 use crate::error::HmmError;
 use crate::model::Hmm;
+use crate::util::finite_shift;
 use dhmm_linalg::Matrix;
 
 /// Sufficient statistics produced by one forward–backward pass over one
@@ -200,16 +201,6 @@ pub fn forward_backward_detailed<E: Emission>(
         beta,
         log_scales,
     })
-}
-
-/// Largest finite value in a log-probability vector, or 0.0 if none is finite.
-fn finite_shift(log_b: &[f64]) -> f64 {
-    let m = log_b.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if m.is_finite() {
-        m
-    } else {
-        0.0
-    }
 }
 
 #[cfg(test)]

@@ -10,8 +10,15 @@
 //!   generic over the emission model `B`,
 //! * [`emission`] — discrete (multinomial), Gaussian and Bernoulli-vector
 //!   (Naive-Bayes pixel) emission models, the three used in the paper,
-//! * [`forward_backward`] — the scaled forward–backward recursions (E-step),
-//! * [`viterbi`] — log-space Viterbi decoding (`max_X P(X, Y | λ)`),
+//! * [`scaled`] — the default scaled-space (Rabiner scaling-coefficient)
+//!   inference engine: linear-domain forward–backward and Viterbi writing
+//!   into a reusable [`workspace::InferenceWorkspace`],
+//! * [`workspace`] — preallocated inference buffers, reused across sequences
+//!   and EM iterations (one per thread in the parallel E-step),
+//! * [`reference`] — the original log-domain engine, kept as the numerical
+//!   oracle the scaled engine is equivalence-tested against,
+//! * [`forward_backward`] / [`viterbi`] — the reference implementations
+//!   themselves (E-step recursions and log-space decoding),
 //! * [`baum_welch`] — the EM (Baum–Welch) trainer with a pluggable
 //!   transition-matrix updater so that the diversified M-step of the dHMM
 //!   can be slotted in without re-implementing the rest of EM,
@@ -29,11 +36,16 @@ pub mod forward_backward;
 pub mod generate;
 pub mod init;
 pub mod model;
+pub mod reference;
+pub mod scaled;
 pub mod supervised;
+pub mod util;
 pub mod viterbi;
+pub mod workspace;
 
 pub use baum_welch::{
-    BaumWelch, BaumWelchConfig, FitResult, MleTransitionUpdater, TransitionUpdater,
+    e_step, e_step_with, BaumWelch, BaumWelchConfig, FitResult, MleTransitionUpdater,
+    TransitionUpdater,
 };
 pub use emission::{BernoulliEmission, DiscreteEmission, Emission, GaussianEmission};
 pub use error::HmmError;
@@ -41,5 +53,10 @@ pub use forward_backward::{forward_backward, ForwardBackward, SequenceStats};
 pub use generate::generate_sequences;
 pub use init::{random_parameters, InitStrategy};
 pub use model::Hmm;
+pub use scaled::{
+    forward_backward_scaled, log_likelihood_scaled, viterbi_scaled, viterbi_scaled_with_score,
+    InferenceBackend,
+};
 pub use supervised::{supervised_estimate, SupervisedCounts};
 pub use viterbi::viterbi;
+pub use workspace::{InferenceWorkspace, WorkspacePool};

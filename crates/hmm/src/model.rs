@@ -144,29 +144,58 @@ impl<E: Emission> Hmm<E> {
     }
 
     /// Marginal log-likelihood `log P(Y | λ)` of one observation sequence,
-    /// computed with the scaled forward pass.
+    /// computed with the scaled forward pass (forward recursion only).
     pub fn log_likelihood(&self, observations: &[E::Obs]) -> Result<f64, HmmError> {
-        let stats = crate::forward_backward::forward_backward(self, observations)?;
-        Ok(stats.log_likelihood)
+        self.log_likelihood_with(
+            observations,
+            &mut crate::workspace::InferenceWorkspace::new(),
+        )
+    }
+
+    /// Like [`Hmm::log_likelihood`] but reusing a caller-provided workspace —
+    /// the allocation-free path for repeated evaluation.
+    pub fn log_likelihood_with(
+        &self,
+        observations: &[E::Obs],
+        ws: &mut crate::workspace::InferenceWorkspace,
+    ) -> Result<f64, HmmError> {
+        crate::scaled::log_likelihood_scaled(self, observations, ws)
     }
 
     /// Total marginal log-likelihood over a set of sequences.
     pub fn total_log_likelihood(&self, sequences: &[Vec<E::Obs>]) -> Result<f64, HmmError> {
+        let mut ws = crate::workspace::InferenceWorkspace::new();
         let mut total = 0.0;
         for seq in sequences {
-            total += self.log_likelihood(seq)?;
+            total += self.log_likelihood_with(seq, &mut ws)?;
         }
         Ok(total)
     }
 
-    /// Most likely hidden state sequence (Viterbi decoding).
+    /// Most likely hidden state sequence (scaled-space Viterbi decoding).
     pub fn decode(&self, observations: &[E::Obs]) -> Result<Vec<usize>, HmmError> {
-        crate::viterbi::viterbi(self, observations)
+        self.decode_with(
+            observations,
+            &mut crate::workspace::InferenceWorkspace::new(),
+        )
     }
 
-    /// Decodes every sequence in a set.
+    /// Like [`Hmm::decode`] but reusing a caller-provided workspace.
+    pub fn decode_with(
+        &self,
+        observations: &[E::Obs],
+        ws: &mut crate::workspace::InferenceWorkspace,
+    ) -> Result<Vec<usize>, HmmError> {
+        crate::scaled::viterbi_scaled(self, observations, ws)
+    }
+
+    /// Decodes every sequence in a set, sharing one workspace across calls.
     pub fn decode_all(&self, sequences: &[Vec<E::Obs>]) -> Result<Vec<Vec<usize>>, HmmError> {
-        sequences.iter().map(|s| self.decode(s)).collect()
+        let mut ws = crate::workspace::InferenceWorkspace::new();
+        sequences
+            .iter()
+            .map(|s| self.decode_with(s, &mut ws))
+            .collect()
     }
 }
 

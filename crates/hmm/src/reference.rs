@@ -1,0 +1,19 @@
+//! The log-domain reference engine — the numerical oracle for
+//! [`crate::scaled`].
+//!
+//! These are the original implementations this crate shipped with: the
+//! per-call-allocating forward–backward of [`crate::forward_backward`] and
+//! the log-space Viterbi of [`crate::viterbi`]. They stay available behind
+//! this module (and behind
+//! [`InferenceBackend::LogReference`](crate::scaled::InferenceBackend)) so
+//! that
+//!
+//! * the equivalence property suite can pin the scaled engine to them at
+//!   1e-9, and
+//! * any suspicious result from the fast path can be re-run through the
+//!   slow, simple oracle with one config change.
+
+pub use crate::forward_backward::{
+    forward_backward, forward_backward_detailed, ForwardBackward, SequenceStats,
+};
+pub use crate::viterbi::{viterbi, viterbi_with_score};

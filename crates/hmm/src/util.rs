@@ -1,0 +1,38 @@
+//! Small numeric guards shared by the inference engines.
+//!
+//! Both the log-domain reference engine ([`crate::forward_backward`]) and the
+//! scaled-space engine ([`crate::scaled`]) need the same underflow guard when
+//! a time step's emission likelihoods are too small for a plain `f64`: shift
+//! the log-probabilities by their largest finite value before exponentiating,
+//! and undo the shift in the per-step log scaling constant.
+
+/// Largest finite value in a log-probability vector, or 0.0 if none is finite.
+///
+/// Subtracting this shift before exponentiating keeps at least one entry at
+/// `exp(0) = 1`, so the per-step normalizer cannot underflow unless every
+/// state assigns the observation probability zero.
+pub fn finite_shift(log_b: &[f64]) -> f64 {
+    let m = log_b.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_finite() {
+        m
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_largest_finite_value() {
+        assert_eq!(finite_shift(&[-5.0, -2.0, -9.0]), -2.0);
+        assert_eq!(finite_shift(&[f64::NEG_INFINITY, -3.0]), -3.0);
+    }
+
+    #[test]
+    fn defaults_to_zero_when_nothing_is_finite() {
+        assert_eq!(finite_shift(&[]), 0.0);
+        assert_eq!(finite_shift(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), 0.0);
+    }
+}

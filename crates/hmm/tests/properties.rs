@@ -1,11 +1,14 @@
 //! Property-based and cross-module tests for the HMM crate.
 
-use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::emission::{DiscreteEmission, GaussianEmission};
 use dhmm_hmm::forward_backward::forward_backward;
 use dhmm_hmm::generate::generate_sequences;
 use dhmm_hmm::init::random_stochastic_matrix;
 use dhmm_hmm::viterbi::viterbi_with_score;
-use dhmm_hmm::{BaumWelch, BaumWelchConfig, Hmm};
+use dhmm_hmm::{
+    forward_backward_scaled, log_likelihood_scaled, reference, viterbi_scaled_with_score,
+    BaumWelch, BaumWelchConfig, Hmm, InferenceWorkspace,
+};
 use dhmm_linalg::Matrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -90,12 +93,127 @@ proptest! {
             .map(|s| s.observations)
             .collect();
         let mut model = random_hmm(3, 4, seed.wrapping_add(1));
-        let bw = BaumWelch::new(BaumWelchConfig { max_iterations: 10, tolerance: 0.0, verbose: false });
+        let bw = BaumWelch::new(BaumWelchConfig { max_iterations: 10, tolerance: 0.0, ..BaumWelchConfig::default() });
         let result = bw.fit(&mut model, &data).unwrap();
         for w in result.log_likelihood_history.windows(2) {
             prop_assert!(w[1] >= w[0] - 1e-6, "EM decreased the likelihood: {} -> {}", w[0], w[1]);
         }
         prop_assert!(model.transition().is_row_stochastic(1e-6));
+    }
+}
+
+/// Builds a random Gaussian-emission HMM with `k` states from a seed.
+fn random_gaussian_hmm(k: usize, seed: u64) -> Hmm<GaussianEmission> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (pi, a) = dhmm_hmm::init::random_parameters(
+        k,
+        dhmm_hmm::init::InitStrategy::Dirichlet { concentration: 2.0 },
+        &mut rng,
+    )
+    .unwrap();
+    let (means, stds) =
+        dhmm_hmm::init::random_gaussian_emission(k, 0.0, 3.0, 1.0, &mut rng).unwrap();
+    Hmm::new(pi, a, GaussianEmission::new(means, stds).unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- Scaled-engine equivalence suite: the scaled-space engine must ----
+    // ---- match the log-domain reference to 1e-9 on random problems.    ----
+
+    #[test]
+    fn scaled_forward_backward_matches_reference_discrete(
+        k in 2usize..8, v in 2usize..10, seed in 0u64..1000, len in 1usize..40
+    ) {
+        let model = random_hmm(k, v, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(13));
+        let seq: Vec<usize> = (0..len).map(|_| {
+            use rand::Rng;
+            rng.gen_range(0..v)
+        }).collect();
+        let mut ws = InferenceWorkspace::new();
+        let scaled = forward_backward_scaled(&model, &seq, &mut ws).unwrap();
+        let oracle = reference::forward_backward(&model, &seq).unwrap();
+        prop_assert!((scaled.log_likelihood - oracle.log_likelihood).abs() < 1e-9,
+            "ll {} vs {}", scaled.log_likelihood, oracle.log_likelihood);
+        prop_assert!(scaled.gamma.approx_eq(&oracle.gamma, 1e-9));
+        prop_assert!(scaled.xi_sum.approx_eq(&oracle.xi_sum, 1e-9));
+        // The forward-only likelihood agrees too.
+        let ll = log_likelihood_scaled(&model, &seq, &mut ws).unwrap();
+        prop_assert!((ll - oracle.log_likelihood).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_forward_backward_matches_reference_gaussian(
+        k in 2usize..6, seed in 0u64..1000, len in 1usize..40
+    ) {
+        let model = random_gaussian_hmm(k, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(29));
+        let seq: Vec<f64> = (0..len).map(|_| {
+            use rand::Rng;
+            rng.gen_range(-6.0..6.0)
+        }).collect();
+        let mut ws = InferenceWorkspace::new();
+        let scaled = forward_backward_scaled(&model, &seq, &mut ws).unwrap();
+        let oracle = reference::forward_backward(&model, &seq).unwrap();
+        prop_assert!((scaled.log_likelihood - oracle.log_likelihood).abs() < 1e-9);
+        prop_assert!(scaled.gamma.approx_eq(&oracle.gamma, 1e-9));
+        prop_assert!(scaled.xi_sum.approx_eq(&oracle.xi_sum, 1e-9));
+    }
+
+    #[test]
+    fn scaled_viterbi_matches_reference(
+        k in 2usize..8, v in 2usize..8, seed in 0u64..1000, len in 1usize..40
+    ) {
+        let model = random_hmm(k, v, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(41));
+        let seq: Vec<usize> = (0..len).map(|_| {
+            use rand::Rng;
+            rng.gen_range(0..v)
+        }).collect();
+        let mut ws = InferenceWorkspace::new();
+        let (scaled_path, scaled_score) =
+            viterbi_scaled_with_score(&model, &seq, &mut ws).unwrap();
+        let (oracle_path, oracle_score) = reference::viterbi_with_score(&model, &seq).unwrap();
+        // The optimal score must agree to 1e-9, and each engine's path must
+        // actually achieve its reported score. The paths themselves may
+        // differ only on exactly co-optimal ties (rounding flips the argmax
+        // between the linear and log domains in ~0.1% of random problems),
+        // so path equality is asserted through the joint likelihood.
+        prop_assert!((scaled_score - oracle_score).abs() < 1e-9,
+            "score {} vs {}", scaled_score, oracle_score);
+        let scaled_joint = model.joint_log_likelihood(&scaled_path, &seq).unwrap();
+        let oracle_joint = model.joint_log_likelihood(&oracle_path, &seq).unwrap();
+        prop_assert!((scaled_joint - oracle_joint).abs() < 1e-9,
+            "scaled path joint {} vs oracle path joint {}", scaled_joint, oracle_joint);
+        prop_assert!((scaled_joint - scaled_score).abs() < 1e-7,
+            "scaled path joint {} does not achieve its score {}", scaled_joint, scaled_score);
+    }
+
+    #[test]
+    fn workspace_reuse_across_mixed_shapes_is_safe(
+        seed in 0u64..200
+    ) {
+        // One workspace serves models and sequences of different shapes in
+        // arbitrary order; stale buffer contents must never leak through.
+        let mut ws = InferenceWorkspace::new();
+        for (i, &(k, v, len)) in [(6usize, 8usize, 24usize), (2, 3, 1), (4, 5, 17)]
+            .iter()
+            .enumerate()
+        {
+            let model = random_hmm(k, v, seed.wrapping_add(i as u64));
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(100 + i as u64));
+            let seq: Vec<usize> = (0..len).map(|_| {
+                use rand::Rng;
+                rng.gen_range(0..v)
+            }).collect();
+            let scaled = forward_backward_scaled(&model, &seq, &mut ws).unwrap();
+            let oracle = reference::forward_backward(&model, &seq).unwrap();
+            prop_assert!((scaled.log_likelihood - oracle.log_likelihood).abs() < 1e-9);
+            prop_assert!(scaled.gamma.approx_eq(&oracle.gamma, 1e-9));
+            prop_assert!(scaled.xi_sum.approx_eq(&oracle.xi_sum, 1e-9));
+        }
     }
 }
 
@@ -121,7 +239,7 @@ fn em_recovers_strongly_identifiable_model() {
     let bw = BaumWelch::new(BaumWelchConfig {
         max_iterations: 80,
         tolerance: 1e-9,
-        verbose: false,
+        ..BaumWelchConfig::default()
     });
     bw.fit(&mut model, &data).unwrap();
 
@@ -162,7 +280,7 @@ fn supervised_and_unsupervised_agree_on_easy_data() {
     let bw = BaumWelch::new(BaumWelchConfig {
         max_iterations: 60,
         tolerance: 1e-9,
-        verbose: false,
+        ..BaumWelchConfig::default()
     });
     bw.fit(&mut unsup_model, &observations).unwrap();
 

@@ -1,0 +1,96 @@
+//! Workspace-level backend parity: a full toy-pipeline EM run (data
+//! generation → training → decoding → Hungarian evaluation) must produce the
+//! same accuracies and likelihood traces whether the E-step runs on the
+//! scaled-space engine or the log-domain reference oracle.
+//!
+//! Exercises only the public facade API, like the other pipeline tests.
+
+use dhmm::core::{AscentConfig, DiversifiedConfig, DiversifiedHmm, InferenceBackend};
+use dhmm::data::toy::{generate, ToyConfig};
+use dhmm::eval::accuracy::one_to_one_accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(alpha: f64, backend: InferenceBackend) -> DiversifiedConfig {
+    DiversifiedConfig {
+        alpha,
+        // Fixed iteration budget (tolerance 0) so both runs produce
+        // traces of identical length.
+        max_em_iterations: 12,
+        em_tolerance: 0.0,
+        ascent: AscentConfig {
+            max_iterations: 15,
+            ..AscentConfig::default()
+        },
+        backend,
+        ..DiversifiedConfig::default()
+    }
+}
+
+fn run_pipeline(alpha: f64, backend: InferenceBackend) -> (Vec<f64>, f64) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let data = generate(
+        &ToyConfig {
+            num_sequences: 120,
+            ..ToyConfig::default()
+        },
+        &mut rng,
+    );
+    let observations = data.corpus.observations();
+    let gold = data.corpus.labels();
+
+    let mut fit_rng = StdRng::seed_from_u64(7);
+    let trainer = DiversifiedHmm::new(config(alpha, backend));
+    let (model, report) = trainer
+        .fit_gaussian(&observations, 5, &mut fit_rng)
+        .expect("training succeeds");
+    // Decode through the trainer so the configured backend drives the
+    // Viterbi pass too (Hmm::decode_all always uses the scaled default).
+    let predicted = trainer
+        .decode_all(&model, &observations)
+        .expect("decoding succeeds");
+    let (accuracy, _) = one_to_one_accuracy(&predicted, &gold).expect("evaluation succeeds");
+    (report.fit.log_likelihood_history, accuracy)
+}
+
+#[test]
+fn plain_hmm_em_backends_agree_end_to_end() {
+    let (scaled_trace, scaled_acc) = run_pipeline(0.0, InferenceBackend::Scaled);
+    let (reference_trace, reference_acc) = run_pipeline(0.0, InferenceBackend::LogReference);
+
+    assert_eq!(scaled_trace.len(), reference_trace.len());
+    for (i, (s, r)) in scaled_trace.iter().zip(&reference_trace).enumerate() {
+        let rel = (s - r).abs() / (r.abs() + 1e-12);
+        assert!(
+            rel < 1e-9,
+            "iteration {i}: scaled ll {s} vs reference ll {r} (rel {rel})"
+        );
+    }
+    assert_eq!(
+        scaled_acc, reference_acc,
+        "decoded accuracies diverged: {scaled_acc} vs {reference_acc}"
+    );
+}
+
+#[test]
+fn diversified_em_backends_agree_end_to_end() {
+    let (scaled_trace, scaled_acc) = run_pipeline(1.0, InferenceBackend::Scaled);
+    let (reference_trace, reference_acc) = run_pipeline(1.0, InferenceBackend::LogReference);
+
+    assert_eq!(scaled_trace.len(), reference_trace.len());
+    // The DPP transition M-step runs a backtracking line search whose
+    // branch decisions can amplify last-ulp E-step differences, so the
+    // trace tolerance is looser than in the alpha = 0 case — but the two
+    // runs must still land on the same answer.
+    for (i, (s, r)) in scaled_trace.iter().zip(&reference_trace).enumerate() {
+        let rel = (s - r).abs() / (r.abs() + 1e-12);
+        assert!(
+            rel < 1e-6,
+            "iteration {i}: scaled ll {s} vs reference ll {r} (rel {rel})"
+        );
+    }
+    assert_eq!(
+        scaled_acc, reference_acc,
+        "decoded accuracies diverged: {scaled_acc} vs {reference_acc}"
+    );
+}
