@@ -33,7 +33,7 @@ fn bench_ablation_rho(c: &mut Criterion) {
     println!("\n[ablation_rho] final diversity of the diversified M-step for different kernel exponents:");
     for &rho in &[0.25, 0.5, 1.0] {
         let kernel = ProductKernel::new(rho).expect("valid rho");
-        let objective = TransitionObjective::unsupervised(counts.clone(), 20.0, kernel);
+        let objective = TransitionObjective::unsupervised(&counts, 20.0, kernel);
         let result = maximize_transition_objective(&objective, &start, &AscentConfig::default())
             .expect("ascent");
         println!(
@@ -59,7 +59,7 @@ fn bench_ablation_step_size(c: &mut Criterion) {
     let counts = collapsed_counts(5);
     let start = start_matrix(5);
     let kernel = ProductKernel::bhattacharyya();
-    let objective = TransitionObjective::unsupervised(counts, 20.0, kernel);
+    let objective = TransitionObjective::unsupervised(&counts, 20.0, kernel);
     let configs = [
         (
             "backtracking",

@@ -3,8 +3,11 @@
 //! projection and the Hungarian alignment.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dhmm_dpp::{grad_log_det_kernel, log_det_kernel, ProductKernel};
+use dhmm_core::transition_update::{DppTransitionUpdater, TransitionObjective};
+use dhmm_core::{AscentConfig, MStepBackend};
+use dhmm_dpp::{grad_log_det_kernel, log_det_kernel, MStepWorkspace, ProductKernel};
 use dhmm_eval::hungarian_max;
+use dhmm_hmm::baum_welch::TransitionUpdater;
 use dhmm_hmm::emission::{DiscreteEmission, GaussianEmission};
 use dhmm_hmm::forward_backward::forward_backward;
 use dhmm_hmm::init::{random_parameters, random_stochastic_matrix, InitStrategy};
@@ -171,6 +174,75 @@ fn bench_dpp_prior(c: &mut Criterion) {
     group.finish();
 }
 
+/// Head-to-head on the diversified M-step: the fused zero-allocation engine
+/// vs the scalar reference paths it is oracle-pinned against, at the
+/// objective-value, gradient and full-`update` granularities.
+fn bench_dpp_mstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpp_mstep");
+    group.sample_size(10);
+    let kernel = ProductKernel::bhattacharyya();
+    for &k in &[4usize, 8, 16, 32, 64] {
+        let a = random_stochastic(k, 21);
+        let counts = {
+            let mut rng = StdRng::seed_from_u64(22);
+            Matrix::from_fn(k, k, |_, _| rng.gen_range(5.0..50.0))
+        };
+        let fused = TransitionObjective::unsupervised(&counts, 10.0, kernel);
+        let reference = fused.clone().with_backend(MStepBackend::ScalarReference);
+        let mut ws = MStepWorkspace::new();
+        let mut grad = Matrix::zeros(k, k);
+        fused.value_with(&a, &mut ws).expect("warm-up");
+
+        group.bench_with_input(BenchmarkId::new("value_fused", k), &a, |b, a| {
+            b.iter(|| fused.value_with(black_box(a), &mut ws).expect("value"))
+        });
+        group.bench_with_input(BenchmarkId::new("value_reference", k), &a, |b, a| {
+            b.iter(|| reference.value(black_box(a)).expect("value"))
+        });
+        group.bench_with_input(BenchmarkId::new("gradient_fused", k), &a, |b, a| {
+            b.iter(|| {
+                fused
+                    .gradient_with(black_box(a), &mut ws, &mut grad)
+                    .expect("gradient")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gradient_reference", k), &a, |b, a| {
+            b.iter(|| {
+                reference
+                    .reference_gradient(black_box(a))
+                    .expect("gradient")
+            })
+        });
+
+        // Full update: a complete Algorithm-1 M-step (warm-start evaluation,
+        // projected-gradient ascent with backtracking) per engine. Bounded
+        // ascent iterations keep the reference side affordable at k = 64.
+        let ascent = AscentConfig {
+            max_iterations: 15,
+            ..AscentConfig::default()
+        };
+        let fused_updater = DppTransitionUpdater::new(10.0, kernel, ascent);
+        let reference_updater = DppTransitionUpdater::new(10.0, kernel, ascent)
+            .with_backend(MStepBackend::ScalarReference);
+        let uniform = Matrix::filled(k, k, 1.0 / k as f64);
+        group.bench_with_input(BenchmarkId::new("update_fused", k), &counts, |b, xi| {
+            b.iter(|| {
+                fused_updater
+                    .update(black_box(xi), black_box(&uniform))
+                    .expect("update")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("update_reference", k), &counts, |b, xi| {
+            b.iter(|| {
+                reference_updater
+                    .update(black_box(xi), black_box(&uniform))
+                    .expect("update")
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_simplex_projection(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex_projection");
     for &n in &[5usize, 26, 128] {
@@ -200,6 +272,6 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_forward_backward, bench_viterbi, bench_scaled_vs_log_forward_backward,
         bench_scaled_vs_log_toy_gaussian, bench_scaled_vs_log_viterbi, bench_dpp_prior,
-        bench_simplex_projection, bench_hungarian
+        bench_dpp_mstep, bench_simplex_projection, bench_hungarian
 }
 criterion_main!(benches);

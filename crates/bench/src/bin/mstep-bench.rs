@@ -1,0 +1,173 @@
+//! Machine-readable M-step benchmark: times the fused engine against the
+//! scalar reference at the value / gradient / full-`update` granularities
+//! and writes `BENCH_mstep.json`, so the repository's perf trajectory is
+//! recorded in a diffable artifact rather than scattered bench logs.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dhmm_bench --bin mstep-bench [-- OUTPUT.json]
+//! ```
+
+use dhmm_core::transition_update::{DppTransitionUpdater, TransitionObjective};
+use dhmm_core::{AscentConfig, MStepBackend};
+use dhmm_dpp::{MStepWorkspace, ProductKernel};
+use dhmm_hmm::baum_welch::TransitionUpdater;
+use dhmm_hmm::init::random_stochastic_matrix;
+use dhmm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 5] = [4, 8, 16, 32, 64];
+const ALPHA: f64 = 10.0;
+
+/// Times `f` adaptively: enough iterations to cover ~200 ms of wall clock
+/// (at least 5), returning mean nanoseconds per call.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warm-up: sizes workspaces and warms caches outside the measurement.
+    f();
+    let probe = Instant::now();
+    f();
+    let per_call = probe.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.2 / per_call) as usize).clamp(5, 1_000_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+struct Row {
+    op: &'static str,
+    k: usize,
+    fused_ns: f64,
+    reference_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.fused_ns
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_mstep.json".to_string());
+    let kernel = ProductKernel::bhattacharyya();
+    let ascent = AscentConfig {
+        max_iterations: 15,
+        ..AscentConfig::default()
+    };
+    let mut rows = Vec::new();
+
+    for &k in &SIZES {
+        let mut rng = StdRng::seed_from_u64(97);
+        let a = random_stochastic_matrix(k, k, 1.0, &mut rng).expect("valid matrix");
+        let counts = Matrix::from_fn(k, k, |_, _| rng.gen_range(5.0..50.0));
+        let fused = TransitionObjective::unsupervised(&counts, ALPHA, kernel);
+        let reference = fused.clone().with_backend(MStepBackend::ScalarReference);
+        let mut ws = MStepWorkspace::new();
+        let mut grad = Matrix::zeros(k, k);
+
+        let value_fused = time_ns(|| {
+            black_box(fused.value_with(black_box(&a), &mut ws).expect("value"));
+        });
+        let value_reference = time_ns(|| {
+            black_box(reference.value(black_box(&a)).expect("value"));
+        });
+        rows.push(Row {
+            op: "value",
+            k,
+            fused_ns: value_fused,
+            reference_ns: value_reference,
+        });
+
+        let gradient_fused = time_ns(|| {
+            fused
+                .gradient_with(black_box(&a), &mut ws, &mut grad)
+                .expect("gradient");
+            black_box(&grad);
+        });
+        let gradient_reference = time_ns(|| {
+            black_box(
+                reference
+                    .reference_gradient(black_box(&a))
+                    .expect("gradient"),
+            );
+        });
+        rows.push(Row {
+            op: "gradient",
+            k,
+            fused_ns: gradient_fused,
+            reference_ns: gradient_reference,
+        });
+
+        let fused_updater = DppTransitionUpdater::new(ALPHA, kernel, ascent);
+        let reference_updater = DppTransitionUpdater::new(ALPHA, kernel, ascent)
+            .with_backend(MStepBackend::ScalarReference);
+        let uniform = Matrix::filled(k, k, 1.0 / k as f64);
+        let update_fused = time_ns(|| {
+            black_box(
+                fused_updater
+                    .update(black_box(&counts), black_box(&uniform))
+                    .expect("update"),
+            );
+        });
+        let update_reference = time_ns(|| {
+            black_box(
+                reference_updater
+                    .update(black_box(&counts), black_box(&uniform))
+                    .expect("update"),
+            );
+        });
+        rows.push(Row {
+            op: "update",
+            k,
+            fused_ns: update_fused,
+            reference_ns: update_reference,
+        });
+    }
+
+    println!("dpp_mstep: fused engine vs scalar reference (alpha = {ALPHA}, rho = 0.5)\n");
+    println!(
+        "{:<10} {:>4} {:>14} {:>14} {:>9}",
+        "op", "k", "fused", "reference", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>4} {:>12.1}us {:>12.1}us {:>8.1}x",
+            r.op,
+            r.k,
+            r.fused_ns / 1e3,
+            r.reference_ns / 1e3,
+            r.speedup()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"dpp_mstep\",\n");
+    json.push_str("  \"description\": \"Fused zero-allocation DPP M-step engine vs scalar reference; mean ns per call\",\n");
+    let _ = writeln!(json, "  \"alpha\": {ALPHA},");
+    json.push_str("  \"rho\": 0.5,\n");
+    json.push_str("  \"ascent_max_iterations\": 15,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"op\": \"{}\", \"k\": {}, \"fused_ns\": {:.0}, \"reference_ns\": {:.0}, \"speedup\": {:.2}}}",
+            r.op,
+            r.k,
+            r.fused_ns,
+            r.reference_ns,
+            r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&output, &json).expect("write benchmark JSON");
+    println!("\nwrote {output}");
+}

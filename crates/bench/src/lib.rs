@@ -1,7 +1,10 @@
 //! # dhmm-bench
 //!
-//! Criterion benchmarks for the dHMM reproduction. The crate has no library
-//! code of its own; see the `benches/` directory:
+//! Criterion benchmarks for the dHMM reproduction, plus the `mstep-bench`
+//! binary (`src/bin/mstep-bench.rs`) that times the fused M-step engine
+//! against the scalar reference and records the numbers in
+//! `BENCH_mstep.json` — the repository's machine-readable perf trajectory.
+//! The crate has no library code of its own; see the `benches/` directory:
 //!
 //! * `substrate` — microbenchmarks of forward–backward, Viterbi, the DPP
 //!   log-determinant/gradient, the simplex projection and the Hungarian

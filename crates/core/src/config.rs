@@ -4,6 +4,21 @@ use crate::error::DhmmError;
 use dhmm_dpp::ProductKernel;
 pub use dhmm_hmm::InferenceBackend;
 
+/// Which engine evaluates the DPP prior term and its gradient inside the
+/// transition M-step (the sibling of [`InferenceBackend`] for Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MStepBackend {
+    /// The fused zero-allocation engine: one elementwise power matrix per
+    /// iterate, GEMM-formulated kernel and gradient, and a single Cholesky
+    /// factorization serving both the log-determinant and the inverse.
+    #[default]
+    Fused,
+    /// The original scalar paths (`kernel.rs` / `gradient.rs`), kept
+    /// verbatim as the oracle the fused engine is equivalence-tested
+    /// against. Slow; for debugging and parity testing.
+    ScalarReference,
+}
+
 /// Configuration of the projected-gradient ascent used to maximize the
 /// penalized transition objective (the paper's Algorithm 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +94,9 @@ pub struct DiversifiedConfig {
     /// Note `Hmm::decode`/`decode_all` on the model itself always use the
     /// scaled default.
     pub backend: InferenceBackend,
+    /// Engine for the transition M-step's prior evaluation (fused workspace
+    /// engine by default; `ScalarReference` forces the scalar oracle).
+    pub mstep: MStepBackend,
 }
 
 impl Default for DiversifiedConfig {
@@ -90,6 +108,7 @@ impl Default for DiversifiedConfig {
             em_tolerance: 1e-6,
             ascent: AscentConfig::default(),
             backend: InferenceBackend::default(),
+            mstep: MStepBackend::default(),
         }
     }
 }
@@ -143,6 +162,9 @@ pub struct SupervisedConfig {
     /// Inference engine used when decoding unlabeled sequences (scaled
     /// workspace engine by default).
     pub backend: InferenceBackend,
+    /// Engine for the transition refinement's prior evaluation (fused
+    /// workspace engine by default).
+    pub mstep: MStepBackend,
 }
 
 impl Default for SupervisedConfig {
@@ -154,6 +176,7 @@ impl Default for SupervisedConfig {
             pseudo_count: 0.1,
             ascent: AscentConfig::default(),
             backend: InferenceBackend::default(),
+            mstep: MStepBackend::default(),
         }
     }
 }

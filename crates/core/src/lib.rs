@@ -46,8 +46,10 @@ pub mod supervised;
 pub mod transition_update;
 pub mod unsupervised;
 
-pub use config::{AscentConfig, DiversifiedConfig, InferenceBackend, SupervisedConfig};
+pub use config::{
+    AscentConfig, DiversifiedConfig, InferenceBackend, MStepBackend, SupervisedConfig,
+};
 pub use error::DhmmError;
 pub use supervised::{SupervisedDiversifiedHmm, SupervisedFitReport};
-pub use transition_update::{DppTransitionUpdater, TransitionObjective};
+pub use transition_update::{AscentWorkspace, DppTransitionUpdater, TransitionObjective};
 pub use unsupervised::{DiversifiedFitReport, DiversifiedHmm};

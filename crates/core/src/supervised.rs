@@ -78,12 +78,13 @@ impl SupervisedDiversifiedHmm {
         // α = 0 the anchor itself is already the maximizer.
         let final_transition = if self.config.alpha > 0.0 {
             let objective = TransitionObjective::supervised(
-                counts.transition_counts.clone(),
+                &counts.transition_counts,
                 self.config.alpha,
                 kernel,
-                anchor.clone(),
+                &anchor,
                 self.config.alpha_anchor,
-            );
+            )
+            .with_backend(self.config.mstep);
             maximize_transition_objective(&objective, &anchor, &self.config.ascent)?
         } else {
             anchor.clone()

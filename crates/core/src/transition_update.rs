@@ -16,48 +16,65 @@
 //! backtracking line search — the paper only says "adaptive step"; DESIGN.md
 //! records this choice and the ablation bench compares it against a fixed
 //! step.
+//!
+//! Two engines evaluate the prior term, selected by
+//! [`MStepBackend`](crate::config::MStepBackend): the default **fused**
+//! engine (`dhmm_dpp`'s [`DppObjective`]) restructures `log det K̃_A` and its
+//! gradient around one power matrix, GEMMs, and a single shared Cholesky
+//! factorization, evaluating into a reusable [`AscentWorkspace`] so the
+//! whole ascent — candidates, gradients, projections, across backtracks and
+//! EM iterations — performs no allocation in steady state. The **scalar
+//! reference** engine keeps the original `kernel.rs`/`gradient.rs` paths
+//! verbatim as the oracle the fused engine is equivalence-tested against.
 
-use crate::config::AscentConfig;
+use crate::config::{AscentConfig, MStepBackend};
 use crate::error::DhmmError;
-use dhmm_dpp::{grad_log_det_kernel, log_det_kernel, ProductKernel};
+use dhmm_dpp::{grad_log_det_kernel, log_det_kernel, DppObjective, MStepWorkspace, ProductKernel};
 use dhmm_hmm::baum_welch::TransitionUpdater;
 use dhmm_hmm::HmmError;
-use dhmm_linalg::{project_row_stochastic, Matrix};
+use dhmm_linalg::{project_row_stochastic_with, Matrix};
+use std::cell::RefCell;
 
 /// Floor applied to transition probabilities inside logs and divisions.
 const PROB_FLOOR: f64 = 1e-12;
 
 /// The penalized transition objective `L_A` and its gradient.
+///
+/// Borrows the expected counts (and the optional anchor) instead of owning
+/// them, so building the objective each EM iteration copies nothing.
 #[derive(Debug, Clone)]
-pub struct TransitionObjective {
+pub struct TransitionObjective<'a> {
     /// Expected transition counts `ξ` (or hard counts in the supervised case).
-    pub counts: Matrix,
+    pub counts: &'a Matrix,
     /// Diversity weight `α`.
     pub alpha: f64,
     /// Product kernel defining `K̃_A`.
     pub kernel: ProductKernel,
     /// Optional anchor `(A0, α_A)` for the supervised objective.
-    pub anchor: Option<(Matrix, f64)>,
+    pub anchor: Option<(&'a Matrix, f64)>,
+    /// Engine evaluating the prior term and its gradient.
+    pub backend: MStepBackend,
 }
 
-impl TransitionObjective {
+impl<'a> TransitionObjective<'a> {
     /// Creates the unsupervised objective (no anchor term).
-    pub fn unsupervised(counts: Matrix, alpha: f64, kernel: ProductKernel) -> Self {
+    pub fn unsupervised(counts: &'a Matrix, alpha: f64, kernel: ProductKernel) -> Self {
         Self {
             counts,
             alpha,
             kernel,
             anchor: None,
+            backend: MStepBackend::default(),
         }
     }
 
     /// Creates the supervised objective with an anchor matrix `A0` and
     /// weight `α_A`.
     pub fn supervised(
-        counts: Matrix,
+        counts: &'a Matrix,
         alpha: f64,
         kernel: ProductKernel,
-        anchor: Matrix,
+        anchor: &'a Matrix,
         alpha_anchor: f64,
     ) -> Self {
         Self {
@@ -65,11 +82,19 @@ impl TransitionObjective {
             alpha,
             kernel,
             anchor: Some((anchor, alpha_anchor)),
+            backend: MStepBackend::default(),
         }
     }
 
-    /// Evaluates `L_A(a)`.
-    pub fn value(&self, a: &Matrix) -> Result<f64, DhmmError> {
+    /// Returns the objective with a different prior-evaluation engine.
+    pub fn with_backend(mut self, backend: MStepBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The data term `Σ_ij ξ_ij · log A_ij` (floored), shared by both
+    /// engines.
+    fn data_value(&self, a: &Matrix) -> f64 {
         let mut obj = 0.0;
         for i in 0..a.rows() {
             for j in 0..a.cols() {
@@ -79,18 +104,118 @@ impl TransitionObjective {
                 }
             }
         }
+        obj
+    }
+
+    /// Evaluates `L_A(a)` with a transient workspace. Prefer
+    /// [`Self::value_with`] inside loops.
+    pub fn value(&self, a: &Matrix) -> Result<f64, DhmmError> {
+        self.value_with(a, &mut MStepWorkspace::new())
+    }
+
+    /// Evaluates `L_A(a)`, reusing `ws` for the prior's intermediates.
+    pub fn value_with(&self, a: &Matrix, ws: &mut MStepWorkspace) -> Result<f64, DhmmError> {
+        let mut obj = self.data_value(a);
         if self.alpha > 0.0 {
-            obj += self.alpha * log_det_kernel(a, &self.kernel)?;
+            let log_det = match self.backend {
+                MStepBackend::Fused => DppObjective::new(self.kernel).log_det_with(a, ws)?,
+                MStepBackend::ScalarReference => log_det_kernel(a, &self.kernel)?,
+            };
+            obj += self.alpha * log_det;
         }
-        if let Some((a0, w)) = &self.anchor {
+        if let Some((a0, w)) = self.anchor {
             obj -= w * a.squared_distance(a0)?;
         }
         Ok(obj)
     }
 
     /// Evaluates `∇_A L_A(a)` (Eq. 15, plus the anchor term of Eq. 18 when
-    /// present).
+    /// present) with a transient workspace.
     pub fn gradient(&self, a: &Matrix) -> Result<Matrix, DhmmError> {
+        let mut out = Matrix::zeros(a.rows(), a.cols());
+        self.gradient_with(a, &mut MStepWorkspace::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Evaluates `∇_A L_A(a)` into `out`, reusing `ws`.
+    pub fn gradient_with(
+        &self,
+        a: &Matrix,
+        ws: &mut MStepWorkspace,
+        out: &mut Matrix,
+    ) -> Result<(), DhmmError> {
+        match self.backend {
+            MStepBackend::Fused => {
+                if self.alpha > 0.0 {
+                    DppObjective::new(self.kernel).grad_with(a, ws, out)?;
+                }
+                self.finish_gradient(a, out);
+                Ok(())
+            }
+            MStepBackend::ScalarReference => {
+                let reference = self.reference_gradient(a)?;
+                out.copy_from(&reference)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Fused value + gradient at the same iterate: with the fused engine the
+    /// prior's log-determinant and gradient come from one power matrix and
+    /// one Cholesky factorization. Returns `L_A(a)` and writes `∇L_A` into
+    /// `out`.
+    pub fn value_and_gradient_with(
+        &self,
+        a: &Matrix,
+        ws: &mut MStepWorkspace,
+        out: &mut Matrix,
+    ) -> Result<f64, DhmmError> {
+        match self.backend {
+            MStepBackend::Fused => {
+                let mut obj = self.data_value(a);
+                if self.alpha > 0.0 {
+                    let log_det =
+                        DppObjective::new(self.kernel).log_det_and_grad_with(a, ws, out)?;
+                    obj += self.alpha * log_det;
+                }
+                if let Some((a0, w)) = self.anchor {
+                    obj -= w * a.squared_distance(a0)?;
+                }
+                self.finish_gradient(a, out);
+                Ok(obj)
+            }
+            MStepBackend::ScalarReference => {
+                let value = self.value_with(a, ws)?;
+                self.gradient_with(a, ws, out)?;
+                Ok(value)
+            }
+        }
+    }
+
+    /// Turns the prior gradient already in `out` (or garbage when
+    /// `alpha == 0`) into the full objective gradient:
+    /// `α·∇prior + ξ/A + anchor term`.
+    fn finish_gradient(&self, a: &Matrix, out: &mut Matrix) {
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                let data = self.counts[(i, j)] / a[(i, j)].max(PROB_FLOOR);
+                let mut g = if self.alpha > 0.0 {
+                    self.alpha * out[(i, j)]
+                } else {
+                    0.0
+                };
+                g += data;
+                if let Some((a0, w)) = self.anchor {
+                    g -= 2.0 * w * (a[(i, j)] - a0[(i, j)]);
+                }
+                out[(i, j)] = g;
+            }
+        }
+    }
+
+    /// The scalar-reference evaluation of `∇_A L_A(a)` (the retained
+    /// oracle), allocating its result like the original implementation.
+    pub fn reference_gradient(&self, a: &Matrix) -> Result<Matrix, DhmmError> {
         let mut grad = Matrix::from_fn(a.rows(), a.cols(), |i, j| {
             self.counts[(i, j)] / a[(i, j)].max(PROB_FLOOR)
         });
@@ -98,7 +223,7 @@ impl TransitionObjective {
             let prior_grad = grad_log_det_kernel(a, &self.kernel)?;
             grad = &grad + &prior_grad.scale(self.alpha);
         }
-        if let Some((a0, w)) = &self.anchor {
+        if let Some((a0, w)) = self.anchor {
             let anchor_grad = &(a - a0) * (-2.0 * w);
             grad = &grad + &anchor_grad;
         }
@@ -107,30 +232,106 @@ impl TransitionObjective {
 
     /// Just the prior part `α·log det K̃_A` of the objective (used to monitor
     /// the MAP objective across EM iterations).
-    pub fn prior_value(&self, a: &Matrix) -> f64 {
+    ///
+    /// Propagates evaluation errors instead of collapsing them to
+    /// `NEG_INFINITY`: a caller maximizing a *negated* objective would
+    /// otherwise read a failed evaluation as an infinite reward.
+    pub fn prior_value(&self, a: &Matrix) -> Result<f64, DhmmError> {
         if self.alpha == 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
-        self.alpha * log_det_kernel(a, &self.kernel).unwrap_or(f64::NEG_INFINITY)
+        Ok(self.alpha * log_det_kernel(a, &self.kernel)?)
     }
+}
+
+/// Reusable buffers for [`maximize_transition_objective_with`]: the fused
+/// engine's [`MStepWorkspace`] plus the ascent's own candidate/gradient
+/// matrices and the simplex-projection scratch. Sized on first use and
+/// reused allocation-free while the problem shape is unchanged — i.e. for
+/// every backtrack, ascent iteration and EM iteration of a training run.
+#[derive(Debug, Clone)]
+pub struct AscentWorkspace {
+    dpp: MStepWorkspace,
+    grad: Matrix,
+    current: Matrix,
+    candidate: Matrix,
+    scratch: Vec<f64>,
+}
+
+impl Default for AscentWorkspace {
+    fn default() -> Self {
+        Self {
+            dpp: MStepWorkspace::new(),
+            grad: Matrix::zeros(0, 0),
+            current: Matrix::zeros(0, 0),
+            candidate: Matrix::zeros(0, 0),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl AscentWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, k: usize, d: usize) {
+        if self.grad.shape() != (k, d) {
+            self.grad = Matrix::zeros(k, d);
+            self.current = Matrix::zeros(k, d);
+            self.candidate = Matrix::zeros(k, d);
+        }
+    }
+}
+
+/// Runs the projected-gradient ascent of Algorithm 1 with a transient
+/// workspace. Prefer [`maximize_transition_objective_with`] when calling
+/// repeatedly (e.g. once per EM iteration).
+pub fn maximize_transition_objective(
+    objective: &TransitionObjective<'_>,
+    initial: &Matrix,
+    config: &AscentConfig,
+) -> Result<Matrix, DhmmError> {
+    maximize_transition_objective_with(objective, initial, config, &mut AscentWorkspace::new())
 }
 
 /// Runs the projected-gradient ascent of Algorithm 1, starting from
 /// `initial` (which is projected onto the simplex first) and returning the
-/// improved row-stochastic matrix.
-pub fn maximize_transition_objective(
-    objective: &TransitionObjective,
+/// improved row-stochastic matrix. All intermediates — candidate, gradient,
+/// kernel/factorization buffers, projection scratch — live in `ws`, so the
+/// loop allocates nothing beyond the returned matrix once the workspace is
+/// warm.
+pub fn maximize_transition_objective_with(
+    objective: &TransitionObjective<'_>,
     initial: &Matrix,
     config: &AscentConfig,
+    ws: &mut AscentWorkspace,
 ) -> Result<Matrix, DhmmError> {
     config.validate()?;
-    let mut current = initial.clone();
-    project_row_stochastic(&mut current);
-    let mut current_value = objective.value(&current)?;
+    let (k, d) = initial.shape();
+    ws.ensure(k, d);
+    let AscentWorkspace {
+        dpp,
+        grad,
+        current,
+        candidate,
+        scratch,
+    } = ws;
+
+    current.copy_from(initial)?;
+    project_row_stochastic_with(current, scratch);
+    // The starting iterate needs both the value and the gradient; the fused
+    // engine reads both off one factorization.
+    let mut current_value = objective.value_and_gradient_with(current, dpp, grad)?;
     let mut step = config.initial_step;
 
-    for _iter in 0..config.max_iterations {
-        let grad = objective.gradient(&current)?;
+    for iter in 0..config.max_iterations {
+        if iter > 0 {
+            // The value at `current` is already known from the accepting
+            // line-search step; only the gradient is new.
+            objective.gradient_with(current, dpp, grad)?;
+        }
         // Normalize the step by the gradient scale so the same initial step
         // size works across very different count magnitudes.
         let grad_scale = grad.max_abs().max(1e-12);
@@ -138,18 +339,25 @@ pub fn maximize_transition_objective(
         let mut improved = false;
         let mut trial_step = step;
         for _ in 0..=config.max_backtracks {
-            let mut candidate = &current + &grad.scale(trial_step / grad_scale);
-            project_row_stochastic(&mut candidate);
-            let candidate_value = objective.value(&candidate)?;
+            let scale = trial_step / grad_scale;
+            for (c, (&x, &g)) in candidate
+                .as_mut_slice()
+                .iter_mut()
+                .zip(current.as_slice().iter().zip(grad.as_slice()))
+            {
+                *c = x + g * scale;
+            }
+            project_row_stochastic_with(candidate, scratch);
+            let candidate_value = objective.value_with(candidate, dpp)?;
             if candidate_value > current_value {
                 let gain = candidate_value - current_value;
-                current = candidate;
+                std::mem::swap(current, candidate);
                 current_value = candidate_value;
                 improved = true;
                 // Be mildly greedy: grow the step after a successful move.
                 step = (trial_step / config.backtrack_factor).min(config.initial_step * 10.0);
                 if gain < config.tolerance {
-                    return Ok(current);
+                    return Ok(current.clone());
                 }
                 break;
             }
@@ -159,11 +367,13 @@ pub fn maximize_transition_objective(
             break;
         }
     }
-    Ok(current)
+    Ok(current.clone())
 }
 
 /// A [`TransitionUpdater`] implementing the diversified M-step, pluggable
-/// into [`dhmm_hmm::BaumWelch::fit_with_updater`].
+/// into [`dhmm_hmm::BaumWelch::fit_with_updater`]. Owns an
+/// [`AscentWorkspace`] that persists across EM iterations, so each M-step
+/// after the first runs allocation-free inside the ascent.
 #[derive(Debug, Clone)]
 pub struct DppTransitionUpdater {
     /// Diversity weight `α`.
@@ -172,30 +382,44 @@ pub struct DppTransitionUpdater {
     pub kernel: ProductKernel,
     /// Ascent configuration.
     pub ascent: AscentConfig,
+    /// Engine evaluating the prior term (fused by default).
+    pub backend: MStepBackend,
+    workspace: RefCell<AscentWorkspace>,
 }
 
 impl DppTransitionUpdater {
     /// Creates an updater with the given prior weight, kernel and ascent
-    /// settings.
+    /// settings, using the default (fused) M-step engine.
     pub fn new(alpha: f64, kernel: ProductKernel, ascent: AscentConfig) -> Self {
         Self {
             alpha,
             kernel,
             ascent,
+            backend: MStepBackend::default(),
+            workspace: RefCell::new(AscentWorkspace::new()),
         }
+    }
+
+    /// Returns the updater with a different M-step engine.
+    pub fn with_backend(mut self, backend: MStepBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
 impl TransitionUpdater for DppTransitionUpdater {
     fn update(&self, xi_sum: &Matrix, current: &Matrix) -> Result<Matrix, HmmError> {
         // α = 0 has the closed-form MLE solution (the paper's Eq. for A with
-        // α = 0); fall back to it for exactness and speed.
+        // α = 0); short-circuit to it for exactness and speed — no objective,
+        // no warm-start evaluations.
         if self.alpha == 0.0 {
             let mut a = xi_sum.map(|v| v + PROB_FLOOR);
             a.normalize_rows();
             return Ok(a);
         }
-        let objective = TransitionObjective::unsupervised(xi_sum.clone(), self.alpha, self.kernel);
+        let objective = TransitionObjective::unsupervised(xi_sum, self.alpha, self.kernel)
+            .with_backend(self.backend);
+        let mut ws = self.workspace.borrow_mut();
 
         // Candidate starting points for the ascent: the MLE solution, the
         // previous iterate, and a symmetry-broken perturbation of the MLE.
@@ -203,7 +427,8 @@ impl TransitionUpdater for DppTransitionUpdater {
         // identical (the collapsed regime the prior exists to escape): that
         // configuration is a stationary point of the ascent because the
         // gradient is then the same for every row, so without breaking the
-        // symmetry the update could never diversify the rows.
+        // symmetry the update could never diversify the rows. The candidates
+        // are evaluated in place — nothing is cloned to pick the winner.
         let mut mle = xi_sum.map(|v| v + PROB_FLOOR);
         mle.normalize_rows();
         let mut perturbed = Matrix::from_fn(mle.rows(), mle.cols(), |i, j| {
@@ -213,26 +438,39 @@ impl TransitionUpdater for DppTransitionUpdater {
                     + 0.005 * (i as f64 / mle.rows().max(1) as f64))
         });
         perturbed.normalize_rows();
-        let start = [&mle, current, &perturbed]
-            .into_iter()
-            .filter_map(|cand| objective.value(cand).ok().map(|v| (cand.clone(), v)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"))
-            .map(|(m, _)| m)
-            .unwrap_or(mle);
+        let mut start: &Matrix = &mle;
+        let mut best_value = f64::NEG_INFINITY;
+        for cand in [&mle, current, &perturbed] {
+            if let Ok(v) = objective.value_with(cand, &mut ws.dpp) {
+                if v > best_value {
+                    best_value = v;
+                    start = cand;
+                }
+            }
+        }
 
-        maximize_transition_objective(&objective, &start, &self.ascent).map_err(|e| {
+        maximize_transition_objective_with(&objective, start, &self.ascent, &mut ws).map_err(|e| {
             HmmError::InvalidParameters {
                 reason: format!("diversified transition update failed: {e}"),
             }
         })
     }
 
-    fn prior_objective(&self, a: &Matrix) -> f64 {
+    fn prior_objective(&self, a: &Matrix) -> Result<f64, HmmError> {
         if self.alpha == 0.0 {
-            0.0
-        } else {
-            self.alpha * log_det_kernel(a, &self.kernel).unwrap_or(f64::NEG_INFINITY)
+            return Ok(0.0);
         }
+        let log_det = match self.backend {
+            MStepBackend::Fused => {
+                let mut ws = self.workspace.borrow_mut();
+                DppObjective::new(self.kernel).log_det_with(a, &mut ws.dpp)
+            }
+            MStepBackend::ScalarReference => log_det_kernel(a, &self.kernel),
+        }
+        .map_err(|e| HmmError::InvalidParameters {
+            reason: format!("diversity prior evaluation failed: {e}"),
+        })?;
+        Ok(self.alpha * log_det)
     }
 }
 
@@ -259,33 +497,66 @@ mod tests {
             vec![0.3, 0.3, 0.4],
         ])
         .unwrap();
-        let obj0 = TransitionObjective::unsupervised(counts(), 0.0, kernel);
+        let c = counts();
+        let obj0 = TransitionObjective::unsupervised(&c, 0.0, kernel);
         let data_only = obj0.value(&a).unwrap();
         let expected: f64 = (0..3)
             .flat_map(|i| (0..3).map(move |j| (i, j)))
-            .map(|(i, j)| counts()[(i, j)] * a[(i, j)].ln())
+            .map(|(i, j)| c[(i, j)] * a[(i, j)].ln())
             .sum();
         assert!((data_only - expected).abs() < 1e-9);
-        assert_eq!(obj0.prior_value(&a), 0.0);
+        assert_eq!(obj0.prior_value(&a).unwrap(), 0.0);
 
-        let obj1 = TransitionObjective::unsupervised(counts(), 2.0, kernel);
+        let obj1 = TransitionObjective::unsupervised(&c, 2.0, kernel);
         let with_prior = obj1.value(&a).unwrap();
         let prior = 2.0 * log_det_kernel(&a, &kernel).unwrap();
         assert!((with_prior - data_only - prior).abs() < 1e-9);
-        assert!((obj1.prior_value(&a) - prior).abs() < 1e-9);
+        assert!((obj1.prior_value(&a).unwrap() - prior).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_and_reference_engines_agree_on_value_and_gradient() {
+        let kernel = ProductKernel::bhattacharyya();
+        let c = counts();
+        let a0 = Matrix::from_rows(&[
+            vec![0.5, 0.3, 0.2],
+            vec![0.3, 0.4, 0.3],
+            vec![0.2, 0.3, 0.5],
+        ])
+        .unwrap();
+        let a = Matrix::from_rows(&[
+            vec![0.45, 0.35, 0.2],
+            vec![0.25, 0.45, 0.3],
+            vec![0.3, 0.25, 0.45],
+        ])
+        .unwrap();
+        let fused = TransitionObjective::supervised(&c, 1.5, kernel, &a0, 3.0);
+        let reference = fused.clone().with_backend(MStepBackend::ScalarReference);
+        let vf = fused.value(&a).unwrap();
+        let vr = reference.value(&a).unwrap();
+        assert!((vf - vr).abs() / vr.abs().max(1.0) < 1e-12, "{vf} vs {vr}");
+        let gf = fused.gradient(&a).unwrap();
+        let gr = reference.gradient(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let rel = (gf[(i, j)] - gr[(i, j)]).abs() / gr[(i, j)].abs().max(1.0);
+                assert!(rel < 1e-10, "({i},{j}): {} vs {}", gf[(i, j)], gr[(i, j)]);
+            }
+        }
+        // The fused combined call agrees with its separate calls.
+        let mut ws = MStepWorkspace::new();
+        let mut g = Matrix::zeros(3, 3);
+        let v = fused.value_and_gradient_with(&a, &mut ws, &mut g).unwrap();
+        assert_eq!(v, vf);
+        assert!(g.approx_eq(&gf, 1e-12));
     }
 
     #[test]
     fn supervised_objective_penalizes_distance_from_anchor() {
         let kernel = ProductKernel::bhattacharyya();
         let a0 = Matrix::from_rows(&[vec![0.6, 0.4], vec![0.3, 0.7]]).unwrap();
-        let obj = TransitionObjective::supervised(
-            Matrix::filled(2, 2, 1.0),
-            0.0,
-            kernel,
-            a0.clone(),
-            10.0,
-        );
+        let ones = Matrix::filled(2, 2, 1.0);
+        let obj = TransitionObjective::supervised(&ones, 0.0, kernel, &a0, 10.0);
         let at_anchor = obj.value(&a0).unwrap();
         let away = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
         let away_value = obj.value(&away).unwrap();
@@ -295,13 +566,14 @@ mod tests {
     #[test]
     fn gradient_matches_finite_differences() {
         let kernel = ProductKernel::bhattacharyya();
+        let c = counts();
         let a0 = Matrix::from_rows(&[
             vec![0.5, 0.3, 0.2],
             vec![0.3, 0.4, 0.3],
             vec![0.2, 0.3, 0.5],
         ])
         .unwrap();
-        let obj = TransitionObjective::supervised(counts(), 1.5, kernel, a0.clone(), 3.0);
+        let obj = TransitionObjective::supervised(&c, 1.5, kernel, &a0, 3.0);
         let a = Matrix::from_rows(&[
             vec![0.45, 0.35, 0.2],
             vec![0.25, 0.45, 0.3],
@@ -331,14 +603,56 @@ mod tests {
     #[test]
     fn ascent_never_decreases_the_objective() {
         let kernel = ProductKernel::bhattacharyya();
-        let obj = TransitionObjective::unsupervised(counts(), 5.0, kernel);
-        let mut start = counts();
+        let c = counts();
+        for backend in [MStepBackend::Fused, MStepBackend::ScalarReference] {
+            let obj = TransitionObjective::unsupervised(&c, 5.0, kernel).with_backend(backend);
+            let mut start = c.clone();
+            start.normalize_rows();
+            let before = obj.value(&start).unwrap();
+            let result =
+                maximize_transition_objective(&obj, &start, &AscentConfig::default()).unwrap();
+            let after = obj.value(&result).unwrap();
+            assert!(after >= before - 1e-9, "{backend:?}: {after} < {before}");
+            assert!(result.is_row_stochastic(1e-8));
+        }
+    }
+
+    #[test]
+    fn engines_produce_matching_ascent_results() {
+        let kernel = ProductKernel::bhattacharyya();
+        let c = counts();
+        let mut start = c.clone();
         start.normalize_rows();
-        let before = obj.value(&start).unwrap();
-        let result = maximize_transition_objective(&obj, &start, &AscentConfig::default()).unwrap();
-        let after = obj.value(&result).unwrap();
-        assert!(after >= before - 1e-9, "{after} < {before}");
-        assert!(result.is_row_stochastic(1e-8));
+        let fused_obj = TransitionObjective::unsupervised(&c, 5.0, kernel);
+        let ref_obj = fused_obj
+            .clone()
+            .with_backend(MStepBackend::ScalarReference);
+        let fused =
+            maximize_transition_objective(&fused_obj, &start, &AscentConfig::default()).unwrap();
+        let reference =
+            maximize_transition_objective(&ref_obj, &start, &AscentConfig::default()).unwrap();
+        assert!(
+            fused.approx_eq(&reference, 1e-6),
+            "fused {fused} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_across_updates_is_safe() {
+        // The same updater (and thus the same persistent workspace) run on
+        // different shapes and repeated inputs must match fresh-workspace
+        // results exactly.
+        let kernel = ProductKernel::bhattacharyya();
+        let updater = DppTransitionUpdater::new(5.0, kernel, AscentConfig::default());
+        for k in [3usize, 2, 4, 3] {
+            let xi = Matrix::from_fn(k, k, |i, j| 10.0 + ((i * 3 + j) % 4) as f64);
+            let uniform = Matrix::filled(k, k, 1.0 / k as f64);
+            let reused = updater.update(&xi, &uniform).unwrap();
+            let fresh = DppTransitionUpdater::new(5.0, kernel, AscentConfig::default())
+                .update(&xi, &uniform)
+                .unwrap();
+            assert!(reused.approx_eq(&fresh, 0.0), "k={k}");
+        }
     }
 
     #[test]
@@ -352,27 +666,31 @@ mod tests {
         let mut expected = xi.clone();
         expected.normalize_rows();
         assert!(updated.approx_eq(&expected, 1e-6));
-        assert_eq!(updater.prior_objective(&updated), 0.0);
+        assert_eq!(updater.prior_objective(&updated).unwrap(), 0.0);
     }
 
     #[test]
     fn positive_alpha_increases_transition_diversity() {
         // Counts whose MLE rows are identical: the diversity prior must pull
-        // the rows apart.
+        // the rows apart — under either engine.
         let kernel = ProductKernel::bhattacharyya();
         let xi = Matrix::filled(3, 3, 10.0);
-        let mle_updater = DppTransitionUpdater::new(0.0, kernel, AscentConfig::default());
-        let dpp_updater = DppTransitionUpdater::new(50.0, kernel, AscentConfig::default());
         let uniform_start = Matrix::filled(3, 3, 1.0 / 3.0);
-        let mle = mle_updater.update(&xi, &uniform_start).unwrap();
-        let diversified = dpp_updater.update(&xi, &uniform_start).unwrap();
+        let mle = DppTransitionUpdater::new(0.0, kernel, AscentConfig::default())
+            .update(&xi, &uniform_start)
+            .unwrap();
         let d_mle = mean_pairwise_bhattacharyya(&mle);
-        let d_dpp = mean_pairwise_bhattacharyya(&diversified);
-        assert!(
-            d_dpp > d_mle + 1e-3,
-            "diversified {d_dpp} not more diverse than MLE {d_mle}"
-        );
-        assert!(diversified.is_row_stochastic(1e-8));
+        for backend in [MStepBackend::Fused, MStepBackend::ScalarReference] {
+            let dpp_updater = DppTransitionUpdater::new(50.0, kernel, AscentConfig::default())
+                .with_backend(backend);
+            let diversified = dpp_updater.update(&xi, &uniform_start).unwrap();
+            let d_dpp = mean_pairwise_bhattacharyya(&diversified);
+            assert!(
+                d_dpp > d_mle + 1e-3,
+                "{backend:?}: diversified {d_dpp} not more diverse than MLE {d_mle}"
+            );
+            assert!(diversified.is_row_stochastic(1e-8));
+        }
     }
 
     #[test]
@@ -400,7 +718,7 @@ mod tests {
         let a0 = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
         let counts = Matrix::from_rows(&[vec![7.0, 3.0], vec![2.0, 8.0]]).unwrap();
         // Huge anchor weight: the result should barely move from A0.
-        let obj = TransitionObjective::supervised(counts, 1.0, kernel, a0.clone(), 1e6);
+        let obj = TransitionObjective::supervised(&counts, 1.0, kernel, &a0, 1e6);
         let result = maximize_transition_objective(&obj, &a0, &AscentConfig::default()).unwrap();
         assert!(result.squared_distance(&a0).unwrap() < 1e-4);
     }
@@ -408,11 +726,25 @@ mod tests {
     #[test]
     fn invalid_ascent_config_is_rejected() {
         let kernel = ProductKernel::bhattacharyya();
-        let obj = TransitionObjective::unsupervised(counts(), 1.0, kernel);
+        let c = counts();
+        let obj = TransitionObjective::unsupervised(&c, 1.0, kernel);
         let bad = AscentConfig {
             initial_step: -1.0,
             ..AscentConfig::default()
         };
-        assert!(maximize_transition_objective(&obj, &counts(), &bad).is_err());
+        assert!(maximize_transition_objective(&obj, &c, &bad).is_err());
+    }
+
+    #[test]
+    fn prior_value_propagates_errors_instead_of_neg_infinity() {
+        let kernel = ProductKernel::bhattacharyya();
+        let c = counts();
+        let obj = TransitionObjective::unsupervised(&c, 1.0, kernel);
+        let mut bad = Matrix::filled(3, 3, 1.0 / 3.0);
+        bad[(0, 0)] = f64::NAN;
+        assert!(obj.prior_value(&bad).is_err());
+        // And so does the updater's prior objective hook.
+        let updater = DppTransitionUpdater::new(1.0, kernel, AscentConfig::default());
+        assert!(updater.prior_objective(&bad).is_err());
     }
 }

@@ -60,7 +60,8 @@ impl DiversifiedHmm {
         E::Obs: Sync,
     {
         let kernel = self.config.validate()?;
-        let updater = DppTransitionUpdater::new(self.config.alpha, kernel, self.config.ascent);
+        let updater = DppTransitionUpdater::new(self.config.alpha, kernel, self.config.ascent)
+            .with_backend(self.config.mstep);
         let bw = BaumWelch::new(BaumWelchConfig {
             max_iterations: self.config.max_em_iterations,
             tolerance: self.config.em_tolerance,

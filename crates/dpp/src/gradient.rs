@@ -16,8 +16,10 @@ use crate::logdet::log_det_psd;
 use dhmm_linalg::{lu, Matrix};
 
 /// Small positive floor applied to entries of `A` before exponentiating with
-/// `ρ − 1 < 0`, so the gradient stays finite at the simplex boundary.
-const ENTRY_FLOOR: f64 = 1e-12;
+/// `ρ − 1 < 0`, so the gradient stays finite at the simplex boundary. The
+/// fused engine in [`crate::objective`] uses the same floor so its gradient
+/// agrees with this reference path.
+pub(crate) const ENTRY_FLOOR: f64 = 1e-12;
 
 /// Computes `∇_A log det K̃_A` for a (row-stochastic or near-row-stochastic)
 /// matrix `a` under the given product kernel. Returns a matrix of the same

@@ -54,6 +54,61 @@ pub fn log_det_psd(m: &Matrix) -> Result<f64, DppError> {
     }
 }
 
+/// Workspace variant of [`log_det_psd`]: identical semantics (plain
+/// Cholesky, escalating jitter, LU fallback, large-negative floor) but the
+/// factorization is written into the caller-owned buffer `l` instead of
+/// allocating per attempt. `l` must have the same shape as `m`. Only the
+/// (rare) LU fallback allocates.
+///
+/// The Cholesky attempts use [`dhmm_linalg::factor_into`], whose arithmetic
+/// is entry-for-entry identical to [`Cholesky::new`], so this returns exactly
+/// the value [`log_det_psd`] returns for the same input.
+pub(crate) fn log_det_psd_prefactored(m: &Matrix, l: &mut Matrix) -> Result<f64, DppError> {
+    if !m.is_square() {
+        return Err(DppError::InvalidInput {
+            reason: format!("matrix is {:?}, expected square", m.shape()),
+        });
+    }
+    if m.is_empty() {
+        return Ok(0.0);
+    }
+    if !m.is_finite() {
+        return Err(DppError::InvalidInput {
+            reason: "matrix contains non-finite entries".into(),
+        });
+    }
+    let try_factor = |jitter: f64, l: &mut Matrix| -> Result<bool, DppError> {
+        match dhmm_linalg::factor_into(m, jitter, l) {
+            Ok(()) => Ok(true),
+            Err(dhmm_linalg::LinalgError::NotPositiveDefinite { .. }) => Ok(false),
+            Err(e) => Err(DppError::from(e)),
+        }
+    };
+    let mut factored = try_factor(0.0, l)?;
+    if !factored {
+        let mut jitter = INITIAL_JITTER.max(f64::MIN_POSITIVE);
+        for _ in 0..JITTER_ATTEMPTS {
+            if try_factor(jitter, l)? {
+                factored = true;
+                break;
+            }
+            jitter *= 10.0;
+        }
+    }
+    if factored {
+        let ld = dhmm_linalg::log_det_from_factor(l);
+        if ld.is_finite() {
+            return Ok(ld.max(LOG_DET_FLOOR));
+        }
+    }
+    let (sign, logdet) = lu::sign_log_determinant(m)?;
+    if sign > 0.0 && logdet.is_finite() {
+        Ok(logdet.max(LOG_DET_FLOOR))
+    } else {
+        Ok(LOG_DET_FLOOR)
+    }
+}
+
 /// `log det K̃_A` for a transition matrix `a` under the given kernel — the
 /// diversity log prior of the dHMM (up to the DPP normalization constant,
 /// which the paper drops because it does not depend on `A`).

@@ -32,8 +32,13 @@ pub trait TransitionUpdater {
     /// Extra objective contributed by this updater's prior, evaluated at `a`
     /// (zero for plain MLE). Added to the data log-likelihood when
     /// monitoring convergence of MAP-EM.
-    fn prior_objective(&self, _a: &Matrix) -> f64 {
-        0.0
+    ///
+    /// Evaluation failures must be surfaced as errors, never encoded as
+    /// `NEG_INFINITY`: a sentinel infinity silently sign-flips into a reward
+    /// for any caller maximizing a negated objective, and poisons the
+    /// convergence check here.
+    fn prior_objective(&self, _a: &Matrix) -> Result<f64, HmmError> {
+        Ok(0.0)
     }
 }
 
@@ -201,7 +206,7 @@ impl BaumWelch {
             model.emission_mut().reestimate(sequences, &gammas)?;
 
             // ---------------- Convergence check ----------------
-            let objective = data_ll + updater.prior_objective(model.transition());
+            let objective = data_ll + updater.prior_objective(model.transition())?;
             log_likelihood_history.push(data_ll);
             objective_history.push(objective);
             if objective_history.len() >= 2 {
@@ -448,7 +453,12 @@ mod tests {
             .unwrap();
         assert!(smoothed[(0, 1)] > 0.05);
         assert!(smoothed.is_row_stochastic(1e-9));
-        assert_eq!(MleTransitionUpdater::default().prior_objective(&xi), 0.0);
+        assert_eq!(
+            MleTransitionUpdater::default()
+                .prior_objective(&xi)
+                .unwrap(),
+            0.0
+        );
     }
 
     #[test]

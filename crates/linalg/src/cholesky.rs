@@ -156,6 +156,105 @@ impl Cholesky {
     }
 }
 
+/// Factors `a + jitter·I = L·Lᵀ` into the caller-owned buffer `l` without
+/// allocating.
+///
+/// `l` must already have the same (square) shape as `a`; only its lower
+/// triangle is written (the strict upper triangle is left untouched, so
+/// callers must not read it). The arithmetic is identical to
+/// [`Cholesky::new`], entry for entry, which makes the two paths
+/// interchangeable in equivalence tests.
+pub fn factor_into(a: &Matrix, jitter: f64, l: &mut Matrix) -> Result<(), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if l.shape() != a.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cholesky::factor_into",
+            left: a.shape(),
+            right: l.shape(),
+        });
+    }
+    let n = a.rows();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            if i == j {
+                s += jitter;
+            }
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { index: i });
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Log-determinant `2·Σ log L_ii` read off a factor produced by
+/// [`factor_into`] (or [`Cholesky::factor_l`]).
+pub fn log_det_from_factor(l: &Matrix) -> f64 {
+    (0..l.rows()).map(|i| l[(i, i)].ln()).sum::<f64>() * 2.0
+}
+
+/// Inverse of the factored SPD matrix, written into `inv` via one pair of
+/// triangular solves per column. No allocation: `scratch` provides the
+/// intermediate solve vector and must hold at least `n` entries.
+///
+/// `l` is a factor produced by [`factor_into`]; only its lower triangle is
+/// read. This is the "one factorization, two uses" read-out of the fused
+/// DPP M-step engine: the same factor yields both the log-determinant and
+/// the inverse without a second `O(k³)` decomposition.
+pub fn spd_inverse_from_factor(
+    l: &Matrix,
+    scratch: &mut [f64],
+    inv: &mut Matrix,
+) -> Result<(), LinalgError> {
+    let n = l.rows();
+    if inv.shape() != l.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cholesky::spd_inverse_from_factor",
+            left: l.shape(),
+            right: inv.shape(),
+        });
+    }
+    if scratch.len() < n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cholesky::spd_inverse_from_factor (scratch)",
+            left: (n, 1),
+            right: (scratch.len(), 1),
+        });
+    }
+    let y = &mut scratch[..n];
+    for col in 0..n {
+        // Forward: L·y = e_col. Rows above `col` solve to exactly zero.
+        y[..col].fill(0.0);
+        for i in col..n {
+            let mut v = if i == col { 1.0 } else { 0.0 };
+            for (j, &yj) in y[..i].iter().enumerate().skip(col) {
+                v -= l[(i, j)] * yj;
+            }
+            y[i] = v / l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y, written straight into column `col` of `inv`.
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for j in (i + 1)..n {
+                v -= l[(j, i)] * inv[(j, col)];
+            }
+            inv[(i, col)] = v / l[(i, i)];
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +342,55 @@ mod tests {
     fn identity_has_zero_log_determinant() {
         let ch = Cholesky::new(&Matrix::identity(4)).unwrap();
         assert!(ch.log_determinant().abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_into_matches_allocating_factorization() {
+        let a = spd();
+        let ch = Cholesky::new(&a).unwrap();
+        let mut l = Matrix::filled(3, 3, f64::NAN); // stale garbage must not leak
+        factor_into(&a, 0.0, &mut l).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert_eq!(l[(i, j)], ch.factor_l()[(i, j)], "entry ({i},{j})");
+            }
+        }
+        assert_eq!(log_det_from_factor(&l), ch.log_determinant());
+    }
+
+    #[test]
+    fn factor_into_validates_shapes_and_definiteness() {
+        let a = spd();
+        let mut wrong = Matrix::zeros(2, 2);
+        assert!(factor_into(&a, 0.0, &mut wrong).is_err());
+        assert!(factor_into(&Matrix::zeros(2, 3), 0.0, &mut wrong).is_err());
+        let indefinite = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        let mut l = Matrix::zeros(2, 2);
+        assert!(matches!(
+            factor_into(&indefinite, 0.0, &mut l),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        // The same jitter that rescues Cholesky::new_with_jitter works here.
+        assert!(factor_into(&Matrix::filled(3, 3, 1.0), 1e-6, &mut Matrix::zeros(3, 3)).is_ok());
+    }
+
+    #[test]
+    fn spd_inverse_from_factor_matches_cholesky_inverse() {
+        let a = spd();
+        let ch = Cholesky::new(&a).unwrap();
+        let expected = ch.inverse().unwrap();
+        let mut l = Matrix::zeros(3, 3);
+        factor_into(&a, 0.0, &mut l).unwrap();
+        let mut inv = Matrix::filled(3, 3, f64::NAN);
+        let mut scratch = vec![0.0; 3];
+        spd_inverse_from_factor(&l, &mut scratch, &mut inv).unwrap();
+        assert!(inv.approx_eq(&expected, 1e-12));
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-9));
+        // Shape and scratch validation.
+        assert!(spd_inverse_from_factor(&l, &mut scratch, &mut Matrix::zeros(2, 2)).is_err());
+        assert!(spd_inverse_from_factor(&l, &mut [0.0; 2], &mut inv).is_err());
     }
 }

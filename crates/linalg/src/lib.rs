@@ -36,10 +36,13 @@ pub mod simplex;
 pub mod stats;
 pub mod vector;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{factor_into, log_det_from_factor, spd_inverse_from_factor, Cholesky};
 pub use eigen::{jacobi_eigen, SymmetricEigen};
 pub use error::LinalgError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
-pub use simplex::{project_row_stochastic, project_to_simplex};
+pub use simplex::{
+    project_row_stochastic, project_row_stochastic_with, project_to_simplex,
+    project_to_simplex_into,
+};
 pub use stats::{argmax, log_sum_exp, normalize_in_place};

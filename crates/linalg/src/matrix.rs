@@ -278,6 +278,88 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self * other` written into `out` without allocating.
+    ///
+    /// `out` must already have shape `(self.rows, other.cols)`; its previous
+    /// contents are overwritten. Uses the same i–k–j loop order (and the same
+    /// zero-skip) as [`Matrix::matmul`], so the two produce identical
+    /// floating-point results.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        if out.shape() != (self.rows, other.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into (output)",
+                left: (self.rows, other.cols),
+                right: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a_ik = self[(i, k)];
+                if a_ik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a_ik * other[(k, j)];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Matrix product `self * otherᵀ` written into `out` without allocating.
+    ///
+    /// Both inputs are traversed row-wise (each output entry is a dot product
+    /// of two rows), which is the cache-friendly orientation for row-major
+    /// storage. `out` must already have shape `(self.rows, other.rows)`.
+    /// The Gram matrix `A·Aᵀ` of the DPP power matrix is the main caller.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_nt_into",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        if out.shape() != (self.rows, other.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_nt_into (output)",
+                left: (self.rows, other.rows),
+                right: out.shape(),
+            });
+        }
+        for i in 0..self.rows {
+            let a = self.row(i);
+            for j in 0..other.rows {
+                let b = other.row(j);
+                out[(i, j)] = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies every entry of `other` into `self` without reallocating.
+    ///
+    /// Returns an error if the shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) -> Result<(), LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "copy_from",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
     /// Matrix–vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
         if self.cols != v.len() {
@@ -700,6 +782,46 @@ mod tests {
     fn matmul_shape_mismatch_errors() {
         let a = sample();
         assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = sample(); // 2x3
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let expected = a.matmul(&b).unwrap();
+        let mut out = Matrix::filled(2, 2, f64::NAN);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert!(out.approx_eq(&expected, 0.0));
+        // Shape errors: inner mismatch and wrong output shape.
+        assert!(a.matmul_into(&a, &mut out).is_err());
+        assert!(a.matmul_into(&b, &mut Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_into_matches_matmul_with_transpose() {
+        let a = sample(); // 2x3
+        let b = Matrix::from_rows(&[vec![1.0, 2.0, 0.0], vec![0.5, 0.5, 1.0]]).unwrap(); // 2x3
+        let expected = a.matmul(&b.transpose()).unwrap();
+        let mut out = Matrix::filled(2, 2, f64::NAN);
+        a.matmul_nt_into(&b, &mut out).unwrap();
+        assert!(out.approx_eq(&expected, 1e-12));
+        // Gram matrix of a single operand.
+        let mut gram = Matrix::zeros(2, 2);
+        a.matmul_nt_into(&a, &mut gram).unwrap();
+        assert!(gram.approx_eq(&a.matmul(&a.transpose()).unwrap(), 1e-12));
+        assert!(gram.is_symmetric(1e-12));
+        // Shape errors.
+        assert!(a.matmul_nt_into(&Matrix::zeros(2, 2), &mut out).is_err());
+        assert!(a.matmul_nt_into(&b, &mut Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let a = sample();
+        let mut b = Matrix::zeros(2, 3);
+        b.copy_from(&a).unwrap();
+        assert!(b.approx_eq(&a, 0.0));
+        assert!(b.copy_from(&Matrix::zeros(3, 2)).is_err());
     }
 
     #[test]

@@ -22,26 +22,43 @@ use crate::matrix::Matrix;
 /// very large negative values (they end up clipped to zero) so that a bad
 /// gradient step cannot poison the projection.
 pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
-    let n = v.len();
+    let mut out = v.to_vec();
+    let mut scratch = Vec::with_capacity(v.len());
+    project_to_simplex_into(&mut out, &mut scratch);
+    out
+}
+
+/// Projects `row` onto the probability simplex in place, using `scratch` for
+/// the sorted working copy so repeated projections (every row, every
+/// backtrack, every ascent iteration of Algorithm 1) perform no allocation
+/// once `scratch` has grown to the row length.
+///
+/// Arithmetic, ordering and edge-case handling are identical to
+/// [`project_to_simplex`] (which is implemented on top of this function).
+pub fn project_to_simplex_into(row: &mut [f64], scratch: &mut Vec<f64>) {
+    let n = row.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     if n == 1 {
-        return vec![1.0];
+        row[0] = 1.0;
+        return;
     }
     // Replace non-finite values so sorting and the running sum stay sane.
-    let sanitized: Vec<f64> = v
-        .iter()
-        .map(|&x| if x.is_finite() { x } else { f64::MIN / 2.0 })
-        .collect();
+    for x in row.iter_mut() {
+        if !x.is_finite() {
+            *x = f64::MIN / 2.0;
+        }
+    }
 
-    let mut u = sanitized.clone();
-    u.sort_by(|a, b| b.partial_cmp(a).expect("non-finite value after sanitize"));
+    scratch.clear();
+    scratch.extend_from_slice(row);
+    scratch.sort_by(|a, b| b.partial_cmp(a).expect("non-finite value after sanitize"));
 
     let mut cumulative = 0.0;
     let mut rho = 0;
     let mut lambda = 0.0;
-    for (i, &ui) in u.iter().enumerate() {
+    for (i, &ui) in scratch.iter().enumerate() {
         cumulative += ui;
         let candidate = (1.0 - cumulative) / (i + 1) as f64;
         if ui + candidate > 0.0 {
@@ -52,18 +69,32 @@ pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
     if rho == 0 {
         // All entries were so negative that nothing survived; fall back to
         // the uniform distribution (the centre of the simplex).
-        return vec![1.0 / n as f64; n];
+        row.fill(1.0 / n as f64);
+        return;
     }
-    sanitized.iter().map(|&x| (x + lambda).max(0.0)).collect()
+    for x in row.iter_mut() {
+        *x = (*x + lambda).max(0.0);
+    }
 }
 
 /// Projects every row of a matrix onto the probability simplex in place,
 /// producing a row-stochastic matrix. This is the projection step
 /// `A ← ProjSimplex(A)` of the paper's Algorithm 1.
 pub fn project_row_stochastic(a: &mut Matrix) {
-    for i in 0..a.rows() {
-        let projected = project_to_simplex(a.row(i));
-        a.row_mut(i).copy_from_slice(&projected);
+    let mut scratch = Vec::new();
+    project_row_stochastic_with(a, &mut scratch);
+}
+
+/// [`project_row_stochastic`] with a caller-owned scratch buffer, so the
+/// projected-gradient ascent can re-project candidates across backtracks and
+/// EM iterations without touching the allocator.
+pub fn project_row_stochastic_with(a: &mut Matrix, scratch: &mut Vec<f64>) {
+    let cols = a.cols();
+    if cols == 0 {
+        return;
+    }
+    for row in a.as_mut_slice().chunks_exact_mut(cols) {
+        project_to_simplex_into(row, scratch);
     }
 }
 
@@ -157,6 +188,41 @@ mod tests {
                 assert!(d_proj <= d + 1e-9, "found closer point ({x},{y},{z})");
             }
         }
+    }
+
+    #[test]
+    fn in_place_projection_matches_allocating_projection() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.2, 0.3, 0.5],
+            vec![10.0, -3.0, 0.5, 0.2],
+            vec![-5.0, -4.0, -3.0],
+            vec![f64::NAN, 0.7, f64::NEG_INFINITY, 0.5],
+            vec![42.0],
+            vec![],
+        ];
+        let mut scratch = Vec::new();
+        for v in cases {
+            let expected = project_to_simplex(&v);
+            let mut row = v.clone();
+            project_to_simplex_into(&mut row, &mut scratch);
+            assert_eq!(row, expected, "in-place projection diverged on {v:?}");
+        }
+    }
+
+    #[test]
+    fn row_stochastic_projection_with_scratch_matches() {
+        let rows = vec![
+            vec![2.0, -1.0, 0.5],
+            vec![0.1, 0.2, 0.3],
+            vec![-1.0, -1.0, -1.0],
+        ];
+        let mut a = Matrix::from_rows(&rows).unwrap();
+        let mut b = a.clone();
+        project_row_stochastic(&mut a);
+        let mut scratch = Vec::new();
+        project_row_stochastic_with(&mut b, &mut scratch);
+        assert!(a.approx_eq(&b, 0.0));
+        assert!(b.is_row_stochastic(1e-9));
     }
 
     #[test]

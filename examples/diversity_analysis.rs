@@ -41,7 +41,7 @@ fn main() {
 
     println!("alpha   diversity   log det K   mean row entropy");
     for alpha in [0.0, 1.0, 10.0, 50.0, 200.0] {
-        let objective = TransitionObjective::unsupervised(counts.clone(), alpha, kernel);
+        let objective = TransitionObjective::unsupervised(&counts, alpha, kernel);
         let diversified = maximize_transition_objective(&objective, &mle, &AscentConfig::default())
             .expect("ascent succeeds");
         let mean_entropy: f64 = (0..diversified.rows())

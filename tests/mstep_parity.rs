@@ -1,0 +1,108 @@
+//! Workspace-level M-step engine parity: a full toy-pipeline diversified EM
+//! run (data generation → training → decoding → Hungarian evaluation) must
+//! produce the same objective traces and accuracies whether the transition
+//! M-step's prior is evaluated by the fused zero-allocation engine or by
+//! the scalar reference oracle.
+//!
+//! The sibling of `backend_parity.rs` (which pins the E-step engines);
+//! exercises only the public facade API, like the other pipeline tests.
+
+use dhmm::core::{AscentConfig, DiversifiedConfig, DiversifiedHmm, MStepBackend};
+use dhmm::data::toy::{generate, ToyConfig};
+use dhmm::eval::accuracy::one_to_one_accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(alpha: f64, mstep: MStepBackend) -> DiversifiedConfig {
+    DiversifiedConfig {
+        alpha,
+        // Fixed iteration budget (tolerance 0) so both runs produce
+        // traces of identical length.
+        max_em_iterations: 12,
+        em_tolerance: 0.0,
+        ascent: AscentConfig {
+            max_iterations: 15,
+            ..AscentConfig::default()
+        },
+        mstep,
+        ..DiversifiedConfig::default()
+    }
+}
+
+fn run_pipeline(alpha: f64, mstep: MStepBackend) -> (Vec<f64>, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let data = generate(
+        &ToyConfig {
+            num_sequences: 120,
+            ..ToyConfig::default()
+        },
+        &mut rng,
+    );
+    let observations = data.corpus.observations();
+    let gold = data.corpus.labels();
+
+    let mut fit_rng = StdRng::seed_from_u64(7);
+    let trainer = DiversifiedHmm::new(config(alpha, mstep));
+    let (model, report) = trainer
+        .fit_gaussian(&observations, 5, &mut fit_rng)
+        .expect("training succeeds");
+    let predicted = trainer
+        .decode_all(&model, &observations)
+        .expect("decoding succeeds");
+    let (accuracy, _) = one_to_one_accuracy(&predicted, &gold).expect("evaluation succeeds");
+    (
+        report.fit.objective_history,
+        accuracy,
+        report.final_diversity,
+    )
+}
+
+#[test]
+fn diversified_em_mstep_engines_agree_end_to_end() {
+    let (fused_trace, fused_acc, fused_div) = run_pipeline(1.0, MStepBackend::Fused);
+    let (reference_trace, reference_acc, reference_div) =
+        run_pipeline(1.0, MStepBackend::ScalarReference);
+
+    assert_eq!(fused_trace.len(), reference_trace.len());
+    // The two engines agree to ~1e-10 per evaluation, but the backtracking
+    // line search can amplify last-ulp differences through branch decisions,
+    // so the trace tolerance is the same loose-but-decisive bound the
+    // inference-backend parity test uses.
+    for (i, (f, r)) in fused_trace.iter().zip(&reference_trace).enumerate() {
+        let rel = (f - r).abs() / (r.abs() + 1e-12);
+        assert!(
+            rel < 1e-6,
+            "iteration {i}: fused objective {f} vs reference {r} (rel {rel})"
+        );
+    }
+    assert_eq!(
+        fused_acc, reference_acc,
+        "decoded accuracies diverged: {fused_acc} vs {reference_acc}"
+    );
+    let div_rel = (fused_div - reference_div).abs() / reference_div.abs().max(1e-12);
+    assert!(
+        div_rel < 1e-6,
+        "final diversities diverged: {fused_div} vs {reference_div}"
+    );
+}
+
+#[test]
+fn strong_prior_mstep_engines_agree_end_to_end() {
+    // A heavier diversity weight pushes iterates to the simplex boundary,
+    // exercising the engine's dual-clamp path inside a real EM run.
+    let (fused_trace, fused_acc, _) = run_pipeline(25.0, MStepBackend::Fused);
+    let (reference_trace, reference_acc, _) = run_pipeline(25.0, MStepBackend::ScalarReference);
+
+    assert_eq!(fused_trace.len(), reference_trace.len());
+    for (i, (f, r)) in fused_trace.iter().zip(&reference_trace).enumerate() {
+        let rel = (f - r).abs() / (r.abs() + 1e-12);
+        assert!(
+            rel < 1e-6,
+            "iteration {i}: fused objective {f} vs reference {r} (rel {rel})"
+        );
+    }
+    assert_eq!(
+        fused_acc, reference_acc,
+        "decoded accuracies diverged: {fused_acc} vs {reference_acc}"
+    );
+}
