@@ -1,15 +1,28 @@
-//! Machine-readable M-step benchmark: times the fused engine against the
-//! scalar reference at the value / gradient / full-`update` granularities
-//! and writes `BENCH_mstep.json`, so the repository's perf trajectory is
-//! recorded in a diffable artifact rather than scattered bench logs.
+//! Machine-readable M-step benchmark.
+//!
+//! Two artifacts, so the repository's perf trajectory is recorded in
+//! diffable files rather than scattered bench logs:
+//!
+//! * `BENCH_mstep.json` — the fused engine against the scalar reference at
+//!   the value / gradient / full-`update` granularities (the PR-3 artifact,
+//!   unchanged format);
+//! * `BENCH_parallel.json` — the worker-pool thread sweep: the same fused
+//!   `DppTransitionUpdater::update` (and the gradient alone) at each
+//!   requested thread count, with the serial fused engine as the baseline,
+//!   plus the machine's core count so speedups can be read in context.
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p dhmm_bench --bin mstep-bench [-- OUTPUT.json]
+//! cargo run --release -p dhmm_bench --bin mstep-bench -- \
+//!     [--output BENCH_mstep.json] [--parallel-output BENCH_parallel.json] \
+//!     [--threads 1,2,4,8] [--k 16,64] [--skip-serial-table]
 //! ```
+//! (A bare positional argument is accepted as the legacy `--output` form.
+//! `--k` applies to both artifacts; without it the serial table keeps the
+//! historical k = 4..64 ladder and the sweep uses k = {16, 64}.)
 
 use dhmm_core::transition_update::{DppTransitionUpdater, TransitionObjective};
-use dhmm_core::{AscentConfig, MStepBackend};
+use dhmm_core::{AscentConfig, MStepBackend, Parallelism};
 use dhmm_dpp::{MStepWorkspace, ProductKernel};
 use dhmm_hmm::baum_welch::TransitionUpdater;
 use dhmm_hmm::init::random_stochastic_matrix;
@@ -52,31 +65,122 @@ impl Row {
     }
 }
 
-fn main() {
-    let output = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_mstep.json".to_string());
-    let kernel = ProductKernel::bhattacharyya();
-    let ascent = AscentConfig {
-        max_iterations: 15,
-        ..AscentConfig::default()
-    };
-    let mut rows = Vec::new();
+struct ParallelRow {
+    op: &'static str,
+    k: usize,
+    threads: usize,
+    ns: f64,
+    serial_ns: f64,
+}
 
-    for &k in &SIZES {
-        let mut rng = StdRng::seed_from_u64(97);
-        let a = random_stochastic_matrix(k, k, 1.0, &mut rng).expect("valid matrix");
-        let counts = Matrix::from_fn(k, k, |_, _| rng.gen_range(5.0..50.0));
+impl ParallelRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ns / self.ns
+    }
+}
+
+struct Args {
+    output: String,
+    parallel_output: String,
+    threads: Vec<usize>,
+    /// `--k`: explicit size list, applied to BOTH the serial table and the
+    /// parallel sweep. Defaults differ per artifact (the serial table keeps
+    /// the historical 4..64 ladder, the sweep uses {16, 64}), hence the
+    /// Option.
+    sizes: Option<Vec<usize>>,
+    skip_serial_table: bool,
+}
+
+impl Args {
+    fn serial_sizes(&self) -> Vec<usize> {
+        self.sizes.clone().unwrap_or_else(|| SIZES.to_vec())
+    }
+
+    fn sweep_sizes(&self) -> Vec<usize> {
+        self.sizes.clone().unwrap_or_else(|| vec![16, 64])
+    }
+}
+
+fn parse_list(raw: &str, flag: &str) -> Vec<usize> {
+    raw.split(',')
+        .map(|part| {
+            part.trim().parse::<usize>().unwrap_or_else(|_| {
+                panic!("{flag} expects a comma-separated integer list, got {raw:?}")
+            })
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        output: "BENCH_mstep.json".to_string(),
+        parallel_output: "BENCH_parallel.json".to_string(),
+        threads: vec![1, 2, 4, 8],
+        sizes: None,
+        skip_serial_table: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--output" => args.output = value_of("--output"),
+            "--parallel-output" => args.parallel_output = value_of("--parallel-output"),
+            "--threads" => args.threads = parse_list(&value_of("--threads"), "--threads"),
+            "--k" => args.sizes = Some(parse_list(&value_of("--k"), "--k")),
+            "--skip-serial-table" => args.skip_serial_table = true,
+            other if !other.starts_with('-') => args.output = other.to_string(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(!args.threads.is_empty(), "--threads list must be non-empty");
+    if let Some(sizes) = &args.sizes {
+        assert!(!sizes.is_empty(), "--k list must be non-empty");
+    }
+    args
+}
+
+fn problem(k: usize) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(97);
+    let a = random_stochastic_matrix(k, k, 1.0, &mut rng).expect("valid matrix");
+    let counts = Matrix::from_fn(k, k, |_, _| rng.gen_range(5.0..50.0));
+    (a, counts)
+}
+
+/// A second iterate of the same shape. The value/gradient timing loops
+/// alternate between the two iterates so the engine's accept→gradient
+/// factorization cache (keyed by exact iterate) cannot turn every measured
+/// call after the first into a cache hit — the real ascent evaluates a new
+/// candidate per call, and that miss path is what these rows must measure.
+fn problem_alt(k: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(193);
+    random_stochastic_matrix(k, k, 1.0, &mut rng).expect("valid matrix")
+}
+
+/// The PR-3 artifact: fused engine vs scalar reference, serial.
+fn serial_table(kernel: ProductKernel, ascent: AscentConfig, sizes: &[usize], output: &str) {
+    let mut rows = Vec::new();
+    for &k in sizes {
+        let (a, counts) = problem(k);
+        let a_alt = problem_alt(k);
         let fused = TransitionObjective::unsupervised(&counts, ALPHA, kernel);
         let reference = fused.clone().with_backend(MStepBackend::ScalarReference);
         let mut ws = MStepWorkspace::new();
         let mut grad = Matrix::zeros(k, k);
 
+        let mut flip = false;
         let value_fused = time_ns(|| {
-            black_box(fused.value_with(black_box(&a), &mut ws).expect("value"));
+            flip = !flip;
+            let m = if flip { &a } else { &a_alt };
+            black_box(fused.value_with(black_box(m), &mut ws).expect("value"));
         });
+        let mut flip = false;
         let value_reference = time_ns(|| {
-            black_box(reference.value(black_box(&a)).expect("value"));
+            flip = !flip;
+            let m = if flip { &a } else { &a_alt };
+            black_box(reference.value(black_box(m)).expect("value"));
         });
         rows.push(Row {
             op: "value",
@@ -85,16 +189,22 @@ fn main() {
             reference_ns: value_reference,
         });
 
+        let mut flip = false;
         let gradient_fused = time_ns(|| {
+            flip = !flip;
+            let m = if flip { &a } else { &a_alt };
             fused
-                .gradient_with(black_box(&a), &mut ws, &mut grad)
+                .gradient_with(black_box(m), &mut ws, &mut grad)
                 .expect("gradient");
             black_box(&grad);
         });
+        let mut flip = false;
         let gradient_reference = time_ns(|| {
+            flip = !flip;
+            let m = if flip { &a } else { &a_alt };
             black_box(
                 reference
-                    .reference_gradient(black_box(&a))
+                    .reference_gradient(black_box(m))
                     .expect("gradient"),
             );
         });
@@ -105,9 +215,11 @@ fn main() {
             reference_ns: gradient_reference,
         });
 
-        let fused_updater = DppTransitionUpdater::new(ALPHA, kernel, ascent);
+        let fused_updater =
+            DppTransitionUpdater::new(ALPHA, kernel, ascent).with_parallelism(Parallelism::Serial);
         let reference_updater = DppTransitionUpdater::new(ALPHA, kernel, ascent)
-            .with_backend(MStepBackend::ScalarReference);
+            .with_backend(MStepBackend::ScalarReference)
+            .with_parallelism(Parallelism::Serial);
         let uniform = Matrix::filled(k, k, 1.0 / k as f64);
         let update_fused = time_ns(|| {
             black_box(
@@ -131,7 +243,10 @@ fn main() {
         });
     }
 
-    println!("dpp_mstep: fused engine vs scalar reference (alpha = {ALPHA}, rho = 0.5)\n");
+    println!(
+        "dpp_mstep: fused engine vs scalar reference (alpha = {ALPHA}, rho = {})\n",
+        kernel.rho()
+    );
     println!(
         "{:<10} {:>4} {:>14} {:>14} {:>9}",
         "op", "k", "fused", "reference", "speedup"
@@ -152,8 +267,12 @@ fn main() {
     json.push_str("  \"bench\": \"dpp_mstep\",\n");
     json.push_str("  \"description\": \"Fused zero-allocation DPP M-step engine vs scalar reference; mean ns per call\",\n");
     let _ = writeln!(json, "  \"alpha\": {ALPHA},");
-    json.push_str("  \"rho\": 0.5,\n");
-    json.push_str("  \"ascent_max_iterations\": 15,\n");
+    let _ = writeln!(json, "  \"rho\": {},", kernel.rho());
+    let _ = writeln!(
+        json,
+        "  \"ascent_max_iterations\": {},",
+        ascent.max_iterations
+    );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -168,6 +287,142 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&output, &json).expect("write benchmark JSON");
+    std::fs::write(output, &json).expect("write benchmark JSON");
     println!("\nwrote {output}");
+}
+
+/// The worker-pool thread sweep: fused engine under `Threads(n)` against
+/// the serial fused engine, for the gradient alone and the full update.
+fn parallel_sweep(kernel: ProductKernel, ascent: AscentConfig, args: &Args) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for &k in &args.sweep_sizes() {
+        let (a, counts) = problem(k);
+        let uniform = Matrix::filled(k, k, 1.0 / k as f64);
+
+        let serial_obj = TransitionObjective::unsupervised(&counts, ALPHA, kernel)
+            .with_parallelism(Parallelism::Serial);
+        let mut ws = MStepWorkspace::new();
+        let mut grad = Matrix::zeros(k, k);
+        let gradient_serial = time_ns(|| {
+            serial_obj
+                .gradient_with(black_box(&a), &mut ws, &mut grad)
+                .expect("gradient");
+            black_box(&grad);
+        });
+        let serial_updater =
+            DppTransitionUpdater::new(ALPHA, kernel, ascent).with_parallelism(Parallelism::Serial);
+        let update_serial = time_ns(|| {
+            black_box(
+                serial_updater
+                    .update(black_box(&counts), black_box(&uniform))
+                    .expect("update"),
+            );
+        });
+
+        for &threads in &args.threads {
+            let policy = Parallelism::Threads(threads);
+            let obj =
+                TransitionObjective::unsupervised(&counts, ALPHA, kernel).with_parallelism(policy);
+            let mut ws_t = MStepWorkspace::new();
+            let gradient_ns = time_ns(|| {
+                obj.gradient_with(black_box(&a), &mut ws_t, &mut grad)
+                    .expect("gradient");
+                black_box(&grad);
+            });
+            rows.push(ParallelRow {
+                op: "gradient",
+                k,
+                threads,
+                ns: gradient_ns,
+                serial_ns: gradient_serial,
+            });
+            let updater = DppTransitionUpdater::new(ALPHA, kernel, ascent).with_parallelism(policy);
+            let update_ns = time_ns(|| {
+                black_box(
+                    updater
+                        .update(black_box(&counts), black_box(&uniform))
+                        .expect("update"),
+                );
+            });
+            rows.push(ParallelRow {
+                op: "update",
+                k,
+                threads,
+                ns: update_ns,
+                serial_ns: update_serial,
+            });
+        }
+    }
+
+    println!("\ndpp_mstep_parallel: fused engine thread sweep ({cores} cores available)\n");
+    println!(
+        "{:<10} {:>4} {:>8} {:>14} {:>14} {:>9}",
+        "op", "k", "threads", "parallel", "serial", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>4} {:>8} {:>12.1}us {:>12.1}us {:>8.2}x",
+            r.op,
+            r.k,
+            r.threads,
+            r.ns / 1e3,
+            r.serial_ns / 1e3,
+            r.speedup()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"dpp_mstep_parallel\",\n");
+    json.push_str("  \"description\": \"Fused DPP M-step engine under the shared worker-pool runtime; Threads(n) vs the serial fused engine, mean ns per call\",\n");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"alpha\": {ALPHA},");
+    let _ = writeln!(json, "  \"rho\": {},", kernel.rho());
+    let _ = writeln!(
+        json,
+        "  \"ascent_max_iterations\": {},",
+        ascent.max_iterations
+    );
+    let _ = writeln!(
+        json,
+        "  \"threads\": [{}],",
+        args.threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"op\": \"{}\", \"k\": {}, \"threads\": {}, \"ns\": {:.0}, \"serial_ns\": {:.0}, \"speedup_vs_serial\": {:.2}}}",
+            r.op,
+            r.k,
+            r.threads,
+            r.ns,
+            r.serial_ns,
+            r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.parallel_output, &json).expect("write parallel benchmark JSON");
+    println!("\nwrote {}", args.parallel_output);
+}
+
+fn main() {
+    let args = parse_args();
+    let kernel = ProductKernel::bhattacharyya();
+    let ascent = AscentConfig {
+        max_iterations: 15,
+        ..AscentConfig::default()
+    };
+    if !args.skip_serial_table {
+        serial_table(kernel, ascent, &args.serial_sizes(), &args.output);
+    }
+    parallel_sweep(kernel, ascent, &args);
 }

@@ -3,6 +3,7 @@
 use crate::error::DhmmError;
 use dhmm_dpp::ProductKernel;
 pub use dhmm_hmm::InferenceBackend;
+pub use dhmm_runtime::Parallelism;
 
 /// Which engine evaluates the DPP prior term and its gradient inside the
 /// transition M-step (the sibling of [`InferenceBackend`] for Algorithm 1).
@@ -97,6 +98,10 @@ pub struct DiversifiedConfig {
     /// Engine for the transition M-step's prior evaluation (fused workspace
     /// engine by default; `ScalarReference` forces the scalar oracle).
     pub mstep: MStepBackend,
+    /// Worker policy governing E-step, M-step and GEMM parallelism end to
+    /// end (`Auto` by default; `Serial` is the single-threaded oracle).
+    /// Results are bit-identical under every policy.
+    pub parallelism: Parallelism,
 }
 
 impl Default for DiversifiedConfig {
@@ -109,6 +114,7 @@ impl Default for DiversifiedConfig {
             ascent: AscentConfig::default(),
             backend: InferenceBackend::default(),
             mstep: MStepBackend::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -165,6 +171,9 @@ pub struct SupervisedConfig {
     /// Engine for the transition refinement's prior evaluation (fused
     /// workspace engine by default).
     pub mstep: MStepBackend,
+    /// Worker policy for the transition refinement's prior evaluations
+    /// (`Auto` by default; bit-identical results under every policy).
+    pub parallelism: Parallelism,
 }
 
 impl Default for SupervisedConfig {
@@ -177,6 +186,7 @@ impl Default for SupervisedConfig {
             ascent: AscentConfig::default(),
             backend: InferenceBackend::default(),
             mstep: MStepBackend::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }

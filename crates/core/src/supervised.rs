@@ -84,7 +84,8 @@ impl SupervisedDiversifiedHmm {
                 &anchor,
                 self.config.alpha_anchor,
             )
-            .with_backend(self.config.mstep);
+            .with_backend(self.config.mstep)
+            .with_parallelism(self.config.parallelism);
             maximize_transition_objective(&objective, &anchor, &self.config.ascent)?
         } else {
             anchor.clone()

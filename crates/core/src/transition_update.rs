@@ -33,6 +33,7 @@ use dhmm_dpp::{grad_log_det_kernel, log_det_kernel, DppObjective, MStepWorkspace
 use dhmm_hmm::baum_welch::TransitionUpdater;
 use dhmm_hmm::HmmError;
 use dhmm_linalg::{project_row_stochastic_with, Matrix};
+use dhmm_runtime::Parallelism;
 use std::cell::RefCell;
 
 /// Floor applied to transition probabilities inside logs and divisions.
@@ -54,6 +55,10 @@ pub struct TransitionObjective<'a> {
     pub anchor: Option<(&'a Matrix, f64)>,
     /// Engine evaluating the prior term and its gradient.
     pub backend: MStepBackend,
+    /// Worker policy for the fused engine's parallel sections (`Serial` by
+    /// default at this level; the trainers pass their configured policy
+    /// down). Bit-identical results under every policy.
+    pub parallelism: Parallelism,
 }
 
 impl<'a> TransitionObjective<'a> {
@@ -65,6 +70,7 @@ impl<'a> TransitionObjective<'a> {
             kernel,
             anchor: None,
             backend: MStepBackend::default(),
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -83,6 +89,7 @@ impl<'a> TransitionObjective<'a> {
             kernel,
             anchor: Some((anchor, alpha_anchor)),
             backend: MStepBackend::default(),
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -90,6 +97,17 @@ impl<'a> TransitionObjective<'a> {
     pub fn with_backend(mut self, backend: MStepBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Returns the objective with a different worker policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The fused engine configured for this objective's kernel and policy.
+    fn engine(&self) -> DppObjective {
+        DppObjective::new(self.kernel).with_parallelism(self.parallelism)
     }
 
     /// The data term `Σ_ij ξ_ij · log A_ij` (floored), shared by both
@@ -118,7 +136,7 @@ impl<'a> TransitionObjective<'a> {
         let mut obj = self.data_value(a);
         if self.alpha > 0.0 {
             let log_det = match self.backend {
-                MStepBackend::Fused => DppObjective::new(self.kernel).log_det_with(a, ws)?,
+                MStepBackend::Fused => self.engine().log_det_with(a, ws)?,
                 MStepBackend::ScalarReference => log_det_kernel(a, &self.kernel)?,
             };
             obj += self.alpha * log_det;
@@ -147,7 +165,7 @@ impl<'a> TransitionObjective<'a> {
         match self.backend {
             MStepBackend::Fused => {
                 if self.alpha > 0.0 {
-                    DppObjective::new(self.kernel).grad_with(a, ws, out)?;
+                    self.engine().grad_with(a, ws, out)?;
                 }
                 self.finish_gradient(a, out);
                 Ok(())
@@ -174,8 +192,7 @@ impl<'a> TransitionObjective<'a> {
             MStepBackend::Fused => {
                 let mut obj = self.data_value(a);
                 if self.alpha > 0.0 {
-                    let log_det =
-                        DppObjective::new(self.kernel).log_det_and_grad_with(a, ws, out)?;
+                    let log_det = self.engine().log_det_and_grad_with(a, ws, out)?;
                     obj += self.alpha * log_det;
                 }
                 if let Some((a0, w)) = self.anchor {
@@ -384,18 +401,23 @@ pub struct DppTransitionUpdater {
     pub ascent: AscentConfig,
     /// Engine evaluating the prior term (fused by default).
     pub backend: MStepBackend,
+    /// Worker policy for the prior engine's parallel sections (`Auto` by
+    /// default; the trainers overwrite it with their configured policy).
+    pub parallelism: Parallelism,
     workspace: RefCell<AscentWorkspace>,
 }
 
 impl DppTransitionUpdater {
     /// Creates an updater with the given prior weight, kernel and ascent
-    /// settings, using the default (fused) M-step engine.
+    /// settings, using the default (fused) M-step engine under the `Auto`
+    /// worker policy.
     pub fn new(alpha: f64, kernel: ProductKernel, ascent: AscentConfig) -> Self {
         Self {
             alpha,
             kernel,
             ascent,
             backend: MStepBackend::default(),
+            parallelism: Parallelism::default(),
             workspace: RefCell::new(AscentWorkspace::new()),
         }
     }
@@ -403,6 +425,12 @@ impl DppTransitionUpdater {
     /// Returns the updater with a different M-step engine.
     pub fn with_backend(mut self, backend: MStepBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Returns the updater with a different worker policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -418,7 +446,8 @@ impl TransitionUpdater for DppTransitionUpdater {
             return Ok(a);
         }
         let objective = TransitionObjective::unsupervised(xi_sum, self.alpha, self.kernel)
-            .with_backend(self.backend);
+            .with_backend(self.backend)
+            .with_parallelism(self.parallelism);
         let mut ws = self.workspace.borrow_mut();
 
         // Candidate starting points for the ascent: the MLE solution, the
@@ -463,7 +492,9 @@ impl TransitionUpdater for DppTransitionUpdater {
         let log_det = match self.backend {
             MStepBackend::Fused => {
                 let mut ws = self.workspace.borrow_mut();
-                DppObjective::new(self.kernel).log_det_with(a, &mut ws.dpp)
+                DppObjective::new(self.kernel)
+                    .with_parallelism(self.parallelism)
+                    .log_det_with(a, &mut ws.dpp)
             }
             MStepBackend::ScalarReference => log_det_kernel(a, &self.kernel),
         }

@@ -61,12 +61,14 @@ impl DiversifiedHmm {
     {
         let kernel = self.config.validate()?;
         let updater = DppTransitionUpdater::new(self.config.alpha, kernel, self.config.ascent)
-            .with_backend(self.config.mstep);
+            .with_backend(self.config.mstep)
+            .with_parallelism(self.config.parallelism);
         let bw = BaumWelch::new(BaumWelchConfig {
             max_iterations: self.config.max_em_iterations,
             tolerance: self.config.em_tolerance,
             verbose: false,
             backend: self.config.backend,
+            parallelism: self.config.parallelism,
         });
         let fit = bw.fit_with_updater(model, sequences, &updater)?;
         let final_log_prior = if self.config.alpha > 0.0 {

@@ -1,0 +1,168 @@
+//! Cross-thread-count determinism: a diversified EM fit must be
+//! *bit-identical* under `Parallelism::Serial`, `Threads(2)` and
+//! `Threads(8)` — the worker policy is allowed to change wall-clock time
+//! and nothing else.
+//!
+//! This is the end-to-end pin of the runtime's determinism contract: the
+//! E-step partitions sequences deterministically and reduces in range
+//! order, every GEMM row and gradient row is computed wholly by one worker,
+//! and the M-step's factorization cache is keyed by exact iterate — so the
+//! full objective trace, the trained parameters and every decoded path come
+//! out the same to the last bit, whatever the thread count.
+
+use dhmm_core::{AscentConfig, DiversifiedConfig, DiversifiedHmm, Parallelism};
+use dhmm_hmm::emission::{DiscreteEmission, GaussianEmission};
+use dhmm_hmm::generate::generate_sequences;
+use dhmm_hmm::model::Hmm;
+use dhmm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const POLICIES: [Parallelism; 3] = [
+    Parallelism::Serial,
+    Parallelism::Threads(2),
+    Parallelism::Threads(8),
+];
+
+/// One run's evidence: objective trace, log-likelihood trace, decoded paths.
+type RunTrace = (Vec<f64>, Vec<f64>, Vec<Vec<usize>>);
+
+fn config(parallelism: Parallelism) -> DiversifiedConfig {
+    DiversifiedConfig {
+        alpha: 2.0,
+        max_em_iterations: 8,
+        em_tolerance: 0.0,
+        ascent: AscentConfig {
+            max_iterations: 12,
+            ..AscentConfig::default()
+        },
+        parallelism,
+        ..DiversifiedConfig::default()
+    }
+}
+
+fn assert_traces_identical(tag: &str, runs: &[RunTrace]) {
+    let (ref_obj, ref_ll, ref_paths) = &runs[0];
+    for (i, (obj, ll, paths)) in runs.iter().enumerate().skip(1) {
+        assert_eq!(obj.len(), ref_obj.len(), "{tag}: trace lengths diverged");
+        for (t, (a, b)) in obj.iter().zip(ref_obj).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{tag}: objective diverged at iteration {t} under policy {i}: {a} vs {b}"
+            );
+        }
+        for (t, (a, b)) in ll.iter().zip(ref_ll).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{tag}: log-likelihood diverged at iteration {t} under policy {i}"
+            );
+        }
+        assert_eq!(paths, ref_paths, "{tag}: decoded paths diverged");
+    }
+}
+
+#[test]
+fn discrete_fit_is_bit_identical_across_thread_counts() {
+    let emission = DiscreteEmission::new(
+        Matrix::from_rows(&[
+            vec![0.7, 0.2, 0.05, 0.05],
+            vec![0.05, 0.7, 0.2, 0.05],
+            vec![0.05, 0.05, 0.2, 0.7],
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    let transition = Matrix::from_rows(&[
+        vec![0.8, 0.1, 0.1],
+        vec![0.15, 0.7, 0.15],
+        vec![0.1, 0.2, 0.7],
+    ])
+    .unwrap();
+    let truth = Hmm::new(vec![0.4, 0.3, 0.3], transition, emission).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let data: Vec<Vec<usize>> = generate_sequences(&truth, 40, 18, &mut rng)
+        .unwrap()
+        .into_iter()
+        .map(|s| s.observations)
+        .collect();
+
+    let runs: Vec<_> = POLICIES
+        .iter()
+        .map(|&p| {
+            let trainer = DiversifiedHmm::new(config(p));
+            let mut fit_rng = StdRng::seed_from_u64(5);
+            let (model, report) = trainer.fit_discrete(&data, 3, 4, &mut fit_rng).unwrap();
+            let paths = trainer.decode_all(&model, &data).unwrap();
+            (
+                report.fit.objective_history,
+                report.fit.log_likelihood_history,
+                paths,
+            )
+        })
+        .collect();
+    assert_traces_identical("discrete", &runs);
+}
+
+#[test]
+fn gaussian_fit_is_bit_identical_across_thread_counts() {
+    let emission = GaussianEmission::new(vec![-2.0, 1.0, 4.0], vec![0.7, 0.6, 0.8]).unwrap();
+    let transition = Matrix::from_rows(&[
+        vec![0.75, 0.15, 0.1],
+        vec![0.1, 0.75, 0.15],
+        vec![0.15, 0.1, 0.75],
+    ])
+    .unwrap();
+    let truth = Hmm::new(vec![0.3, 0.4, 0.3], transition, emission).unwrap();
+    let mut rng = StdRng::seed_from_u64(29);
+    let data: Vec<Vec<f64>> = generate_sequences(&truth, 35, 16, &mut rng)
+        .unwrap()
+        .into_iter()
+        .map(|s| s.observations)
+        .collect();
+
+    let runs: Vec<_> = POLICIES
+        .iter()
+        .map(|&p| {
+            let trainer = DiversifiedHmm::new(config(p));
+            let mut fit_rng = StdRng::seed_from_u64(3);
+            let (model, report) = trainer.fit_gaussian(&data, 3, &mut fit_rng).unwrap();
+            let paths = trainer.decode_all(&model, &data).unwrap();
+            (
+                report.fit.objective_history,
+                report.fit.log_likelihood_history,
+                paths,
+            )
+        })
+        .collect();
+    assert_traces_identical("gaussian", &runs);
+}
+
+#[test]
+fn auto_policy_matches_the_serial_oracle() {
+    // `Auto` adds a data-size heuristic on top of the worker count; the
+    // heuristic may change *where* the work runs but never what it returns.
+    let emission = GaussianEmission::new(vec![0.0, 5.0], vec![1.0, 1.0]).unwrap();
+    let transition = Matrix::from_rows(&[vec![0.85, 0.15], vec![0.2, 0.8]]).unwrap();
+    let truth = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let data: Vec<Vec<f64>> = generate_sequences(&truth, 60, 12, &mut rng)
+        .unwrap()
+        .into_iter()
+        .map(|s| s.observations)
+        .collect();
+    let mut traces = Vec::new();
+    for p in [Parallelism::Serial, Parallelism::Auto] {
+        let trainer = DiversifiedHmm::new(config(p));
+        let mut fit_rng = StdRng::seed_from_u64(1);
+        let (model, report) = trainer.fit_gaussian(&data, 2, &mut fit_rng).unwrap();
+        let paths = trainer.decode_all(&model, &data).unwrap();
+        traces.push((
+            report.fit.objective_history,
+            report.fit.log_likelihood_history,
+            paths,
+        ));
+    }
+    assert_traces_identical("auto-vs-serial", &traces);
+}

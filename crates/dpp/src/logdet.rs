@@ -54,41 +54,35 @@ pub fn log_det_psd(m: &Matrix) -> Result<f64, DppError> {
     }
 }
 
-/// Workspace variant of [`log_det_psd`]: identical semantics (plain
+/// Workspace continuation of [`log_det_psd`]: identical semantics (plain
 /// Cholesky, escalating jitter, LU fallback, large-negative floor) but the
 /// factorization is written into the caller-owned buffer `l` instead of
-/// allocating per attempt. `l` must have the same shape as `m`. Only the
-/// (rare) LU fallback allocates.
+/// allocating per attempt (only the rare LU fallback allocates), and the
+/// Cholesky attempts use [`dhmm_linalg::factor_into`], whose arithmetic is
+/// entry-for-entry identical to [`Cholesky::new`] — so the ladder returns
+/// exactly the value [`log_det_psd`] returns for the same input.
 ///
-/// The Cholesky attempts use [`dhmm_linalg::factor_into`], whose arithmetic
-/// is entry-for-entry identical to [`Cholesky::new`], so this returns exactly
-/// the value [`log_det_psd`] returns for the same input.
-pub(crate) fn log_det_psd_prefactored(m: &Matrix, l: &mut Matrix) -> Result<f64, DppError> {
-    if !m.is_square() {
-        return Err(DppError::InvalidInput {
-            reason: format!("matrix is {:?}, expected square", m.shape()),
-        });
-    }
-    if m.is_empty() {
-        return Ok(0.0);
-    }
-    if !m.is_finite() {
-        return Err(DppError::InvalidInput {
-            reason: "matrix contains non-finite entries".into(),
-        });
-    }
-    let try_factor = |jitter: f64, l: &mut Matrix| -> Result<bool, DppError> {
-        match dhmm_linalg::factor_into(m, jitter, l) {
-            Ok(()) => Ok(true),
-            Err(dhmm_linalg::LinalgError::NotPositiveDefinite { .. }) => Ok(false),
-            Err(e) => Err(DppError::from(e)),
-        }
-    };
-    let mut factored = try_factor(0.0, l)?;
+/// "Continuation" because it serves a caller that has
+/// **already attempted** the plain (jitter-0) `factor_into(m, 0.0, l)` rung
+/// itself — the fused engine does so to cache a successful factor — and
+/// passes the outcome as `plain_factored`. Resumes at the jitter ladder on
+/// failure, so the `O(k³)` rung-0 attempt is never repeated, and ends at
+/// the same LU fallback and large-negative floor.
+///
+/// `l` must hold the caller's successful plain factor when `plain_factored`
+/// is true. `m` is the engine's internally-built normalized kernel — square,
+/// non-empty and finite by construction, so the public-input validation of
+/// [`log_det_psd`] is not repeated here.
+pub(crate) fn log_det_psd_prefactored_after_plain(
+    m: &Matrix,
+    l: &mut Matrix,
+    plain_factored: bool,
+) -> Result<f64, DppError> {
+    let mut factored = plain_factored;
     if !factored {
         let mut jitter = INITIAL_JITTER.max(f64::MIN_POSITIVE);
         for _ in 0..JITTER_ATTEMPTS {
-            if try_factor(jitter, l)? {
+            if try_factor(m, jitter, l)? {
                 factored = true;
                 break;
             }
@@ -106,6 +100,16 @@ pub(crate) fn log_det_psd_prefactored(m: &Matrix, l: &mut Matrix) -> Result<f64,
         Ok(logdet.max(LOG_DET_FLOOR))
     } else {
         Ok(LOG_DET_FLOOR)
+    }
+}
+
+/// One rung of the jitter ladder: true on success (factor left in `l`),
+/// false on a not-positive-definite rejection, error on anything else.
+fn try_factor(m: &Matrix, jitter: f64, l: &mut Matrix) -> Result<bool, DppError> {
+    match dhmm_linalg::factor_into(m, jitter, l) {
+        Ok(()) => Ok(true),
+        Err(dhmm_linalg::LinalgError::NotPositiveDefinite { .. }) => Ok(false),
+        Err(e) => Err(DppError::from(e)),
     }
 }
 

@@ -24,6 +24,23 @@
 //!    `InferenceWorkspace`), so repeated evaluations across backtracks,
 //!    ascent iterations and EM iterations never touch the allocator.
 //!
+//! Two refinements ride on top of the fused structure:
+//!
+//! * **Parallel per-row evaluation** — the Gram GEMM `S = P·Pᵀ`, the
+//!   inverse's per-column triangular solves, the gradient GEMM `V·P` and the
+//!   final elementwise pass are all row-independent, so the engine splits
+//!   them across `dhmm_runtime`'s worker pool when an [`Executor`] with more
+//!   than one worker is attached (serial below a size threshold, and by
+//!   default). Every parallel section is bit-deterministic across worker
+//!   counts.
+//! * **Accept→gradient factorization caching** — a successful interior
+//!   value evaluation leaves its power matrix, Gram matrix and Cholesky
+//!   factor resident in the workspace, fingerprinted by the exact iterate
+//!   and kernel exponent. The projected-gradient ascent always evaluates the
+//!   accepted candidate's value last and its gradient next, so that
+//!   gradient starts from the cached factor — one `O(k³)` factorization and
+//!   one `O(k²·d)` GEMM saved per ascent iteration.
+//!
 //! The engine reproduces the reference semantics exactly, including their
 //! different boundary clamps: the value path clamps matrix entries at zero
 //! (as [`ProductKernel::kernel_matrix`] does) while the gradient path floors
@@ -39,8 +56,17 @@
 use crate::error::DppError;
 use crate::gradient::{grad_log_det_kernel, ENTRY_FLOOR};
 use crate::kernel::ProductKernel;
-use crate::logdet::{log_det_floor, log_det_psd_prefactored};
-use dhmm_linalg::{factor_into, log_det_from_factor, spd_inverse_from_factor, Matrix};
+use crate::logdet::{log_det_floor, log_det_psd_prefactored_after_plain};
+use dhmm_linalg::{factor_into, log_det_from_factor, spd_inverse_rows_from_factor, Matrix};
+use dhmm_runtime::{Executor, Parallelism};
+
+/// Minimum multiply–add count before a GEMM (or the triangular-solve
+/// inverse) inside the engine is dispatched to the worker pool; below this,
+/// dispatch overhead exceeds the arithmetic and the section runs serially.
+const PAR_MIN_GEMM_FLOPS: usize = 32_768;
+/// Minimum entry count before the gradient's final elementwise pass is
+/// dispatched to the worker pool.
+const PAR_MIN_ELEMS: usize = 4_096;
 
 /// Grow-on-reshape scratch buffers for the fused M-step engine.
 ///
@@ -71,8 +97,18 @@ pub struct MStepWorkspace {
     u: Vec<f64>,
     /// Length-`k` diagonal-correction coefficients `c_i = Σ_{n≠i} V_in·S_in`.
     c: Vec<f64>,
-    /// Length-`k` triangular-solve scratch.
-    solve: Vec<f64>,
+    /// The iterate of the last cache-setting value evaluation (the
+    /// accept→gradient factorization cache; see [`DppObjective::grad_with`]).
+    cached_a: Matrix,
+    /// Kernel exponent the cached factorization was computed under — part of
+    /// the cache key, since one workspace may serve engines with different
+    /// kernels.
+    cached_rho: f64,
+    /// `log det K̃` of the cached iterate.
+    cached_ld: f64,
+    /// Whether `p`/`s`/`l` currently hold a valid interior factorization of
+    /// `cached_a` under `cached_rho`.
+    cache_valid: bool,
 }
 
 impl MStepWorkspace {
@@ -92,6 +128,7 @@ impl MStepWorkspace {
         if self.p.shape() != (k, d) {
             self.p = Matrix::zeros(k, d);
             self.g = Matrix::zeros(k, d);
+            self.cache_valid = false;
         }
         if self.s.shape() != (k, k) {
             self.s = Matrix::zeros(k, k);
@@ -101,8 +138,31 @@ impl MStepWorkspace {
             self.selfsim = vec![0.0; k];
             self.u = vec![0.0; k];
             self.c = vec![0.0; k];
-            self.solve = vec![0.0; k];
+            self.cache_valid = false;
         }
+    }
+
+    /// Records that `p`/`s`/`l` hold the interior factorization of `a` under
+    /// exponent `rho`, with value `ld`.
+    fn remember(&mut self, a: &Matrix, rho: f64, ld: f64) {
+        if self.cached_a.shape() != a.shape() {
+            self.cached_a = a.clone();
+        } else {
+            self.cached_a
+                .copy_from(a)
+                .expect("cache shape checked above");
+        }
+        self.cached_rho = rho;
+        self.cached_ld = ld;
+        self.cache_valid = true;
+    }
+
+    /// Whether the resident factorization belongs to exactly this iterate
+    /// and exponent. The fingerprint is an exact entrywise comparison —
+    /// `O(k·d)`, negligible against the `O(k³)` factorization it saves, and
+    /// immune to the false positives a hash would admit.
+    fn cache_hit(&self, a: &Matrix, rho: f64) -> bool {
+        self.cache_valid && self.cached_rho == rho && self.cached_a == *a
     }
 }
 
@@ -118,21 +178,45 @@ impl Default for MStepWorkspace {
             selfsim: Vec::new(),
             u: Vec::new(),
             c: Vec::new(),
-            solve: Vec::new(),
+            cached_a: Matrix::zeros(0, 0),
+            cached_rho: f64::NAN,
+            cached_ld: f64::NAN,
+            cache_valid: false,
         }
     }
 }
 
 /// The fused evaluator of the DPP prior `log det K̃_A` and its gradient.
+///
+/// Carries an [`Executor`] (serial by default) through which its GEMMs, the
+/// triangular-solve inverse and the gradient's final elementwise pass are
+/// split per output row across the worker pool. All parallel sections are
+/// bit-deterministic across worker counts, so the executor choice affects
+/// wall-clock time only, never results.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DppObjective {
     kernel: ProductKernel,
+    exec: Executor,
 }
 
 impl DppObjective {
-    /// Creates an engine for the given product kernel.
+    /// Creates an engine for the given product kernel, running serially.
     pub fn new(kernel: ProductKernel) -> Self {
-        Self { kernel }
+        Self {
+            kernel,
+            exec: Executor::serial(),
+        }
+    }
+
+    /// Returns the engine dispatching through the given executor.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Returns the engine with an executor resolved from `parallelism`.
+    pub fn with_parallelism(self, parallelism: Parallelism) -> Self {
+        self.with_executor(Executor::new(parallelism))
     }
 
     /// The kernel defining `K̃_A`.
@@ -140,15 +224,53 @@ impl DppObjective {
         &self.kernel
     }
 
+    /// The executor the engine's parallel sections dispatch through.
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
+    /// The executor for a `flops`-sized GEMM/solve section (serial when too
+    /// small to amortize dispatch).
+    fn gemm_exec(&self, flops: usize) -> Executor {
+        self.exec.unless_smaller_than(flops, PAR_MIN_GEMM_FLOPS)
+    }
+
     /// `log det K̃_A`, equivalent to
     /// [`crate::log_det_kernel`]`(a, kernel)` but allocation-free.
+    ///
+    /// On an interior, positive-definite iterate the factorization this
+    /// computes is left resident in the workspace keyed by the iterate, so a
+    /// following [`Self::grad_with`] at the same iterate — the ascent's
+    /// accept→gradient pattern — skips its own `O(k³)` factorization.
     pub fn log_det_with(&self, a: &Matrix, ws: &mut MStepWorkspace) -> Result<f64, DppError> {
         validate(a, "kernel matrix requires a non-empty input matrix")?;
-        ws.ensure(a.rows(), a.cols());
-        fill_power(a, self.kernel.rho(), 0.0, &mut ws.p);
-        ws.p.matmul_nt_into(&ws.p, &mut ws.s)?;
+        let (k, d) = a.shape();
+        ws.ensure(k, d);
+        let rho = self.kernel.rho();
+        if ws.cache_hit(a, rho) {
+            return Ok(ws.cached_ld);
+        }
+        ws.cache_valid = false;
+        let boundary = fill_power(a, rho, 0.0, &mut ws.p);
+        ws.p.matmul_nt_into_on(&ws.p, &mut ws.s, &self.gemm_exec(k * k * d))?;
         normalize_value_kernel(&ws.s, &mut ws.kt);
-        log_det_psd_prefactored(&ws.kt, &mut ws.l)
+        // Attempt the plain (jitter-0) factorization here — the same first
+        // rung the robust ladder would try — so a success on an interior
+        // iterate can be cached for the gradient that typically follows,
+        // and a failure is never re-attempted by the fall-through.
+        let interior = !boundary && (0..k).all(|i| ws.s[(i, i)] >= ENTRY_FLOOR);
+        let plain = factor_into(&ws.kt, 0.0, &mut ws.l).is_ok();
+        if plain {
+            let ld = log_det_from_factor(&ws.l);
+            if ld.is_finite() {
+                let value = ld.max(log_det_floor());
+                if interior {
+                    ws.remember(a, rho, value);
+                }
+                return Ok(value);
+            }
+        }
+        log_det_psd_prefactored_after_plain(&ws.kt, &mut ws.l, plain)
     }
 
     /// `∇_A log det K̃_A` written into `out`, equivalent to
@@ -157,6 +279,15 @@ impl DppObjective {
     /// jitter (rows collapsed onto each other), the computation is delegated
     /// to the scalar reference path so the two agree in the degenerate
     /// regime by construction.
+    ///
+    /// When the workspace still holds the factorization of exactly this
+    /// iterate from a preceding [`Self::log_det_with`] (the line search's
+    /// accepted candidate becoming the gradient point), the power matrix,
+    /// Gram matrix and Cholesky factor are reused — saving one `O(k²·d)`
+    /// GEMM and one `O(k³)` factorization per ascent iteration. Interior
+    /// iterates make the value-path and gradient-path clamps coincide, so
+    /// the reuse is exact in the same sense as
+    /// [`Self::log_det_and_grad_with`]'s shared factorization.
     pub fn grad_with(
         &self,
         a: &Matrix,
@@ -166,6 +297,12 @@ impl DppObjective {
         validate(a, "gradient requires a non-empty matrix")?;
         check_out_shape(a, out)?;
         ws.ensure(a.rows(), a.cols());
+        if ws.cache_hit(a, self.kernel.rho()) {
+            // `grad_from_factored` reads but never writes `p`/`s`/`l`, so
+            // the cache stays valid for further same-iterate calls.
+            return self.grad_from_factored(a, ws, out);
+        }
+        ws.cache_valid = false;
         fill_power(a, self.kernel.rho(), ENTRY_FLOOR, &mut ws.p);
         self.grad_from_power(a, ws, out)
     }
@@ -183,29 +320,39 @@ impl DppObjective {
     ) -> Result<f64, DppError> {
         validate(a, "kernel matrix requires a non-empty input matrix")?;
         check_out_shape(a, out)?;
-        let (k, _) = a.shape();
-        ws.ensure(a.rows(), a.cols());
+        let (k, d) = a.shape();
+        ws.ensure(k, d);
         let rho = self.kernel.rho();
+        if ws.cache_hit(a, rho) {
+            let value = ws.cached_ld;
+            self.grad_from_factored(a, ws, out)?;
+            return Ok(value);
+        }
+        ws.cache_valid = false;
         let boundary = fill_power(a, rho, 0.0, &mut ws.p);
-        ws.p.matmul_nt_into(&ws.p, &mut ws.s)?;
+        ws.p.matmul_nt_into_on(&ws.p, &mut ws.s, &self.gemm_exec(k * k * d))?;
         normalize_value_kernel(&ws.s, &mut ws.kt);
 
         let interior = !boundary && (0..k).all(|i| ws.s[(i, i)] >= ENTRY_FLOOR);
-        if interior && factor_into(&ws.kt, 0.0, &mut ws.l).is_ok() {
+        let plain = factor_into(&ws.kt, 0.0, &mut ws.l).is_ok();
+        if interior && plain {
             let ld = log_det_from_factor(&ws.l);
             if ld.is_finite() {
                 // The factorization of K̃ is already in `l` and the powers in
                 // `p` double as the gradient's floored powers: read the
                 // gradient straight off the same factor.
+                let value = ld.max(log_det_floor());
                 self.grad_from_factored(a, ws, out)?;
-                return Ok(ld.max(log_det_floor()));
+                ws.remember(a, rho, value);
+                return Ok(value);
             }
         }
 
         // Boundary or degenerate iterate: evaluate the value with the
-        // zero-clamped kernel semantics, then rebuild the floored power
+        // zero-clamped kernel semantics (resuming the ladder after the
+        // already-attempted plain rung), then rebuild the floored power
         // matrix in place (`P_f = max(P, floor^ρ)`) for the gradient.
-        let ld = log_det_psd_prefactored(&ws.kt, &mut ws.l)?;
+        let ld = log_det_psd_prefactored_after_plain(&ws.kt, &mut ws.l, plain)?;
         let floor_pow = power_floor(rho);
         for e in ws.p.as_mut_slice() {
             *e = e.max(floor_pow);
@@ -222,8 +369,9 @@ impl DppObjective {
         ws: &mut MStepWorkspace,
         out: &mut Matrix,
     ) -> Result<(), DppError> {
-        ws.p.matmul_nt_into(&ws.p, &mut ws.s)?;
+        let d = a.cols();
         let k = ws.s.rows();
+        ws.p.matmul_nt_into_on(&ws.p, &mut ws.s, &self.gemm_exec(k * k * d))?;
         for i in 0..k {
             ws.selfsim[i] = ws.s[(i, i)].max(ENTRY_FLOOR);
         }
@@ -251,6 +399,12 @@ impl DppObjective {
     ///                    − A_ij^{2ρ−1}·c_i/S_ii]`
     /// with `c_i = Σ_{n≠i} V_in·S_in`; the `(V·P)` term is a GEMM and the
     /// elementwise powers reuse `P` (`A^{ρ−1} = P/A`, `A^{2ρ−1} = P²/A`).
+    /// The inverse (per-column solves), the GEMM (per output row) and the
+    /// final elementwise pass (per gradient row) are all row-independent and
+    /// dispatch through the engine's executor when large enough.
+    ///
+    /// Reads but never writes `ws.p`/`ws.s`/`ws.l`, which is what lets the
+    /// accept→gradient cache survive this call.
     fn grad_from_factored(
         &self,
         a: &Matrix,
@@ -262,7 +416,7 @@ impl DppObjective {
             ws.selfsim[i] = ws.s[(i, i)].max(ENTRY_FLOOR);
             ws.u[i] = 1.0 / ws.selfsim[i].sqrt();
         }
-        spd_inverse_from_factor(&ws.l, &mut ws.solve, &mut ws.inv)?;
+        spd_inverse_rows_from_factor(&ws.l, &mut ws.inv, &self.gemm_exec(k * k * k))?;
         // Column-scale the inverse in place: V = K̃⁻¹·diag(u).
         for i in 0..k {
             for n in 0..k {
@@ -276,21 +430,31 @@ impl DppObjective {
             }
             ws.c[i] = total - ws.inv[(i, i)] * ws.s[(i, i)];
         }
-        ws.inv.matmul_into(&ws.p, &mut ws.g)?;
+        ws.inv
+            .matmul_into_on(&ws.p, &mut ws.g, &self.gemm_exec(k * k * d))?;
         let rho = self.kernel.rho();
-        for i in 0..k {
-            let coef = 2.0 * rho * ws.u[i];
-            let sii = ws.selfsim[i];
-            let vii = ws.inv[(i, i)];
-            let ci = ws.c[i];
-            for j in 0..d {
-                let a_safe = a[(i, j)].max(ENTRY_FLOOR);
-                let pf = ws.p[(i, j)];
-                let pow_rm1 = pf / a_safe;
-                let pow_2rm1 = pf * pf / a_safe;
-                out[(i, j)] = coef * (pow_rm1 * (ws.g[(i, j)] - vii * pf) - pow_2rm1 * ci / sii);
-            }
-        }
+        let (p, g, u, inv, c, selfsim) = (&ws.p, &ws.g, &ws.u, &ws.inv, &ws.c, &ws.selfsim);
+        self.exec
+            .unless_smaller_than(k * d, PAR_MIN_ELEMS)
+            .for_each_band(out.as_mut_slice(), d, |rows, band| {
+                for (local, i) in rows.enumerate() {
+                    let coef = 2.0 * rho * u[i];
+                    let sii = selfsim[i];
+                    let vii = inv[(i, i)];
+                    let ci = c[i];
+                    let a_row = a.row(i);
+                    let p_row = p.row(i);
+                    let g_row = g.row(i);
+                    let out_row = &mut band[local * d..(local + 1) * d];
+                    for j in 0..d {
+                        let a_safe = a_row[j].max(ENTRY_FLOOR);
+                        let pf = p_row[j];
+                        let pow_rm1 = pf / a_safe;
+                        let pow_2rm1 = pf * pf / a_safe;
+                        out_row[j] = coef * (pow_rm1 * (g_row[j] - vii * pf) - pow_2rm1 * ci / sii);
+                    }
+                }
+            });
         Ok(())
     }
 }
@@ -522,6 +686,109 @@ mod tests {
         let a = Matrix::filled(3, 3, 1.0 / 3.0);
         assert!(engine.grad_with(&a, &mut ws, &mut out).is_err());
         assert!(engine.log_det_and_grad_with(&a, &mut ws, &mut out).is_err());
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial() {
+        // Large enough that every parallel section clears its size gate.
+        let k = 70;
+        let mut a = Matrix::from_fn(k, k, |i, j| ((i * 13 + j * 7) % 29 + 1) as f64);
+        a.normalize_rows();
+        let kernel = ProductKernel::bhattacharyya();
+        let serial = DppObjective::new(kernel);
+        let mut ws_s = MStepWorkspace::new();
+        let mut grad_s = Matrix::zeros(k, k);
+        let value_s = serial
+            .log_det_and_grad_with(&a, &mut ws_s, &mut grad_s)
+            .unwrap();
+        for workers in [2usize, 4, 16] {
+            let parallel = DppObjective::new(kernel)
+                .with_executor(dhmm_runtime::Executor::from_workers(workers));
+            let mut ws_p = MStepWorkspace::new();
+            let mut grad_p = Matrix::zeros(k, k);
+            let value_p = parallel
+                .log_det_and_grad_with(&a, &mut ws_p, &mut grad_p)
+                .unwrap();
+            assert_eq!(value_s, value_p, "workers={workers}");
+            assert!(grad_p.approx_eq(&grad_s, 0.0), "workers={workers}");
+            // The standalone calls agree bit for bit too.
+            let mut grad_sep = Matrix::zeros(k, k);
+            assert_eq!(
+                parallel.log_det_with(&a, &mut ws_p).unwrap(),
+                serial.log_det_with(&a, &mut ws_s).unwrap()
+            );
+            parallel.grad_with(&a, &mut ws_p, &mut grad_sep).unwrap();
+            let mut grad_sep_serial = Matrix::zeros(k, k);
+            serial
+                .grad_with(&a, &mut ws_s, &mut grad_sep_serial)
+                .unwrap();
+            assert!(grad_sep.approx_eq(&grad_sep_serial, 0.0));
+        }
+    }
+
+    #[test]
+    fn accept_then_gradient_cache_matches_the_combined_call() {
+        let kernel = ProductKernel::bhattacharyya();
+        let engine = DppObjective::new(kernel);
+        let a = example();
+        // Combined call: the factorization is shared by construction.
+        let mut ws_comb = MStepWorkspace::new();
+        let mut grad_comb = Matrix::zeros(3, 3);
+        let value_comb = engine
+            .log_det_and_grad_with(&a, &mut ws_comb, &mut grad_comb)
+            .unwrap();
+        // Value then gradient: the cache must reproduce the combined path
+        // exactly (same factor, same read-out).
+        let mut ws = MStepWorkspace::new();
+        let value = engine.log_det_with(&a, &mut ws).unwrap();
+        let mut grad = Matrix::zeros(3, 3);
+        engine.grad_with(&a, &mut ws, &mut grad).unwrap();
+        assert_eq!(value, value_comb);
+        assert!(grad.approx_eq(&grad_comb, 0.0));
+        // Repeated same-iterate calls keep hitting the cache.
+        assert_eq!(engine.log_det_with(&a, &mut ws).unwrap(), value);
+        let mut grad2 = Matrix::zeros(3, 3);
+        engine.grad_with(&a, &mut ws, &mut grad2).unwrap();
+        assert!(grad2.approx_eq(&grad, 0.0));
+    }
+
+    #[test]
+    fn cache_is_keyed_by_iterate_and_exponent() {
+        let a = example();
+        let mut ws = MStepWorkspace::new();
+        // Prime the cache under rho = 0.5.
+        let engine_half = DppObjective::new(ProductKernel::new(0.5).unwrap());
+        engine_half.log_det_with(&a, &mut ws).unwrap();
+        // A different exponent on the same workspace must not reuse it.
+        let engine_one = DppObjective::new(ProductKernel::new(1.0).unwrap());
+        let mut grad = Matrix::zeros(3, 3);
+        engine_one.grad_with(&a, &mut ws, &mut grad).unwrap();
+        let reference = grad_log_det_kernel(&a, &ProductKernel::new(1.0).unwrap()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    rel_close(grad[(i, j)], reference[(i, j)], 1e-10),
+                    "({i},{j}): {} vs {}",
+                    grad[(i, j)],
+                    reference[(i, j)]
+                );
+            }
+        }
+        // A different iterate of the same shape must not reuse it either.
+        engine_half.log_det_with(&a, &mut ws).unwrap();
+        let mut other = a.clone();
+        other[(0, 0)] += 1e-9;
+        other.normalize_rows();
+        let mut grad_other = Matrix::zeros(3, 3);
+        engine_half
+            .grad_with(&other, &mut ws, &mut grad_other)
+            .unwrap();
+        let mut fresh = MStepWorkspace::new();
+        let mut grad_fresh = Matrix::zeros(3, 3);
+        engine_half
+            .grad_with(&other, &mut fresh, &mut grad_fresh)
+            .unwrap();
+        assert!(grad_other.approx_eq(&grad_fresh, 0.0));
     }
 
     #[test]

@@ -17,6 +17,15 @@ use crate::model::Hmm;
 use crate::scaled::InferenceBackend;
 use crate::workspace::WorkspacePool;
 use dhmm_linalg::Matrix;
+use dhmm_runtime::{with_thread_scratch, Executor, Parallelism};
+
+/// Below either of these data sizes an [`Parallelism::Auto`] E-step runs
+/// serially: the per-dispatch pool overhead would not be amortized. Explicit
+/// `Threads(n)` requests are always honored (the partitioning is
+/// deterministic, so over-partitioning small data is safe, just slower).
+const PAR_MIN_SEQUENCES: usize = 8;
+/// Minimum total observation count for an automatic parallel E-step.
+const PAR_MIN_OBSERVATIONS: usize = 4_000;
 
 /// Strategy for re-estimating the transition matrix from the expected
 /// transition counts collected in the E-step.
@@ -71,6 +80,9 @@ pub struct BaumWelchConfig {
     /// Which inference engine runs the E-step (scaled workspace engine by
     /// default; the log-domain reference is the debugging oracle).
     pub backend: InferenceBackend,
+    /// Worker policy for the parallel E-step (`Auto` by default). Results
+    /// are bit-identical for every setting; only wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for BaumWelchConfig {
@@ -80,6 +92,7 @@ impl Default for BaumWelchConfig {
             tolerance: 1e-6,
             verbose: false,
             backend: InferenceBackend::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -179,7 +192,13 @@ impl BaumWelch {
             iterations += 1;
 
             // ---------------- E-step ----------------
-            let stats = e_step_pooled(model, sequences, self.config.backend, &mut pool)?;
+            let stats = e_step_on(
+                model,
+                sequences,
+                self.config.backend,
+                &mut pool,
+                self.config.parallelism,
+            )?;
             let data_ll: f64 = stats.iter().map(|s| s.log_likelihood).sum();
 
             // ---------------- M-step ----------------
@@ -227,8 +246,8 @@ impl BaumWelch {
     }
 }
 
-/// Runs the E-step over all sequences with the default (scaled) engine and a
-/// transient workspace pool.
+/// Runs the E-step over all sequences with the default (scaled) engine and
+/// this thread's leased workspace pool.
 pub fn e_step<E>(model: &Hmm<E>, sequences: &[Vec<E::Obs>]) -> Result<Vec<SequenceStats>, HmmError>
 where
     E: Emission + Sync,
@@ -238,6 +257,11 @@ where
 }
 
 /// Runs the E-step over all sequences with an explicit inference engine.
+///
+/// One-shot entry point: instead of constructing (and immediately
+/// discarding) a private [`WorkspacePool`] per call, the pool is leased from
+/// the runtime's thread-local scratch, so repeated one-shot calls on the
+/// same thread reuse the same warm buffers just like a held pool would.
 pub fn e_step_with<E>(
     model: &Hmm<E>,
     sequences: &[Vec<E::Obs>],
@@ -247,14 +271,15 @@ where
     E: Emission + Sync,
     E::Obs: Sync,
 {
-    e_step_pooled(model, sequences, backend, &mut WorkspacePool::new())
+    with_thread_scratch::<WorkspacePool, _>(|pool| e_step_pooled(model, sequences, backend, pool))
 }
 
-/// Runs the E-step over all sequences, using scoped threads when the data is
-/// large enough to amortize the spawn cost. Each worker thread draws its own
-/// [`crate::workspace::InferenceWorkspace`] from `pool`, so a pool kept alive
-/// across EM iterations (as [`BaumWelch::fit_with_updater`] does) makes every
-/// iteration after the first allocation-free inside the recursions.
+/// Runs the E-step over all sequences under the default `Auto` worker
+/// policy. Each executor range draws its own
+/// [`crate::workspace::InferenceWorkspace`] from `pool`, so a pool kept
+/// alive across EM iterations (as [`BaumWelch::fit_with_updater`] does)
+/// makes every iteration after the first allocation-free inside the
+/// recursions.
 pub fn e_step_pooled<E>(
     model: &Hmm<E>,
     sequences: &[Vec<E::Obs>],
@@ -265,11 +290,38 @@ where
     E: Emission + Sync,
     E::Obs: Sync,
 {
-    let total_obs: usize = sequences.iter().map(|s| s.len()).sum();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if threads <= 1 || sequences.len() < 8 || total_obs < 4_000 {
+    e_step_on(model, sequences, backend, pool, Parallelism::Auto)
+}
+
+/// Runs the E-step over all sequences on the shared runtime executor with an
+/// explicit worker policy.
+///
+/// The sequence list is split into deterministic contiguous ranges
+/// ([`dhmm_runtime::split_rows`]), each range is processed by one worker
+/// with its own leased workspace, and the per-sequence statistics are
+/// concatenated in range order — so the result is bit-identical for every
+/// worker policy, including `Serial`. Under `Auto` the E-step additionally
+/// drops to serial below a data-size threshold where dispatch overhead
+/// would dominate (which cannot change results, only speed).
+pub fn e_step_on<E>(
+    model: &Hmm<E>,
+    sequences: &[Vec<E::Obs>],
+    backend: InferenceBackend,
+    pool: &mut WorkspacePool,
+    parallelism: Parallelism,
+) -> Result<Vec<SequenceStats>, HmmError>
+where
+    E: Emission + Sync,
+    E::Obs: Sync,
+{
+    let mut exec = Executor::new(parallelism);
+    if parallelism == Parallelism::Auto {
+        let total_obs: usize = sequences.iter().map(|s| s.len()).sum();
+        if sequences.len() < PAR_MIN_SEQUENCES || total_obs < PAR_MIN_OBSERVATIONS {
+            exec = Executor::serial();
+        }
+    }
+    if exec.is_serial() {
         let ws = &mut pool.ensure(1)[0];
         return sequences
             .iter()
@@ -277,38 +329,19 @@ where
             .collect();
     }
 
-    let chunk_size = sequences.len().div_ceil(threads);
-    let num_chunks = sequences.len().div_ceil(chunk_size);
-    let workspaces = pool.ensure(num_chunks);
-    let mut results: Vec<Option<Result<Vec<SequenceStats>, HmmError>>> =
-        (0..num_chunks).map(|_| None).collect();
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for ((chunk_idx, chunk), ws) in sequences
-            .chunks(chunk_size)
-            .enumerate()
-            .zip(workspaces.iter_mut())
-        {
-            let model_ref = &*model;
-            handles.push((
-                chunk_idx,
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|s| backend.forward_backward(model_ref, s, ws))
-                        .collect::<Result<Vec<_>, _>>()
-                }),
-            ));
-        }
-        for (idx, handle) in handles {
-            results[idx] = Some(handle.join().expect("E-step worker panicked"));
-        }
-    });
+    let num_ranges = exec.num_ranges(sequences.len());
+    let workspaces = pool.ensure(num_ranges);
+    let per_range: Vec<Result<Vec<SequenceStats>, HmmError>> =
+        exec.map_ranges_with(sequences.len(), workspaces, |_, range, ws| {
+            sequences[range]
+                .iter()
+                .map(|s| backend.forward_backward(model, s, ws))
+                .collect()
+        });
 
     let mut all = Vec::with_capacity(sequences.len());
-    for r in results.into_iter().flatten() {
-        all.extend(r?);
+    for chunk in per_range {
+        all.extend(chunk?);
     }
     Ok(all)
 }
@@ -482,6 +515,43 @@ mod tests {
             assert!((p.log_likelihood - s.log_likelihood).abs() < 1e-9);
             assert!(p.gamma.approx_eq(&s.gamma, 1e-9));
             assert!(p.xi_sum.approx_eq(&s.xi_sum, 1e-9));
+        }
+    }
+
+    #[test]
+    fn e_step_is_bit_identical_across_worker_policies() {
+        let truth = ground_truth();
+        let mut rng = StdRng::seed_from_u64(23);
+        let data: Vec<Vec<usize>> = generate_sequences(&truth, 40, 25, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+        let mut serial_pool = WorkspacePool::new();
+        let serial = e_step_on(
+            &truth,
+            &data,
+            InferenceBackend::Scaled,
+            &mut serial_pool,
+            Parallelism::Serial,
+        )
+        .unwrap();
+        for workers in [2usize, 3, 8] {
+            let mut pool = WorkspacePool::new();
+            let parallel = e_step_on(
+                &truth,
+                &data,
+                InferenceBackend::Scaled,
+                &mut pool,
+                Parallelism::Threads(workers),
+            )
+            .unwrap();
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.log_likelihood.to_bits(), s.log_likelihood.to_bits());
+                assert!(p.gamma.approx_eq(&s.gamma, 0.0), "workers={workers}");
+                assert!(p.xi_sum.approx_eq(&s.xi_sum, 0.0), "workers={workers}");
+            }
         }
     }
 

@@ -44,9 +44,10 @@ pub mod viterbi;
 pub mod workspace;
 
 pub use baum_welch::{
-    e_step, e_step_with, BaumWelch, BaumWelchConfig, FitResult, MleTransitionUpdater,
-    TransitionUpdater,
+    e_step, e_step_on, e_step_pooled, e_step_with, BaumWelch, BaumWelchConfig, FitResult,
+    MleTransitionUpdater, TransitionUpdater,
 };
+pub use dhmm_runtime::Parallelism;
 pub use emission::{BernoulliEmission, DiscreteEmission, Emission, GaussianEmission};
 pub use error::HmmError;
 pub use forward_backward::{forward_backward, ForwardBackward, SequenceStats};

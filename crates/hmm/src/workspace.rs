@@ -95,40 +95,15 @@ impl InferenceWorkspace {
     }
 }
 
-/// A pool of per-thread workspaces, reused across EM iterations.
+/// A pool of per-worker inference workspaces, reused across EM iterations.
 ///
-/// [`crate::baum_welch::e_step_pooled`] hands one workspace to each worker
-/// thread; keeping the pool alive across iterations means the whole EM run
-/// performs its inference allocations exactly once.
-#[derive(Debug, Clone, Default)]
-pub struct WorkspacePool {
-    workspaces: Vec<InferenceWorkspace>,
-}
-
-impl WorkspacePool {
-    /// Creates an empty pool.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Returns at least `n` workspaces, growing the pool if needed.
-    pub fn ensure(&mut self, n: usize) -> &mut [InferenceWorkspace] {
-        if self.workspaces.len() < n {
-            self.workspaces.resize_with(n, InferenceWorkspace::new);
-        }
-        &mut self.workspaces[..n]
-    }
-
-    /// Number of workspaces currently in the pool.
-    pub fn len(&self) -> usize {
-        self.workspaces.len()
-    }
-
-    /// Whether the pool has no workspaces yet.
-    pub fn is_empty(&self) -> bool {
-        self.workspaces.is_empty()
-    }
-}
+/// An instance of the runtime's generic [`dhmm_runtime::LeasePool`]:
+/// [`crate::baum_welch::e_step_pooled`] leases one workspace per executor
+/// range, and keeping the pool alive across iterations means the whole EM
+/// run performs its inference allocations exactly once. One-shot callers
+/// without a pool of their own go through the runtime's thread-local lease
+/// instead (see [`crate::baum_welch::e_step_with`]).
+pub type WorkspacePool = dhmm_runtime::LeasePool<InferenceWorkspace>;
 
 #[cfg(test)]
 mod tests {

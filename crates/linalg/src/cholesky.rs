@@ -9,6 +9,7 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use dhmm_runtime::Executor;
 
 /// Lower-triangular Cholesky factor `L` such that `A = L·Lᵀ`.
 #[derive(Debug, Clone)]
@@ -255,6 +256,62 @@ pub fn spd_inverse_from_factor(
     Ok(())
 }
 
+/// Inverse of the factored SPD matrix, written into `inv` **row by row**
+/// with the rows split across the executor's workers.
+///
+/// Row `r` of the output is the solution of `A·x = e_r` — a column of the
+/// inverse stored as a row, which is the same matrix because the inverse of
+/// an SPD matrix is symmetric. Each row's pair of triangular solves runs
+/// entirely in place inside that output row (the back-substitution
+/// overwrites the forward solution it has already consumed), so the routine
+/// needs no scratch at all and every row is computed independently —
+/// bit-identical for every worker count, including the serial executor.
+///
+/// `l` is a factor produced by [`factor_into`]; only its lower triangle is
+/// read. This is the parallel sibling of [`spd_inverse_from_factor`]; the
+/// two agree up to the transpose storage order (exactly, entry for entry).
+pub fn spd_inverse_rows_from_factor(
+    l: &Matrix,
+    inv: &mut Matrix,
+    exec: &Executor,
+) -> Result<(), LinalgError> {
+    let n = l.rows();
+    if inv.shape() != l.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cholesky::spd_inverse_rows_from_factor",
+            left: l.shape(),
+            right: inv.shape(),
+        });
+    }
+    if n == 0 {
+        return Ok(());
+    }
+    exec.for_each_band(inv.as_mut_slice(), n, |rows, band| {
+        for (local, r) in rows.enumerate() {
+            let x = &mut band[local * n..(local + 1) * n];
+            // Forward: L·y = e_r. Rows above `r` solve to exactly zero.
+            x[..r].fill(0.0);
+            for i in r..n {
+                let mut v = if i == r { 1.0 } else { 0.0 };
+                for j in r..i {
+                    v -= l[(i, j)] * x[j];
+                }
+                x[i] = v / l[(i, i)];
+            }
+            // Backward: Lᵀ·x = y, in place — x[j] for j > i already holds
+            // the final solution while x[i] still holds the forward value.
+            for i in (0..n).rev() {
+                let mut v = x[i];
+                for j in (i + 1)..n {
+                    v -= l[(j, i)] * x[j];
+                }
+                x[i] = v / l[(i, i)];
+            }
+        }
+    });
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +449,32 @@ mod tests {
         // Shape and scratch validation.
         assert!(spd_inverse_from_factor(&l, &mut scratch, &mut Matrix::zeros(2, 2)).is_err());
         assert!(spd_inverse_from_factor(&l, &mut [0.0; 2], &mut inv).is_err());
+    }
+
+    #[test]
+    fn row_wise_inverse_is_the_exact_transpose_of_the_columnwise_one() {
+        let a = spd();
+        let mut l = Matrix::zeros(3, 3);
+        factor_into(&a, 0.0, &mut l).unwrap();
+        let mut by_cols = Matrix::zeros(3, 3);
+        spd_inverse_from_factor(&l, &mut [0.0; 3], &mut by_cols).unwrap();
+        for workers in [1usize, 2, 8] {
+            let mut by_rows = Matrix::filled(3, 3, f64::NAN);
+            spd_inverse_rows_from_factor(&l, &mut by_rows, &Executor::from_workers(workers))
+                .unwrap();
+            // Same arithmetic per solve, transposed storage: exact equality.
+            assert!(
+                by_rows.approx_eq(&by_cols.transpose(), 0.0),
+                "workers={workers}"
+            );
+            assert!(a
+                .matmul(&by_rows)
+                .unwrap()
+                .approx_eq(&Matrix::identity(3), 1e-9));
+        }
+        assert!(
+            spd_inverse_rows_from_factor(&l, &mut Matrix::zeros(2, 2), &Executor::serial())
+                .is_err()
+        );
     }
 }

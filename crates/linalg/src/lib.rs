@@ -36,7 +36,10 @@ pub mod simplex;
 pub mod stats;
 pub mod vector;
 
-pub use cholesky::{factor_into, log_det_from_factor, spd_inverse_from_factor, Cholesky};
+pub use cholesky::{
+    factor_into, log_det_from_factor, spd_inverse_from_factor, spd_inverse_rows_from_factor,
+    Cholesky,
+};
 pub use eigen::{jacobi_eigen, SymmetricEigen};
 pub use error::LinalgError;
 pub use lu::LuDecomposition;

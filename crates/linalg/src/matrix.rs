@@ -7,8 +7,19 @@
 //! reads close to the equations in the paper.
 
 use crate::error::LinalgError;
+use dhmm_runtime::Executor;
 use std::fmt;
-use std::ops::{Add, Index, IndexMut, Mul, Sub};
+use std::ops::{Add, Index, IndexMut, Mul, Range, Sub};
+
+/// Inner-dimension panel height of the blocked GEMM kernels: `KC` rows of
+/// the right operand (≤ `KC·NC·8` bytes) stay cache-resident while they are
+/// reused across every output row of the band.
+const GEMM_KC: usize = 64;
+/// Output-column panel width of the blocked GEMM kernels.
+const GEMM_NC: usize = 256;
+/// Right-operand row-panel height of the blocked `A·Bᵀ` kernel: this many
+/// rows of `B` stay hot while the whole output band dots against them.
+const GEMM_NT_JC: usize = 32;
 
 /// A dense, row-major matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -280,11 +291,27 @@ impl Matrix {
 
     /// Matrix product `self * other` written into `out` without allocating.
     ///
-    /// `out` must already have shape `(self.rows, other.cols)`; its previous
-    /// contents are overwritten. Uses the same i–k–j loop order (and the same
-    /// zero-skip) as [`Matrix::matmul`], so the two produce identical
-    /// floating-point results.
+    /// Runs the cache-blocked kernel on the calling thread. Per output
+    /// entry, the inner-dimension accumulation order is the same ascending
+    /// `k` (with the same zero-skip) as [`Matrix::matmul`], so the blocked,
+    /// the naive and the parallel ([`Matrix::matmul_into_on`]) paths all
+    /// produce bit-identical results.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        self.matmul_into_on(other, out, &Executor::serial())
+    }
+
+    /// Matrix product `self * other` written into `out`, with the output
+    /// rows split into bands across the executor's workers.
+    ///
+    /// `out` must already have shape `(self.rows, other.cols)`; its previous
+    /// contents are overwritten. Every output row is computed entirely by
+    /// one worker, so the result is bit-identical for every worker count.
+    pub fn matmul_into_on(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        exec: &Executor,
+    ) -> Result<(), LinalgError> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_into",
@@ -299,28 +326,39 @@ impl Matrix {
                 right: out.shape(),
             });
         }
-        out.data.fill(0.0);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a_ik = self[(i, k)];
-                if a_ik == 0.0 {
-                    continue;
-                }
-                for j in 0..other.cols {
-                    out[(i, j)] += a_ik * other[(k, j)];
-                }
-            }
+        if out.data.is_empty() {
+            return Ok(());
         }
+        exec.for_each_band(&mut out.data, other.cols, |rows, band| {
+            matmul_block(self, other, rows, band);
+        });
         Ok(())
     }
 
     /// Matrix product `self * otherᵀ` written into `out` without allocating.
     ///
+    /// Runs the cache-blocked kernel on the calling thread; see
+    /// [`Matrix::matmul_nt_into_on`] for the banded parallel variant, which
+    /// produces bit-identical results.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        self.matmul_nt_into_on(other, out, &Executor::serial())
+    }
+
+    /// Matrix product `self * otherᵀ` written into `out`, with the output
+    /// rows split into bands across the executor's workers.
+    ///
     /// Both inputs are traversed row-wise (each output entry is a dot product
     /// of two rows), which is the cache-friendly orientation for row-major
-    /// storage. `out` must already have shape `(self.rows, other.rows)`.
-    /// The Gram matrix `A·Aᵀ` of the DPP power matrix is the main caller.
-    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+    /// storage; the kernel additionally blocks the rows of `other` so a
+    /// panel of them stays hot across the whole band. `out` must already
+    /// have shape `(self.rows, other.rows)`. The Gram matrix `A·Aᵀ` of the
+    /// DPP power matrix is the main caller.
+    pub fn matmul_nt_into_on(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        exec: &Executor,
+    ) -> Result<(), LinalgError> {
         if self.cols != other.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_nt_into",
@@ -335,13 +373,12 @@ impl Matrix {
                 right: out.shape(),
             });
         }
-        for i in 0..self.rows {
-            let a = self.row(i);
-            for j in 0..other.rows {
-                let b = other.row(j);
-                out[(i, j)] = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
-            }
+        if out.data.is_empty() {
+            return Ok(());
         }
+        exec.for_each_band(&mut out.data, other.rows, |rows, band| {
+            matmul_nt_block(self, other, rows, band);
+        });
         Ok(())
     }
 
@@ -591,6 +628,65 @@ impl Matrix {
     }
 }
 
+/// Cache-blocked `out[rows, :] = a[rows, :] · b` into the row band `band`
+/// (`rows.len() × b.cols`, row-major).
+///
+/// Loop order is `k-panel → j-panel → i → k → j`: the `KC × NC` panel of
+/// `b` is reused across every row of the band before the next panel is
+/// touched. Because the `k` panels are visited in ascending order and each
+/// output entry accumulates over ascending `k` within a panel, the per-entry
+/// accumulation order is plain ascending `k` — bit-identical to the naive
+/// i–k–j product, whatever the block sizes.
+fn matmul_block(a: &Matrix, b: &Matrix, rows: Range<usize>, band: &mut [f64]) {
+    let n = b.cols;
+    let inner = a.cols;
+    band.fill(0.0);
+    let mut k0 = 0;
+    while k0 < inner {
+        let k1 = (k0 + GEMM_KC).min(inner);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + GEMM_NC).min(n);
+            for (local, i) in rows.clone().enumerate() {
+                let a_row = a.row(i);
+                let out_row = &mut band[local * n + j0..local * n + j1];
+                for (&a_ik, k) in a_row[k0..k1].iter().zip(k0..k1) {
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b.row(k)[j0..j1];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ik * bv;
+                    }
+                }
+            }
+            j0 = j1;
+        }
+        k0 = k1;
+    }
+}
+
+/// Cache-blocked `out[rows, :] = a[rows, :] · bᵀ` into the row band `band`
+/// (`rows.len() × b.rows`, row-major). Each entry is one ascending-order dot
+/// product of two rows, so the result is independent of the `b`-row panel
+/// size and of how the output rows are banded across workers.
+fn matmul_nt_block(a: &Matrix, b: &Matrix, rows: Range<usize>, band: &mut [f64]) {
+    let n = b.rows;
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + GEMM_NT_JC).min(n);
+        for (local, i) in rows.clone().enumerate() {
+            let a_row = a.row(i);
+            let out_row = &mut band[local * n..(local + 1) * n];
+            for (o, j) in out_row[j0..j1].iter_mut().zip(j0..j1) {
+                let b_row = b.row(j);
+                *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        j0 = j1;
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
@@ -813,6 +909,37 @@ mod tests {
         // Shape errors.
         assert!(a.matmul_nt_into(&Matrix::zeros(2, 2), &mut out).is_err());
         assert!(a.matmul_nt_into(&b, &mut Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn blocked_and_parallel_gemm_are_bit_identical_to_naive() {
+        // Shapes straddling the KC/NC/JC block boundaries, including an
+        // exact-zero entry to exercise the zero-skip, and worker counts
+        // beyond the row count: every path must agree bit for bit.
+        let mut a = Matrix::from_fn(37, GEMM_KC + 9, |i, j| {
+            ((i * 31 + j * 7) % 23) as f64 / 11.0 - 1.0
+        });
+        a[(5, 5)] = 0.0;
+        let b = Matrix::from_fn(GEMM_KC + 9, GEMM_NC + 13, |i, j| {
+            ((i * 13 + j * 3) % 17) as f64 / 7.0 - 1.2
+        });
+        let naive = a.matmul(&b).unwrap();
+        let c = Matrix::from_fn(41, GEMM_KC + 9, |i, j| {
+            ((i * 5 + j) % 19) as f64 / 9.0 - 0.8
+        });
+        let nt_naive = a.matmul(&c.transpose()).unwrap();
+        for workers in [1usize, 2, 3, 64] {
+            let exec = Executor::from_workers(workers);
+            let mut out = Matrix::filled(37, GEMM_NC + 13, f64::NAN);
+            a.matmul_into_on(&b, &mut out, &exec).unwrap();
+            assert!(out.approx_eq(&naive, 0.0), "matmul workers={workers}");
+            let mut nt_out = Matrix::filled(37, 41, f64::NAN);
+            a.matmul_nt_into_on(&c, &mut nt_out, &exec).unwrap();
+            assert!(
+                nt_out.approx_eq(&nt_naive, 0.0),
+                "matmul_nt workers={workers}"
+            );
+        }
     }
 
     #[test]

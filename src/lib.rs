@@ -62,6 +62,9 @@ pub use dhmm_prob as prob;
 /// Dense linear algebra.
 pub use dhmm_linalg as linalg;
 
+/// Deterministic worker-pool runtime (executor, row partitioning, leases).
+pub use dhmm_runtime as runtime;
+
 /// Dataset generators (toy, synthetic WSJ PoS, synthetic OCR).
 pub use dhmm_data as data;
 
