@@ -1,0 +1,330 @@
+//! Machine-readable streaming benchmark.
+//!
+//! Records the streaming subsystem's two service-level numbers into one
+//! diffable artifact, `BENCH_stream.json`:
+//!
+//! * **per-token latency** of a single [`StreamingDecoder`] session — p50 /
+//!   p99 / mean nanoseconds per `push` (filter + online Viterbi + commit
+//!   rules + amortized fixed-lag smoothing), plus the implied single-session
+//!   tokens/sec;
+//! * **multiplexed throughput** of a [`SessionPool`] — tokens/sec of batch
+//!   ticks over a sessions × threads sweep, with the 1-thread pool as the
+//!   speedup baseline.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dhmm_bench --bin stream-bench -- \
+//!     [--output BENCH_stream.json] [--threads 1,2,4] [--k 16,64] \
+//!     [--sessions 32] [--lag 8,64] [--tokens 512]
+//! ```
+//! All flags mirror `mstep-bench`'s comma-separated-list style so the
+//! multi-core rerun workflow covers streaming with the same invocation
+//! shape.
+
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::init::random_stochastic_matrix;
+use dhmm_hmm::Hmm;
+use dhmm_stream::{Parallelism, SessionPool, StreamingDecoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Vocabulary of the synthetic token stream.
+const VOCAB: usize = 64;
+/// Tokens fed per tick batch in the throughput sweep.
+const TICK_CHUNK: usize = 32;
+
+struct Args {
+    output: String,
+    threads: Vec<usize>,
+    sizes: Vec<usize>,
+    sessions: Vec<usize>,
+    lags: Vec<usize>,
+    tokens: usize,
+}
+
+fn parse_list(raw: &str, flag: &str) -> Vec<usize> {
+    raw.split(',')
+        .map(|part| {
+            part.trim().parse::<usize>().unwrap_or_else(|_| {
+                panic!("{flag} expects a comma-separated integer list, got {raw:?}")
+            })
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        output: "BENCH_stream.json".to_string(),
+        threads: vec![1, 2, 4],
+        sizes: vec![16, 64],
+        sessions: vec![32],
+        lags: vec![8, 64],
+        tokens: 512,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--output" => args.output = value_of("--output"),
+            "--threads" => args.threads = parse_list(&value_of("--threads"), "--threads"),
+            "--k" => args.sizes = parse_list(&value_of("--k"), "--k"),
+            "--sessions" => args.sessions = parse_list(&value_of("--sessions"), "--sessions"),
+            "--lag" => args.lags = parse_list(&value_of("--lag"), "--lag"),
+            "--tokens" => {
+                args.tokens = value_of("--tokens")
+                    .parse()
+                    .expect("--tokens expects an integer")
+            }
+            other if !other.starts_with('-') => args.output = other.to_string(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    for (name, list) in [
+        ("--threads", &args.threads),
+        ("--k", &args.sizes),
+        ("--sessions", &args.sessions),
+        ("--lag", &args.lags),
+    ] {
+        assert!(!list.is_empty(), "{name} list must be non-empty");
+    }
+    assert!(args.tokens > 0, "--tokens must be positive");
+    args
+}
+
+fn model(k: usize) -> Hmm<DiscreteEmission> {
+    let mut rng = StdRng::seed_from_u64(271);
+    let (pi, a) = dhmm_hmm::init::random_parameters(
+        k,
+        dhmm_hmm::init::InitStrategy::Dirichlet { concentration: 2.0 },
+        &mut rng,
+    )
+    .expect("valid parameters");
+    let b = random_stochastic_matrix(k, VOCAB, 1.0, &mut rng).expect("valid matrix");
+    Hmm::new(pi, a, DiscreteEmission::new(b).expect("valid emission")).expect("valid model")
+}
+
+fn stream(tokens: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..tokens).map(|_| rng.gen_range(0..VOCAB)).collect()
+}
+
+struct LatencyRow {
+    k: usize,
+    lag: usize,
+    p50_ns: f64,
+    p99_ns: f64,
+    mean_ns: f64,
+    tokens_per_sec: f64,
+}
+
+/// Single-session per-token latency: push `tokens` tokens through a warm
+/// decoder. The percentile pass times each push individually; tokens/sec
+/// comes from a separate *uninstrumented* pass, so the committed
+/// throughput figure carries no `Instant::now` / sample-recording overhead
+/// (at sub-µs pushes, two timer reads per token would skew it by ~10%).
+fn latency(k: usize, lag: usize, tokens: usize) -> LatencyRow {
+    let m = model(k);
+    let seq = stream(tokens, 99);
+    let mut dec = StreamingDecoder::new(&m, lag);
+    // Warm-up pass sizes every buffer and the branch predictors.
+    for obs in &seq {
+        black_box(dec.push(obs).log_likelihood);
+    }
+    dec.flush();
+    dec.reset();
+
+    // Instrumented pass: per-push percentiles.
+    let mut samples = Vec::with_capacity(tokens);
+    for obs in &seq {
+        let start = Instant::now();
+        black_box(dec.push(obs).log_likelihood);
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    dec.flush();
+    dec.reset();
+
+    // Clean pass: wall-clock throughput with nothing inside the loop.
+    let total = Instant::now();
+    for obs in &seq {
+        black_box(dec.push(obs).log_likelihood);
+    }
+    let wall = total.elapsed().as_secs_f64();
+    dec.flush();
+
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    LatencyRow {
+        k,
+        lag,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        tokens_per_sec: tokens as f64 / wall,
+    }
+}
+
+struct ThroughputRow {
+    k: usize,
+    lag: usize,
+    sessions: usize,
+    threads: usize,
+    tokens_per_sec: f64,
+    serial_tokens_per_sec: f64,
+}
+
+impl ThroughputRow {
+    fn speedup(&self) -> f64 {
+        self.tokens_per_sec / self.serial_tokens_per_sec
+    }
+}
+
+/// One full multiplexed run: `sessions` sessions × `tokens` tokens, fed in
+/// `TICK_CHUNK`-token rounds, under an explicit thread policy. Returns
+/// tokens/sec.
+fn pool_run(m: &Hmm<DiscreteEmission>, streams: &[Vec<usize>], lag: usize, threads: usize) -> f64 {
+    let mut pool = SessionPool::new(m, lag, Parallelism::Threads(threads));
+    let ids: Vec<_> = streams.iter().map(|_| pool.create()).collect();
+    let tokens: usize = streams.iter().map(|s| s.len()).sum();
+    let max_len = streams.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut sink = Vec::new();
+
+    let start = Instant::now();
+    let mut offset = 0;
+    while offset < max_len {
+        for (id, seq) in ids.iter().zip(streams) {
+            for &obs in seq.iter().skip(offset).take(TICK_CHUNK) {
+                pool.push(*id, obs).expect("live session");
+            }
+        }
+        pool.tick();
+        offset += TICK_CHUNK;
+    }
+    for id in &ids {
+        pool.flush(*id).expect("live session");
+        sink.clear();
+        pool.take_committed(*id, &mut sink).expect("live session");
+        black_box(sink.len());
+    }
+    tokens as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut latency_rows = Vec::new();
+    for &k in &args.sizes {
+        for &lag in &args.lags {
+            latency_rows.push(latency(k, lag, args.tokens));
+        }
+    }
+
+    println!(
+        "stream: single-session per-token latency ({} tokens/session)\n",
+        args.tokens
+    );
+    println!(
+        "{:>4} {:>5} {:>10} {:>10} {:>10} {:>14}",
+        "k", "lag", "p50", "p99", "mean", "tokens/sec"
+    );
+    for r in &latency_rows {
+        println!(
+            "{:>4} {:>5} {:>8.0}ns {:>8.0}ns {:>8.0}ns {:>14.0}",
+            r.k, r.lag, r.p50_ns, r.p99_ns, r.mean_ns, r.tokens_per_sec
+        );
+    }
+
+    let mut throughput_rows = Vec::new();
+    for &k in &args.sizes {
+        let m = model(k);
+        for &lag in &args.lags {
+            for &sessions in &args.sessions {
+                let streams: Vec<Vec<usize>> = (0..sessions)
+                    .map(|i| stream(args.tokens, 1000 + i as u64))
+                    .collect();
+                // Warm-up run sizes every session workspace and the pool
+                // scratch, so measured runs see steady-state allocation.
+                black_box(pool_run(&m, &streams, lag, 1));
+                let serial = pool_run(&m, &streams, lag, 1);
+                for &threads in &args.threads {
+                    let tps = if threads == 1 {
+                        serial
+                    } else {
+                        pool_run(&m, &streams, lag, threads)
+                    };
+                    throughput_rows.push(ThroughputRow {
+                        k,
+                        lag,
+                        sessions,
+                        threads,
+                        tokens_per_sec: tps,
+                        serial_tokens_per_sec: serial,
+                    });
+                }
+            }
+        }
+    }
+
+    println!("\nstream: multiplexed session-pool throughput ({cores} cores available)\n");
+    println!(
+        "{:>4} {:>5} {:>9} {:>8} {:>14} {:>9}",
+        "k", "lag", "sessions", "threads", "tokens/sec", "speedup"
+    );
+    for r in &throughput_rows {
+        println!(
+            "{:>4} {:>5} {:>9} {:>8} {:>14.0} {:>8.2}x",
+            r.k,
+            r.lag,
+            r.sessions,
+            r.threads,
+            r.tokens_per_sec,
+            r.speedup()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"stream\",\n");
+    json.push_str("  \"description\": \"Streaming inference: single-session per-token push latency (p50/p99/mean ns) and multiplexed SessionPool throughput (tokens/sec) over a k x lag x sessions x threads sweep\",\n");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"vocab\": {VOCAB},");
+    let _ = writeln!(json, "  \"tokens_per_session\": {},", args.tokens);
+    json.push_str("  \"latency\": [\n");
+    for (i, r) in latency_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"k\": {}, \"lag\": {}, \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"mean_ns\": {:.0}, \"tokens_per_sec\": {:.0}}}",
+            r.k, r.lag, r.p50_ns, r.p99_ns, r.mean_ns, r.tokens_per_sec
+        );
+        json.push_str(if i + 1 < latency_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"throughput\": [\n");
+    for (i, r) in throughput_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"k\": {}, \"lag\": {}, \"sessions\": {}, \"threads\": {}, \"tokens_per_sec\": {:.0}, \"speedup_vs_serial\": {:.2}}}",
+            r.k, r.lag, r.sessions, r.threads, r.tokens_per_sec, r.speedup()
+        );
+        json.push_str(if i + 1 < throughput_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.output, &json).expect("write benchmark JSON");
+    println!("\nwrote {}", args.output);
+}

@@ -3,6 +3,7 @@
 use dhmm_dpp::DppError;
 use dhmm_hmm::HmmError;
 use dhmm_linalg::LinalgError;
+use dhmm_stream::StreamError;
 use std::fmt;
 
 /// Errors produced while training or configuring a diversified HMM.
@@ -19,6 +20,9 @@ pub enum DhmmError {
     Dpp(DppError),
     /// An error from the linear-algebra substrate.
     Linalg(LinalgError),
+    /// An error from the streaming subsystem (unsupported backend, stale or
+    /// finished session handles).
+    Stream(StreamError),
 }
 
 impl fmt::Display for DhmmError {
@@ -30,6 +34,7 @@ impl fmt::Display for DhmmError {
             DhmmError::Hmm(e) => write!(f, "HMM error: {e}"),
             DhmmError::Dpp(e) => write!(f, "DPP error: {e}"),
             DhmmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            DhmmError::Stream(e) => write!(f, "streaming error: {e}"),
         }
     }
 }
@@ -51,6 +56,12 @@ impl From<DppError> for DhmmError {
 impl From<LinalgError> for DhmmError {
     fn from(e: LinalgError) -> Self {
         DhmmError::Linalg(e)
+    }
+}
+
+impl From<StreamError> for DhmmError {
+    fn from(e: StreamError) -> Self {
+        DhmmError::Stream(e)
     }
 }
 

@@ -23,6 +23,7 @@ use dhmm_hmm::supervised::supervised_estimate;
 use dhmm_hmm::InferenceWorkspace;
 use dhmm_linalg::Matrix;
 use dhmm_prob::mean_pairwise_bhattacharyya;
+use dhmm_stream::{SessionPool, StreamConfig, StreamingDecoder};
 
 /// Diagnostics of a supervised dHMM fit.
 #[derive(Debug, Clone)]
@@ -123,6 +124,38 @@ impl SupervisedDiversifiedHmm {
                     .map_err(DhmmError::from)
             })
             .collect()
+    }
+
+    /// The streaming config implied by this trainer's knobs and a lag.
+    fn stream_config(&self, lag: usize) -> StreamConfig {
+        StreamConfig {
+            lag,
+            backend: self.config.backend,
+            parallelism: self.config.parallelism,
+        }
+    }
+
+    /// Builds a single-session [`StreamingDecoder`] over a trained model,
+    /// honoring the trainer's `backend` knob (streaming requires the scaled
+    /// engine; a `LogReference` config is rejected here rather than
+    /// silently switched). With `lag ≥ T` the stream reproduces
+    /// [`SupervisedDiversifiedHmm::decode_all`] exactly.
+    pub fn streaming_decoder<'m, E: Emission>(
+        &self,
+        model: &'m Hmm<E>,
+        lag: usize,
+    ) -> Result<StreamingDecoder<'m, E>, DhmmError> {
+        StreamingDecoder::with_config(model, self.stream_config(lag)).map_err(DhmmError::from)
+    }
+
+    /// Builds a multiplexed [`SessionPool`] over a trained model, honoring
+    /// the trainer's `backend` and `parallelism` knobs.
+    pub fn streaming_pool<'m, E: Emission>(
+        &self,
+        model: &'m Hmm<E>,
+        lag: usize,
+    ) -> Result<SessionPool<'m, E>, DhmmError> {
+        SessionPool::with_config(model, self.stream_config(lag)).map_err(DhmmError::from)
     }
 }
 

@@ -34,7 +34,7 @@ use dhmm_hmm::baum_welch::TransitionUpdater;
 use dhmm_hmm::HmmError;
 use dhmm_linalg::{project_row_stochastic_with, Matrix};
 use dhmm_runtime::Parallelism;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Floor applied to transition probabilities inside logs and divisions.
 const PROB_FLOOR: f64 = 1e-12;
@@ -391,7 +391,13 @@ pub fn maximize_transition_objective_with(
 /// into [`dhmm_hmm::BaumWelch::fit_with_updater`]. Owns an
 /// [`AscentWorkspace`] that persists across EM iterations, so each M-step
 /// after the first runs allocation-free inside the ascent.
-#[derive(Debug, Clone)]
+///
+/// The workspace sits behind a `Mutex` (not a `RefCell`) so the updater is
+/// `Sync`: the EM loop runs the transition update concurrently with the
+/// emission re-estimation on the shared runtime pool, which requires calling
+/// `update` from a pool worker thread. The lock is uncontended — one
+/// transition update runs at a time — so it costs one lock per M-step.
+#[derive(Debug)]
 pub struct DppTransitionUpdater {
     /// Diversity weight `α`.
     pub alpha: f64,
@@ -404,7 +410,25 @@ pub struct DppTransitionUpdater {
     /// Worker policy for the prior engine's parallel sections (`Auto` by
     /// default; the trainers overwrite it with their configured policy).
     pub parallelism: Parallelism,
-    workspace: RefCell<AscentWorkspace>,
+    workspace: Mutex<AscentWorkspace>,
+}
+
+impl Clone for DppTransitionUpdater {
+    fn clone(&self) -> Self {
+        Self {
+            alpha: self.alpha,
+            kernel: self.kernel,
+            ascent: self.ascent,
+            backend: self.backend,
+            parallelism: self.parallelism,
+            workspace: Mutex::new(
+                self.workspace
+                    .lock()
+                    .expect("ascent workspace poisoned")
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl DppTransitionUpdater {
@@ -418,7 +442,7 @@ impl DppTransitionUpdater {
             ascent,
             backend: MStepBackend::default(),
             parallelism: Parallelism::default(),
-            workspace: RefCell::new(AscentWorkspace::new()),
+            workspace: Mutex::new(AscentWorkspace::new()),
         }
     }
 
@@ -448,7 +472,7 @@ impl TransitionUpdater for DppTransitionUpdater {
         let objective = TransitionObjective::unsupervised(xi_sum, self.alpha, self.kernel)
             .with_backend(self.backend)
             .with_parallelism(self.parallelism);
-        let mut ws = self.workspace.borrow_mut();
+        let mut ws = self.workspace.lock().expect("ascent workspace poisoned");
 
         // Candidate starting points for the ascent: the MLE solution, the
         // previous iterate, and a symmetry-broken perturbation of the MLE.
@@ -491,7 +515,7 @@ impl TransitionUpdater for DppTransitionUpdater {
         }
         let log_det = match self.backend {
             MStepBackend::Fused => {
-                let mut ws = self.workspace.borrow_mut();
+                let mut ws = self.workspace.lock().expect("ascent workspace poisoned");
                 DppObjective::new(self.kernel)
                     .with_parallelism(self.parallelism)
                     .log_det_with(a, &mut ws.dpp)

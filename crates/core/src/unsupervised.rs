@@ -16,6 +16,7 @@ use dhmm_hmm::init::{random_parameters, random_stochastic_matrix, InitStrategy};
 use dhmm_hmm::model::Hmm;
 use dhmm_hmm::InferenceWorkspace;
 use dhmm_prob::mean_pairwise_bhattacharyya;
+use dhmm_stream::{SessionPool, StreamConfig, StreamingDecoder};
 use rand::Rng;
 
 /// Diagnostics of an unsupervised dHMM fit.
@@ -56,7 +57,7 @@ impl DiversifiedHmm {
         sequences: &[Vec<E::Obs>],
     ) -> Result<DiversifiedFitReport, DhmmError>
     where
-        E: Emission + Sync,
+        E: Emission + Send + Sync,
         E::Obs: Sync,
     {
         let kernel = self.config.validate()?;
@@ -162,6 +163,39 @@ impl DiversifiedHmm {
                     .map_err(DhmmError::from)
             })
             .collect()
+    }
+
+    /// The streaming config implied by this trainer's knobs and a lag.
+    fn stream_config(&self, lag: usize) -> StreamConfig {
+        StreamConfig {
+            lag,
+            backend: self.config.backend,
+            parallelism: self.config.parallelism,
+        }
+    }
+
+    /// Builds a single-session [`StreamingDecoder`] over a trained model,
+    /// honoring the trainer's `backend` knob (streaming requires the scaled
+    /// engine; a `LogReference` config is rejected here rather than
+    /// silently switched). With `lag ≥ T` the stream reproduces
+    /// [`DiversifiedHmm::decode_all`] exactly.
+    pub fn streaming_decoder<'m, E: Emission>(
+        &self,
+        model: &'m Hmm<E>,
+        lag: usize,
+    ) -> Result<StreamingDecoder<'m, E>, DhmmError> {
+        StreamingDecoder::with_config(model, self.stream_config(lag)).map_err(DhmmError::from)
+    }
+
+    /// Builds a multiplexed [`SessionPool`] over a trained model, honoring
+    /// the trainer's `backend` and `parallelism` knobs (batch ticks run on
+    /// the same worker policy as training, bit-identical across policies).
+    pub fn streaming_pool<'m, E: Emission>(
+        &self,
+        model: &'m Hmm<E>,
+        lag: usize,
+    ) -> Result<SessionPool<'m, E>, DhmmError> {
+        SessionPool::with_config(model, self.stream_config(lag)).map_err(DhmmError::from)
     }
 }
 

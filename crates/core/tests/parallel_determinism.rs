@@ -9,6 +9,14 @@
 //! and the M-step's factorization cache is keyed by exact iterate — so the
 //! full objective trace, the trained parameters and every decoded path come
 //! out the same to the last bit, whatever the thread count.
+//!
+//! It also pins the *concurrent M-step*: with more than one worker, the
+//! transition ascent and the emission re-estimation run as two concurrent
+//! jobs on the shared pool (they consume the same E-step statistics and are
+//! independent), and must reproduce the sequential transition-then-emission
+//! order exactly — which is why the traces below compare the trained
+//! transition matrix AND the emission parameters bit for bit, not just the
+//! objective history.
 
 use dhmm_core::{AscentConfig, DiversifiedConfig, DiversifiedHmm, Parallelism};
 use dhmm_hmm::emission::{DiscreteEmission, GaussianEmission};
@@ -24,8 +32,34 @@ const POLICIES: [Parallelism; 3] = [
     Parallelism::Threads(8),
 ];
 
-/// One run's evidence: objective trace, log-likelihood trace, decoded paths.
-type RunTrace = (Vec<f64>, Vec<f64>, Vec<Vec<usize>>);
+/// One run's evidence: objective trace, log-likelihood trace, decoded
+/// paths, and the trained parameters (transition + emission) as exact bits.
+type RunTrace = (Vec<f64>, Vec<f64>, Vec<Vec<usize>>, Vec<u64>);
+
+/// Bit-exact snapshot of everything the M-step halves produce.
+fn param_bits_discrete(model: &Hmm<DiscreteEmission>) -> Vec<u64> {
+    model
+        .transition()
+        .as_slice()
+        .iter()
+        .chain(model.emission().probs().as_slice())
+        .chain(model.initial())
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Bit-exact snapshot for the Gaussian-emission fit.
+fn param_bits_gaussian(model: &Hmm<GaussianEmission>) -> Vec<u64> {
+    model
+        .transition()
+        .as_slice()
+        .iter()
+        .chain(model.emission().means())
+        .chain(model.emission().std_devs())
+        .chain(model.initial())
+        .map(|v| v.to_bits())
+        .collect()
+}
 
 fn config(parallelism: Parallelism) -> DiversifiedConfig {
     DiversifiedConfig {
@@ -42,8 +76,8 @@ fn config(parallelism: Parallelism) -> DiversifiedConfig {
 }
 
 fn assert_traces_identical(tag: &str, runs: &[RunTrace]) {
-    let (ref_obj, ref_ll, ref_paths) = &runs[0];
-    for (i, (obj, ll, paths)) in runs.iter().enumerate().skip(1) {
+    let (ref_obj, ref_ll, ref_paths, ref_params) = &runs[0];
+    for (i, (obj, ll, paths, params)) in runs.iter().enumerate().skip(1) {
         assert_eq!(obj.len(), ref_obj.len(), "{tag}: trace lengths diverged");
         for (t, (a, b)) in obj.iter().zip(ref_obj).enumerate() {
             assert_eq!(
@@ -60,6 +94,10 @@ fn assert_traces_identical(tag: &str, runs: &[RunTrace]) {
             );
         }
         assert_eq!(paths, ref_paths, "{tag}: decoded paths diverged");
+        assert_eq!(
+            params, ref_params,
+            "{tag}: trained parameters diverged under policy {i}"
+        );
     }
 }
 
@@ -99,6 +137,7 @@ fn discrete_fit_is_bit_identical_across_thread_counts() {
                 report.fit.objective_history,
                 report.fit.log_likelihood_history,
                 paths,
+                param_bits_discrete(&model),
             )
         })
         .collect();
@@ -133,6 +172,7 @@ fn gaussian_fit_is_bit_identical_across_thread_counts() {
                 report.fit.objective_history,
                 report.fit.log_likelihood_history,
                 paths,
+                param_bits_gaussian(&model),
             )
         })
         .collect();
@@ -162,6 +202,7 @@ fn auto_policy_matches_the_serial_oracle() {
             report.fit.objective_history,
             report.fit.log_likelihood_history,
             paths,
+            param_bits_gaussian(&model),
         ));
     }
     assert_traces_identical("auto-vs-serial", &traces);

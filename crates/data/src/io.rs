@@ -1,21 +1,29 @@
-//! Plain-text persistence for corpora and matrices.
+//! Plain-text persistence for corpora, matrices and full models.
 //!
 //! Experiments write their learned transition matrices and generated corpora
 //! to simple line-oriented text files so results can be inspected and
-//! re-loaded without any serialization dependency.
+//! re-loaded without any serialization dependency. The same format family
+//! carries full model checkpoints (`π`, `A` and the emission parameters,
+//! behind a versioned header) so a streaming consumer can load a trained
+//! model without retraining — see [`model_to_string`] / [`model_from_string`].
 
+use dhmm_hmm::emission::{DiscreteEmission, GaussianEmission};
+use dhmm_hmm::model::Hmm;
 use dhmm_linalg::Matrix;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// Serializes a matrix to a text block: the first line is `rows cols`, then
-/// one whitespace-separated row per line.
+/// one whitespace-separated row per line. 18 significant digits, so an
+/// `f64` survives the text round-trip bit-exactly — model checkpoints rely
+/// on this to reload the parameters a model was trained with, not an
+/// approximation of them.
 pub fn matrix_to_string(m: &Matrix) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{} {}", m.rows(), m.cols());
     for row in m.iter_rows() {
-        let line: Vec<String> = row.iter().map(|v| format!("{v:.12e}")).collect();
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.17e}")).collect();
         let _ = writeln!(out, "{}", line.join(" "));
     }
     out
@@ -70,6 +78,227 @@ pub fn save_matrix(path: &Path, m: &Matrix) -> io::Result<()> {
 pub fn load_matrix(path: &Path) -> io::Result<Matrix> {
     let text = std::fs::read_to_string(path)?;
     matrix_from_string(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+// ---------------------------------------------------------------------------
+// Model checkpoints
+// ---------------------------------------------------------------------------
+
+/// Magic line opening every model checkpoint. The trailing version gates
+/// forward compatibility: a future layout bumps the version, and loaders
+/// reject versions they do not understand instead of misparsing them.
+const MODEL_MAGIC: &str = "dhmm-model";
+/// The (only) checkpoint layout version this build reads and writes.
+const MODEL_VERSION: u32 = 1;
+
+/// A model checkpoint loaded from disk: the emission family is encoded in
+/// the header, so loading returns an enum rather than forcing the caller to
+/// know the family up front.
+#[derive(Debug, Clone)]
+pub enum LoadedModel {
+    /// A discrete (multinomial) emission model.
+    Discrete(Hmm<DiscreteEmission>),
+    /// A univariate Gaussian emission model.
+    Gaussian(Hmm<GaussianEmission>),
+}
+
+/// A model that knows how to serialize itself into the versioned checkpoint
+/// format. Implemented for the discrete and Gaussian emission families (the
+/// two the streaming consumers load).
+pub trait ModelCheckpoint {
+    /// Serializes the full model (`π`, `A`, emission parameters) to the
+    /// versioned text format.
+    fn checkpoint_string(&self) -> String;
+}
+
+fn header(emission_kind: &str, k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MODEL_MAGIC} v{MODEL_VERSION}");
+    let _ = writeln!(out, "emission {emission_kind}");
+    let _ = writeln!(out, "states {k}");
+    out
+}
+
+fn vector_line(v: &[f64]) -> String {
+    let parts: Vec<String> = v.iter().map(|x| format!("{x:.17e}")).collect();
+    parts.join(" ")
+}
+
+impl ModelCheckpoint for Hmm<DiscreteEmission> {
+    fn checkpoint_string(&self) -> String {
+        let mut out = header("discrete", self.num_states());
+        let _ = writeln!(out, "initial");
+        let _ = writeln!(out, "{}", vector_line(self.initial()));
+        let _ = writeln!(out, "transition");
+        out.push_str(&matrix_to_string(self.transition()));
+        let _ = writeln!(out, "emission-probs");
+        out.push_str(&matrix_to_string(self.emission().probs()));
+        out
+    }
+}
+
+impl ModelCheckpoint for Hmm<GaussianEmission> {
+    fn checkpoint_string(&self) -> String {
+        let mut out = header("gaussian", self.num_states());
+        let _ = writeln!(out, "initial");
+        let _ = writeln!(out, "{}", vector_line(self.initial()));
+        let _ = writeln!(out, "transition");
+        out.push_str(&matrix_to_string(self.transition()));
+        let _ = writeln!(out, "means");
+        let _ = writeln!(out, "{}", vector_line(self.emission().means()));
+        let _ = writeln!(out, "std-devs");
+        let _ = writeln!(out, "{}", vector_line(self.emission().std_devs()));
+        let _ = writeln!(out, "min-std-dev");
+        let _ = writeln!(out, "{:.17e}", self.emission().min_std_dev());
+        out
+    }
+}
+
+/// Serializes a full model to the versioned checkpoint text format.
+pub fn model_to_string<M: ModelCheckpoint>(model: &M) -> String {
+    model.checkpoint_string()
+}
+
+/// Line cursor over a checkpoint body (skips blank lines).
+struct Lines<'a> {
+    inner: std::str::Lines<'a>,
+}
+
+impl<'a> Lines<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { inner: s.lines() }
+    }
+
+    fn next(&mut self, what: &str) -> Result<&'a str, String> {
+        for line in self.inner.by_ref() {
+            if !line.trim().is_empty() {
+                return Ok(line.trim());
+            }
+        }
+        Err(format!("checkpoint truncated: expected {what}"))
+    }
+
+    fn expect(&mut self, keyword: &str) -> Result<(), String> {
+        let line = self.next(keyword)?;
+        if line == keyword {
+            Ok(())
+        } else {
+            Err(format!("expected section '{keyword}', found '{line}'"))
+        }
+    }
+
+    fn vector(&mut self, what: &str) -> Result<Vec<f64>, String> {
+        self.next(what)?
+            .split_whitespace()
+            .map(|t| t.parse::<f64>().map_err(|e| format!("{what}: {e}")))
+            .collect()
+    }
+
+    fn matrix(&mut self, what: &str) -> Result<Matrix, String> {
+        let head = self.next(what)?;
+        let mut parts = head.split_whitespace();
+        let rows: usize = parts
+            .next()
+            .ok_or_else(|| format!("{what}: missing row count"))?
+            .parse()
+            .map_err(|e| format!("{what}: bad row count: {e}"))?;
+        let cols: usize = parts
+            .next()
+            .ok_or_else(|| format!("{what}: missing column count"))?
+            .parse()
+            .map_err(|e| format!("{what}: bad column count: {e}"))?;
+        let mut block = String::new();
+        let _ = writeln!(block, "{rows} {cols}");
+        for _ in 0..rows {
+            let _ = writeln!(block, "{}", self.next(what)?);
+        }
+        matrix_from_string(&block).map_err(|e| format!("{what}: {e}"))
+    }
+}
+
+/// Parses a model checkpoint written by [`model_to_string`], validating the
+/// magic header and version before touching the body.
+pub fn model_from_string(s: &str) -> Result<LoadedModel, String> {
+    let mut lines = Lines::new(s);
+    let magic = lines.next("magic header")?;
+    let mut parts = magic.split_whitespace();
+    if parts.next() != Some(MODEL_MAGIC) {
+        return Err(format!("not a model checkpoint: first line '{magic}'"));
+    }
+    let version = parts
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .ok_or_else(|| format!("malformed version in '{magic}'"))?;
+    let version: u32 = version
+        .parse()
+        .map_err(|e| format!("malformed version in '{magic}': {e}"))?;
+    if version != MODEL_VERSION {
+        return Err(format!(
+            "unsupported checkpoint version v{version} (this build reads v{MODEL_VERSION})"
+        ));
+    }
+
+    let emission_line = lines.next("emission family")?;
+    let family = emission_line
+        .strip_prefix("emission ")
+        .ok_or_else(|| format!("expected 'emission <family>', found '{emission_line}'"))?;
+    let states_line = lines.next("state count")?;
+    let k: usize = states_line
+        .strip_prefix("states ")
+        .ok_or_else(|| format!("expected 'states <k>', found '{states_line}'"))?
+        .parse()
+        .map_err(|e| format!("bad state count: {e}"))?;
+
+    lines.expect("initial")?;
+    let initial = lines.vector("initial distribution")?;
+    lines.expect("transition")?;
+    let transition = lines.matrix("transition matrix")?;
+    if initial.len() != k || transition.shape() != (k, k) {
+        return Err(format!(
+            "inconsistent checkpoint: states {k}, |pi| {}, A {:?}",
+            initial.len(),
+            transition.shape()
+        ));
+    }
+
+    match family {
+        "discrete" => {
+            lines.expect("emission-probs")?;
+            let probs = lines.matrix("emission table")?;
+            let emission = DiscreteEmission::new(probs).map_err(|e| e.to_string())?;
+            Hmm::new(initial, transition, emission)
+                .map(LoadedModel::Discrete)
+                .map_err(|e| e.to_string())
+        }
+        "gaussian" => {
+            lines.expect("means")?;
+            let means = lines.vector("means")?;
+            lines.expect("std-devs")?;
+            let std_devs = lines.vector("std-devs")?;
+            lines.expect("min-std-dev")?;
+            let min_std = lines.vector("min-std-dev")?;
+            if min_std.len() != 1 {
+                return Err("min-std-dev must be a single value".into());
+            }
+            let emission = GaussianEmission::with_min_std(means, std_devs, min_std[0])
+                .map_err(|e| e.to_string())?;
+            Hmm::new(initial, transition, emission)
+                .map(LoadedModel::Gaussian)
+                .map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown emission family '{other}'")),
+    }
+}
+
+/// Writes a full model checkpoint to a file.
+pub fn save_model<M: ModelCheckpoint>(path: &Path, model: &M) -> io::Result<()> {
+    std::fs::write(path, model_to_string(model))
+}
+
+/// Reads a model checkpoint written by [`save_model`].
+pub fn load_model(path: &Path) -> io::Result<LoadedModel> {
+    let text = std::fs::read_to_string(path)?;
+    model_from_string(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Serializes a labeled corpus of discrete observations: one sequence per
@@ -142,6 +371,105 @@ mod tests {
         let back = load_matrix(&path).unwrap();
         assert!(back.approx_eq(&m, 1e-15));
         std::fs::remove_file(&path).ok();
+    }
+
+    fn discrete_model() -> Hmm<DiscreteEmission> {
+        let emission = DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.7, 0.1, 0.2], vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]])
+                .unwrap(),
+        )
+        .unwrap();
+        let a = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        Hmm::new(vec![0.25, 0.75], a, emission).unwrap()
+    }
+
+    fn gaussian_model() -> Hmm<GaussianEmission> {
+        let emission = GaussianEmission::with_min_std(
+            vec![-1.5, 2.0, 1.0e-7],
+            vec![0.3, 1.0 / 7.0, 2.5],
+            1e-4,
+        )
+        .unwrap();
+        let a = Matrix::from_rows(&[
+            vec![0.5, 0.25, 0.25],
+            vec![0.1, 0.8, 0.1],
+            vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        ])
+        .unwrap();
+        Hmm::new(vec![0.2, 0.3, 0.5], a, emission).unwrap()
+    }
+
+    #[test]
+    fn discrete_model_checkpoint_roundtrips_bit_exactly() {
+        let model = discrete_model();
+        let text = model_to_string(&model);
+        assert!(text.starts_with("dhmm-model v1"));
+        let back = match model_from_string(&text).unwrap() {
+            LoadedModel::Discrete(m) => m,
+            other => panic!("wrong family: {other:?}"),
+        };
+        assert_eq!(back.initial(), model.initial());
+        assert!(back.transition().approx_eq(model.transition(), 0.0));
+        assert!(back
+            .emission()
+            .probs()
+            .approx_eq(model.emission().probs(), 0.0));
+    }
+
+    #[test]
+    fn gaussian_model_checkpoint_roundtrips_bit_exactly() {
+        let model = gaussian_model();
+        let text = model_to_string(&model);
+        let back = match model_from_string(&text).unwrap() {
+            LoadedModel::Gaussian(m) => m,
+            other => panic!("wrong family: {other:?}"),
+        };
+        assert_eq!(back.initial(), model.initial());
+        assert!(back.transition().approx_eq(model.transition(), 0.0));
+        assert_eq!(back.emission().means(), model.emission().means());
+        assert_eq!(back.emission().std_devs(), model.emission().std_devs());
+        assert_eq!(
+            back.emission().min_std_dev().to_bits(),
+            model.emission().min_std_dev().to_bits()
+        );
+    }
+
+    #[test]
+    fn model_checkpoint_file_roundtrip() {
+        let dir = std::env::temp_dir().join("dhmm_io_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save_model(&path, &gaussian_model()).unwrap();
+        assert!(matches!(
+            load_model(&path).unwrap(),
+            LoadedModel::Gaussian(_)
+        ));
+        save_model(&path, &discrete_model()).unwrap();
+        assert!(matches!(
+            load_model(&path).unwrap(),
+            LoadedModel::Discrete(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn model_checkpoint_header_is_validated() {
+        let good = model_to_string(&discrete_model());
+        // Wrong magic.
+        assert!(model_from_string(&good.replace("dhmm-model", "dhmm-corpus")).is_err());
+        // Future version.
+        let future = good.replace("dhmm-model v1", "dhmm-model v2");
+        let err = model_from_string(&future).unwrap_err();
+        assert!(err.contains("unsupported checkpoint version v2"), "{err}");
+        // Unknown family.
+        assert!(
+            model_from_string(&good.replace("emission discrete", "emission bernoulli")).is_err()
+        );
+        // Truncation.
+        let cut: String = good.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(model_from_string(&cut).is_err());
+        // Inconsistent shapes.
+        assert!(model_from_string(&good.replace("states 2", "states 3")).is_err());
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! Streaming-decode sweep: online labeling through a session pool at a
+//! ladder of fixed lags, against the offline Viterbi decode and the ground
+//! truth (see `dhmm_experiments::stream`).
+
+use dhmm_experiments::common::DEFAULT_SEED;
+use dhmm_experiments::{stream, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let result = stream::run_stream(scale, DEFAULT_SEED).expect("experiment failed");
+    println!("Streaming decode — lag ladder on the toy corpus ({scale:?} scale)\n");
+    println!("{}", result.render());
+}

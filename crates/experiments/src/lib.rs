@@ -35,6 +35,7 @@
 pub mod common;
 pub mod ocr;
 pub mod pos;
+pub mod stream;
 pub mod toy;
 
 pub use common::Scale;

@@ -1,0 +1,153 @@
+//! Streaming-decode experiment: how much accuracy does a bounded lag cost?
+//!
+//! Not a figure from the paper — the paper evaluates offline decoding — but
+//! the ROADMAP's serving story needs the streaming counterpart quantified:
+//! train a toy dHMM, then label the held-out observations *online* through a
+//! [`dhmm_stream::SessionPool`] at a ladder of lags, comparing each stream
+//! against the offline Viterbi decode and against the ground-truth labels.
+//! With `lag ≥ T` the agreement column must read 1.0 — that equivalence is
+//! test-pinned in `dhmm_stream`; here it is visible in a table.
+
+use crate::common::{toy_dhmm_config, Scale};
+use dhmm_core::{DhmmError, DiversifiedHmm};
+use dhmm_data::toy::{self, ToyConfig};
+use dhmm_eval::accuracy::one_to_one_accuracy;
+use dhmm_eval::reporting::{fmt_float, TextTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One lag rung of the streaming sweep.
+#[derive(Debug, Clone)]
+pub struct StreamLagResult {
+    /// The fixed lag (`usize::MAX` renders as the full-sequence lag).
+    pub lag: usize,
+    /// Fraction of tokens whose streamed label equals the offline Viterbi
+    /// label.
+    pub offline_agreement: f64,
+    /// Hungarian-aligned 1-to-1 accuracy of the streamed labels against the
+    /// ground truth.
+    pub accuracy: f64,
+}
+
+/// Result of the streaming sweep.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Offline (full-sequence Viterbi) 1-to-1 accuracy — the ceiling.
+    pub offline_accuracy: f64,
+    /// One row per lag.
+    pub lags: Vec<StreamLagResult>,
+}
+
+impl StreamResult {
+    /// Renders the sweep as a text table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(&["lag", "vs offline", "1-to-1 accuracy"]);
+        for row in &self.lags {
+            let lag = if row.lag == usize::MAX {
+                "T (full)".to_string()
+            } else {
+                row.lag.to_string()
+            };
+            table.add_row(&[
+                lag,
+                fmt_float(row.offline_agreement, 4),
+                fmt_float(row.accuracy, 4),
+            ]);
+        }
+        format!(
+            "{}\noffline 1-to-1 accuracy (ceiling): {}\n",
+            table.render(),
+            fmt_float(self.offline_accuracy, 4)
+        )
+    }
+}
+
+/// Trains a toy dHMM and streams the corpus back through a session pool at
+/// each lag in `lags` (plus a full-sequence rung).
+pub fn run_stream(scale: Scale, seed: u64) -> Result<StreamResult, DhmmError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_sequences = if scale.is_paper() { 200 } else { 60 };
+    let data = toy::generate(
+        &ToyConfig {
+            num_sequences,
+            ..ToyConfig::default()
+        },
+        &mut rng,
+    );
+    let observations = data.corpus.observations();
+    let labels = data.corpus.labels();
+
+    let trainer = DiversifiedHmm::new(toy_dhmm_config(scale, 1.0));
+    let (model, _) = trainer.fit_gaussian(&observations, 5, &mut rng)?;
+    let offline = trainer.decode_all(&model, &observations)?;
+    let (offline_accuracy, _) =
+        one_to_one_accuracy(&offline, &labels).map_err(|e| DhmmError::InvalidConfig {
+            reason: format!("accuracy alignment failed: {e}"),
+        })?;
+
+    let max_len = observations.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut lags = Vec::new();
+    for &lag in &[0usize, 1, 2, 4, 8, usize::MAX] {
+        let effective = if lag == usize::MAX { max_len } else { lag };
+        let mut pool = trainer.streaming_pool(&model, effective)?;
+        let ids: Vec<_> = observations.iter().map(|_| pool.create()).collect();
+        for (id, seq) in ids.iter().zip(&observations) {
+            for &y in seq {
+                pool.push(*id, y)?;
+            }
+        }
+        pool.tick();
+        let mut streamed = Vec::with_capacity(ids.len());
+        for id in &ids {
+            pool.flush(*id)?;
+            let mut path = Vec::new();
+            pool.take_committed(*id, &mut path)?;
+            streamed.push(path);
+        }
+
+        let total: usize = offline.iter().map(|p| p.len()).sum();
+        let agree: usize = offline
+            .iter()
+            .zip(&streamed)
+            .map(|(a, b)| a.iter().zip(b).filter(|(x, y)| x == y).count())
+            .sum();
+        let (accuracy, _) =
+            one_to_one_accuracy(&streamed, &labels).map_err(|e| DhmmError::InvalidConfig {
+                reason: format!("accuracy alignment failed: {e}"),
+            })?;
+        lags.push(StreamLagResult {
+            lag,
+            offline_agreement: agree as f64 / total.max(1) as f64,
+            accuracy,
+        });
+    }
+
+    Ok(StreamResult {
+        offline_accuracy,
+        lags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_lag_rung_agrees_with_offline_exactly() {
+        let result = run_stream(Scale::Quick, 7).unwrap();
+        let full = result.lags.last().unwrap();
+        assert_eq!(full.lag, usize::MAX);
+        assert!(
+            (full.offline_agreement - 1.0).abs() < 1e-12,
+            "full-lag agreement {}",
+            full.offline_agreement
+        );
+        assert!((full.accuracy - result.offline_accuracy).abs() < 1e-12);
+        // Agreement can only degrade gracefully as the lag shrinks; every
+        // rung stays a valid labeling.
+        for rung in &result.lags {
+            assert!(rung.offline_agreement > 0.0 && rung.offline_agreement <= 1.0);
+            assert!(rung.accuracy > 0.0 && rung.accuracy <= 1.0);
+        }
+    }
+}

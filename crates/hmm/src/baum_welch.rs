@@ -151,7 +151,7 @@ impl BaumWelch {
         sequences: &[Vec<E::Obs>],
     ) -> Result<FitResult, HmmError>
     where
-        E: Emission + Sync,
+        E: Emission + Send + Sync,
         E::Obs: Sync,
     {
         self.fit_with_updater(model, sequences, &MleTransitionUpdater::default())
@@ -159,15 +159,22 @@ impl BaumWelch {
 
     /// Fits the model in place, delegating the transition M-step to
     /// `updater`. This is the entry point the diversified HMM uses.
-    pub fn fit_with_updater<E, U: TransitionUpdater>(
+    ///
+    /// The `E: Send` / `U: Sync` bounds exist because the M-step's two
+    /// independent halves — the transition update (reads the current `A` and
+    /// the ξ counts) and the emission re-estimation (rewrites `B` from the
+    /// γ posteriors) — run as concurrent jobs on the shared runtime executor
+    /// when `config.parallelism` resolves to more than one worker.
+    pub fn fit_with_updater<E, U>(
         &self,
         model: &mut Hmm<E>,
         sequences: &[Vec<E::Obs>],
         updater: &U,
     ) -> Result<FitResult, HmmError>
     where
-        E: Emission + Sync,
+        E: Emission + Send + Sync,
         E::Obs: Sync,
+        U: TransitionUpdater + Sync,
     {
         if sequences.is_empty() {
             return Err(HmmError::InvalidData {
@@ -187,6 +194,11 @@ impl BaumWelch {
         let mut iterations = 0;
         // Per-thread inference buffers, allocated once for the whole EM run.
         let mut pool = WorkspacePool::new();
+        // Executor for the concurrent M-step halves (transition ascent and
+        // emission re-estimation). Gated by the same `Parallelism` knob as
+        // the E-step; both orders produce bit-identical models because the
+        // jobs share no mutable state.
+        let mstep_exec = Executor::new(self.config.parallelism);
 
         for _iter in 0..self.config.max_iterations {
             iterations += 1;
@@ -212,17 +224,30 @@ impl BaumWelch {
             dhmm_linalg::normalize_in_place(&mut new_pi);
             model.set_initial(new_pi)?;
 
-            // Transition matrix: delegated to the updater.
+            // Transition matrix (delegated to the updater) and emission
+            // parameters. The two updates consume the same E-step statistics
+            // and are independent of each other — the transition update
+            // reads the *current* `A` and the ξ counts, the emission update
+            // reads the γ posteriors — so with more than one worker they run
+            // as two concurrent jobs on the shared runtime pool. The serial
+            // path keeps the original transition-then-emission order; the
+            // concurrent path is bit-identical to it because neither job
+            // observes the other's output.
             let mut xi_total = Matrix::zeros(k, k);
             for s in &stats {
                 xi_total = &xi_total + &s.xi_sum;
             }
-            let new_a = updater.update(&xi_total, model.transition())?;
-            model.set_transition(new_a)?;
-
-            // Emission parameters.
             let gammas: Vec<Matrix> = stats.iter().map(|s| s.gamma.clone()).collect();
-            model.emission_mut().reestimate(sequences, &gammas)?;
+            let (transition_result, emission_result) = {
+                let (current_a, emission) = model.transition_and_emission_mut();
+                mstep_exec.join(
+                    || updater.update(&xi_total, current_a),
+                    || emission.reestimate(sequences, &gammas),
+                )
+            };
+            let new_a = transition_result?;
+            emission_result?;
+            model.set_transition(new_a)?;
 
             // ---------------- Convergence check ----------------
             let objective = data_ll + updater.prior_objective(model.transition())?;

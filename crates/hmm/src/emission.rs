@@ -261,6 +261,13 @@ impl GaussianEmission {
     pub fn std_devs(&self) -> &[f64] {
         &self.std_devs
     }
+
+    /// The lower bound applied to re-estimated standard deviations.
+    /// (Persisted by the model checkpoint format so a reloaded model
+    /// re-estimates identically to the original.)
+    pub fn min_std_dev(&self) -> f64 {
+        self.min_std_dev
+    }
 }
 
 impl Emission for GaussianEmission {
@@ -392,6 +399,18 @@ impl Emission for BernoulliEmission {
     }
 
     fn log_prob(&self, state: usize, obs: &Vec<bool>) -> f64 {
+        // `log_pmf` can only fail on a dimension mismatch, and a binary
+        // vector of the wrong dimensionality lies outside the support of
+        // every state's distribution — so −∞ here is the semantically
+        // correct log-probability of an impossible observation, exactly like
+        // an out-of-vocabulary symbol in `DiscreteEmission::log_prob`. It is
+        // deliberately NOT converted to a `Result` under the unified error
+        // policy: that policy targets *objective evaluations* whose −∞
+        // sentinel sign-flips into a reward under negation, whereas this
+        // value only ever feeds the inference engines, where an all-(−∞) row
+        // takes the established degenerate-row path (shifted-log rescue,
+        // floored scale row) and stays finite. Pinned by
+        // `bernoulli_wrong_dimension_is_impossible_not_an_error`.
         match self.models.get(state) {
             Some(m) => m.log_pmf(obs).unwrap_or(f64::NEG_INFINITY),
             None => f64::NEG_INFINITY,
@@ -590,6 +609,39 @@ mod tests {
         assert!((lp - (0.9_f64.ln() + 0.9_f64.ln())).abs() < 1e-6);
         assert_eq!(e.log_prob(5, &vec![true, false]), f64::NEG_INFINITY);
         assert_eq!(e.log_prob(0, &vec![true]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bernoulli_wrong_dimension_is_impossible_not_an_error() {
+        // Pins the audited `unwrap_or(NEG_INFINITY)` in `log_prob`: an
+        // observation of the wrong dimensionality is outside every state's
+        // support, so every state assigns it log-probability −∞ (the same
+        // contract as an out-of-vocabulary discrete symbol), and inference
+        // over a sequence containing one stays finite via the engines'
+        // degenerate-row path instead of erroring or panicking.
+        let probs = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let e = BernoulliEmission::new(&probs).unwrap();
+        for state in 0..2 {
+            assert_eq!(e.log_prob(state, &vec![true]), f64::NEG_INFINITY);
+            assert_eq!(
+                e.log_prob(state, &vec![true, false, true]),
+                f64::NEG_INFINITY
+            );
+        }
+        // And the linear-domain default gives the matching exact zeros.
+        let mut row = vec![1.0; 2];
+        e.prob_all(&vec![true], &mut row);
+        assert_eq!(row, vec![0.0, 0.0]);
+
+        let transition = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.4, 0.6]]).unwrap();
+        let model = crate::model::Hmm::new(vec![0.5, 0.5], transition, e).unwrap();
+        let seq = vec![vec![true, false], vec![true], vec![false, true]];
+        let mut ws = crate::workspace::InferenceWorkspace::new();
+        let ll = crate::scaled::log_likelihood_scaled(&model, &seq, &mut ws).unwrap();
+        assert!(ll.is_finite());
+        let stats = crate::scaled::forward_backward_scaled(&model, &seq, &mut ws).unwrap();
+        assert!(stats.gamma.is_finite());
+        assert!(stats.log_likelihood.is_finite());
     }
 
     #[test]

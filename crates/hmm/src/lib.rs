@@ -55,8 +55,8 @@ pub use generate::generate_sequences;
 pub use init::{random_parameters, InitStrategy};
 pub use model::Hmm;
 pub use scaled::{
-    forward_backward_scaled, log_likelihood_scaled, viterbi_scaled, viterbi_scaled_with_score,
-    InferenceBackend,
+    emission_likelihood_row, forward_backward_scaled, log_likelihood_scaled, scale_row,
+    viterbi_scaled, viterbi_scaled_with_score, InferenceBackend,
 };
 pub use supervised::{supervised_estimate, SupervisedCounts};
 pub use viterbi::viterbi;

@@ -84,6 +84,15 @@ impl<E: Emission> Hmm<E> {
         &mut self.emission
     }
 
+    /// Split borrow: the transition matrix (shared) together with the
+    /// emission model (exclusive). Lets the M-step's two independent jobs —
+    /// the transition update, which reads the current `A`, and the emission
+    /// re-estimation, which rewrites `B` — borrow the model simultaneously
+    /// so they can run as concurrent tasks on the runtime executor.
+    pub fn transition_and_emission_mut(&mut self) -> (&Matrix, &mut E) {
+        (&self.transition, &mut self.emission)
+    }
+
     /// Replaces `π`, re-validating it.
     pub fn set_initial(&mut self, initial: Vec<f64>) -> Result<(), HmmError> {
         if initial.len() != self.num_states()

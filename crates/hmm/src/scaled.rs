@@ -100,6 +100,34 @@ impl InferenceBackend {
     }
 }
 
+/// Fills `row` with the linear-domain emission likelihoods `b_i(y_t)` of one
+/// observation, rescuing a degenerate row (all-zero underflow or a non-finite
+/// density) through shifted log-space, and returns the per-step log shift
+/// applied (0.0 on the fast path).
+///
+/// This is the single source of the engine's per-step emission numerics:
+/// the offline engine calls it per time step via `fill_emissions`, and the
+/// streaming decoder in `dhmm_stream` calls it per pushed token, so the two
+/// see bit-identical emission rows.
+pub fn emission_likelihood_row<E: Emission>(emission: &E, obs: &E::Obs, row: &mut [f64]) -> f64 {
+    emission.prob_all(obs, row);
+    let degenerate = row.iter().any(|v| !v.is_finite()) || row.iter().all(|&v| v == 0.0);
+    if degenerate {
+        // Underflow (or a non-finite density): redo the step through
+        // shifted log-space so the scaled recursions see the same
+        // per-step-normalized values as the reference engine.
+        emission.log_prob_all(obs, row);
+        let shift = finite_shift(row);
+        for v in row.iter_mut() {
+            let e = (*v - shift).exp();
+            *v = if e.is_finite() { e } else { 0.0 };
+        }
+        shift
+    } else {
+        0.0
+    }
+}
+
 /// Fills the workspace emission buffer with linear-domain likelihoods and
 /// records per-step shifts for the rows that had to be rescued through
 /// shifted log-space.
@@ -111,29 +139,18 @@ fn fill_emissions<E: Emission>(
     let k = model.num_states();
     for (t, obs) in observations.iter().enumerate() {
         let row = &mut ws.emis[t * k..(t + 1) * k];
-        model.emission().prob_all(obs, row);
-        let degenerate = row.iter().any(|v| !v.is_finite()) || row.iter().all(|&v| v == 0.0);
-        if degenerate {
-            // Underflow (or a non-finite density): redo the step through
-            // shifted log-space so the scaled recursions see the same
-            // per-step-normalized values as the reference engine.
-            model.emission().log_prob_all(obs, row);
-            let shift = finite_shift(row);
-            for v in row.iter_mut() {
-                let e = (*v - shift).exp();
-                *v = if e.is_finite() { e } else { 0.0 };
-            }
-            ws.shifts[t] = shift;
-        } else {
-            ws.shifts[t] = 0.0;
-        }
+        ws.shifts[t] = emission_likelihood_row(model.emission(), obs, row);
     }
 }
 
-/// Normalizes one forward row in place; mirrors the reference engine's
-/// `normalize_in_place` + floored-log semantics exactly. Returns the raw
-/// normalizer (0.0 when floored) and the log scaling constant.
-fn scale_row(row: &mut [f64], shift: f64) -> (f64, f64) {
+/// Normalizes one scaled forward row in place; mirrors the reference
+/// engine's `normalize_in_place` + floored-log semantics exactly. Returns
+/// the raw normalizer `c̃_t` (0.0 when the row had to be floored to uniform)
+/// and the log scaling constant `log c_t = log c̃_t + shift`.
+///
+/// Public for the same reason as [`emission_likelihood_row`]: the streaming
+/// filter must renormalize with bit-identical semantics.
+pub fn scale_row(row: &mut [f64], shift: f64) -> (f64, f64) {
     let c: f64 = row.iter().sum();
     if c > 0.0 && c.is_finite() {
         for v in row.iter_mut() {

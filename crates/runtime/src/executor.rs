@@ -162,6 +162,51 @@ impl Executor {
             .collect()
     }
 
+    /// Runs two independent jobs, concurrently when this executor has more
+    /// than one worker and serially (`a` then `b`) otherwise. The pair of a
+    /// task-list fan-out for heterogeneous work: the concurrent M-step runs
+    /// the transition ascent and the emission re-estimation through this.
+    ///
+    /// Both jobs must be independent of each other (the determinism contract
+    /// of the pool); their results are returned in argument order either way.
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+    {
+        if self.is_serial() {
+            return (a(), b());
+        }
+        // `run_tasks` wants `Fn`; the one-shot closures and their results
+        // travel through mutex-guarded options (cold path, two locks total).
+        let a = std::sync::Mutex::new(Some(a));
+        let b = std::sync::Mutex::new(Some(b));
+        let ra: std::sync::Mutex<Option<RA>> = std::sync::Mutex::new(None);
+        let rb: std::sync::Mutex<Option<RB>> = std::sync::Mutex::new(None);
+        pool::run_tasks(2, 2, &|t| {
+            if t == 0 {
+                let f = a.lock().expect("join job poisoned").take();
+                let value = f.expect("join task 0 runs once")();
+                *ra.lock().expect("join result poisoned") = Some(value);
+            } else {
+                let f = b.lock().expect("join job poisoned").take();
+                let value = f.expect("join task 1 runs once")();
+                *rb.lock().expect("join result poisoned") = Some(value);
+            }
+        });
+        let ra = ra
+            .into_inner()
+            .expect("join result poisoned")
+            .expect("join task 0 produced no value");
+        let rb = rb
+            .into_inner()
+            .expect("join result poisoned")
+            .expect("join task 1 produced no value");
+        (ra, rb)
+    }
+
     /// Splits `data` — a row-major buffer of `data.len() / stride` rows —
     /// into contiguous row bands along the [`split_rows`] partition and runs
     /// `f(rows, band)` on each, in parallel. The workhorse of the blocked
@@ -207,6 +252,64 @@ impl Executor {
                 )
             };
             f(range, band);
+        });
+    }
+
+    /// Like [`Self::for_each_band`], but additionally hands band `t`
+    /// exclusive access to `states[t]` — the banded sibling of
+    /// [`Self::map_ranges_with`]. Used where each worker needs a leased
+    /// scratch value while mutating a disjoint row band (e.g. a streaming
+    /// session pool advancing per-session decoders with per-worker scratch).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `stride`, or if `states`
+    /// has fewer entries than the partition has ranges (size it with
+    /// [`Self::num_ranges`] over `data.len() / stride`).
+    pub fn for_each_band_with<T, S, F>(&self, data: &mut [T], stride: usize, states: &mut [S], f: F)
+    where
+        T: Send,
+        S: Send,
+        F: Fn(Range<usize>, &mut [T], &mut S) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(
+            stride > 0 && data.len().is_multiple_of(stride),
+            "runtime executor: buffer of {} is not a whole number of rows of {stride}",
+            data.len()
+        );
+        let rows = data.len() / stride;
+        let ranges = split_rows(rows, self.workers);
+        assert!(
+            states.len() >= ranges.len(),
+            "runtime executor: {} states for {} ranges",
+            states.len(),
+            ranges.len()
+        );
+        if self.workers <= 1 || ranges.len() <= 1 {
+            let mut rest = data;
+            for (i, range) in ranges.into_iter().enumerate() {
+                let (band, tail) = rest.split_at_mut(range.len() * stride);
+                f(range, band, &mut states[i]);
+                rest = tail;
+            }
+            return;
+        }
+        let base = SendPtr(data.as_mut_ptr());
+        let state_ptr = SendPtr(states.as_mut_ptr());
+        pool::run_tasks(ranges.len(), self.workers, &|t| {
+            let range = ranges[t].clone();
+            // SAFETY: bands are disjoint as in `for_each_band`, and state
+            // slot `t` is touched only by task `t`, which runs exactly once.
+            let band = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(range.start * stride),
+                    range.len() * stride,
+                )
+            };
+            let state = unsafe { &mut *state_ptr.get().add(t) };
+            f(range, band, state);
         });
     }
 }
@@ -270,6 +373,56 @@ mod tests {
         let exec = Executor::from_workers(4);
         let mut empty: Vec<f64> = Vec::new();
         exec.for_each_band(&mut empty, 0, |_, _| panic!("no bands expected"));
+    }
+
+    #[test]
+    fn for_each_band_with_gives_each_band_its_own_state() {
+        for workers in [1usize, 3, 8] {
+            let exec = Executor::from_workers(workers);
+            let mut data = vec![0u32; 11 * 3];
+            let mut scratch = vec![0usize; exec.num_ranges(11)];
+            exec.for_each_band_with(&mut data, 3, &mut scratch, |rows, band, s| {
+                *s += rows.len();
+                for v in band.iter_mut() {
+                    *v += 1;
+                }
+            });
+            assert!(data.iter().all(|&v| v == 1), "workers={workers}");
+            assert_eq!(scratch.iter().sum::<usize>(), 11, "workers={workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "states for")]
+    fn for_each_band_with_rejects_undersized_state_slice() {
+        let exec = Executor::from_workers(4);
+        let mut data = vec![0u32; 8];
+        let mut scratch = vec![0usize; 1];
+        exec.for_each_band_with(&mut data, 1, &mut scratch, |_, _, _| ());
+    }
+
+    #[test]
+    fn join_runs_both_jobs_and_keeps_argument_order() {
+        for workers in [1usize, 2, 8] {
+            let exec = Executor::from_workers(workers);
+            let (a, b) = exec.join(|| 21 * 2, || "right".to_string());
+            assert_eq!(a, 42, "workers={workers}");
+            assert_eq!(b, "right", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn join_inside_a_dispatched_job_falls_back_inline() {
+        // A join issued from inside a pool job must not deadlock: the pool's
+        // re-entrant dispatch runs it inline.
+        let exec = Executor::from_workers(4);
+        let sums = exec.map_ranges(4, |_, r| {
+            let (a, b) = exec.join(|| r.start + 1, || r.end + 1);
+            a + b
+        });
+        assert_eq!(sums.len(), exec.num_ranges(4));
+        // Four unit ranges i..i+1: Σ (start+1) + (end+1) = Σ (2i + 3) = 24.
+        assert_eq!(sums.iter().sum::<usize>(), 24);
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! The streaming decoder: O(k²)-per-token filtering, fixed-lag smoothing and
+//! bounded-memory online Viterbi.
+//!
+//! # Algorithms
+//!
+//! **Filtering.** The scaled forward recursion of the offline engine
+//! ([`dhmm_hmm::scaled`]), one row per pushed token: the new α̂ row is
+//! accumulated in the exact operation order of the offline `forward_pass`
+//! (ascending predecessor index, zero-predecessor skip, emission multiply,
+//! [`dhmm_hmm::scale_row`]), so the streaming filtered rows and the running
+//! `log P(y_0..t) = Σ log c_t` are **bit-identical** to an offline forward
+//! pass over the same prefix.
+//!
+//! **Fixed-lag smoothing.** Rather than paying an O(L·k²) backward pass per
+//! token, smoothing runs in amortized-O(k²) blocks: once `2L` un-smoothed
+//! steps have accumulated, one backward pass over that `2L` window (started
+//! from β = 1 at the newest step, per-row sum-normalized exactly like the
+//! offline backward pass) emits the smoothed posteriors of the *oldest* `L`
+//! steps — each conditioned on at least `L` tokens of lookahead. A smoothed
+//! row for time `s` emitted while the stream is at time `t` equals row `s`
+//! of `forward_backward_scaled` over the prefix `y_0..=t` exactly.
+//!
+//! **Online Viterbi.** The max-product recursion with per-step
+//! max-normalization, ψ backpointers in a ring of `W = max(2L, 1)` rows,
+//! and two commit rules:
+//!
+//! * *path convergence*: a level-set walk over the ψ ring finds the newest
+//!   time at which every surviving path passes through a single state; the
+//!   shared prefix up to that time is committed. Such commits are exact —
+//!   whatever the future holds, the offline backtrack must pass through the
+//!   merge state — so with `lag ≥ T` the streamed path equals the offline
+//!   `viterbi_scaled` path identically. One walk costs O(window · k), so it
+//!   is amortized: re-armed only after the window has grown by ~half its
+//!   length, bounding its cost at O(k) per token for any window size.
+//! * *forced commit at lag `L`*: the label of time `t − L` is emitted no
+//!   later than after token `t`, by backtracking from the current best
+//!   state. The survivor set is then pruned to the chains consistent with
+//!   the committed prefix, so the emitted sequence is always a connected
+//!   state path (the constrained optimum given the committed prefix).
+//!
+//! # Boundary semantics
+//!
+//! When every candidate path hits probability exactly zero at a step (the
+//! Viterbi max-normalizer vanishes), the offline scaled engine falls back to
+//! the log-domain reference, which can rank among floored zero-probability
+//! paths. A streaming decoder has no such fallback — re-decoding the past is
+//! exactly what it must not do — so it floors the row to uniform (mirroring
+//! [`dhmm_hmm::scale_row`]'s floor) and continues; path-probability
+//! semantics for such steps are as documented on
+//! [`dhmm_hmm::viterbi_scaled_with_score`]. The parity suite pins agreement
+//! on every input whose optimum has positive probability.
+
+use crate::error::StreamError;
+use crate::workspace::{StreamScratch, StreamWorkspace};
+use dhmm_hmm::emission::Emission;
+use dhmm_hmm::model::Hmm;
+use dhmm_hmm::scaled::{emission_likelihood_row, scale_row};
+use dhmm_hmm::InferenceBackend;
+use dhmm_runtime::Parallelism;
+
+/// The ring-buffer window `W = max(2L, 1)` implied by a lag `L`: `2L` slots
+/// so a smoothing block can span `2L` steps, one slot minimum so the filter
+/// always has a current row. The single source of the window formula — the
+/// commit rules and smoothing invariants are all stated against it.
+pub(crate) fn ring_window(lag: usize) -> usize {
+    (2 * lag).max(1)
+}
+
+/// Configuration of a streaming decoder or session pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Fixed lag `L`: the Viterbi label of time `t` is emitted no later than
+    /// after token `t + L`, and smoothed posteriors condition on at least
+    /// `L` tokens of lookahead. Memory is O(max(2L, 1) · k) per session.
+    /// `lag ≥ T` makes the stream exactly equivalent to offline decoding;
+    /// `lag = 0` degenerates to committed-as-you-go greedy filtering.
+    pub lag: usize,
+    /// Inference engine. Streaming requires [`InferenceBackend::Scaled`];
+    /// the log-domain reference is offline-only and is rejected at
+    /// construction.
+    pub backend: InferenceBackend,
+    /// Worker policy for [`crate::SessionPool`] batch ticks (ignored by a
+    /// standalone decoder, which is single-session and inherently serial).
+    pub parallelism: Parallelism,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            lag: 16,
+            backend: InferenceBackend::default(),
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A config with the given lag and default engine/parallelism.
+    pub fn with_lag(lag: usize) -> Self {
+        Self {
+            lag,
+            ..Self::default()
+        }
+    }
+
+    /// The ring window `W = max(2L, 1)` this config implies.
+    pub fn window(&self) -> usize {
+        ring_window(self.lag)
+    }
+
+    /// Rejects backends that cannot stream.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        match self.backend {
+            InferenceBackend::Scaled => Ok(()),
+            other => Err(StreamError::UnsupportedBackend { backend: other }),
+        }
+    }
+}
+
+/// Everything one `push` produces. All slices borrow the decoder's internal
+/// buffers and are valid until the next push/flush — copy out what must
+/// outlive the step.
+#[derive(Debug)]
+pub struct StepOutput<'a> {
+    /// Time index of the token just pushed (0-based).
+    pub t: usize,
+    /// Number of states `k` (the stride of `smoothed`).
+    pub num_states: usize,
+    /// Running `log P(y_0..=t)`, recovered from the accumulated `log c_t`.
+    pub log_likelihood: f64,
+    /// Filtered posterior `P(X_t | y_0..=t)` (the scaled α̂ row — a
+    /// distribution unless the step was floored).
+    pub filtered: &'a [f64],
+    /// Viterbi labels newly committed by this push, ascending in time.
+    pub committed: &'a [usize],
+    /// Time index of `committed[0]` (meaningful when non-empty).
+    pub committed_start: usize,
+    /// Newly emitted fixed-lag smoothed posteriors, row-major
+    /// (`len / num_states` rows), ascending in time; each row conditions on
+    /// the whole prefix `y_0..=t`.
+    pub smoothed: &'a [f64],
+    /// Time index of the first smoothed row (meaningful when non-empty).
+    pub smoothed_start: usize,
+}
+
+/// Everything `flush` produces: the Viterbi tail, the remaining smoothed
+/// rows, and the final stream scalars.
+#[derive(Debug)]
+pub struct FlushOutput<'a> {
+    /// Number of states `k` (the stride of `smoothed`).
+    pub num_states: usize,
+    /// Final `log P(y_0..=T-1)`.
+    pub log_likelihood: f64,
+    /// Joint log-probability `max_X log P(X, Y)` of the full committed path
+    /// (exactly the offline `viterbi_scaled_with_score` score when no forced
+    /// commit fired mid-stream).
+    pub viterbi_log_score: f64,
+    /// The remaining (previously uncommitted) Viterbi labels.
+    pub committed: &'a [usize],
+    /// Time index of `committed[0]` (meaningful when non-empty).
+    pub committed_start: usize,
+    /// The remaining smoothed posterior rows, ascending in time.
+    pub smoothed: &'a [f64],
+    /// Time index of the first smoothed row (meaningful when non-empty).
+    pub smoothed_start: usize,
+}
+
+/// Advances one session by one token. Free function so the standalone
+/// decoder and the session pool share one implementation (the pool calls it
+/// with leased per-worker scratch).
+pub(crate) fn push_token<E: Emission>(
+    model: &Hmm<E>,
+    lag: usize,
+    ws: &mut StreamWorkspace,
+    scratch: &mut StreamScratch,
+    obs: &E::Obs,
+) {
+    assert!(
+        !ws.finished,
+        "StreamingDecoder::push after flush; call reset() to start a new stream"
+    );
+    let k = model.num_states();
+    let window = ring_window(lag);
+    if ws.shape() != (k, window) {
+        // First push of a fresh/reshaped workspace; mid-stream the shape is
+        // fixed by the (model, lag) pair, so this never fires after t = 0.
+        ws.ensure(k, window);
+    }
+    scratch.ensure(k, window);
+    scratch.clear_outputs();
+
+    let t = ws.t;
+    let slot = ws.slot(t);
+    let a = model.transition();
+
+    // --- Emission row (shared per-step numerics with the offline engine).
+    let shift = {
+        let e_row = &mut ws.emis[slot * k..(slot + 1) * k];
+        emission_likelihood_row(model.emission(), obs, e_row)
+    };
+
+    // --- Scaled forward (filter) step, in the offline op order.
+    {
+        let row = &mut scratch.row[..k];
+        if t == 0 {
+            let e_row = &ws.emis[slot * k..(slot + 1) * k];
+            for (j, (r, &e)) in row.iter_mut().zip(e_row).enumerate() {
+                *r = model.initial()[j] * e;
+            }
+        } else {
+            let prev = ws.alpha_row(t - 1);
+            row.fill(0.0);
+            for (i, &ap) in prev.iter().enumerate() {
+                if ap == 0.0 {
+                    continue;
+                }
+                for (r, &aij) in row.iter_mut().zip(a.row(i)) {
+                    *r += ap * aij;
+                }
+            }
+            let e_row = &ws.emis[slot * k..(slot + 1) * k];
+            for (r, &e) in row.iter_mut().zip(e_row) {
+                *r *= e;
+            }
+        }
+        let (_c, log_c) = scale_row(row, shift);
+        ws.log_likelihood += log_c;
+        ws.alpha[slot * k..(slot + 1) * k].copy_from_slice(row);
+    }
+
+    // --- Online Viterbi step (offline parity scheme: time t's row is
+    // delta[(t % 2) * k ..]).
+    {
+        let (first, rest) = ws.delta.split_at_mut(k);
+        let second = &mut rest[..k];
+        let e_row = &ws.emis[slot * k..(slot + 1) * k];
+        let cur: &mut [f64] = if t == 0 {
+            for (j, p) in first.iter_mut().enumerate() {
+                *p = model.initial()[j] * e_row[j];
+            }
+            first
+        } else {
+            let (prev, cur): (&[f64], &mut [f64]) = if t % 2 == 1 {
+                (first, second)
+            } else {
+                (second, first)
+            };
+            let psi_row = &mut ws.psi[slot * k..(slot + 1) * k];
+            for j in 0..k {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_i = 0;
+                for (i, &dp) in prev.iter().enumerate() {
+                    let s = dp * a[(i, j)];
+                    if s > best {
+                        best = s;
+                        best_i = i;
+                    }
+                }
+                cur[j] = best * e_row[j];
+                psi_row[j] = best_i;
+            }
+            cur
+        };
+        let m = cur.iter().cloned().fold(0.0_f64, f64::max);
+        if m.is_finite() && m > 0.0 {
+            for p in cur.iter_mut() {
+                *p /= m;
+            }
+            ws.viterbi_log += m.ln() + shift;
+        } else {
+            // Every surviving path hit probability zero: floor to uniform
+            // (the streaming analogue of the offline engine's reference
+            // fallback — see the module docs' boundary-semantics note).
+            let u = 1.0 / k as f64;
+            for p in cur.iter_mut() {
+                *p = u;
+            }
+            ws.viterbi_log += f64::MIN_POSITIVE.ln() + shift;
+        }
+    }
+
+    // --- Commit rule 1: path convergence (amortized). The level-set walk
+    // costs O(window · k), so it is re-armed only after the uncommitted
+    // window has grown by ~half its post-walk length: total walk cost stays
+    // O(k) amortized per token even in the lag ≥ T exact-offline mode,
+    // where the window grows with the stream. Skipping a check never
+    // violates the lag bound (rule 2 runs every push) and never changes the
+    // final path — only how early its stable prefix is emitted.
+    if t >= ws.next_converge {
+        converge_commit(ws, scratch, t);
+        ws.next_converge = t + 1 + (t + 1 - ws.base) / 2;
+    }
+
+    // --- Commit rule 2: forced commit at lag L.
+    if ws.base + lag <= t {
+        force_commit(ws, scratch, t, t - lag);
+    }
+
+    // --- Fixed-lag smoothing block.
+    if lag == 0 {
+        // β = 1 over a window of one: smoothed ≡ filtered, emitted at once.
+        scratch.smoothed[..k].copy_from_slice(ws.alpha_row(t));
+        scratch.smoothed_len = 1;
+        scratch.smoothed_start = t;
+        ws.smoothed_upto = t + 1;
+    } else if t + 1 - ws.smoothed_upto >= 2 * lag {
+        backward_smooth(model, ws, scratch, t, ws.smoothed_upto, t - lag);
+        ws.smoothed_upto = t - lag + 1;
+    }
+
+    ws.t = t + 1;
+}
+
+/// Finds the newest time at which all surviving Viterbi paths pass through a
+/// single state (a level-set walk over the ψ ring) and commits the shared
+/// prefix `[base ..= merge]`. Appends to `scratch.committed`.
+fn converge_commit(ws: &mut StreamWorkspace, scratch: &mut StreamScratch, t: usize) {
+    let k = ws.num_states;
+    let cur = &ws.delta[(t % 2) * k..(t % 2) * k + k];
+
+    // Seed the level set with the states that can still end the path.
+    let set_cur = &mut scratch.set_cur[..k];
+    let set_next = &mut scratch.set_next[..k];
+    let mut count = 0usize;
+    let mut last_state = 0usize;
+    for (j, (&p, flag)) in cur.iter().zip(set_cur.iter_mut()).enumerate() {
+        *flag = p > 0.0;
+        if *flag {
+            count += 1;
+            last_state = j;
+        }
+    }
+    if count == 0 {
+        // Defensive: a fully floored row keeps every state alive.
+        set_cur.fill(true);
+        count = k;
+    }
+
+    let mut merge: Option<(usize, usize)> = None;
+    if count == 1 {
+        merge = Some((t, last_state));
+    } else {
+        let mut tau = t;
+        while tau > ws.base {
+            let psi_row = {
+                let s = ws.slot(tau);
+                &ws.psi[s * k..(s + 1) * k]
+            };
+            set_next.fill(false);
+            count = 0;
+            for (j, &alive) in set_cur.iter().enumerate() {
+                if alive {
+                    let p = psi_row[j];
+                    if !set_next[p] {
+                        set_next[p] = true;
+                        count += 1;
+                        last_state = p;
+                    }
+                }
+            }
+            set_cur.copy_from_slice(set_next);
+            tau -= 1;
+            if count == 1 {
+                merge = Some((tau, last_state));
+                break;
+            }
+        }
+    }
+
+    if let Some((m, x)) = merge {
+        commit_chain(ws, scratch, m, x);
+        ws.base = m + 1;
+    }
+}
+
+/// Commits times `[base ..= commit_upto]` by backtracking from the current
+/// best state, then prunes the survivor set to chains consistent with the
+/// committed prefix (so the emitted sequence stays a connected path).
+fn force_commit(
+    ws: &mut StreamWorkspace,
+    scratch: &mut StreamScratch,
+    t: usize,
+    commit_upto: usize,
+) {
+    let k = ws.num_states;
+    // Current best state, first occurrence on ties — the same rule the
+    // offline backtrack applies to the final row.
+    let (jbest, _) = {
+        let cur = &ws.delta[(t % 2) * k..(t % 2) * k + k];
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (j, &v) in cur.iter().enumerate() {
+            if v > best.1 {
+                best = (j, v);
+            }
+        }
+        best
+    };
+
+    // Chain state of the best path at `commit_upto`.
+    let mut x = jbest;
+    let mut tau = t;
+    while tau > commit_upto {
+        let s = ws.slot(tau);
+        x = ws.psi[s * k + x];
+        tau -= 1;
+    }
+    commit_chain(ws, scratch, commit_upto, x);
+
+    // Prune: states whose survivor chain does not pass through `x` at
+    // `commit_upto` are no longer reachable extensions of the committed
+    // prefix.
+    let roots = &mut scratch.roots[..k];
+    for (j, r) in roots.iter_mut().enumerate() {
+        *r = j;
+    }
+    let mut tau = t;
+    while tau > commit_upto {
+        let s = ws.slot(tau);
+        let psi_row = &ws.psi[s * k..(s + 1) * k];
+        for r in roots.iter_mut() {
+            *r = psi_row[*r];
+        }
+        tau -= 1;
+    }
+    let cur = &mut ws.delta[(t % 2) * k..(t % 2) * k + k];
+    for (p, &r) in cur.iter_mut().zip(roots.iter()) {
+        if r != x {
+            *p = 0.0;
+        }
+    }
+
+    ws.base = commit_upto + 1;
+}
+
+/// Reconstructs the (shared) survivor chain ending at `(m, x)` back to
+/// `ws.base` and appends the states of times `[base ..= m]` to
+/// `scratch.committed` in ascending time order.
+fn commit_chain(ws: &StreamWorkspace, scratch: &mut StreamScratch, m: usize, x: usize) {
+    let k = ws.num_states;
+    let base = ws.base;
+    let chain = &mut scratch.chain[..m - base + 1];
+    chain[m - base] = x;
+    let mut tau = m;
+    while tau > base {
+        let s = ws.slot(tau);
+        chain[tau - 1 - base] = ws.psi[s * k + chain[tau - base]];
+        tau -= 1;
+    }
+    if scratch.committed.is_empty() {
+        scratch.committed_start = base;
+    }
+    scratch.committed.extend_from_slice(chain);
+}
+
+/// Runs the backward smoothing pass from `from` (β = 1) down to `downto`,
+/// emitting normalized `γ` rows for times `downto ..= emit_upto` into
+/// `scratch.smoothed` (ascending). Exactly the offline backward recursion,
+/// restricted to the ring window.
+fn backward_smooth<E: Emission>(
+    model: &Hmm<E>,
+    ws: &StreamWorkspace,
+    scratch: &mut StreamScratch,
+    from: usize,
+    downto: usize,
+    emit_upto: usize,
+) {
+    let k = ws.num_states;
+    let a = model.transition();
+    scratch.smoothed_start = downto;
+    scratch.smoothed_len = emit_upto - downto + 1;
+
+    // β at `from` is all ones.
+    {
+        let (beta_cur, _) = scratch.beta.split_at_mut(k);
+        beta_cur.fill(1.0);
+    }
+    if from <= emit_upto {
+        // γ(from) = normalize(α̂ · 1) — multiplying by the exact 1.0 β row
+        // is an identity, so copy + normalize matches the offline product.
+        let alpha_row = ws.alpha_row(from);
+        let out = &mut scratch.smoothed[(from - downto) * k..(from - downto + 1) * k];
+        out.copy_from_slice(alpha_row);
+        dhmm_linalg::normalize_in_place(out);
+    }
+
+    let mut tau = from;
+    while tau > downto {
+        tau -= 1;
+        // w[j] = b_j(y_{τ+1}) · β(τ+1, j), exactly as offline.
+        let next_slot = ws.slot(tau + 1);
+        let next_e = &ws.emis[next_slot * k..(next_slot + 1) * k];
+        // Rolling β parity: row for time τ sits at (from - τ) % 2.
+        let parity = (from - tau) % 2;
+        let prev_parity = 1 - parity;
+        {
+            let w = &mut scratch.row[..k];
+            let beta_prev = &scratch.beta[prev_parity * k..prev_parity * k + k];
+            for ((wv, &e), &b) in w.iter_mut().zip(next_e).zip(beta_prev) {
+                *wv = e * b;
+            }
+        }
+        {
+            let (w, beta_all) = (&scratch.row[..k], &mut scratch.beta);
+            let beta_cur = &mut beta_all[parity * k..parity * k + k];
+            for (i, r) in beta_cur.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (&aij, &wv) in a.row(i).iter().zip(w.iter()) {
+                    acc += aij * wv;
+                }
+                *r = acc;
+            }
+            let norm: f64 = beta_cur.iter().sum();
+            if norm > 0.0 {
+                for v in beta_cur.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+        if tau <= emit_upto {
+            let alpha_row = ws.alpha_row(tau);
+            let out = &mut scratch.smoothed[(tau - downto) * k..(tau - downto + 1) * k];
+            let beta_cur = &scratch.beta[parity * k..parity * k + k];
+            for ((g, &av), &bv) in out.iter_mut().zip(alpha_row).zip(beta_cur) {
+                *g = av * bv;
+            }
+            dhmm_linalg::normalize_in_place(out);
+        }
+    }
+}
+
+/// Flushes the stream: commits the Viterbi tail by backtracking from the
+/// best final state and emits the remaining smoothed rows.
+pub(crate) fn flush_stream<E: Emission>(
+    model: &Hmm<E>,
+    lag: usize,
+    ws: &mut StreamWorkspace,
+    scratch: &mut StreamScratch,
+) -> f64 {
+    assert!(
+        !ws.finished,
+        "StreamingDecoder::flush called twice; call reset() to start a new stream"
+    );
+    let k = ws.num_states.max(1);
+    scratch.ensure(k, ws.window.max(1));
+    scratch.clear_outputs();
+    ws.finished = true;
+    if ws.t == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let last = ws.t - 1;
+
+    // Final backtrack, first-occurrence argmax like the offline engine.
+    let (jbest, best_val) = {
+        let cur = &ws.delta[(last % 2) * k..(last % 2) * k + k];
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (j, &v) in cur.iter().enumerate() {
+            if v > best.1 {
+                best = (j, v);
+            }
+        }
+        best
+    };
+    if ws.base <= last {
+        commit_chain(ws, scratch, last, jbest);
+        ws.base = last + 1;
+    }
+    let score = ws.viterbi_log + best_val.ln();
+
+    // Remaining smoothed rows (everything not yet emitted by block passes).
+    if lag > 0 && ws.smoothed_upto <= last {
+        backward_smooth(model, ws, scratch, last, ws.smoothed_upto, last);
+        ws.smoothed_upto = ws.t;
+    }
+    score
+}
+
+/// A single-session streaming decoder over a borrowed model.
+///
+/// Owns its [`StreamWorkspace`] and [`StreamScratch`]; every buffer is sized
+/// at construction, so [`StreamingDecoder::push`] performs **zero heap
+/// allocation** (pinned by the counting-allocator test). For many concurrent
+/// sessions, use [`crate::SessionPool`], which shares scratch across
+/// sessions per worker instead of owning one per session.
+#[derive(Debug, Clone)]
+pub struct StreamingDecoder<'m, E: Emission> {
+    model: &'m Hmm<E>,
+    lag: usize,
+    ws: StreamWorkspace,
+    scratch: StreamScratch,
+}
+
+impl<'m, E: Emission> StreamingDecoder<'m, E> {
+    /// Creates a decoder with the given fixed lag, preallocating every
+    /// buffer for the model's state count.
+    pub fn new(model: &'m Hmm<E>, lag: usize) -> Self {
+        let mut ws = StreamWorkspace::new();
+        let window = ring_window(lag);
+        ws.ensure(model.num_states(), window);
+        let mut scratch = StreamScratch::new();
+        scratch.ensure(model.num_states(), window);
+        Self {
+            model,
+            lag,
+            ws,
+            scratch,
+        }
+    }
+
+    /// Creates a decoder from a full [`StreamConfig`], rejecting backends
+    /// that cannot stream.
+    pub fn with_config(model: &'m Hmm<E>, config: StreamConfig) -> Result<Self, StreamError> {
+        config.validate()?;
+        Ok(Self::new(model, config.lag))
+    }
+
+    /// The configured lag `L`.
+    pub fn lag(&self) -> usize {
+        self.lag
+    }
+
+    /// The model this decoder streams against.
+    pub fn model(&self) -> &'m Hmm<E> {
+        self.model
+    }
+
+    /// Tokens pushed since construction/reset.
+    pub fn tokens(&self) -> usize {
+        self.ws.tokens()
+    }
+
+    /// Number of Viterbi labels committed so far.
+    pub fn committed(&self) -> usize {
+        self.ws.committed()
+    }
+
+    /// Running `log P(y_0..=t-1)` of the pushed prefix.
+    pub fn log_likelihood(&self) -> f64 {
+        self.ws.log_likelihood()
+    }
+
+    /// Advances the stream by one observation: one O(k²) filter step, one
+    /// O(k²) Viterbi step, the commit rules, and (amortized O(k²)) fixed-lag
+    /// smoothing. Allocation-free.
+    ///
+    /// # Panics
+    /// Panics if called after [`StreamingDecoder::flush`] without an
+    /// intervening [`StreamingDecoder::reset`].
+    pub fn push(&mut self, obs: &E::Obs) -> StepOutput<'_> {
+        push_token(self.model, self.lag, &mut self.ws, &mut self.scratch, obs);
+        let k = self.ws.num_states;
+        StepOutput {
+            t: self.ws.t - 1,
+            num_states: k,
+            log_likelihood: self.ws.log_likelihood,
+            filtered: self.ws.alpha_row(self.ws.t - 1),
+            committed: &self.scratch.committed,
+            committed_start: self.scratch.committed_start,
+            smoothed: &self.scratch.smoothed[..self.scratch.smoothed_len * k],
+            smoothed_start: self.scratch.smoothed_start,
+        }
+    }
+
+    /// Ends the stream: commits the remaining Viterbi tail (backtracking
+    /// from the best final state, exactly like the offline engine) and
+    /// emits the remaining smoothed rows. After `flush`, call
+    /// [`StreamingDecoder::reset`] before pushing again.
+    pub fn flush(&mut self) -> FlushOutput<'_> {
+        let score = flush_stream(self.model, self.lag, &mut self.ws, &mut self.scratch);
+        let k = self.ws.num_states.max(1);
+        FlushOutput {
+            num_states: k,
+            log_likelihood: self.ws.log_likelihood,
+            viterbi_log_score: score,
+            committed: &self.scratch.committed,
+            committed_start: self.scratch.committed_start,
+            smoothed: &self.scratch.smoothed[..self.scratch.smoothed_len * k],
+            smoothed_start: self.scratch.smoothed_start,
+        }
+    }
+
+    /// Rewinds to an empty stream, keeping every buffer warm (the
+    /// allocation-free restart path).
+    pub fn reset(&mut self) {
+        self.ws.reset();
+    }
+}

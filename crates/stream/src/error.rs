@@ -1,0 +1,83 @@
+//! Error type for the streaming subsystem.
+
+use dhmm_hmm::InferenceBackend;
+use std::fmt;
+
+/// Errors produced by streaming configuration and session management.
+///
+/// Token pushes themselves are infallible by design: every degenerate input
+/// (out-of-vocabulary symbol, underflowing density, non-finite observation)
+/// takes the engines' established floored-row path, exactly like the offline
+/// scaled engine. What can fail is *plumbing* — an unsupported backend at
+/// construction, or a stale/unknown session handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The selected inference backend cannot stream. Only the scaled
+    /// (linear-domain, scaling-coefficient) engine has a constant-per-token
+    /// recursion; the log-domain reference is inherently offline.
+    UnsupportedBackend {
+        /// The backend that was requested.
+        backend: InferenceBackend,
+    },
+    /// The session id does not name any slot in this pool.
+    SessionNotFound {
+        /// The offending slot index.
+        slot: usize,
+    },
+    /// The session id names a slot that has since been closed and reopened
+    /// (stale generation) or is currently free.
+    SessionClosed {
+        /// The offending slot index.
+        slot: usize,
+    },
+    /// The session was already flushed; create a new session (or the same
+    /// slot, reopened) to stream more data.
+    SessionFinished {
+        /// The offending slot index.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnsupportedBackend { backend } => write!(
+                f,
+                "streaming inference requires the scaled engine; {backend:?} is offline-only"
+            ),
+            StreamError::SessionNotFound { slot } => {
+                write!(f, "session slot {slot} does not exist in this pool")
+            }
+            StreamError::SessionClosed { slot } => {
+                write!(f, "session slot {slot} was closed (stale session id)")
+            }
+            StreamError::SessionFinished { slot } => {
+                write!(f, "session slot {slot} was already flushed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = StreamError::UnsupportedBackend {
+            backend: InferenceBackend::LogReference,
+        };
+        assert!(e.to_string().contains("scaled"));
+        assert!(StreamError::SessionNotFound { slot: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(StreamError::SessionClosed { slot: 1 }
+            .to_string()
+            .contains("closed"));
+        assert!(StreamError::SessionFinished { slot: 0 }
+            .to_string()
+            .contains("flushed"));
+    }
+}

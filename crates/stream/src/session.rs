@@ -1,0 +1,317 @@
+//! Multiplexed streaming sessions on the shared deterministic runtime.
+//!
+//! A [`SessionPool`] owns many concurrent streaming sessions against one
+//! model. Producers enqueue tokens per session ([`SessionPool::push`]); a
+//! batch [`SessionPool::tick`] then advances every session's pending tokens,
+//! fanning the *sessions* out over the runtime executor in deterministic
+//! contiguous bands (the token order *within* a session is always its queue
+//! order, and sessions share no state), so a tick is **bit-identical across
+//! worker policies** — `Serial`, `Threads(n)` and `Auto` produce the same
+//! labels, posteriors and log-likelihoods to the last bit, pinned by
+//! `tests/session_determinism.rs`.
+//!
+//! Memory: each session owns one ring [`StreamWorkspace`] (O(window · k)),
+//! while per-push scratch is leased per *worker* from a runtime `LeasePool`
+//! — `S` sessions on `w` workers pay for `S` rings but only `w` scratches.
+//! Closing a session keeps its workspace warm in the slot; reopening reuses
+//! it allocation-free (including a shorter stream followed by a longer one —
+//! the buffers are grow-only).
+
+use crate::decoder::{flush_stream, push_token};
+use crate::error::StreamError;
+use crate::workspace::{StreamScratch, StreamWorkspace};
+use crate::StreamConfig;
+use dhmm_hmm::emission::Emission;
+use dhmm_hmm::model::Hmm;
+use dhmm_runtime::{Executor, LeasePool, Parallelism};
+
+/// Below either of these per-tick sizes, an `Auto`-policy tick runs
+/// serially: dispatch overhead would not be amortized. Explicit `Threads(n)`
+/// requests are always honored (determinism makes over-partitioning safe).
+const PAR_MIN_SESSIONS: usize = 2;
+/// Minimum total pending tokens for an automatic parallel tick.
+const PAR_MIN_TOKENS: usize = 2_048;
+
+/// Handle to one session in a [`SessionPool`].
+///
+/// Carries a generation counter so a handle kept across a close/reopen of
+/// the same slot is detected as stale instead of silently reading another
+/// session's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    slot: u32,
+    generation: u32,
+}
+
+impl SessionId {
+    /// The pool slot this id names (diagnostic only).
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+}
+
+/// One slot of the pool: persistent ring state plus the token in-queue and
+/// the committed-label out-queue.
+#[derive(Debug)]
+struct Slot<O> {
+    generation: u32,
+    active: bool,
+    flushed: bool,
+    ws: StreamWorkspace,
+    /// Tokens enqueued since the last tick, in arrival order.
+    pending: Vec<O>,
+    /// Committed labels awaiting pickup; contiguous in time starting at
+    /// `out_start`.
+    out: Vec<usize>,
+    out_start: usize,
+}
+
+impl<O> Slot<O> {
+    fn new() -> Self {
+        Self {
+            generation: 0,
+            active: false,
+            flushed: false,
+            ws: StreamWorkspace::new(),
+            pending: Vec::new(),
+            out: Vec::new(),
+            out_start: 0,
+        }
+    }
+}
+
+/// Summary of one batch tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickReport {
+    /// Sessions that had pending tokens.
+    pub sessions: usize,
+    /// Total tokens advanced.
+    pub tokens: usize,
+}
+
+/// Many concurrent streaming sessions multiplexed over one model and the
+/// shared worker-pool runtime.
+#[derive(Debug)]
+pub struct SessionPool<'m, E: Emission> {
+    model: &'m Hmm<E>,
+    lag: usize,
+    parallelism: Parallelism,
+    slots: Vec<Slot<E::Obs>>,
+    free: Vec<usize>,
+    scratch: LeasePool<StreamScratch>,
+}
+
+impl<'m, E: Emission> SessionPool<'m, E> {
+    /// Creates a pool from a full [`StreamConfig`], rejecting backends that
+    /// cannot stream.
+    pub fn with_config(model: &'m Hmm<E>, config: StreamConfig) -> Result<Self, StreamError> {
+        config.validate()?;
+        Ok(Self {
+            model,
+            lag: config.lag,
+            parallelism: config.parallelism,
+            slots: Vec::new(),
+            free: Vec::new(),
+            scratch: LeasePool::new(),
+        })
+    }
+
+    /// Creates a pool with the given lag and worker policy.
+    pub fn new(model: &'m Hmm<E>, lag: usize, parallelism: Parallelism) -> Self {
+        Self {
+            model,
+            lag,
+            parallelism,
+            slots: Vec::new(),
+            free: Vec::new(),
+            scratch: LeasePool::new(),
+        }
+    }
+
+    /// The configured lag `L`.
+    pub fn lag(&self) -> usize {
+        self.lag
+    }
+
+    /// Number of currently open sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.slots.iter().filter(|s| s.active).count()
+    }
+
+    /// Opens a session, reusing a closed slot's warm buffers when one is
+    /// available.
+    pub fn create(&mut self) -> SessionId {
+        let slot = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot::new());
+                self.slots.len() - 1
+            }
+        };
+        let s = &mut self.slots[slot];
+        s.active = true;
+        s.flushed = false;
+        s.ws.reset();
+        s.pending.clear();
+        s.out.clear();
+        s.out_start = 0;
+        SessionId {
+            slot: slot as u32,
+            generation: s.generation,
+        }
+    }
+
+    fn resolve(&self, id: SessionId) -> Result<usize, StreamError> {
+        let slot = id.slot as usize;
+        match self.slots.get(slot) {
+            None => Err(StreamError::SessionNotFound { slot }),
+            Some(s) if !s.active || s.generation != id.generation => {
+                Err(StreamError::SessionClosed { slot })
+            }
+            Some(_) => Ok(slot),
+        }
+    }
+
+    /// Enqueues one observation on a session; it is processed by the next
+    /// [`SessionPool::tick`] (or [`SessionPool::flush`]).
+    pub fn push(&mut self, id: SessionId, obs: E::Obs) -> Result<(), StreamError> {
+        let slot = self.resolve(id)?;
+        let s = &mut self.slots[slot];
+        if s.flushed {
+            return Err(StreamError::SessionFinished { slot });
+        }
+        s.pending.push(obs);
+        Ok(())
+    }
+
+    /// Advances every session's pending tokens on the runtime executor.
+    ///
+    /// Sessions are fanned out in deterministic contiguous bands over the
+    /// configured worker policy; each worker leases one scratch and walks
+    /// its band's sessions in order, so the result is bit-identical for
+    /// every policy. Under `Auto`, small ticks drop to serial (which cannot
+    /// change results, only speed).
+    pub fn tick(&mut self) -> TickReport
+    where
+        E: Sync,
+        E::Obs: Send + Sync,
+    {
+        let total_tokens: usize = self
+            .slots
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.pending.len())
+            .sum();
+        let mut active: Vec<&mut Slot<E::Obs>> = self
+            .slots
+            .iter_mut()
+            .filter(|s| s.active && !s.pending.is_empty())
+            .collect();
+        let report = TickReport {
+            sessions: active.len(),
+            tokens: total_tokens,
+        };
+        if active.is_empty() {
+            return report;
+        }
+
+        let mut exec = Executor::new(self.parallelism);
+        if self.parallelism == Parallelism::Auto
+            && (active.len() < PAR_MIN_SESSIONS || total_tokens < PAR_MIN_TOKENS)
+        {
+            exec = Executor::serial();
+        }
+        let num_ranges = exec.num_ranges(active.len());
+        let scratches = self.scratch.ensure(num_ranges);
+        let model = self.model;
+        let lag = self.lag;
+        exec.for_each_band_with(&mut active, 1, scratches, |_range, band, scratch| {
+            for slot in band.iter_mut() {
+                for i in 0..slot.pending.len() {
+                    push_token(model, lag, &mut slot.ws, scratch, &slot.pending[i]);
+                    slot.out.extend_from_slice(&scratch.committed);
+                }
+                slot.pending.clear();
+            }
+        });
+        report
+    }
+
+    /// Drains any pending tokens of one session (serially), then ends its
+    /// stream: the remaining Viterbi tail is appended to the session's
+    /// committed labels. The session stays readable (labels, likelihood)
+    /// until closed.
+    pub fn flush(&mut self, id: SessionId) -> Result<(), StreamError> {
+        let slot = self.resolve(id)?;
+        if self.slots[slot].flushed {
+            return Err(StreamError::SessionFinished { slot });
+        }
+        let scratch = &mut self.scratch.ensure(1)[0];
+        let s = &mut self.slots[slot];
+        for i in 0..s.pending.len() {
+            push_token(self.model, self.lag, &mut s.ws, scratch, &s.pending[i]);
+            s.out.extend_from_slice(&scratch.committed);
+        }
+        s.pending.clear();
+        flush_stream(self.model, self.lag, &mut s.ws, scratch);
+        s.out.extend_from_slice(&scratch.committed);
+        s.flushed = true;
+        Ok(())
+    }
+
+    /// The committed labels awaiting pickup (contiguous in time; the first
+    /// entry is the label of time [`SessionPool::committed_start`]).
+    pub fn committed(&self, id: SessionId) -> Result<&[usize], StreamError> {
+        let slot = self.resolve(id)?;
+        Ok(&self.slots[slot].out)
+    }
+
+    /// Time index of the first not-yet-taken committed label.
+    pub fn committed_start(&self, id: SessionId) -> Result<usize, StreamError> {
+        let slot = self.resolve(id)?;
+        Ok(self.slots[slot].out_start)
+    }
+
+    /// Moves the session's committed labels into `dst` (appending) and
+    /// returns the time index of the first moved label.
+    pub fn take_committed(
+        &mut self,
+        id: SessionId,
+        dst: &mut Vec<usize>,
+    ) -> Result<usize, StreamError> {
+        let slot = self.resolve(id)?;
+        let s = &mut self.slots[slot];
+        let start = s.out_start;
+        dst.extend_from_slice(&s.out);
+        s.out_start += s.out.len();
+        s.out.clear();
+        Ok(start)
+    }
+
+    /// Running `log P(y_0..t)` of everything ticked through the session so
+    /// far (pending tokens not yet included).
+    pub fn log_likelihood(&self, id: SessionId) -> Result<f64, StreamError> {
+        let slot = self.resolve(id)?;
+        Ok(self.slots[slot].ws.log_likelihood())
+    }
+
+    /// Tokens fully processed (ticked) on this session.
+    pub fn tokens(&self, id: SessionId) -> Result<usize, StreamError> {
+        let slot = self.resolve(id)?;
+        Ok(self.slots[slot].ws.tokens())
+    }
+
+    /// Closes a session: the slot (with its warm ring buffers) returns to
+    /// the free list for the next [`SessionPool::create`], and the id
+    /// becomes stale.
+    pub fn close(&mut self, id: SessionId) -> Result<(), StreamError> {
+        let slot = self.resolve(id)?;
+        let s = &mut self.slots[slot];
+        s.active = false;
+        s.generation = s.generation.wrapping_add(1);
+        s.pending.clear();
+        s.out.clear();
+        self.free.push(slot);
+        Ok(())
+    }
+}

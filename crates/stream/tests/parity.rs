@@ -1,0 +1,190 @@
+//! Streaming ↔ offline equivalence.
+//!
+//! The acceptance contract of the streaming subsystem: with `lag ≥ T` the
+//! online decode is *exactly* the offline decode (same Viterbi path up to
+//! co-optimal ties, posteriors within 1e-9), and at any smaller lag every
+//! filtered/smoothed row matches the offline forward–backward marginal of
+//! the prefix it conditions on.
+
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::{forward_backward_scaled, viterbi_scaled_with_score, Hmm, InferenceWorkspace};
+use dhmm_stream::StreamingDecoder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random discrete HMM with `k` states and `v` symbols from a seed.
+fn random_hmm(k: usize, v: usize, seed: u64) -> Hmm<DiscreteEmission> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (pi, a) = dhmm_hmm::init::random_parameters(
+        k,
+        dhmm_hmm::init::InitStrategy::Dirichlet { concentration: 2.0 },
+        &mut rng,
+    )
+    .unwrap();
+    let b = dhmm_hmm::init::random_stochastic_matrix(k, v, 1.0, &mut rng).unwrap();
+    Hmm::new(pi, a, DiscreteEmission::new(b).unwrap()).unwrap()
+}
+
+fn random_seq(v: usize, len: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..v)).collect()
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With lag ≥ T, streaming is offline decoding: identical path (ties
+    /// compared via joint likelihood), posteriors and likelihood to 1e-9.
+    #[test]
+    fn full_lag_stream_equals_offline(
+        k in 2usize..5, v in 2usize..6, seed in 0u64..400, len in 1usize..40
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(1));
+
+        let mut ws = InferenceWorkspace::new();
+        let (offline_path, offline_score) =
+            viterbi_scaled_with_score(&model, &seq, &mut ws).unwrap();
+        let offline_stats = forward_backward_scaled(&model, &seq, &mut ws).unwrap();
+
+        let mut dec = StreamingDecoder::new(&model, len);
+        let mut streamed_path = Vec::new();
+        let mut prefix_ws = InferenceWorkspace::new();
+        for (t, obs) in seq.iter().enumerate() {
+            let step = dec.push(obs);
+            prop_assert_eq!(step.t, t);
+
+            // Filtered posterior == last γ row of the offline prefix run.
+            let prefix = forward_backward_scaled(&model, &seq[..=t], &mut prefix_ws).unwrap();
+            let gamma_t = prefix.gamma.row(t);
+            prop_assert!(
+                max_abs_diff(step.filtered, gamma_t) < 1e-9,
+                "filtered diverged at t={} ({:?} vs {:?})", t, step.filtered, gamma_t
+            );
+            // Running log-likelihood == offline prefix log-likelihood.
+            prop_assert!(
+                (step.log_likelihood - prefix.log_likelihood).abs() < 1e-9,
+                "ll diverged at t={}: {} vs {}", t, step.log_likelihood, prefix.log_likelihood
+            );
+
+            // Commits arrive in order with contiguous time stamps.
+            if !step.committed.is_empty() {
+                prop_assert_eq!(step.committed_start, streamed_path.len());
+                streamed_path.extend_from_slice(step.committed);
+            }
+            // Mid-stream smoothing blocks never fire at full lag (2L ≥ 2T),
+            // except in the degenerate lag-0 case excluded here (len ≥ 1 ⇒
+            // lag ≥ 1).
+            prop_assert!(step.smoothed.is_empty());
+        }
+
+        let tail_start = streamed_path.len();
+        let flush = dec.flush();
+        prop_assert_eq!(flush.committed_start, tail_start);
+        streamed_path.extend_from_slice(flush.committed);
+        prop_assert_eq!(streamed_path.len(), len);
+
+        // Same path, or a co-optimal one (identical joint likelihood).
+        if streamed_path != offline_path {
+            let js = model.joint_log_likelihood(&streamed_path, &seq).unwrap();
+            let jo = model.joint_log_likelihood(&offline_path, &seq).unwrap();
+            prop_assert!(
+                (js - jo).abs() < 1e-7,
+                "paths differ and are not co-optimal: {js} vs {jo}"
+            );
+        }
+        prop_assert!(
+            (flush.viterbi_log_score - offline_score).abs() < 1e-9,
+            "scores diverged: {} vs {}", flush.viterbi_log_score, offline_score
+        );
+        prop_assert!((flush.log_likelihood - offline_stats.log_likelihood).abs() < 1e-9);
+
+        // All smoothed rows arrive at flush and equal the full-run γ.
+        prop_assert_eq!(flush.smoothed_start, 0);
+        prop_assert_eq!(flush.smoothed.len(), len * k);
+        for t in 0..len {
+            let row = &flush.smoothed[t * k..(t + 1) * k];
+            prop_assert!(
+                max_abs_diff(row, offline_stats.gamma.row(t)) < 1e-9,
+                "smoothed row {} diverged", t
+            );
+        }
+    }
+
+    /// At any lag, each smoothed row for time s emitted while the stream is
+    /// at time t equals row s of the offline forward–backward over the
+    /// prefix y_0..=t, and conditions on at least `lag` tokens of lookahead.
+    #[test]
+    fn fixed_lag_smoothing_matches_prefix_marginals(
+        k in 2usize..4, v in 2usize..5, seed in 0u64..300, len in 2usize..36, lag in 1usize..6
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(3));
+
+        let mut dec = StreamingDecoder::new(&model, lag);
+        let mut prefix_ws = InferenceWorkspace::new();
+        // (time s, conditioning time t, row)
+        let mut emitted: Vec<(usize, usize, Vec<f64>)> = Vec::new();
+        for (t, obs) in seq.iter().enumerate() {
+            let step = dec.push(obs);
+            for (i, row) in step.smoothed.chunks(k).enumerate() {
+                let s = step.smoothed_start + i;
+                prop_assert!(t >= s + lag, "row {s} emitted at {t} with lookahead < lag");
+                emitted.push((s, t, row.to_vec()));
+            }
+        }
+        let flush = dec.flush();
+        for (i, row) in flush.smoothed.chunks(k).enumerate() {
+            emitted.push((flush.smoothed_start + i, len - 1, row.to_vec()));
+        }
+
+        // Exactly one row per time step, in ascending order.
+        prop_assert_eq!(emitted.len(), len);
+        for (expect, (s, _, _)) in emitted.iter().enumerate() {
+            prop_assert_eq!(*s, expect);
+        }
+        for (s, t, row) in &emitted {
+            let prefix = forward_backward_scaled(&model, &seq[..=*t], &mut prefix_ws).unwrap();
+            prop_assert!(
+                max_abs_diff(row, prefix.gamma.row(*s)) < 1e-9,
+                "smoothed({s} | ..={t}) diverged"
+            );
+        }
+    }
+
+    /// Forced commits at small lags still emit a complete, valid, connected
+    /// state path whose joint likelihood is consistent.
+    #[test]
+    fn small_lag_paths_are_complete_and_consistent(
+        k in 2usize..5, v in 2usize..5, seed in 0u64..300, len in 1usize..50, lag in 0usize..4
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(7));
+        let mut dec = StreamingDecoder::new(&model, lag);
+        let mut path = Vec::new();
+        for (t, obs) in seq.iter().enumerate() {
+            let step = dec.push(obs);
+            path.extend_from_slice(step.committed);
+            // The lag bound: everything up to t − lag must be committed.
+            prop_assert!(path.len() + lag > t, "lag bound violated at t={t}");
+        }
+        path.extend_from_slice(dec.flush().committed);
+        prop_assert_eq!(path.len(), len);
+        prop_assert!(path.iter().all(|&s| s < k));
+        // The emitted sequence is a real path: its joint likelihood is
+        // finite and cannot beat the offline optimum.
+        let joint = model.joint_log_likelihood(&path, &seq).unwrap();
+        let mut ws = InferenceWorkspace::new();
+        let (_, best) = viterbi_scaled_with_score(&model, &seq, &mut ws).unwrap();
+        prop_assert!(joint.is_finite());
+        prop_assert!(joint <= best + 1e-7, "streamed path beats the optimum: {joint} > {best}");
+    }
+}

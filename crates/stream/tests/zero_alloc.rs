@@ -1,0 +1,110 @@
+//! Allocation-freedom of the streaming hot path, asserted with a counting
+//! global allocator: after a warm-up stream sizes every grow-only buffer,
+//! a full second stream — pushes, commits, smoothing blocks and flush —
+//! performs zero heap allocations.
+//!
+//! The counter is gated on a thread-local flag so only the measured test
+//! thread is counted — the libtest harness allocates on its own threads
+//! (timers, output capture) and would otherwise race the window.
+
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::Hmm;
+use dhmm_linalg::Matrix;
+use dhmm_stream::StreamingDecoder;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Count allocations only while the measured section runs on this
+    /// thread. `const` initialization: reading the flag never allocates.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn tracking() -> bool {
+    // `try_with`: TLS may already be torn down when late allocations happen
+    // during thread exit; those are never ours.
+    TRACKING.try_with(|t| t.get()).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if tracking() {
+            ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if tracking() {
+            ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn push_performs_zero_heap_allocation_after_warm_up() {
+    let emission = DiscreteEmission::new(
+        Matrix::from_rows(&[
+            vec![0.5, 0.3, 0.1, 0.1],
+            vec![0.1, 0.5, 0.3, 0.1],
+            vec![0.1, 0.1, 0.3, 0.5],
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    let transition = Matrix::from_rows(&[
+        vec![0.8, 0.1, 0.1],
+        vec![0.15, 0.7, 0.15],
+        vec![0.1, 0.2, 0.7],
+    ])
+    .unwrap();
+    let model = Hmm::new(vec![0.5, 0.3, 0.2], transition, emission).unwrap();
+    let seq: Vec<usize> = (0..512).map(|i| (i * 7 + i / 5) % 4).collect();
+
+    for lag in [0usize, 1, 8, 64] {
+        let mut dec = StreamingDecoder::new(&model, lag);
+        // Warm-up stream: exercises every buffer at its steady-state size,
+        // including the flush-tail commit and the final smoothing pass.
+        let mut sink = 0usize;
+        for obs in &seq {
+            sink += dec.push(obs).committed.len();
+        }
+        sink += dec.flush().committed.len();
+        assert_eq!(sink, seq.len(), "lag={lag}");
+        dec.reset();
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        TRACKING.with(|t| t.set(true));
+        let mut sink = 0usize;
+        let mut ll = 0.0;
+        for obs in &seq {
+            let step = dec.push(obs);
+            sink += step.committed.len() + step.smoothed.len();
+            ll = step.log_likelihood;
+        }
+        let flush = dec.flush();
+        sink += flush.committed.len();
+        TRACKING.with(|t| t.set(false));
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "lag={lag}: {} allocations on the warm path",
+            after - before
+        );
+        assert!(sink > 0 && ll.is_finite(), "lag={lag}");
+    }
+}

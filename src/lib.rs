@@ -11,6 +11,8 @@
 //!   Baum–Welch, Viterbi, supervised counting),
 //! * [`dpp`] — determinantal point process kernels, log-determinants,
 //!   gradients and samplers,
+//! * [`stream`] — bounded-memory online decoding (filtering, fixed-lag
+//!   smoothing, online Viterbi) and multiplexed streaming sessions,
 //! * [`prob`] / [`linalg`] — the probability and dense linear-algebra
 //!   substrates everything is built on,
 //! * [`data`] — the toy, synthetic-WSJ and synthetic-OCR dataset generators,
@@ -55,6 +57,10 @@ pub use dhmm_hmm as hmm;
 
 /// Determinantal point process machinery.
 pub use dhmm_dpp as dpp;
+
+/// Streaming inference: bounded-memory online decoding and multiplexed
+/// sessions.
+pub use dhmm_stream as stream;
 
 /// Probability distributions and divergences.
 pub use dhmm_prob as prob;
