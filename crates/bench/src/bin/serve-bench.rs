@@ -1,0 +1,310 @@
+//! Machine-readable serving benchmark: a loopback client-replay harness.
+//!
+//! Starts a real `dhmm_serve` server on an ephemeral loopback port, then
+//! replays concurrent client sessions against it — create, chunked pushes,
+//! flush, close — timing every request round-trip. Records into one
+//! diffable artifact, `BENCH_serve.json`:
+//!
+//! * **request latency** — p50 / p99 / p99.9 / mean microseconds per
+//!   request over all clients (a round-trip includes framing, the engine
+//!   queue, one batch tick, and the reply);
+//! * **throughput** — sessions/sec and tokens/sec of the whole replay.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dhmm_bench --bin serve-bench -- \
+//!     [--output BENCH_serve.json] [--clients 1,4,8] [--k 16,64] \
+//!     [--lag 8] [--tokens 256] [--threads 2] [--sessions-per-client 2]
+//! ```
+//! Flags mirror `stream-bench`'s comma-separated-list style.
+
+use dhmm_data::io::LoadedModel;
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::init::random_stochastic_matrix;
+use dhmm_hmm::Hmm;
+use dhmm_runtime::Parallelism;
+use dhmm_serve::{Client, Request, Response, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Vocabulary of the synthetic token stream.
+const VOCAB: usize = 64;
+/// Tokens per push request.
+const CHUNK: usize = 32;
+
+struct Args {
+    output: String,
+    clients: Vec<usize>,
+    sizes: Vec<usize>,
+    lags: Vec<usize>,
+    tokens: usize,
+    threads: usize,
+    sessions_per_client: usize,
+}
+
+fn parse_list(raw: &str, flag: &str) -> Vec<usize> {
+    raw.split(',')
+        .map(|part| {
+            part.trim().parse::<usize>().unwrap_or_else(|_| {
+                panic!("{flag} expects a comma-separated integer list, got {raw:?}")
+            })
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        output: "BENCH_serve.json".to_string(),
+        clients: vec![1, 4, 8],
+        sizes: vec![16, 64],
+        lags: vec![8],
+        tokens: 256,
+        threads: 2,
+        sessions_per_client: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--output" => args.output = value_of("--output"),
+            "--clients" => args.clients = parse_list(&value_of("--clients"), "--clients"),
+            "--k" => args.sizes = parse_list(&value_of("--k"), "--k"),
+            "--lag" => args.lags = parse_list(&value_of("--lag"), "--lag"),
+            "--tokens" => {
+                args.tokens = value_of("--tokens")
+                    .parse()
+                    .expect("--tokens expects an integer")
+            }
+            "--threads" => {
+                args.threads = value_of("--threads")
+                    .parse()
+                    .expect("--threads expects an integer")
+            }
+            "--sessions-per-client" => {
+                args.sessions_per_client = value_of("--sessions-per-client")
+                    .parse()
+                    .expect("--sessions-per-client expects an integer")
+            }
+            other if !other.starts_with('-') => args.output = other.to_string(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    for (name, list) in [
+        ("--clients", &args.clients),
+        ("--k", &args.sizes),
+        ("--lag", &args.lags),
+    ] {
+        assert!(!list.is_empty(), "{name} list must be non-empty");
+    }
+    assert!(args.tokens > 0, "--tokens must be positive");
+    assert!(args.threads > 0, "--threads must be positive");
+    assert!(
+        args.sessions_per_client > 0,
+        "--sessions-per-client must be positive"
+    );
+    args
+}
+
+fn model(k: usize) -> Hmm<DiscreteEmission> {
+    let mut rng = StdRng::seed_from_u64(271);
+    let (pi, a) = dhmm_hmm::init::random_parameters(
+        k,
+        dhmm_hmm::init::InitStrategy::Dirichlet { concentration: 2.0 },
+        &mut rng,
+    )
+    .expect("valid parameters");
+    let b = random_stochastic_matrix(k, VOCAB, 1.0, &mut rng).expect("valid matrix");
+    Hmm::new(pi, a, DiscreteEmission::new(b).expect("valid emission")).expect("valid model")
+}
+
+fn stream(tokens: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..tokens).map(|_| rng.gen_range(0..VOCAB)).collect()
+}
+
+/// One client's replay: `sessions` sequential sessions of `tokens` tokens
+/// in `CHUNK`-sized push requests. Returns per-request latencies (ns).
+fn replay_client(
+    addr: std::net::SocketAddr,
+    sessions: usize,
+    tokens: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut samples = Vec::with_capacity(sessions * (tokens / CHUNK + 3));
+    let mut call = |client: &mut Client, req: &Request| -> Response {
+        let start = Instant::now();
+        let resp = client.call(req).expect("round-trip");
+        samples.push(start.elapsed().as_nanos() as f64);
+        resp
+    };
+    for s in 0..sessions {
+        let seq = stream(tokens, seed * 1000 + s as u64);
+        let id = match call(&mut client, &Request::Create) {
+            Response::Created { id } => id,
+            other => panic!("create failed: {other:?}"),
+        };
+        for chunk in seq.chunks(CHUNK) {
+            let tokens: Vec<String> = chunk.iter().map(|o| o.to_string()).collect();
+            match call(&mut client, &Request::Push { id, tokens }) {
+                Response::Committed { .. } => {}
+                other => panic!("push failed: {other:?}"),
+            }
+        }
+        match call(&mut client, &Request::Flush { id }) {
+            Response::Flushed { .. } => {}
+            other => panic!("flush failed: {other:?}"),
+        }
+        match call(&mut client, &Request::Close { id }) {
+            Response::Closed => {}
+            other => panic!("close failed: {other:?}"),
+        }
+    }
+    samples
+}
+
+struct Row {
+    k: usize,
+    lag: usize,
+    clients: usize,
+    sessions: usize,
+    tokens_total: usize,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    mean_us: f64,
+    sessions_per_sec: f64,
+    tokens_per_sec: f64,
+}
+
+/// One full configuration: a fresh server, `clients` concurrent replay
+/// threads, aggregate percentiles over every request they made.
+fn run_config(k: usize, lag: usize, clients: usize, args: &Args) -> Row {
+    let config = ServeConfig::default()
+        .with_lag(lag)
+        .with_parallelism(Parallelism::Threads(args.threads));
+    let handle = Server::start(LoadedModel::Discrete(model(k)), config, "127.0.0.1:0")
+        .expect("server starts");
+    let addr = handle.local_addr();
+
+    // Warm-up: one client, one session, sizes the pool scratch and warms
+    // the engine before anything is timed.
+    replay_client(addr, 1, args.tokens, 7);
+
+    let sessions = args.sessions_per_client;
+    let tokens = args.tokens;
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| std::thread::spawn(move || replay_client(addr, sessions, tokens, 100 + c as u64)))
+        .collect();
+    let mut samples: Vec<f64> = Vec::new();
+    for w in workers {
+        samples.extend(w.join().expect("client thread"));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize] / 1e3;
+    let total_sessions = clients * sessions;
+    let total_tokens = total_sessions * tokens;
+    Row {
+        k,
+        lag,
+        clients,
+        sessions: total_sessions,
+        tokens_total: total_tokens,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        mean_us: samples.iter().sum::<f64>() / samples.len() as f64 / 1e3,
+        sessions_per_sec: total_sessions as f64 / wall,
+        tokens_per_sec: total_tokens as f64 / wall,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    for &k in &args.sizes {
+        for &lag in &args.lags {
+            for &clients in &args.clients {
+                rows.push(run_config(k, lag, clients, &args));
+            }
+        }
+    }
+
+    println!(
+        "serve: loopback client replay ({} tokens/session, {CHUNK}-token pushes, {} engine threads, {cores} cores)\n",
+        args.tokens, args.threads
+    );
+    println!(
+        "{:>4} {:>5} {:>8} {:>9} {:>10} {:>10} {:>10} {:>10} {:>13} {:>12}",
+        "k",
+        "lag",
+        "clients",
+        "sessions",
+        "p50",
+        "p99",
+        "p99.9",
+        "mean",
+        "sessions/sec",
+        "tokens/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:>4} {:>5} {:>8} {:>9} {:>8.1}us {:>8.1}us {:>8.1}us {:>8.1}us {:>13.1} {:>12.0}",
+            r.k,
+            r.lag,
+            r.clients,
+            r.sessions,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.mean_us,
+            r.sessions_per_sec,
+            r.tokens_per_sec
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve\",\n");
+    json.push_str("  \"description\": \"TCP serving front-end: loopback client replay (create + chunked pushes + flush + close) measuring request-latency percentiles (us) and sessions/sec + tokens/sec over a k x lag x clients sweep\",\n");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"vocab\": {VOCAB},");
+    let _ = writeln!(json, "  \"tokens_per_session\": {},", args.tokens);
+    let _ = writeln!(json, "  \"push_chunk\": {CHUNK},");
+    let _ = writeln!(json, "  \"engine_threads\": {},", args.threads);
+    json.push_str("  \"replay\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"k\": {}, \"lag\": {}, \"clients\": {}, \"sessions\": {}, \"tokens\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"mean_us\": {:.1}, \"sessions_per_sec\": {:.1}, \"tokens_per_sec\": {:.0}}}",
+            r.k,
+            r.lag,
+            r.clients,
+            r.sessions,
+            r.tokens_total,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.mean_us,
+            r.sessions_per_sec,
+            r.tokens_per_sec
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.output, &json).expect("write benchmark JSON");
+    println!("\nwrote {}", args.output);
+}

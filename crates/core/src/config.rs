@@ -147,6 +147,32 @@ impl DiversifiedConfig {
         self.alpha = alpha;
         self
     }
+
+    /// Returns a copy with the given inference backend for the E-step and
+    /// trainer-level decoding.
+    pub fn with_backend(mut self, backend: InferenceBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Returns a copy with the given M-step engine for the DPP prior.
+    pub fn with_mstep_backend(mut self, mstep: MStepBackend) -> Self {
+        self.mstep = mstep;
+        self
+    }
+
+    /// Returns a copy with the given worker policy (results are
+    /// bit-identical under every policy; only wall-clock changes).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns a copy with the given projected-gradient ascent settings.
+    pub fn with_ascent(mut self, ascent: AscentConfig) -> Self {
+        self.ascent = ascent;
+        self
+    }
 }
 
 /// Configuration of supervised diversified-HMM training, Eq. 8.
@@ -216,6 +242,32 @@ impl SupervisedConfig {
     /// Returns a copy with a different prior weight `α`.
     pub fn with_alpha(mut self, alpha: f64) -> Self {
         self.alpha = alpha;
+        self
+    }
+
+    /// Returns a copy with the given inference backend for decoding
+    /// unlabeled sequences.
+    pub fn with_backend(mut self, backend: InferenceBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Returns a copy with the given M-step engine for the DPP prior.
+    pub fn with_mstep_backend(mut self, mstep: MStepBackend) -> Self {
+        self.mstep = mstep;
+        self
+    }
+
+    /// Returns a copy with the given worker policy (results are
+    /// bit-identical under every policy; only wall-clock changes).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns a copy with the given projected-gradient ascent settings.
+    pub fn with_ascent(mut self, ascent: AscentConfig) -> Self {
+        self.ascent = ascent;
         self
     }
 }
@@ -331,5 +383,38 @@ mod tests {
         assert_eq!(c.alpha, 100.0);
         let s = SupervisedConfig::default().with_alpha(0.0);
         assert_eq!(s.alpha, 0.0);
+    }
+
+    #[test]
+    fn builders_cover_the_shared_knobs_consistently() {
+        // One builder spelling across both trainer configs (and mirrored by
+        // `BaumWelchConfig` / `StreamConfig` in their crates): chainable,
+        // consuming, field-for-field.
+        let c = DiversifiedConfig::default()
+            .with_alpha(2.0)
+            .with_backend(InferenceBackend::LogReference)
+            .with_mstep_backend(MStepBackend::ScalarReference)
+            .with_parallelism(Parallelism::Threads(3))
+            .with_ascent(AscentConfig {
+                max_iterations: 7,
+                ..Default::default()
+            });
+        assert_eq!(c.backend, InferenceBackend::LogReference);
+        assert_eq!(c.mstep, MStepBackend::ScalarReference);
+        assert_eq!(c.parallelism, Parallelism::Threads(3));
+        assert_eq!(c.ascent.max_iterations, 7);
+
+        let s = SupervisedConfig::default()
+            .with_backend(InferenceBackend::LogReference)
+            .with_mstep_backend(MStepBackend::ScalarReference)
+            .with_parallelism(Parallelism::Serial)
+            .with_ascent(AscentConfig {
+                tolerance: 1e-3,
+                ..Default::default()
+            });
+        assert_eq!(s.backend, InferenceBackend::LogReference);
+        assert_eq!(s.mstep, MStepBackend::ScalarReference);
+        assert_eq!(s.parallelism, Parallelism::Serial);
+        assert_eq!(s.ascent.tolerance, 1e-3);
     }
 }

@@ -21,8 +21,19 @@ pub enum DhmmError {
     /// An error from the linear-algebra substrate.
     Linalg(LinalgError),
     /// An error from the streaming subsystem (unsupported backend, stale or
-    /// finished session handles).
+    /// finished session handles, backpressure caps).
     Stream(StreamError),
+    /// An error from the serving front-end (`dhmm_serve`), carried as its
+    /// wire form so this crate stays dependency-free of the server: `code`
+    /// is the protocol error code (e.g. `queue-full`, `stale-session`),
+    /// `reason` the human-readable detail. The `From<ServeError>`
+    /// conversion lives in `dhmm_serve` (the facade re-exports both ends).
+    Serve {
+        /// Stable protocol error code.
+        code: String,
+        /// Human-readable detail.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DhmmError {
@@ -35,6 +46,7 @@ impl fmt::Display for DhmmError {
             DhmmError::Dpp(e) => write!(f, "DPP error: {e}"),
             DhmmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             DhmmError::Stream(e) => write!(f, "streaming error: {e}"),
+            DhmmError::Serve { code, reason } => write!(f, "serve error [{code}]: {reason}"),
         }
     }
 }
@@ -85,5 +97,10 @@ mod tests {
         assert!(matches!(e, DhmmError::Dpp(_)));
         let e: DhmmError = LinalgError::Singular { pivot: 0 }.into();
         assert!(matches!(e, DhmmError::Linalg(_)));
+        let e = DhmmError::Serve {
+            code: "queue-full".into(),
+            reason: "session slot 3 pending-token queue is full".into(),
+        };
+        assert!(e.to_string().contains("queue-full"));
     }
 }

@@ -24,6 +24,7 @@ use dhmm_hmm::InferenceWorkspace;
 use dhmm_linalg::Matrix;
 use dhmm_prob::mean_pairwise_bhattacharyya;
 use dhmm_stream::{SessionPool, StreamConfig, StreamingDecoder};
+use std::sync::Arc;
 
 /// Diagnostics of a supervised dHMM fit.
 #[derive(Debug, Clone)]
@@ -128,11 +129,10 @@ impl SupervisedDiversifiedHmm {
 
     /// The streaming config implied by this trainer's knobs and a lag.
     fn stream_config(&self, lag: usize) -> StreamConfig {
-        StreamConfig {
-            lag,
-            backend: self.config.backend,
-            parallelism: self.config.parallelism,
-        }
+        StreamConfig::default()
+            .with_lag(lag)
+            .with_backend(self.config.backend)
+            .with_parallelism(self.config.parallelism)
     }
 
     /// Builds a single-session [`StreamingDecoder`] over a trained model,
@@ -149,12 +149,14 @@ impl SupervisedDiversifiedHmm {
     }
 
     /// Builds a multiplexed [`SessionPool`] over a trained model, honoring
-    /// the trainer's `backend` and `parallelism` knobs.
-    pub fn streaming_pool<'m, E: Emission>(
+    /// the trainer's `backend` and `parallelism` knobs. The pool owns the
+    /// model behind an `Arc` so later checkpoints can be hot-swapped in
+    /// with [`SessionPool::publish`].
+    pub fn streaming_pool<E: Emission>(
         &self,
-        model: &'m Hmm<E>,
+        model: Arc<Hmm<E>>,
         lag: usize,
-    ) -> Result<SessionPool<'m, E>, DhmmError> {
+    ) -> Result<SessionPool<E>, DhmmError> {
         SessionPool::with_config(model, self.stream_config(lag)).map_err(DhmmError::from)
     }
 }

@@ -18,6 +18,7 @@ use dhmm_hmm::InferenceWorkspace;
 use dhmm_prob::mean_pairwise_bhattacharyya;
 use dhmm_stream::{SessionPool, StreamConfig, StreamingDecoder};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Diagnostics of an unsupervised dHMM fit.
 #[derive(Debug, Clone)]
@@ -167,11 +168,10 @@ impl DiversifiedHmm {
 
     /// The streaming config implied by this trainer's knobs and a lag.
     fn stream_config(&self, lag: usize) -> StreamConfig {
-        StreamConfig {
-            lag,
-            backend: self.config.backend,
-            parallelism: self.config.parallelism,
-        }
+        StreamConfig::default()
+            .with_lag(lag)
+            .with_backend(self.config.backend)
+            .with_parallelism(self.config.parallelism)
     }
 
     /// Builds a single-session [`StreamingDecoder`] over a trained model,
@@ -190,11 +190,13 @@ impl DiversifiedHmm {
     /// Builds a multiplexed [`SessionPool`] over a trained model, honoring
     /// the trainer's `backend` and `parallelism` knobs (batch ticks run on
     /// the same worker policy as training, bit-identical across policies).
-    pub fn streaming_pool<'m, E: Emission>(
+    /// The pool owns the model behind an `Arc` so later checkpoints can be
+    /// hot-swapped in with [`SessionPool::publish`].
+    pub fn streaming_pool<E: Emission>(
         &self,
-        model: &'m Hmm<E>,
+        model: Arc<Hmm<E>>,
         lag: usize,
-    ) -> Result<SessionPool<'m, E>, DhmmError> {
+    ) -> Result<SessionPool<E>, DhmmError> {
         SessionPool::with_config(model, self.stream_config(lag)).map_err(DhmmError::from)
     }
 }

@@ -11,6 +11,7 @@ use dhmm_data::toy::{generate, ToyConfig};
 use dhmm_hmm::emission::DiscreteEmission;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn toy_observations(seed: u64, n: usize) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -49,7 +50,7 @@ fn trained_model_streams_like_the_offline_decoder() {
 
     // Session pool at full lag, all sequences multiplexed in one tick loop.
     let max_len = obs.iter().map(|s| s.len()).max().unwrap();
-    let mut pool = trainer.streaming_pool(&model, max_len).unwrap();
+    let mut pool = trainer.streaming_pool(Arc::new(model), max_len).unwrap();
     let ids: Vec<_> = obs.iter().map(|_| pool.create()).collect();
     for (id, seq) in ids.iter().zip(&obs) {
         for &y in seq {
@@ -84,7 +85,7 @@ fn log_reference_configs_cannot_stream() {
         Err(DhmmError::Stream(_))
     ));
     assert!(matches!(
-        trainer.streaming_pool(&model, 8),
+        trainer.streaming_pool(Arc::new(model), 8),
         Err(DhmmError::Stream(_))
     ));
 }

@@ -15,6 +15,7 @@ use dhmm_eval::accuracy::one_to_one_accuracy;
 use dhmm_eval::reporting::{fmt_float, TextTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// One lag rung of the streaming sweep.
 #[derive(Debug, Clone)]
@@ -79,6 +80,7 @@ pub fn run_stream(scale: Scale, seed: u64) -> Result<StreamResult, DhmmError> {
 
     let trainer = DiversifiedHmm::new(toy_dhmm_config(scale, 1.0));
     let (model, _) = trainer.fit_gaussian(&observations, 5, &mut rng)?;
+    let model = Arc::new(model);
     let offline = trainer.decode_all(&model, &observations)?;
     let (offline_accuracy, _) =
         one_to_one_accuracy(&offline, &labels).map_err(|e| DhmmError::InvalidConfig {
@@ -89,7 +91,7 @@ pub fn run_stream(scale: Scale, seed: u64) -> Result<StreamResult, DhmmError> {
     let mut lags = Vec::new();
     for &lag in &[0usize, 1, 2, 4, 8, usize::MAX] {
         let effective = if lag == usize::MAX { max_len } else { lag };
-        let mut pool = trainer.streaming_pool(&model, effective)?;
+        let mut pool = trainer.streaming_pool(Arc::clone(&model), effective)?;
         let ids: Vec<_> = observations.iter().map(|_| pool.create()).collect();
         for (id, seq) in ids.iter().zip(&observations) {
             for &y in seq {

@@ -97,6 +97,33 @@ impl Default for BaumWelchConfig {
     }
 }
 
+impl BaumWelchConfig {
+    /// Returns a copy with the given iteration cap.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Returns a copy with the given relative-improvement tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Returns a copy with the given E-step inference backend.
+    pub fn with_backend(mut self, backend: InferenceBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Returns a copy with the given worker policy (results are
+    /// bit-identical under every policy; only wall-clock changes).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
 /// Outcome of an EM fit.
 #[derive(Debug, Clone)]
 pub struct FitResult {

@@ -1,0 +1,34 @@
+//! A servable labeling process for diversified HMMs.
+//!
+//! `dhmm_serve` wraps the streaming layer's [`SessionPool`] in a TCP
+//! front-end: many clients multiplex onto one deterministic batch engine,
+//! each owning any number of fixed-lag labeling sessions keyed by
+//! [`SessionId`]. The wire protocol is length-delimited UTF-8 text (see
+//! [`protocol`]), the model is loaded from the checkpoint format of
+//! `dhmm_data::io`, and a fresh checkpoint can be hot-swapped into live
+//! sessions at their next commit boundary without disturbing any committed
+//! prefix ([`SessionPool::publish`] epochs).
+//!
+//! Three guarantees define the crate:
+//!
+//! 1. **Parity** — labels produced over the wire are bit-identical to
+//!    driving the [`SessionPool`] in-process, including across a mid-stream
+//!    `swap-model`.
+//! 2. **Backpressure** — per-session pending/committed caps surface as the
+//!    stable wire codes `queue-full` / `lagging`; idle sessions are evicted
+//!    and answer `stale-session` ever after.
+//! 3. **Clean shutdown** — SIGTERM/SIGINT triggers a cooperative drain that
+//!    flushes every in-flight session before exit.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod signals;
+
+pub use error::ServeError;
+pub use protocol::{format_sid, read_frame, write_frame, Request, Response, MAX_FRAME_LEN};
+pub use server::{Client, ServableEmission, ServeConfig, Server, ServerHandle};
+
+pub use dhmm_stream::{SessionId, SessionPool};

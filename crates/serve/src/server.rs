@@ -1,0 +1,579 @@
+//! The serving engine: one thread owning the [`SessionPool`], fed by
+//! per-connection reader threads over an mpsc channel.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   client ──TCP──▶ reader thread ──┐
+//!   client ──TCP──▶ reader thread ──┼─▶ mpsc ─▶ engine thread (owns SessionPool)
+//!   client ──TCP──▶ reader thread ──┘             │ batch drain → pushes →
+//!                                                 │ ONE tick() → replies
+//! ```
+//!
+//! The engine drains whatever requests have queued, applies them in arrival
+//! order, runs **one** [`SessionPool::tick`] for the batch's pushes, then
+//! answers each push with its session's newly committed labels. Sessions
+//! share no state and each session's tokens are processed in queue order,
+//! so per-session results are independent of how requests happen to batch —
+//! protocol-driven labeling is bit-identical to driving the pool in-process
+//! (pinned by `tests/parity.rs`, including across a mid-stream
+//! `swap-model`).
+//!
+//! When the channel is idle the engine still ticks on a timeout, so the
+//! pool's eviction clock advances without traffic and idle sessions age
+//! out. On shutdown (SIGTERM/SIGINT or [`ServerHandle::shutdown`]) the
+//! accept loop stops, every connection is shut down, and the engine flushes
+//! all remaining active sessions before exiting — no stream's tail is lost
+//! mid-process.
+
+use crate::error::ServeError;
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::signals;
+use dhmm_data::io::{load_model, LoadedModel};
+use dhmm_hmm::emission::{DiscreteEmission, Emission, GaussianEmission};
+use dhmm_hmm::model::Hmm;
+use dhmm_runtime::Parallelism;
+use dhmm_stream::{SessionPool, StreamConfig};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Configuration of a serving process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Fixed lag `L` of every session (see [`StreamConfig::lag`]).
+    pub lag: usize,
+    /// Worker policy for batch ticks (results are bit-identical under
+    /// every policy).
+    pub parallelism: Parallelism,
+    /// Per-session pending-token cap (`None` = unbounded) — exceeding it
+    /// answers `err queue-full`.
+    pub pending_cap: Option<usize>,
+    /// Per-session committed-label cap (`None` = unbounded) — exceeding it
+    /// answers `err lagging`.
+    pub committed_cap: Option<usize>,
+    /// Sessions idle for more than this many pool ticks are evicted
+    /// (`None` = never). A stale client's next request answers
+    /// `err stale-session`.
+    pub max_idle_ticks: Option<u64>,
+    /// Engine heartbeat: how long the engine waits for traffic before
+    /// running an idle tick (advancing the eviction clock).
+    pub idle_tick: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            lag: 8,
+            parallelism: Parallelism::default(),
+            pending_cap: Some(4096),
+            committed_cap: Some(65536),
+            max_idle_ticks: None,
+            idle_tick: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Returns a copy with the given fixed lag.
+    pub fn with_lag(mut self, lag: usize) -> Self {
+        self.lag = lag;
+        self
+    }
+
+    /// Returns a copy with the given worker policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns a copy with the given pending-token cap.
+    pub fn with_pending_cap(mut self, cap: Option<usize>) -> Self {
+        self.pending_cap = cap;
+        self
+    }
+
+    /// Returns a copy with the given committed-label cap.
+    pub fn with_committed_cap(mut self, cap: Option<usize>) -> Self {
+        self.committed_cap = cap;
+        self
+    }
+
+    /// Returns a copy with the given idle-eviction horizon.
+    pub fn with_max_idle_ticks(mut self, ticks: Option<u64>) -> Self {
+        self.max_idle_ticks = ticks;
+        self
+    }
+
+    /// Returns a copy with the given engine heartbeat.
+    pub fn with_idle_tick(mut self, idle_tick: Duration) -> Self {
+        self.idle_tick = idle_tick;
+        self
+    }
+
+    fn stream_config(&self) -> StreamConfig {
+        StreamConfig::default()
+            .with_lag(self.lag)
+            .with_parallelism(self.parallelism)
+            .with_pending_cap(self.pending_cap)
+            .with_committed_cap(self.committed_cap)
+    }
+}
+
+/// An emission family the server can speak: knows how to parse/format its
+/// observation type as protocol tokens and how to pull its model out of a
+/// [`LoadedModel`] checkpoint.
+pub trait ServableEmission: Emission + Send + Sync + 'static
+where
+    Self::Obs: Send + Sync,
+{
+    /// The checkpoint family tag (`discrete` / `gaussian`).
+    const FAMILY: &'static str;
+
+    /// Parses one observation token.
+    fn parse_obs(tok: &str) -> Result<Self::Obs, ServeError>;
+
+    /// Formats one observation as a protocol token. Gaussian observations
+    /// use `{:.17e}` so the wire round-trip is `f64`-bit-exact.
+    fn format_obs(obs: &Self::Obs) -> String;
+
+    /// Extracts this family's model from a loaded checkpoint, rejecting a
+    /// family mismatch.
+    fn from_loaded(model: LoadedModel) -> Result<Hmm<Self>, ServeError>
+    where
+        Self: Sized;
+}
+
+impl ServableEmission for DiscreteEmission {
+    const FAMILY: &'static str = "discrete";
+
+    fn parse_obs(tok: &str) -> Result<usize, ServeError> {
+        tok.parse().map_err(|_| ServeError::BadRequest {
+            reason: format!("discrete observation must be a symbol index, got {tok:?}"),
+        })
+    }
+
+    fn format_obs(obs: &usize) -> String {
+        obs.to_string()
+    }
+
+    fn from_loaded(model: LoadedModel) -> Result<Hmm<Self>, ServeError> {
+        match model {
+            LoadedModel::Discrete(h) => Ok(h),
+            LoadedModel::Gaussian(_) => Err(ServeError::Model {
+                reason: "expected a discrete checkpoint, got gaussian".into(),
+            }),
+        }
+    }
+}
+
+impl ServableEmission for GaussianEmission {
+    const FAMILY: &'static str = "gaussian";
+
+    fn parse_obs(tok: &str) -> Result<f64, ServeError> {
+        tok.parse().map_err(|_| ServeError::BadRequest {
+            reason: format!("gaussian observation must be a float, got {tok:?}"),
+        })
+    }
+
+    fn format_obs(obs: &f64) -> String {
+        format!("{obs:.17e}")
+    }
+
+    fn from_loaded(model: LoadedModel) -> Result<Hmm<Self>, ServeError> {
+        match model {
+            LoadedModel::Gaussian(h) => Ok(h),
+            LoadedModel::Discrete(_) => Err(ServeError::Model {
+                reason: "expected a gaussian checkpoint, got discrete".into(),
+            }),
+        }
+    }
+}
+
+/// One request in flight from a reader thread to the engine.
+struct EngineMsg {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Applies one batch of requests: arrival order, one tick, then push
+/// replies. Returns the replies deferred until after the tick.
+fn apply_batch<E: ServableEmission>(pool: &mut SessionPool<E>, batch: Vec<EngineMsg>)
+where
+    E::Obs: Send + Sync,
+{
+    let mut pushed: Vec<EngineMsg> = Vec::new();
+    for msg in batch {
+        let response = match &msg.request {
+            Request::Create => Some(Response::Created { id: pool.create() }),
+            Request::Push { id, tokens } => {
+                let parsed: Result<Vec<E::Obs>, ServeError> =
+                    tokens.iter().map(|t| E::parse_obs(t)).collect();
+                match parsed.and_then(|obs| pool.push_many(*id, obs).map_err(ServeError::from)) {
+                    Ok(()) => {
+                        pushed.push(msg);
+                        continue;
+                    }
+                    Err(e) => Some(error_response(e)),
+                }
+            }
+            Request::Flush { id } => Some(match pool.flush(*id) {
+                Ok(()) => {
+                    let mut labels = Vec::new();
+                    let start = pool.take_committed(*id, &mut labels).expect("just flushed");
+                    Response::Flushed {
+                        start,
+                        labels,
+                        log_likelihood: pool.log_likelihood(*id).expect("just flushed"),
+                        tokens: pool.tokens(*id).expect("just flushed"),
+                    }
+                }
+                Err(e) => error_response(ServeError::from(e)),
+            }),
+            Request::Close { id } => Some(match pool.close(*id) {
+                Ok(()) => Response::Closed,
+                Err(e) => error_response(ServeError::from(e)),
+            }),
+            Request::SwapModel { path } => Some(match swap_model(pool, path) {
+                Ok(epoch) => Response::Swapped { epoch },
+                Err(e) => error_response(e),
+            }),
+            Request::Stats => Some(Response::Stats {
+                active: pool.active_sessions(),
+                epoch: pool.current_epoch(),
+                clock: pool.clock(),
+                evicted: pool.evicted_total(),
+            }),
+        };
+        if let Some(r) = response {
+            let _ = msg.reply.send(r);
+        }
+    }
+
+    if !pushed.is_empty() {
+        pool.tick();
+        for msg in pushed {
+            let id = match &msg.request {
+                Request::Push { id, .. } => *id,
+                _ => unreachable!("only pushes are deferred"),
+            };
+            let mut labels = Vec::new();
+            let r = match pool.take_committed(id, &mut labels) {
+                Ok(start) => Response::Committed { start, labels },
+                Err(e) => error_response(ServeError::from(e)),
+            };
+            let _ = msg.reply.send(r);
+        }
+    }
+}
+
+fn error_response(e: ServeError) -> Response {
+    Response::Error {
+        code: e.code().to_string(),
+        message: e.to_string(),
+    }
+}
+
+fn swap_model<E: ServableEmission>(pool: &mut SessionPool<E>, path: &str) -> Result<u64, ServeError>
+where
+    E::Obs: Send + Sync,
+{
+    let loaded = load_model(Path::new(path)).map_err(|e| ServeError::Model {
+        reason: format!("load {path}: {e}"),
+    })?;
+    let model = E::from_loaded(loaded)?;
+    if model.num_states() != pool.current_model().num_states() {
+        return Err(ServeError::Model {
+            reason: format!(
+                "checkpoint has {} states, the serving pool has {}",
+                model.num_states(),
+                pool.current_model().num_states()
+            ),
+        });
+    }
+    Ok(pool.publish(Arc::new(model)))
+}
+
+/// The engine loop: batch, apply, tick, repeat — until shutdown, then
+/// flush every remaining session. Returns how many sessions the shutdown
+/// drain flushed.
+fn engine_loop<E: ServableEmission>(
+    mut pool: SessionPool<E>,
+    rx: mpsc::Receiver<EngineMsg>,
+    config: ServeConfig,
+    stop: Arc<AtomicBool>,
+) -> usize
+where
+    E::Obs: Send + Sync,
+{
+    loop {
+        if stop.load(Ordering::SeqCst) || signals::shutdown_requested() {
+            break;
+        }
+        let first = match rx.recv_timeout(config.idle_tick) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle heartbeat: advance the eviction clock with an empty
+                // tick (label-neutral — there are no pending tokens).
+                pool.tick();
+                if let Some(horizon) = config.max_idle_ticks {
+                    pool.evict_idle(horizon);
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut batch = vec![first];
+        while let Ok(msg) = rx.try_recv() {
+            batch.push(msg);
+        }
+        apply_batch(&mut pool, batch);
+    }
+
+    // Shutdown drain: commit every in-flight stream's tail so no accepted
+    // token goes unlabeled (the labels are readable until the process
+    // exits; a front-end with durable output would sink them here).
+    let mut flushed = 0;
+    for id in pool.active_ids() {
+        if !pool.is_flushed(id).unwrap_or(true) {
+            pool.flush(id).expect("active session flushes");
+            flushed += 1;
+        }
+    }
+    flushed
+}
+
+fn client_loop(mut stream: TcpStream, tx: mpsc::Sender<EngineMsg>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return,
+        };
+        let response = match Request::parse(&payload) {
+            Err(e) => error_response(e),
+            Ok(request) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                if tx
+                    .send(EngineMsg {
+                        request,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    return; // engine gone: shutting down
+                }
+                match reply_rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => return,
+                }
+            }
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// A running server: join handles plus the shared shutdown latch.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    engine_thread: Option<JoinHandle<usize>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests shutdown and waits for the drain; returns how many
+    /// sessions the engine flushed on the way out.
+    pub fn shutdown(mut self) -> usize {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join()
+    }
+
+    /// Waits for the server to stop on its own (SIGTERM/SIGINT or an
+    /// external [`crate::signals::request_shutdown`]); returns how many
+    /// sessions the engine flushed on the way out.
+    pub fn wait(mut self) -> usize {
+        self.join()
+    }
+
+    fn join(&mut self) -> usize {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.engine_thread
+            .take()
+            .map(|t| t.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join();
+    }
+}
+
+/// The serving front-end entry points.
+pub struct Server;
+
+impl Server {
+    /// Loads a checkpoint and serves it on `addr` (e.g. `127.0.0.1:0` for
+    /// an ephemeral port). The emission family is read from the checkpoint
+    /// header.
+    pub fn start_from_path(
+        path: &Path,
+        config: ServeConfig,
+        addr: &str,
+    ) -> Result<ServerHandle, ServeError> {
+        let loaded = load_model(path).map_err(|e| ServeError::Startup {
+            reason: format!("load {}: {e}", path.display()),
+        })?;
+        Self::start(loaded, config, addr)
+    }
+
+    /// Serves an already-loaded model on `addr`.
+    pub fn start(
+        model: LoadedModel,
+        config: ServeConfig,
+        addr: &str,
+    ) -> Result<ServerHandle, ServeError> {
+        match model {
+            LoadedModel::Discrete(h) => start_typed(h, config, addr),
+            LoadedModel::Gaussian(h) => start_typed(h, config, addr),
+        }
+    }
+}
+
+fn start_typed<E: ServableEmission>(
+    model: Hmm<E>,
+    config: ServeConfig,
+    addr: &str,
+) -> Result<ServerHandle, ServeError>
+where
+    E::Obs: Send + Sync,
+{
+    let pool = SessionPool::with_config(Arc::new(model), config.stream_config()).map_err(|e| {
+        ServeError::Backend {
+            reason: e.to_string(),
+        }
+    })?;
+    let listener = TcpListener::bind(addr).map_err(|e| ServeError::Startup {
+        reason: format!("bind {addr}: {e}"),
+    })?;
+    let local_addr = listener.local_addr().map_err(|e| ServeError::Startup {
+        reason: format!("local_addr: {e}"),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServeError::Startup {
+            reason: format!("set_nonblocking: {e}"),
+        })?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<EngineMsg>();
+
+    let engine_stop = Arc::clone(&stop);
+    let engine_config = config;
+    let engine_thread = thread::Builder::new()
+        .name("dhmm-serve-engine".into())
+        .spawn(move || engine_loop(pool, rx, engine_config, engine_stop))
+        .map_err(|e| ServeError::Startup {
+            reason: format!("spawn engine: {e}"),
+        })?;
+
+    let accept_stop = Arc::clone(&stop);
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_thread = thread::Builder::new()
+        .name("dhmm-serve-accept".into())
+        .spawn(move || {
+            loop {
+                if accept_stop.load(Ordering::SeqCst) || signals::shutdown_requested() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nodelay(true);
+                        if let Ok(clone) = stream.try_clone() {
+                            conns.lock().expect("conn registry").push(clone);
+                        }
+                        let tx = tx.clone();
+                        let _ = thread::Builder::new()
+                            .name("dhmm-serve-client".into())
+                            .spawn(move || client_loop(stream, tx));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            // Unblock every reader so client threads exit and drop their
+            // channel senders; the engine then drains and stops.
+            for conn in conns.lock().expect("conn registry").drain(..) {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+            drop(tx);
+        })
+        .map_err(|e| ServeError::Startup {
+            reason: format!("spawn acceptor: {e}"),
+        })?;
+
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        engine_thread: Some(engine_thread),
+    })
+}
+
+/// A minimal blocking client for tests, tooling and the replay bench: one
+/// request/response round-trip per call over one connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving process.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &request.encode()).map_err(|e| ServeError::BadRequest {
+            reason: format!("write: {e}"),
+        })?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(|e| ServeError::BadRequest {
+                reason: format!("read: {e}"),
+            })?
+            .ok_or_else(|| ServeError::BadRequest {
+                reason: "server closed the connection".into(),
+            })?;
+        Response::parse(&payload)
+    }
+
+    /// Sends a raw payload (for protocol-error testing) and returns the raw
+    /// response payload.
+    pub fn call_raw(&mut self, payload: &str) -> std::io::Result<String> {
+        write_frame(&mut self.stream, payload)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed")
+        })
+    }
+}

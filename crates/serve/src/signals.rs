@@ -1,0 +1,71 @@
+//! Minimal SIGTERM/SIGINT latch.
+//!
+//! The workspace vendors no `libc` crate, so the handler is registered
+//! through a raw `extern "C"` declaration of `signal(2)` — the symbol is in
+//! the C library every Rust binary on unix already links. The handler does
+//! the only async-signal-safe thing possible: it flips an atomic the serve
+//! loops poll, so shutdown is always a cooperative drain (flush every
+//! session, then exit), never an abort mid-tick.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; polled by the accept and engine loops.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been received (or
+/// [`request_shutdown`] called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests a cooperative shutdown, exactly as a SIGTERM would.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the already-linked C library.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation: flip the atomic.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs the termination-signal handler (no-op on non-unix platforms,
+/// where only [`request_shutdown`] triggers a drain).
+pub fn install_handler() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shutdown_latches() {
+        install_handler();
+        assert!(!shutdown_requested() || cfg!(not(unix)));
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

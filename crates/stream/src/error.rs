@@ -5,11 +5,15 @@ use std::fmt;
 
 /// Errors produced by streaming configuration and session management.
 ///
-/// Token pushes themselves are infallible by design: every degenerate input
+/// Token *decoding* is infallible by design: every degenerate input
 /// (out-of-vocabulary symbol, underflowing density, non-finite observation)
 /// takes the engines' established floored-row path, exactly like the offline
 /// scaled engine. What can fail is *plumbing* — an unsupported backend at
-/// construction, or a stale/unknown session handle.
+/// construction, a stale/unknown session handle, or (when the pool is
+/// configured with queue caps) a producer outrunning the consumer. The
+/// capacity variants are the backpressure story: a full pending queue or a
+/// lagging committed queue is surfaced as a typed error at `push` time
+/// instead of growing without bound.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamError {
     /// The selected inference backend cannot stream. Only the scaled
@@ -25,7 +29,7 @@ pub enum StreamError {
         slot: usize,
     },
     /// The session id names a slot that has since been closed and reopened
-    /// (stale generation) or is currently free.
+    /// (stale generation), evicted for idleness, or is currently free.
     SessionClosed {
         /// The offending slot index.
         slot: usize,
@@ -35,6 +39,27 @@ pub enum StreamError {
     SessionFinished {
         /// The offending slot index.
         slot: usize,
+    },
+    /// The session's pending-token queue is at its configured cap; the
+    /// producer must wait for a tick to drain it before pushing more.
+    QueueFull {
+        /// The offending slot index.
+        slot: usize,
+        /// Tokens currently pending.
+        pending: usize,
+        /// The configured pending-queue cap.
+        cap: usize,
+    },
+    /// The session's committed-label queue is at its configured cap: the
+    /// consumer is not draining labels (`take_committed`) as fast as ticks
+    /// produce them. Further pushes are refused until the backlog is taken.
+    Lagging {
+        /// The offending slot index.
+        slot: usize,
+        /// Committed labels awaiting pickup.
+        queued: usize,
+        /// The configured committed-queue cap.
+        cap: usize,
     },
 }
 
@@ -54,6 +79,14 @@ impl fmt::Display for StreamError {
             StreamError::SessionFinished { slot } => {
                 write!(f, "session slot {slot} was already flushed")
             }
+            StreamError::QueueFull { slot, pending, cap } => write!(
+                f,
+                "session slot {slot} pending-token queue is full ({pending} of {cap}); tick before pushing more"
+            ),
+            StreamError::Lagging { slot, queued, cap } => write!(
+                f,
+                "session slot {slot} is lagging: {queued} committed labels queued (cap {cap}); take_committed before pushing more"
+            ),
         }
     }
 }
@@ -79,5 +112,19 @@ mod tests {
         assert!(StreamError::SessionFinished { slot: 0 }
             .to_string()
             .contains("flushed"));
+        assert!(StreamError::QueueFull {
+            slot: 2,
+            pending: 8,
+            cap: 8
+        }
+        .to_string()
+        .contains("full"));
+        assert!(StreamError::Lagging {
+            slot: 4,
+            queued: 100,
+            cap: 64
+        }
+        .to_string()
+        .contains("lagging"));
     }
 }

@@ -1,14 +1,42 @@
 //! Multiplexed streaming sessions on the shared deterministic runtime.
 //!
-//! A [`SessionPool`] owns many concurrent streaming sessions against one
-//! model. Producers enqueue tokens per session ([`SessionPool::push`]); a
-//! batch [`SessionPool::tick`] then advances every session's pending tokens,
+//! A [`SessionPool`] owns many concurrent streaming sessions. Producers
+//! enqueue tokens per session ([`SessionPool::push`]); a batch
+//! [`SessionPool::tick`] then advances every session's pending tokens,
 //! fanning the *sessions* out over the runtime executor in deterministic
 //! contiguous bands (the token order *within* a session is always its queue
 //! order, and sessions share no state), so a tick is **bit-identical across
 //! worker policies** — `Serial`, `Threads(n)` and `Auto` produce the same
 //! labels, posteriors and log-likelihoods to the last bit, pinned by
 //! `tests/session_determinism.rs`.
+//!
+//! # Epoch-versioned models
+//!
+//! The pool owns its model behind an [`Arc`], stamped with a monotonically
+//! increasing **epoch**. [`SessionPool::publish`] atomically replaces the
+//! current model (a freshly trained checkpoint, say) without draining the
+//! pool: every *live* session keeps decoding against the epoch it is pinned
+//! to until its next **commit boundary** — the start of the next tick or
+//! flush that touches it — where it is *flush-then-rebound*: the old
+//! stream's Viterbi tail is committed under the old model (exactly as an
+//! explicit flush would), the session's running log-likelihood and token
+//! count are carried over, and subsequent tokens start a fresh stream
+//! against the new epoch. Already-committed labels are never touched, and a
+//! swapped session's full label sequence is identical to closing it and
+//! reopening a new session against the new model (pinned by
+//! `tests/hotswap.rs`).
+//!
+//! # Backpressure
+//!
+//! With caps configured ([`crate::StreamConfig::pending_cap`] /
+//! [`crate::StreamConfig::committed_cap`]), `push` refuses to grow a
+//! session's queues without bound: a full pending-token queue fails with
+//! [`StreamError::QueueFull`] (tick before pushing more) and an un-drained
+//! committed-label queue fails with [`StreamError::Lagging`]
+//! (`take_committed` before pushing more). [`SessionPool::evict_idle`]
+//! closes sessions that have seen no activity for a configured number of
+//! ticks, bumping the slot generation so stale clients get a typed
+//! [`StreamError::SessionClosed`], never another session's labels.
 //!
 //! Memory: each session owns one ring [`StreamWorkspace`] (O(window · k)),
 //! while per-push scratch is leased per *worker* from a runtime `LeasePool`
@@ -17,13 +45,14 @@
 //! it allocation-free (including a shorter stream followed by a longer one —
 //! the buffers are grow-only).
 
-use crate::decoder::{flush_stream, push_token};
+use crate::decoder::{flush_stream, push_token, ring_window};
 use crate::error::StreamError;
 use crate::workspace::{StreamScratch, StreamWorkspace};
 use crate::StreamConfig;
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
 use dhmm_runtime::{Executor, LeasePool, Parallelism};
+use std::sync::Arc;
 
 /// Below either of these per-tick sizes, an `Auto`-policy tick runs
 /// serially: dispatch overhead would not be amortized. Explicit `Threads(n)`
@@ -34,9 +63,9 @@ const PAR_MIN_TOKENS: usize = 2_048;
 
 /// Handle to one session in a [`SessionPool`].
 ///
-/// Carries a generation counter so a handle kept across a close/reopen of
-/// the same slot is detected as stale instead of silently reading another
-/// session's stream.
+/// Carries a generation counter so a handle kept across a close/reopen (or
+/// idle eviction) of the same slot is detected as stale instead of silently
+/// reading another session's stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId {
     slot: u32,
@@ -44,40 +73,92 @@ pub struct SessionId {
 }
 
 impl SessionId {
+    /// Reassembles a session id from its wire parts (a serving front-end
+    /// round-trips ids through its protocol as `slot.generation`). An id
+    /// fabricated with a wrong generation is harmless: every pool operation
+    /// generation-checks and fails with [`StreamError::SessionClosed`].
+    pub fn from_parts(slot: u32, generation: u32) -> Self {
+        Self { slot, generation }
+    }
+
     /// The pool slot this id names (diagnostic only).
     pub fn slot(&self) -> usize {
         self.slot as usize
     }
+
+    /// The slot generation this id was issued under.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
 }
 
 /// One slot of the pool: persistent ring state plus the token in-queue and
-/// the committed-label out-queue.
-#[derive(Debug)]
-struct Slot<O> {
+/// the committed-label out-queue, pinned to a model epoch.
+struct Slot<E: Emission> {
     generation: u32,
     active: bool,
     flushed: bool,
+    /// The model this session is currently decoding against.
+    model: Arc<Hmm<E>>,
+    /// The epoch of `model`; rebinding happens when this falls behind the
+    /// pool's published epoch.
+    epoch: u64,
     ws: StreamWorkspace,
     /// Tokens enqueued since the last tick, in arrival order.
-    pending: Vec<O>,
+    pending: Vec<E::Obs>,
     /// Committed labels awaiting pickup; contiguous in time starting at
     /// `out_start`.
     out: Vec<usize>,
     out_start: usize,
+    /// Log-likelihood accumulated by stream segments completed before the
+    /// last rebind (each rebind flushes a segment and folds its `Σ log c_t`
+    /// in here).
+    ll_carry: f64,
+    /// Tokens decoded by segments completed before the last rebind.
+    tokens_carry: usize,
+    /// Pool clock value of the last activity on this session (push, flush,
+    /// take, or a tick that advanced it); drives idle eviction.
+    last_active: u64,
 }
 
-impl<O> Slot<O> {
-    fn new() -> Self {
+impl<E: Emission> Slot<E> {
+    fn new(model: Arc<Hmm<E>>, epoch: u64) -> Self {
         Self {
             generation: 0,
             active: false,
             flushed: false,
+            model,
+            epoch,
             ws: StreamWorkspace::new(),
             pending: Vec::new(),
             out: Vec::new(),
             out_start: 0,
+            ll_carry: 0.0,
+            tokens_carry: 0,
+            last_active: 0,
         }
     }
+}
+
+/// Commits the old stream segment at a boundary and rebinds the slot to the
+/// published model. Free function (not a method) so `tick` can call it from
+/// inside a parallel band over disjoint slots.
+fn rebind_slot<E: Emission>(
+    slot: &mut Slot<E>,
+    model: &Arc<Hmm<E>>,
+    epoch: u64,
+    lag: usize,
+    scratch: &mut StreamScratch,
+) {
+    if slot.ws.tokens() > 0 && !slot.ws.is_finished() {
+        flush_stream(&*slot.model, lag, &mut slot.ws, scratch);
+        slot.out.extend_from_slice(&scratch.committed);
+    }
+    slot.ll_carry += slot.ws.log_likelihood();
+    slot.tokens_carry += slot.ws.tokens();
+    slot.model = Arc::clone(model);
+    slot.epoch = epoch;
+    slot.ws.reset();
 }
 
 /// Summary of one batch tick.
@@ -87,45 +168,73 @@ pub struct TickReport {
     pub sessions: usize,
     /// Total tokens advanced.
     pub tokens: usize,
+    /// Sessions rebound to a newer model epoch during this tick.
+    pub rebound: usize,
 }
 
-/// Many concurrent streaming sessions multiplexed over one model and the
-/// shared worker-pool runtime.
-#[derive(Debug)]
-pub struct SessionPool<'m, E: Emission> {
-    model: &'m Hmm<E>,
+/// Many concurrent streaming sessions multiplexed over an epoch-versioned
+/// model and the shared worker-pool runtime.
+pub struct SessionPool<E: Emission> {
+    model: Arc<Hmm<E>>,
+    epoch: u64,
     lag: usize,
     parallelism: Parallelism,
-    slots: Vec<Slot<E::Obs>>,
+    pending_cap: Option<usize>,
+    committed_cap: Option<usize>,
+    slots: Vec<Slot<E>>,
     free: Vec<usize>,
     scratch: LeasePool<StreamScratch>,
+    /// Logical clock: advances once per [`SessionPool::tick`]; the idle
+    /// reference for eviction.
+    clock: u64,
+    /// Sessions evicted over the pool's lifetime (diagnostic).
+    evicted: u64,
 }
 
-impl<'m, E: Emission> SessionPool<'m, E> {
+impl<E: Emission> std::fmt::Debug for SessionPool<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Hand-written (not derived) so `E::Obs: Debug` is not required.
+        f.debug_struct("SessionPool")
+            .field("epoch", &self.epoch)
+            .field("lag", &self.lag)
+            .field("parallelism", &self.parallelism)
+            .field("slots", &self.slots.len())
+            .field("active", &self.active_sessions())
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E: Emission> SessionPool<E> {
     /// Creates a pool from a full [`StreamConfig`], rejecting backends that
     /// cannot stream.
-    pub fn with_config(model: &'m Hmm<E>, config: StreamConfig) -> Result<Self, StreamError> {
+    pub fn with_config(model: Arc<Hmm<E>>, config: StreamConfig) -> Result<Self, StreamError> {
         config.validate()?;
         Ok(Self {
             model,
+            epoch: 0,
             lag: config.lag,
             parallelism: config.parallelism,
+            pending_cap: config.pending_cap,
+            committed_cap: config.committed_cap,
             slots: Vec::new(),
             free: Vec::new(),
             scratch: LeasePool::new(),
+            clock: 0,
+            evicted: 0,
         })
     }
 
-    /// Creates a pool with the given lag and worker policy.
-    pub fn new(model: &'m Hmm<E>, lag: usize, parallelism: Parallelism) -> Self {
-        Self {
+    /// Creates a pool with the given lag and worker policy (unbounded
+    /// queues; use [`SessionPool::with_config`] for backpressure caps).
+    pub fn new(model: Arc<Hmm<E>>, lag: usize, parallelism: Parallelism) -> Self {
+        Self::with_config(
             model,
-            lag,
-            parallelism,
-            slots: Vec::new(),
-            free: Vec::new(),
-            scratch: LeasePool::new(),
-        }
+            StreamConfig::default()
+                .with_lag(lag)
+                .with_parallelism(parallelism),
+        )
+        .expect("default backend always streams")
     }
 
     /// The configured lag `L`.
@@ -133,28 +242,95 @@ impl<'m, E: Emission> SessionPool<'m, E> {
         self.lag
     }
 
+    /// The currently published model epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The currently published model.
+    pub fn current_model(&self) -> &Arc<Hmm<E>> {
+        &self.model
+    }
+
+    /// The pool's logical clock (ticks so far).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Sessions evicted for idleness over the pool's lifetime.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted
+    }
+
     /// Number of currently open sessions.
     pub fn active_sessions(&self) -> usize {
         self.slots.iter().filter(|s| s.active).count()
     }
 
-    /// Opens a session, reusing a closed slot's warm buffers when one is
-    /// available.
+    /// Ids of every currently open session (ascending slot order). A
+    /// serving front-end drains these at shutdown so every in-flight
+    /// stream's tail is committed before the process exits.
+    pub fn active_ids(&self) -> Vec<SessionId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active)
+            .map(|(i, s)| SessionId {
+                slot: i as u32,
+                generation: s.generation,
+            })
+            .collect()
+    }
+
+    /// Whether the session's stream has been flushed (it stays readable
+    /// until closed).
+    pub fn is_flushed(&self, id: SessionId) -> Result<bool, StreamError> {
+        let slot = self.resolve(id)?;
+        Ok(self.slots[slot].flushed)
+    }
+
+    /// Number of slots ever allocated (active + warm free).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Atomically publishes a new model as the next epoch and returns that
+    /// epoch. Live sessions are *not* drained: each picks the new model up
+    /// at its next commit boundary (tick or flush) via flush-then-rebind —
+    /// the old stream's tail is committed under the old model, then
+    /// subsequent tokens decode against the new one. Sessions created after
+    /// `publish` bind the new epoch immediately.
+    pub fn publish(&mut self, model: Arc<Hmm<E>>) -> u64 {
+        self.model = model;
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Opens a session against the current epoch, reusing a closed slot's
+    /// warm buffers when one is available.
     pub fn create(&mut self) -> SessionId {
         let slot = match self.free.pop() {
             Some(i) => i,
             None => {
-                self.slots.push(Slot::new());
+                self.slots
+                    .push(Slot::new(Arc::clone(&self.model), self.epoch));
                 self.slots.len() - 1
             }
         };
+        let clock = self.clock;
+        let (model, epoch) = (Arc::clone(&self.model), self.epoch);
         let s = &mut self.slots[slot];
         s.active = true;
         s.flushed = false;
+        s.model = model;
+        s.epoch = epoch;
         s.ws.reset();
         s.pending.clear();
         s.out.clear();
         s.out_start = 0;
+        s.ll_carry = 0.0;
+        s.tokens_carry = 0;
+        s.last_active = clock;
         SessionId {
             slot: slot as u32,
             generation: s.generation,
@@ -173,18 +349,85 @@ impl<'m, E: Emission> SessionPool<'m, E> {
     }
 
     /// Enqueues one observation on a session; it is processed by the next
-    /// [`SessionPool::tick`] (or [`SessionPool::flush`]).
+    /// [`SessionPool::tick`] (or [`SessionPool::flush`]). Fails with the
+    /// typed backpressure errors when a configured queue cap is hit.
     pub fn push(&mut self, id: SessionId, obs: E::Obs) -> Result<(), StreamError> {
         let slot = self.resolve(id)?;
+        let clock = self.clock;
+        let (pending_cap, committed_cap) = (self.pending_cap, self.committed_cap);
         let s = &mut self.slots[slot];
         if s.flushed {
             return Err(StreamError::SessionFinished { slot });
         }
+        if let Some(cap) = pending_cap {
+            if s.pending.len() >= cap {
+                return Err(StreamError::QueueFull {
+                    slot,
+                    pending: s.pending.len(),
+                    cap,
+                });
+            }
+        }
+        if let Some(cap) = committed_cap {
+            if s.out.len() >= cap {
+                return Err(StreamError::Lagging {
+                    slot,
+                    queued: s.out.len(),
+                    cap,
+                });
+            }
+        }
         s.pending.push(obs);
+        s.last_active = clock;
         Ok(())
     }
 
-    /// Advances every session's pending tokens on the runtime executor.
+    /// Enqueues a batch of observations atomically: either every
+    /// observation is accepted or — when a configured cap would be hit
+    /// anywhere in the batch — none is, and the typed backpressure error is
+    /// returned with the queue state at rejection time. This is the
+    /// all-or-nothing entry point a serving front-end needs so a partially
+    /// applied request never leaves the client guessing how much of its
+    /// push survived.
+    pub fn push_many<I>(&mut self, id: SessionId, obs: I) -> Result<(), StreamError>
+    where
+        I: IntoIterator<Item = E::Obs>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let obs = obs.into_iter();
+        let slot = self.resolve(id)?;
+        let clock = self.clock;
+        let (pending_cap, committed_cap) = (self.pending_cap, self.committed_cap);
+        let s = &mut self.slots[slot];
+        if s.flushed {
+            return Err(StreamError::SessionFinished { slot });
+        }
+        if let Some(cap) = pending_cap {
+            if s.pending.len() + obs.len() > cap {
+                return Err(StreamError::QueueFull {
+                    slot,
+                    pending: s.pending.len(),
+                    cap,
+                });
+            }
+        }
+        if let Some(cap) = committed_cap {
+            if s.out.len() >= cap {
+                return Err(StreamError::Lagging {
+                    slot,
+                    queued: s.out.len(),
+                    cap,
+                });
+            }
+        }
+        s.pending.extend(obs);
+        s.last_active = clock;
+        Ok(())
+    }
+
+    /// Advances every session's pending tokens on the runtime executor, and
+    /// rebinds any session still pinned to a superseded model epoch
+    /// (flush-then-rebind at this commit boundary).
     ///
     /// Sessions are fanned out in deterministic contiguous bands over the
     /// configured worker policy; each worker leases one scratch and walks
@@ -193,23 +436,31 @@ impl<'m, E: Emission> SessionPool<'m, E> {
     /// change results, only speed).
     pub fn tick(&mut self) -> TickReport
     where
-        E: Sync,
+        E: Send + Sync,
         E::Obs: Send + Sync,
     {
+        self.clock += 1;
+        let clock = self.clock;
+        let epoch = self.epoch;
+        let model = Arc::clone(&self.model);
+        let lag = self.lag;
+
         let total_tokens: usize = self
             .slots
             .iter()
             .filter(|s| s.active)
             .map(|s| s.pending.len())
             .sum();
-        let mut active: Vec<&mut Slot<E::Obs>> = self
+        let mut active: Vec<&mut Slot<E>> = self
             .slots
             .iter_mut()
-            .filter(|s| s.active && !s.pending.is_empty())
+            .filter(|s| s.active && !s.flushed && (!s.pending.is_empty() || s.epoch != epoch))
             .collect();
+        let rebound = active.iter().filter(|s| s.epoch != epoch).count();
         let report = TickReport {
-            sessions: active.len(),
+            sessions: active.iter().filter(|s| !s.pending.is_empty()).count(),
             tokens: total_tokens,
+            rebound,
         };
         if active.is_empty() {
             return report;
@@ -223,12 +474,17 @@ impl<'m, E: Emission> SessionPool<'m, E> {
         }
         let num_ranges = exec.num_ranges(active.len());
         let scratches = self.scratch.ensure(num_ranges);
-        let model = self.model;
-        let lag = self.lag;
+        let model_ref = &model;
         exec.for_each_band_with(&mut active, 1, scratches, |_range, band, scratch| {
             for slot in band.iter_mut() {
+                if slot.epoch != epoch {
+                    rebind_slot(slot, model_ref, epoch, lag, scratch);
+                }
+                if !slot.pending.is_empty() {
+                    slot.last_active = clock;
+                }
                 for i in 0..slot.pending.len() {
-                    push_token(model, lag, &mut slot.ws, scratch, &slot.pending[i]);
+                    push_token(&slot.model, lag, &mut slot.ws, scratch, &slot.pending[i]);
                     slot.out.extend_from_slice(&scratch.committed);
                 }
                 slot.pending.clear();
@@ -239,23 +495,32 @@ impl<'m, E: Emission> SessionPool<'m, E> {
 
     /// Drains any pending tokens of one session (serially), then ends its
     /// stream: the remaining Viterbi tail is appended to the session's
-    /// committed labels. The session stays readable (labels, likelihood)
-    /// until closed.
+    /// committed labels. If a newer model epoch has been published, the
+    /// session is rebound first (old-segment tail committed under the old
+    /// model, pending tokens decoded against the new one) — the same
+    /// commit-boundary rule as [`SessionPool::tick`]. The session stays
+    /// readable (labels, likelihood) until closed.
     pub fn flush(&mut self, id: SessionId) -> Result<(), StreamError> {
         let slot = self.resolve(id)?;
         if self.slots[slot].flushed {
             return Err(StreamError::SessionFinished { slot });
         }
+        let clock = self.clock;
+        let (model, epoch, lag) = (Arc::clone(&self.model), self.epoch, self.lag);
         let scratch = &mut self.scratch.ensure(1)[0];
         let s = &mut self.slots[slot];
+        if s.epoch != epoch {
+            rebind_slot(s, &model, epoch, lag, scratch);
+        }
         for i in 0..s.pending.len() {
-            push_token(self.model, self.lag, &mut s.ws, scratch, &s.pending[i]);
+            push_token(&s.model, lag, &mut s.ws, scratch, &s.pending[i]);
             s.out.extend_from_slice(&scratch.committed);
         }
         s.pending.clear();
-        flush_stream(self.model, self.lag, &mut s.ws, scratch);
+        flush_stream(&*s.model, lag, &mut s.ws, scratch);
         s.out.extend_from_slice(&scratch.committed);
         s.flushed = true;
+        s.last_active = clock;
         Ok(())
     }
 
@@ -280,25 +545,36 @@ impl<'m, E: Emission> SessionPool<'m, E> {
         dst: &mut Vec<usize>,
     ) -> Result<usize, StreamError> {
         let slot = self.resolve(id)?;
+        let clock = self.clock;
         let s = &mut self.slots[slot];
         let start = s.out_start;
         dst.extend_from_slice(&s.out);
         s.out_start += s.out.len();
         s.out.clear();
+        s.last_active = clock;
         Ok(start)
     }
 
     /// Running `log P(y_0..t)` of everything ticked through the session so
-    /// far (pending tokens not yet included).
+    /// far (pending tokens not yet included), summed across every model
+    /// epoch the session has decoded under.
     pub fn log_likelihood(&self, id: SessionId) -> Result<f64, StreamError> {
         let slot = self.resolve(id)?;
-        Ok(self.slots[slot].ws.log_likelihood())
+        let s = &self.slots[slot];
+        Ok(s.ll_carry + s.ws.log_likelihood())
     }
 
-    /// Tokens fully processed (ticked) on this session.
+    /// Tokens fully processed (ticked) on this session, across epochs.
     pub fn tokens(&self, id: SessionId) -> Result<usize, StreamError> {
         let slot = self.resolve(id)?;
-        Ok(self.slots[slot].ws.tokens())
+        let s = &self.slots[slot];
+        Ok(s.tokens_carry + s.ws.tokens())
+    }
+
+    /// The model epoch this session is currently pinned to.
+    pub fn session_epoch(&self, id: SessionId) -> Result<u64, StreamError> {
+        let slot = self.resolve(id)?;
+        Ok(self.slots[slot].epoch)
     }
 
     /// Closes a session: the slot (with its warm ring buffers) returns to
@@ -306,12 +582,49 @@ impl<'m, E: Emission> SessionPool<'m, E> {
     /// becomes stale.
     pub fn close(&mut self, id: SessionId) -> Result<(), StreamError> {
         let slot = self.resolve(id)?;
+        self.close_slot(slot);
+        Ok(())
+    }
+
+    fn close_slot(&mut self, slot: usize) {
         let s = &mut self.slots[slot];
         s.active = false;
         s.generation = s.generation.wrapping_add(1);
         s.pending.clear();
         s.out.clear();
         self.free.push(slot);
-        Ok(())
+    }
+
+    /// Evicts every session idle for more than `max_idle_ticks` ticks of
+    /// the pool clock (no push/flush/take and no pending tokens advanced),
+    /// returning the evicted ids. Eviction closes the slot and bumps its
+    /// generation, so a returning client's stale handle fails with
+    /// [`StreamError::SessionClosed`] — it can never read another
+    /// session's stream. Queued-but-untaken labels are dropped with the
+    /// session.
+    pub fn evict_idle(&mut self, max_idle_ticks: u64) -> Vec<SessionId> {
+        let clock = self.clock;
+        let idle: Vec<(usize, u32)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active && clock.saturating_sub(s.last_active) > max_idle_ticks)
+            .map(|(i, s)| (i, s.generation))
+            .collect();
+        let mut evicted = Vec::with_capacity(idle.len());
+        for (slot, generation) in idle {
+            self.close_slot(slot);
+            self.evicted += 1;
+            evicted.push(SessionId {
+                slot: slot as u32,
+                generation,
+            });
+        }
+        evicted
+    }
+
+    /// The ring window `W = max(2L, 1)` sessions of this pool use.
+    pub fn window(&self) -> usize {
+        ring_window(self.lag)
     }
 }

@@ -1,0 +1,161 @@
+//! Backpressure and idle-eviction semantics of the session pool: queue caps
+//! surface as typed errors at `push` (never silent growth, never data loss),
+//! and eviction bumps the slot generation so stale handles fail closed.
+
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::Hmm;
+use dhmm_linalg::Matrix;
+use dhmm_stream::{Parallelism, SessionPool, StreamConfig, StreamError};
+use std::sync::Arc;
+
+fn model() -> Arc<Hmm<DiscreteEmission>> {
+    let emission =
+        DiscreteEmission::new(Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap())
+            .unwrap();
+    let transition = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
+    Arc::new(Hmm::new(vec![0.5, 0.5], transition, emission).unwrap())
+}
+
+fn capped_pool(pending: usize, committed: usize) -> SessionPool<DiscreteEmission> {
+    SessionPool::with_config(
+        model(),
+        StreamConfig::default()
+            .with_lag(0)
+            .with_parallelism(Parallelism::Serial)
+            .with_pending_cap(Some(pending))
+            .with_committed_cap(Some(committed)),
+    )
+    .unwrap()
+}
+
+#[test]
+fn pending_cap_rejects_the_overflowing_push() {
+    let mut pool = capped_pool(3, 100);
+    let id = pool.create();
+    for i in 0..3 {
+        pool.push(id, i % 2).unwrap();
+    }
+    match pool.push(id, 0) {
+        Err(StreamError::QueueFull { pending, cap, .. }) => {
+            assert_eq!((pending, cap), (3, 3));
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    // A tick drains the queue; pushing works again and nothing was lost.
+    pool.tick();
+    pool.push(id, 1).unwrap();
+    pool.flush(id).unwrap();
+    let mut out = Vec::new();
+    pool.take_committed(id, &mut out).unwrap();
+    assert_eq!(
+        out.len(),
+        4,
+        "3 accepted + 1 post-tick; the rejected push is not in the stream"
+    );
+}
+
+#[test]
+fn lagging_consumer_is_refused_until_it_drains() {
+    // lag = 0 commits one label per ticked token, so the out-queue fills at
+    // token rate when the consumer never takes.
+    let mut pool = capped_pool(100, 4);
+    let id = pool.create();
+    for i in 0..4 {
+        pool.push(id, i % 2).unwrap();
+    }
+    pool.tick();
+    assert_eq!(pool.committed(id).unwrap().len(), 4);
+    match pool.push(id, 0) {
+        Err(StreamError::Lagging { queued, cap, .. }) => {
+            assert_eq!((queued, cap), (4, 4));
+        }
+        other => panic!("expected Lagging, got {other:?}"),
+    }
+    // Draining the backlog unblocks the producer; time indices stay
+    // contiguous across the stall.
+    let mut out = Vec::new();
+    assert_eq!(pool.take_committed(id, &mut out).unwrap(), 0);
+    pool.push(id, 0).unwrap();
+    pool.tick();
+    assert_eq!(pool.committed_start(id).unwrap(), 4);
+}
+
+#[test]
+fn uncapped_pools_never_backpressure() {
+    let mut pool = SessionPool::new(model(), 2, Parallelism::Serial);
+    let id = pool.create();
+    for i in 0..10_000 {
+        pool.push(id, i % 2).unwrap();
+    }
+    pool.tick();
+    assert!(pool.committed(id).unwrap().len() >= 10_000 - 2);
+}
+
+#[test]
+fn idle_sessions_are_evicted_with_a_generation_bump() {
+    let mut pool = SessionPool::new(model(), 1, Parallelism::Serial);
+    let busy = pool.create();
+    let idle = pool.create();
+    // 5 ticks of traffic on `busy` only.
+    for _ in 0..5 {
+        pool.push(busy, 0).unwrap();
+        pool.tick();
+    }
+    let evicted = pool.evict_idle(3);
+    assert_eq!(evicted, vec![idle]);
+    assert_eq!(pool.evicted_total(), 1);
+    assert_eq!(pool.active_sessions(), 1);
+    // The stale handle fails closed...
+    assert!(matches!(
+        pool.push(idle, 0),
+        Err(StreamError::SessionClosed { .. })
+    ));
+    // ...and a reopened slot is a different generation, so the old handle
+    // can never read the new session's stream.
+    let reopened = pool.create();
+    assert_eq!(reopened.slot(), idle.slot());
+    assert_ne!(reopened.generation(), idle.generation());
+    assert!(pool.committed(idle).is_err());
+    // The busy session survived with its state intact.
+    pool.flush(busy).unwrap();
+    let mut out = Vec::new();
+    pool.take_committed(busy, &mut out).unwrap();
+    assert_eq!(out.len(), 5);
+}
+
+#[test]
+fn activity_of_any_kind_defers_eviction() {
+    let mut pool = SessionPool::new(model(), 1, Parallelism::Serial);
+    let id = pool.create();
+    pool.push(id, 0).unwrap();
+    pool.tick();
+    // take_committed counts as activity: advance the clock, touching the
+    // session only by draining it.
+    for _ in 0..4 {
+        pool.tick();
+        let mut out = Vec::new();
+        pool.take_committed(id, &mut out).unwrap();
+    }
+    assert!(pool.evict_idle(3).is_empty());
+    // Once genuinely idle past the horizon, it goes.
+    for _ in 0..5 {
+        pool.tick();
+    }
+    assert_eq!(pool.evict_idle(3), vec![id]);
+}
+
+#[test]
+fn session_id_round_trips_through_its_wire_parts() {
+    use dhmm_stream::SessionId;
+    let mut pool = SessionPool::new(model(), 1, Parallelism::Serial);
+    let id = pool.create();
+    let wire = SessionId::from_parts(id.slot() as u32, id.generation());
+    assert_eq!(wire, id);
+    pool.push(wire, 0).unwrap();
+    // A fabricated generation is rejected, not misrouted.
+    let forged = SessionId::from_parts(id.slot() as u32, id.generation().wrapping_add(1));
+    assert!(matches!(
+        pool.push(forged, 0),
+        Err(StreamError::SessionClosed { .. })
+    ));
+}

@@ -8,6 +8,7 @@ use dhmm_linalg::Matrix;
 use dhmm_stream::{
     InferenceBackend, Parallelism, SessionPool, StreamConfig, StreamError, StreamingDecoder,
 };
+use std::sync::Arc;
 
 fn weather_model() -> Hmm<DiscreteEmission> {
     let emission =
@@ -107,19 +108,19 @@ fn exact_zero_emission_mid_stream_stays_finite() {
 
 #[test]
 fn log_reference_backend_is_rejected_at_construction() {
-    let m = weather_model();
-    let config = StreamConfig {
-        backend: InferenceBackend::LogReference,
-        ..StreamConfig::with_lag(4)
-    };
+    let m = Arc::new(weather_model());
+    let config = StreamConfig::default()
+        .with_lag(4)
+        .with_backend(InferenceBackend::LogReference);
     match StreamingDecoder::with_config(&m, config) {
         Err(StreamError::UnsupportedBackend { .. }) => {}
         other => panic!("expected UnsupportedBackend, got {other:?}"),
     }
-    assert!(SessionPool::with_config(&m, config).is_err());
+    assert!(SessionPool::with_config(Arc::clone(&m), config).is_err());
     // The scaled default is accepted by both.
-    assert!(StreamingDecoder::with_config(&m, StreamConfig::with_lag(4)).is_ok());
-    assert!(SessionPool::with_config(&m, StreamConfig::with_lag(4)).is_ok());
+    let scaled = StreamConfig::default().with_lag(4);
+    assert!(StreamingDecoder::with_config(&m, scaled).is_ok());
+    assert!(SessionPool::with_config(Arc::clone(&m), scaled).is_ok());
 }
 
 #[test]
@@ -156,13 +157,13 @@ fn decoder_reset_restarts_identically() {
 
 #[test]
 fn session_close_reopen_reuses_a_shrunk_then_grown_workspace() {
-    let m = weather_model();
+    let m = Arc::new(weather_model());
     let long: Vec<usize> = (0..120).map(|i| (i / 3) % 2).collect();
     let short = &long[..10];
 
     // Reference: a fresh pool per stream.
     let reference = |seq: &[usize]| -> (Vec<usize>, f64) {
-        let mut pool = SessionPool::new(&m, 3, Parallelism::Serial);
+        let mut pool = SessionPool::new(Arc::clone(&m), 3, Parallelism::Serial);
         let id = pool.create();
         for &obs in seq {
             pool.push(id, obs).unwrap();
@@ -178,8 +179,8 @@ fn session_close_reopen_reuses_a_shrunk_then_grown_workspace() {
 
     // One pool, one slot: long stream, close, reopen (shrunk), close,
     // reopen with the long stream again (grown) — all on warm buffers.
-    let mut pool = SessionPool::new(&m, 3, Parallelism::Serial);
-    let run = |pool: &mut SessionPool<'_, DiscreteEmission>, seq: &[usize]| {
+    let mut pool = SessionPool::new(Arc::clone(&m), 3, Parallelism::Serial);
+    let run = |pool: &mut SessionPool<DiscreteEmission>, seq: &[usize]| {
         let id = pool.create();
         assert_eq!(id.slot(), 0, "slot must be reused");
         for &obs in seq {
@@ -206,8 +207,8 @@ fn session_close_reopen_reuses_a_shrunk_then_grown_workspace() {
 
 #[test]
 fn stale_and_invalid_session_ids_are_rejected() {
-    let m = weather_model();
-    let mut pool = SessionPool::new(&m, 2, Parallelism::Serial);
+    let m = Arc::new(weather_model());
+    let mut pool = SessionPool::new(m, 2, Parallelism::Serial);
     let id = pool.create();
     pool.push(id, 0).unwrap();
     pool.close(id).unwrap();

@@ -12,6 +12,7 @@ use dhmm_linalg::Matrix;
 use dhmm_stream::{Parallelism, SessionPool, StreamingDecoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 const POLICIES: [Parallelism; 3] = [
     Parallelism::Serial,
@@ -51,8 +52,8 @@ fn corpus(n: usize, len: usize) -> Vec<Vec<usize>> {
 type PoolTrace = Vec<(Vec<usize>, u64)>;
 
 /// Streams `seqs` through a pool in interleaved chunks under `policy`.
-fn run_pool(m: &Hmm<DiscreteEmission>, seqs: &[Vec<usize>], policy: Parallelism) -> PoolTrace {
-    let mut pool = SessionPool::new(m, 4, policy);
+fn run_pool(m: &Arc<Hmm<DiscreteEmission>>, seqs: &[Vec<usize>], policy: Parallelism) -> PoolTrace {
+    let mut pool = SessionPool::new(Arc::clone(m), 4, policy);
     let ids: Vec<_> = seqs.iter().map(|_| pool.create()).collect();
     let chunk = 7;
     let mut offset = 0;
@@ -79,7 +80,7 @@ fn run_pool(m: &Hmm<DiscreteEmission>, seqs: &[Vec<usize>], policy: Parallelism)
 
 #[test]
 fn pool_ticks_are_bit_identical_across_worker_policies() {
-    let m = model();
+    let m = Arc::new(model());
     let seqs = corpus(12, 90);
     let runs: Vec<PoolTrace> = POLICIES.iter().map(|&p| run_pool(&m, &seqs, p)).collect();
     for (i, run) in runs.iter().enumerate().skip(1) {
@@ -92,7 +93,7 @@ fn pool_sessions_match_standalone_decoders() {
     // Multiplexing must be invisible: a pooled session's labels and
     // likelihood equal a standalone decoder's on the same stream, bit for
     // bit, regardless of tick chunking.
-    let m = model();
+    let m = Arc::new(model());
     let seqs = corpus(6, 73);
     let pooled = run_pool(&m, &seqs, Parallelism::Threads(4));
     for (seq, (labels, ll_bits)) in seqs.iter().zip(&pooled) {
@@ -109,7 +110,7 @@ fn pool_sessions_match_standalone_decoders() {
 
 #[test]
 fn auto_policy_matches_the_serial_oracle() {
-    let m = model();
+    let m = Arc::new(model());
     let seqs = corpus(9, 64);
     let auto = run_pool(&m, &seqs, Parallelism::Auto);
     let serial = run_pool(&m, &seqs, Parallelism::Serial);

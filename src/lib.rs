@@ -13,6 +13,9 @@
 //!   gradients and samplers,
 //! * [`stream`] — bounded-memory online decoding (filtering, fixed-lag
 //!   smoothing, online Viterbi) and multiplexed streaming sessions,
+//! * [`serve`] — a TCP serving front-end over the streaming sessions:
+//!   length-delimited protocol, epoch-versioned model hot-swap,
+//!   backpressure-aware session API,
 //! * [`prob`] / [`linalg`] — the probability and dense linear-algebra
 //!   substrates everything is built on,
 //! * [`data`] — the toy, synthetic-WSJ and synthetic-OCR dataset generators,
@@ -61,6 +64,9 @@ pub use dhmm_dpp as dpp;
 /// Streaming inference: bounded-memory online decoding and multiplexed
 /// sessions.
 pub use dhmm_stream as stream;
+
+/// TCP serving front-end: protocol, server, backpressure, hot-swap.
+pub use dhmm_serve as serve;
 
 /// Probability distributions and divergences.
 pub use dhmm_prob as prob;
