@@ -207,7 +207,7 @@ fn run_config(k: usize, lag: usize, clients: usize, args: &Args) -> Row {
         samples.extend(w.join().expect("client thread"));
     }
     let wall = start.elapsed().as_secs_f64();
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let pct = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize] / 1e3;

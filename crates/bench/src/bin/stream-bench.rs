@@ -11,11 +11,17 @@
 //!   ticks over a sessions × threads sweep, with the 1-thread pool as the
 //!   speedup baseline.
 //!
+//! With `--lockstep` a third section is recorded: single-core tokens/sec
+//! of the pool's batched lockstep tick versus the per-session scalar path
+//! over S ∈ {1, 8, 64} co-resident sessions — the speedup the tile-major
+//! panel + fused kernel buy when equal-depth sessions advance together (results are
+//! bit-identical either way; see `tests/session_determinism.rs`).
+//!
 //! Run with:
 //! ```text
 //! cargo run --release -p dhmm_bench --bin stream-bench -- \
 //!     [--output BENCH_stream.json] [--threads 1,2,4] [--k 16,64] \
-//!     [--sessions 32] [--lag 8,64] [--tokens 512]
+//!     [--sessions 32] [--lag 8,64] [--tokens 512] [--lockstep]
 //! ```
 //! All flags mirror `mstep-bench`'s comma-separated-list style so the
 //! multi-core rerun workflow covers streaming with the same invocation
@@ -24,7 +30,7 @@
 use dhmm_hmm::emission::DiscreteEmission;
 use dhmm_hmm::init::random_stochastic_matrix;
 use dhmm_hmm::Hmm;
-use dhmm_stream::{Parallelism, SessionPool, StreamingDecoder};
+use dhmm_stream::{Parallelism, SessionPool, StreamConfig, StreamingDecoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -36,6 +42,8 @@ use std::time::Instant;
 const VOCAB: usize = 64;
 /// Tokens fed per tick batch in the throughput sweep.
 const TICK_CHUNK: usize = 32;
+/// Co-resident session counts of the `--lockstep` sweep (single-core).
+const LOCKSTEP_SESSIONS: [usize; 3] = [1, 8, 64];
 
 struct Args {
     output: String,
@@ -44,6 +52,7 @@ struct Args {
     sessions: Vec<usize>,
     lags: Vec<usize>,
     tokens: usize,
+    lockstep: bool,
 }
 
 fn parse_list(raw: &str, flag: &str) -> Vec<usize> {
@@ -64,6 +73,7 @@ fn parse_args() -> Args {
         sessions: vec![32],
         lags: vec![8, 64],
         tokens: 512,
+        lockstep: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -82,6 +92,7 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--tokens expects an integer")
             }
+            "--lockstep" => args.lockstep = true,
             other if !other.starts_with('-') => args.output = other.to_string(),
             other => panic!("unknown argument {other:?}"),
         }
@@ -191,6 +202,20 @@ impl ThroughputRow {
     }
 }
 
+struct LockstepRow {
+    k: usize,
+    lag: usize,
+    sessions: usize,
+    scalar_tokens_per_sec: f64,
+    lockstep_tokens_per_sec: f64,
+}
+
+impl LockstepRow {
+    fn speedup(&self) -> f64 {
+        self.lockstep_tokens_per_sec / self.scalar_tokens_per_sec
+    }
+}
+
 /// One full multiplexed run: `sessions` sessions × `tokens` tokens, fed in
 /// `TICK_CHUNK`-token rounds, under an explicit thread policy. Returns
 /// tokens/sec.
@@ -199,8 +224,16 @@ fn pool_run(
     streams: &[Vec<usize>],
     lag: usize,
     threads: usize,
+    lockstep: bool,
 ) -> f64 {
-    let mut pool = SessionPool::new(Arc::clone(m), lag, Parallelism::Threads(threads));
+    let mut pool = SessionPool::with_config(
+        Arc::clone(m),
+        StreamConfig::default()
+            .with_lag(lag)
+            .with_parallelism(Parallelism::Threads(threads))
+            .with_lockstep(lockstep),
+    )
+    .expect("discrete models stream");
     let ids: Vec<_> = streams.iter().map(|_| pool.create()).collect();
     let tokens: usize = streams.iter().map(|s| s.len()).sum();
     let max_len = streams.iter().map(|s| s.len()).max().unwrap_or(0);
@@ -264,13 +297,17 @@ fn main() {
                     .collect();
                 // Warm-up run sizes every session workspace and the pool
                 // scratch, so measured runs see steady-state allocation.
-                black_box(pool_run(&m, &streams, lag, 1));
-                let serial = pool_run(&m, &streams, lag, 1);
+                // Lockstep is pinned OFF here so the thread-scaling sweep
+                // keeps measuring the per-session scalar path its history
+                // was recorded against; `--lockstep` benches the batched
+                // path separately below.
+                black_box(pool_run(&m, &streams, lag, 1, false));
+                let serial = pool_run(&m, &streams, lag, 1, false);
                 for &threads in &args.threads {
                     let tps = if threads == 1 {
                         serial
                     } else {
-                        pool_run(&m, &streams, lag, threads)
+                        pool_run(&m, &streams, lag, threads, false)
                     };
                     throughput_rows.push(ThroughputRow {
                         k,
@@ -302,6 +339,47 @@ fn main() {
         );
     }
 
+    let mut lockstep_rows: Vec<LockstepRow> = Vec::new();
+    if args.lockstep {
+        for &k in &args.sizes {
+            let m = Arc::new(model(k));
+            for &lag in &args.lags {
+                for &sessions in &LOCKSTEP_SESSIONS {
+                    let streams: Vec<Vec<usize>> = (0..sessions)
+                        .map(|i| stream(args.tokens, 2000 + i as u64))
+                        .collect();
+                    black_box(pool_run(&m, &streams, lag, 1, true));
+                    let scalar = pool_run(&m, &streams, lag, 1, false);
+                    let lockstep = pool_run(&m, &streams, lag, 1, true);
+                    lockstep_rows.push(LockstepRow {
+                        k,
+                        lag,
+                        sessions,
+                        scalar_tokens_per_sec: scalar,
+                        lockstep_tokens_per_sec: lockstep,
+                    });
+                }
+            }
+        }
+
+        println!("\nstream: lockstep vs scalar tick, single core\n");
+        println!(
+            "{:>4} {:>5} {:>9} {:>14} {:>14} {:>9}",
+            "k", "lag", "sessions", "scalar tok/s", "lockstep tok/s", "speedup"
+        );
+        for r in &lockstep_rows {
+            println!(
+                "{:>4} {:>5} {:>9} {:>14.0} {:>14.0} {:>8.2}x",
+                r.k,
+                r.lag,
+                r.sessions,
+                r.scalar_tokens_per_sec,
+                r.lockstep_tokens_per_sec,
+                r.speedup()
+            );
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"stream\",\n");
@@ -331,6 +409,20 @@ fn main() {
             r.k, r.lag, r.sessions, r.threads, r.tokens_per_sec, r.speedup()
         );
         json.push_str(if i + 1 < throughput_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"lockstep\": [\n");
+    for (i, r) in lockstep_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"k\": {}, \"lag\": {}, \"sessions\": {}, \"threads\": 1, \"scalar_tokens_per_sec\": {:.0}, \"lockstep_tokens_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}}}",
+            r.k, r.lag, r.sessions, r.scalar_tokens_per_sec, r.lockstep_tokens_per_sec, r.speedup()
+        );
+        json.push_str(if i + 1 < lockstep_rows.len() {
             ",\n"
         } else {
             "\n"

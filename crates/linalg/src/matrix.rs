@@ -257,12 +257,34 @@ impl Matrix {
     /// Returns the transpose of the matrix.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut t)
+            .expect("shape matches by construction");
+        t
+    }
+
+    /// Writes the transpose of the matrix into `out` without allocating.
+    ///
+    /// `out` must already have shape `(self.cols, self.rows)`. This is the
+    /// pre-transposed-layout entry point for kernels that want a row-major
+    /// traversal of `self`'s columns (e.g. a batched Viterbi step reading
+    /// transition *predecessors* contiguously); each entry is copied
+    /// exactly, so downstream products are bit-identical to indexing the
+    /// original.
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<(), LinalgError> {
+        if out.shape() != (self.cols, self.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "transpose_into",
+                left: (self.cols, self.rows),
+                right: out.shape(),
+            });
+        }
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
             }
         }
-        t
+        Ok(())
     }
 
     /// Matrix product `self * other`.
@@ -860,6 +882,16 @@ mod tests {
         assert_eq!(t.shape(), (3, 2));
         assert_eq!(t[(2, 1)], 6.0);
         assert!(t.transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn transpose_into_reuses_the_output_and_checks_shape() {
+        let m = sample(); // 2x3
+        let mut out = Matrix::zeros(3, 2);
+        m.transpose_into(&mut out).unwrap();
+        assert!(out.approx_eq(&m.transpose(), 0.0));
+        let mut wrong = Matrix::zeros(2, 3);
+        assert!(m.transpose_into(&mut wrong).is_err());
     }
 
     #[test]

@@ -49,7 +49,7 @@ dhmm-serve — serve a diversified-HMM checkpoint over TCP
 USAGE:
   dhmm-serve serve --model <path> [--addr <host:port>] [--lag <n>]
                    [--threads <n>] [--pending-cap <n>] [--committed-cap <n>]
-                   [--max-idle-ticks <n>]
+                   [--max-idle-ticks <n>] [--lockstep true|false]
   dhmm-serve make-model --out <path> --k <n> [--vocab <n>]
                         [--family discrete|gaussian] [--seed <n>]
   dhmm-serve client --addr <host:port> --script <path>
@@ -101,6 +101,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let pending_cap: usize = take_parsed(&flags, "pending-cap", 4096)?;
     let committed_cap: usize = take_parsed(&flags, "committed-cap", 65536)?;
     let max_idle_ticks: u64 = take_parsed(&flags, "max-idle-ticks", 0)?;
+    let lockstep: bool = take_parsed(&flags, "lockstep", true)?;
 
     let parallelism = if threads == 0 {
         Parallelism::Auto
@@ -116,14 +117,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             None
         } else {
             Some(max_idle_ticks)
-        });
+        })
+        .with_lockstep(lockstep);
 
     signals::install_handler();
     let handle =
         Server::start_from_path(Path::new(model), config, &addr).map_err(|e| e.to_string())?;
     println!("dhmm-serve listening on {}", handle.local_addr());
-    let flushed = handle.wait();
-    println!("dhmm-serve shut down cleanly, flushed {flushed} sessions");
+    let report = handle.wait().map_err(|e| e.to_string())?;
+    println!(
+        "dhmm-serve shut down cleanly, flushed {} sessions ({} tokens labeled)",
+        report.flushed, report.tokens
+    );
     Ok(())
 }
 

@@ -73,6 +73,12 @@ pub enum ServeError {
         /// What went wrong.
         reason: String,
     },
+    /// The engine thread panicked: the shutdown drain did not run and its
+    /// report does not exist. Surfaced by [`crate::ServerHandle::shutdown`]
+    /// / [`crate::ServerHandle::wait`] so a crash is never mistaken for a
+    /// clean zero-session drain. Never sent over the wire — by definition
+    /// there is no engine left to answer. Wire code `engine-crashed`.
+    EngineCrashed,
 }
 
 impl ServeError {
@@ -87,6 +93,7 @@ impl ServeError {
             ServeError::Model { .. } => "model",
             ServeError::Backend { .. } => "backend",
             ServeError::Startup { .. } => "startup",
+            ServeError::EngineCrashed => "engine-crashed",
         }
     }
 }
@@ -112,6 +119,9 @@ impl fmt::Display for ServeError {
             ServeError::Model { reason } => write!(f, "model error: {reason}"),
             ServeError::Backend { reason } => write!(f, "backend error: {reason}"),
             ServeError::Startup { reason } => write!(f, "startup error: {reason}"),
+            ServeError::EngineCrashed => {
+                write!(f, "engine thread panicked; shutdown drain did not run")
+            }
         }
     }
 }

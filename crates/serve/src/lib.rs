@@ -29,6 +29,6 @@ pub mod signals;
 
 pub use error::ServeError;
 pub use protocol::{format_sid, read_frame, write_frame, Request, Response, MAX_FRAME_LEN};
-pub use server::{Client, ServableEmission, ServeConfig, Server, ServerHandle};
+pub use server::{Client, DrainReport, ServableEmission, ServeConfig, Server, ServerHandle};
 
 pub use dhmm_stream::{SessionId, SessionPool};

@@ -38,7 +38,7 @@
 //! | `ok flushed <start> <n> <label>… ll <float> tokens <t>` | `flush` — the tail, final log-likelihood, token count |
 //! | `ok closed` | `close` |
 //! | `ok epoch <e>` | `swap-model` — the newly published epoch |
-//! | `ok stats active <n> epoch <e> clock <c> evicted <n>` | `stats` |
+//! | `ok stats active <n> epoch <e> clock <c> evicted <n> lockstep <n> scalar <n>` | `stats` |
 //! | `err <code> <message…>` | any verb |
 
 use crate::error::ServeError;
@@ -266,6 +266,10 @@ pub enum Response {
         clock: u64,
         /// Sessions evicted for idleness over the pool's lifetime.
         evicted: u64,
+        /// Tokens the pool advanced through the batched lockstep path.
+        lockstep_tokens: u64,
+        /// Tokens the pool advanced through the per-session scalar path.
+        scalar_tokens: u64,
     },
     /// The request failed; `code` is stable, `message` is free-form.
     Error {
@@ -308,7 +312,12 @@ impl Response {
                 epoch,
                 clock,
                 evicted,
-            } => format!("ok stats active {active} epoch {epoch} clock {clock} evicted {evicted}"),
+                lockstep_tokens,
+                scalar_tokens,
+            } => format!(
+                "ok stats active {active} epoch {epoch} clock {clock} evicted {evicted} \
+                 lockstep {lockstep_tokens} scalar {scalar_tokens}"
+            ),
             Response::Error { code, message } => format!("err {code} {message}"),
         }
     }
@@ -404,6 +413,8 @@ impl Response {
                     epoch: field("epoch")?,
                     clock: field("clock")?,
                     evicted: field("evicted")?,
+                    lockstep_tokens: field("lockstep")?,
+                    scalar_tokens: field("scalar")?,
                 })
             }
             other => Err(bad(format!("unknown ok kind {other:?}"))),
@@ -480,6 +491,8 @@ mod tests {
                 epoch: 2,
                 clock: 100,
                 evicted: 1,
+                lockstep_tokens: 4096,
+                scalar_tokens: 17,
             },
             Response::Error {
                 code: "queue-full".into(),

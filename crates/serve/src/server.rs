@@ -63,6 +63,11 @@ pub struct ServeConfig {
     /// Engine heartbeat: how long the engine waits for traffic before
     /// running an idle tick (advancing the eviction clock).
     pub idle_tick: Duration,
+    /// Batched lockstep ticks (see [`StreamConfig::lockstep`]): same-epoch
+    /// sessions with equal pending depth advance through a shared
+    /// structure-of-arrays panel, bit-identical to the per-session path.
+    /// On by default; disable only to A/B the scalar path.
+    pub lockstep: bool,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +79,7 @@ impl Default for ServeConfig {
             committed_cap: Some(65536),
             max_idle_ticks: None,
             idle_tick: Duration::from_millis(20),
+            lockstep: true,
         }
     }
 }
@@ -115,12 +121,19 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy with batched lockstep ticks enabled or disabled.
+    pub fn with_lockstep(mut self, lockstep: bool) -> Self {
+        self.lockstep = lockstep;
+        self
+    }
+
     fn stream_config(&self) -> StreamConfig {
         StreamConfig::default()
             .with_lag(self.lag)
             .with_parallelism(self.parallelism)
             .with_pending_cap(self.pending_cap)
             .with_committed_cap(self.committed_cap)
+            .with_lockstep(self.lockstep)
     }
 }
 
@@ -247,6 +260,8 @@ where
                 epoch: pool.current_epoch(),
                 clock: pool.clock(),
                 evicted: pool.evicted_total(),
+                lockstep_tokens: pool.lockstep_tokens_total(),
+                scalar_tokens: pool.scalar_tokens_total(),
             }),
         };
         if let Some(r) = response {
@@ -298,15 +313,24 @@ where
     Ok(pool.publish(Arc::new(model)))
 }
 
+/// What the engine's shutdown drain committed on the way out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Sessions whose in-flight stream tails the drain flushed.
+    pub flushed: usize,
+    /// Total tokens labeled on those sessions over their lifetime (a
+    /// cross-check that pushes racing shutdown were not dropped).
+    pub tokens: usize,
+}
+
 /// The engine loop: batch, apply, tick, repeat — until shutdown, then
-/// flush every remaining session. Returns how many sessions the shutdown
-/// drain flushed.
+/// flush every remaining session. Returns what the shutdown drain flushed.
 fn engine_loop<E: ServableEmission>(
     mut pool: SessionPool<E>,
     rx: mpsc::Receiver<EngineMsg>,
     config: ServeConfig,
     stop: Arc<AtomicBool>,
-) -> usize
+) -> DrainReport
 where
     E::Obs: Send + Sync,
 {
@@ -334,17 +358,26 @@ where
         apply_batch(&mut pool, batch);
     }
 
+    // The stop latch can flip while requests the TCP layer already accepted
+    // are still queued in the channel; dropping them would silently violate
+    // the drain guarantee below. Apply them as one final batch first.
+    let tail: Vec<EngineMsg> = rx.try_iter().collect();
+    if !tail.is_empty() {
+        apply_batch(&mut pool, tail);
+    }
+
     // Shutdown drain: commit every in-flight stream's tail so no accepted
     // token goes unlabeled (the labels are readable until the process
     // exits; a front-end with durable output would sink them here).
-    let mut flushed = 0;
+    let mut report = DrainReport::default();
     for id in pool.active_ids() {
         if !pool.is_flushed(id).unwrap_or(true) {
             pool.flush(id).expect("active session flushes");
-            flushed += 1;
+            report.flushed += 1;
+            report.tokens += pool.tokens(id).unwrap_or(0);
         }
     }
-    flushed
+    report
 }
 
 fn client_loop(mut stream: TcpStream, tx: mpsc::Sender<EngineMsg>) {
@@ -384,7 +417,7 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    engine_thread: Option<JoinHandle<usize>>,
+    engine_thread: Option<JoinHandle<DrainReport>>,
 }
 
 impl ServerHandle {
@@ -393,35 +426,38 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// Requests shutdown and waits for the drain; returns how many
-    /// sessions the engine flushed on the way out.
-    pub fn shutdown(mut self) -> usize {
+    /// Requests shutdown and waits for the drain; returns what the engine
+    /// flushed on the way out, or [`ServeError::EngineCrashed`] if the
+    /// engine thread panicked — a crash must never masquerade as a clean
+    /// zero-session drain.
+    pub fn shutdown(mut self) -> Result<DrainReport, ServeError> {
         self.stop.store(true, Ordering::SeqCst);
         self.join()
     }
 
     /// Waits for the server to stop on its own (SIGTERM/SIGINT or an
-    /// external [`crate::signals::request_shutdown`]); returns how many
-    /// sessions the engine flushed on the way out.
-    pub fn wait(mut self) -> usize {
+    /// external [`crate::signals::request_shutdown`]); returns what the
+    /// engine flushed on the way out, or [`ServeError::EngineCrashed`] if
+    /// the engine thread panicked.
+    pub fn wait(mut self) -> Result<DrainReport, ServeError> {
         self.join()
     }
 
-    fn join(&mut self) -> usize {
+    fn join(&mut self) -> Result<DrainReport, ServeError> {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        self.engine_thread
-            .take()
-            .map(|t| t.join().unwrap_or(0))
-            .unwrap_or(0)
+        match self.engine_thread.take() {
+            None => Ok(DrainReport::default()),
+            Some(t) => t.join().map_err(|_| ServeError::EngineCrashed),
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        self.join();
+        let _ = self.join();
     }
 }
 
@@ -575,5 +611,148 @@ impl Client {
         read_frame(&mut self.stream)?.ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed")
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhmm_hmm::init::{random_parameters, random_stochastic_matrix, InitStrategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(k: usize, vocab: usize) -> Hmm<DiscreteEmission> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (pi, a) =
+            random_parameters(k, InitStrategy::Dirichlet { concentration: 2.0 }, &mut rng)
+                .expect("valid parameters");
+        let b = random_stochastic_matrix(k, vocab, 1.0, &mut rng).expect("valid rows");
+        Hmm::new(pi, a, DiscreteEmission::new(b).expect("valid emission")).expect("valid model")
+    }
+
+    /// Lag-0 pool: every ticked token's label commits immediately, so
+    /// batch-ordering semantics are visible without lag bookkeeping.
+    fn lag0_pool() -> SessionPool<DiscreteEmission> {
+        SessionPool::with_config(
+            Arc::new(model(3, 4)),
+            ServeConfig::default().with_lag(0).stream_config(),
+        )
+        .expect("scaled backend streams")
+    }
+
+    fn msg(request: Request) -> (EngineMsg, mpsc::Receiver<Response>) {
+        let (reply, rx) = mpsc::channel();
+        (EngineMsg { request, reply }, rx)
+    }
+
+    fn push_msg(
+        id: dhmm_stream::SessionId,
+        tokens: &[&str],
+    ) -> (EngineMsg, mpsc::Receiver<Response>) {
+        msg(Request::Push {
+            id,
+            tokens: tokens.iter().map(|t| t.to_string()).collect(),
+        })
+    }
+
+    fn committed(rx: &mpsc::Receiver<Response>) -> (usize, Vec<usize>) {
+        match rx.try_recv().expect("reply was sent") {
+            Response::Committed { start, labels } => (start, labels),
+            other => panic!("expected ok committed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_batch_pushes_for_one_session_reply_on_the_first_with_contiguous_offsets() {
+        let mut pool = lag0_pool();
+        let id = pool.create();
+        let (m1, r1) = push_msg(id, &["0", "1"]);
+        let (m2, r2) = push_msg(id, &["2"]);
+        apply_batch(&mut pool, vec![m1, m2]);
+
+        // One tick ran for the whole batch, so everything both pushes
+        // committed is attributed to the first reply; the second sees an
+        // empty window starting exactly where the first ended.
+        let (s1, l1) = committed(&r1);
+        let (s2, l2) = committed(&r2);
+        assert_eq!(s1, 0);
+        assert_eq!(l1.len(), 3, "lag 0 commits every ticked token");
+        assert_eq!(s2, 3, "offsets stay contiguous across same-batch pushes");
+        assert!(l2.is_empty());
+    }
+
+    #[test]
+    fn push_then_flush_in_one_batch_runs_in_arrival_order() {
+        let mut pool = lag0_pool();
+        let id = pool.create();
+        let (m1, r1) = push_msg(id, &["0", "1"]);
+        let (m2, r2) = msg(Request::Flush { id });
+        apply_batch(&mut pool, vec![m1, m2]);
+
+        // The flush runs inline (arrival order) and drains the same-batch
+        // push itself, so the flush reply carries both labels…
+        match r2.try_recv().expect("flush reply was sent") {
+            Response::Flushed {
+                start,
+                labels,
+                tokens,
+                ..
+            } => {
+                assert_eq!(start, 0);
+                assert_eq!(labels.len(), 2);
+                assert_eq!(tokens, 2);
+            }
+            other => panic!("expected ok flushed, got {other:?}"),
+        }
+        // …and the push's deferred reply finds nothing left, at the offset
+        // where the flush stopped.
+        let (s1, l1) = committed(&r1);
+        assert_eq!(s1, 2);
+        assert!(l1.is_empty());
+    }
+
+    #[test]
+    fn engine_loop_applies_requests_queued_behind_the_stop_latch() {
+        let mut pool = lag0_pool();
+        let id = pool.create();
+        let (tx, rx) = mpsc::channel();
+        let (m, reply_rx) = push_msg(id, &["0", "1", "2", "3"]);
+        tx.send(m).expect("receiver alive");
+        drop(tx);
+
+        // The latch is already set when the loop starts: the request above
+        // was accepted but never batch-applied. The shutdown path must
+        // apply it before draining, or its tokens are silently dropped.
+        let stop = Arc::new(AtomicBool::new(true));
+        let report = engine_loop(pool, rx, ServeConfig::default().with_lag(0), stop);
+        assert_eq!(
+            report,
+            DrainReport {
+                flushed: 1,
+                tokens: 4
+            }
+        );
+        let (start, labels) = committed(&reply_rx);
+        assert_eq!(start, 0);
+        assert_eq!(labels.len(), 4, "the raced push's labels were flushed");
+    }
+
+    #[test]
+    fn an_engine_panic_surfaces_as_engine_crashed() {
+        let handle = ServerHandle {
+            local_addr: "127.0.0.1:0".parse().expect("literal addr"),
+            stop: Arc::new(AtomicBool::new(false)),
+            accept_thread: None,
+            engine_thread: Some(
+                thread::Builder::new()
+                    .name("dhmm-serve-engine-crash-test".into())
+                    .spawn(|| -> DrainReport { panic!("injected engine crash") })
+                    .expect("spawn test thread"),
+            ),
+        };
+        match handle.shutdown() {
+            Err(ServeError::EngineCrashed) => {}
+            other => panic!("expected Err(EngineCrashed), got {other:?}"),
+        }
     }
 }

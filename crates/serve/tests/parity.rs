@@ -193,7 +193,7 @@ fn wire_labels_are_bit_identical_to_in_process_use_across_a_swap() {
         assert_eq!(wire[s].labels.len(), per_session[s].len());
     }
 
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }
 
 /// A swap never rewrites history over the wire: labels committed before
@@ -247,5 +247,5 @@ fn committed_prefix_is_contiguous_and_immutable_across_swaps() {
         other => panic!("flush failed: {other:?}"),
     }
 
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }

@@ -79,7 +79,7 @@ fn overlong_push_answers_queue_full_and_the_session_survives() {
         }
         other => panic!("recovery push failed: {other:?}"),
     }
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }
 
 #[test]
@@ -101,7 +101,7 @@ fn a_zero_committed_cap_surfaces_lagging() {
         },
         "lagging",
     );
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }
 
 #[test]
@@ -126,7 +126,7 @@ fn closed_and_forged_sessions_answer_stale_session() {
     let live = create(&mut client);
     let forged = SessionId::from_parts(live.slot() as u32, live.generation() + 7);
     expect_err(&mut client, &Request::Flush { id: forged }, "stale-session");
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }
 
 #[test]
@@ -151,7 +151,7 @@ fn pushing_after_flush_answers_finished() {
         },
         "finished",
     );
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }
 
 #[test]
@@ -178,7 +178,7 @@ fn malformed_requests_answer_bad_request_without_dropping_the_connection() {
         client.call(&Request::Stats).unwrap(),
         Response::Stats { .. }
     ));
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }
 
 #[test]
@@ -211,7 +211,7 @@ fn swapping_a_mismatched_checkpoint_answers_model() {
         },
         "model",
     );
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }
 
 #[test]
@@ -250,5 +250,5 @@ fn idle_sessions_age_out_and_answer_stale_session() {
         }
         other => panic!("stats failed: {other:?}"),
     }
-    handle.shutdown();
+    handle.shutdown().expect("engine drains cleanly");
 }

@@ -51,7 +51,7 @@
 //! on every input whose optimum has positive probability.
 
 use crate::error::StreamError;
-use crate::workspace::{StreamScratch, StreamWorkspace};
+use crate::workspace::{BatchPanel, StreamScratch, StreamWorkspace, LANES};
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
 use dhmm_hmm::scaled::{emission_likelihood_row, scale_row};
@@ -92,6 +92,14 @@ pub struct StreamConfig {
     /// consumer has let this many committed labels accumulate without
     /// `take_committed`, further pushes fail with [`StreamError::Lagging`].
     pub committed_cap: Option<usize>,
+    /// Batched lockstep decoding in [`crate::SessionPool::tick`]: groups of
+    /// ≥ 2 same-epoch sessions with equal pending depth advance one token
+    /// per step through a shared structure-of-arrays panel (one fused
+    /// filter + Viterbi pass over the transition matrix instead of S
+    /// separate k² loops). Output is bit-identical to the
+    /// per-session path; disable only to A/B the scalar path (ignored by a
+    /// standalone decoder, which is single-session by construction).
+    pub lockstep: bool,
 }
 
 impl Default for StreamConfig {
@@ -102,6 +110,7 @@ impl Default for StreamConfig {
             parallelism: Parallelism::default(),
             pending_cap: None,
             committed_cap: None,
+            lockstep: true,
         }
     }
 }
@@ -137,6 +146,12 @@ impl StreamConfig {
     /// unbounded).
     pub fn with_committed_cap(mut self, cap: Option<usize>) -> Self {
         self.committed_cap = cap;
+        self
+    }
+
+    /// Returns a copy with batched lockstep pool ticks enabled or disabled.
+    pub fn with_lockstep(mut self, lockstep: bool) -> Self {
+        self.lockstep = lockstep;
         self
     }
 
@@ -316,6 +331,23 @@ pub(crate) fn push_token<E: Emission>(
         }
     }
 
+    commit_and_smooth(model, lag, ws, scratch, t);
+    ws.t = t + 1;
+}
+
+/// The per-token tail shared by the scalar and lockstep paths: both commit
+/// rules plus the fixed-lag smoothing block, for the token at time `t`
+/// (whose filter/Viterbi rows are already in the rings). Does not advance
+/// `ws.t` — the caller does, so the lockstep finish pass can interleave.
+fn commit_and_smooth<E: Emission>(
+    model: &Hmm<E>,
+    lag: usize,
+    ws: &mut StreamWorkspace,
+    scratch: &mut StreamScratch,
+    t: usize,
+) {
+    let k = ws.num_states;
+
     // --- Commit rule 1: path convergence (amortized). The level-set walk
     // costs O(window · k), so it is re-armed only after the uncommitted
     // window has grown by ~half its post-walk length: total walk cost stays
@@ -344,7 +376,249 @@ pub(crate) fn push_token<E: Emission>(
         backward_smooth(model, ws, scratch, t, ws.smoothed_upto, t - lag);
         ws.smoothed_upto = t - lag + 1;
     }
+}
 
+/// Lockstep step 1 of 3 — stages session `s`'s next token into the group
+/// panel: computes the emission row into the session's ring (recording the
+/// log-shift), and scatters `α̂(t-1)`, `δ(t-1)` and `e(t)` into the
+/// state-major panel columns (zeros for `α̂` at `t = 0`: the fused kernel's
+/// sums contribute nothing and the `π ⊙ e` row is written by the finish
+/// pass).
+///
+/// `δ(t-1)` is reloaded from the session's rolling rows every step rather
+/// than carried across steps inside the panel, because a forced commit in
+/// the previous step's finish pass prunes the rolling row *in place* — a
+/// stale panel copy would silently diverge from the scalar path.
+pub(crate) fn lockstep_stage<E: Emission>(
+    model: &Hmm<E>,
+    lag: usize,
+    ws: &mut StreamWorkspace,
+    panel: &mut BatchPanel,
+    s: usize,
+    obs: &E::Obs,
+) {
+    assert!(
+        !ws.finished,
+        "lockstep step on a flushed session; the pool must not group it"
+    );
+    let k = model.num_states();
+    let window = ring_window(lag);
+    if ws.shape() != (k, window) {
+        ws.ensure(k, window);
+    }
+    let t = ws.t;
+    let slot = ws.slot(t);
+    // Session s's cell for state j sits at `tb + j * LANES` (tile-major).
+    let tb = (s / LANES) * k * LANES + (s % LANES);
+
+    // Emission row into the ring — identical numerics to the scalar step.
+    let shift = {
+        let e_row = &mut ws.emis[slot * k..(slot + 1) * k];
+        emission_likelihood_row(model.emission(), obs, e_row)
+    };
+    panel.shift[s] = shift;
+    panel.first[s] = t == 0;
+
+    if t == 0 {
+        for j in 0..k {
+            panel.alpha_t[tb + j * LANES] = 0.0;
+        }
+    } else {
+        let alpha = ws.alpha_row(t - 1);
+        let prev = &ws.delta[((t - 1) % 2) * k..((t - 1) % 2) * k + k];
+        for j in 0..k {
+            panel.alpha_t[tb + j * LANES] = alpha[j];
+            panel.prev_t[tb + j * LANES] = prev[j];
+        }
+    }
+    let e_row = &ws.emis[slot * k..(slot + 1) * k];
+    for (j, &e) in e_row.iter().enumerate() {
+        panel.emis_t[tb + j * LANES] = e;
+    }
+}
+
+/// Lockstep step 2 of 3 — the fused filter + Viterbi kernel over the
+/// state-major panels. One pass over the transition matrix advances both
+/// per-token recursions for every session at once: for state `j` and
+/// session `s`,
+///
+/// * `sum_t[j][s]  = Σ_i α̂_i(t-1)[s] · a[(i, j)]` (the filter's transition
+///   sum — the emission multiply and rescale happen in the finish pass),
+/// * `cur_t[j][s]  = (max_i δ_i(t-1)[s] · a[(i, j)]) · e_j(t)[s]`, with the
+///   argmax in `psi_t`.
+///
+/// Fusing matters because both recursions stream the same `k × k`
+/// transition row per output state: one broadcast of `a[(i, j)]` feeds the
+/// filter's multiply-add and the Viterbi's multiply-max, halving loop
+/// overhead and `A` traffic versus running a GEMM and a max-product kernel
+/// back to back.
+///
+/// The kernel is register-tiled: the tile-major panel layout lets it walk
+/// [`LANES`]-wide session blocks with fixed-size accumulators the compiler
+/// keeps in vector registers over the whole predecessor loop (instead of a
+/// memory-carried running max), while the predecessor loop reads
+/// *contiguous* memory via exact-size chunks — no strided loads and no
+/// per-iteration bounds checks. The argmax is tracked as an `f64` lane
+/// (`fi` counts predecessors; every index < k is exactly representable) so
+/// the compare+blend stays in one vector domain, and is cast back at
+/// writeout.
+///
+/// Semantics per session are the scalar step's exactly:
+///
+/// * the filter sum accumulates over ascending `i` with no skip — the
+///   scalar loop skips `α̂_i = 0` predecessors, but adding their `+0.0`
+///   terms is bit-identical because every partial sum is non-negative;
+/// * the max runs over ascending `i` with a strict `>`, so ties keep the
+///   first-occurrence argmax bit-for-bit.
+///
+/// Pad lanes (`sessions..width`) compute garbage that is never gathered;
+/// blends are lane-wise, so they cannot contaminate real sessions.
+/// Sessions at `t = 0` get garbage Viterbi columns here too, overwritten by
+/// the finish pass before anything reads them (`ψ(0)` is never read — the
+/// scalar path never writes it either).
+pub(crate) fn lockstep_kernel(panel: &mut BatchPanel) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by runtime detection; the function only requires
+        // the AVX2 feature it declares.
+        return unsafe { lockstep_kernel_avx2(panel) };
+    }
+    lockstep_kernel_impl(panel);
+}
+
+/// AVX2 instantiation of [`lockstep_kernel_impl`]. The body is identical —
+/// enabling the feature only widens the autovectorized lanes (the
+/// compare+blend select needs `vblendvpd`, which baseline x86-64 lacks);
+/// every lane still computes the same IEEE mul/add/max/compare sequence, so
+/// results are bit-identical to the generic build. FMA contraction is never
+/// emitted (Rust does not relax float semantics), so `Σ α̂·a` keeps the
+/// scalar path's separate mul + add roundings.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lockstep_kernel_avx2(panel: &mut BatchPanel) {
+    lockstep_kernel_impl(panel);
+}
+
+#[inline(always)]
+fn lockstep_kernel_impl(panel: &mut BatchPanel) {
+    let k = panel.k;
+    let kl = k * LANES;
+    let tiles = panel.width / LANES;
+    for tile in 0..tiles {
+        let tb = tile * kl;
+        let alpha = &panel.alpha_t[tb..tb + kl];
+        let prev = &panel.prev_t[tb..tb + kl];
+        for j in 0..k {
+            let mut acc = [0.0f64; LANES];
+            let mut best = [f64::NEG_INFINITY; LANES];
+            let mut besti = [0.0f64; LANES];
+            let mut fi = 0.0f64;
+            for ((a8, p8), &a_ij) in alpha
+                .chunks_exact(LANES)
+                .zip(prev.chunks_exact(LANES))
+                .zip(panel.at.row(j))
+            {
+                for l in 0..LANES {
+                    acc[l] += a8[l] * a_ij;
+                    let cand = p8[l] * a_ij;
+                    // `select(cand > best, cand, best)` keeps the old value
+                    // on ties (the scalar strict-`>` first-occurrence rule)
+                    // and lowers to a single vector max; the argmax blend
+                    // reuses its mask.
+                    let better = cand > best[l];
+                    best[l] = if better { cand } else { best[l] };
+                    besti[l] = if better { fi } else { besti[l] };
+                }
+                fi += 1.0;
+            }
+            let o = tb + j * LANES;
+            let sum = &mut panel.sum_t[o..o + LANES];
+            let cur = &mut panel.cur_t[o..o + LANES];
+            let emis = &panel.emis_t[o..o + LANES];
+            let psi = &mut panel.psi_t[o..o + LANES];
+            for l in 0..LANES {
+                sum[l] = acc[l];
+                cur[l] = best[l] * emis[l];
+                psi[l] = besti[l] as usize;
+            }
+        }
+    }
+}
+
+/// Lockstep step 3 of 3 — finishes session `s`'s token from the panel: the
+/// emission multiply + scale on the gathered filter column (the scalar
+/// filter's op order exactly), the Viterbi normalization on the gathered
+/// `δ(t)` column, then the shared [`commit_and_smooth`] tail. Advances
+/// `ws.t`.
+pub(crate) fn lockstep_finish<E: Emission>(
+    model: &Hmm<E>,
+    lag: usize,
+    ws: &mut StreamWorkspace,
+    scratch: &mut StreamScratch,
+    panel: &mut BatchPanel,
+    s: usize,
+) {
+    let k = ws.num_states;
+    let t = ws.t;
+    let slot = ws.slot(t);
+    let tb = (s / LANES) * k * LANES + (s % LANES);
+    let shift = panel.shift[s];
+    let first = panel.first[s];
+    scratch.ensure(k, ws.window);
+
+    // --- Filter finish: gather this session's transition-sum column into
+    // the α̂ ring, then the emission multiply + scale in the offline op
+    // order. The fused kernel's sums already equal the scalar accumulation
+    // (ascending predecessor index) bit-for-bit.
+    {
+        let row = &mut ws.alpha[slot * k..(slot + 1) * k];
+        let e_row = &ws.emis[slot * k..(slot + 1) * k];
+        if first {
+            for (j, (r, &e)) in row.iter_mut().zip(e_row).enumerate() {
+                *r = model.initial()[j] * e;
+            }
+        } else {
+            for (j, (r, &e)) in row.iter_mut().zip(e_row).enumerate() {
+                *r = panel.sum_t[tb + j * LANES] * e;
+            }
+        }
+        let (_c, log_c) = scale_row(row, shift);
+        ws.log_likelihood += log_c;
+    }
+
+    // --- Viterbi finish: gather this session's column, then the scalar
+    // normalization verbatim.
+    {
+        let parity = (t % 2) * k;
+        let cur = &mut ws.delta[parity..parity + k];
+        if first {
+            let e_row = &ws.emis[slot * k..(slot + 1) * k];
+            for (j, p) in cur.iter_mut().enumerate() {
+                *p = model.initial()[j] * e_row[j];
+            }
+        } else {
+            let psi_row = &mut ws.psi[slot * k..(slot + 1) * k];
+            for j in 0..k {
+                cur[j] = panel.cur_t[tb + j * LANES];
+                psi_row[j] = panel.psi_t[tb + j * LANES];
+            }
+        }
+        let m = cur.iter().cloned().fold(0.0_f64, f64::max);
+        if m.is_finite() && m > 0.0 {
+            for p in cur.iter_mut() {
+                *p /= m;
+            }
+            ws.viterbi_log += m.ln() + shift;
+        } else {
+            let u = 1.0 / k as f64;
+            for p in cur.iter_mut() {
+                *p = u;
+            }
+            ws.viterbi_log += f64::MIN_POSITIVE.ln() + shift;
+        }
+    }
+
+    commit_and_smooth(model, lag, ws, scratch, t);
     ws.t = t + 1;
 }
 

@@ -20,7 +20,14 @@
 //!   create/push/flush/close by [`SessionId`], with batch [`SessionPool::tick`]s
 //!   that advance pending tokens in deterministic per-session bands on the
 //!   shared `runtime::Executor` — throughput scales with cores while
-//!   results stay **bit-identical across worker policies**.
+//!   results stay **bit-identical across worker policies**. Groups of
+//!   same-epoch sessions with equal pending depth additionally advance in
+//!   **batched lockstep** through a tile-major structure-of-arrays
+//!   [`BatchPanel`]: one fused kernel pass over the shared transition
+//!   matrix per step advances every session's filter and Viterbi rows
+//!   together, instead of S separate k² loops, with output bit-identical
+//!   to the per-session path (on by default; see
+//!   [`StreamConfig::with_lockstep`]).
 //!
 //! With `lag ≥ T` the streamed output is exactly the offline decode: the
 //! Viterbi path equals `viterbi_scaled`'s and the filtered/smoothed
@@ -40,7 +47,7 @@ pub mod workspace;
 pub use decoder::{FlushOutput, StepOutput, StreamConfig, StreamingDecoder};
 pub use error::StreamError;
 pub use session::{SessionId, SessionPool, TickReport};
-pub use workspace::{StreamScratch, StreamWorkspace};
+pub use workspace::{BatchPanel, StreamScratch, StreamWorkspace};
 
 // Re-exported so `dhmm_stream` is self-sufficient for callers configuring a
 // stream (the knobs are defined by `dhmm_hmm` / `dhmm_runtime`).

@@ -45,9 +45,11 @@
 //! it allocation-free (including a shorter stream followed by a longer one —
 //! the buffers are grow-only).
 
-use crate::decoder::{flush_stream, push_token, ring_window};
+use crate::decoder::{
+    flush_stream, lockstep_finish, lockstep_kernel, lockstep_stage, push_token, ring_window,
+};
 use crate::error::StreamError;
-use crate::workspace::{StreamScratch, StreamWorkspace};
+use crate::workspace::{BatchPanel, StreamScratch, StreamWorkspace};
 use crate::StreamConfig;
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
@@ -60,6 +62,10 @@ use std::sync::Arc;
 const PAR_MIN_SESSIONS: usize = 2;
 /// Minimum total pending tokens for an automatic parallel tick.
 const PAR_MIN_TOKENS: usize = 2_048;
+/// Minimum sessions at a shared pending depth for a lockstep group — a
+/// singleton would pay panel staging with no lanes to share the kernel's
+/// transition broadcasts across.
+const LOCKSTEP_MIN_GROUP: usize = 2;
 
 /// Handle to one session in a [`SessionPool`].
 ///
@@ -161,6 +167,49 @@ fn rebind_slot<E: Emission>(
     slot.ws.reset();
 }
 
+/// Advances one lockstep group — sessions on the current epoch with equal
+/// pending depth — one token per step: a staging pass gathers every
+/// session's state into the shared panel, the fused kernel advances every
+/// session's filter and Viterbi rows from a single pass over the shared
+/// transition matrix, and a per-session finish pass runs the
+/// emission/scale and the (inherently per-session) commit + smoothing
+/// tail. Sessions need not be at the same stream time `t` — each step
+/// reads and writes only per-session rings.
+///
+/// Every pass is serial, so lockstep adds no policy-dependence of its own:
+/// worker policies can only change which groups run on which worker, never
+/// the arithmetic inside a group.
+fn lockstep_group<E: Emission>(
+    model: &Arc<Hmm<E>>,
+    lag: usize,
+    clock: u64,
+    group: &mut [&mut Slot<E>],
+    depth: usize,
+    panel: &mut BatchPanel,
+    scratch: &mut StreamScratch,
+) {
+    let k = model.num_states();
+    panel.ensure(group.len(), k);
+    panel.load_transition(model.transition());
+    for slot in group.iter_mut() {
+        slot.last_active = clock;
+    }
+    for d in 0..depth {
+        for (s, slot) in group.iter_mut().enumerate() {
+            lockstep_stage(&slot.model, lag, &mut slot.ws, panel, s, &slot.pending[d]);
+        }
+        lockstep_kernel(panel);
+        for (s, slot) in group.iter_mut().enumerate() {
+            scratch.clear_outputs();
+            lockstep_finish(&*slot.model, lag, &mut slot.ws, scratch, panel, s);
+            slot.out.extend_from_slice(&scratch.committed);
+        }
+    }
+    for slot in group.iter_mut() {
+        slot.pending.clear();
+    }
+}
+
 /// Summary of one batch tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TickReport {
@@ -170,6 +219,10 @@ pub struct TickReport {
     pub tokens: usize,
     /// Sessions rebound to a newer model epoch during this tick.
     pub rebound: usize,
+    /// Tokens advanced through the batched lockstep path this tick.
+    pub lockstep_tokens: usize,
+    /// Tokens advanced through the per-session scalar path this tick.
+    pub scalar_tokens: usize,
 }
 
 /// Many concurrent streaming sessions multiplexed over an epoch-versioned
@@ -181,14 +234,21 @@ pub struct SessionPool<E: Emission> {
     parallelism: Parallelism,
     pending_cap: Option<usize>,
     committed_cap: Option<usize>,
+    lockstep: bool,
     slots: Vec<Slot<E>>,
     free: Vec<usize>,
     scratch: LeasePool<StreamScratch>,
+    /// Shared structure-of-arrays staging for lockstep groups (grow-only).
+    panel: BatchPanel,
     /// Logical clock: advances once per [`SessionPool::tick`]; the idle
     /// reference for eviction.
     clock: u64,
     /// Sessions evicted over the pool's lifetime (diagnostic).
     evicted: u64,
+    /// Tokens advanced through the lockstep path over the pool's lifetime.
+    lockstep_tokens: u64,
+    /// Tokens advanced through the scalar path over the pool's lifetime.
+    scalar_tokens: u64,
 }
 
 impl<E: Emission> std::fmt::Debug for SessionPool<E> {
@@ -217,11 +277,15 @@ impl<E: Emission> SessionPool<E> {
             parallelism: config.parallelism,
             pending_cap: config.pending_cap,
             committed_cap: config.committed_cap,
+            lockstep: config.lockstep,
             slots: Vec::new(),
             free: Vec::new(),
             scratch: LeasePool::new(),
+            panel: BatchPanel::new(),
             clock: 0,
             evicted: 0,
+            lockstep_tokens: 0,
+            scalar_tokens: 0,
         })
     }
 
@@ -260,6 +324,24 @@ impl<E: Emission> SessionPool<E> {
     /// Sessions evicted for idleness over the pool's lifetime.
     pub fn evicted_total(&self) -> u64 {
         self.evicted
+    }
+
+    /// Whether batched lockstep ticks are enabled.
+    pub fn lockstep_enabled(&self) -> bool {
+        self.lockstep
+    }
+
+    /// Tokens advanced through the batched lockstep path over the pool's
+    /// lifetime.
+    pub fn lockstep_tokens_total(&self) -> u64 {
+        self.lockstep_tokens
+    }
+
+    /// Tokens advanced through the per-session scalar path over the pool's
+    /// lifetime (tick stragglers; flush-drained tokens are not counted by
+    /// either counter).
+    pub fn scalar_tokens_total(&self) -> u64 {
+        self.scalar_tokens
     }
 
     /// Number of currently open sessions.
@@ -351,6 +433,15 @@ impl<E: Emission> SessionPool<E> {
     /// Enqueues one observation on a session; it is processed by the next
     /// [`SessionPool::tick`] (or [`SessionPool::flush`]). Fails with the
     /// typed backpressure errors when a configured queue cap is hit.
+    ///
+    /// The [`StreamError::Lagging`] check is a *high-water mark*, not a
+    /// strict bound: the push is accepted whenever the committed-label
+    /// out-queue currently holds fewer than `committed_cap` labels
+    /// (identical rule in [`SessionPool::push_many`], regardless of batch
+    /// size). How many labels a token will commit is unknowable before the
+    /// tick runs — a forced commit can emit one, a convergence commit a
+    /// whole window — so the queue may legitimately overshoot the cap by
+    /// one tick's commits before further pushes are refused.
     pub fn push(&mut self, id: SessionId, obs: E::Obs) -> Result<(), StreamError> {
         let slot = self.resolve(id)?;
         let clock = self.clock;
@@ -389,6 +480,14 @@ impl<E: Emission> SessionPool<E> {
     /// all-or-nothing entry point a serving front-end needs so a partially
     /// applied request never leaves the client guessing how much of its
     /// push survived.
+    ///
+    /// The [`StreamError::Lagging`] check is the same high-water-mark rule
+    /// as [`SessionPool::push`]: the batch is accepted whenever the
+    /// committed-label out-queue currently holds fewer than `committed_cap`
+    /// labels, *regardless of batch size* — the out-queue growth a batch
+    /// causes is unknowable before the tick runs, so sizing the check on
+    /// the batch would be a guess, and an asymmetric one between the two
+    /// entry points.
     pub fn push_many<I>(&mut self, id: SessionId, obs: I) -> Result<(), StreamError>
     where
         I: IntoIterator<Item = E::Obs>,
@@ -403,7 +502,15 @@ impl<E: Emission> SessionPool<E> {
             return Err(StreamError::SessionFinished { slot });
         }
         if let Some(cap) = pending_cap {
-            if s.pending.len() + obs.len() > cap {
+            // `checked_add`: a hostile `ExactSizeIterator` can claim up to
+            // `usize::MAX` elements, and a wrapping sum in a release build
+            // would sail past the cap. Overflow is by definition over any
+            // finite cap, so it degrades to the same typed error.
+            if s.pending
+                .len()
+                .checked_add(obs.len())
+                .is_none_or(|total| total > cap)
+            {
                 return Err(StreamError::QueueFull {
                     slot,
                     pending: s.pending.len(),
@@ -425,15 +532,33 @@ impl<E: Emission> SessionPool<E> {
         Ok(())
     }
 
-    /// Advances every session's pending tokens on the runtime executor, and
-    /// rebinds any session still pinned to a superseded model epoch
-    /// (flush-then-rebind at this commit boundary).
+    /// Advances every session's pending tokens, and rebinds any session
+    /// still pinned to a superseded model epoch (flush-then-rebind at this
+    /// commit boundary).
     ///
-    /// Sessions are fanned out in deterministic contiguous bands over the
-    /// configured worker policy; each worker leases one scratch and walks
-    /// its band's sessions in order, so the result is bit-identical for
-    /// every policy. Under `Auto`, small ticks drop to serial (which cannot
-    /// change results, only speed).
+    /// # Lockstep grouping
+    ///
+    /// When lockstep is enabled ([`crate::StreamConfig::with_lockstep`], the
+    /// default), sessions that are **group-eligible** — same model epoch
+    /// (every session, once this tick's rebinds have run; the lag is
+    /// pool-wide), **equal pending depth**, and at least one co-grouped
+    /// peer — advance one token per step through a shared tile-major
+    /// structure-of-arrays [`BatchPanel`]: one fused kernel pass over the
+    /// shared transition matrix advances every session's filter row
+    /// (multiply-add) and Viterbi row (multiply-max plus argmax) together,
+    /// broadcasting each transition entry across register-resident session
+    /// tiles, instead of `S` separate k² loops. Everything else — singleton
+    /// depths, and the whole pool when lockstep is disabled — falls back to
+    /// the per-session scalar path, fanned out in deterministic contiguous
+    /// bands over the configured worker policy.
+    ///
+    /// Both paths are **bit-identical**: the fused kernel accumulates each
+    /// filter entry in the scalar step's exact operation order (ascending
+    /// predecessor index; the scalar loop's zero-predecessor skip only
+    /// drops exact `+0.0` terms), keeps the scalar first-occurrence
+    /// argmax, and the commit/smoothing tail is the same code. So are all worker policies — `Serial`, `Threads(n)`
+    /// and `Auto` produce the same labels, posteriors and log-likelihoods
+    /// to the last bit (pinned by `tests/session_determinism.rs`).
     pub fn tick(&mut self) -> TickReport
     where
         E: Send + Sync,
@@ -457,10 +582,12 @@ impl<E: Emission> SessionPool<E> {
             .filter(|s| s.active && !s.flushed && (!s.pending.is_empty() || s.epoch != epoch))
             .collect();
         let rebound = active.iter().filter(|s| s.epoch != epoch).count();
-        let report = TickReport {
+        let mut report = TickReport {
             sessions: active.iter().filter(|s| !s.pending.is_empty()).count(),
             tokens: total_tokens,
             rebound,
+            lockstep_tokens: 0,
+            scalar_tokens: total_tokens,
         };
         if active.is_empty() {
             return report;
@@ -475,21 +602,92 @@ impl<E: Emission> SessionPool<E> {
         let num_ranges = exec.num_ranges(active.len());
         let scratches = self.scratch.ensure(num_ranges);
         let model_ref = &model;
-        exec.for_each_band_with(&mut active, 1, scratches, |_range, band, scratch| {
-            for slot in band.iter_mut() {
+
+        let mut straggler_from = 0usize;
+        if self.lockstep {
+            // Rebind every stale session up front — the same commit
+            // boundary as the scalar path's in-band rebind (rebinds are
+            // per-slot independent, so hoisting them cannot change any
+            // result), and it makes freshly rebound sessions
+            // lockstep-eligible like any other.
+            for slot in active.iter_mut() {
                 if slot.epoch != epoch {
-                    rebind_slot(slot, model_ref, epoch, lag, scratch);
+                    rebind_slot(slot, model_ref, epoch, lag, &mut scratches[0]);
                 }
-                if !slot.pending.is_empty() {
-                    slot.last_active = clock;
-                }
-                for i in 0..slot.pending.len() {
-                    push_token(&slot.model, lag, &mut slot.ws, scratch, &slot.pending[i]);
-                    slot.out.extend_from_slice(&scratch.committed);
-                }
-                slot.pending.clear();
             }
-        });
+            // Group eligibility: equal pending depth with at least one
+            // co-grouped peer (epoch is uniform after the rebind pass and
+            // the lag is pool-wide). The sort is stable and sessions share
+            // no state, so reordering cannot change any session's output.
+            let mut depth_counts: Vec<(usize, usize)> = Vec::new();
+            for s in active.iter() {
+                let d = s.pending.len();
+                if d == 0 {
+                    continue;
+                }
+                match depth_counts.iter_mut().find(|(dd, _)| *dd == d) {
+                    Some((_, c)) => *c += 1,
+                    None => depth_counts.push((d, 1)),
+                }
+            }
+            let eligible = |pending: usize| {
+                pending > 0
+                    && depth_counts
+                        .iter()
+                        .any(|&(d, c)| d == pending && c >= LOCKSTEP_MIN_GROUP)
+            };
+            active.sort_by_key(|s| {
+                let d = s.pending.len();
+                (usize::from(!eligible(d)), d)
+            });
+            let grouped_until = active
+                .iter()
+                .take_while(|s| eligible(s.pending.len()))
+                .count();
+            let (locked, _) = active.split_at_mut(grouped_until);
+            let mut rest = locked;
+            while !rest.is_empty() {
+                let depth = rest[0].pending.len();
+                let run = rest.iter().take_while(|s| s.pending.len() == depth).count();
+                let (group, tail) = std::mem::take(&mut rest).split_at_mut(run);
+                rest = tail;
+                lockstep_group(
+                    model_ref,
+                    lag,
+                    clock,
+                    group,
+                    depth,
+                    &mut self.panel,
+                    &mut scratches[0],
+                );
+                report.lockstep_tokens += depth * group.len();
+            }
+            straggler_from = grouped_until;
+            report.scalar_tokens = report.tokens - report.lockstep_tokens;
+        }
+
+        // Stragglers (and, with lockstep disabled, everyone): the
+        // per-session scalar path, banded over the worker policy.
+        let stragglers = &mut active[straggler_from..];
+        if !stragglers.is_empty() {
+            exec.for_each_band_with(stragglers, 1, scratches, |_range, band, scratch| {
+                for slot in band.iter_mut() {
+                    if slot.epoch != epoch {
+                        rebind_slot(slot, model_ref, epoch, lag, scratch);
+                    }
+                    if !slot.pending.is_empty() {
+                        slot.last_active = clock;
+                    }
+                    for i in 0..slot.pending.len() {
+                        push_token(&slot.model, lag, &mut slot.ws, scratch, &slot.pending[i]);
+                        slot.out.extend_from_slice(&scratch.committed);
+                    }
+                    slot.pending.clear();
+                }
+            });
+        }
+        self.lockstep_tokens += report.lockstep_tokens as u64;
+        self.scalar_tokens += report.scalar_tokens as u64;
         report
     }
 

@@ -21,6 +21,8 @@
 //! this crate allocates — pinned by the counting-allocator test in
 //! `tests/zero_alloc.rs`.
 
+use dhmm_linalg::Matrix;
+
 /// Persistent per-session streaming state (rings + running scalars).
 ///
 /// All buffers are sized by [`StreamWorkspace::ensure`] and never shrink; a
@@ -138,6 +140,135 @@ impl StreamWorkspace {
         let k = self.num_states;
         let s = self.slot(t);
         &self.alpha[s * k..(s + 1) * k]
+    }
+}
+
+/// Resizes a matrix in place, reusing its backing buffer (grow-only
+/// capacity). Contents after a reshape are unspecified.
+fn reshape(m: &mut Matrix, rows: usize, cols: usize) {
+    if m.shape() != (rows, cols) {
+        let mut data = std::mem::replace(m, Matrix::zeros(0, 0)).into_vec();
+        data.resize(rows * cols, 0.0);
+        *m = Matrix::from_vec(rows, cols, data).expect("buffer resized to shape");
+    }
+}
+
+/// Structure-of-arrays staging for one lockstep batch-decoding group: `S`
+/// same-epoch sessions advancing one token per step together.
+///
+/// Every panel is *tile-major*, `(W / LANES) × k × LANES` where `W` is `S`
+/// rounded up to the fused kernel's [`LANES`]-wide tile: session `s` lives
+/// in tile `s / LANES`, lane `s % LANES`, and within a tile the `k` states
+/// are consecutive `LANES`-wide blocks (entry `(s, j)` is at
+/// `(s / LANES) · k · LANES + j · LANES + s % LANES`). That orientation
+/// lets the fused filter + Viterbi kernel broadcast one transition entry
+/// `a[(i, j)]` across a register-resident tile of sessions while its inner
+/// predecessor loop walks *contiguous* memory — no strided loads, no
+/// remainder loop, no per-iteration bounds checks. Tiles past `S` are dead
+/// pad lanes. `at` caches the transition matrix pre-transposed
+/// (`at[(j, i)] = a[(i, j)]`) so predecessors of state `j` are one
+/// contiguous row.
+///
+/// One panel lives in a [`crate::SessionPool`] and is re-staged per group
+/// per tick; all buffers reshape in place with grow-only capacity.
+#[derive(Debug, Clone)]
+pub struct BatchPanel {
+    /// Sessions `S` of the last `ensure`.
+    pub(crate) sessions: usize,
+    /// State-major stride: `S` rounded up to a whole number of [`LANES`]
+    /// tiles. Lanes `S..width` are dead — staged never, gathered never;
+    /// the Viterbi kernel computes garbage there that no one reads.
+    pub(crate) width: usize,
+    /// Number of states `k` of the last `ensure`.
+    pub(crate) k: usize,
+    /// `k × k` pre-transposed transition `Aᵀ`.
+    pub(crate) at: Matrix,
+    /// Previous filter rows `α̂(t-1)`, tile-major (zero column for a
+    /// session at `t = 0`, whose output is overwritten with `π ⊙ e` by the
+    /// finish pass).
+    pub(crate) alpha_t: Vec<f64>,
+    /// Filter transition sums `Σ_i α̂_i(t-1) · a[(i, j)]`, tile-major;
+    /// becomes `α̂(t)` after the finish pass's emission multiply and scale.
+    pub(crate) sum_t: Vec<f64>,
+    /// Previous Viterbi score rows `δ(t-1)`, tile-major.
+    pub(crate) prev_t: Vec<f64>,
+    /// Current Viterbi score rows `δ(t)`, tile-major.
+    pub(crate) cur_t: Vec<f64>,
+    /// Emission rows `e(t)`, tile-major.
+    pub(crate) emis_t: Vec<f64>,
+    /// Backpointers `ψ(t)`, tile-major.
+    pub(crate) psi_t: Vec<usize>,
+    /// Per-session emission log-shift of the current step.
+    pub(crate) shift: Vec<f64>,
+    /// Per-session "this step is `t = 0`" flag.
+    pub(crate) first: Vec<bool>,
+}
+
+/// Tile width of the fused lockstep kernel: the panel stride is padded to
+/// a multiple of this so the kernel's accumulators live in fixed-size
+/// arrays the compiler keeps in vector registers (8 f64 lanes = two
+/// 256-bit vectors per accumulator, sharing one broadcast transition
+/// entry).
+pub(crate) const LANES: usize = 8;
+
+impl Default for BatchPanel {
+    fn default() -> Self {
+        Self {
+            sessions: 0,
+            width: 0,
+            k: 0,
+            at: Matrix::zeros(0, 0),
+            alpha_t: Vec::new(),
+            sum_t: Vec::new(),
+            prev_t: Vec::new(),
+            cur_t: Vec::new(),
+            emis_t: Vec::new(),
+            psi_t: Vec::new(),
+            shift: Vec::new(),
+            first: Vec::new(),
+        }
+    }
+}
+
+impl BatchPanel {
+    /// Creates an empty panel; buffers are sized by [`BatchPanel::ensure`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reshapes every buffer for an `S`-session, `k`-state group. Vector
+    /// buffers grow monotonically; matrix buffers reshape in place reusing
+    /// their backing storage.
+    pub(crate) fn ensure(&mut self, sessions: usize, k: usize) {
+        reshape(&mut self.at, k, k);
+        let width = sessions.next_multiple_of(LANES);
+        let kw = k.checked_mul(width).expect("batch panel overflow");
+        if self.prev_t.len() < kw {
+            self.alpha_t.resize(kw, 0.0);
+            self.sum_t.resize(kw, 0.0);
+            self.prev_t.resize(kw, 0.0);
+            self.cur_t.resize(kw, 0.0);
+            self.emis_t.resize(kw, 0.0);
+            self.psi_t.resize(kw, 0);
+        }
+        if self.shift.len() < sessions {
+            self.shift.resize(sessions, 0.0);
+            self.first.resize(sessions, false);
+        }
+        self.sessions = sessions;
+        self.width = width;
+        self.k = k;
+    }
+
+    /// Caches the group's transition matrix pre-transposed.
+    pub(crate) fn load_transition(&mut self, a: &Matrix) {
+        a.transpose_into(&mut self.at)
+            .expect("ensure sized at to the transition shape");
+    }
+
+    /// Active `(sessions, num_states)` shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.sessions, self.k)
     }
 }
 

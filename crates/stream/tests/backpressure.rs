@@ -159,3 +159,34 @@ fn session_id_round_trips_through_its_wire_parts() {
         Err(StreamError::SessionClosed { .. })
     ));
 }
+
+#[test]
+fn push_many_rejects_a_hostile_length_claim_instead_of_overflowing() {
+    // An `ExactSizeIterator` whose `len()` is a lie: it claims usize::MAX
+    // elements but yields none. `pending.len() + len()` would wrap in a
+    // release build and sail under any finite cap; the checked sum must
+    // degrade to the same typed QueueFull instead.
+    struct HostileLen;
+    impl Iterator for HostileLen {
+        type Item = usize;
+        fn next(&mut self) -> Option<usize> {
+            None
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            (usize::MAX, Some(usize::MAX))
+        }
+    }
+    impl ExactSizeIterator for HostileLen {}
+
+    let mut pool = capped_pool(4, 100);
+    let id = pool.create();
+    pool.push(id, 1).unwrap();
+    match pool.push_many(id, HostileLen) {
+        Err(StreamError::QueueFull { pending, cap, .. }) => {
+            assert_eq!((pending, cap), (1, 4));
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    // The session is untouched: the honest remainder still fits.
+    pool.push_many(id, [0usize, 1, 0]).unwrap();
+}

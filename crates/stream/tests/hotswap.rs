@@ -10,7 +10,7 @@
 
 use dhmm_hmm::emission::DiscreteEmission;
 use dhmm_hmm::Hmm;
-use dhmm_stream::{Parallelism, SessionPool};
+use dhmm_stream::{Parallelism, SessionPool, StreamConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -141,7 +141,7 @@ const POLICIES: [Parallelism; 4] = [
 
 /// Drives many sessions through interleaved chunked ticks with two
 /// publishes at fixed tick indices; returns per-session (labels, ll bits).
-fn run_swapped_pool(policy: Parallelism) -> Vec<(Vec<usize>, u64)> {
+fn run_swapped_pool(policy: Parallelism, lockstep: bool) -> Vec<(Vec<usize>, u64)> {
     let v = 5;
     let models = [
         random_hmm(3, v, 7),
@@ -150,7 +150,14 @@ fn run_swapped_pool(policy: Parallelism) -> Vec<(Vec<usize>, u64)> {
     ];
     let seqs: Vec<Vec<usize>> = (0..10).map(|i| random_seq(v, 60, 100 + i)).collect();
 
-    let mut pool = SessionPool::new(Arc::clone(&models[0]), 3, policy);
+    let mut pool = SessionPool::with_config(
+        Arc::clone(&models[0]),
+        StreamConfig::default()
+            .with_lag(3)
+            .with_parallelism(policy)
+            .with_lockstep(lockstep),
+    )
+    .unwrap();
     let ids: Vec<_> = seqs.iter().map(|_| pool.create()).collect();
     let chunk = 6;
     let mut offset = 0;
@@ -183,9 +190,17 @@ fn run_swapped_pool(policy: Parallelism) -> Vec<(Vec<usize>, u64)> {
 
 #[test]
 fn determinism_across_policies_holds_with_swaps_interleaved() {
-    let runs: Vec<_> = POLICIES.iter().map(|&p| run_swapped_pool(p)).collect();
+    // Every (policy, lockstep) combination must agree bit-for-bit even
+    // with two mid-run publishes: sessions rebind at the same commit
+    // boundaries whether the tick advances them batched or one by one.
+    let mut runs = Vec::new();
+    for &p in &POLICIES {
+        for lockstep in [true, false] {
+            runs.push(run_swapped_pool(p, lockstep));
+        }
+    }
     for (i, run) in runs.iter().enumerate().skip(1) {
-        assert_eq!(run, &runs[0], "policy {i} diverged from Serial");
+        assert_eq!(run, &runs[0], "run {i} diverged from Serial+lockstep");
     }
 }
 

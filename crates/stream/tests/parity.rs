@@ -8,10 +8,11 @@
 
 use dhmm_hmm::emission::DiscreteEmission;
 use dhmm_hmm::{forward_backward_scaled, viterbi_scaled_with_score, Hmm, InferenceWorkspace};
-use dhmm_stream::StreamingDecoder;
+use dhmm_stream::{Parallelism, SessionPool, StreamConfig, StreamingDecoder};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Builds a random discrete HMM with `k` states and `v` symbols from a seed.
 fn random_hmm(k: usize, v: usize, seed: u64) -> Hmm<DiscreteEmission> {
@@ -186,5 +187,61 @@ proptest! {
         let (_, best) = viterbi_scaled_with_score(&model, &seq, &mut ws).unwrap();
         prop_assert!(joint.is_finite());
         prop_assert!(joint <= best + 1e-7, "streamed path beats the optimum: {joint} > {best}");
+    }
+
+    /// The batched lockstep tick is an execution strategy, not a semantic:
+    /// a pool of co-resident sessions produces, per session, exactly the
+    /// scalar [`StreamingDecoder`]'s labels and likelihood bits — which the
+    /// tests above pin against offline decoding. Staggered lengths force
+    /// every tick shape: full groups, group + stragglers, scalar-only
+    /// tails.
+    #[test]
+    fn lockstep_pool_equals_the_scalar_decoder(
+        k in 2usize..5, v in 2usize..6, seed in 0u64..300, lag in 0usize..5, chunk in 1usize..8
+    ) {
+        let m = Arc::new(random_hmm(k, v, seed));
+        let lens = [24usize, 24, 24, 17, 17, 9];
+        let seqs: Vec<Vec<usize>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| random_seq(v, len, seed.wrapping_add(10 + i as u64)))
+            .collect();
+
+        let mut pool = SessionPool::with_config(
+            Arc::clone(&m),
+            StreamConfig::default()
+                .with_lag(lag)
+                .with_parallelism(Parallelism::Serial)
+                .with_lockstep(true),
+        )
+        .unwrap();
+        let ids: Vec<_> = seqs.iter().map(|_| pool.create()).collect();
+        let mut offset = 0;
+        while offset < 24 {
+            for (id, seq) in ids.iter().zip(&seqs) {
+                for &obs in seq.iter().skip(offset).take(chunk) {
+                    pool.push(*id, obs).unwrap();
+                }
+            }
+            pool.tick();
+            offset += chunk;
+        }
+        for (id, seq) in ids.iter().zip(&seqs) {
+            pool.flush(*id).unwrap();
+            let mut got = Vec::new();
+            pool.take_committed(*id, &mut got).unwrap();
+
+            let mut dec = StreamingDecoder::new(&m, lag);
+            let mut want = Vec::new();
+            for obs in seq {
+                want.extend_from_slice(dec.push(obs).committed);
+            }
+            want.extend_from_slice(dec.flush().committed);
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(
+                pool.log_likelihood(*id).unwrap().to_bits(),
+                dec.log_likelihood().to_bits()
+            );
+        }
     }
 }

@@ -9,7 +9,7 @@ use dhmm_hmm::emission::DiscreteEmission;
 use dhmm_hmm::generate::generate_sequences;
 use dhmm_hmm::Hmm;
 use dhmm_linalg::Matrix;
-use dhmm_stream::{Parallelism, SessionPool, StreamingDecoder};
+use dhmm_stream::{Parallelism, SessionPool, StreamConfig, StreamingDecoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -51,9 +51,22 @@ fn corpus(n: usize, len: usize) -> Vec<Vec<usize>> {
 /// One run's evidence per session: committed labels + final ll bits.
 type PoolTrace = Vec<(Vec<usize>, u64)>;
 
-/// Streams `seqs` through a pool in interleaved chunks under `policy`.
-fn run_pool(m: &Arc<Hmm<DiscreteEmission>>, seqs: &[Vec<usize>], policy: Parallelism) -> PoolTrace {
-    let mut pool = SessionPool::new(Arc::clone(m), 4, policy);
+/// Streams `seqs` through a pool in interleaved chunks under `policy`,
+/// with the batched lockstep path on or off.
+fn run_pool_with(
+    m: &Arc<Hmm<DiscreteEmission>>,
+    seqs: &[Vec<usize>],
+    policy: Parallelism,
+    lockstep: bool,
+) -> PoolTrace {
+    let mut pool = SessionPool::with_config(
+        Arc::clone(m),
+        StreamConfig::default()
+            .with_lag(4)
+            .with_parallelism(policy)
+            .with_lockstep(lockstep),
+    )
+    .unwrap();
     let ids: Vec<_> = seqs.iter().map(|_| pool.create()).collect();
     let chunk = 7;
     let mut offset = 0;
@@ -78,13 +91,33 @@ fn run_pool(m: &Arc<Hmm<DiscreteEmission>>, seqs: &[Vec<usize>], policy: Paralle
         .collect()
 }
 
+fn run_pool(m: &Arc<Hmm<DiscreteEmission>>, seqs: &[Vec<usize>], policy: Parallelism) -> PoolTrace {
+    run_pool_with(m, seqs, policy, true)
+}
+
+/// Truncates the corpus to staggered lengths so ticks see a mix of lockstep
+/// groups (equal depths) and scalar stragglers (odd depths) once the short
+/// streams dry up.
+fn staggered(mut seqs: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for (i, seq) in seqs.iter_mut().enumerate() {
+        let cut = seq.len() - (i * 5) % 31;
+        seq.truncate(cut);
+    }
+    seqs
+}
+
 #[test]
-fn pool_ticks_are_bit_identical_across_worker_policies() {
+fn pool_ticks_are_bit_identical_across_worker_policies_and_lockstep_modes() {
     let m = Arc::new(model());
-    let seqs = corpus(12, 90);
-    let runs: Vec<PoolTrace> = POLICIES.iter().map(|&p| run_pool(&m, &seqs, p)).collect();
+    let seqs = staggered(corpus(12, 90));
+    let mut runs: Vec<PoolTrace> = Vec::new();
+    for &p in &POLICIES {
+        for lockstep in [true, false] {
+            runs.push(run_pool_with(&m, &seqs, p, lockstep));
+        }
+    }
     for (i, run) in runs.iter().enumerate().skip(1) {
-        assert_eq!(run, &runs[0], "policy {i} diverged from Serial");
+        assert_eq!(run, &runs[0], "run {i} diverged from Serial+lockstep");
     }
 }
 
@@ -92,19 +125,22 @@ fn pool_ticks_are_bit_identical_across_worker_policies() {
 fn pool_sessions_match_standalone_decoders() {
     // Multiplexing must be invisible: a pooled session's labels and
     // likelihood equal a standalone decoder's on the same stream, bit for
-    // bit, regardless of tick chunking.
+    // bit, regardless of tick chunking — and regardless of whether the
+    // pool advanced it via the batched lockstep path or the scalar path.
     let m = Arc::new(model());
-    let seqs = corpus(6, 73);
-    let pooled = run_pool(&m, &seqs, Parallelism::Threads(4));
-    for (seq, (labels, ll_bits)) in seqs.iter().zip(&pooled) {
-        let mut dec = StreamingDecoder::new(&m, 4);
-        let mut path = Vec::new();
-        for obs in seq {
-            path.extend_from_slice(dec.push(obs).committed);
+    let seqs = staggered(corpus(6, 73));
+    for lockstep in [true, false] {
+        let pooled = run_pool_with(&m, &seqs, Parallelism::Threads(4), lockstep);
+        for (seq, (labels, ll_bits)) in seqs.iter().zip(&pooled) {
+            let mut dec = StreamingDecoder::new(&m, 4);
+            let mut path = Vec::new();
+            for obs in seq {
+                path.extend_from_slice(dec.push(obs).committed);
+            }
+            path.extend_from_slice(dec.flush().committed);
+            assert_eq!(&path, labels, "lockstep={lockstep}");
+            assert_eq!(dec.log_likelihood().to_bits(), *ll_bits);
         }
-        path.extend_from_slice(dec.flush().committed);
-        assert_eq!(&path, labels);
-        assert_eq!(dec.log_likelihood().to_bits(), *ll_bits);
     }
 }
 
