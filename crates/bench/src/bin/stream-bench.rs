@@ -417,10 +417,18 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str("  \"lockstep\": [\n");
     for (i, r) in lockstep_rows.iter().enumerate() {
+        // A singleton group never forms a lockstep panel (the pool's
+        // LOCKSTEP_MIN_GROUP is 2), so the S=1 row measures the scalar
+        // fallback, not the batched kernel.
+        let path = if r.sessions < 2 {
+            "scalar-fallback"
+        } else {
+            "lockstep"
+        };
         let _ = write!(
             json,
-            "    {{\"k\": {}, \"lag\": {}, \"sessions\": {}, \"threads\": 1, \"scalar_tokens_per_sec\": {:.0}, \"lockstep_tokens_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}}}",
-            r.k, r.lag, r.sessions, r.scalar_tokens_per_sec, r.lockstep_tokens_per_sec, r.speedup()
+            "    {{\"k\": {}, \"lag\": {}, \"sessions\": {}, \"threads\": 1, \"path\": \"{}\", \"scalar_tokens_per_sec\": {:.0}, \"lockstep_tokens_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}}}",
+            r.k, r.lag, r.sessions, path, r.scalar_tokens_per_sec, r.lockstep_tokens_per_sec, r.speedup()
         );
         json.push_str(if i + 1 < lockstep_rows.len() {
             ",\n"

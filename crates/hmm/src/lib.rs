@@ -13,6 +13,8 @@
 //! * [`scaled`] — the default scaled-space (Rabiner scaling-coefficient)
 //!   inference engine: linear-domain forward–backward and Viterbi writing
 //!   into a reusable [`workspace::InferenceWorkspace`],
+//! * [`sparse`] — the sparse-transition engine: CSR-compiled pruned
+//!   transitions with beam-pruned recursions and a queryable error report,
 //! * [`workspace`] — preallocated inference buffers, reused across sequences
 //!   and EM iterations (one per thread in the parallel E-step),
 //! * [`reference`] — the original log-domain engine, kept as the numerical
@@ -38,6 +40,7 @@ pub mod init;
 pub mod model;
 pub mod reference;
 pub mod scaled;
+pub mod sparse;
 pub mod supervised;
 pub mod util;
 pub mod viterbi;
@@ -57,6 +60,10 @@ pub use model::Hmm;
 pub use scaled::{
     emission_likelihood_row, forward_backward_scaled, log_likelihood_scaled, scale_row,
     viterbi_scaled, viterbi_scaled_with_score, InferenceBackend,
+};
+pub use sparse::{
+    beam_prune, forward_backward_sparse, log_likelihood_sparse, viterbi_sparse,
+    viterbi_sparse_with_score, CsrTransition, PruneRule, SparseParams, SparseReport,
 };
 pub use supervised::{supervised_estimate, SupervisedCounts};
 pub use viterbi::viterbi;

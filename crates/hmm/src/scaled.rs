@@ -34,7 +34,7 @@ use dhmm_linalg::Matrix;
 /// retained as a numerical oracle and a debugging fallback. Training configs
 /// (`BaumWelchConfig`, and the diversified configs in `dhmm-core`) carry one
 /// of these so the engine choice is explicit end to end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum InferenceBackend {
     /// Linear-domain recursions with per-step scaling coefficients, writing
     /// into a reusable workspace (fast path).
@@ -43,6 +43,11 @@ pub enum InferenceBackend {
     /// The original log-domain implementation behind [`crate::reference`]
     /// (oracle path; ignores the workspace).
     LogReference,
+    /// CSR-compiled pruned transitions with beam-pruned scaled recursions
+    /// (see [`crate::sparse`]): approximate, with the pruning error tracked
+    /// in a queryable [`crate::sparse::SparseReport`]. Bit-equal to `Scaled`
+    /// under [`crate::sparse::SparseParams::exact`].
+    Sparse(crate::sparse::SparseParams),
 }
 
 impl InferenceBackend {
@@ -56,6 +61,9 @@ impl InferenceBackend {
         match self {
             Self::Scaled => forward_backward_scaled(model, observations, ws),
             Self::LogReference => crate::reference::forward_backward(model, observations),
+            Self::Sparse(params) => {
+                crate::sparse::forward_backward_sparse(model, observations, ws, params)
+            }
         }
     }
 
@@ -71,6 +79,9 @@ impl InferenceBackend {
             Self::Scaled => log_likelihood_scaled(model, observations, ws),
             Self::LogReference => {
                 Ok(crate::reference::forward_backward(model, observations)?.log_likelihood)
+            }
+            Self::Sparse(params) => {
+                crate::sparse::log_likelihood_sparse(model, observations, ws, params)
             }
         }
     }
@@ -96,6 +107,9 @@ impl InferenceBackend {
         match self {
             Self::Scaled => viterbi_scaled_with_score(model, observations, ws),
             Self::LogReference => crate::reference::viterbi_with_score(model, observations),
+            Self::Sparse(params) => {
+                crate::sparse::viterbi_sparse_with_score(model, observations, ws, params)
+            }
         }
     }
 }
@@ -130,8 +144,8 @@ pub fn emission_likelihood_row<E: Emission>(emission: &E, obs: &E::Obs, row: &mu
 
 /// Fills the workspace emission buffer with linear-domain likelihoods and
 /// records per-step shifts for the rows that had to be rescued through
-/// shifted log-space.
-fn fill_emissions<E: Emission>(
+/// shifted log-space. Shared with the sparse engine in [`crate::sparse`].
+pub(crate) fn fill_emissions<E: Emission>(
     model: &Hmm<E>,
     observations: &[E::Obs],
     ws: &mut InferenceWorkspace,

@@ -1,0 +1,777 @@
+//! Sparse-transition inference engine: CSR-compiled transitions with
+//! beam-pruned scaled recursions and a tracked pruning-error report.
+//!
+//! Dense inference pays O(k²) per time step regardless of how concentrated
+//! the transition rows are — and the diversified M-step produces exactly the
+//! kind of concentrated rows (most successor mass on a few states) where that
+//! is wasted work. This module compiles the dense transition matrix into a
+//! [`CsrTransition`] — the matrix after [`PruneRule`] pruning and row
+//! renormalization, stored in both orientations (row-major for the forward
+//! and backward passes, transposed for Viterbi) — and runs the same scaled
+//! recursions as [`crate::scaled`] over the stored entries only, optionally
+//! beam-pruning the per-step state distribution.
+//!
+//! # Approximation contract
+//!
+//! Two separate approximations are in play, both tracked in the
+//! [`SparseReport`] queryable from the workspace after every run:
+//!
+//! * **Static pruning** replaces the model's transition matrix `A` with the
+//!   pruned, renormalized `Ã`. Inference is then *exact* with respect to
+//!   `Ã`; the per-row mass removed before renormalization is reported as
+//!   [`SparseReport::static_pruned_max`]. A row the rule would empty
+//!   entirely falls back to its original dense form
+//!   ([`SparseReport::fallback_rows`]).
+//! * **Beam pruning** zeroes states whose scaled forward (or Viterbi score)
+//!   mass falls below `beam × max` at each step. The relative mass discarded
+//!   at step `t`, `ε_t`, accumulates into
+//!   [`SparseReport::ll_error_bound`]` = Σ_t −ln(1−ε_t)`. Beam pruning only
+//!   removes probability mass, so the sparse log-likelihood is a certified
+//!   *lower* bound on the exact log-likelihood under `Ã`; the reported bound
+//!   is the accumulated-pruned-mass estimate of the gap (it is exact for the
+//!   mass discarded along the pruned trajectory, which dominates the realized
+//!   gap on smooth models — the property suite pins this). The Viterbi path
+//!   score is exact *for the returned path*: a surviving path's scores are
+//!   never altered, only competitors are discarded.
+//!
+//! With `threshold 0` and `beam 0` nothing is pruned, no row is
+//! renormalized, and every recursion visits the same values in the same
+//! floating-point order as the dense engine — the results are **bit-equal**
+//! to [`crate::scaled`], which is how the backend is oracle-pinned.
+
+use crate::emission::Emission;
+use crate::error::HmmError;
+use crate::forward_backward::SequenceStats;
+use crate::model::Hmm;
+use crate::scaled::{fill_emissions, scale_row};
+use crate::workspace::InferenceWorkspace;
+use dhmm_linalg::{CsrMatrix, Matrix};
+
+/// How the dense transition matrix is statically pruned before compilation
+/// to CSR. Pruned rows are renormalized to sum to one; a row left empty by
+/// the rule falls back to its original dense form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneRule {
+    /// Keep entries `a_ij >= τ`. `Threshold(0.0)` keeps every entry
+    /// (including explicit zeros) and skips renormalization, which makes the
+    /// sparse engine bit-equal to the dense one.
+    Threshold(f64),
+    /// Keep the largest entries of each row until their cumulative mass
+    /// reaches `p × row sum` (at least one entry is always kept; ties are
+    /// broken toward lower column indices).
+    TopP(f64),
+}
+
+impl Default for PruneRule {
+    fn default() -> Self {
+        PruneRule::Threshold(1e-4)
+    }
+}
+
+/// Parameters of the sparse inference backend: the static prune rule and the
+/// per-step beam width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseParams {
+    /// Static transition pruning applied at compile time.
+    pub prune: PruneRule,
+    /// Per-step beam: states whose scaled forward / Viterbi mass falls below
+    /// `beam × max` are zeroed. Must lie in `[0, 1)`; `0.0` disables beam
+    /// pruning.
+    pub beam: f64,
+}
+
+impl Default for SparseParams {
+    fn default() -> Self {
+        Self {
+            prune: PruneRule::default(),
+            beam: 1e-6,
+        }
+    }
+}
+
+impl SparseParams {
+    /// The identity configuration: nothing is pruned and results are
+    /// bit-equal to the dense scaled engine.
+    pub fn exact() -> Self {
+        Self {
+            prune: PruneRule::Threshold(0.0),
+            beam: 0.0,
+        }
+    }
+
+    /// Threshold pruning at `tau` with no beam.
+    pub fn threshold(tau: f64) -> Self {
+        Self {
+            prune: PruneRule::Threshold(tau),
+            beam: 0.0,
+        }
+    }
+
+    /// Top-p (nucleus) pruning at `p` with no beam.
+    pub fn top_p(p: f64) -> Self {
+        Self {
+            prune: PruneRule::TopP(p),
+            beam: 0.0,
+        }
+    }
+
+    /// Returns `self` with the beam width replaced.
+    pub fn with_beam(mut self, beam: f64) -> Self {
+        self.beam = beam;
+        self
+    }
+
+    /// Checks the parameter ranges: threshold `>= 0`, top-p in `(0, 1]`,
+    /// beam in `[0, 1)`.
+    pub fn validate(&self) -> Result<(), HmmError> {
+        match self.prune {
+            PruneRule::Threshold(t) if t.is_finite() && t >= 0.0 => {}
+            PruneRule::TopP(p) if p.is_finite() && p > 0.0 && p <= 1.0 => {}
+            _ => {
+                return Err(HmmError::InvalidParameters {
+                    reason: format!(
+                        "invalid prune rule {:?}: threshold must be >= 0, top-p in (0, 1]",
+                        self.prune
+                    ),
+                })
+            }
+        }
+        if !(self.beam.is_finite() && (0.0..1.0).contains(&self.beam)) {
+            return Err(HmmError::InvalidParameters {
+                reason: format!("beam must lie in [0, 1), got {}", self.beam),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Pruning diagnostics of the last sparse inference run, queryable through
+/// [`InferenceWorkspace::sparse_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SparseReport {
+    /// Number of time steps of the run.
+    pub steps: usize,
+    /// Stored entries of the compiled transition matrix.
+    pub nnz: usize,
+    /// `nnz / k²` — effective density after static pruning.
+    pub density: f64,
+    /// Rows the prune rule would have emptied, kept dense verbatim instead.
+    pub fallback_rows: usize,
+    /// Largest per-row transition mass removed by static pruning (before
+    /// renormalization).
+    pub static_pruned_max: f64,
+    /// `Σ_t ε_t` — total relative per-step mass removed by the beam.
+    pub beam_pruned_total: f64,
+    /// `max_t ε_t` — worst single-step relative mass removed by the beam.
+    pub beam_pruned_max: f64,
+    /// `Σ_t −ln(1−ε_t)` — the accumulated pruned-mass estimate of the
+    /// log-likelihood deficit relative to exact inference under the pruned
+    /// matrix `Ã`. The sparse log-likelihood itself is always a certified
+    /// *lower* bound; this estimate of the gap is exact when per-state
+    /// future growth is homogeneous (e.g. state-independent emissions) and
+    /// zero exactly when the beam pruned nothing.
+    pub ll_error_bound: f64,
+}
+
+impl SparseReport {
+    /// Whether the accumulated log-likelihood error bound is within `tol`.
+    pub fn within(&self, tol: f64) -> bool {
+        self.ll_error_bound <= tol
+    }
+}
+
+/// Running beam statistics of one recursion.
+#[derive(Debug, Clone, Copy, Default)]
+struct BeamStats {
+    total: f64,
+    max: f64,
+    bound: f64,
+}
+
+impl BeamStats {
+    #[inline]
+    fn record(&mut self, eps: f64) {
+        if eps > 0.0 {
+            self.total += eps;
+            if eps > self.max {
+                self.max = eps;
+            }
+            self.bound -= (-eps).ln_1p();
+        }
+    }
+}
+
+/// Zeroes entries of `row` below `beam × max(row)` and returns the relative
+/// mass removed, `ε = pruned / (pruned + kept)`. With `beam == 0.0` (or a
+/// degenerate row) the row is left untouched and `0.0` is returned, so the
+/// exact configuration never perturbs a single bit.
+///
+/// Public so the streaming decoder in `dhmm-stream` applies the identical
+/// beam step token-by-token; `−ln(1−ε)` accumulated over steps is the
+/// log-likelihood deficit estimate (see the module docs).
+pub fn beam_prune(row: &mut [f64], beam: f64) -> f64 {
+    if beam <= 0.0 {
+        return 0.0;
+    }
+    let mut m = 0.0_f64;
+    for &v in row.iter() {
+        m = m.max(v);
+    }
+    // `m` cannot be NaN: it starts at 0.0 and `f64::max` keeps the non-NaN
+    // operand, so `<=` is a complete degenerate-row check here.
+    if m <= 0.0 || !m.is_finite() {
+        return 0.0;
+    }
+    // Branchless select: whether an entry survives is data-dependent and
+    // close to a coin flip per element, so a conditional here costs a
+    // mispredict per entry — masking by 0.0/1.0 keeps the loop a straight
+    // line of multiplies the compiler can vectorize. Multiplying a kept
+    // value by 1.0 reproduces it bit-for-bit, and the `+ 0.0` terms added
+    // to each accumulator leave the branchy sums unchanged (all entries
+    // are non-negative), so the ε accounting is identical.
+    let cut = beam * m;
+    let mut kept = 0.0;
+    let mut pruned = 0.0;
+    for v in row.iter_mut() {
+        let keep = f64::from(u8::from(*v >= cut));
+        let drop = 1.0 - keep;
+        pruned += *v * drop;
+        kept += *v * keep;
+        *v *= keep;
+    }
+    if pruned <= 0.0 {
+        return 0.0;
+    }
+    pruned / (pruned + kept)
+}
+
+/// A dense transition matrix compiled for sparse inference: the pruned,
+/// renormalized matrix `Ã` in CSR form, stored row-major (forward and
+/// backward passes) and transposed (Viterbi), plus static-pruning
+/// diagnostics.
+///
+/// All buffers are reused across [`CsrTransition::compile_into`] calls, so
+/// recompiling after a model update (or for a smaller model) performs no
+/// allocator traffic once the buffers have grown to their high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct CsrTransition {
+    k: usize,
+    params: SparseParams,
+    /// `Ã`, row-major: row `i` holds the kept successors of state `i`.
+    fwd: CsrMatrix,
+    /// `Ãᵀ`: row `j` holds the kept predecessors of state `j`.
+    tr: CsrMatrix,
+    fallback_rows: usize,
+    static_pruned_max: f64,
+    /// Scratch: per-row column order for top-p selection.
+    order: Vec<u32>,
+    /// Scratch: per-row keep flags.
+    keep: Vec<bool>,
+}
+
+impl CsrTransition {
+    /// Compiles `a` (a `k × k` row-stochastic matrix) under `params`.
+    pub fn compile(a: &Matrix, params: SparseParams) -> Result<Self, HmmError> {
+        let mut out = Self::default();
+        out.compile_into(a, params)?;
+        Ok(out)
+    }
+
+    /// Recompiles into the existing buffers (grow-only; never shrinks
+    /// capacity).
+    pub fn compile_into(&mut self, a: &Matrix, params: SparseParams) -> Result<(), HmmError> {
+        params.validate()?;
+        let k = a.rows();
+        if k == 0 || a.cols() != k {
+            return Err(HmmError::InvalidParameters {
+                reason: format!(
+                    "transition matrix must be square and non-empty, got {}x{}",
+                    a.rows(),
+                    a.cols()
+                ),
+            });
+        }
+        self.k = k;
+        self.params = params;
+        self.fallback_rows = 0;
+        self.static_pruned_max = 0.0;
+        self.fwd.begin(k, k);
+        self.keep.clear();
+        self.keep.resize(k, false);
+        for i in 0..k {
+            let row = a.row(i);
+            let (kept_count, kept_sum, pruned) = self.mark_kept(row, params.prune);
+            if kept_count == 0 {
+                // The rule emptied the row: keep the original dense row
+                // verbatim so inference still has somewhere to go.
+                for (j, &v) in row.iter().enumerate() {
+                    self.fwd.push(j, v);
+                }
+                self.fwd.finish_row();
+                self.fallback_rows += 1;
+                continue;
+            }
+            if pruned > self.static_pruned_max {
+                self.static_pruned_max = pruned;
+            }
+            if pruned > 0.0 {
+                for (j, &v) in row.iter().enumerate() {
+                    if self.keep[j] {
+                        self.fwd.push(j, v / kept_sum);
+                    }
+                }
+            } else {
+                // Nothing with mass was dropped: keep the kept entries
+                // bit-for-bit (renormalizing by a sum of ~1.0 would still
+                // perturb the last bits).
+                for (j, &v) in row.iter().enumerate() {
+                    if self.keep[j] {
+                        self.fwd.push(j, v);
+                    }
+                }
+            }
+            self.fwd.finish_row();
+        }
+        self.tr.transpose_from(&self.fwd);
+        Ok(())
+    }
+
+    /// Applies `rule` to one row via the `keep` scratch; returns
+    /// `(kept_count, kept_sum, pruned_mass)`.
+    fn mark_kept(&mut self, row: &[f64], rule: PruneRule) -> (usize, f64, f64) {
+        let k = row.len();
+        match rule {
+            PruneRule::Threshold(tau) => {
+                let mut kept_count = 0;
+                let mut kept_sum = 0.0;
+                let mut pruned = 0.0;
+                for (j, &v) in row.iter().enumerate() {
+                    let keep = v >= tau;
+                    self.keep[j] = keep;
+                    if keep {
+                        kept_count += 1;
+                        kept_sum += v;
+                    } else {
+                        pruned += v;
+                    }
+                }
+                (kept_count, kept_sum, pruned)
+            }
+            PruneRule::TopP(p) => {
+                self.order.clear();
+                self.order.extend(0..k as u32);
+                self.order.sort_unstable_by(|&x, &y| {
+                    let (vx, vy) = (row[x as usize], row[y as usize]);
+                    vy.partial_cmp(&vx).unwrap().then(x.cmp(&y))
+                });
+                let total: f64 = row.iter().sum();
+                let target = p * total;
+                self.keep[..k].fill(false);
+                let mut kept_count = 0;
+                let mut kept_sum = 0.0;
+                for &j in &self.order {
+                    if kept_count > 0 && kept_sum >= target {
+                        break;
+                    }
+                    self.keep[j as usize] = true;
+                    kept_count += 1;
+                    kept_sum += row[j as usize];
+                }
+                if kept_count == k {
+                    // Nothing dropped: report zero pruned mass exactly so the
+                    // verbatim (no-renormalization) path is taken.
+                    (kept_count, kept_sum, 0.0)
+                } else {
+                    let mut pruned = 0.0;
+                    for (j, &v) in row.iter().enumerate() {
+                        if !self.keep[j] {
+                            pruned += v;
+                        }
+                    }
+                    (kept_count, kept_sum, pruned)
+                }
+            }
+        }
+    }
+
+    /// Number of states `k`.
+    pub fn num_states(&self) -> usize {
+        self.k
+    }
+
+    /// The parameters the matrix was compiled with.
+    pub fn params(&self) -> SparseParams {
+        self.params
+    }
+
+    /// Stored entries of `Ã`.
+    pub fn nnz(&self) -> usize {
+        self.fwd.nnz()
+    }
+
+    /// `nnz / k²`.
+    pub fn density(&self) -> f64 {
+        self.fwd.nnz() as f64 / (self.k * self.k) as f64
+    }
+
+    /// Rows kept dense verbatim because the rule emptied them.
+    pub fn fallback_rows(&self) -> usize {
+        self.fallback_rows
+    }
+
+    /// Largest per-row mass removed by static pruning.
+    pub fn static_pruned_max(&self) -> f64 {
+        self.static_pruned_max
+    }
+
+    /// `Ã` row-major (successors of each state).
+    pub fn forward(&self) -> &CsrMatrix {
+        &self.fwd
+    }
+
+    /// `Ãᵀ` (predecessors of each state) — the layout the Viterbi gather
+    /// runs on.
+    pub fn transposed(&self) -> &CsrMatrix {
+        &self.tr
+    }
+
+    /// Materializes `Ã` densely (tests and oracles).
+    pub fn to_dense(&self) -> Matrix {
+        self.fwd.to_dense()
+    }
+}
+
+/// The compiled-transition cache stored inside an [`InferenceWorkspace`]:
+/// the CSR form plus the exact dense matrix and parameters it was compiled
+/// from, so a bitwise comparison detects staleness (e.g. EM updating the
+/// transition matrix between calls).
+#[derive(Debug, Clone)]
+pub(crate) struct SparseCache {
+    pub(crate) params: SparseParams,
+    pub(crate) dense: Matrix,
+    pub(crate) csr: CsrTransition,
+}
+
+/// Takes the workspace's compiled-transition cache, recompiling it if the
+/// dense matrix or the parameters changed since the last sparse call.
+fn take_cache(
+    ws: &mut InferenceWorkspace,
+    a: &Matrix,
+    params: SparseParams,
+) -> Result<Box<SparseCache>, HmmError> {
+    match ws.sparse.take() {
+        Some(mut cache) => {
+            if cache.params != params || cache.dense != *a {
+                cache.csr.compile_into(a, params)?;
+                cache.params = params;
+                cache.dense = a.clone();
+            }
+            Ok(cache)
+        }
+        None => Ok(Box::new(SparseCache {
+            params,
+            dense: a.clone(),
+            csr: CsrTransition::compile(a, params)?,
+        })),
+    }
+}
+
+/// Runs the beam-pruned scaled forward pass over the compiled transitions.
+/// Mirrors the dense `forward_pass` exactly apart from the CSR scatter and
+/// the beam step, and is bit-equal to it under [`SparseParams::exact`].
+fn forward_pass_sparse<E: Emission>(
+    model: &Hmm<E>,
+    t_len: usize,
+    ws: &mut InferenceWorkspace,
+    csr: &CsrTransition,
+    beam: f64,
+) -> BeamStats {
+    let k = model.num_states();
+    let mut stats = BeamStats::default();
+    {
+        let row = &mut ws.alpha[..k];
+        let e_row = &ws.emis[..k];
+        for (j, (r, &e)) in row.iter_mut().zip(e_row).enumerate() {
+            *r = model.initial()[j] * e;
+        }
+        stats.record(beam_prune(row, beam));
+        let (c, log_c) = scale_row(row, ws.shifts[0]);
+        ws.scales[0] = c;
+        ws.log_scales[0] = log_c;
+    }
+    let fwd = csr.forward();
+    for t in 1..t_len {
+        let (prev, rest) = ws.alpha.split_at_mut(t * k);
+        let prev_row = &prev[(t - 1) * k..];
+        let row = &mut rest[..k];
+        row.fill(0.0);
+        // Scatter one source row per live predecessor: beam-zeroed (and
+        // naturally zero) predecessors skip their whole row. Ascending `i`
+        // keeps the per-column accumulation order identical to the dense
+        // engine.
+        for (i, &ap) in prev_row.iter().enumerate() {
+            if ap == 0.0 {
+                continue;
+            }
+            fwd.axpy_row(i, ap, row);
+        }
+        let e_row = &ws.emis[t * k..(t + 1) * k];
+        for (r, &e) in row.iter_mut().zip(e_row) {
+            *r *= e;
+        }
+        stats.record(beam_prune(row, beam));
+        let (c, log_c) = scale_row(row, ws.shifts[t]);
+        ws.scales[t] = c;
+        ws.log_scales[t] = log_c;
+    }
+    stats
+}
+
+/// Assembles and stores the run report on the workspace.
+fn store_report(ws: &mut InferenceWorkspace, csr: &CsrTransition, steps: usize, beam: BeamStats) {
+    ws.sparse_report = Some(SparseReport {
+        steps,
+        nnz: csr.nnz(),
+        density: csr.density(),
+        fallback_rows: csr.fallback_rows(),
+        static_pruned_max: csr.static_pruned_max(),
+        beam_pruned_total: beam.total,
+        beam_pruned_max: beam.max,
+        ll_error_bound: beam.bound,
+    });
+}
+
+/// Sparse-transition scaled forward–backward: the sparse counterpart of
+/// [`crate::scaled::forward_backward_scaled`]. The returned statistics are
+/// exact under the pruned matrix `Ã` (up to beam pruning, see the module
+/// docs); the [`SparseReport`] of the run is left on the workspace.
+pub fn forward_backward_sparse<E: Emission>(
+    model: &Hmm<E>,
+    observations: &[E::Obs],
+    ws: &mut InferenceWorkspace,
+    params: SparseParams,
+) -> Result<SequenceStats, HmmError> {
+    let k = model.num_states();
+    let t_len = observations.len();
+    if t_len == 0 {
+        return Err(HmmError::InvalidData {
+            reason: "cannot run forward-backward on an empty sequence".into(),
+        });
+    }
+    ws.ensure(k, t_len);
+    fill_emissions(model, observations, ws);
+    let cache = take_cache(ws, model.transition(), params)?;
+    let csr = &cache.csr;
+    let beam = forward_pass_sparse(model, t_len, ws, csr, params.beam);
+
+    // Backward pass: identical to the dense engine with the per-row dot
+    // taken over the stored entries (ascending column order, same bits).
+    let fwd = csr.forward();
+    for v in ws.beta[(t_len - 1) * k..t_len * k].iter_mut() {
+        *v = 1.0;
+    }
+    for t in (0..t_len - 1).rev() {
+        let next_e = &ws.emis[(t + 1) * k..(t + 2) * k];
+        let (cur_beta, next_beta) = ws.beta.split_at_mut((t + 1) * k);
+        let next_row = &next_beta[..k];
+        let w = &mut ws.row[..k];
+        for ((wv, &e), &b) in w.iter_mut().zip(next_e).zip(next_row) {
+            *wv = e * b;
+        }
+        let row = &mut cur_beta[t * k..];
+        for (i, r) in row.iter_mut().enumerate() {
+            *r = fwd.dot_row(i, w);
+        }
+        let norm: f64 = row.iter().sum();
+        if norm > 0.0 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+
+    // Posteriors: same shape as the dense engine, with the ξ accumulation
+    // visiting stored entries only.
+    let mut gamma = Matrix::zeros(t_len, k);
+    for t in 0..t_len {
+        let row = gamma.row_mut(t);
+        let a_row = &ws.alpha[t * k..(t + 1) * k];
+        let b_row = &ws.beta[t * k..(t + 1) * k];
+        for ((g, &av), &bv) in row.iter_mut().zip(a_row).zip(b_row) {
+            *g = av * bv;
+        }
+        dhmm_linalg::normalize_in_place(row);
+    }
+    let mut xi_sum = Matrix::zeros(k, k);
+    for t in 1..t_len {
+        if ws.scales[t] == 0.0 {
+            continue;
+        }
+        let alpha_t = &ws.alpha[t * k..(t + 1) * k];
+        let beta_t = &ws.beta[t * k..(t + 1) * k];
+        let mut ab = 0.0;
+        for (&av, &bv) in alpha_t.iter().zip(beta_t) {
+            ab += av * bv;
+        }
+        let total = ws.scales[t] * ab;
+        if !total.is_finite() || total <= 0.0 {
+            continue;
+        }
+        let e_row = &ws.emis[t * k..(t + 1) * k];
+        let w = &mut ws.row[..k];
+        for ((wv, &e), &b) in w.iter_mut().zip(e_row).zip(beta_t) {
+            *wv = e * b / total;
+        }
+        let alpha_prev = &ws.alpha[(t - 1) * k..t * k];
+        for (i, &ap) in alpha_prev.iter().enumerate() {
+            if ap == 0.0 {
+                continue;
+            }
+            let (cols, vals) = fwd.row(i);
+            let xi_row = xi_sum.row_mut(i);
+            for (&j, &aij) in cols.iter().zip(vals) {
+                xi_row[j as usize] += ap * aij * w[j as usize];
+            }
+        }
+    }
+
+    let log_likelihood = ws.log_scales[..t_len].iter().sum();
+    store_report(ws, csr, t_len, beam);
+    ws.sparse = Some(cache);
+    Ok(SequenceStats {
+        gamma,
+        xi_sum,
+        log_likelihood,
+    })
+}
+
+/// Sparse-transition log-likelihood (forward pass only); a certified lower
+/// bound on the exact value under `Ã`, with the gap estimate in the run's
+/// [`SparseReport`].
+pub fn log_likelihood_sparse<E: Emission>(
+    model: &Hmm<E>,
+    observations: &[E::Obs],
+    ws: &mut InferenceWorkspace,
+    params: SparseParams,
+) -> Result<f64, HmmError> {
+    let k = model.num_states();
+    let t_len = observations.len();
+    if t_len == 0 {
+        return Err(HmmError::InvalidData {
+            reason: "cannot run forward-backward on an empty sequence".into(),
+        });
+    }
+    ws.ensure(k, t_len);
+    fill_emissions(model, observations, ws);
+    let cache = take_cache(ws, model.transition(), params)?;
+    let beam = forward_pass_sparse(model, t_len, ws, &cache.csr, params.beam);
+    store_report(ws, &cache.csr, t_len, beam);
+    ws.sparse = Some(cache);
+    Ok(ws.log_scales[..t_len].iter().sum())
+}
+
+/// Sparse-transition Viterbi decoding (path only).
+pub fn viterbi_sparse<E: Emission>(
+    model: &Hmm<E>,
+    observations: &[E::Obs],
+    ws: &mut InferenceWorkspace,
+    params: SparseParams,
+) -> Result<Vec<usize>, HmmError> {
+    Ok(viterbi_sparse_with_score(model, observations, ws, params)?.0)
+}
+
+/// Beam-pruned Viterbi over the transposed CSR layout, returning the path
+/// and its joint log-probability under `Ã`.
+///
+/// The score recursion gathers over each state's stored *predecessors*
+/// (`Ãᵀ` row) — contiguous in the transposed layout — and beam-zeroes the
+/// normalized score row each step. The returned score is exact for the
+/// returned path: beam pruning discards competing paths but never rescales a
+/// surviving one. Like the dense engine, if every candidate path hits
+/// probability zero the call falls back to the log-domain reference (which
+/// runs on the *original* dense matrix).
+pub fn viterbi_sparse_with_score<E: Emission>(
+    model: &Hmm<E>,
+    observations: &[E::Obs],
+    ws: &mut InferenceWorkspace,
+    params: SparseParams,
+) -> Result<(Vec<usize>, f64), HmmError> {
+    let k = model.num_states();
+    let t_len = observations.len();
+    if t_len == 0 {
+        return Err(HmmError::InvalidData {
+            reason: "cannot decode an empty sequence".into(),
+        });
+    }
+    ws.ensure(k, t_len);
+    fill_emissions(model, observations, ws);
+    let cache = take_cache(ws, model.transition(), params)?;
+    let csr = &cache.csr;
+    let tr = csr.transposed();
+    let mut stats = BeamStats::default();
+
+    let mut log_score = 0.0;
+    {
+        let (prev, _) = ws.delta.split_at_mut(k);
+        for (j, p) in prev.iter_mut().enumerate() {
+            *p = model.initial()[j] * ws.emis[j];
+        }
+        let m = prev.iter().cloned().fold(0.0_f64, f64::max);
+        if !m.is_finite() || m <= 0.0 {
+            ws.sparse = Some(cache);
+            return crate::reference::viterbi_with_score(model, observations);
+        }
+        for p in prev.iter_mut() {
+            *p /= m;
+        }
+        log_score += m.ln() + ws.shifts[0];
+        stats.record(beam_prune(prev, params.beam));
+    }
+    for t in 1..t_len {
+        let (first, rest) = ws.delta.split_at_mut(k);
+        let second = &mut rest[..k];
+        let (prev, cur): (&[f64], &mut [f64]) = if t % 2 == 1 {
+            (first, second)
+        } else {
+            (second, first)
+        };
+        let e_row = &ws.emis[t * k..(t + 1) * k];
+        let psi_row = &mut ws.psi[t * k..(t + 1) * k];
+        for j in 0..k {
+            let (best, best_i) = tr.argmax_product_row(j, prev);
+            cur[j] = best * e_row[j];
+            psi_row[j] = best_i;
+        }
+        let m = cur.iter().cloned().fold(0.0_f64, f64::max);
+        if !m.is_finite() || m <= 0.0 {
+            ws.sparse = Some(cache);
+            return crate::reference::viterbi_with_score(model, observations);
+        }
+        for p in cur.iter_mut() {
+            *p /= m;
+        }
+        log_score += m.ln() + ws.shifts[t];
+        stats.record(beam_prune(cur, params.beam));
+    }
+
+    let last = if (t_len - 1) % 2 == 0 {
+        &ws.delta[..k]
+    } else {
+        &ws.delta[k..2 * k]
+    };
+    let (mut best_state, mut best_val) = (0usize, f64::NEG_INFINITY);
+    for (j, &v) in last.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best_state = j;
+        }
+    }
+    let mut path = vec![0usize; t_len];
+    path[t_len - 1] = best_state;
+    for t in (0..t_len - 1).rev() {
+        path[t] = ws.psi[(t + 1) * k + path[t + 1]];
+    }
+    store_report(ws, csr, t_len, stats);
+    ws.sparse = Some(cache);
+    Ok((path, log_score + best_val.ln()))
+}

@@ -41,6 +41,12 @@ pub struct InferenceWorkspace {
     pub(crate) delta: Vec<f64>,
     /// `T × k` Viterbi backpointers.
     pub(crate) psi: Vec<usize>,
+    /// Compiled-transition cache of the sparse engine (boxed: dense-engine
+    /// users pay one pointer). Keyed by a bitwise copy of the dense matrix
+    /// plus the compile parameters, so model updates invalidate it.
+    pub(crate) sparse: Option<Box<crate::sparse::SparseCache>>,
+    /// Pruning diagnostics of the most recent sparse run.
+    pub(crate) sparse_report: Option<crate::sparse::SparseReport>,
 }
 
 impl InferenceWorkspace {
@@ -92,6 +98,13 @@ impl InferenceWorkspace {
     /// Scaled backward row `β̂(t, ·)` of the last run.
     pub fn beta_row(&self, t: usize) -> &[f64] {
         &self.beta[t * self.num_states..(t + 1) * self.num_states]
+    }
+
+    /// Pruning diagnostics of the most recent run through the sparse engine
+    /// (`None` until a sparse-backend call has gone through this workspace;
+    /// dense runs leave the last sparse report in place).
+    pub fn sparse_report(&self) -> Option<&crate::sparse::SparseReport> {
+        self.sparse_report.as_ref()
     }
 }
 

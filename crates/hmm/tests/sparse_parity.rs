@@ -1,0 +1,441 @@
+//! Oracle-pin tests for the sparse inference engine (`dhmm_hmm::sparse`).
+//!
+//! The contract under test, in increasing strength:
+//!
+//! 1. `SparseParams::exact()` (threshold 0, no beam) is **bit-identical**
+//!    to the scaled engine: the CSR scatter visits the same predecessors in
+//!    the same order, so every float matches `to_bits`-for-`to_bits`.
+//! 2. Static pruning (threshold / top-p) is *exact inference on the pruned,
+//!    renormalized matrix Ã*: running the sparse engine on the original
+//!    model equals running the dense scaled engine on a model built from
+//!    `CsrTransition::to_dense()`, and the reported `ll_error_bound` is 0.
+//! 3. Beam pruning is approximate but *certified*: the sparse
+//!    log-likelihood is a lower bound of the dense-on-Ã log-likelihood, and
+//!    the gap is covered by the reported `ll_error_bound`.
+//! 4. The Viterbi score is exact *for the returned path* regardless of
+//!    pruning: the path's joint likelihood under Ã equals the score.
+//!
+//! Plus the degenerate inputs pruning adds on top of the dense suite:
+//! fully-pruned rows (dense fallback), zero-probability and
+//! out-of-vocabulary symbols under pruning, and CSR buffer reuse across
+//! model shapes.
+
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::{
+    forward_backward_scaled, forward_backward_sparse, log_likelihood_scaled, log_likelihood_sparse,
+    viterbi_scaled_with_score, viterbi_sparse_with_score, CsrTransition, Hmm, InferenceWorkspace,
+    SparseParams,
+};
+use dhmm_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random discrete HMM with `k` states and `v` symbols from a seed.
+fn random_hmm(k: usize, v: usize, seed: u64) -> Hmm<DiscreteEmission> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (pi, a) = dhmm_hmm::init::random_parameters(
+        k,
+        dhmm_hmm::init::InitStrategy::Dirichlet { concentration: 2.0 },
+        &mut rng,
+    )
+    .unwrap();
+    let b = dhmm_hmm::init::random_stochastic_matrix(k, v, 1.0, &mut rng).unwrap();
+    Hmm::new(pi, a, DiscreteEmission::new(b).unwrap()).unwrap()
+}
+
+fn random_seq(v: usize, len: usize, seed: u64) -> Vec<usize> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..v)).collect()
+}
+
+/// The dense model the sparse engine is *exact* against: same π and B, but
+/// the transition matrix replaced by the pruned, renormalized Ã the CSR
+/// compile produced.
+fn pruned_model(model: &Hmm<DiscreteEmission>, params: SparseParams) -> Hmm<DiscreteEmission> {
+    let csr = CsrTransition::compile(model.transition(), params).unwrap();
+    Hmm::new(
+        model.initial().to_vec(),
+        csr.to_dense(),
+        model.emission().clone(),
+    )
+    .unwrap()
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what} shapes differ");
+    for r in 0..a.rows() {
+        for (x, y) in a.row(r).iter().zip(b.row(r)) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} row {r}: {x} vs {y}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- Contract 1: exact params are bit-identical to the scaled engine. ----
+
+    #[test]
+    fn exact_params_are_bit_identical_to_scaled(
+        k in 2usize..8, v in 2usize..8, seed in 0u64..1000, len in 1usize..40
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(13));
+        let mut ws_s = InferenceWorkspace::new();
+        let mut ws_d = InferenceWorkspace::new();
+
+        let sparse = forward_backward_sparse(&model, &seq, &mut ws_s, SparseParams::exact()).unwrap();
+        let dense = forward_backward_scaled(&model, &seq, &mut ws_d).unwrap();
+        prop_assert_eq!(sparse.log_likelihood.to_bits(), dense.log_likelihood.to_bits(),
+            "ll {} vs {}", sparse.log_likelihood, dense.log_likelihood);
+        assert_bits_eq(&sparse.gamma, &dense.gamma, "gamma");
+        assert_bits_eq(&sparse.xi_sum, &dense.xi_sum, "xi_sum");
+
+        let ll_s = log_likelihood_sparse(&model, &seq, &mut ws_s, SparseParams::exact()).unwrap();
+        let ll_d = log_likelihood_scaled(&model, &seq, &mut ws_d).unwrap();
+        prop_assert_eq!(ll_s.to_bits(), ll_d.to_bits());
+
+        let (path_s, score_s) =
+            viterbi_sparse_with_score(&model, &seq, &mut ws_s, SparseParams::exact()).unwrap();
+        let (path_d, score_d) = viterbi_scaled_with_score(&model, &seq, &mut ws_d).unwrap();
+        prop_assert_eq!(&path_s, &path_d);
+        prop_assert_eq!(score_s.to_bits(), score_d.to_bits());
+
+        // Exact compilation keeps every entry and prunes no mass.
+        let report = ws_s.sparse_report().expect("sparse run leaves a report");
+        prop_assert_eq!(report.nnz, k * k);
+        prop_assert_eq!(report.ll_error_bound, 0.0);
+        prop_assert_eq!(report.static_pruned_max, 0.0);
+    }
+
+    // ---- Contract 2: static pruning is exact inference on Ã. ----
+
+    #[test]
+    fn static_pruning_is_exact_on_the_pruned_matrix(
+        k in 2usize..8, v in 2usize..8, seed in 0u64..1000, len in 1usize..40,
+        tau in 0.02f64..0.4
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(29));
+        let params = SparseParams::threshold(tau);
+        let tilde = pruned_model(&model, params);
+        let mut ws_s = InferenceWorkspace::new();
+        let mut ws_d = InferenceWorkspace::new();
+
+        let sparse = forward_backward_sparse(&model, &seq, &mut ws_s, params).unwrap();
+        let dense = forward_backward_scaled(&tilde, &seq, &mut ws_d).unwrap();
+        prop_assert!((sparse.log_likelihood - dense.log_likelihood).abs() < 1e-12,
+            "ll {} vs {} on Ã", sparse.log_likelihood, dense.log_likelihood);
+        prop_assert!(sparse.gamma.approx_eq(&dense.gamma, 1e-12));
+        prop_assert!(sparse.xi_sum.approx_eq(&dense.xi_sum, 1e-12));
+
+        // Without a beam the run is exact w.r.t. Ã: nothing accrues.
+        let report = *ws_s.sparse_report().unwrap();
+        prop_assert_eq!(report.ll_error_bound, 0.0);
+        prop_assert_eq!(report.beam_pruned_total, 0.0);
+        prop_assert!(report.within(0.0));
+    }
+
+    #[test]
+    fn top_p_pruning_is_exact_on_the_pruned_matrix(
+        k in 2usize..8, v in 2usize..8, seed in 0u64..1000, len in 1usize..30,
+        p in 0.5f64..1.0
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(31));
+        let params = SparseParams::top_p(p);
+        let tilde = pruned_model(&model, params);
+        let mut ws_s = InferenceWorkspace::new();
+        let mut ws_d = InferenceWorkspace::new();
+
+        let ll_s = log_likelihood_sparse(&model, &seq, &mut ws_s, params).unwrap();
+        let ll_d = log_likelihood_scaled(&tilde, &seq, &mut ws_d).unwrap();
+        prop_assert!((ll_s - ll_d).abs() < 1e-12, "{ll_s} vs {ll_d}");
+        prop_assert_eq!(ws_s.sparse_report().unwrap().ll_error_bound, 0.0);
+    }
+
+    // ---- Contract 3: the beam ll is a certified lower bound, and the ----
+    // ---- reported deficit estimate is sound where the theory says so. ----
+
+    #[test]
+    fn beam_ll_is_a_certified_lower_bound(
+        k in 3usize..8, v in 2usize..8, seed in 0u64..1000, len in 2usize..40,
+        tau in 0.0f64..0.2, beam in 0.01f64..0.5
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(37));
+        let params = SparseParams::threshold(tau).with_beam(beam);
+        let tilde = pruned_model(&model, params);
+        let mut ws_s = InferenceWorkspace::new();
+        let mut ws_d = InferenceWorkspace::new();
+
+        let ll_beam = log_likelihood_sparse(&model, &seq, &mut ws_s, params).unwrap();
+        let ll_exact = log_likelihood_scaled(&tilde, &seq, &mut ws_d).unwrap();
+        let report = *ws_s.sparse_report().unwrap();
+
+        // Dropping probability mass can only lower the likelihood.
+        prop_assert!(ll_beam <= ll_exact + 1e-9,
+            "beam raised the likelihood: {ll_beam} > {ll_exact}");
+        // The accumulated estimate is internally consistent: nonnegative,
+        // at least the raw pruned mass (−ln(1−ε) ≥ ε), and zero exactly
+        // when the beam removed nothing.
+        prop_assert!(report.ll_error_bound >= report.beam_pruned_total);
+        prop_assert!(report.beam_pruned_max <= report.beam_pruned_total + 1e-15);
+        prop_assert_eq!(report.ll_error_bound == 0.0, report.beam_pruned_total == 0.0);
+        if report.beam_pruned_total == 0.0 {
+            prop_assert!((ll_beam - ll_exact).abs() < 1e-12,
+                "no pruning but lls differ: {ll_beam} vs {ll_exact}");
+        }
+    }
+
+    #[test]
+    fn beam_deficit_estimate_is_exact_under_homogeneous_emissions(
+        k in 3usize..8, seed in 0u64..1000, len in 2usize..40, beam in 0.01f64..0.5
+    ) {
+        // With state-independent emissions every state grows at the same
+        // rate, so the pruned mass evolves exactly like the kept mass and
+        // Σ −ln(1−ε_t) equals the realized log-likelihood deficit.
+        let base = random_hmm(k, 5, seed);
+        let shared: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+            dhmm_hmm::init::random_stochastic_matrix(1, 5, 1.0, &mut rng)
+                .unwrap()
+                .row(0)
+                .to_vec()
+        };
+        let b = Matrix::from_rows(&vec![shared; k]).unwrap();
+        let model = Hmm::new(
+            base.initial().to_vec(),
+            base.transition().clone(),
+            DiscreteEmission::new(b).unwrap(),
+        )
+        .unwrap();
+        let seq = random_seq(5, len, seed.wrapping_add(43));
+        let params = SparseParams::exact().with_beam(beam);
+        let mut ws_s = InferenceWorkspace::new();
+        let mut ws_d = InferenceWorkspace::new();
+
+        let ll_beam = log_likelihood_sparse(&model, &seq, &mut ws_s, params).unwrap();
+        let ll_exact = log_likelihood_scaled(&model, &seq, &mut ws_d).unwrap();
+        let report = *ws_s.sparse_report().unwrap();
+        let gap = ll_exact - ll_beam;
+        prop_assert!((gap - report.ll_error_bound).abs() < 1e-9,
+            "homogeneous gap {gap} != estimate {}", report.ll_error_bound);
+    }
+
+    // ---- Contract 4: the Viterbi score is exact for the returned path. ----
+
+    #[test]
+    fn viterbi_score_is_exact_for_the_returned_path(
+        k in 2usize..8, v in 2usize..8, seed in 0u64..1000, len in 1usize..30,
+        tau in 0.0f64..0.25, beam in 0.0f64..0.3
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(41));
+        let params = SparseParams::threshold(tau).with_beam(beam);
+        let tilde = pruned_model(&model, params);
+        let mut ws = InferenceWorkspace::new();
+
+        let (path, score) = viterbi_sparse_with_score(&model, &seq, &mut ws, params).unwrap();
+        prop_assert_eq!(path.len(), seq.len());
+        // Whatever the pruning dropped, the score the engine reports is the
+        // true joint likelihood of the path it returns, under Ã.
+        let joint = tilde.joint_log_likelihood(&path, &seq).unwrap();
+        prop_assert!((joint - score).abs() < 1e-9,
+            "path joint {joint} does not achieve reported score {score}");
+    }
+}
+
+// ---- Degenerate inputs specific to pruning. ----
+
+#[test]
+fn fully_pruned_rows_fall_back_to_dense_verbatim() {
+    // A uniform 4-state transition with threshold 0.5 empties every row:
+    // each row must be kept dense verbatim (Ã = A), making the sparse run
+    // bit-identical to the dense engine despite the aggressive rule.
+    let k = 4;
+    let a = Matrix::from_rows(&vec![vec![0.25; k]; k]).unwrap();
+    let b =
+        dhmm_hmm::init::random_stochastic_matrix(k, 6, 1.0, &mut StdRng::seed_from_u64(3)).unwrap();
+    let model = Hmm::new(
+        vec![1.0 / k as f64; k],
+        a,
+        DiscreteEmission::new(b).unwrap(),
+    )
+    .unwrap();
+    let params = SparseParams::threshold(0.5);
+
+    let csr = CsrTransition::compile(model.transition(), params).unwrap();
+    assert_eq!(csr.fallback_rows(), k, "every row should fall back");
+    assert_eq!(csr.nnz(), k * k);
+    assert!(model.transition().approx_eq(&csr.to_dense(), 0.0));
+
+    let seq = random_seq(6, 25, 17);
+    let mut ws_s = InferenceWorkspace::new();
+    let mut ws_d = InferenceWorkspace::new();
+    let sparse = forward_backward_sparse(&model, &seq, &mut ws_s, params).unwrap();
+    let dense = forward_backward_scaled(&model, &seq, &mut ws_d).unwrap();
+    assert_eq!(
+        sparse.log_likelihood.to_bits(),
+        dense.log_likelihood.to_bits()
+    );
+    assert_bits_eq(&sparse.gamma, &dense.gamma, "gamma");
+    let report = ws_s.sparse_report().unwrap();
+    assert_eq!(report.fallback_rows, k);
+    assert_eq!(report.ll_error_bound, 0.0);
+}
+
+#[test]
+fn partially_pruned_matrix_keeps_only_emptied_rows_dense() {
+    // One concentrated row (survives pruning) and one uniform row (empties
+    // and falls back): the mixed matrix must still be exact w.r.t. Ã.
+    let a = Matrix::from_rows(&[
+        vec![0.90, 0.05, 0.05],
+        vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        vec![0.05, 0.05, 0.90],
+    ])
+    .unwrap();
+    let b = Matrix::from_rows(&[
+        vec![0.8, 0.1, 0.1],
+        vec![0.1, 0.8, 0.1],
+        vec![0.1, 0.1, 0.8],
+    ])
+    .unwrap();
+    let model = Hmm::new(vec![1.0 / 3.0; 3], a, DiscreteEmission::new(b).unwrap()).unwrap();
+    let params = SparseParams::threshold(0.4);
+    let csr = CsrTransition::compile(model.transition(), params).unwrap();
+    assert_eq!(csr.fallback_rows(), 1);
+    assert_eq!(csr.nnz(), 1 + 3 + 1);
+
+    let tilde = pruned_model(&model, params);
+    let seq = vec![0usize, 1, 2, 2, 0, 1, 0];
+    let mut ws_s = InferenceWorkspace::new();
+    let mut ws_d = InferenceWorkspace::new();
+    let sparse = forward_backward_sparse(&model, &seq, &mut ws_s, params).unwrap();
+    let dense = forward_backward_scaled(&tilde, &seq, &mut ws_d).unwrap();
+    assert!((sparse.log_likelihood - dense.log_likelihood).abs() < 1e-12);
+    assert!(sparse.gamma.approx_eq(&dense.gamma, 1e-12));
+}
+
+#[test]
+fn zero_probability_and_oov_symbols_survive_pruning() {
+    // Symbol 2 has exactly zero probability under both states (the shifted
+    // log-space rescue path), and symbol 7 is outside the vocabulary
+    // entirely. Neither may panic or go NaN under static + beam pruning.
+    let emission = DiscreteEmission::new(
+        Matrix::from_rows(&[vec![0.5, 0.5, 0.0], vec![0.9, 0.1, 0.0]]).unwrap(),
+    )
+    .unwrap();
+    let transition = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
+    let model = Hmm::new(vec![0.5, 0.5], transition, emission).unwrap();
+    let params = SparseParams::threshold(0.4).with_beam(0.05);
+    let tilde = pruned_model(&model, params);
+    let mut ws = InferenceWorkspace::new();
+
+    let zero_sym = vec![0usize, 2, 1, 2, 2, 0];
+    let stats = forward_backward_sparse(&model, &zero_sym, &mut ws, params).unwrap();
+    assert!(stats.log_likelihood.is_finite());
+    assert!(stats.gamma.is_finite());
+    let mut ws_d = InferenceWorkspace::new();
+    let exact = forward_backward_scaled(&tilde, &zero_sym, &mut ws_d).unwrap();
+    let report = *ws.sparse_report().unwrap();
+    assert!(
+        stats.log_likelihood <= exact.log_likelihood + 1e-9,
+        "beam raised the likelihood on a zero-probability symbol"
+    );
+    assert!(report.ll_error_bound.is_finite() && report.ll_error_bound >= 0.0);
+
+    let oov = vec![0usize, 7, 1];
+    let ll = log_likelihood_sparse(&model, &oov, &mut ws, params).unwrap();
+    assert!(ll.is_finite());
+    assert!(ll < -500.0, "floored OOV step should be heavily penalized");
+    let (path, score) = viterbi_sparse_with_score(&model, &oov, &mut ws, params).unwrap();
+    assert_eq!(path.len(), 3);
+    assert!(!score.is_nan());
+}
+
+#[test]
+fn workspace_reuse_across_shapes_and_params_is_safe() {
+    // One workspace serves models of different sizes and changing prune
+    // rules in arbitrary order: the cached CSR must recompile (never reuse
+    // stale structure) and grow/shrink without leaking old entries.
+    let mut ws = InferenceWorkspace::new();
+    let plans = [
+        (6usize, 8usize, 24usize, SparseParams::threshold(0.1)),
+        (2, 3, 5, SparseParams::exact()),
+        (6, 8, 24, SparseParams::top_p(0.8)),
+        (4, 5, 17, SparseParams::threshold(0.2).with_beam(0.1)),
+        (4, 5, 17, SparseParams::threshold(0.05)),
+    ];
+    for (i, &(k, v, len, params)) in plans.iter().enumerate() {
+        let model = random_hmm(k, v, 90 + i as u64);
+        let seq = random_seq(v, len, 190 + i as u64);
+        let reused = forward_backward_sparse(&model, &seq, &mut ws, params).unwrap();
+        let mut fresh_ws = InferenceWorkspace::new();
+        let fresh = forward_backward_sparse(&model, &seq, &mut fresh_ws, params).unwrap();
+        assert_eq!(
+            reused.log_likelihood.to_bits(),
+            fresh.log_likelihood.to_bits(),
+            "reused workspace diverged at step {i}"
+        );
+        assert_bits_eq(&reused.gamma, &fresh.gamma, "gamma");
+        assert_eq!(ws.sparse_report(), fresh_ws.sparse_report());
+    }
+}
+
+#[test]
+fn em_training_runs_under_the_sparse_backend() {
+    // The backend threads through BaumWelchConfig: with exact params the
+    // whole EM trace matches the scaled engine's bit-for-bit.
+    use dhmm_hmm::{BaumWelch, BaumWelchConfig, InferenceBackend};
+    let truth = random_hmm(3, 4, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let data: Vec<Vec<usize>> = dhmm_hmm::generate::generate_sequences(&truth, 12, 10, &mut rng)
+        .unwrap()
+        .into_iter()
+        .map(|s| s.observations)
+        .collect();
+
+    let mut sparse_model = random_hmm(3, 4, 21);
+    let mut scaled_model = sparse_model.clone();
+    let base = BaumWelchConfig {
+        max_iterations: 6,
+        tolerance: 0.0,
+        ..BaumWelchConfig::default()
+    };
+    let sparse_fit = BaumWelch::new(BaumWelchConfig {
+        backend: InferenceBackend::Sparse(SparseParams::exact()),
+        ..base
+    })
+    .fit(&mut sparse_model, &data)
+    .unwrap();
+    let scaled_fit = BaumWelch::new(BaumWelchConfig {
+        backend: InferenceBackend::Scaled,
+        ..base
+    })
+    .fit(&mut scaled_model, &data)
+    .unwrap();
+    for (s, d) in sparse_fit
+        .log_likelihood_history
+        .iter()
+        .zip(&scaled_fit.log_likelihood_history)
+    {
+        assert_eq!(s.to_bits(), d.to_bits(), "EM traces diverged: {s} vs {d}");
+    }
+    assert!(sparse_model
+        .transition()
+        .approx_eq(scaled_model.transition(), 0.0));
+
+    // A pruned backend still trains (monotone up to the declared bound).
+    let mut pruned = random_hmm(3, 4, 22);
+    let fit = BaumWelch::new(BaumWelchConfig {
+        backend: InferenceBackend::Sparse(SparseParams::threshold(0.05)),
+        ..base
+    })
+    .fit(&mut pruned, &data)
+    .unwrap();
+    assert!(fit.log_likelihood_history.iter().all(|l| l.is_finite()));
+    assert!(pruned.transition().is_row_stochastic(1e-6));
+}

@@ -9,6 +9,8 @@
 //! workspace needs:
 //!
 //! * [`Matrix`] / [`vector`] — row-major dense matrices and vector helpers,
+//! * [`csr`] — compressed-sparse-row storage and the scatter/gather/argmax
+//!   kernels behind the pruned-transition inference backend in `dhmm-hmm`,
 //! * [`lu`] — LU decomposition with partial pivoting (determinant, inverse,
 //!   linear solves, log-determinant with sign),
 //! * [`cholesky`] — Cholesky factorization (and a jittered variant used for
@@ -28,6 +30,7 @@
 #![warn(clippy::all)]
 
 pub mod cholesky;
+pub mod csr;
 pub mod eigen;
 pub mod error;
 pub mod lu;
@@ -40,6 +43,7 @@ pub use cholesky::{
     factor_into, log_det_from_factor, spd_inverse_from_factor, spd_inverse_rows_from_factor,
     Cholesky,
 };
+pub use csr::CsrMatrix;
 pub use eigen::{jacobi_eigen, SymmetricEigen};
 pub use error::LinalgError;
 pub use lu::LuDecomposition;

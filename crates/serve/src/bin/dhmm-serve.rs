@@ -17,6 +17,7 @@ use dhmm_hmm::init::{random_parameters, random_stochastic_matrix, InitStrategy};
 use dhmm_hmm::Hmm;
 use dhmm_runtime::Parallelism;
 use dhmm_serve::{signals, Client, ServeConfig, Server};
+use dhmm_stream::{InferenceBackend, SparseParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
@@ -50,6 +51,15 @@ USAGE:
   dhmm-serve serve --model <path> [--addr <host:port>] [--lag <n>]
                    [--threads <n>] [--pending-cap <n>] [--committed-cap <n>]
                    [--max-idle-ticks <n>] [--lockstep true|false]
+                   [--backend scaled|sparse] [--sparse-threshold <p>]
+                   [--sparse-top-p <p>] [--sparse-beam <p>]
+
+  Under --backend sparse the transition matrix is pruned into CSR form:
+  --sparse-threshold drops entries below p (default 0, exact), or
+  --sparse-top-p keeps the smallest prefix covering mass p; --sparse-beam
+  additionally prunes filter states below p * max per step (approximate,
+  with a tracked per-session error bound). Sparse serving disables
+  lockstep batching.
   dhmm-serve make-model --out <path> --k <n> [--vocab <n>]
                         [--family discrete|gaussian] [--seed <n>]
   dhmm-serve client --addr <host:port> --script <path>
@@ -102,6 +112,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let committed_cap: usize = take_parsed(&flags, "committed-cap", 65536)?;
     let max_idle_ticks: u64 = take_parsed(&flags, "max-idle-ticks", 0)?;
     let lockstep: bool = take_parsed(&flags, "lockstep", true)?;
+    let backend = parse_backend(&flags)?;
 
     let parallelism = if threads == 0 {
         Parallelism::Auto
@@ -110,6 +121,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let config = ServeConfig::default()
         .with_lag(lag)
+        .with_backend(backend)
         .with_parallelism(parallelism)
         .with_pending_cap(Some(pending_cap))
         .with_committed_cap(Some(committed_cap))
@@ -130,6 +142,51 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         report.flushed, report.tokens
     );
     Ok(())
+}
+
+/// Builds the inference backend from `--backend` and the `--sparse-*`
+/// knobs. Parameter *values* are validated by the server at startup
+/// (`StreamConfig::validate`), so out-of-range values surface as the same
+/// `backend` error a library caller would see.
+fn parse_backend(flags: &[(String, String)]) -> Result<InferenceBackend, String> {
+    let threshold: Option<f64> = match take(flags, "sparse-threshold") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--sparse-threshold got an unparseable value {v:?}"))?,
+        ),
+    };
+    let top_p: Option<f64> = match take(flags, "sparse-top-p") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--sparse-top-p got an unparseable value {v:?}"))?,
+        ),
+    };
+    let beam: f64 = take_parsed(flags, "sparse-beam", 0.0)?;
+
+    match take(flags, "backend").unwrap_or("scaled") {
+        "scaled" => {
+            if threshold.is_some() || top_p.is_some() || beam != 0.0 {
+                return Err("--sparse-* flags require --backend sparse".into());
+            }
+            Ok(InferenceBackend::Scaled)
+        }
+        "sparse" => {
+            let params = match (threshold, top_p) {
+                (Some(_), Some(_)) => {
+                    return Err(
+                        "--sparse-threshold and --sparse-top-p are mutually exclusive".into(),
+                    )
+                }
+                (Some(t), None) => SparseParams::threshold(t),
+                (None, Some(p)) => SparseParams::top_p(p),
+                (None, None) => SparseParams::exact(),
+            };
+            Ok(InferenceBackend::Sparse(params.with_beam(beam)))
+        }
+        other => Err(format!("--backend must be scaled or sparse, got {other:?}")),
+    }
 }
 
 fn cmd_make_model(args: &[String]) -> Result<(), String> {

@@ -142,6 +142,7 @@ impl From<StreamError> for ServeError {
             StreamError::UnsupportedBackend { backend } => ServeError::Backend {
                 reason: format!("{backend:?} cannot stream"),
             },
+            StreamError::InvalidConfig { reason } => ServeError::Backend { reason },
         }
     }
 }

@@ -33,7 +33,7 @@ use dhmm_data::io::{load_model, LoadedModel};
 use dhmm_hmm::emission::{DiscreteEmission, Emission, GaussianEmission};
 use dhmm_hmm::model::Hmm;
 use dhmm_runtime::Parallelism;
-use dhmm_stream::{SessionPool, StreamConfig};
+use dhmm_stream::{InferenceBackend, SessionPool, StreamConfig};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,10 +43,14 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 /// Configuration of a serving process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Fixed lag `L` of every session (see [`StreamConfig::lag`]).
     pub lag: usize,
+    /// Inference backend of every session (see [`StreamConfig::backend`]):
+    /// scaled (default) or sparse; the log-domain reference cannot stream
+    /// and fails startup with wire code `backend`.
+    pub backend: InferenceBackend,
     /// Worker policy for batch ticks (results are bit-identical under
     /// every policy).
     pub parallelism: Parallelism,
@@ -74,6 +78,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             lag: 8,
+            backend: InferenceBackend::Scaled,
             parallelism: Parallelism::default(),
             pending_cap: Some(4096),
             committed_cap: Some(65536),
@@ -88,6 +93,13 @@ impl ServeConfig {
     /// Returns a copy with the given fixed lag.
     pub fn with_lag(mut self, lag: usize) -> Self {
         self.lag = lag;
+        self
+    }
+
+    /// Returns a copy with the given inference backend (validated at
+    /// startup; only the scaled and sparse engines can stream).
+    pub fn with_backend(mut self, backend: InferenceBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -130,6 +142,7 @@ impl ServeConfig {
     fn stream_config(&self) -> StreamConfig {
         StreamConfig::default()
             .with_lag(self.lag)
+            .with_backend(self.backend)
             .with_parallelism(self.parallelism)
             .with_pending_cap(self.pending_cap)
             .with_committed_cap(self.committed_cap)
@@ -159,6 +172,16 @@ where
     fn from_loaded(model: LoadedModel) -> Result<Hmm<Self>, ServeError>
     where
         Self: Sized;
+
+    /// A short emission signature (`discrete vocab=V` / `gaussian`) used by
+    /// `swap-model` to validate checkpoints beyond the state count: a swap
+    /// whose signature differs from the serving model's is rejected with
+    /// the stable wire code `model`. Live sessions carry raw observations,
+    /// so e.g. shrinking the vocabulary mid-stream would turn previously
+    /// valid symbols into out-of-range reads.
+    fn signature(model: &Hmm<Self>) -> String
+    where
+        Self: Sized;
 }
 
 impl ServableEmission for DiscreteEmission {
@@ -182,6 +205,10 @@ impl ServableEmission for DiscreteEmission {
             }),
         }
     }
+
+    fn signature(model: &Hmm<Self>) -> String {
+        format!("discrete vocab={}", model.emission().vocab_size())
+    }
 }
 
 impl ServableEmission for GaussianEmission {
@@ -204,6 +231,10 @@ impl ServableEmission for GaussianEmission {
                 reason: "expected a gaussian checkpoint, got discrete".into(),
             }),
         }
+    }
+
+    fn signature(_model: &Hmm<Self>) -> String {
+        "gaussian".into()
     }
 }
 
@@ -308,6 +339,13 @@ where
                 model.num_states(),
                 pool.current_model().num_states()
             ),
+        });
+    }
+    let new_sig = E::signature(&model);
+    let cur_sig = E::signature(pool.current_model());
+    if new_sig != cur_sig {
+        return Err(ServeError::Model {
+            reason: format!("checkpoint emission ({new_sig}) does not match serving ({cur_sig})"),
         });
     }
     Ok(pool.publish(Arc::new(model)))

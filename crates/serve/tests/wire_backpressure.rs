@@ -211,7 +211,76 @@ fn swapping_a_mismatched_checkpoint_answers_model() {
         },
         "model",
     );
+
+    // So is one with the right state count but a different vocabulary:
+    // live sessions hold raw symbols, and shrinking the vocab mid-stream
+    // would turn them into out-of-range reads.
+    let mut rng = StdRng::seed_from_u64(11);
+    let (pi, a) = dhmm_hmm::init::random_parameters(
+        3,
+        dhmm_hmm::init::InitStrategy::Dirichlet { concentration: 2.0 },
+        &mut rng,
+    )
+    .unwrap();
+    let b = dhmm_hmm::init::random_stochastic_matrix(3, 12, 1.0, &mut rng).unwrap();
+    let wide = Hmm::new(pi, a, DiscreteEmission::new(b).unwrap()).unwrap();
+    let path = std::env::temp_dir().join(format!("dhmm-bp-{}-v12.model", std::process::id()));
+    save_model(&path, &wide).unwrap();
+    expect_err(
+        &mut client,
+        &Request::SwapModel {
+            path: path.to_str().unwrap().into(),
+        },
+        "model",
+    );
     handle.shutdown().expect("engine drains cleanly");
+}
+
+#[test]
+fn sparse_backend_serves_and_exact_params_match_scaled_labels() {
+    use dhmm_stream::{InferenceBackend, SparseParams};
+
+    let tokens: Vec<String> = (0..40).map(|i| ((i * 5) % 8).to_string()).collect();
+    let decode = |config: ServeConfig, name: &str| {
+        let (handle, mut client) = serve(config, name);
+        let id = create(&mut client);
+        let mut labels = Vec::new();
+        match client
+            .call(&Request::Push {
+                id,
+                tokens: tokens.clone(),
+            })
+            .unwrap()
+        {
+            Response::Committed {
+                labels: committed, ..
+            } => labels.extend(committed),
+            other => panic!("push failed: {other:?}"),
+        }
+        match client.call(&Request::Flush { id }).unwrap() {
+            Response::Flushed { labels: tail, .. } => labels.extend(tail),
+            other => panic!("flush failed: {other:?}"),
+        }
+        handle.shutdown().expect("engine drains cleanly");
+        labels
+    };
+
+    let scaled = decode(ServeConfig::default().with_lag(2), "sp-ref");
+    let sparse = decode(
+        ServeConfig::default()
+            .with_lag(2)
+            .with_backend(InferenceBackend::Sparse(SparseParams::exact())),
+        "sp-exact",
+    );
+    assert_eq!(scaled, sparse, "exact sparse serving must match scaled");
+
+    // Invalid sparse parameters fail at startup, not at first push.
+    let path = checkpoint("sp-bad");
+    let bad = ServeConfig::default().with_backend(InferenceBackend::Sparse(
+        SparseParams::exact().with_beam(1.5),
+    ));
+    let err = Server::start_from_path(&path, bad, "127.0.0.1:0").unwrap_err();
+    assert_eq!(err.code(), "backend", "got {err:?}");
 }
 
 #[test]

@@ -55,6 +55,7 @@ use crate::workspace::{BatchPanel, StreamScratch, StreamWorkspace, LANES};
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
 use dhmm_hmm::scaled::{emission_likelihood_row, scale_row};
+use dhmm_hmm::sparse::{beam_prune, SparseParams};
 use dhmm_hmm::InferenceBackend;
 use dhmm_runtime::Parallelism;
 
@@ -67,7 +68,7 @@ pub(crate) fn ring_window(lag: usize) -> usize {
 }
 
 /// Configuration of a streaming decoder or session pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
     /// Fixed lag `L`: the Viterbi label of time `t` is emitted no later than
     /// after token `t + L`, and smoothed posteriors condition on at least
@@ -75,9 +76,14 @@ pub struct StreamConfig {
     /// `lag ≥ T` makes the stream exactly equivalent to offline decoding;
     /// `lag = 0` degenerates to committed-as-you-go greedy filtering.
     pub lag: usize,
-    /// Inference engine. Streaming requires [`InferenceBackend::Scaled`];
-    /// the log-domain reference is offline-only and is rejected at
-    /// construction.
+    /// Inference engine. Streaming supports [`InferenceBackend::Scaled`]
+    /// (the default) and [`InferenceBackend::Sparse`] — both have a
+    /// constant-per-token linear-domain recursion; the log-domain reference
+    /// is offline-only and is rejected at construction. Under the sparse
+    /// backend the per-session log-likelihood is a certified lower bound on
+    /// the exact value under the pruned matrix, with the gap tracked by
+    /// [`StreamWorkspace::sparse_error_bound`], and pool ticks fall back to
+    /// the scalar per-session path (lockstep panels are dense-only).
     pub backend: InferenceBackend,
     /// Worker policy for [`crate::SessionPool`] batch ticks (ignored by a
     /// standalone decoder, which is single-session and inherently serial).
@@ -123,7 +129,8 @@ impl StreamConfig {
     }
 
     /// Returns a copy with the given inference backend (validated at
-    /// decoder/pool construction; only the scaled engine can stream).
+    /// decoder/pool construction; the scaled and sparse engines can stream,
+    /// the log-domain reference cannot).
     pub fn with_backend(mut self, backend: InferenceBackend) -> Self {
         self.backend = backend;
         self
@@ -160,10 +167,16 @@ impl StreamConfig {
         ring_window(self.lag)
     }
 
-    /// Rejects backends that cannot stream.
+    /// Rejects backends that cannot stream and out-of-range backend
+    /// parameters.
     pub fn validate(&self) -> Result<(), StreamError> {
         match self.backend {
             InferenceBackend::Scaled => Ok(()),
+            InferenceBackend::Sparse(params) => {
+                params.validate().map_err(|e| StreamError::InvalidConfig {
+                    reason: e.to_string(),
+                })
+            }
             other => Err(StreamError::UnsupportedBackend { backend: other }),
         }
     }
@@ -220,9 +233,21 @@ pub struct FlushOutput<'a> {
 /// Advances one session by one token. Free function so the standalone
 /// decoder and the session pool share one implementation (the pool calls it
 /// with leased per-worker scratch).
+///
+/// `epoch` keys the scratch's transition-layout cache (see
+/// [`crate::workspace::StreamScratch`]): the pool passes its publish epoch,
+/// a standalone decoder always passes 0. Under
+/// [`InferenceBackend::Sparse`] the filter and Viterbi recursions run over
+/// the CSR-compiled pruned matrix with the per-step beam applied after each
+/// normalization, accumulating `Σ −ln(1−ε_t)` into the workspace's
+/// log-likelihood error bound; under [`InferenceBackend::Scaled`] the dense
+/// recursions are bit-identical to before, with the Viterbi inner loop
+/// reading the cached transposed transition (contiguous predecessor rows).
 pub(crate) fn push_token<E: Emission>(
     model: &Hmm<E>,
     lag: usize,
+    backend: InferenceBackend,
+    epoch: u64,
     ws: &mut StreamWorkspace,
     scratch: &mut StreamScratch,
     obs: &E::Obs,
@@ -245,6 +270,18 @@ pub(crate) fn push_token<E: Emission>(
     let slot = ws.slot(t);
     let a = model.transition();
 
+    // --- Transition layouts (epoch-keyed; no-ops once warm).
+    let sparse: Option<SparseParams> = match backend {
+        InferenceBackend::Sparse(params) => {
+            scratch.trans.prepare_sparse(a, epoch, params);
+            Some(params)
+        }
+        _ => {
+            scratch.trans.prepare_dense(a, epoch);
+            None
+        }
+    };
+
     // --- Emission row (shared per-step numerics with the offline engine).
     let shift = {
         let e_row = &mut ws.emis[slot * k..(slot + 1) * k];
@@ -253,6 +290,7 @@ pub(crate) fn push_token<E: Emission>(
 
     // --- Scaled forward (filter) step, in the offline op order.
     {
+        let trans = &scratch.trans;
         let row = &mut scratch.row[..k];
         if t == 0 {
             let e_row = &ws.emis[slot * k..(slot + 1) * k];
@@ -262,17 +300,37 @@ pub(crate) fn push_token<E: Emission>(
         } else {
             let prev = ws.alpha_row(t - 1);
             row.fill(0.0);
-            for (i, &ap) in prev.iter().enumerate() {
-                if ap == 0.0 {
-                    continue;
+            if sparse.is_some() {
+                // CSR scatter per live predecessor: beam-zeroed (and
+                // naturally zero) predecessors skip their whole row, in the
+                // offline sparse engine's op order.
+                let fwd = trans.csr.forward();
+                for (i, &ap) in prev.iter().enumerate() {
+                    if ap == 0.0 {
+                        continue;
+                    }
+                    fwd.axpy_row(i, ap, row);
                 }
-                for (r, &aij) in row.iter_mut().zip(a.row(i)) {
-                    *r += ap * aij;
+            } else {
+                for (i, &ap) in prev.iter().enumerate() {
+                    if ap == 0.0 {
+                        continue;
+                    }
+                    for (r, &aij) in row.iter_mut().zip(a.row(i)) {
+                        *r += ap * aij;
+                    }
                 }
             }
             let e_row = &ws.emis[slot * k..(slot + 1) * k];
             for (r, &e) in row.iter_mut().zip(e_row) {
                 *r *= e;
+            }
+        }
+        if let Some(params) = sparse {
+            let eps = beam_prune(row, params.beam);
+            if eps > 0.0 {
+                ws.sparse_pruned_total += eps;
+                ws.sparse_bound -= (-eps).ln_1p();
             }
         }
         let (_c, log_c) = scale_row(row, shift);
@@ -283,6 +341,7 @@ pub(crate) fn push_token<E: Emission>(
     // --- Online Viterbi step (offline parity scheme: time t's row is
     // delta[(t % 2) * k ..]).
     {
+        let trans = &scratch.trans;
         let (first, rest) = ws.delta.split_at_mut(k);
         let second = &mut rest[..k];
         let e_row = &ws.emis[slot * k..(slot + 1) * k];
@@ -298,18 +357,32 @@ pub(crate) fn push_token<E: Emission>(
                 (second, first)
             };
             let psi_row = &mut ws.psi[slot * k..(slot + 1) * k];
-            for j in 0..k {
-                let mut best = f64::NEG_INFINITY;
-                let mut best_i = 0;
-                for (i, &dp) in prev.iter().enumerate() {
-                    let s = dp * a[(i, j)];
-                    if s > best {
-                        best = s;
-                        best_i = i;
-                    }
+            if sparse.is_some() {
+                // Gather over each state's stored predecessors (`Ãᵀ` row).
+                let tr = trans.csr.transposed();
+                for j in 0..k {
+                    let (best, best_i) = tr.argmax_product_row(j, prev);
+                    cur[j] = best * e_row[j];
+                    psi_row[j] = best_i;
                 }
-                cur[j] = best * e_row[j];
-                psi_row[j] = best_i;
+            } else {
+                // Dense gather over the cached transpose: predecessors of
+                // state `j` are one contiguous row, same IEEE op sequence
+                // (and strict-`>` first-occurrence argmax) as reading
+                // `a[(i, j)]` column-wise.
+                for j in 0..k {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_i = 0;
+                    for (i, (&dp, &aij)) in prev.iter().zip(trans.at.row(j)).enumerate() {
+                        let s = dp * aij;
+                        if s > best {
+                            best = s;
+                            best_i = i;
+                        }
+                    }
+                    cur[j] = best * e_row[j];
+                    psi_row[j] = best_i;
+                }
             }
             cur
         };
@@ -319,6 +392,13 @@ pub(crate) fn push_token<E: Emission>(
                 *p /= m;
             }
             ws.viterbi_log += m.ln() + shift;
+            if let Some(params) = sparse {
+                // Beam the normalized score row (offline sparse order). The
+                // discarded states are competing paths only; the surviving
+                // path's score is never altered. ε here is deliberately not
+                // folded into the filter's error bound.
+                beam_prune(cur, params.beam);
+            }
         } else {
             // Every surviving path hit probability zero: floor to uniform
             // (the streaming analogue of the offline engine's reference
@@ -331,7 +411,7 @@ pub(crate) fn push_token<E: Emission>(
         }
     }
 
-    commit_and_smooth(model, lag, ws, scratch, t);
+    commit_and_smooth(model, lag, backend, ws, scratch, t);
     ws.t = t + 1;
 }
 
@@ -342,6 +422,7 @@ pub(crate) fn push_token<E: Emission>(
 fn commit_and_smooth<E: Emission>(
     model: &Hmm<E>,
     lag: usize,
+    backend: InferenceBackend,
     ws: &mut StreamWorkspace,
     scratch: &mut StreamScratch,
     t: usize,
@@ -373,7 +454,7 @@ fn commit_and_smooth<E: Emission>(
         scratch.smoothed_start = t;
         ws.smoothed_upto = t + 1;
     } else if t + 1 - ws.smoothed_upto >= 2 * lag {
-        backward_smooth(model, ws, scratch, t, ws.smoothed_upto, t - lag);
+        backward_smooth(model, backend, ws, scratch, t, ws.smoothed_upto, t - lag);
         ws.smoothed_upto = t - lag + 1;
     }
 }
@@ -618,7 +699,9 @@ pub(crate) fn lockstep_finish<E: Emission>(
         }
     }
 
-    commit_and_smooth(model, lag, ws, scratch, t);
+    // Lockstep groups are scaled-backend-only (dense panels), so the tail
+    // always smooths densely here.
+    commit_and_smooth(model, lag, InferenceBackend::Scaled, ws, scratch, t);
     ws.t = t + 1;
 }
 
@@ -766,9 +849,13 @@ fn commit_chain(ws: &StreamWorkspace, scratch: &mut StreamScratch, m: usize, x: 
 /// Runs the backward smoothing pass from `from` (β = 1) down to `downto`,
 /// emitting normalized `γ` rows for times `downto ..= emit_upto` into
 /// `scratch.smoothed` (ascending). Exactly the offline backward recursion,
-/// restricted to the ring window.
+/// restricted to the ring window. Under the sparse backend the per-row dot
+/// runs over the CSR-stored entries of `Ã` (the scratch cache must already
+/// be prepared — every caller runs after a push or prepares explicitly),
+/// keeping the smoothed posteriors consistent with the pruned filter.
 fn backward_smooth<E: Emission>(
     model: &Hmm<E>,
+    backend: InferenceBackend,
     ws: &StreamWorkspace,
     scratch: &mut StreamScratch,
     from: usize,
@@ -811,14 +898,22 @@ fn backward_smooth<E: Emission>(
             }
         }
         {
+            let trans = &scratch.trans;
             let (w, beta_all) = (&scratch.row[..k], &mut scratch.beta);
             let beta_cur = &mut beta_all[parity * k..parity * k + k];
-            for (i, r) in beta_cur.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (&aij, &wv) in a.row(i).iter().zip(w.iter()) {
-                    acc += aij * wv;
+            if matches!(backend, InferenceBackend::Sparse(_)) {
+                let fwd = trans.csr.forward();
+                for (i, r) in beta_cur.iter_mut().enumerate() {
+                    *r = fwd.dot_row(i, w);
                 }
-                *r = acc;
+            } else {
+                for (i, r) in beta_cur.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (&aij, &wv) in a.row(i).iter().zip(w.iter()) {
+                        acc += aij * wv;
+                    }
+                    *r = acc;
+                }
             }
             let norm: f64 = beta_cur.iter().sum();
             if norm > 0.0 {
@@ -844,6 +939,8 @@ fn backward_smooth<E: Emission>(
 pub(crate) fn flush_stream<E: Emission>(
     model: &Hmm<E>,
     lag: usize,
+    backend: InferenceBackend,
+    epoch: u64,
     ws: &mut StreamWorkspace,
     scratch: &mut StreamScratch,
 ) -> f64 {
@@ -879,7 +976,14 @@ pub(crate) fn flush_stream<E: Emission>(
 
     // Remaining smoothed rows (everything not yet emitted by block passes).
     if lag > 0 && ws.smoothed_upto <= last {
-        backward_smooth(model, ws, scratch, last, ws.smoothed_upto, last);
+        // A flush through a leased scratch may land after another session's
+        // pushes evicted this stream's compiled transitions: re-prepare.
+        if let InferenceBackend::Sparse(params) = backend {
+            scratch
+                .trans
+                .prepare_sparse(model.transition(), epoch, params);
+        }
+        backward_smooth(model, backend, ws, scratch, last, ws.smoothed_upto, last);
         ws.smoothed_upto = ws.t;
     }
     score
@@ -896,13 +1000,14 @@ pub(crate) fn flush_stream<E: Emission>(
 pub struct StreamingDecoder<'m, E: Emission> {
     model: &'m Hmm<E>,
     lag: usize,
+    backend: InferenceBackend,
     ws: StreamWorkspace,
     scratch: StreamScratch,
 }
 
 impl<'m, E: Emission> StreamingDecoder<'m, E> {
-    /// Creates a decoder with the given fixed lag, preallocating every
-    /// buffer for the model's state count.
+    /// Creates a decoder with the given fixed lag and the default (scaled)
+    /// backend, preallocating every buffer for the model's state count.
     pub fn new(model: &'m Hmm<E>, lag: usize) -> Self {
         let mut ws = StreamWorkspace::new();
         let window = ring_window(lag);
@@ -912,21 +1017,36 @@ impl<'m, E: Emission> StreamingDecoder<'m, E> {
         Self {
             model,
             lag,
+            backend: InferenceBackend::Scaled,
             ws,
             scratch,
         }
     }
 
     /// Creates a decoder from a full [`StreamConfig`], rejecting backends
-    /// that cannot stream.
+    /// that cannot stream (and out-of-range sparse parameters).
     pub fn with_config(model: &'m Hmm<E>, config: StreamConfig) -> Result<Self, StreamError> {
         config.validate()?;
-        Ok(Self::new(model, config.lag))
+        let mut decoder = Self::new(model, config.lag);
+        decoder.backend = config.backend;
+        Ok(decoder)
     }
 
     /// The configured lag `L`.
     pub fn lag(&self) -> usize {
         self.lag
+    }
+
+    /// The configured inference backend.
+    pub fn backend(&self) -> InferenceBackend {
+        self.backend
+    }
+
+    /// Running bound on the log-likelihood deficit introduced by sparse
+    /// beam pruning (0 under the scaled backend; see
+    /// [`StreamWorkspace::sparse_error_bound`]).
+    pub fn sparse_error_bound(&self) -> f64 {
+        self.ws.sparse_error_bound()
     }
 
     /// The model this decoder streams against.
@@ -975,7 +1095,17 @@ impl<'m, E: Emission> StreamingDecoder<'m, E> {
     /// Panics if called after [`StreamingDecoder::flush`] without an
     /// intervening [`StreamingDecoder::reset`].
     pub fn push(&mut self, obs: &E::Obs) -> StepOutput<'_> {
-        push_token(self.model, self.lag, &mut self.ws, &mut self.scratch, obs);
+        // Epoch 0: the borrowed model cannot change under a standalone
+        // decoder, so the scratch's transition cache never goes stale.
+        push_token(
+            self.model,
+            self.lag,
+            self.backend,
+            0,
+            &mut self.ws,
+            &mut self.scratch,
+            obs,
+        );
         let k = self.ws.num_states;
         StepOutput {
             t: self.ws.t - 1,
@@ -994,7 +1124,14 @@ impl<'m, E: Emission> StreamingDecoder<'m, E> {
     /// emits the remaining smoothed rows. After `flush`, call
     /// [`StreamingDecoder::reset`] before pushing again.
     pub fn flush(&mut self) -> FlushOutput<'_> {
-        let score = flush_stream(self.model, self.lag, &mut self.ws, &mut self.scratch);
+        let score = flush_stream(
+            self.model,
+            self.lag,
+            self.backend,
+            0,
+            &mut self.ws,
+            &mut self.scratch,
+        );
         let k = self.ws.num_states.max(1);
         FlushOutput {
             num_states: k,

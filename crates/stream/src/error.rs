@@ -14,14 +14,20 @@ use std::fmt;
 /// capacity variants are the backpressure story: a full pending queue or a
 /// lagging committed queue is surfaced as a typed error at `push` time
 /// instead of growing without bound.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StreamError {
-    /// The selected inference backend cannot stream. Only the scaled
-    /// (linear-domain, scaling-coefficient) engine has a constant-per-token
+    /// The selected inference backend cannot stream. The scaled and sparse
+    /// (linear-domain, scaling-coefficient) engines have a constant-per-token
     /// recursion; the log-domain reference is inherently offline.
     UnsupportedBackend {
         /// The backend that was requested.
         backend: InferenceBackend,
+    },
+    /// The backend's parameters are out of range (e.g. a sparse beam width
+    /// outside `[0, 1)`), rejected at construction before any session runs.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        reason: String,
     },
     /// The session id does not name any slot in this pool.
     SessionNotFound {
@@ -68,8 +74,11 @@ impl fmt::Display for StreamError {
         match self {
             StreamError::UnsupportedBackend { backend } => write!(
                 f,
-                "streaming inference requires the scaled engine; {backend:?} is offline-only"
+                "streaming inference requires the scaled or sparse engine; {backend:?} is offline-only"
             ),
+            StreamError::InvalidConfig { reason } => {
+                write!(f, "invalid stream configuration: {reason}")
+            }
             StreamError::SessionNotFound { slot } => {
                 write!(f, "session slot {slot} does not exist in this pool")
             }
@@ -103,6 +112,11 @@ mod tests {
             backend: InferenceBackend::LogReference,
         };
         assert!(e.to_string().contains("scaled"));
+        assert!(StreamError::InvalidConfig {
+            reason: "beam out of range".into()
+        }
+        .to_string()
+        .contains("beam"));
         assert!(StreamError::SessionNotFound { slot: 3 }
             .to_string()
             .contains('3'));

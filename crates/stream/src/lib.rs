@@ -51,5 +51,5 @@ pub use workspace::{BatchPanel, StreamScratch, StreamWorkspace};
 
 // Re-exported so `dhmm_stream` is self-sufficient for callers configuring a
 // stream (the knobs are defined by `dhmm_hmm` / `dhmm_runtime`).
-pub use dhmm_hmm::InferenceBackend;
+pub use dhmm_hmm::{InferenceBackend, PruneRule, SparseParams};
 pub use dhmm_runtime::Parallelism;

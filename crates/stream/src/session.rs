@@ -53,6 +53,7 @@ use crate::workspace::{BatchPanel, StreamScratch, StreamWorkspace};
 use crate::StreamConfig;
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
+use dhmm_hmm::InferenceBackend;
 use dhmm_runtime::{Executor, LeasePool, Parallelism};
 use std::sync::Arc;
 
@@ -120,6 +121,9 @@ struct Slot<E: Emission> {
     /// last rebind (each rebind flushes a segment and folds its `Σ log c_t`
     /// in here).
     ll_carry: f64,
+    /// Sparse-beam error bound accumulated by segments completed before the
+    /// last rebind (0 under the scaled backend).
+    bound_carry: f64,
     /// Tokens decoded by segments completed before the last rebind.
     tokens_carry: usize,
     /// Pool clock value of the last activity on this session (push, flush,
@@ -140,6 +144,7 @@ impl<E: Emission> Slot<E> {
             out: Vec::new(),
             out_start: 0,
             ll_carry: 0.0,
+            bound_carry: 0.0,
             tokens_carry: 0,
             last_active: 0,
         }
@@ -154,13 +159,24 @@ fn rebind_slot<E: Emission>(
     model: &Arc<Hmm<E>>,
     epoch: u64,
     lag: usize,
+    backend: InferenceBackend,
     scratch: &mut StreamScratch,
 ) {
     if slot.ws.tokens() > 0 && !slot.ws.is_finished() {
-        flush_stream(&*slot.model, lag, &mut slot.ws, scratch);
+        // The tail commits under the *old* model/epoch — the epoch keys the
+        // scratch's compiled-transition cache to the right matrix.
+        flush_stream(
+            &*slot.model,
+            lag,
+            backend,
+            slot.epoch,
+            &mut slot.ws,
+            scratch,
+        );
         slot.out.extend_from_slice(&scratch.committed);
     }
     slot.ll_carry += slot.ws.log_likelihood();
+    slot.bound_carry += slot.ws.sparse_error_bound();
     slot.tokens_carry += slot.ws.tokens();
     slot.model = Arc::clone(model);
     slot.epoch = epoch;
@@ -231,6 +247,7 @@ pub struct SessionPool<E: Emission> {
     model: Arc<Hmm<E>>,
     epoch: u64,
     lag: usize,
+    backend: InferenceBackend,
     parallelism: Parallelism,
     pending_cap: Option<usize>,
     committed_cap: Option<usize>,
@@ -274,10 +291,14 @@ impl<E: Emission> SessionPool<E> {
             model,
             epoch: 0,
             lag: config.lag,
+            backend: config.backend,
             parallelism: config.parallelism,
             pending_cap: config.pending_cap,
             committed_cap: config.committed_cap,
-            lockstep: config.lockstep,
+            // The lockstep panels are dense-only: under the sparse backend
+            // every tick takes the per-session scalar path (which is where
+            // the CSR win lives anyway).
+            lockstep: config.lockstep && matches!(config.backend, InferenceBackend::Scaled),
             slots: Vec::new(),
             free: Vec::new(),
             scratch: LeasePool::new(),
@@ -326,9 +347,15 @@ impl<E: Emission> SessionPool<E> {
         self.evicted
     }
 
-    /// Whether batched lockstep ticks are enabled.
+    /// Whether batched lockstep ticks are enabled (always `false` under the
+    /// sparse backend, whose ticks are scalar per-session).
     pub fn lockstep_enabled(&self) -> bool {
         self.lockstep
+    }
+
+    /// The configured inference backend.
+    pub fn backend(&self) -> InferenceBackend {
+        self.backend
     }
 
     /// Tokens advanced through the batched lockstep path over the pool's
@@ -411,6 +438,7 @@ impl<E: Emission> SessionPool<E> {
         s.out.clear();
         s.out_start = 0;
         s.ll_carry = 0.0;
+        s.bound_carry = 0.0;
         s.tokens_carry = 0;
         s.last_active = clock;
         SessionId {
@@ -569,6 +597,7 @@ impl<E: Emission> SessionPool<E> {
         let epoch = self.epoch;
         let model = Arc::clone(&self.model);
         let lag = self.lag;
+        let backend = self.backend;
 
         let total_tokens: usize = self
             .slots
@@ -612,7 +641,7 @@ impl<E: Emission> SessionPool<E> {
             // lockstep-eligible like any other.
             for slot in active.iter_mut() {
                 if slot.epoch != epoch {
-                    rebind_slot(slot, model_ref, epoch, lag, &mut scratches[0]);
+                    rebind_slot(slot, model_ref, epoch, lag, backend, &mut scratches[0]);
                 }
             }
             // Group eligibility: equal pending depth with at least one
@@ -673,13 +702,21 @@ impl<E: Emission> SessionPool<E> {
             exec.for_each_band_with(stragglers, 1, scratches, |_range, band, scratch| {
                 for slot in band.iter_mut() {
                     if slot.epoch != epoch {
-                        rebind_slot(slot, model_ref, epoch, lag, scratch);
+                        rebind_slot(slot, model_ref, epoch, lag, backend, scratch);
                     }
                     if !slot.pending.is_empty() {
                         slot.last_active = clock;
                     }
                     for i in 0..slot.pending.len() {
-                        push_token(&slot.model, lag, &mut slot.ws, scratch, &slot.pending[i]);
+                        push_token(
+                            &slot.model,
+                            lag,
+                            backend,
+                            slot.epoch,
+                            &mut slot.ws,
+                            scratch,
+                            &slot.pending[i],
+                        );
                         slot.out.extend_from_slice(&scratch.committed);
                     }
                     slot.pending.clear();
@@ -705,17 +742,26 @@ impl<E: Emission> SessionPool<E> {
         }
         let clock = self.clock;
         let (model, epoch, lag) = (Arc::clone(&self.model), self.epoch, self.lag);
+        let backend = self.backend;
         let scratch = &mut self.scratch.ensure(1)[0];
         let s = &mut self.slots[slot];
         if s.epoch != epoch {
-            rebind_slot(s, &model, epoch, lag, scratch);
+            rebind_slot(s, &model, epoch, lag, backend, scratch);
         }
         for i in 0..s.pending.len() {
-            push_token(&s.model, lag, &mut s.ws, scratch, &s.pending[i]);
+            push_token(
+                &s.model,
+                lag,
+                backend,
+                s.epoch,
+                &mut s.ws,
+                scratch,
+                &s.pending[i],
+            );
             s.out.extend_from_slice(&scratch.committed);
         }
         s.pending.clear();
-        flush_stream(&*s.model, lag, &mut s.ws, scratch);
+        flush_stream(&*s.model, lag, backend, s.epoch, &mut s.ws, scratch);
         s.out.extend_from_slice(&scratch.committed);
         s.flushed = true;
         s.last_active = clock;
@@ -760,6 +806,16 @@ impl<E: Emission> SessionPool<E> {
         let slot = self.resolve(id)?;
         let s = &self.slots[slot];
         Ok(s.ll_carry + s.ws.log_likelihood())
+    }
+
+    /// Accumulated sparse-beam error bound on the session's log-likelihood
+    /// across epochs: [`SessionPool::log_likelihood`] is a certified lower
+    /// bound on the exact value under the pruned matrix, and the gap is
+    /// estimated by this value. Always 0 under the scaled backend.
+    pub fn sparse_error_bound(&self, id: SessionId) -> Result<f64, StreamError> {
+        let slot = self.resolve(id)?;
+        let s = &self.slots[slot];
+        Ok(s.bound_carry + s.ws.sparse_error_bound())
     }
 
     /// Tokens fully processed (ticked) on this session, across epochs.

@@ -21,6 +21,7 @@
 //! this crate allocates — pinned by the counting-allocator test in
 //! `tests/zero_alloc.rs`.
 
+use dhmm_hmm::{CsrTransition, SparseParams};
 use dhmm_linalg::Matrix;
 
 /// Persistent per-session streaming state (rings + running scalars).
@@ -55,6 +56,12 @@ pub struct StreamWorkspace {
     pub(crate) viterbi_log: f64,
     /// Set by `flush`; pushes must not follow until `reset`.
     pub(crate) finished: bool,
+    /// `Σ_t ε_t` — total relative filter mass removed by the sparse beam so
+    /// far (stays 0 under the scaled backend).
+    pub(crate) sparse_pruned_total: f64,
+    /// `Σ_t −ln(1−ε_t)` over the filter steps so far: the running bound on
+    /// the log-likelihood deficit introduced by beam pruning.
+    pub(crate) sparse_bound: f64,
     /// `W × k` ring of scaled filtered rows `α̂(t, ·)`; slot `t % W`.
     pub(crate) alpha: Vec<f64>,
     /// `W × k` ring of (shift-rescued) linear-domain emission rows.
@@ -101,6 +108,8 @@ impl StreamWorkspace {
         self.log_likelihood = 0.0;
         self.viterbi_log = 0.0;
         self.finished = false;
+        self.sparse_pruned_total = 0.0;
+        self.sparse_bound = 0.0;
     }
 
     /// Active `(num_states, window)` shape.
@@ -126,6 +135,20 @@ impl StreamWorkspace {
     /// Whether `flush` has been called since the last reset.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// Total relative filter mass removed by the sparse beam so far
+    /// (0 under the scaled backend, or with `beam = 0`).
+    pub fn sparse_pruned_total(&self) -> f64 {
+        self.sparse_pruned_total
+    }
+
+    /// Running bound on the log-likelihood deficit introduced by sparse
+    /// beam pruning: under the sparse backend, [`Self::log_likelihood`] is
+    /// a certified lower bound on the exact value under the pruned matrix
+    /// `Ã`, and the gap is estimated by `Σ_t −ln(1−ε_t)`, this value.
+    pub fn sparse_error_bound(&self) -> f64 {
+        self.sparse_bound
     }
 
     /// The ring slot of time index `t`.
@@ -272,6 +295,67 @@ impl BatchPanel {
     }
 }
 
+/// Per-scratch cache of the transition matrix in the layouts the scalar
+/// streaming step consumes: the dense transpose `Aᵀ` (predecessors of each
+/// state as one contiguous row, which is what the scalar Viterbi inner loop
+/// walks) and, under the sparse backend, the CSR-compiled pruned matrix.
+///
+/// Entries are keyed by the *publishing epoch* (plus shape / compile
+/// parameters): a [`crate::SessionPool`] hot-swap bumps the epoch, so stale
+/// layouts are rebuilt on the next push without any bitwise comparison of
+/// the matrix itself. A standalone [`crate::StreamingDecoder`] always uses
+/// epoch 0 — its borrowed model cannot change underneath it.
+#[derive(Debug, Clone)]
+pub(crate) struct TransCache {
+    /// Dense `Aᵀ`; valid while `at_key` matches.
+    pub(crate) at: Matrix,
+    /// `(epoch, k)` the dense transpose was built for.
+    at_key: Option<(u64, usize)>,
+    /// CSR-compiled pruned transitions; valid while `csr_key` matches.
+    pub(crate) csr: CsrTransition,
+    /// `(epoch, k, params)` the CSR form was compiled for.
+    csr_key: Option<(u64, usize, SparseParams)>,
+}
+
+impl Default for TransCache {
+    fn default() -> Self {
+        Self {
+            at: Matrix::zeros(0, 0),
+            at_key: None,
+            csr: CsrTransition::default(),
+            csr_key: None,
+        }
+    }
+}
+
+impl TransCache {
+    /// Ensures `at` holds `aᵀ` for this epoch (rebuilds on mismatch;
+    /// in-place, grow-only capacity).
+    pub(crate) fn prepare_dense(&mut self, a: &Matrix, epoch: u64) {
+        let key = Some((epoch, a.rows()));
+        if self.at_key != key {
+            reshape(&mut self.at, a.cols(), a.rows());
+            a.transpose_into(&mut self.at)
+                .expect("at reshaped to the transpose shape");
+            self.at_key = key;
+        }
+    }
+
+    /// Ensures `csr` holds `a` compiled under `params` for this epoch.
+    /// Parameters were validated at stream construction, and the model's
+    /// transition matrix is square by construction, so compilation cannot
+    /// fail here.
+    pub(crate) fn prepare_sparse(&mut self, a: &Matrix, epoch: u64, params: SparseParams) {
+        let key = Some((epoch, a.rows(), params));
+        if self.csr_key != key {
+            self.csr
+                .compile_into(a, params)
+                .expect("sparse params validated at stream construction");
+            self.csr_key = key;
+        }
+    }
+}
+
 /// Transient per-push scratch plus per-push output staging.
 ///
 /// `Default`-constructible so it can be leased from the runtime's generic
@@ -279,6 +363,8 @@ impl BatchPanel {
 /// shape and are then reused allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct StreamScratch {
+    /// Cached transition layouts (dense transpose + CSR), epoch-keyed.
+    pub(crate) trans: TransCache,
     /// Length-`k` work row (new α row before it enters the ring; backward
     /// weights during smoothing).
     pub(crate) row: Vec<f64>,

@@ -1,0 +1,281 @@
+//! Streaming parity for the sparse backend.
+//!
+//! Mirrors `tests/parity.rs` with `InferenceBackend::Sparse`: exact params
+//! must be bit-identical to the scaled streaming path, pruned params must
+//! match the *offline sparse engine* (the oracle for Ã), the pool must match
+//! the scalar decoder, and the per-session error bound must accumulate and
+//! survive hot swaps.
+
+use dhmm_hmm::emission::DiscreteEmission;
+use dhmm_hmm::{forward_backward_sparse, viterbi_sparse_with_score, Hmm, InferenceWorkspace};
+use dhmm_stream::{
+    InferenceBackend, Parallelism, SessionPool, SparseParams, StreamConfig, StreamError,
+    StreamingDecoder,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Builds a random discrete HMM with `k` states and `v` symbols from a seed.
+fn random_hmm(k: usize, v: usize, seed: u64) -> Hmm<DiscreteEmission> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (pi, a) = dhmm_hmm::init::random_parameters(
+        k,
+        dhmm_hmm::init::InitStrategy::Dirichlet { concentration: 2.0 },
+        &mut rng,
+    )
+    .unwrap();
+    let b = dhmm_hmm::init::random_stochastic_matrix(k, v, 1.0, &mut rng).unwrap();
+    Hmm::new(pi, a, DiscreteEmission::new(b).unwrap()).unwrap()
+}
+
+fn random_seq(v: usize, len: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..v)).collect()
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Runs one decoder to completion, returning (labels, final ll, bound).
+fn run_decoder(
+    model: &Hmm<DiscreteEmission>,
+    config: StreamConfig,
+    seq: &[usize],
+) -> (Vec<usize>, f64, f64) {
+    let mut dec = StreamingDecoder::with_config(model, config).unwrap();
+    let mut labels = Vec::new();
+    for obs in seq {
+        labels.extend_from_slice(dec.push(obs).committed);
+    }
+    let flush = dec.flush();
+    labels.extend_from_slice(flush.committed);
+    let ll = flush.log_likelihood;
+    (labels, ll, dec.sparse_error_bound())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact sparse params stream bit-identically to the scaled backend.
+    #[test]
+    fn exact_sparse_stream_is_bit_identical_to_scaled(
+        k in 2usize..5, v in 2usize..6, seed in 0u64..300, len in 1usize..36, lag in 0usize..6
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(1));
+        let base = StreamConfig::default().with_lag(lag);
+
+        let mut scaled = StreamingDecoder::with_config(&model, base).unwrap();
+        let mut sparse = StreamingDecoder::with_config(
+            &model,
+            base.with_backend(InferenceBackend::Sparse(SparseParams::exact())),
+        )
+        .unwrap();
+
+        for obs in &seq {
+            let a = scaled.push(obs);
+            let b = sparse.push(obs);
+            prop_assert_eq!(a.committed, b.committed);
+            prop_assert_eq!(a.log_likelihood.to_bits(), b.log_likelihood.to_bits());
+            for (x, y) in a.filtered.iter().zip(b.filtered) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let fa = scaled.flush();
+        let fb = sparse.flush();
+        prop_assert_eq!(fa.committed, fb.committed);
+        prop_assert_eq!(fa.viterbi_log_score.to_bits(), fb.viterbi_log_score.to_bits());
+        prop_assert_eq!(fa.log_likelihood.to_bits(), fb.log_likelihood.to_bits());
+        for (x, y) in fa.smoothed.iter().zip(fb.smoothed) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(sparse.sparse_error_bound(), 0.0);
+    }
+
+    /// With lag ≥ T, pruned sparse streaming is the offline sparse engine:
+    /// same path up to co-optimal ties under Ã, same score and smoothing.
+    #[test]
+    fn full_lag_pruned_stream_equals_offline_sparse(
+        k in 2usize..5, v in 2usize..6, seed in 0u64..300, len in 1usize..30,
+        tau in 0.0f64..0.3, beam in 0.0f64..0.1
+    ) {
+        let model = random_hmm(k, v, seed);
+        let seq = random_seq(v, len, seed.wrapping_add(2));
+        let params = SparseParams::threshold(tau).with_beam(beam);
+        let backend = InferenceBackend::Sparse(params);
+
+        let mut ws = InferenceWorkspace::new();
+        let (offline_path, offline_score) =
+            viterbi_sparse_with_score(&model, &seq, &mut ws, params).unwrap();
+        let offline_stats = forward_backward_sparse(&model, &seq, &mut ws, params).unwrap();
+
+        let mut dec = StreamingDecoder::with_config(
+            &model,
+            StreamConfig::default().with_lag(len).with_backend(backend),
+        )
+        .unwrap();
+        let mut streamed = Vec::new();
+        for obs in &seq {
+            streamed.extend_from_slice(dec.push(obs).committed);
+        }
+        let flush = dec.flush();
+        streamed.extend_from_slice(flush.committed);
+        prop_assert_eq!(streamed.len(), len);
+
+        // Same path, or a co-optimal one under the pruned matrix Ã.
+        if streamed != offline_path {
+            let tilde = Hmm::new(
+                model.initial().to_vec(),
+                dhmm_hmm::CsrTransition::compile(model.transition(), params)
+                    .unwrap()
+                    .to_dense(),
+                model.emission().clone(),
+            )
+            .unwrap();
+            let js = tilde.joint_log_likelihood(&streamed, &seq).unwrap();
+            let jo = tilde.joint_log_likelihood(&offline_path, &seq).unwrap();
+            prop_assert!((js - jo).abs() < 1e-7,
+                "paths differ and are not co-optimal under Ã: {js} vs {jo}");
+        }
+        prop_assert!((flush.viterbi_log_score - offline_score).abs() < 1e-9);
+        prop_assert!((flush.log_likelihood - offline_stats.log_likelihood).abs() < 1e-9);
+        for t in 0..len {
+            let row = &flush.smoothed[t * k..(t + 1) * k];
+            prop_assert!(
+                max_abs_diff(row, offline_stats.gamma.row(t)) < 1e-9,
+                "smoothed row {} diverged", t
+            );
+        }
+    }
+
+    /// A sparse pool matches the scalar sparse decoder label-for-label and
+    /// bound-for-bound (lockstep is forced off, so this covers the pool's
+    /// banded path under the sparse backend).
+    #[test]
+    fn sparse_pool_matches_the_scalar_decoder(
+        k in 2usize..5, v in 2usize..6, seed in 0u64..200, lag in 0usize..5, chunk in 1usize..8
+    ) {
+        let m = Arc::new(random_hmm(k, v, seed));
+        let params = SparseParams::threshold(0.05).with_beam(0.02);
+        let config = StreamConfig::default()
+            .with_lag(lag)
+            .with_backend(InferenceBackend::Sparse(params))
+            .with_parallelism(Parallelism::Serial)
+            .with_lockstep(true);
+
+        let mut pool = SessionPool::with_config(Arc::clone(&m), config).unwrap();
+        // The sparse backend cannot batch in lockstep; the request is
+        // silently downgraded to banded ticks.
+        prop_assert!(!pool.lockstep_enabled());
+
+        let lens = [24usize, 17, 9];
+        let seqs: Vec<Vec<usize>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| random_seq(v, len, seed.wrapping_add(20 + i as u64)))
+            .collect();
+        let ids: Vec<_> = seqs.iter().map(|_| pool.create()).collect();
+        let mut offset = 0;
+        while offset < 24 {
+            for (id, seq) in ids.iter().zip(&seqs) {
+                for &obs in seq.iter().skip(offset).take(chunk) {
+                    pool.push(*id, obs).unwrap();
+                }
+            }
+            pool.tick();
+            offset += chunk;
+        }
+        for (id, seq) in ids.iter().zip(&seqs) {
+            pool.flush(*id).unwrap();
+            let mut got = Vec::new();
+            pool.take_committed(*id, &mut got).unwrap();
+
+            let (want, ll, bound) = run_decoder(&m, config, seq);
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(pool.log_likelihood(*id).unwrap().to_bits(), ll.to_bits());
+            prop_assert_eq!(
+                pool.sparse_error_bound(*id).unwrap().to_bits(),
+                bound.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn invalid_sparse_params_are_rejected_at_construction() {
+    let model = random_hmm(3, 4, 1);
+    for bad in [
+        SparseParams::exact().with_beam(1.5),
+        SparseParams::exact().with_beam(-0.1),
+        SparseParams::threshold(f64::NAN),
+        SparseParams::top_p(0.0),
+    ] {
+        let config = StreamConfig::default().with_backend(InferenceBackend::Sparse(bad));
+        match StreamingDecoder::with_config(&model, config) {
+            Err(StreamError::InvalidConfig { .. }) => {}
+            other => panic!("expected InvalidConfig for {bad:?}, got {other:?}"),
+        }
+        assert!(matches!(
+            SessionPool::with_config(Arc::new(random_hmm(3, 4, 1)), config),
+            Err(StreamError::InvalidConfig { .. })
+        ));
+    }
+    // The offline-only reference backend still gets its own error.
+    let config = StreamConfig::default().with_backend(InferenceBackend::LogReference);
+    assert!(matches!(
+        StreamingDecoder::with_config(&model, config),
+        Err(StreamError::UnsupportedBackend { .. })
+    ));
+}
+
+#[test]
+fn hot_swap_carries_the_error_bound_across_models() {
+    // A beam wide enough to prune on every step: the per-session bound must
+    // be positive, monotone while streaming, and survive a model swap (the
+    // pre-swap accumulation is folded into the rebind carry).
+    let m1 = Arc::new(random_hmm(4, 5, 31));
+    let m2 = Arc::new(random_hmm(4, 5, 32));
+    let params = SparseParams::threshold(0.02).with_beam(0.3);
+    let mut pool = SessionPool::with_config(
+        Arc::clone(&m1),
+        StreamConfig::default()
+            .with_lag(2)
+            .with_backend(InferenceBackend::Sparse(params)),
+    )
+    .unwrap();
+    let id = pool.create();
+    let seq = random_seq(5, 30, 33);
+
+    for &obs in &seq[..15] {
+        pool.push(id, obs).unwrap();
+    }
+    pool.tick();
+    let before_swap = pool.sparse_error_bound(id).unwrap();
+    assert!(
+        before_swap > 0.0,
+        "a 0.3 beam on 15 tokens should have pruned something"
+    );
+
+    pool.publish(Arc::clone(&m2));
+    for &obs in &seq[15..] {
+        pool.push(id, obs).unwrap();
+    }
+    pool.tick();
+    pool.flush(id).unwrap();
+    let after = pool.sparse_error_bound(id).unwrap();
+    assert!(
+        after >= before_swap,
+        "bound shrank across the swap: {before_swap} -> {after}"
+    );
+    assert!(after.is_finite());
+
+    let mut labels = Vec::new();
+    pool.take_committed(id, &mut labels).unwrap();
+    assert_eq!(labels.len(), seq.len());
+}
