@@ -15,13 +15,21 @@
 //! of the pool's batched lockstep tick versus the per-session scalar path
 //! over S ∈ {1, 8, 64} co-resident sessions — the speedup the tile-major
 //! panel + fused kernel buy when equal-depth sessions advance together (results are
-//! bit-identical either way; see `tests/session_determinism.rs`).
+//! bit-identical either way; see `tests/session_determinism.rs`). The sweep
+//! runs per `--backend` (`dense`, `sparse`, or both): the dense rows use a
+//! Dirichlet transition matrix and the dense fused kernel, the sparse rows a
+//! concentrated-transition model (≈`SPARSE_DENSITY_PCT`% heavy successors
+//! per row, the regime the diversified M-step drives rows toward) through
+//! the CSR lockstep kernel. Each lockstep row also records the batched vs
+//! scalar smoothing-row split, so the panelized-smoothing hit rate is
+//! visible next to the speedup it buys.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release -p dhmm_bench --bin stream-bench -- \
 //!     [--output BENCH_stream.json] [--threads 1,2,4] [--k 16,64] \
-//!     [--sessions 32] [--lag 8,64] [--tokens 512] [--lockstep]
+//!     [--sessions 32] [--lag 8,64] [--tokens 512] [--lockstep] \
+//!     [--backend dense,sparse]
 //! ```
 //! All flags mirror `mstep-bench`'s comma-separated-list style so the
 //! multi-core rerun workflow covers streaming with the same invocation
@@ -29,7 +37,9 @@
 
 use dhmm_hmm::emission::DiscreteEmission;
 use dhmm_hmm::init::random_stochastic_matrix;
-use dhmm_hmm::Hmm;
+use dhmm_hmm::sparse::SparseParams;
+use dhmm_hmm::{CsrTransition, Hmm, InferenceBackend};
+use dhmm_linalg::Matrix;
 use dhmm_stream::{Parallelism, SessionPool, StreamConfig, StreamingDecoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +54,15 @@ const VOCAB: usize = 64;
 const TICK_CHUNK: usize = 32;
 /// Co-resident session counts of the `--lockstep` sweep (single-core).
 const LOCKSTEP_SESSIONS: [usize; 3] = [1, 8, 64];
+/// Mass shared by the heavy successors of each concentrated transition row
+/// in the sparse-backend sweep (the light remainder is what threshold
+/// pruning removes) — mirrors `sparse-bench`.
+const HEAVY_MASS: f64 = 0.999;
+/// Heavy-successor share per row of the sparse-backend sweep model.
+const SPARSE_DENSITY_PCT: usize = 10;
+/// Threshold + beam of the sparse-backend sweep.
+const SPARSE_THRESHOLD: f64 = 1e-3;
+const SPARSE_BEAM: f64 = 0.01;
 
 struct Args {
     output: String,
@@ -53,6 +72,7 @@ struct Args {
     lags: Vec<usize>,
     tokens: usize,
     lockstep: bool,
+    backends: Vec<String>,
 }
 
 fn parse_list(raw: &str, flag: &str) -> Vec<usize> {
@@ -74,6 +94,7 @@ fn parse_args() -> Args {
         lags: vec![8, 64],
         tokens: 512,
         lockstep: false,
+        backends: vec!["dense".to_string()],
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -93,6 +114,12 @@ fn parse_args() -> Args {
                     .expect("--tokens expects an integer")
             }
             "--lockstep" => args.lockstep = true,
+            "--backend" => {
+                args.backends = value_of("--backend")
+                    .split(',')
+                    .map(|b| b.trim().to_string())
+                    .collect()
+            }
             other if !other.starts_with('-') => args.output = other.to_string(),
             other => panic!("unknown argument {other:?}"),
         }
@@ -106,6 +133,16 @@ fn parse_args() -> Args {
         assert!(!list.is_empty(), "{name} list must be non-empty");
     }
     assert!(args.tokens > 0, "--tokens must be positive");
+    assert!(
+        !args.backends.is_empty(),
+        "--backend list must be non-empty"
+    );
+    for b in &args.backends {
+        assert!(
+            b == "dense" || b == "sparse",
+            "--backend entries must be dense or sparse, got {b:?}"
+        );
+    }
     args
 }
 
@@ -117,6 +154,44 @@ fn model(k: usize) -> Hmm<DiscreteEmission> {
         &mut rng,
     )
     .expect("valid parameters");
+    let b = random_stochastic_matrix(k, VOCAB, 1.0, &mut rng).expect("valid matrix");
+    Hmm::new(pi, a, DiscreteEmission::new(b).expect("valid emission")).expect("valid model")
+}
+
+/// Builds a model whose transition rows concentrate `HEAVY_MASS` on
+/// ~`density_pct`% of successors (the rest share the light remainder) —
+/// the sparse-backend sweep model, mirroring `sparse-bench`.
+fn concentrated_model(k: usize, density_pct: usize, seed: u64) -> Hmm<DiscreteEmission> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let heavy_per_row = (k * density_pct).div_ceil(100).clamp(1, k);
+    let mut a = Matrix::zeros(k, k);
+    let light = (1.0 - HEAVY_MASS) / (k - heavy_per_row).max(1) as f64;
+    for i in 0..k {
+        let mut cols: Vec<usize> = (0..k).collect();
+        for j in (1..k).rev() {
+            cols.swap(j, rng.gen_range(0..=j));
+        }
+        let heavy = &mut cols[..heavy_per_row];
+        heavy.sort_unstable();
+        let mut weights: Vec<f64> = (0..heavy_per_row)
+            .map(|_| rng.gen_range(0.2..1.0))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w *= HEAVY_MASS / wsum;
+        }
+        for j in 0..k {
+            a[(i, j)] = light;
+        }
+        for (c, w) in heavy.iter().zip(&weights) {
+            a[(i, *c)] = *w + light;
+        }
+        let row_sum: f64 = a.row(i).iter().sum();
+        for j in 0..k {
+            a[(i, j)] /= row_sum;
+        }
+    }
+    let pi = vec![1.0 / k as f64; k];
     let b = random_stochastic_matrix(k, VOCAB, 1.0, &mut rng).expect("valid matrix");
     Hmm::new(pi, a, DiscreteEmission::new(b).expect("valid emission")).expect("valid model")
 }
@@ -206,8 +281,15 @@ struct LockstepRow {
     k: usize,
     lag: usize,
     sessions: usize,
+    backend: &'static str,
+    /// Effective density of the CSR-compiled transition matrix (sparse
+    /// rows only).
+    density: Option<f64>,
     scalar_tokens_per_sec: f64,
     lockstep_tokens_per_sec: f64,
+    /// Smoothing-row split of the lockstep run.
+    smoothing_batched: u64,
+    smoothing_scalar: u64,
 }
 
 impl LockstepRow {
@@ -216,20 +298,29 @@ impl LockstepRow {
     }
 }
 
+/// What one multiplexed run measured: wall-clock throughput plus the
+/// pool-lifetime path counters the run accumulated.
+struct PoolRunStats {
+    tokens_per_sec: f64,
+    smoothing_batched: u64,
+    smoothing_scalar: u64,
+}
+
 /// One full multiplexed run: `sessions` sessions × `tokens` tokens, fed in
-/// `TICK_CHUNK`-token rounds, under an explicit thread policy. Returns
-/// tokens/sec.
+/// `TICK_CHUNK`-token rounds, under an explicit thread policy and backend.
 fn pool_run(
     m: &Arc<Hmm<DiscreteEmission>>,
     streams: &[Vec<usize>],
     lag: usize,
     threads: usize,
     lockstep: bool,
-) -> f64 {
+    backend: InferenceBackend,
+) -> PoolRunStats {
     let mut pool = SessionPool::with_config(
         Arc::clone(m),
         StreamConfig::default()
             .with_lag(lag)
+            .with_backend(backend)
             .with_parallelism(Parallelism::Threads(threads))
             .with_lockstep(lockstep),
     )
@@ -256,7 +347,11 @@ fn pool_run(
         pool.take_committed(*id, &mut sink).expect("live session");
         black_box(sink.len());
     }
-    tokens as f64 / start.elapsed().as_secs_f64()
+    PoolRunStats {
+        tokens_per_sec: tokens as f64 / start.elapsed().as_secs_f64(),
+        smoothing_batched: pool.smoothing_batched_total(),
+        smoothing_scalar: pool.smoothing_scalar_total(),
+    }
 }
 
 fn main() {
@@ -301,13 +396,17 @@ fn main() {
                 // keeps measuring the per-session scalar path its history
                 // was recorded against; `--lockstep` benches the batched
                 // path separately below.
-                black_box(pool_run(&m, &streams, lag, 1, false));
-                let serial = pool_run(&m, &streams, lag, 1, false);
+                black_box(
+                    pool_run(&m, &streams, lag, 1, false, InferenceBackend::Scaled).tokens_per_sec,
+                );
+                let serial =
+                    pool_run(&m, &streams, lag, 1, false, InferenceBackend::Scaled).tokens_per_sec;
                 for &threads in &args.threads {
                     let tps = if threads == 1 {
                         serial
                     } else {
-                        pool_run(&m, &streams, lag, threads, false)
+                        pool_run(&m, &streams, lag, threads, false, InferenceBackend::Scaled)
+                            .tokens_per_sec
                     };
                     throughput_rows.push(ThroughputRow {
                         k,
@@ -341,41 +440,77 @@ fn main() {
 
     let mut lockstep_rows: Vec<LockstepRow> = Vec::new();
     if args.lockstep {
-        for &k in &args.sizes {
-            let m = Arc::new(model(k));
-            for &lag in &args.lags {
-                for &sessions in &LOCKSTEP_SESSIONS {
-                    let streams: Vec<Vec<usize>> = (0..sessions)
-                        .map(|i| stream(args.tokens, 2000 + i as u64))
-                        .collect();
-                    black_box(pool_run(&m, &streams, lag, 1, true));
-                    let scalar = pool_run(&m, &streams, lag, 1, false);
-                    let lockstep = pool_run(&m, &streams, lag, 1, true);
-                    lockstep_rows.push(LockstepRow {
-                        k,
-                        lag,
-                        sessions,
-                        scalar_tokens_per_sec: scalar,
-                        lockstep_tokens_per_sec: lockstep,
-                    });
+        for backend_name in &args.backends {
+            let sparse = backend_name == "sparse";
+            let backend = if sparse {
+                InferenceBackend::Sparse(
+                    SparseParams::threshold(SPARSE_THRESHOLD).with_beam(SPARSE_BEAM),
+                )
+            } else {
+                InferenceBackend::Scaled
+            };
+            for &k in &args.sizes {
+                let m = Arc::new(if sparse {
+                    concentrated_model(k, SPARSE_DENSITY_PCT, 271)
+                } else {
+                    model(k)
+                });
+                let density = sparse.then(|| {
+                    CsrTransition::compile(
+                        m.transition(),
+                        SparseParams::threshold(SPARSE_THRESHOLD).with_beam(SPARSE_BEAM),
+                    )
+                    .expect("compilable transition")
+                    .density()
+                });
+                for &lag in &args.lags {
+                    for &sessions in &LOCKSTEP_SESSIONS {
+                        let streams: Vec<Vec<usize>> = (0..sessions)
+                            .map(|i| stream(args.tokens, 2000 + i as u64))
+                            .collect();
+                        black_box(pool_run(&m, &streams, lag, 1, true, backend).tokens_per_sec);
+                        let scalar = pool_run(&m, &streams, lag, 1, false, backend);
+                        let lockstep = pool_run(&m, &streams, lag, 1, true, backend);
+                        lockstep_rows.push(LockstepRow {
+                            k,
+                            lag,
+                            sessions,
+                            backend: if sparse { "sparse" } else { "dense" },
+                            density,
+                            scalar_tokens_per_sec: scalar.tokens_per_sec,
+                            lockstep_tokens_per_sec: lockstep.tokens_per_sec,
+                            smoothing_batched: lockstep.smoothing_batched,
+                            smoothing_scalar: lockstep.smoothing_scalar,
+                        });
+                    }
                 }
             }
         }
 
         println!("\nstream: lockstep vs scalar tick, single core\n");
         println!(
-            "{:>4} {:>5} {:>9} {:>14} {:>14} {:>9}",
-            "k", "lag", "sessions", "scalar tok/s", "lockstep tok/s", "speedup"
+            "{:>6} {:>4} {:>5} {:>9} {:>14} {:>14} {:>9} {:>12}",
+            "path",
+            "k",
+            "lag",
+            "sessions",
+            "scalar tok/s",
+            "lockstep tok/s",
+            "speedup",
+            "smooth b/s"
         );
         for r in &lockstep_rows {
             println!(
-                "{:>4} {:>5} {:>9} {:>14.0} {:>14.0} {:>8.2}x",
+                "{:>6} {:>4} {:>5} {:>9} {:>14.0} {:>14.0} {:>8.2}x {:>6}/{:<5}",
+                r.backend,
                 r.k,
                 r.lag,
                 r.sessions,
                 r.scalar_tokens_per_sec,
                 r.lockstep_tokens_per_sec,
-                r.speedup()
+                r.speedup(),
+                r.smoothing_batched,
+                r.smoothing_scalar,
             );
         }
     }
@@ -421,14 +556,18 @@ fn main() {
         // LOCKSTEP_MIN_GROUP is 2), so the S=1 row measures the scalar
         // fallback, not the batched kernel.
         let path = if r.sessions < 2 {
-            "scalar-fallback"
+            "scalar-fallback".to_string()
         } else {
-            "lockstep"
+            format!("lockstep-{}", r.backend)
         };
+        let density = r
+            .density
+            .map(|d| format!(", \"density\": {d:.4}"))
+            .unwrap_or_default();
         let _ = write!(
             json,
-            "    {{\"k\": {}, \"lag\": {}, \"sessions\": {}, \"threads\": 1, \"path\": \"{}\", \"scalar_tokens_per_sec\": {:.0}, \"lockstep_tokens_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}}}",
-            r.k, r.lag, r.sessions, path, r.scalar_tokens_per_sec, r.lockstep_tokens_per_sec, r.speedup()
+            "    {{\"k\": {}, \"lag\": {}, \"sessions\": {}, \"threads\": 1, \"backend\": \"{}\", \"path\": \"{}\"{}, \"scalar_tokens_per_sec\": {:.0}, \"lockstep_tokens_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}, \"smoothing_batched_rows\": {}, \"smoothing_scalar_rows\": {}}}",
+            r.k, r.lag, r.sessions, r.backend, path, density, r.scalar_tokens_per_sec, r.lockstep_tokens_per_sec, r.speedup(), r.smoothing_batched, r.smoothing_scalar
         );
         json.push_str(if i + 1 < lockstep_rows.len() {
             ",\n"

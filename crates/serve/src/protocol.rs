@@ -38,7 +38,7 @@
 //! | `ok flushed <start> <n> <label>… ll <float> tokens <t>` | `flush` — the tail, final log-likelihood, token count |
 //! | `ok closed` | `close` |
 //! | `ok epoch <e>` | `swap-model` — the newly published epoch |
-//! | `ok stats active <n> epoch <e> clock <c> evicted <n> lockstep <n> scalar <n>` | `stats` |
+//! | `ok stats active <n> epoch <e> clock <c> evicted <n> lockstep <n> scalar <n> smoothing-batched <n> smoothing-scalar <n>` | `stats` |
 //! | `err <code> <message…>` | any verb |
 
 use crate::error::ServeError;
@@ -270,6 +270,10 @@ pub enum Response {
         lockstep_tokens: u64,
         /// Tokens the pool advanced through the per-session scalar path.
         scalar_tokens: u64,
+        /// Smoothed rows emitted through the batched panel pass.
+        smoothing_batched: u64,
+        /// Smoothed rows emitted through the scalar backward pass.
+        smoothing_scalar: u64,
     },
     /// The request failed; `code` is stable, `message` is free-form.
     Error {
@@ -314,9 +318,12 @@ impl Response {
                 evicted,
                 lockstep_tokens,
                 scalar_tokens,
+                smoothing_batched,
+                smoothing_scalar,
             } => format!(
                 "ok stats active {active} epoch {epoch} clock {clock} evicted {evicted} \
-                 lockstep {lockstep_tokens} scalar {scalar_tokens}"
+                 lockstep {lockstep_tokens} scalar {scalar_tokens} \
+                 smoothing-batched {smoothing_batched} smoothing-scalar {smoothing_scalar}"
             ),
             Response::Error { code, message } => format!("err {code} {message}"),
         }
@@ -415,6 +422,8 @@ impl Response {
                     evicted: field("evicted")?,
                     lockstep_tokens: field("lockstep")?,
                     scalar_tokens: field("scalar")?,
+                    smoothing_batched: field("smoothing-batched")?,
+                    smoothing_scalar: field("smoothing-scalar")?,
                 })
             }
             other => Err(bad(format!("unknown ok kind {other:?}"))),
@@ -493,6 +502,8 @@ mod tests {
                 evicted: 1,
                 lockstep_tokens: 4096,
                 scalar_tokens: 17,
+                smoothing_batched: 2048,
+                smoothing_scalar: 5,
             },
             Response::Error {
                 code: "queue-full".into(),

@@ -293,6 +293,8 @@ where
                 evicted: pool.evicted_total(),
                 lockstep_tokens: pool.lockstep_tokens_total(),
                 scalar_tokens: pool.scalar_tokens_total(),
+                smoothing_batched: pool.smoothing_batched_total(),
+                smoothing_scalar: pool.smoothing_scalar_total(),
             }),
         };
         if let Some(r) = response {

@@ -51,12 +51,15 @@
 //! on every input whose optimum has positive probability.
 
 use crate::error::StreamError;
-use crate::workspace::{BatchPanel, StreamScratch, StreamWorkspace, LANES};
+use crate::workspace::{BatchPanel, SmoothPanel, StreamScratch, StreamWorkspace, LANES};
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
-use dhmm_hmm::scaled::{emission_likelihood_row, scale_row};
+use dhmm_hmm::scaled::{
+    beta_panel_step, beta_panel_step_sparse, emission_likelihood_row, scale_row,
+};
 use dhmm_hmm::sparse::{beam_prune, SparseParams};
 use dhmm_hmm::InferenceBackend;
+use dhmm_linalg::CsrMatrix;
 use dhmm_runtime::Parallelism;
 
 /// The ring-buffer window `W = max(2L, 1)` implied by a lag `L`: `2L` slots
@@ -65,6 +68,77 @@ use dhmm_runtime::Parallelism;
 /// commit rules and smoothing invariants are all stated against it.
 pub(crate) fn ring_window(lag: usize) -> usize {
     (2 * lag).max(1)
+}
+
+/// One fixed-lag smoothing decision, derived by [`smoothing_action`] /
+/// [`flush_smoothing_action`]. These two functions are the single source of
+/// the smoothing-window extents: the scalar per-push tail, the lockstep
+/// finish pass and the batched panel gather all consume the same numbers
+/// instead of re-deriving them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SmoothAction {
+    /// `lag = 0`: β ≡ 1 over a window of one, so the smoothed row for `t`
+    /// *is* the filtered row — copied out verbatim, never re-normalized
+    /// (the α̂ row's sum may differ from 1.0 in the last ulp, and the
+    /// offline product with the exact 1.0 β row is an identity).
+    CopyFiltered,
+    /// A full window has accumulated: run the backward recursion from
+    /// `from` (where β = 1) down to `downto`, emitting the γ rows of times
+    /// `downto ..= emit_upto` — the oldest `L` steps, each conditioned on
+    /// at least `L` tokens of lookahead.
+    Block {
+        from: usize,
+        downto: usize,
+        emit_upto: usize,
+    },
+}
+
+/// The per-push smoothing decision for the token at time `t`, given the
+/// first not-yet-emitted time `smoothed_upto`. With `lag > 0` the block
+/// fires once `2L` un-smoothed steps have accumulated; because the boundary
+/// is checked on every push, it is reached by exact equality, so every
+/// mid-stream block spans exactly `2L` steps and emits exactly `L` rows —
+/// the invariant the batched panel gather relies on to co-schedule sessions
+/// at different absolute `t`.
+pub(crate) fn smoothing_action(lag: usize, t: usize, smoothed_upto: usize) -> Option<SmoothAction> {
+    if lag == 0 {
+        return Some(SmoothAction::CopyFiltered);
+    }
+    if t + 1 - smoothed_upto >= 2 * lag {
+        debug_assert_eq!(
+            t + 1 - smoothed_upto,
+            2 * lag,
+            "smoothing boundary overshot: checked every push, reached by equality"
+        );
+        Some(SmoothAction::Block {
+            from: t,
+            downto: smoothed_upto,
+            emit_upto: t - lag,
+        })
+    } else {
+        None
+    }
+}
+
+/// The flush-time smoothing decision: everything not yet emitted, each row
+/// conditioned on the (now final) full prefix — `emit_upto` extends to
+/// `last`, unlike the mid-stream block's `t − lag`. `None` when `lag = 0`
+/// (every row was copied out as it streamed) or when the block passes have
+/// already emitted through `last`.
+pub(crate) fn flush_smoothing_action(
+    lag: usize,
+    last: usize,
+    smoothed_upto: usize,
+) -> Option<SmoothAction> {
+    if lag > 0 && smoothed_upto <= last {
+        Some(SmoothAction::Block {
+            from: last,
+            downto: smoothed_upto,
+            emit_upto: last,
+        })
+    } else {
+        None
+    }
 }
 
 /// Configuration of a streaming decoder or session pool.
@@ -82,8 +156,9 @@ pub struct StreamConfig {
     /// is offline-only and is rejected at construction. Under the sparse
     /// backend the per-session log-likelihood is a certified lower bound on
     /// the exact value under the pruned matrix, with the gap tracked by
-    /// [`StreamWorkspace::sparse_error_bound`], and pool ticks fall back to
-    /// the scalar per-session path (lockstep panels are dense-only).
+    /// [`StreamWorkspace::sparse_error_bound`]; pool ticks batch in
+    /// lockstep under both backends (the sparse groups walk the shared
+    /// CSR-compiled matrix once per step).
     pub backend: InferenceBackend,
     /// Worker policy for [`crate::SessionPool`] batch ticks (ignored by a
     /// standalone decoder, which is single-session and inherently serial).
@@ -243,6 +318,9 @@ pub struct FlushOutput<'a> {
 /// log-likelihood error bound; under [`InferenceBackend::Scaled`] the dense
 /// recursions are bit-identical to before, with the Viterbi inner loop
 /// reading the cached transposed transition (contiguous predecessor rows).
+///
+/// Returns the number of smoothed posterior rows emitted into
+/// `scratch.smoothed` by this push (the pool's smoothing-path counters).
 pub(crate) fn push_token<E: Emission>(
     model: &Hmm<E>,
     lag: usize,
@@ -251,7 +329,7 @@ pub(crate) fn push_token<E: Emission>(
     ws: &mut StreamWorkspace,
     scratch: &mut StreamScratch,
     obs: &E::Obs,
-) {
+) -> usize {
     assert!(
         !ws.finished,
         "StreamingDecoder::push after flush; call reset() to start a new stream"
@@ -411,14 +489,15 @@ pub(crate) fn push_token<E: Emission>(
         }
     }
 
-    commit_and_smooth(model, lag, backend, ws, scratch, t);
+    let rows = commit_and_smooth(model, lag, backend, ws, scratch, t);
     ws.t = t + 1;
+    rows
 }
 
-/// The per-token tail shared by the scalar and lockstep paths: both commit
-/// rules plus the fixed-lag smoothing block, for the token at time `t`
-/// (whose filter/Viterbi rows are already in the rings). Does not advance
-/// `ws.t` — the caller does, so the lockstep finish pass can interleave.
+/// The per-token tail of the scalar path: both commit rules plus the
+/// fixed-lag smoothing action, for the token at time `t` (whose
+/// filter/Viterbi rows are already in the rings). Does not advance `ws.t` —
+/// the caller does. Returns the smoothed rows emitted.
 fn commit_and_smooth<E: Emission>(
     model: &Hmm<E>,
     lag: usize,
@@ -426,9 +505,15 @@ fn commit_and_smooth<E: Emission>(
     ws: &mut StreamWorkspace,
     scratch: &mut StreamScratch,
     t: usize,
-) {
-    let k = ws.num_states;
+) -> usize {
+    commit_rules(ws, scratch, t, lag);
+    apply_smoothing(model, lag, backend, ws, scratch, t)
+}
 
+/// Both Viterbi commit rules for the token at time `t` — shared verbatim by
+/// the scalar path and the lockstep finish pass (which defers only the
+/// smoothing block, never the commits).
+fn commit_rules(ws: &mut StreamWorkspace, scratch: &mut StreamScratch, t: usize, lag: usize) {
     // --- Commit rule 1: path convergence (amortized). The level-set walk
     // costs O(window · k), so it is re-armed only after the uncommitted
     // window has grown by ~half its post-walk length: total walk cost stays
@@ -445,17 +530,38 @@ fn commit_and_smooth<E: Emission>(
     if ws.base + lag <= t {
         force_commit(ws, scratch, t, t - lag);
     }
+}
 
-    // --- Fixed-lag smoothing block.
-    if lag == 0 {
-        // β = 1 over a window of one: smoothed ≡ filtered, emitted at once.
-        scratch.smoothed[..k].copy_from_slice(ws.alpha_row(t));
-        scratch.smoothed_len = 1;
-        scratch.smoothed_start = t;
-        ws.smoothed_upto = t + 1;
-    } else if t + 1 - ws.smoothed_upto >= 2 * lag {
-        backward_smooth(model, backend, ws, scratch, t, ws.smoothed_upto, t - lag);
-        ws.smoothed_upto = t - lag + 1;
+/// Applies the [`smoothing_action`] for the token at time `t` through the
+/// scalar backward pass, advancing `ws.smoothed_upto`. Returns the smoothed
+/// rows emitted into `scratch.smoothed`.
+fn apply_smoothing<E: Emission>(
+    model: &Hmm<E>,
+    lag: usize,
+    backend: InferenceBackend,
+    ws: &mut StreamWorkspace,
+    scratch: &mut StreamScratch,
+    t: usize,
+) -> usize {
+    let k = ws.num_states;
+    match smoothing_action(lag, t, ws.smoothed_upto) {
+        Some(SmoothAction::CopyFiltered) => {
+            scratch.smoothed[..k].copy_from_slice(ws.alpha_row(t));
+            scratch.smoothed_len = 1;
+            scratch.smoothed_start = t;
+            ws.smoothed_upto = t + 1;
+            1
+        }
+        Some(SmoothAction::Block {
+            from,
+            downto,
+            emit_upto,
+        }) => {
+            backward_smooth(model, backend, ws, scratch, from, downto, emit_upto);
+            ws.smoothed_upto = emit_upto + 1;
+            emit_upto - downto + 1
+        }
+        None => 0,
     }
 }
 
@@ -626,19 +732,135 @@ fn lockstep_kernel_impl(panel: &mut BatchPanel) {
     }
 }
 
+/// Sparse-backend instantiation of the fused lockstep kernel: one walk of
+/// the shared pruned matrix in its **transposed** (predecessor-major) CSR
+/// orientation `Ãᵀ` per step, broadcasting each stored `a[(i, j)]` across
+/// the [`LANES`]-wide session tiles — the filter's multiply-add and the
+/// Viterbi's multiply-max fused on the same broadcast, exactly like the
+/// dense kernel, but touching only the `nnz` surviving entries instead of
+/// all `k²`.
+///
+/// Walking `Ãᵀ` rather than the row-major `Ã` is what lets the accumulators
+/// live in registers: row `j` of `Ãᵀ` lists every stored predecessor of
+/// state `j`, so the tile's sum / max / argmax lanes for `j` accumulate in
+/// three register tiles and store **once** per state — the dense kernel's
+/// structure. A row-major walk would instead scatter data-dependent
+/// read-modify-writes into all three panels on every stored entry
+/// (3 × [`LANES`] lanes of L1 traffic per entry), which measures *slower*
+/// than `S` scalar CSR passes at the densities the backend targets.
+///
+/// Per-session semantics are the scalar sparse step's exactly:
+///
+/// * **filter** — the scalar path scatters `fwd.axpy_row(i, α̂_i, row)` over
+///   ascending live predecessors `i`, skipping `α̂_i = 0` rows; here every
+///   stored predecessor is walked (transposition preserves the ascending-`i`
+///   arrival order per state) and the beam-zeroed ones contribute exact
+///   `+0.0` terms, which is bit-identical because every partial sum is
+///   non-negative (the dense kernel's no-skip argument);
+/// * **Viterbi** — the scalar path's `argmax_product_row(j, δ)` walks this
+///   same `Ãᵀ` row of state `j` seeded at `(0.0, 0)` with a strict `>`; the
+///   register lanes here are seeded `best = 0.0`, `ψ = 0` — note *not* the
+///   dense kernel's `−∞` seed — so ties, all-zero columns and the final
+///   `best · e` multiply reproduce the scalar CSR gather bit-for-bit. The
+///   argmax lane carries the predecessor index as `f64` (exact for any
+///   `u32`) so the select stays a vector blend, as in the dense kernel.
+///
+/// Pad lanes compute garbage that is never gathered, as in the dense kernel.
+pub(crate) fn lockstep_kernel_sparse(panel: &mut BatchPanel, tr: &CsrMatrix) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by runtime detection; the function only requires
+        // the AVX2 feature it declares.
+        return unsafe { lockstep_kernel_sparse_avx2(panel, tr) };
+    }
+    lockstep_kernel_sparse_impl(panel, tr);
+}
+
+/// AVX2 instantiation of [`lockstep_kernel_sparse_impl`] — identical body,
+/// wider autovectorized lanes, bit-identical results (no FMA contraction;
+/// see [`lockstep_kernel_avx2`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lockstep_kernel_sparse_avx2(panel: &mut BatchPanel, tr: &CsrMatrix) {
+    lockstep_kernel_sparse_impl(panel, tr);
+}
+
+#[inline(always)]
+fn lockstep_kernel_sparse_impl(panel: &mut BatchPanel, tr: &CsrMatrix) {
+    let k = panel.k;
+    let kl = k * LANES;
+    let tiles = panel.width / LANES;
+    for tile in 0..tiles {
+        let tb = tile * kl;
+        let alpha = &panel.alpha_t[tb..tb + kl];
+        let prev = &panel.prev_t[tb..tb + kl];
+        for j in 0..k {
+            let mut acc = [0.0f64; LANES];
+            let mut best = [0.0f64; LANES];
+            let mut besti = [0.0f64; LANES];
+            let (cols, vals) = tr.row(j);
+            for (&i, &v) in cols.iter().zip(vals) {
+                let o = i as usize * LANES;
+                let a8: &[f64; LANES] = alpha[o..o + LANES].try_into().unwrap();
+                let p8: &[f64; LANES] = prev[o..o + LANES].try_into().unwrap();
+                let fi = i as f64;
+                for l in 0..LANES {
+                    acc[l] += a8[l] * v;
+                    let cand = p8[l] * v;
+                    // Strict `>` keeps the first-occurrence argmax on ties.
+                    let better = cand > best[l];
+                    best[l] = if better { cand } else { best[l] };
+                    besti[l] = if better { fi } else { besti[l] };
+                }
+            }
+            // One store per state: `cur = best · e`, the dense kernel's
+            // writeout multiply.
+            let o = tb + j * LANES;
+            let sum = &mut panel.sum_t[o..o + LANES];
+            let cur = &mut panel.cur_t[o..o + LANES];
+            let emis = &panel.emis_t[o..o + LANES];
+            let psi = &mut panel.psi_t[o..o + LANES];
+            for l in 0..LANES {
+                sum[l] = acc[l];
+                cur[l] = best[l] * emis[l];
+                psi[l] = besti[l] as usize;
+            }
+        }
+    }
+}
+
+/// What [`lockstep_finish`] did about smoothing for one session, so the
+/// group loop can route the deferred block to the batched panel pass or the
+/// scalar tail and keep the smoothing-path counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LockstepFinish {
+    /// A full smoothing block fired at this step; it was *deferred* (the
+    /// workspace's `smoothed_upto` is untouched) so the group can co-run
+    /// every due session through [`lockstep_smooth_block`] or the scalar
+    /// tail [`lockstep_smooth_scalar`] — same step, same bits, batched.
+    pub(crate) block_due: bool,
+    /// Smoothed rows emitted inline by this finish (the lag-0 copy path).
+    pub(crate) smoothed_rows: usize,
+}
+
 /// Lockstep step 3 of 3 — finishes session `s`'s token from the panel: the
 /// emission multiply + scale on the gathered filter column (the scalar
-/// filter's op order exactly), the Viterbi normalization on the gathered
-/// `δ(t)` column, then the shared [`commit_and_smooth`] tail. Advances
-/// `ws.t`.
+/// filter's op order exactly, including the sparse beam + bound
+/// accounting), the Viterbi normalization on the gathered `δ(t)` column,
+/// then the commit rules. The fixed-lag smoothing *block* is not run here:
+/// when one is due it is reported back deferred, so the group loop can
+/// batch the t-aligned blocks of the whole group in one panel pass.
+/// Deferral is bit-safe — the block reads only the α̂/emission rings, all
+/// fully written for this step before any smoothing runs. Advances `ws.t`.
 pub(crate) fn lockstep_finish<E: Emission>(
     model: &Hmm<E>,
     lag: usize,
+    backend: InferenceBackend,
     ws: &mut StreamWorkspace,
     scratch: &mut StreamScratch,
     panel: &mut BatchPanel,
     s: usize,
-) {
+) -> LockstepFinish {
     let k = ws.num_states;
     let t = ws.t;
     let slot = ws.slot(t);
@@ -646,11 +868,15 @@ pub(crate) fn lockstep_finish<E: Emission>(
     let shift = panel.shift[s];
     let first = panel.first[s];
     scratch.ensure(k, ws.window);
+    let sparse: Option<SparseParams> = match backend {
+        InferenceBackend::Sparse(params) => Some(params),
+        _ => None,
+    };
 
     // --- Filter finish: gather this session's transition-sum column into
-    // the α̂ ring, then the emission multiply + scale in the offline op
-    // order. The fused kernel's sums already equal the scalar accumulation
-    // (ascending predecessor index) bit-for-bit.
+    // the α̂ ring, then the emission multiply + (sparse beam +) scale in
+    // the offline op order. The fused kernel's sums already equal the
+    // scalar accumulation (ascending predecessor index) bit-for-bit.
     {
         let row = &mut ws.alpha[slot * k..(slot + 1) * k];
         let e_row = &ws.emis[slot * k..(slot + 1) * k];
@@ -663,12 +889,19 @@ pub(crate) fn lockstep_finish<E: Emission>(
                 *r = panel.sum_t[tb + j * LANES] * e;
             }
         }
+        if let Some(params) = sparse {
+            let eps = beam_prune(row, params.beam);
+            if eps > 0.0 {
+                ws.sparse_pruned_total += eps;
+                ws.sparse_bound -= (-eps).ln_1p();
+            }
+        }
         let (_c, log_c) = scale_row(row, shift);
         ws.log_likelihood += log_c;
     }
 
     // --- Viterbi finish: gather this session's column, then the scalar
-    // normalization verbatim.
+    // normalization (and sparse score beam) verbatim.
     {
         let parity = (t % 2) * k;
         let cur = &mut ws.delta[parity..parity + k];
@@ -690,6 +923,12 @@ pub(crate) fn lockstep_finish<E: Emission>(
                 *p /= m;
             }
             ws.viterbi_log += m.ln() + shift;
+            if let Some(params) = sparse {
+                // Beam the normalized score row (offline sparse order); the
+                // ε is deliberately not folded into the filter bound — see
+                // the scalar step.
+                beam_prune(cur, params.beam);
+            }
         } else {
             let u = 1.0 / k as f64;
             for p in cur.iter_mut() {
@@ -699,10 +938,186 @@ pub(crate) fn lockstep_finish<E: Emission>(
         }
     }
 
-    // Lockstep groups are scaled-backend-only (dense panels), so the tail
-    // always smooths densely here.
-    commit_and_smooth(model, lag, InferenceBackend::Scaled, ws, scratch, t);
+    commit_rules(ws, scratch, t, lag);
+    let mut fin = LockstepFinish::default();
+    match smoothing_action(lag, t, ws.smoothed_upto) {
+        Some(SmoothAction::CopyFiltered) => {
+            scratch.smoothed[..k].copy_from_slice(ws.alpha_row(t));
+            scratch.smoothed_len = 1;
+            scratch.smoothed_start = t;
+            ws.smoothed_upto = t + 1;
+            fin.smoothed_rows = 1;
+        }
+        Some(SmoothAction::Block { .. }) => fin.block_due = true,
+        None => {}
+    }
     ws.t = t + 1;
+    fin
+}
+
+/// Runs the smoothing block deferred by [`lockstep_finish`] for one session
+/// through the scalar backward pass — the tail for sessions whose block
+/// fired without enough due peers to panelize (both backends batch their
+/// due-aligned groups through [`lockstep_smooth_block`]). Returns the
+/// smoothed rows emitted.
+pub(crate) fn lockstep_smooth_scalar<E: Emission>(
+    model: &Hmm<E>,
+    lag: usize,
+    backend: InferenceBackend,
+    ws: &mut StreamWorkspace,
+    scratch: &mut StreamScratch,
+) -> usize {
+    apply_smoothing(model, lag, backend, ws, scratch, ws.t - 1)
+}
+
+/// Runs the smoothing blocks deferred by [`lockstep_finish`] for a group of
+/// **due-aligned** sessions — sessions whose `2L` window boundary fired on
+/// the same lockstep step — in one batched panel pass. Returns the smoothed
+/// rows emitted (`L` per session).
+///
+/// The blocks need not share absolute stream time: a mid-stream block is
+/// always exactly `2L` steps ending at the session's newest token (see
+/// [`smoothing_action`]), so the backward recursion is uniform in the
+/// *offset* `d` from each session's own `from = t`. The panel therefore
+/// advances all sessions by offset: at `d` it builds the weight rows
+/// `w[s][j] = e_s(τ_s+1)[j] · β_s(τ_s+1)[j]` (where `τ_s = from_s − d`),
+/// drives one shared transposed-GEMM step over the transition matrix via
+/// [`beta_panel_step`], sum-normalizes per session, and for `d ≥ L` emits
+/// the γ row of `τ_s`. This replaces `S` independent O(L·k²) scalar passes
+/// with one panelized pass over the shared matrix.
+///
+/// For sparse-backend groups, `sparse` carries the epoch-shared pruned
+/// forward matrix Ã and the backward step becomes [`beta_panel_step_sparse`]:
+/// one walk over the stored CSR entries per offset, each `ã[(i, j)]`
+/// broadcast across the session lanes — the same amortization the sparse
+/// lockstep kernel applies to the forward pass.
+///
+/// Bit-identity with [`backward_smooth`] holds lane-wise: each session's β
+/// entry accumulates `Σ_j a[(i, j)] · w[j]` over ascending `j` in a single
+/// accumulator inside [`beta_panel_step`] / [`beta_panel_step_sparse`]
+/// (the scalar dot's exact op order, including [`CsrMatrix::dot_row`]'s
+/// `ã · w` stored-order chain — the panel vectorizes *across sessions*,
+/// never reassociating within one), the normalizer is the same ascending
+/// `iter().sum()` + divide, and the γ rows are the same `α̂ ⊙ β` +
+/// `normalize_in_place`. The emitted rows land in `panel.gamma`
+/// (per-session row-major), and `ws.smoothed_upto` advances exactly as the
+/// scalar block would.
+pub(crate) fn lockstep_smooth_block<E: Emission>(
+    model: &Hmm<E>,
+    lag: usize,
+    sparse: Option<&CsrMatrix>,
+    group: &mut [&mut StreamWorkspace],
+    panel: &mut SmoothPanel,
+) -> usize {
+    let k = model.num_states();
+    let a = model.transition();
+    let win = 2 * lag;
+    panel.ensure(group.len(), k, lag);
+    let kl = k * LANES;
+    let active = (panel.width / LANES) * kl;
+
+    // d = 0: β(from) = 1 for every lane (pad lanes included — harmless).
+    panel.beta[0][..active].fill(1.0);
+    for d in 1..win {
+        let parity = d % 2;
+        // Weight rows w[s][j] = e(τ+1)[j] · β(τ+1)[j], built tile-major:
+        // gather the lane emission rows once, then one contiguous 8-lane
+        // sweep per tile (sequential reads per lane stream, contiguous
+        // writes) instead of a stride-LANES scatter per session.
+        {
+            let (w_t, beta_prev) = (&mut panel.w_t, &panel.beta[1 - parity]);
+            let zero = &panel.zero_row[..k];
+            for (tile, lanes) in group.chunks(LANES).enumerate() {
+                let base = tile * kl;
+                let mut rows: [&[f64]; LANES] = [zero; LANES];
+                for (l, ws) in lanes.iter().enumerate() {
+                    let from = ws.t - 1;
+                    let slot = ws.slot(from - d + 1);
+                    rows[l] = &ws.emis[slot * k..(slot + 1) * k];
+                }
+                let beta_tile = &beta_prev[base..base + kl];
+                let w_tile = &mut w_t[base..base + kl];
+                for (j, (w8, b8)) in w_tile
+                    .chunks_exact_mut(LANES)
+                    .zip(beta_tile.chunks_exact(LANES))
+                    .enumerate()
+                {
+                    for l in 0..LANES {
+                        w8[l] = rows[l][j] * b8[l];
+                    }
+                }
+            }
+        }
+        // One shared backward step for the whole group: β(τ)[s][i] =
+        // Σ_j a[(i, j)] · w[s][j] over the lane tiles.
+        {
+            let (w_t, beta) = (&panel.w_t, &mut panel.beta);
+            match sparse {
+                Some(fwd) => beta_panel_step_sparse::<LANES>(
+                    fwd,
+                    &w_t[..active],
+                    &mut beta[parity][..active],
+                ),
+                None => beta_panel_step::<LANES>(a, &w_t[..active], &mut beta[parity][..active]),
+            }
+        }
+        // Per-session sum-normalize, the scalar op order per lane
+        // (ascending-state single-accumulator sum, then divide), swept
+        // tile-major so every load and store is contiguous. Lanes whose sum
+        // is not positive divide by 1.0 — the bit-exact identity — instead
+        // of branching per element, which keeps the sweep uniform (and
+        // leaves dead pad lanes at 0).
+        {
+            let beta_cur = &mut panel.beta[parity];
+            for tile_base in (0..active).step_by(kl) {
+                let mut norm = [0.0f64; LANES];
+                for j in 0..k {
+                    let o = tile_base + j * LANES;
+                    let b8: &[f64; LANES] = beta_cur[o..o + LANES].try_into().unwrap();
+                    for l in 0..LANES {
+                        norm[l] += b8[l];
+                    }
+                }
+                let mut div = [1.0f64; LANES];
+                for l in 0..LANES {
+                    if norm[l] > 0.0 {
+                        div[l] = norm[l];
+                    }
+                }
+                for j in 0..k {
+                    let o = tile_base + j * LANES;
+                    let b8: &mut [f64; LANES] = (&mut beta_cur[o..o + LANES]).try_into().unwrap();
+                    for l in 0..LANES {
+                        b8[l] /= div[l];
+                    }
+                }
+            }
+        }
+        // Emit γ(τ) = normalize(α̂ ⊙ β) once τ is in the oldest-L span.
+        if d >= lag {
+            let r = win - 1 - d;
+            let (gamma, beta) = (&mut panel.gamma, &panel.beta[parity]);
+            for (s, ws) in group.iter().enumerate() {
+                let tau = ws.t - 1 - d;
+                let alpha_row = ws.alpha_row(tau);
+                let tb = (s / LANES) * kl + (s % LANES);
+                let out = &mut gamma[(s * lag + r) * k..(s * lag + r + 1) * k];
+                for (j, (g, &av)) in out.iter_mut().zip(alpha_row).enumerate() {
+                    *g = av * beta[tb + j * LANES];
+                }
+                dhmm_linalg::normalize_in_place(out);
+            }
+        }
+    }
+    for ws in group.iter_mut() {
+        debug_assert_eq!(
+            ws.t - ws.smoothed_upto,
+            win,
+            "a due-aligned session must hold exactly one full 2L window"
+        );
+        ws.smoothed_upto = ws.t - lag;
+    }
+    group.len() * lag
 }
 
 /// Finds the newest time at which all surviving Viterbi paths pass through a
@@ -975,7 +1390,12 @@ pub(crate) fn flush_stream<E: Emission>(
     let score = ws.viterbi_log + best_val.ln();
 
     // Remaining smoothed rows (everything not yet emitted by block passes).
-    if lag > 0 && ws.smoothed_upto <= last {
+    if let Some(SmoothAction::Block {
+        from,
+        downto,
+        emit_upto,
+    }) = flush_smoothing_action(lag, last, ws.smoothed_upto)
+    {
         // A flush through a leased scratch may land after another session's
         // pushes evicted this stream's compiled transitions: re-prepare.
         if let InferenceBackend::Sparse(params) = backend {
@@ -983,7 +1403,7 @@ pub(crate) fn flush_stream<E: Emission>(
                 .trans
                 .prepare_sparse(model.transition(), epoch, params);
         }
-        backward_smooth(model, backend, ws, scratch, last, ws.smoothed_upto, last);
+        backward_smooth(model, backend, ws, scratch, from, downto, emit_upto);
         ws.smoothed_upto = ws.t;
     }
     score
@@ -1148,5 +1568,218 @@ impl<'m, E: Emission> StreamingDecoder<'m, E> {
     /// allocation-free restart path).
     pub fn reset(&mut self) {
         self.ws.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhmm_hmm::emission::DiscreteEmission;
+    use dhmm_linalg::Matrix;
+
+    fn model() -> Hmm<DiscreteEmission> {
+        let emission = DiscreteEmission::new(
+            Matrix::from_rows(&[vec![0.7, 0.3], vec![0.4, 0.6], vec![0.1, 0.9]]).unwrap(),
+        )
+        .unwrap();
+        let transition = Matrix::from_rows(&[
+            vec![0.6, 0.3, 0.1],
+            vec![0.2, 0.5, 0.3],
+            vec![0.3, 0.2, 0.5],
+        ])
+        .unwrap();
+        Hmm::new(vec![0.5, 0.3, 0.2], transition, emission).unwrap()
+    }
+
+    /// The single-sourced window math: lag 0 copies every row as it
+    /// streams; lag > 0 fires exclusively on the exact `2L`-step boundary,
+    /// so every mid-stream block spans `2L` steps and emits `L` rows.
+    #[test]
+    fn smoothing_action_fires_only_on_exact_window_boundaries() {
+        // lag 0: the filtered row is the smoothed row, every push.
+        assert_eq!(smoothing_action(0, 0, 0), Some(SmoothAction::CopyFiltered));
+        assert_eq!(smoothing_action(0, 7, 7), Some(SmoothAction::CopyFiltered));
+
+        // lag 1 (window 2): nothing at t = 0, then a one-row block on every
+        // push — each spans the 2 newest steps and emits the older one.
+        assert_eq!(smoothing_action(1, 0, 0), None);
+        assert_eq!(
+            smoothing_action(1, 1, 0),
+            Some(SmoothAction::Block {
+                from: 1,
+                downto: 0,
+                emit_upto: 0
+            })
+        );
+        assert_eq!(
+            smoothing_action(1, 2, 1),
+            Some(SmoothAction::Block {
+                from: 2,
+                downto: 1,
+                emit_upto: 1
+            })
+        );
+
+        // lag 8 (window 16): the first block waits for 16 steps, emits the
+        // oldest 8, and the window then grows back from 8 un-smoothed steps.
+        for t in 0..15 {
+            assert_eq!(smoothing_action(8, t, 0), None);
+        }
+        assert_eq!(
+            smoothing_action(8, 15, 0),
+            Some(SmoothAction::Block {
+                from: 15,
+                downto: 0,
+                emit_upto: 7
+            })
+        );
+        for t in 16..23 {
+            assert_eq!(smoothing_action(8, t, 8), None);
+        }
+        assert_eq!(
+            smoothing_action(8, 23, 8),
+            Some(SmoothAction::Block {
+                from: 23,
+                downto: 8,
+                emit_upto: 15
+            })
+        );
+    }
+
+    /// The flush block emits everything not yet emitted — through `last`,
+    /// not `last − L` — and is skipped when lag 0 already copied every row
+    /// or the stream ended exactly on a block boundary with nothing held.
+    #[test]
+    fn flush_smoothing_action_covers_exactly_the_unemitted_tail() {
+        assert_eq!(flush_smoothing_action(0, 9, 10), None);
+        assert_eq!(
+            flush_smoothing_action(2, 9, 6),
+            Some(SmoothAction::Block {
+                from: 9,
+                downto: 6,
+                emit_upto: 9
+            })
+        );
+        // One un-smoothed row left: a single-row block conditioned on the
+        // full prefix.
+        assert_eq!(
+            flush_smoothing_action(1, 4, 4),
+            Some(SmoothAction::Block {
+                from: 4,
+                downto: 4,
+                emit_upto: 4
+            })
+        );
+        // Everything already emitted (flush right after a lag-0 copy).
+        assert_eq!(flush_smoothing_action(1, 4, 5), None);
+    }
+
+    /// Drives three sessions through the lockstep stage/kernel/finish loop
+    /// by hand and routes every due smoothing block through the batched
+    /// panel pass, asserting the γ rows, log-likelihoods and window
+    /// positions are bit-identical to per-session [`StreamingDecoder`]s —
+    /// under both the dense backend (shared GEMM β step) and the sparse
+    /// backend (shared CSR walk over a genuinely pruned Ã). This is the
+    /// only place the batched rows themselves are pinned — the pool
+    /// discards smoothed posteriors, so pool-level parity cannot see them.
+    #[test]
+    fn batched_smoothing_block_is_bit_identical_to_the_scalar_pass() {
+        // threshold 0.15 prunes the 0.1 entries of the hand-built matrix,
+        // so the sparse axis exercises a CSR panel with real structural
+        // holes, not a dense matrix in CSR clothing.
+        let params = SparseParams::threshold(0.15).with_beam(0.05);
+        for backend in [InferenceBackend::Scaled, InferenceBackend::Sparse(params)] {
+            batched_block_parity(backend);
+        }
+    }
+
+    fn batched_block_parity(backend: InferenceBackend) {
+        let m = model();
+        let lag = 2usize;
+        let k = m.num_states();
+        let seqs: [Vec<usize>; 3] = [
+            vec![0, 1, 1, 0, 1, 0, 0, 1],
+            vec![1, 0, 0, 1, 1, 1, 0, 0],
+            vec![1, 1, 0, 0, 0, 1, 1, 0],
+        ];
+
+        let config = StreamConfig::default().with_lag(lag).with_backend(backend);
+        let mut reference: Vec<StreamingDecoder<'_, DiscreteEmission>> = seqs
+            .iter()
+            .map(|_| StreamingDecoder::with_config(&m, config).unwrap())
+            .collect();
+
+        let mut wss: Vec<StreamWorkspace> = seqs.iter().map(|_| StreamWorkspace::new()).collect();
+        let mut scratch = StreamScratch::new();
+        let mut panel = BatchPanel::new();
+        let mut smooth_panel = SmoothPanel::new();
+        panel.ensure(seqs.len(), k);
+        let sparse = matches!(backend, InferenceBackend::Sparse(_));
+        if let InferenceBackend::Sparse(p) = backend {
+            scratch.trans.prepare_sparse(m.transition(), 0, p);
+        } else {
+            panel.load_transition(m.transition());
+        }
+
+        let mut block_steps = 0usize;
+        for t in 0..seqs[0].len() {
+            for (s, ws) in wss.iter_mut().enumerate() {
+                lockstep_stage(&m, lag, ws, &mut panel, s, &seqs[s][t]);
+            }
+            if sparse {
+                lockstep_kernel_sparse(&mut panel, scratch.trans.csr.transposed());
+            } else {
+                lockstep_kernel(&mut panel);
+            }
+            let mut due = 0usize;
+            for (s, ws) in wss.iter_mut().enumerate() {
+                let fin = lockstep_finish(&m, lag, backend, ws, &mut scratch, &mut panel, s);
+                assert_eq!(fin.smoothed_rows, 0, "lag > 0 never copies inline");
+                if fin.block_due {
+                    due += 1;
+                }
+            }
+            // Reference rows emitted by the scalar path at this same step.
+            let want: Vec<Vec<f64>> = reference
+                .iter_mut()
+                .zip(&seqs)
+                .map(|(dec, seq)| dec.push(&seq[t]).smoothed.to_vec())
+                .collect();
+
+            if due > 0 {
+                // Same start, same lag: the whole group is due together.
+                assert_eq!(due, seqs.len());
+                block_steps += 1;
+                let csr = if sparse {
+                    Some(scratch.trans.csr.forward())
+                } else {
+                    None
+                };
+                let mut group: Vec<&mut StreamWorkspace> = wss.iter_mut().collect();
+                let rows = lockstep_smooth_block(&m, lag, csr, &mut group, &mut smooth_panel);
+                assert_eq!(rows, seqs.len() * lag);
+                for (s, want_rows) in want.iter().enumerate() {
+                    let got = &smooth_panel.gamma[s * lag * k..(s * lag + lag) * k];
+                    assert_eq!(got.len(), want_rows.len());
+                    for (g, w) in got.iter().zip(want_rows) {
+                        assert_eq!(g.to_bits(), w.to_bits());
+                    }
+                }
+            } else {
+                for want_rows in &want {
+                    assert!(want_rows.is_empty());
+                }
+            }
+        }
+        // 8 tokens at lag 2: blocks at t = 3, 5, 7.
+        assert_eq!(block_steps, 3);
+
+        for (ws, dec) in wss.iter().zip(&reference) {
+            assert_eq!(ws.log_likelihood.to_bits(), dec.ws.log_likelihood.to_bits());
+            assert_eq!(ws.viterbi_log.to_bits(), dec.ws.viterbi_log.to_bits());
+            assert_eq!(ws.smoothed_upto, dec.ws.smoothed_upto);
+            assert_eq!(ws.t, dec.ws.t);
+            assert_eq!(ws.base, dec.ws.base);
+        }
     }
 }

@@ -47,7 +47,7 @@ pub mod workspace;
 pub use decoder::{FlushOutput, StepOutput, StreamConfig, StreamingDecoder};
 pub use error::StreamError;
 pub use session::{SessionId, SessionPool, TickReport};
-pub use workspace::{BatchPanel, StreamScratch, StreamWorkspace};
+pub use workspace::{BatchPanel, SmoothPanel, StreamScratch, StreamWorkspace};
 
 // Re-exported so `dhmm_stream` is self-sufficient for callers configuring a
 // stream (the knobs are defined by `dhmm_hmm` / `dhmm_runtime`).

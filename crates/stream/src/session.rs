@@ -46,10 +46,11 @@
 //! the buffers are grow-only).
 
 use crate::decoder::{
-    flush_stream, lockstep_finish, lockstep_kernel, lockstep_stage, push_token, ring_window,
+    flush_stream, lockstep_finish, lockstep_kernel, lockstep_kernel_sparse, lockstep_smooth_block,
+    lockstep_smooth_scalar, lockstep_stage, push_token, ring_window,
 };
 use crate::error::StreamError;
-use crate::workspace::{BatchPanel, StreamScratch, StreamWorkspace};
+use crate::workspace::{BatchPanel, SmoothPanel, StreamScratch, StreamWorkspace};
 use crate::StreamConfig;
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
@@ -185,45 +186,104 @@ fn rebind_slot<E: Emission>(
 
 /// Advances one lockstep group — sessions on the current epoch with equal
 /// pending depth — one token per step: a staging pass gathers every
-/// session's state into the shared panel, the fused kernel advances every
-/// session's filter and Viterbi rows from a single pass over the shared
-/// transition matrix, and a per-session finish pass runs the
-/// emission/scale and the (inherently per-session) commit + smoothing
-/// tail. Sessions need not be at the same stream time `t` — each step
-/// reads and writes only per-session rings.
+/// session's state into the shared panel, the fused kernel (dense, or the
+/// CSR walk under the sparse backend) advances every session's filter and
+/// Viterbi rows from a single pass over the shared transition matrix, and a
+/// per-session finish pass runs the emission/scale and the (inherently
+/// per-session) commit tail. Sessions need not be at the same stream time
+/// `t` — each step reads and writes only per-session rings.
+///
+/// Fixed-lag smoothing is handled per *step*, not per session: every
+/// session whose `2L` window boundary fired on this step (reported deferred
+/// by the finish pass) is **due-aligned** — its block has the exact same
+/// `2L`-step shape regardless of absolute `t` — so all due sessions run one
+/// batched panel pass over the shared transition matrix (dense GEMM step or
+/// shared CSR walk, [`lockstep_smooth_block`]) instead of S scalar backward
+/// passes. Lone due sessions (staggered creation, post-hot-swap phase
+/// offsets) take the scalar tail, bit-identically.
 ///
 /// Every pass is serial, so lockstep adds no policy-dependence of its own:
 /// worker policies can only change which groups run on which worker, never
 /// the arithmetic inside a group.
+///
+/// Returns `(batched_rows, scalar_rows)` — smoothed rows emitted through
+/// the panel pass vs the per-session path, for the tick report.
+#[allow(clippy::too_many_arguments)]
 fn lockstep_group<E: Emission>(
     model: &Arc<Hmm<E>>,
     lag: usize,
+    backend: InferenceBackend,
+    epoch: u64,
     clock: u64,
     group: &mut [&mut Slot<E>],
     depth: usize,
     panel: &mut BatchPanel,
+    smooth_panel: &mut SmoothPanel,
     scratch: &mut StreamScratch,
-) {
+) -> (usize, usize) {
     let k = model.num_states();
     panel.ensure(group.len(), k);
-    panel.load_transition(model.transition());
+    let sparse = matches!(backend, InferenceBackend::Sparse(_));
+    if let InferenceBackend::Sparse(params) = backend {
+        // The group shares one CSR compile per epoch (no-op once warm); the
+        // dense transpose panel is not loaded — the sparse kernel walks the
+        // CSR transposed (predecessor-major) orientation directly.
+        scratch
+            .trans
+            .prepare_sparse(model.transition(), epoch, params);
+    } else {
+        panel.load_transition(model.transition());
+    }
     for slot in group.iter_mut() {
         slot.last_active = clock;
     }
+    let mut batched_rows = 0usize;
+    let mut scalar_rows = 0usize;
+    let mut due: Vec<usize> = Vec::with_capacity(group.len());
     for d in 0..depth {
         for (s, slot) in group.iter_mut().enumerate() {
             lockstep_stage(&slot.model, lag, &mut slot.ws, panel, s, &slot.pending[d]);
         }
-        lockstep_kernel(panel);
+        if sparse {
+            lockstep_kernel_sparse(panel, scratch.trans.csr.transposed());
+        } else {
+            lockstep_kernel(panel);
+        }
+        due.clear();
         for (s, slot) in group.iter_mut().enumerate() {
             scratch.clear_outputs();
-            lockstep_finish(&*slot.model, lag, &mut slot.ws, scratch, panel, s);
+            let fin = lockstep_finish(&*slot.model, lag, backend, &mut slot.ws, scratch, panel, s);
             slot.out.extend_from_slice(&scratch.committed);
+            scalar_rows += fin.smoothed_rows;
+            if fin.block_due {
+                due.push(s);
+            }
+        }
+        if !due.is_empty() {
+            if due.len() >= LOCKSTEP_MIN_GROUP {
+                let mut block: Vec<&mut StreamWorkspace> = Vec::with_capacity(due.len());
+                let mut next = due.iter().copied().peekable();
+                for (s, slot) in group.iter_mut().enumerate() {
+                    if next.peek() == Some(&s) {
+                        block.push(&mut slot.ws);
+                        next.next();
+                    }
+                }
+                let csr = sparse.then(|| scratch.trans.csr.forward());
+                batched_rows += lockstep_smooth_block(model, lag, csr, &mut block, smooth_panel);
+            } else {
+                for &s in &due {
+                    let slot = &mut *group[s];
+                    scalar_rows +=
+                        lockstep_smooth_scalar(&*slot.model, lag, backend, &mut slot.ws, scratch);
+                }
+            }
         }
     }
     for slot in group.iter_mut() {
         slot.pending.clear();
     }
+    (batched_rows, scalar_rows)
 }
 
 /// Summary of one batch tick.
@@ -239,6 +299,13 @@ pub struct TickReport {
     pub lockstep_tokens: usize,
     /// Tokens advanced through the per-session scalar path this tick.
     pub scalar_tokens: usize,
+    /// Smoothed posterior rows emitted through the batched panel pass this
+    /// tick (due-aligned lockstep groups under the dense backend).
+    pub smoothing_batched_tokens: usize,
+    /// Smoothed posterior rows emitted through the per-session scalar pass
+    /// this tick (straggler bands, lag-0 copies, lone due sessions, and
+    /// every sparse-backend block).
+    pub smoothing_scalar_tokens: usize,
 }
 
 /// Many concurrent streaming sessions multiplexed over an epoch-versioned
@@ -257,6 +324,8 @@ pub struct SessionPool<E: Emission> {
     scratch: LeasePool<StreamScratch>,
     /// Shared structure-of-arrays staging for lockstep groups (grow-only).
     panel: BatchPanel,
+    /// Shared staging for batched smoothing blocks (grow-only).
+    smooth_panel: SmoothPanel,
     /// Logical clock: advances once per [`SessionPool::tick`]; the idle
     /// reference for eviction.
     clock: u64,
@@ -266,6 +335,12 @@ pub struct SessionPool<E: Emission> {
     lockstep_tokens: u64,
     /// Tokens advanced through the scalar path over the pool's lifetime.
     scalar_tokens: u64,
+    /// Smoothed rows emitted through the batched panel pass over the pool's
+    /// lifetime.
+    smoothing_batched: u64,
+    /// Smoothed rows emitted through the per-session scalar pass over the
+    /// pool's lifetime (tick paths only, like the token counters).
+    smoothing_scalar: u64,
 }
 
 impl<E: Emission> std::fmt::Debug for SessionPool<E> {
@@ -295,18 +370,18 @@ impl<E: Emission> SessionPool<E> {
             parallelism: config.parallelism,
             pending_cap: config.pending_cap,
             committed_cap: config.committed_cap,
-            // The lockstep panels are dense-only: under the sparse backend
-            // every tick takes the per-session scalar path (which is where
-            // the CSR win lives anyway).
-            lockstep: config.lockstep && matches!(config.backend, InferenceBackend::Scaled),
+            lockstep: config.lockstep,
             slots: Vec::new(),
             free: Vec::new(),
             scratch: LeasePool::new(),
             panel: BatchPanel::new(),
+            smooth_panel: SmoothPanel::new(),
             clock: 0,
             evicted: 0,
             lockstep_tokens: 0,
             scalar_tokens: 0,
+            smoothing_batched: 0,
+            smoothing_scalar: 0,
         })
     }
 
@@ -347,8 +422,9 @@ impl<E: Emission> SessionPool<E> {
         self.evicted
     }
 
-    /// Whether batched lockstep ticks are enabled (always `false` under the
-    /// sparse backend, whose ticks are scalar per-session).
+    /// Whether batched lockstep ticks are enabled. Both backends batch:
+    /// dense groups run the fused register-tiled kernel, sparse groups walk
+    /// the shared CSR-compiled matrix once per step.
     pub fn lockstep_enabled(&self) -> bool {
         self.lockstep
     }
@@ -369,6 +445,21 @@ impl<E: Emission> SessionPool<E> {
     /// either counter).
     pub fn scalar_tokens_total(&self) -> u64 {
         self.scalar_tokens
+    }
+
+    /// Smoothed posterior rows emitted through the batched smoothing panel
+    /// over the pool's lifetime — the numerator of the batched-smoothing
+    /// hit rate, mirroring [`SessionPool::lockstep_tokens_total`].
+    pub fn smoothing_batched_total(&self) -> u64 {
+        self.smoothing_batched
+    }
+
+    /// Smoothed posterior rows emitted through the per-session scalar
+    /// smoothing path over the pool's lifetime (straggler bands, lag-0
+    /// copies, lone due sessions, sparse-backend blocks; flush-drained rows
+    /// are not counted by either counter, like the token split).
+    pub fn smoothing_scalar_total(&self) -> u64 {
+        self.smoothing_scalar
     }
 
     /// Number of currently open sessions.
@@ -575,16 +666,29 @@ impl<E: Emission> SessionPool<E> {
     /// shared transition matrix advances every session's filter row
     /// (multiply-add) and Viterbi row (multiply-max plus argmax) together,
     /// broadcasting each transition entry across register-resident session
-    /// tiles, instead of `S` separate k² loops. Everything else — singleton
+    /// tiles, instead of `S` separate k² loops. Under the sparse backend
+    /// the same grouping holds, with the kernel walking the shared
+    /// CSR-compiled matrix's stored entries once per step (there is no
+    /// scalar-tick downgrade for sparse pools). Everything else — singleton
     /// depths, and the whole pool when lockstep is disabled — falls back to
     /// the per-session scalar path, fanned out in deterministic contiguous
     /// bands over the configured worker policy.
     ///
-    /// Both paths are **bit-identical**: the fused kernel accumulates each
+    /// Fixed-lag smoothing inside a lockstep group is batched per *step*:
+    /// sessions whose `2L` window boundary fires on the same step are
+    /// **due-aligned** (the block shape depends only on the lag, never on
+    /// absolute stream time, so staggered-start and post-hot-swap sessions
+    /// co-batch whenever their boundaries coincide) and, under the dense
+    /// backend, share one panelized backward pass; lone due sessions and
+    /// sparse-backend blocks take the scalar tail. The split is reported by
+    /// [`TickReport::smoothing_batched_tokens`] /
+    /// [`TickReport::smoothing_scalar_tokens`].
+    ///
+    /// All paths are **bit-identical**: the fused kernels accumulate each
     /// filter entry in the scalar step's exact operation order (ascending
     /// predecessor index; the scalar loop's zero-predecessor skip only
-    /// drops exact `+0.0` terms), keeps the scalar first-occurrence
-    /// argmax, and the commit/smoothing tail is the same code. So are all worker policies — `Serial`, `Threads(n)`
+    /// drops exact `+0.0` terms), keep the scalar first-occurrence
+    /// argmax, and the commit/smoothing tail reuses the same helpers. So are all worker policies — `Serial`, `Threads(n)`
     /// and `Auto` produce the same labels, posteriors and log-likelihoods
     /// to the last bit (pinned by `tests/session_determinism.rs`).
     pub fn tick(&mut self) -> TickReport
@@ -617,6 +721,8 @@ impl<E: Emission> SessionPool<E> {
             rebound,
             lockstep_tokens: 0,
             scalar_tokens: total_tokens,
+            smoothing_batched_tokens: 0,
+            smoothing_scalar_tokens: 0,
         };
         if active.is_empty() {
             return report;
@@ -680,16 +786,21 @@ impl<E: Emission> SessionPool<E> {
                 let run = rest.iter().take_while(|s| s.pending.len() == depth).count();
                 let (group, tail) = std::mem::take(&mut rest).split_at_mut(run);
                 rest = tail;
-                lockstep_group(
+                let (batched_rows, scalar_rows) = lockstep_group(
                     model_ref,
                     lag,
+                    backend,
+                    epoch,
                     clock,
                     group,
                     depth,
                     &mut self.panel,
+                    &mut self.smooth_panel,
                     &mut scratches[0],
                 );
                 report.lockstep_tokens += depth * group.len();
+                report.smoothing_batched_tokens += batched_rows;
+                report.smoothing_scalar_tokens += scalar_rows;
             }
             straggler_from = grouped_until;
             report.scalar_tokens = report.tokens - report.lockstep_tokens;
@@ -708,7 +819,7 @@ impl<E: Emission> SessionPool<E> {
                         slot.last_active = clock;
                     }
                     for i in 0..slot.pending.len() {
-                        push_token(
+                        let rows = push_token(
                             &slot.model,
                             lag,
                             backend,
@@ -717,14 +828,23 @@ impl<E: Emission> SessionPool<E> {
                             scratch,
                             &slot.pending[i],
                         );
+                        scratch.tick_smoothing_rows += rows as u64;
                         slot.out.extend_from_slice(&scratch.committed);
                     }
                     slot.pending.clear();
                 }
             });
+            // Drain the per-band smoothing-row counters (each band owned
+            // its scratch, so the sum is policy-independent).
+            for sc in self.scratch.ensure(num_ranges).iter_mut() {
+                report.smoothing_scalar_tokens +=
+                    std::mem::take(&mut sc.tick_smoothing_rows) as usize;
+            }
         }
         self.lockstep_tokens += report.lockstep_tokens as u64;
         self.scalar_tokens += report.scalar_tokens as u64;
+        self.smoothing_batched += report.smoothing_batched_tokens as u64;
+        self.smoothing_scalar += report.smoothing_scalar_tokens as u64;
         report
     }
 

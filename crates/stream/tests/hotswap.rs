@@ -9,7 +9,8 @@
 //! untouched afterwards. Both hold under every worker policy.
 
 use dhmm_hmm::emission::DiscreteEmission;
-use dhmm_hmm::Hmm;
+use dhmm_hmm::sparse::SparseParams;
+use dhmm_hmm::{Hmm, InferenceBackend};
 use dhmm_stream::{Parallelism, SessionPool, StreamConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -141,7 +142,11 @@ const POLICIES: [Parallelism; 4] = [
 
 /// Drives many sessions through interleaved chunked ticks with two
 /// publishes at fixed tick indices; returns per-session (labels, ll bits).
-fn run_swapped_pool(policy: Parallelism, lockstep: bool) -> Vec<(Vec<usize>, u64)> {
+fn run_swapped_pool(
+    policy: Parallelism,
+    lockstep: bool,
+    backend: InferenceBackend,
+) -> Vec<(Vec<usize>, u64)> {
     let v = 5;
     let models = [
         random_hmm(3, v, 7),
@@ -154,6 +159,7 @@ fn run_swapped_pool(policy: Parallelism, lockstep: bool) -> Vec<(Vec<usize>, u64
         Arc::clone(&models[0]),
         StreamConfig::default()
             .with_lag(3)
+            .with_backend(backend)
             .with_parallelism(policy)
             .with_lockstep(lockstep),
     )
@@ -190,17 +196,27 @@ fn run_swapped_pool(policy: Parallelism, lockstep: bool) -> Vec<(Vec<usize>, u64
 
 #[test]
 fn determinism_across_policies_holds_with_swaps_interleaved() {
-    // Every (policy, lockstep) combination must agree bit-for-bit even
-    // with two mid-run publishes: sessions rebind at the same commit
-    // boundaries whether the tick advances them batched or one by one.
-    let mut runs = Vec::new();
-    for &p in &POLICIES {
-        for lockstep in [true, false] {
-            runs.push(run_swapped_pool(p, lockstep));
+    // Every (policy, lockstep, backend) combination must agree bit-for-bit
+    // even with two mid-run publishes: sessions rebind at the same commit
+    // boundaries whether the tick advances them batched (dense or CSR
+    // kernel) or one by one, and the epoch-keyed transition caches recompile
+    // at the same points.
+    for backend in [
+        InferenceBackend::Scaled,
+        InferenceBackend::Sparse(SparseParams::threshold(0.02).with_beam(0.01)),
+    ] {
+        let mut runs = Vec::new();
+        for &p in &POLICIES {
+            for lockstep in [true, false] {
+                runs.push(run_swapped_pool(p, lockstep, backend));
+            }
         }
-    }
-    for (i, run) in runs.iter().enumerate().skip(1) {
-        assert_eq!(run, &runs[0], "run {i} diverged from Serial+lockstep");
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                run, &runs[0],
+                "run {i} diverged from Serial+lockstep under {backend:?}"
+            );
+        }
     }
 }
 

@@ -191,47 +191,76 @@ proptest! {
 
     /// The batched lockstep tick is an execution strategy, not a semantic:
     /// a pool of co-resident sessions produces, per session, exactly the
-    /// scalar [`StreamingDecoder`]'s labels and likelihood bits — which the
-    /// tests above pin against offline decoding. Staggered lengths force
-    /// every tick shape: full groups, group + stragglers, scalar-only
-    /// tails.
+    /// scalar [`StreamingDecoder`]'s labels, likelihood bits and sparse
+    /// error-bound bits — which the tests above pin against offline
+    /// decoding. The sweep crosses lag ∈ {0, 1, 8} (the lag-0 copy path,
+    /// the every-push block boundary, and multi-step windows spanning
+    /// ticks) with both streaming backends (the dense and the CSR lockstep
+    /// kernels) and staggered session starts: two sessions join mid-stream,
+    /// so lockstep groups mix sessions at different absolute `t` and the
+    /// batched smoothing path must co-schedule due-aligned blocks that are
+    /// *not* t-aligned. Staggered lengths force every tick shape: full
+    /// groups, group + stragglers, scalar-only tails.
     #[test]
     fn lockstep_pool_equals_the_scalar_decoder(
-        k in 2usize..5, v in 2usize..6, seed in 0u64..300, lag in 0usize..5, chunk in 1usize..8
+        k in 2usize..5, v in 2usize..6, seed in 0u64..300, lag_pick in 0usize..3,
+        chunk in 1usize..8, sparse_bit in 0usize..2
     ) {
+        let lag = [0usize, 1, 8][lag_pick];
         let m = Arc::new(random_hmm(k, v, seed));
-        let lens = [24usize, 24, 24, 17, 17, 9];
+        let backend = if sparse_bit == 1 {
+            dhmm_hmm::InferenceBackend::Sparse(
+                dhmm_hmm::sparse::SparseParams::threshold(0.05).with_beam(0.02),
+            )
+        } else {
+            dhmm_hmm::InferenceBackend::Scaled
+        };
+        let config = StreamConfig::default()
+            .with_lag(lag)
+            .with_backend(backend)
+            .with_parallelism(Parallelism::Serial)
+            .with_lockstep(true);
+        // Sessions 6 and 7 join once 8 rounds have streamed: their windows
+        // are offset from the original cohort's by a data-dependent amount.
+        let lens = [24usize, 24, 24, 17, 17, 9, 16, 16];
+        let starts = [0usize, 0, 0, 0, 0, 0, 8, 8];
         let seqs: Vec<Vec<usize>> = lens
             .iter()
             .enumerate()
             .map(|(i, &len)| random_seq(v, len, seed.wrapping_add(10 + i as u64)))
             .collect();
 
-        let mut pool = SessionPool::with_config(
-            Arc::clone(&m),
-            StreamConfig::default()
-                .with_lag(lag)
-                .with_parallelism(Parallelism::Serial)
-                .with_lockstep(true),
-        )
-        .unwrap();
-        let ids: Vec<_> = seqs.iter().map(|_| pool.create()).collect();
+        let mut pool = SessionPool::with_config(Arc::clone(&m), config).unwrap();
+        let mut ids: Vec<Option<dhmm_stream::SessionId>> = vec![None; lens.len()];
+        let mut pushed = vec![0usize; lens.len()];
         let mut offset = 0;
-        while offset < 24 {
-            for (id, seq) in ids.iter().zip(&seqs) {
-                for &obs in seq.iter().skip(offset).take(chunk) {
-                    pool.push(*id, obs).unwrap();
+        while pushed.iter().zip(&lens).any(|(p, l)| p < l) {
+            for (i, seq) in seqs.iter().enumerate() {
+                if ids[i].is_none() && offset >= starts[i] {
+                    ids[i] = Some(pool.create());
+                }
+                if let Some(id) = ids[i] {
+                    let take = chunk.min(seq.len() - pushed[i]);
+                    for &obs in seq.iter().skip(pushed[i]).take(take) {
+                        pool.push(id, obs).unwrap();
+                    }
+                    pushed[i] += take;
                 }
             }
             pool.tick();
             offset += chunk;
         }
-        for (id, seq) in ids.iter().zip(&seqs) {
-            pool.flush(*id).unwrap();
-            let mut got = Vec::new();
-            pool.take_committed(*id, &mut got).unwrap();
+        // Equal-length cohorts share depths every round, so groups formed
+        // under both backends — the sparse pool really took the kernel path.
+        prop_assert!(pool.lockstep_tokens_total() > 0);
 
-            let mut dec = StreamingDecoder::new(&m, lag);
+        for (id, seq) in ids.iter().zip(&seqs) {
+            let id = id.unwrap();
+            pool.flush(id).unwrap();
+            let mut got = Vec::new();
+            pool.take_committed(id, &mut got).unwrap();
+
+            let mut dec = StreamingDecoder::with_config(&m, config).unwrap();
             let mut want = Vec::new();
             for obs in seq {
                 want.extend_from_slice(dec.push(obs).committed);
@@ -239,8 +268,12 @@ proptest! {
             want.extend_from_slice(dec.flush().committed);
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(
-                pool.log_likelihood(*id).unwrap().to_bits(),
+                pool.log_likelihood(id).unwrap().to_bits(),
                 dec.log_likelihood().to_bits()
+            );
+            prop_assert_eq!(
+                pool.sparse_error_bound(id).unwrap().to_bits(),
+                dec.sparse_error_bound().to_bits()
             );
         }
     }

@@ -7,7 +7,8 @@
 
 use dhmm_hmm::emission::DiscreteEmission;
 use dhmm_hmm::generate::generate_sequences;
-use dhmm_hmm::Hmm;
+use dhmm_hmm::sparse::SparseParams;
+use dhmm_hmm::{Hmm, InferenceBackend};
 use dhmm_linalg::Matrix;
 use dhmm_stream::{Parallelism, SessionPool, StreamConfig, StreamingDecoder};
 use rand::rngs::StdRng;
@@ -19,6 +20,16 @@ const POLICIES: [Parallelism; 3] = [
     Parallelism::Threads(2),
     Parallelism::Threads(8),
 ];
+
+/// Both streaming backends: the dense scaled engine and the CSR sparse
+/// engine (which since the sparse lockstep kernel also batches in
+/// lockstep, so it must hold the same determinism contract).
+fn backends() -> [InferenceBackend; 2] {
+    [
+        InferenceBackend::Scaled,
+        InferenceBackend::Sparse(SparseParams::threshold(0.02).with_beam(0.01)),
+    ]
+}
 
 fn model() -> Hmm<DiscreteEmission> {
     let emission = DiscreteEmission::new(
@@ -52,17 +63,19 @@ fn corpus(n: usize, len: usize) -> Vec<Vec<usize>> {
 type PoolTrace = Vec<(Vec<usize>, u64)>;
 
 /// Streams `seqs` through a pool in interleaved chunks under `policy`,
-/// with the batched lockstep path on or off.
+/// with the batched lockstep path on or off, under the given backend.
 fn run_pool_with(
     m: &Arc<Hmm<DiscreteEmission>>,
     seqs: &[Vec<usize>],
     policy: Parallelism,
     lockstep: bool,
+    backend: InferenceBackend,
 ) -> PoolTrace {
     let mut pool = SessionPool::with_config(
         Arc::clone(m),
         StreamConfig::default()
             .with_lag(4)
+            .with_backend(backend)
             .with_parallelism(policy)
             .with_lockstep(lockstep),
     )
@@ -92,7 +105,7 @@ fn run_pool_with(
 }
 
 fn run_pool(m: &Arc<Hmm<DiscreteEmission>>, seqs: &[Vec<usize>], policy: Parallelism) -> PoolTrace {
-    run_pool_with(m, seqs, policy, true)
+    run_pool_with(m, seqs, policy, true, InferenceBackend::Scaled)
 }
 
 /// Truncates the corpus to staggered lengths so ticks see a mix of lockstep
@@ -110,14 +123,19 @@ fn staggered(mut seqs: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
 fn pool_ticks_are_bit_identical_across_worker_policies_and_lockstep_modes() {
     let m = Arc::new(model());
     let seqs = staggered(corpus(12, 90));
-    let mut runs: Vec<PoolTrace> = Vec::new();
-    for &p in &POLICIES {
-        for lockstep in [true, false] {
-            runs.push(run_pool_with(&m, &seqs, p, lockstep));
+    for backend in backends() {
+        let mut runs: Vec<PoolTrace> = Vec::new();
+        for &p in &POLICIES {
+            for lockstep in [true, false] {
+                runs.push(run_pool_with(&m, &seqs, p, lockstep, backend));
+            }
         }
-    }
-    for (i, run) in runs.iter().enumerate().skip(1) {
-        assert_eq!(run, &runs[0], "run {i} diverged from Serial+lockstep");
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                run, &runs[0],
+                "run {i} diverged from Serial+lockstep under {backend:?}"
+            );
+        }
     }
 }
 
@@ -129,17 +147,20 @@ fn pool_sessions_match_standalone_decoders() {
     // pool advanced it via the batched lockstep path or the scalar path.
     let m = Arc::new(model());
     let seqs = staggered(corpus(6, 73));
-    for lockstep in [true, false] {
-        let pooled = run_pool_with(&m, &seqs, Parallelism::Threads(4), lockstep);
-        for (seq, (labels, ll_bits)) in seqs.iter().zip(&pooled) {
-            let mut dec = StreamingDecoder::new(&m, 4);
-            let mut path = Vec::new();
-            for obs in seq {
-                path.extend_from_slice(dec.push(obs).committed);
+    for backend in backends() {
+        for lockstep in [true, false] {
+            let pooled = run_pool_with(&m, &seqs, Parallelism::Threads(4), lockstep, backend);
+            for (seq, (labels, ll_bits)) in seqs.iter().zip(&pooled) {
+                let config = StreamConfig::default().with_lag(4).with_backend(backend);
+                let mut dec = StreamingDecoder::with_config(&m, config).unwrap();
+                let mut path = Vec::new();
+                for obs in seq {
+                    path.extend_from_slice(dec.push(obs).committed);
+                }
+                path.extend_from_slice(dec.flush().committed);
+                assert_eq!(&path, labels, "lockstep={lockstep} backend={backend:?}");
+                assert_eq!(dec.log_likelihood().to_bits(), *ll_bits);
             }
-            path.extend_from_slice(dec.flush().committed);
-            assert_eq!(&path, labels, "lockstep={lockstep}");
-            assert_eq!(dec.log_likelihood().to_bits(), *ll_bits);
         }
     }
 }

@@ -56,6 +56,11 @@ fn report_counts_active_flushed_idle_and_stale_epoch_sessions() {
             // Depths 3 and 4 are both singletons: no lockstep group forms.
             lockstep_tokens: 0,
             scalar_tokens: 7,
+            // At lag 2 a smoothing block fires on the 4th token: only
+            // busy_b gets that far, emitting its oldest 2 rows on the
+            // scalar path.
+            smoothing_batched_tokens: 0,
+            smoothing_scalar_tokens: 2,
         }
     );
 
@@ -82,6 +87,11 @@ fn token_split_tracks_group_membership_and_accumulates_on_the_pool() {
     assert_eq!(report.tokens, 13);
     assert_eq!(report.lockstep_tokens, 10);
     assert_eq!(report.scalar_tokens, 3);
+    // a and b hit their lag-2 window boundary on the same lockstep step,
+    // so their blocks run as one batched panel (2 rows each); c never
+    // accumulates the 4 tokens a block needs.
+    assert_eq!(report.smoothing_batched_tokens, 4);
+    assert_eq!(report.smoothing_scalar_tokens, 0);
 
     // All three at the same depth: one group, nothing scalar.
     for id in [a, b, c] {
@@ -90,10 +100,17 @@ fn token_split_tracks_group_membership_and_accumulates_on_the_pool() {
     let report = pool.tick();
     assert_eq!(report.lockstep_tokens, 6);
     assert_eq!(report.scalar_tokens, 0);
+    // Due-alignment is relative to each session's own window, not absolute
+    // stream time: a/b (at t=5) and c (at t=3) all fire on the group's
+    // first step and co-batch despite staggered depths.
+    assert_eq!(report.smoothing_batched_tokens, 6);
+    assert_eq!(report.smoothing_scalar_tokens, 0);
 
     // The pool-lifetime counters are the running sums of the reports.
     assert_eq!(pool.lockstep_tokens_total(), 16);
     assert_eq!(pool.scalar_tokens_total(), 3);
+    assert_eq!(pool.smoothing_batched_total(), 10);
+    assert_eq!(pool.smoothing_scalar_total(), 0);
 }
 
 #[test]
@@ -110,6 +127,8 @@ fn lockstep_disabled_routes_every_token_through_the_scalar_path() {
     assert_eq!(report.tokens, 6);
     assert_eq!(report.lockstep_tokens, 0);
     assert_eq!(report.scalar_tokens, 6);
+    assert_eq!(report.smoothing_batched_tokens, 0);
+    assert_eq!(report.smoothing_scalar_tokens, 0);
     assert_eq!(pool.lockstep_tokens_total(), 0);
     assert_eq!(pool.scalar_tokens_total(), 6);
 }
