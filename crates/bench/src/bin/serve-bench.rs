@@ -7,7 +7,11 @@
 //!
 //! * **request latency** — p50 / p99 / p99.9 / mean microseconds per
 //!   request over all clients (a round-trip includes framing, the engine
-//!   queue, one batch tick, and the reply);
+//!   queue, one batch tick, and the reply). Quantiles come from the same
+//!   `dhmm_telemetry` log-bucketed histogram the serving registry uses —
+//!   every client thread records into one shared lock-free histogram, and
+//!   each reported percentile underestimates the exact nearest-rank value
+//!   by at most [`REL_ERROR`] (recorded in the JSON metadata);
 //! * **throughput** — sessions/sec and tokens/sec of the whole replay.
 //!
 //! Run with:
@@ -24,6 +28,7 @@ use dhmm_hmm::init::random_stochastic_matrix;
 use dhmm_hmm::Hmm;
 use dhmm_runtime::Parallelism;
 use dhmm_serve::{Client, Request, Response, ServeConfig, Server};
+use dhmm_telemetry::{Histogram, REL_ERROR};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -128,19 +133,21 @@ fn stream(tokens: usize, seed: u64) -> Vec<usize> {
 }
 
 /// One client's replay: `sessions` sequential sessions of `tokens` tokens
-/// in `CHUNK`-sized push requests. Returns per-request latencies (ns).
+/// in `CHUNK`-sized push requests. Every request round-trip records into
+/// `hist` — a shared lock-free telemetry histogram, so concurrent clients
+/// aggregate without any post-hoc sample merging.
 fn replay_client(
     addr: std::net::SocketAddr,
     sessions: usize,
     tokens: usize,
     seed: u64,
-) -> Vec<f64> {
+    hist: &Histogram,
+) {
     let mut client = Client::connect(addr).expect("connect");
-    let mut samples = Vec::with_capacity(sessions * (tokens / CHUNK + 3));
-    let mut call = |client: &mut Client, req: &Request| -> Response {
-        let start = Instant::now();
+    let call = |client: &mut Client, req: &Request| -> Response {
+        let span = hist.span();
         let resp = client.call(req).expect("round-trip");
-        samples.push(start.elapsed().as_nanos() as f64);
+        drop(span);
         resp
     };
     for s in 0..sessions {
@@ -165,7 +172,6 @@ fn replay_client(
             other => panic!("close failed: {other:?}"),
         }
     }
-    samples
 }
 
 struct Row {
@@ -193,24 +199,27 @@ fn run_config(k: usize, lag: usize, clients: usize, args: &Args) -> Row {
     let addr = handle.local_addr();
 
     // Warm-up: one client, one session, sizes the pool scratch and warms
-    // the engine before anything is timed.
-    replay_client(addr, 1, args.tokens, 7);
+    // the engine before anything is timed (a no-op histogram skips even
+    // the clock reads).
+    replay_client(addr, 1, args.tokens, 7, &Histogram::noop());
 
     let sessions = args.sessions_per_client;
     let tokens = args.tokens;
+    let hist = Histogram::detached();
     let start = Instant::now();
     let workers: Vec<_> = (0..clients)
-        .map(|c| std::thread::spawn(move || replay_client(addr, sessions, tokens, 100 + c as u64)))
+        .map(|c| {
+            let hist = hist.clone();
+            std::thread::spawn(move || replay_client(addr, sessions, tokens, 100 + c as u64, &hist))
+        })
         .collect();
-    let mut samples: Vec<f64> = Vec::new();
     for w in workers {
-        samples.extend(w.join().expect("client thread"));
+        w.join().expect("client thread");
     }
     let wall = start.elapsed().as_secs_f64();
     handle.shutdown().expect("engine drains cleanly");
 
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pct = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize] / 1e3;
+    let snap = hist.snapshot();
     let total_sessions = clients * sessions;
     let total_tokens = total_sessions * tokens;
     Row {
@@ -219,10 +228,10 @@ fn run_config(k: usize, lag: usize, clients: usize, args: &Args) -> Row {
         clients,
         sessions: total_sessions,
         tokens_total: total_tokens,
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
-        p999_us: pct(0.999),
-        mean_us: samples.iter().sum::<f64>() / samples.len() as f64 / 1e3,
+        p50_us: snap.quantile(0.5) as f64 / 1e3,
+        p99_us: snap.quantile(0.99) as f64 / 1e3,
+        p999_us: snap.quantile(0.999) as f64 / 1e3,
+        mean_us: snap.mean() / 1e3,
         sessions_per_sec: total_sessions as f64 / wall,
         tokens_per_sec: total_tokens as f64 / wall,
     }
@@ -285,6 +294,8 @@ fn main() {
     let _ = writeln!(json, "  \"tokens_per_session\": {},", args.tokens);
     let _ = writeln!(json, "  \"push_chunk\": {CHUNK},");
     let _ = writeln!(json, "  \"engine_threads\": {},", args.threads);
+    json.push_str("  \"latency_quantile_source\": \"dhmm_telemetry_histogram\",\n");
+    let _ = writeln!(json, "  \"quantile_rel_error_bound\": {REL_ERROR},");
     json.push_str("  \"replay\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(

@@ -41,6 +41,7 @@ use dhmm_hmm::sparse::SparseParams;
 use dhmm_hmm::{CsrTransition, Hmm, InferenceBackend};
 use dhmm_linalg::Matrix;
 use dhmm_stream::{Parallelism, SessionPool, StreamConfig, StreamingDecoder};
+use dhmm_telemetry::{Histogram, Registry, TelemetrySink, REL_ERROR};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -212,10 +213,15 @@ struct LatencyRow {
 }
 
 /// Single-session per-token latency: push `tokens` tokens through a warm
-/// decoder. The percentile pass times each push individually; tokens/sec
-/// comes from a separate *uninstrumented* pass, so the committed
-/// throughput figure carries no `Instant::now` / sample-recording overhead
-/// (at sub-µs pushes, two timer reads per token would skew it by ~10%).
+/// decoder. The percentile pass times each push individually into a
+/// detached telemetry [`Histogram`] — the same log-bucketed structure the
+/// serving registry exports, so bench and production quantiles share one
+/// definition. Reported quantiles are bucket lower bounds, an
+/// underestimate by at most one bucket width (relative error ≤ `REL_ERROR`
+/// = 0.125, recorded in the JSON metadata). Tokens/sec comes from a
+/// separate *uninstrumented* pass, so the committed throughput figure
+/// carries no `Instant::now` / sample-recording overhead (at sub-µs
+/// pushes, two timer reads per token would skew it by ~10%).
 fn latency(k: usize, lag: usize, tokens: usize) -> LatencyRow {
     let m = model(k);
     let seq = stream(tokens, 99);
@@ -228,11 +234,11 @@ fn latency(k: usize, lag: usize, tokens: usize) -> LatencyRow {
     dec.reset();
 
     // Instrumented pass: per-push percentiles.
-    let mut samples = Vec::with_capacity(tokens);
+    let hist = Histogram::detached();
     for obs in &seq {
-        let start = Instant::now();
+        let span = hist.span();
         black_box(dec.push(obs).log_likelihood);
-        samples.push(start.elapsed().as_nanos() as f64);
+        drop(span);
     }
     dec.flush();
     dec.reset();
@@ -245,19 +251,18 @@ fn latency(k: usize, lag: usize, tokens: usize) -> LatencyRow {
     let wall = total.elapsed().as_secs_f64();
     dec.flush();
 
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pct = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    let snap = hist.snapshot();
     LatencyRow {
         k,
         lag,
-        p50_ns: pct(0.50),
-        p99_ns: pct(0.99),
+        p50_ns: snap.quantile(0.5) as f64,
+        p99_ns: snap.quantile(0.99) as f64,
         // p99.9 brackets the fixed-lag smoothing-block spike (one O(L·k²)
         // push every L tokens — see StreamingDecoder::push's latency
         // profile): the tail is flat beyond the block cost, so p99.9 ≈ p99
         // whenever the block lands inside the top percentile.
-        p999_ns: pct(0.999),
-        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        p999_ns: snap.quantile(0.999) as f64,
+        mean_ns: snap.mean(),
         tokens_per_sec: tokens as f64 / wall,
     }
 }
@@ -298,6 +303,22 @@ impl LockstepRow {
     }
 }
 
+/// One telemetry-overhead comparison: the identical pool run with the
+/// record path compiled out (`TelemetrySink::Disabled`) vs registry-backed.
+struct OverheadRow {
+    k: usize,
+    disabled_tokens_per_sec: f64,
+    enabled_tokens_per_sec: f64,
+}
+
+impl OverheadRow {
+    /// Throughput lost to telemetry, in percent (negative = noise favored
+    /// the instrumented run).
+    fn overhead_pct(&self) -> f64 {
+        100.0 * (1.0 - self.enabled_tokens_per_sec / self.disabled_tokens_per_sec)
+    }
+}
+
 /// What one multiplexed run measured: wall-clock throughput plus the
 /// pool-lifetime path counters the run accumulated.
 struct PoolRunStats {
@@ -315,6 +336,7 @@ fn pool_run(
     threads: usize,
     lockstep: bool,
     backend: InferenceBackend,
+    telemetry: TelemetrySink,
 ) -> PoolRunStats {
     let mut pool = SessionPool::with_config(
         Arc::clone(m),
@@ -322,7 +344,8 @@ fn pool_run(
             .with_lag(lag)
             .with_backend(backend)
             .with_parallelism(Parallelism::Threads(threads))
-            .with_lockstep(lockstep),
+            .with_lockstep(lockstep)
+            .with_telemetry(telemetry),
     )
     .expect("discrete models stream");
     let ids: Vec<_> = streams.iter().map(|_| pool.create()).collect();
@@ -397,16 +420,41 @@ fn main() {
                 // was recorded against; `--lockstep` benches the batched
                 // path separately below.
                 black_box(
-                    pool_run(&m, &streams, lag, 1, false, InferenceBackend::Scaled).tokens_per_sec,
+                    pool_run(
+                        &m,
+                        &streams,
+                        lag,
+                        1,
+                        false,
+                        InferenceBackend::Scaled,
+                        TelemetrySink::Disabled,
+                    )
+                    .tokens_per_sec,
                 );
-                let serial =
-                    pool_run(&m, &streams, lag, 1, false, InferenceBackend::Scaled).tokens_per_sec;
+                let serial = pool_run(
+                    &m,
+                    &streams,
+                    lag,
+                    1,
+                    false,
+                    InferenceBackend::Scaled,
+                    TelemetrySink::Disabled,
+                )
+                .tokens_per_sec;
                 for &threads in &args.threads {
                     let tps = if threads == 1 {
                         serial
                     } else {
-                        pool_run(&m, &streams, lag, threads, false, InferenceBackend::Scaled)
-                            .tokens_per_sec
+                        pool_run(
+                            &m,
+                            &streams,
+                            lag,
+                            threads,
+                            false,
+                            InferenceBackend::Scaled,
+                            TelemetrySink::Disabled,
+                        )
+                        .tokens_per_sec
                     };
                     throughput_rows.push(ThroughputRow {
                         k,
@@ -435,6 +483,69 @@ fn main() {
             r.threads,
             r.tokens_per_sec,
             r.speedup()
+        );
+    }
+
+    // Telemetry overhead: the same warmed lag-0, 8-session, single-thread
+    // run with the record path disabled vs registry-backed. Best-of-3 per
+    // sink so container timing noise doesn't masquerade as overhead — the
+    // instrumentation delta (a handful of relaxed atomics plus two clock
+    // reads per tick) is far below run-to-run noise.
+    let mut overhead_rows: Vec<OverheadRow> = Vec::new();
+    for &k in &args.sizes {
+        let m = Arc::new(model(k));
+        let streams: Vec<Vec<usize>> = (0..8)
+            .map(|i| stream(args.tokens, 3000 + i as u64))
+            .collect();
+        let best = |sink_of: &dyn Fn() -> TelemetrySink| -> f64 {
+            black_box(
+                pool_run(
+                    &m,
+                    &streams,
+                    0,
+                    1,
+                    true,
+                    InferenceBackend::Scaled,
+                    sink_of(),
+                )
+                .tokens_per_sec,
+            );
+            (0..3)
+                .map(|_| {
+                    pool_run(
+                        &m,
+                        &streams,
+                        0,
+                        1,
+                        true,
+                        InferenceBackend::Scaled,
+                        sink_of(),
+                    )
+                    .tokens_per_sec
+                })
+                .fold(0.0, f64::max)
+        };
+        let disabled = best(&|| TelemetrySink::Disabled);
+        let enabled = best(&|| TelemetrySink::Registry(Registry::new()));
+        overhead_rows.push(OverheadRow {
+            k,
+            disabled_tokens_per_sec: disabled,
+            enabled_tokens_per_sec: enabled,
+        });
+    }
+
+    println!("\nstream: telemetry overhead (lag 0, 8 sessions, 1 thread, best of 3)\n");
+    println!(
+        "{:>4} {:>16} {:>16} {:>12}",
+        "k", "disabled tok/s", "enabled tok/s", "overhead"
+    );
+    for r in &overhead_rows {
+        println!(
+            "{:>4} {:>16.0} {:>16.0} {:>11.2}%",
+            r.k,
+            r.disabled_tokens_per_sec,
+            r.enabled_tokens_per_sec,
+            r.overhead_pct()
         );
     }
 
@@ -468,9 +579,21 @@ fn main() {
                         let streams: Vec<Vec<usize>> = (0..sessions)
                             .map(|i| stream(args.tokens, 2000 + i as u64))
                             .collect();
-                        black_box(pool_run(&m, &streams, lag, 1, true, backend).tokens_per_sec);
-                        let scalar = pool_run(&m, &streams, lag, 1, false, backend);
-                        let lockstep = pool_run(&m, &streams, lag, 1, true, backend);
+                        black_box(
+                            pool_run(&m, &streams, lag, 1, true, backend, TelemetrySink::Disabled)
+                                .tokens_per_sec,
+                        );
+                        let scalar = pool_run(
+                            &m,
+                            &streams,
+                            lag,
+                            1,
+                            false,
+                            backend,
+                            TelemetrySink::Disabled,
+                        );
+                        let lockstep =
+                            pool_run(&m, &streams, lag, 1, true, backend, TelemetrySink::Disabled);
                         lockstep_rows.push(LockstepRow {
                             k,
                             lag,
@@ -522,6 +645,11 @@ fn main() {
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"vocab\": {VOCAB},");
     let _ = writeln!(json, "  \"tokens_per_session\": {},", args.tokens);
+    // Latency quantiles come from the telemetry layer's log-bucketed
+    // histogram (the same structure the serving registry exports): bucket
+    // lower bounds, an underestimate by at most one bucket width.
+    json.push_str("  \"latency_quantile_source\": \"dhmm_telemetry_histogram\",\n");
+    let _ = writeln!(json, "  \"quantile_rel_error_bound\": {REL_ERROR},");
     json.push_str("  \"latency\": [\n");
     for (i, r) in latency_rows.iter().enumerate() {
         let _ = write!(
@@ -544,6 +672,20 @@ fn main() {
             r.k, r.lag, r.sessions, r.threads, r.tokens_per_sec, r.speedup()
         );
         json.push_str(if i + 1 < throughput_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"telemetry_overhead\": [\n");
+    for (i, r) in overhead_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"k\": {}, \"lag\": 0, \"sessions\": 8, \"threads\": 1, \"disabled_tokens_per_sec\": {:.0}, \"enabled_tokens_per_sec\": {:.0}, \"overhead_pct\": {:.2}}}",
+            r.k, r.disabled_tokens_per_sec, r.enabled_tokens_per_sec, r.overhead_pct()
+        );
+        json.push_str(if i + 1 < overhead_rows.len() {
             ",\n"
         } else {
             "\n"

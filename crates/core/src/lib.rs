@@ -51,5 +51,7 @@ pub use config::{
 };
 pub use error::DhmmError;
 pub use supervised::{SupervisedDiversifiedHmm, SupervisedFitReport};
-pub use transition_update::{AscentWorkspace, DppTransitionUpdater, TransitionObjective};
+pub use transition_update::{
+    AscentStats, AscentWorkspace, DppTransitionUpdater, TransitionObjective,
+};
 pub use unsupervised::{DiversifiedFitReport, DiversifiedHmm};

@@ -15,7 +15,9 @@
 
 use crate::config::SupervisedConfig;
 use crate::error::DhmmError;
-use crate::transition_update::{maximize_transition_objective, TransitionObjective};
+use crate::transition_update::{
+    maximize_transition_objective_counted, AscentWorkspace, TransitionObjective,
+};
 use dhmm_dpp::log_det_kernel;
 use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
@@ -24,6 +26,7 @@ use dhmm_hmm::InferenceWorkspace;
 use dhmm_linalg::Matrix;
 use dhmm_prob::mean_pairwise_bhattacharyya;
 use dhmm_stream::{SessionPool, StreamConfig, StreamingDecoder};
+use dhmm_telemetry::TelemetrySink;
 use std::sync::Arc;
 
 /// Diagnostics of a supervised dHMM fit.
@@ -46,17 +49,33 @@ pub struct SupervisedFitReport {
 #[derive(Debug, Clone, Default)]
 pub struct SupervisedDiversifiedHmm {
     config: SupervisedConfig,
+    /// Metrics destination for training telemetry. Lives on the trainer
+    /// rather than [`SupervisedConfig`] so the config stays `Copy`;
+    /// disabled unless set via [`Self::with_telemetry`].
+    telemetry: TelemetrySink,
 }
 
 impl SupervisedDiversifiedHmm {
     /// Creates a trainer with the given configuration.
     pub fn new(config: SupervisedConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            telemetry: TelemetrySink::default(),
+        }
     }
 
     /// The trainer's configuration.
     pub fn config(&self) -> &SupervisedConfig {
         &self.config
+    }
+
+    /// Returns the trainer recording ascent accept/backtrack counts and
+    /// streaming telemetry for decoders/pools it builds into `telemetry`.
+    /// Fitted parameters and decoded labels are bit-identical with or
+    /// without it.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Fits a supervised dHMM from labeled sequences.
@@ -88,7 +107,27 @@ impl SupervisedDiversifiedHmm {
             )
             .with_backend(self.config.mstep)
             .with_parallelism(self.config.parallelism);
-            maximize_transition_objective(&objective, &anchor, &self.config.ascent)?
+            let (a, stats) = maximize_transition_objective_counted(
+                &objective,
+                &anchor,
+                &self.config.ascent,
+                &mut AscentWorkspace::new(),
+            )?;
+            self.telemetry
+                .counter(
+                    "dhmm_train_ascent_accepted_total",
+                    &[],
+                    "Accepted projected-gradient line-search steps",
+                )
+                .add(stats.accepted);
+            self.telemetry
+                .counter(
+                    "dhmm_train_ascent_rejected_total",
+                    &[],
+                    "Backtracked (non-improving) line-search trial steps",
+                )
+                .add(stats.rejected);
+            a
         } else {
             anchor.clone()
         };
@@ -133,6 +172,7 @@ impl SupervisedDiversifiedHmm {
             .with_lag(lag)
             .with_backend(self.config.backend)
             .with_parallelism(self.config.parallelism)
+            .with_telemetry(self.telemetry.clone())
     }
 
     /// Builds a single-session [`StreamingDecoder`] over a trained model,

@@ -34,6 +34,7 @@ use dhmm_hmm::baum_welch::TransitionUpdater;
 use dhmm_hmm::HmmError;
 use dhmm_linalg::{project_row_stochastic_with, Matrix};
 use dhmm_runtime::Parallelism;
+use dhmm_telemetry::{Counter, TelemetrySink};
 use std::sync::Mutex;
 
 /// Floor applied to transition probabilities inside logs and divisions.
@@ -302,6 +303,20 @@ impl AscentWorkspace {
     }
 }
 
+/// Line-search outcome counts from one projected-gradient ascent run.
+///
+/// `accepted` counts gradient steps whose candidate improved the objective
+/// (one per outer iteration that moved); `rejected` counts trial steps the
+/// backtracking line search discarded. A high rejected:accepted ratio means
+/// the initial step is badly scaled for the problem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AscentStats {
+    /// Accepted gradient steps.
+    pub accepted: u64,
+    /// Backtracked (non-improving) trial steps.
+    pub rejected: u64,
+}
+
 /// Runs the projected-gradient ascent of Algorithm 1 with a transient
 /// workspace. Prefer [`maximize_transition_objective_with`] when calling
 /// repeatedly (e.g. once per EM iteration).
@@ -313,19 +328,32 @@ pub fn maximize_transition_objective(
     maximize_transition_objective_with(objective, initial, config, &mut AscentWorkspace::new())
 }
 
-/// Runs the projected-gradient ascent of Algorithm 1, starting from
-/// `initial` (which is projected onto the simplex first) and returning the
-/// improved row-stochastic matrix. All intermediates — candidate, gradient,
-/// kernel/factorization buffers, projection scratch — live in `ws`, so the
-/// loop allocates nothing beyond the returned matrix once the workspace is
-/// warm.
+/// Like [`maximize_transition_objective_counted`] but discarding the
+/// line-search statistics.
 pub fn maximize_transition_objective_with(
     objective: &TransitionObjective<'_>,
     initial: &Matrix,
     config: &AscentConfig,
     ws: &mut AscentWorkspace,
 ) -> Result<Matrix, DhmmError> {
+    maximize_transition_objective_counted(objective, initial, config, ws).map(|(a, _)| a)
+}
+
+/// Runs the projected-gradient ascent of Algorithm 1, starting from
+/// `initial` (which is projected onto the simplex first) and returning the
+/// improved row-stochastic matrix together with the line-search
+/// [`AscentStats`]. All intermediates — candidate, gradient,
+/// kernel/factorization buffers, projection scratch — live in `ws`, so the
+/// loop allocates nothing beyond the returned matrix once the workspace is
+/// warm.
+pub fn maximize_transition_objective_counted(
+    objective: &TransitionObjective<'_>,
+    initial: &Matrix,
+    config: &AscentConfig,
+    ws: &mut AscentWorkspace,
+) -> Result<(Matrix, AscentStats), DhmmError> {
     config.validate()?;
+    let mut stats = AscentStats::default();
     let (k, d) = initial.shape();
     ws.ensure(k, d);
     let AscentWorkspace {
@@ -371,20 +399,22 @@ pub fn maximize_transition_objective_with(
                 std::mem::swap(current, candidate);
                 current_value = candidate_value;
                 improved = true;
+                stats.accepted += 1;
                 // Be mildly greedy: grow the step after a successful move.
                 step = (trial_step / config.backtrack_factor).min(config.initial_step * 10.0);
                 if gain < config.tolerance {
-                    return Ok(current.clone());
+                    return Ok((current.clone(), stats));
                 }
                 break;
             }
+            stats.rejected += 1;
             trial_step *= config.backtrack_factor;
         }
         if !improved {
             break;
         }
     }
-    Ok(current.clone())
+    Ok((current.clone(), stats))
 }
 
 /// A [`TransitionUpdater`] implementing the diversified M-step, pluggable
@@ -411,6 +441,11 @@ pub struct DppTransitionUpdater {
     /// default; the trainers overwrite it with their configured policy).
     pub parallelism: Parallelism,
     workspace: Mutex<AscentWorkspace>,
+    /// `dhmm_train_ascent_accepted_total` — accepted line-search steps
+    /// across all M-steps (no-op unless [`Self::with_telemetry`]).
+    accepted: Counter,
+    /// `dhmm_train_ascent_rejected_total` — backtracked trial steps.
+    rejected: Counter,
 }
 
 impl Clone for DppTransitionUpdater {
@@ -427,6 +462,8 @@ impl Clone for DppTransitionUpdater {
                     .expect("ascent workspace poisoned")
                     .clone(),
             ),
+            accepted: self.accepted.clone(),
+            rejected: self.rejected.clone(),
         }
     }
 }
@@ -443,6 +480,8 @@ impl DppTransitionUpdater {
             backend: MStepBackend::default(),
             parallelism: Parallelism::default(),
             workspace: Mutex::new(AscentWorkspace::new()),
+            accepted: Counter::noop(),
+            rejected: Counter::noop(),
         }
     }
 
@@ -455,6 +494,25 @@ impl DppTransitionUpdater {
     /// Returns the updater with a different worker policy.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns the updater recording line-search accept/backtrack counts
+    /// into `sink` (`dhmm_train_ascent_accepted_total` /
+    /// `dhmm_train_ascent_rejected_total`). Telemetry observes the ascent
+    /// from outside the arithmetic: the returned matrices are bit-identical
+    /// with or without it.
+    pub fn with_telemetry(mut self, sink: &TelemetrySink) -> Self {
+        self.accepted = sink.counter(
+            "dhmm_train_ascent_accepted_total",
+            &[],
+            "Accepted projected-gradient line-search steps",
+        );
+        self.rejected = sink.counter(
+            "dhmm_train_ascent_rejected_total",
+            &[],
+            "Backtracked (non-improving) line-search trial steps",
+        );
         self
     }
 }
@@ -502,11 +560,14 @@ impl TransitionUpdater for DppTransitionUpdater {
             }
         }
 
-        maximize_transition_objective_with(&objective, start, &self.ascent, &mut ws).map_err(|e| {
-            HmmError::InvalidParameters {
-                reason: format!("diversified transition update failed: {e}"),
-            }
-        })
+        let (a, stats) =
+            maximize_transition_objective_counted(&objective, start, &self.ascent, &mut ws)
+                .map_err(|e| HmmError::InvalidParameters {
+                    reason: format!("diversified transition update failed: {e}"),
+                })?;
+        self.accepted.add(stats.accepted);
+        self.rejected.add(stats.rejected);
+        Ok(a)
     }
 
     fn prior_objective(&self, a: &Matrix) -> Result<f64, HmmError> {
@@ -708,6 +769,46 @@ mod tests {
                 .unwrap();
             assert!(reused.approx_eq(&fresh, 0.0), "k={k}");
         }
+    }
+
+    #[test]
+    fn counted_ascent_reports_line_search_outcomes() {
+        let kernel = ProductKernel::bhattacharyya();
+        let c = counts();
+        let obj = TransitionObjective::unsupervised(&c, 5.0, kernel);
+        let mut start = c.clone();
+        start.normalize_rows();
+        let mut ws = AscentWorkspace::new();
+        let (counted, stats) =
+            maximize_transition_objective_counted(&obj, &start, &AscentConfig::default(), &mut ws)
+                .unwrap();
+        assert!(stats.accepted > 0, "ascent never moved: {stats:?}");
+        // The counted and uncounted entry points are the same algorithm.
+        let plain = maximize_transition_objective(&obj, &start, &AscentConfig::default()).unwrap();
+        assert!(counted.approx_eq(&plain, 0.0));
+    }
+
+    #[test]
+    fn updater_telemetry_counts_ascent_steps_without_changing_results() {
+        use dhmm_telemetry::{Registry, TelemetrySink};
+        let kernel = ProductKernel::bhattacharyya();
+        let sink = TelemetrySink::Registry(Registry::new());
+        let instrumented =
+            DppTransitionUpdater::new(5.0, kernel, AscentConfig::default()).with_telemetry(&sink);
+        let xi = counts();
+        let uniform = Matrix::filled(3, 3, 1.0 / 3.0);
+        let with = instrumented.update(&xi, &uniform).unwrap();
+        let without = DppTransitionUpdater::new(5.0, kernel, AscentConfig::default())
+            .update(&xi, &uniform)
+            .unwrap();
+        assert!(with.approx_eq(&without, 0.0));
+        assert!(
+            instrumented.accepted.value() > 0,
+            "no accepted steps recorded"
+        );
+        let text = sink.registry().unwrap().render();
+        assert!(text.contains("dhmm_train_ascent_accepted_total"), "{text}");
+        assert!(text.contains("dhmm_train_ascent_rejected_total"), "{text}");
     }
 
     #[test]

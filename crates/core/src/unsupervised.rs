@@ -17,6 +17,7 @@ use dhmm_hmm::model::Hmm;
 use dhmm_hmm::InferenceWorkspace;
 use dhmm_prob::mean_pairwise_bhattacharyya;
 use dhmm_stream::{SessionPool, StreamConfig, StreamingDecoder};
+use dhmm_telemetry::TelemetrySink;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -38,17 +39,35 @@ pub struct DiversifiedFitReport {
 #[derive(Debug, Clone, Default)]
 pub struct DiversifiedHmm {
     config: DiversifiedConfig,
+    /// Metrics destination for training telemetry. Lives on the trainer
+    /// rather than [`DiversifiedConfig`] so the config stays `Copy`;
+    /// disabled (all record calls are no-ops) unless set via
+    /// [`Self::with_telemetry`].
+    telemetry: TelemetrySink,
 }
 
 impl DiversifiedHmm {
     /// Creates a trainer with the given configuration.
     pub fn new(config: DiversifiedConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            telemetry: TelemetrySink::default(),
+        }
     }
 
     /// The trainer's configuration.
     pub fn config(&self) -> &DiversifiedConfig {
         &self.config
+    }
+
+    /// Returns the trainer recording per-iteration EM telemetry (E/M wall
+    /// time, log-likelihood trace, ascent accept/backtrack counts) and
+    /// streaming telemetry for decoders/pools it builds into `telemetry`.
+    /// Fitted parameters and decoded labels are bit-identical with or
+    /// without it.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Fits an existing model in place with MAP-EM and returns diagnostics.
@@ -64,13 +83,15 @@ impl DiversifiedHmm {
         let kernel = self.config.validate()?;
         let updater = DppTransitionUpdater::new(self.config.alpha, kernel, self.config.ascent)
             .with_backend(self.config.mstep)
-            .with_parallelism(self.config.parallelism);
+            .with_parallelism(self.config.parallelism)
+            .with_telemetry(&self.telemetry);
         let bw = BaumWelch::new(BaumWelchConfig {
             max_iterations: self.config.max_em_iterations,
             tolerance: self.config.em_tolerance,
             verbose: false,
             backend: self.config.backend,
             parallelism: self.config.parallelism,
+            telemetry: self.telemetry.clone(),
         });
         let fit = bw.fit_with_updater(model, sequences, &updater)?;
         let final_log_prior = if self.config.alpha > 0.0 {
@@ -172,6 +193,7 @@ impl DiversifiedHmm {
             .with_lag(lag)
             .with_backend(self.config.backend)
             .with_parallelism(self.config.parallelism)
+            .with_telemetry(self.telemetry.clone())
     }
 
     /// Builds a single-session [`StreamingDecoder`] over a trained model,

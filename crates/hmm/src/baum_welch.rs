@@ -18,6 +18,7 @@ use crate::scaled::InferenceBackend;
 use crate::workspace::WorkspacePool;
 use dhmm_linalg::Matrix;
 use dhmm_runtime::{with_thread_scratch, Executor, Parallelism};
+use dhmm_telemetry::{Counter, Gauge, Histogram, TelemetrySink};
 
 /// Below either of these data sizes an [`Parallelism::Auto`] E-step runs
 /// serially: the per-dispatch pool overhead would not be amortized. Explicit
@@ -69,7 +70,10 @@ impl TransitionUpdater for MleTransitionUpdater {
 }
 
 /// Configuration of the EM loop.
-#[derive(Debug, Clone, Copy)]
+///
+/// Not `Copy`: [`TelemetrySink`] can hold an `Arc`-backed registry. Clone
+/// is cheap (a handful of words plus one atomic refcount bump).
+#[derive(Debug, Clone)]
 pub struct BaumWelchConfig {
     /// Maximum number of EM iterations.
     pub max_iterations: usize,
@@ -83,6 +87,10 @@ pub struct BaumWelchConfig {
     /// Worker policy for the parallel E-step (`Auto` by default). Results
     /// are bit-identical for every setting; only wall-clock time changes.
     pub parallelism: Parallelism,
+    /// Metrics destination for per-iteration training telemetry (E/M wall
+    /// time, log-likelihood trace). [`TelemetrySink::Disabled`] by default:
+    /// every record call compiles to a no-op and no clock is read.
+    pub telemetry: TelemetrySink,
 }
 
 impl Default for BaumWelchConfig {
@@ -93,6 +101,7 @@ impl Default for BaumWelchConfig {
             verbose: false,
             backend: InferenceBackend::default(),
             parallelism: Parallelism::default(),
+            telemetry: TelemetrySink::default(),
         }
     }
 }
@@ -121,6 +130,57 @@ impl BaumWelchConfig {
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
+    }
+
+    /// Returns a copy with the given telemetry sink. Telemetry observes the
+    /// EM loop from outside the arithmetic — fitted parameters are
+    /// bit-identical whether it is enabled or not.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// Per-fit training metrics, resolved once from the config's sink so the
+/// per-iteration loop touches only cheap handles.
+struct TrainMetrics {
+    /// `dhmm_train_iterations_total` — EM iterations completed.
+    iterations: Counter,
+    /// `dhmm_train_estep_ns` — wall time of each E-step (forward–backward
+    /// over every sequence), in nanoseconds.
+    estep_ns: Histogram,
+    /// `dhmm_train_mstep_ns` — wall time of each M-step (π, transition
+    /// update, emission re-estimation), in nanoseconds.
+    mstep_ns: Histogram,
+    /// `dhmm_train_log_likelihood` — data log-likelihood after the most
+    /// recent iteration.
+    log_likelihood: Gauge,
+    /// `dhmm_train_objective_delta` — objective improvement over the
+    /// previous iteration (the quantity the tolerance check watches).
+    objective_delta: Gauge,
+}
+
+impl TrainMetrics {
+    fn new(sink: &TelemetrySink) -> Self {
+        Self {
+            iterations: sink.counter(
+                "dhmm_train_iterations_total",
+                &[],
+                "EM iterations completed",
+            ),
+            estep_ns: sink.histogram("dhmm_train_estep_ns", &[], "E-step wall time (ns)"),
+            mstep_ns: sink.histogram("dhmm_train_mstep_ns", &[], "M-step wall time (ns)"),
+            log_likelihood: sink.gauge(
+                "dhmm_train_log_likelihood",
+                &[],
+                "Data log-likelihood after the latest EM iteration",
+            ),
+            objective_delta: sink.gauge(
+                "dhmm_train_objective_delta",
+                &[],
+                "Objective improvement over the previous EM iteration",
+            ),
+        }
     }
 }
 
@@ -226,11 +286,13 @@ impl BaumWelch {
         // the E-step; both orders produce bit-identical models because the
         // jobs share no mutable state.
         let mstep_exec = Executor::new(self.config.parallelism);
+        let metrics = TrainMetrics::new(&self.config.telemetry);
 
         for _iter in 0..self.config.max_iterations {
             iterations += 1;
 
             // ---------------- E-step ----------------
+            let estep_span = metrics.estep_ns.span();
             let stats = e_step_on(
                 model,
                 sequences,
@@ -238,7 +300,10 @@ impl BaumWelch {
                 &mut pool,
                 self.config.parallelism,
             )?;
+            drop(estep_span);
             let data_ll: f64 = stats.iter().map(|s| s.log_likelihood).sum();
+
+            let mstep_span = metrics.mstep_ns.span();
 
             // ---------------- M-step ----------------
             // Initial distribution: average of the first-step posteriors.
@@ -275,13 +340,17 @@ impl BaumWelch {
             let new_a = transition_result?;
             emission_result?;
             model.set_transition(new_a)?;
+            drop(mstep_span);
 
             // ---------------- Convergence check ----------------
             let objective = data_ll + updater.prior_objective(model.transition())?;
+            metrics.iterations.inc();
+            metrics.log_likelihood.set(data_ll);
             log_likelihood_history.push(data_ll);
             objective_history.push(objective);
             if objective_history.len() >= 2 {
                 let prev = objective_history[objective_history.len() - 2];
+                metrics.objective_delta.set(objective - prev);
                 if dhmm_linalg::stats::relative_change(prev, objective) < self.config.tolerance {
                     converged = true;
                     break;
@@ -605,6 +674,48 @@ mod tests {
                 assert!(p.xi_sum.approx_eq(&s.xi_sum, 0.0), "workers={workers}");
             }
         }
+    }
+
+    #[test]
+    fn telemetry_records_iterations_without_changing_the_fit() {
+        use dhmm_telemetry::Registry;
+        let mut rng = StdRng::seed_from_u64(19);
+        let data: Vec<Vec<usize>> = generate_sequences(&ground_truth(), 30, 10, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.observations)
+            .collect();
+        let sink = TelemetrySink::Registry(Registry::new());
+        let config = BaumWelchConfig {
+            max_iterations: 5,
+            tolerance: 0.0,
+            ..BaumWelchConfig::default()
+        };
+        let mut instrumented = random_model(9);
+        let with = BaumWelch::new(config.clone().with_telemetry(sink.clone()))
+            .fit(&mut instrumented, &data)
+            .unwrap();
+        let mut plain = random_model(9);
+        let without = BaumWelch::new(config).fit(&mut plain, &data).unwrap();
+
+        // Telemetry observes the loop; it never perturbs the arithmetic.
+        for (a, b) in with
+            .log_likelihood_history
+            .iter()
+            .zip(&without.log_likelihood_history)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let text = sink.registry().unwrap().render();
+        assert!(
+            text.contains("dhmm_train_iterations_total 5"),
+            "iteration counter missing: {text}"
+        );
+        assert!(text.contains("dhmm_train_estep_ns_count 5"), "{text}");
+        assert!(text.contains("dhmm_train_mstep_ns_count 5"), "{text}");
+        assert!(text.contains("dhmm_train_log_likelihood"), "{text}");
+        assert!(text.contains("dhmm_train_objective_delta"), "{text}");
     }
 
     #[test]

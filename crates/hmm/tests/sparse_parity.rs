@@ -407,13 +407,13 @@ fn em_training_runs_under_the_sparse_backend() {
     };
     let sparse_fit = BaumWelch::new(BaumWelchConfig {
         backend: InferenceBackend::Sparse(SparseParams::exact()),
-        ..base
+        ..base.clone()
     })
     .fit(&mut sparse_model, &data)
     .unwrap();
     let scaled_fit = BaumWelch::new(BaumWelchConfig {
         backend: InferenceBackend::Scaled,
-        ..base
+        ..base.clone()
     })
     .fit(&mut scaled_model, &data)
     .unwrap();
@@ -432,7 +432,7 @@ fn em_training_runs_under_the_sparse_backend() {
     let mut pruned = random_hmm(3, 4, 22);
     let fit = BaumWelch::new(BaumWelchConfig {
         backend: InferenceBackend::Sparse(SparseParams::threshold(0.05)),
-        ..base
+        ..base.clone()
     })
     .fit(&mut pruned, &data)
     .unwrap();

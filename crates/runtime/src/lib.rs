@@ -37,6 +37,7 @@ pub mod lease;
 pub mod parallelism;
 pub(crate) mod pool;
 pub mod split;
+pub mod telemetry;
 
 pub use executor::Executor;
 pub use lease::{with_thread_scratch, LeasePool};

@@ -116,6 +116,7 @@ fn worker_loop(index: usize) {
         // SAFETY: the dispatcher blocks until this helper decrements
         // `outstanding` below, so the closure behind `ptr` is still alive.
         let f = unsafe { &*job.ptr };
+        let timing = crate::telemetry::timing_enabled().then(std::time::Instant::now);
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut task = index;
             while task < job.tasks {
@@ -123,6 +124,9 @@ fn worker_loop(index: usize) {
                 task += job.participants;
             }
         }));
+        if let Some(start) = timing {
+            crate::telemetry::add_busy_ns(start.elapsed().as_nanos() as u64);
+        }
         let mut st = shared.state.lock().expect("runtime pool poisoned");
         if let Err(payload) = result {
             // Keep the first payload; later panics of the same job add
@@ -183,6 +187,7 @@ pub(crate) fn run_tasks(tasks: usize, max_workers: usize, f: &(dyn Fn(usize) + S
         // Re-entrant or concurrent dispatch: the pool is already serving
         // another job, so run inline. Identical results by the determinism
         // contract; no deadlock possible.
+        crate::telemetry::count_inline_fallback(tasks);
         for task in 0..tasks {
             f(task);
         }
@@ -209,11 +214,13 @@ pub(crate) fn run_tasks(tasks: usize, max_workers: usize, f: &(dyn Fn(usize) + S
         if participants == 1 {
             drop(st);
             DISPATCHING.store(false, Ordering::Release);
+            crate::telemetry::count_inline_fallback(tasks);
             for task in 0..tasks {
                 f(task);
             }
             return;
         }
+        crate::telemetry::count_dispatch(tasks);
         st.epoch += 1;
         st.outstanding = participants - 1;
         st.panic_payload = None;
@@ -239,10 +246,14 @@ pub(crate) fn run_tasks(tasks: usize, max_workers: usize, f: &(dyn Fn(usize) + S
     };
     // The caller is participant 0; its panic (if any) unwinds through the
     // guard, which still waits for the helpers before the frame dies.
+    let timing = crate::telemetry::timing_enabled().then(std::time::Instant::now);
     let mut task = 0;
     while task < tasks {
         f(task);
         task += participants;
+    }
+    if let Some(start) = timing {
+        crate::telemetry::add_busy_ns(start.elapsed().as_nanos() as u64);
     }
     drop(guard);
 
@@ -283,6 +294,19 @@ mod tests {
         });
         assert_eq!(outer.load(Ordering::Relaxed), 4);
         assert_eq!(inner.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn telemetry_counters_advance_on_dispatch() {
+        use crate::telemetry;
+        let before = telemetry::dispatch_total() + telemetry::inline_fallback_total();
+        let tasks_before = telemetry::tasks_total();
+        run_tasks(8, 4, &|_| {});
+        // `>=`: other tests dispatch concurrently; this one contributes one
+        // dispatch (pooled or inline-fallback — helper spawning can fail)
+        // and eight tasks.
+        assert!(telemetry::dispatch_total() + telemetry::inline_fallback_total() > before);
+        assert!(telemetry::tasks_total() >= tasks_before + 8);
     }
 
     #[test]

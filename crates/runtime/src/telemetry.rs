@@ -1,0 +1,75 @@
+//! Process-global runtime counters, readable without linking any metrics
+//! crate.
+//!
+//! The worker pool is process-global state, so its counters are too: plain
+//! relaxed statics incremented on each dispatch, with `fn() -> u64` readers
+//! that a metrics registry can wrap (`dhmm_telemetry::Registry::counter_fn`)
+//! without this crate depending on it. Counting costs one relaxed
+//! `fetch_add` per *dispatch* (not per task), which is noise next to the
+//! job bodies the pool exists to amortize.
+//!
+//! Per-band busy-time accounting reads the monotonic clock twice per
+//! participant per dispatch, so it is gated behind [`set_timing_enabled`]
+//! (off by default): a serving process flips it on when telemetry is
+//! configured; everyone else never touches the clock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static DISPATCH_TOTAL: AtomicU64 = AtomicU64::new(0);
+static INLINE_FALLBACK_TOTAL: AtomicU64 = AtomicU64::new(0);
+static TASKS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static TIMING_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables (or disables) per-band busy-time accounting. Off by default so
+/// un-instrumented processes never read the clock on the dispatch path.
+pub fn set_timing_enabled(enabled: bool) {
+    TIMING_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn timing_enabled() -> bool {
+    TIMING_ENABLED.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn count_dispatch(tasks: usize) {
+    DISPATCH_TOTAL.fetch_add(1, Ordering::Relaxed);
+    TASKS_TOTAL.fetch_add(tasks as u64, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_inline_fallback(tasks: usize) {
+    INLINE_FALLBACK_TOTAL.fetch_add(1, Ordering::Relaxed);
+    TASKS_TOTAL.fetch_add(tasks as u64, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn add_busy_ns(ns: u64) {
+    BUSY_NS_TOTAL.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Pooled dispatches since process start (jobs that went through the parked
+/// worker pool).
+pub fn dispatch_total() -> u64 {
+    DISPATCH_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Dispatches that fell back to inline serial execution because the pool
+/// was already serving a job (re-entrant or concurrent dispatch) or had no
+/// helpers to offer.
+pub fn inline_fallback_total() -> u64 {
+    INLINE_FALLBACK_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Tasks (bands/row-ranges) executed across all dispatches, pooled and
+/// inline-fallback alike.
+pub fn tasks_total() -> u64 {
+    TASKS_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds of per-band busy time summed over every participant (caller
+/// and helpers). Zero unless [`set_timing_enabled`] was turned on.
+pub fn busy_ns_total() -> u64 {
+    BUSY_NS_TOTAL.load(Ordering::Relaxed)
+}

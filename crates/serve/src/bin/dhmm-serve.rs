@@ -16,7 +16,7 @@ use dhmm_hmm::emission::{DiscreteEmission, GaussianEmission};
 use dhmm_hmm::init::{random_parameters, random_stochastic_matrix, InitStrategy};
 use dhmm_hmm::Hmm;
 use dhmm_runtime::Parallelism;
-use dhmm_serve::{signals, Client, ServeConfig, Server};
+use dhmm_serve::{signals, Client, ServeConfig, Server, TelemetrySink};
 use dhmm_stream::{InferenceBackend, SparseParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,6 +53,12 @@ USAGE:
                    [--max-idle-ticks <n>] [--lockstep true|false]
                    [--backend scaled|sparse] [--sparse-threshold <p>]
                    [--sparse-top-p <p>] [--sparse-beam <p>]
+                   [--telemetry true|false]
+
+  Telemetry is on by default: the engine records counters, gauges and
+  latency histograms into the process-global registry, scrapeable over
+  the wire with the `metrics` verb (Prometheus text exposition).
+  --telemetry false compiles the record path to no-ops.
 
   Under --backend sparse the transition matrix is pruned into CSR form:
   --sparse-threshold drops entries below p (default 0, exact), or
@@ -112,6 +118,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let committed_cap: usize = take_parsed(&flags, "committed-cap", 65536)?;
     let max_idle_ticks: u64 = take_parsed(&flags, "max-idle-ticks", 0)?;
     let lockstep: bool = take_parsed(&flags, "lockstep", true)?;
+    let telemetry: bool = take_parsed(&flags, "telemetry", true)?;
     let backend = parse_backend(&flags)?;
 
     let parallelism = if threads == 0 {
@@ -130,7 +137,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         } else {
             Some(max_idle_ticks)
         })
-        .with_lockstep(lockstep);
+        .with_lockstep(lockstep)
+        .with_telemetry(if telemetry {
+            TelemetrySink::process_global()
+        } else {
+            TelemetrySink::Disabled
+        });
 
     signals::install_handler();
     let handle =

@@ -32,3 +32,4 @@ pub use protocol::{format_sid, read_frame, write_frame, Request, Response, MAX_F
 pub use server::{Client, DrainReport, ServableEmission, ServeConfig, Server, ServerHandle};
 
 pub use dhmm_stream::{SessionId, SessionPool};
+pub use dhmm_telemetry::{Registry, TelemetrySink};

@@ -19,6 +19,7 @@
 //! | `close <slot>.<gen>` | — |
 //! | `swap-model <path>` | checkpoint path, server-side |
 //! | `stats` | — |
+//! | `metrics` | — |
 //!
 //! Observations are formatted per emission family: discrete symbols as
 //! decimal integers, Gaussian observations as `{:.17e}` floats (17
@@ -39,7 +40,13 @@
 //! | `ok closed` | `close` |
 //! | `ok epoch <e>` | `swap-model` — the newly published epoch |
 //! | `ok stats active <n> epoch <e> clock <c> evicted <n> lockstep <n> scalar <n> smoothing-batched <n> smoothing-scalar <n>` | `stats` |
+//! | `ok metrics␊<exposition…>` | `metrics` — everything after the first newline is the Prometheus-style text exposition, verbatim |
 //! | `err <code> <message…>` | any verb |
+//!
+//! `ok metrics` is the one multi-line response: its payload is the verb
+//! tag, one `\n`, then the exposition text exactly as the registry rendered
+//! it (itself newline-terminated). Everything else stays single-line
+//! whitespace-tokenized.
 
 use crate::error::ServeError;
 use dhmm_stream::SessionId;
@@ -125,6 +132,8 @@ pub enum Request {
     },
     /// Pool statistics.
     Stats,
+    /// The server's metrics exposition (Prometheus-style text).
+    Metrics,
 }
 
 fn parse_sid(tok: &str) -> Result<SessionId, ServeError> {
@@ -185,6 +194,7 @@ impl Request {
                 }
             }
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             other => {
                 return Err(ServeError::BadRequest {
                     reason: format!("unknown verb {other:?}"),
@@ -215,6 +225,7 @@ impl Request {
             Request::Close { id } => format!("close {}", format_sid(*id)),
             Request::SwapModel { path } => format!("swap-model {path}"),
             Request::Stats => "stats".to_string(),
+            Request::Metrics => "metrics".to_string(),
         }
     }
 }
@@ -275,6 +286,14 @@ pub enum Response {
         /// Smoothed rows emitted through the scalar backward pass.
         smoothing_scalar: u64,
     },
+    /// `metrics` snapshot: the Prometheus-style text exposition, carried
+    /// verbatim (the one multi-line response payload).
+    Metrics {
+        /// The exposition text (`# HELP`/`# TYPE`/sample lines), or the
+        /// `# telemetry disabled` placeholder when the server runs without
+        /// a registry.
+        text: String,
+    },
     /// The request failed; `code` is stable, `message` is free-form.
     Error {
         /// Stable machine-readable code.
@@ -325,6 +344,7 @@ impl Response {
                  lockstep {lockstep_tokens} scalar {scalar_tokens} \
                  smoothing-batched {smoothing_batched} smoothing-scalar {smoothing_scalar}"
             ),
+            Response::Metrics { text } => format!("ok metrics\n{text}"),
             Response::Error { code, message } => format!("err {code} {message}"),
         }
     }
@@ -332,6 +352,14 @@ impl Response {
     /// Parses one response payload (the client side).
     pub fn parse(payload: &str) -> Result<Self, ServeError> {
         let bad = |reason: String| ServeError::BadRequest { reason };
+        // The one multi-line response: everything after the tag's newline is
+        // the exposition text, verbatim — whitespace tokenization would
+        // destroy it.
+        if let Some(text) = payload.strip_prefix("ok metrics\n") {
+            return Ok(Response::Metrics {
+                text: text.to_string(),
+            });
+        }
         let mut it = payload.split_ascii_whitespace();
         match it.next() {
             Some("err") => {
@@ -468,6 +496,7 @@ mod tests {
                 path: "/tmp/model.ckpt".into(),
             },
             Request::Stats,
+            Request::Metrics,
         ] {
             assert_eq!(Request::parse(&req.encode()).unwrap(), req);
         }
@@ -504,6 +533,15 @@ mod tests {
                 scalar_tokens: 17,
                 smoothing_batched: 2048,
                 smoothing_scalar: 5,
+            },
+            Response::Metrics {
+                text: "# HELP dhmm_serve_requests_total Requests handled.\n\
+                       # TYPE dhmm_serve_requests_total counter\n\
+                       dhmm_serve_requests_total{verb=\"push\"} 42\n"
+                    .into(),
+            },
+            Response::Metrics {
+                text: String::new(),
             },
             Response::Error {
                 code: "queue-full".into(),

@@ -34,6 +34,7 @@ use dhmm_hmm::emission::{DiscreteEmission, Emission, GaussianEmission};
 use dhmm_hmm::model::Hmm;
 use dhmm_runtime::Parallelism;
 use dhmm_stream::{InferenceBackend, SessionPool, StreamConfig};
+use dhmm_telemetry::{Counter, Gauge, Histogram, TelemetrySink};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,7 +44,10 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 /// Configuration of a serving process.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy`: the [`TelemetrySink`] carries a shared registry handle.
+/// Cloning is cheap (an `Arc` bump at most).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Fixed lag `L` of every session (see [`StreamConfig::lag`]).
     pub lag: usize,
@@ -72,6 +76,12 @@ pub struct ServeConfig {
     /// structure-of-arrays panel, bit-identical to the per-session path.
     /// On by default; disable only to A/B the scalar path.
     pub lockstep: bool,
+    /// Metrics sink, forwarded to the session pool and used for the
+    /// engine's own per-verb counters/latency histograms. With a registry
+    /// attached the `metrics` verb serves its text exposition; under
+    /// [`TelemetrySink::Disabled`] (the default) every record is a no-op
+    /// and `metrics` answers a `# telemetry disabled` placeholder.
+    pub telemetry: TelemetrySink,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +95,7 @@ impl Default for ServeConfig {
             max_idle_ticks: None,
             idle_tick: Duration::from_millis(20),
             lockstep: true,
+            telemetry: TelemetrySink::default(),
         }
     }
 }
@@ -139,6 +150,14 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy recording metrics into the given sink
+    /// ([`TelemetrySink::Disabled`] by default; `dhmm-serve` the binary
+    /// defaults to the process-global registry).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     fn stream_config(&self) -> StreamConfig {
         StreamConfig::default()
             .with_lag(self.lag)
@@ -147,6 +166,7 @@ impl ServeConfig {
             .with_pending_cap(self.pending_cap)
             .with_committed_cap(self.committed_cap)
             .with_lockstep(self.lockstep)
+            .with_telemetry(self.telemetry.clone())
     }
 }
 
@@ -244,14 +264,139 @@ struct EngineMsg {
     reply: mpsc::Sender<Response>,
 }
 
+/// The protocol verbs, in [`verb_index`] order (the per-verb metric label
+/// values).
+const VERBS: [&str; 7] = [
+    "create",
+    "push",
+    "flush",
+    "close",
+    "swap-model",
+    "stats",
+    "metrics",
+];
+
+fn verb_index(request: &Request) -> usize {
+    match request {
+        Request::Create => 0,
+        Request::Push { .. } => 1,
+        Request::Flush { .. } => 2,
+        Request::Close { .. } => 3,
+        Request::SwapModel { .. } => 4,
+        Request::Stats => 5,
+        Request::Metrics => 6,
+    }
+}
+
+/// Every stable wire error code ([`ServeError::code`]), registered upfront
+/// so the error-counter families render with an explicit 0 before the first
+/// failure — a scrape can distinguish "never happened" from "not exported".
+const ERROR_CODES: [&str; 9] = [
+    "queue-full",
+    "lagging",
+    "stale-session",
+    "finished",
+    "bad-request",
+    "model",
+    "backend",
+    "startup",
+    "engine-crashed",
+];
+
+/// Metric handles of the serving engine, registered once at startup.
+struct EngineMetrics {
+    sink: TelemetrySink,
+    /// `dhmm_serve_requests_total{verb=…}`, indexed by [`verb_index`].
+    requests: [Counter; VERBS.len()],
+    /// `dhmm_serve_request_ns{verb=…}`: engine-side handling latency. For
+    /// `push` this covers parse + enqueue only — the batch tick that
+    /// produces the labels is shared work, reported by
+    /// `dhmm_stream_tick_duration_ns`.
+    request_ns: [Histogram; VERBS.len()],
+    /// `dhmm_serve_errors_total{code=…}`, indexed like [`ERROR_CODES`].
+    errors: [Counter; ERROR_CODES.len()],
+    /// `dhmm_serve_batch_size`: requests drained per engine batch (the
+    /// engine-side queue-depth distribution).
+    batch_size: Histogram,
+    /// `dhmm_serve_epoch`: the currently published model epoch.
+    epoch: Gauge,
+    /// `dhmm_serve_drain_flushed_sessions`: shutdown-drain progress.
+    drain_flushed: Gauge,
+}
+
+impl EngineMetrics {
+    fn new(sink: &TelemetrySink) -> Self {
+        Self {
+            sink: sink.clone(),
+            requests: VERBS.map(|v| {
+                sink.counter(
+                    "dhmm_serve_requests_total",
+                    &[("verb", v)],
+                    "Requests handled by the serving engine, by verb.",
+                )
+            }),
+            request_ns: VERBS.map(|v| {
+                sink.histogram(
+                    "dhmm_serve_request_ns",
+                    &[("verb", v)],
+                    "Engine-side request handling latency in nanoseconds, by \
+                     verb (push covers parse + enqueue; tick latency is \
+                     dhmm_stream_tick_duration_ns).",
+                )
+            }),
+            errors: ERROR_CODES.map(|c| {
+                sink.counter(
+                    "dhmm_serve_errors_total",
+                    &[("code", c)],
+                    "Error responses sent, by stable wire code.",
+                )
+            }),
+            batch_size: sink.histogram(
+                "dhmm_serve_batch_size",
+                &[],
+                "Requests drained per engine batch (queue-depth distribution).",
+            ),
+            epoch: sink.gauge("dhmm_serve_epoch", &[], "Currently published model epoch."),
+            drain_flushed: sink.gauge(
+                "dhmm_serve_drain_flushed_sessions",
+                &[],
+                "Sessions flushed by the shutdown drain so far.",
+            ),
+        }
+    }
+
+    fn count_error(&self, code: &str) {
+        if let Some(i) = ERROR_CODES.iter().position(|c| *c == code) {
+            self.errors[i].inc();
+        }
+    }
+
+    /// The `metrics` verb's payload: the registry's exposition, or a
+    /// placeholder comment when telemetry is disabled (still a parseable
+    /// exposition — comments only).
+    fn render(&self) -> String {
+        match self.sink.registry() {
+            Some(reg) => reg.render(),
+            None => "# telemetry disabled\n".to_string(),
+        }
+    }
+}
+
 /// Applies one batch of requests: arrival order, one tick, then push
 /// replies. Returns the replies deferred until after the tick.
-fn apply_batch<E: ServableEmission>(pool: &mut SessionPool<E>, batch: Vec<EngineMsg>)
-where
+fn apply_batch<E: ServableEmission>(
+    pool: &mut SessionPool<E>,
+    batch: Vec<EngineMsg>,
+    metrics: &EngineMetrics,
+) where
     E::Obs: Send + Sync,
 {
+    metrics.batch_size.record(batch.len() as u64);
     let mut pushed: Vec<EngineMsg> = Vec::new();
     for msg in batch {
+        let vi = verb_index(&msg.request);
+        metrics.requests[vi].inc();
+        let span = metrics.request_ns[vi].span();
         let response = match &msg.request {
             Request::Create => Some(Response::Created { id: pool.create() }),
             Request::Push { id, tokens } => {
@@ -259,6 +404,7 @@ where
                     tokens.iter().map(|t| E::parse_obs(t)).collect();
                 match parsed.and_then(|obs| pool.push_many(*id, obs).map_err(ServeError::from)) {
                     Ok(()) => {
+                        drop(span);
                         pushed.push(msg);
                         continue;
                     }
@@ -283,7 +429,10 @@ where
                 Err(e) => error_response(ServeError::from(e)),
             }),
             Request::SwapModel { path } => Some(match swap_model(pool, path) {
-                Ok(epoch) => Response::Swapped { epoch },
+                Ok(epoch) => {
+                    metrics.epoch.set(epoch as f64);
+                    Response::Swapped { epoch }
+                }
                 Err(e) => error_response(e),
             }),
             Request::Stats => Some(Response::Stats {
@@ -296,8 +445,15 @@ where
                 smoothing_batched: pool.smoothing_batched_total(),
                 smoothing_scalar: pool.smoothing_scalar_total(),
             }),
+            Request::Metrics => Some(Response::Metrics {
+                text: metrics.render(),
+            }),
         };
+        drop(span);
         if let Some(r) = response {
+            if let Response::Error { code, .. } = &r {
+                metrics.count_error(code);
+            }
             let _ = msg.reply.send(r);
         }
     }
@@ -314,6 +470,9 @@ where
                 Ok(start) => Response::Committed { start, labels },
                 Err(e) => error_response(ServeError::from(e)),
             };
+            if let Response::Error { code, .. } = &r {
+                metrics.count_error(code);
+            }
             let _ = msg.reply.send(r);
         }
     }
@@ -374,6 +533,8 @@ fn engine_loop<E: ServableEmission>(
 where
     E::Obs: Send + Sync,
 {
+    let metrics = EngineMetrics::new(&config.telemetry);
+    metrics.epoch.set(pool.current_epoch() as f64);
     loop {
         if stop.load(Ordering::SeqCst) || signals::shutdown_requested() {
             break;
@@ -395,7 +556,7 @@ where
         while let Ok(msg) = rx.try_recv() {
             batch.push(msg);
         }
-        apply_batch(&mut pool, batch);
+        apply_batch(&mut pool, batch, &metrics);
     }
 
     // The stop latch can flip while requests the TCP layer already accepted
@@ -403,7 +564,7 @@ where
     // the drain guarantee below. Apply them as one final batch first.
     let tail: Vec<EngineMsg> = rx.try_iter().collect();
     if !tail.is_empty() {
-        apply_batch(&mut pool, tail);
+        apply_batch(&mut pool, tail, &metrics);
     }
 
     // Shutdown drain: commit every in-flight stream's tail so no accepted
@@ -415,6 +576,7 @@ where
             pool.flush(id).expect("active session flushes");
             report.flushed += 1;
             report.tokens += pool.tokens(id).unwrap_or(0);
+            metrics.drain_flushed.set(report.flushed as f64);
         }
     }
     report
@@ -540,6 +702,38 @@ fn start_typed<E: ServableEmission>(
 where
     E::Obs: Send + Sync,
 {
+    if let Some(reg) = config.telemetry.registry() {
+        // The runtime's dispatch counters are dependency-free process
+        // statics; wrap them as fn-pointer metrics so they render in the
+        // same exposition, and opt the pool into per-band busy-time clock
+        // reads (off for every un-instrumented process).
+        dhmm_runtime::telemetry::set_timing_enabled(true);
+        reg.counter_fn(
+            "dhmm_runtime_dispatch_total",
+            &[],
+            "Pooled dispatches through the parked worker pool.",
+            dhmm_runtime::telemetry::dispatch_total,
+        );
+        reg.counter_fn(
+            "dhmm_runtime_inline_fallback_total",
+            &[],
+            "Dispatches that ran inline (re-entrant/concurrent dispatch or \
+             no helpers).",
+            dhmm_runtime::telemetry::inline_fallback_total,
+        );
+        reg.counter_fn(
+            "dhmm_runtime_tasks_total",
+            &[],
+            "Tasks (bands/row-ranges) executed across all dispatches.",
+            dhmm_runtime::telemetry::tasks_total,
+        );
+        reg.counter_fn(
+            "dhmm_runtime_busy_ns_total",
+            &[],
+            "Per-participant busy nanoseconds summed over dispatches.",
+            dhmm_runtime::telemetry::busy_ns_total,
+        );
+    }
     let pool = SessionPool::with_config(Arc::new(model), config.stream_config()).map_err(|e| {
         ServeError::Backend {
             reason: e.to_string(),
@@ -708,7 +902,11 @@ mod tests {
         let id = pool.create();
         let (m1, r1) = push_msg(id, &["0", "1"]);
         let (m2, r2) = push_msg(id, &["2"]);
-        apply_batch(&mut pool, vec![m1, m2]);
+        apply_batch(
+            &mut pool,
+            vec![m1, m2],
+            &EngineMetrics::new(&TelemetrySink::Disabled),
+        );
 
         // One tick ran for the whole batch, so everything both pushes
         // committed is attributed to the first reply; the second sees an
@@ -727,7 +925,11 @@ mod tests {
         let id = pool.create();
         let (m1, r1) = push_msg(id, &["0", "1"]);
         let (m2, r2) = msg(Request::Flush { id });
-        apply_batch(&mut pool, vec![m1, m2]);
+        apply_batch(
+            &mut pool,
+            vec![m1, m2],
+            &EngineMetrics::new(&TelemetrySink::Disabled),
+        );
 
         // The flush runs inline (arrival order) and drains the same-batch
         // push itself, so the flush reply carries both labels…

@@ -63,7 +63,7 @@ fn wire_labels_are_bit_identical_to_in_process_use_across_a_swap() {
     let config = ServeConfig::default()
         .with_lag(lag)
         .with_parallelism(Parallelism::Threads(3));
-    let handle = Server::start_from_path(&path_a, config, "127.0.0.1:0").unwrap();
+    let handle = Server::start_from_path(&path_a, config.clone(), "127.0.0.1:0").unwrap();
     let mut client = Client::connect(handle.local_addr()).unwrap();
 
     // The mirror: same checkpoint, same stream configuration, and one

@@ -61,6 +61,7 @@ use dhmm_hmm::sparse::{beam_prune, SparseParams};
 use dhmm_hmm::InferenceBackend;
 use dhmm_linalg::CsrMatrix;
 use dhmm_runtime::Parallelism;
+use dhmm_telemetry::{Counter, Histogram, TelemetrySink};
 
 /// The ring-buffer window `W = max(2L, 1)` implied by a lag `L`: `2L` slots
 /// so a smoothing block can span `2L` steps, one slot minimum so the filter
@@ -142,7 +143,10 @@ pub(crate) fn flush_smoothing_action(
 }
 
 /// Configuration of a streaming decoder or session pool.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy`: the [`TelemetrySink`] carries a shared registry handle.
+/// Cloning is cheap (an `Arc` bump at most).
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamConfig {
     /// Fixed lag `L`: the Viterbi label of time `t` is emitted no later than
     /// after token `t + L`, and smoothed posteriors condition on at least
@@ -181,6 +185,13 @@ pub struct StreamConfig {
     /// per-session path; disable only to A/B the scalar path (ignored by a
     /// standalone decoder, which is single-session by construction).
     pub lockstep: bool,
+    /// Metrics sink. [`TelemetrySink::Disabled`] (the default) compiles the
+    /// record path to no-ops — no clock reads, no atomics; with a registry
+    /// attached, counters/histograms cost relaxed `fetch_add`s and stay
+    /// allocation-free on the push/tick hot path (pinned by
+    /// `tests/zero_alloc.rs`). Telemetry never touches the arithmetic:
+    /// decoded output is bit-identical either way.
+    pub telemetry: TelemetrySink,
 }
 
 impl Default for StreamConfig {
@@ -192,6 +203,7 @@ impl Default for StreamConfig {
             pending_cap: None,
             committed_cap: None,
             lockstep: true,
+            telemetry: TelemetrySink::default(),
         }
     }
 }
@@ -234,6 +246,13 @@ impl StreamConfig {
     /// Returns a copy with batched lockstep pool ticks enabled or disabled.
     pub fn with_lockstep(mut self, lockstep: bool) -> Self {
         self.lockstep = lockstep;
+        self
+    }
+
+    /// Returns a copy recording metrics into the given sink
+    /// ([`TelemetrySink::Disabled`] by default).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -1409,11 +1428,58 @@ pub(crate) fn flush_stream<E: Emission>(
     score
 }
 
+/// Metric handles of one [`StreamingDecoder`]. Registered once at
+/// construction (the only allocating step); every record on the push path is
+/// a relaxed `fetch_add` — or a no-op under [`TelemetrySink::Disabled`].
+#[derive(Debug, Clone)]
+struct DecoderMetrics {
+    /// `dhmm_decoder_pushes_total`.
+    pushes: Counter,
+    /// `dhmm_decoder_push_duration_ns` (noop sink: no clock read either).
+    push_ns: Histogram,
+    /// `dhmm_decoder_committed_labels_total`.
+    committed: Counter,
+    /// `dhmm_decoder_smoothed_rows_total`.
+    smoothed: Counter,
+}
+
+impl DecoderMetrics {
+    fn new(sink: &TelemetrySink) -> Self {
+        Self {
+            pushes: sink.counter(
+                "dhmm_decoder_pushes_total",
+                &[],
+                "Tokens pushed through standalone streaming decoders.",
+            ),
+            push_ns: sink.histogram(
+                "dhmm_decoder_push_duration_ns",
+                &[],
+                "Wall time of one standalone decoder push, in nanoseconds.",
+            ),
+            committed: sink.counter(
+                "dhmm_decoder_committed_labels_total",
+                &[],
+                "Viterbi labels committed by standalone decoder pushes.",
+            ),
+            smoothed: sink.counter(
+                "dhmm_decoder_smoothed_rows_total",
+                &[],
+                "Smoothed posterior rows emitted by standalone decoder pushes.",
+            ),
+        }
+    }
+
+    fn noop() -> Self {
+        Self::new(&TelemetrySink::Disabled)
+    }
+}
+
 /// A single-session streaming decoder over a borrowed model.
 ///
 /// Owns its [`StreamWorkspace`] and [`StreamScratch`]; every buffer is sized
 /// at construction, so [`StreamingDecoder::push`] performs **zero heap
-/// allocation** (pinned by the counting-allocator test). For many concurrent
+/// allocation** (pinned by the counting-allocator test — with telemetry
+/// enabled as well as disabled). For many concurrent
 /// sessions, use [`crate::SessionPool`], which shares scratch across
 /// sessions per worker instead of owning one per session.
 #[derive(Debug, Clone)]
@@ -1423,6 +1489,7 @@ pub struct StreamingDecoder<'m, E: Emission> {
     backend: InferenceBackend,
     ws: StreamWorkspace,
     scratch: StreamScratch,
+    metrics: DecoderMetrics,
 }
 
 impl<'m, E: Emission> StreamingDecoder<'m, E> {
@@ -1440,6 +1507,7 @@ impl<'m, E: Emission> StreamingDecoder<'m, E> {
             backend: InferenceBackend::Scaled,
             ws,
             scratch,
+            metrics: DecoderMetrics::noop(),
         }
     }
 
@@ -1449,6 +1517,7 @@ impl<'m, E: Emission> StreamingDecoder<'m, E> {
         config.validate()?;
         let mut decoder = Self::new(model, config.lag);
         decoder.backend = config.backend;
+        decoder.metrics = DecoderMetrics::new(&config.telemetry);
         Ok(decoder)
     }
 
@@ -1517,7 +1586,8 @@ impl<'m, E: Emission> StreamingDecoder<'m, E> {
     pub fn push(&mut self, obs: &E::Obs) -> StepOutput<'_> {
         // Epoch 0: the borrowed model cannot change under a standalone
         // decoder, so the scratch's transition cache never goes stale.
-        push_token(
+        let span = self.metrics.push_ns.span();
+        let smoothed_rows = push_token(
             self.model,
             self.lag,
             self.backend,
@@ -1526,6 +1596,12 @@ impl<'m, E: Emission> StreamingDecoder<'m, E> {
             &mut self.scratch,
             obs,
         );
+        drop(span);
+        self.metrics.pushes.inc();
+        self.metrics.smoothed.add(smoothed_rows as u64);
+        self.metrics
+            .committed
+            .add(self.scratch.committed.len() as u64);
         let k = self.ws.num_states;
         StepOutput {
             t: self.ws.t - 1,
@@ -1706,7 +1782,7 @@ mod tests {
         let config = StreamConfig::default().with_lag(lag).with_backend(backend);
         let mut reference: Vec<StreamingDecoder<'_, DiscreteEmission>> = seqs
             .iter()
-            .map(|_| StreamingDecoder::with_config(&m, config).unwrap())
+            .map(|_| StreamingDecoder::with_config(&m, config.clone()).unwrap())
             .collect();
 
         let mut wss: Vec<StreamWorkspace> = seqs.iter().map(|_| StreamWorkspace::new()).collect();

@@ -50,6 +50,8 @@ pub use session::{SessionId, SessionPool, TickReport};
 pub use workspace::{BatchPanel, SmoothPanel, StreamScratch, StreamWorkspace};
 
 // Re-exported so `dhmm_stream` is self-sufficient for callers configuring a
-// stream (the knobs are defined by `dhmm_hmm` / `dhmm_runtime`).
+// stream (the knobs are defined by `dhmm_hmm` / `dhmm_runtime` /
+// `dhmm_telemetry`).
 pub use dhmm_hmm::{InferenceBackend, PruneRule, SparseParams};
 pub use dhmm_runtime::Parallelism;
+pub use dhmm_telemetry::{Registry, TelemetrySink};

@@ -56,6 +56,7 @@ use dhmm_hmm::emission::Emission;
 use dhmm_hmm::model::Hmm;
 use dhmm_hmm::InferenceBackend;
 use dhmm_runtime::{Executor, LeasePool, Parallelism};
+use dhmm_telemetry::{Counter, Gauge, Histogram, TelemetrySink};
 use std::sync::Arc;
 
 /// Below either of these per-tick sizes, an `Auto`-policy tick runs
@@ -308,6 +309,114 @@ pub struct TickReport {
     pub smoothing_scalar_tokens: usize,
 }
 
+/// Metric handles of one [`SessionPool`], registered once at construction.
+///
+/// The lifetime counters double as the pool's *functional* state: the
+/// `evicted_total` / `lockstep_tokens_total` / … accessors (and a serving
+/// front-end's `stats` reply) read the same atomics the metrics exposition
+/// renders, so the two can never disagree. They are built with
+/// [`TelemetrySink::live_counter`] — detached (but still counting) under a
+/// disabled sink. Pure-telemetry metrics (tick latency, group sizes,
+/// rebinds, gauges) are true no-ops when disabled: no clock reads, no
+/// atomics. Everything on the tick path is allocation-free (pinned by
+/// `tests/zero_alloc.rs`).
+#[derive(Debug, Clone)]
+struct PoolMetrics {
+    /// `dhmm_stream_ticks_total`.
+    ticks: Counter,
+    /// `dhmm_stream_tick_duration_ns`.
+    tick_ns: Histogram,
+    /// `dhmm_stream_lockstep_group_size` (sessions per lockstep group).
+    group_size: Histogram,
+    /// `dhmm_stream_rebinds_total`.
+    rebinds: Counter,
+    /// `dhmm_stream_clock` (mirrors [`SessionPool::clock`]).
+    clock: Gauge,
+    /// `dhmm_stream_sparse_error_bound_max` over active sessions.
+    bound_max: Gauge,
+    /// `dhmm_stream_sparse_error_bound_sum` over active sessions.
+    bound_sum: Gauge,
+    /// `dhmm_stream_lockstep_tokens_total` (live: backs the accessor).
+    lockstep_tokens: Counter,
+    /// `dhmm_stream_scalar_tokens_total` (live).
+    scalar_tokens: Counter,
+    /// `dhmm_stream_smoothing_batched_rows_total` (live).
+    smoothing_batched: Counter,
+    /// `dhmm_stream_smoothing_scalar_rows_total` (live).
+    smoothing_scalar: Counter,
+    /// `dhmm_stream_evicted_sessions_total` (live).
+    evicted: Counter,
+}
+
+impl PoolMetrics {
+    fn new(sink: &TelemetrySink) -> Self {
+        Self {
+            ticks: sink.counter(
+                "dhmm_stream_ticks_total",
+                &[],
+                "Batch ticks run by the session pool.",
+            ),
+            tick_ns: sink.histogram(
+                "dhmm_stream_tick_duration_ns",
+                &[],
+                "Wall time of one session-pool tick, in nanoseconds.",
+            ),
+            group_size: sink.histogram(
+                "dhmm_stream_lockstep_group_size",
+                &[],
+                "Sessions co-advanced per batched lockstep group.",
+            ),
+            rebinds: sink.counter(
+                "dhmm_stream_rebinds_total",
+                &[],
+                "Sessions rebound to a newer model epoch at a commit boundary.",
+            ),
+            clock: sink.gauge(
+                "dhmm_stream_clock",
+                &[],
+                "The pool's logical clock (ticks so far).",
+            ),
+            bound_max: sink.gauge(
+                "dhmm_stream_sparse_error_bound_max",
+                &[],
+                "Largest accumulated sparse-beam log-likelihood error bound \
+                 over active sessions (0 under the scaled backend).",
+            ),
+            bound_sum: sink.gauge(
+                "dhmm_stream_sparse_error_bound_sum",
+                &[],
+                "Sum of accumulated sparse-beam log-likelihood error bounds \
+                 over active sessions.",
+            ),
+            lockstep_tokens: sink.live_counter(
+                "dhmm_stream_lockstep_tokens_total",
+                &[],
+                "Tokens advanced through the batched lockstep path.",
+            ),
+            scalar_tokens: sink.live_counter(
+                "dhmm_stream_scalar_tokens_total",
+                &[],
+                "Tokens advanced through the per-session scalar path.",
+            ),
+            smoothing_batched: sink.live_counter(
+                "dhmm_stream_smoothing_batched_rows_total",
+                &[],
+                "Smoothed posterior rows emitted through the batched panel pass.",
+            ),
+            smoothing_scalar: sink.live_counter(
+                "dhmm_stream_smoothing_scalar_rows_total",
+                &[],
+                "Smoothed posterior rows emitted through the per-session scalar pass.",
+            ),
+            evicted: sink.live_counter(
+                "dhmm_stream_evicted_sessions_total",
+                &[],
+                "Sessions evicted for idleness.",
+            ),
+        }
+    }
+}
+
 /// Many concurrent streaming sessions multiplexed over an epoch-versioned
 /// model and the shared worker-pool runtime.
 pub struct SessionPool<E: Emission> {
@@ -329,18 +438,11 @@ pub struct SessionPool<E: Emission> {
     /// Logical clock: advances once per [`SessionPool::tick`]; the idle
     /// reference for eviction.
     clock: u64,
-    /// Sessions evicted over the pool's lifetime (diagnostic).
-    evicted: u64,
-    /// Tokens advanced through the lockstep path over the pool's lifetime.
-    lockstep_tokens: u64,
-    /// Tokens advanced through the scalar path over the pool's lifetime.
-    scalar_tokens: u64,
-    /// Smoothed rows emitted through the batched panel pass over the pool's
-    /// lifetime.
-    smoothing_batched: u64,
-    /// Smoothed rows emitted through the per-session scalar pass over the
-    /// pool's lifetime (tick paths only, like the token counters).
-    smoothing_scalar: u64,
+    /// Metric handles; the lifetime counters (evicted, lockstep/scalar
+    /// tokens, smoothing split) live here as shared atomics so the
+    /// accessors, a serving front-end's `stats` reply and the metrics
+    /// exposition all read the same storage.
+    metrics: PoolMetrics,
 }
 
 impl<E: Emission> std::fmt::Debug for SessionPool<E> {
@@ -377,11 +479,7 @@ impl<E: Emission> SessionPool<E> {
             panel: BatchPanel::new(),
             smooth_panel: SmoothPanel::new(),
             clock: 0,
-            evicted: 0,
-            lockstep_tokens: 0,
-            scalar_tokens: 0,
-            smoothing_batched: 0,
-            smoothing_scalar: 0,
+            metrics: PoolMetrics::new(&config.telemetry),
         })
     }
 
@@ -419,7 +517,7 @@ impl<E: Emission> SessionPool<E> {
 
     /// Sessions evicted for idleness over the pool's lifetime.
     pub fn evicted_total(&self) -> u64 {
-        self.evicted
+        self.metrics.evicted.value()
     }
 
     /// Whether batched lockstep ticks are enabled. Both backends batch:
@@ -437,21 +535,21 @@ impl<E: Emission> SessionPool<E> {
     /// Tokens advanced through the batched lockstep path over the pool's
     /// lifetime.
     pub fn lockstep_tokens_total(&self) -> u64 {
-        self.lockstep_tokens
+        self.metrics.lockstep_tokens.value()
     }
 
     /// Tokens advanced through the per-session scalar path over the pool's
     /// lifetime (tick stragglers; flush-drained tokens are not counted by
     /// either counter).
     pub fn scalar_tokens_total(&self) -> u64 {
-        self.scalar_tokens
+        self.metrics.scalar_tokens.value()
     }
 
     /// Smoothed posterior rows emitted through the batched smoothing panel
     /// over the pool's lifetime — the numerator of the batched-smoothing
     /// hit rate, mirroring [`SessionPool::lockstep_tokens_total`].
     pub fn smoothing_batched_total(&self) -> u64 {
-        self.smoothing_batched
+        self.metrics.smoothing_batched.value()
     }
 
     /// Smoothed posterior rows emitted through the per-session scalar
@@ -459,7 +557,7 @@ impl<E: Emission> SessionPool<E> {
     /// copies, lone due sessions, sparse-backend blocks; flush-drained rows
     /// are not counted by either counter, like the token split).
     pub fn smoothing_scalar_total(&self) -> u64 {
-        self.smoothing_scalar
+        self.metrics.smoothing_scalar.value()
     }
 
     /// Number of currently open sessions.
@@ -696,7 +794,13 @@ impl<E: Emission> SessionPool<E> {
         E: Send + Sync,
         E::Obs: Send + Sync,
     {
+        // The tick span borrows only `self.metrics`; under a disabled sink
+        // it never reads the clock. One span per *tick* (not per push) keeps
+        // instrumented pool throughput within the telemetry overhead budget.
+        let tick_span = self.metrics.tick_ns.span();
         self.clock += 1;
+        self.metrics.ticks.inc();
+        self.metrics.clock.set(self.clock as f64);
         let clock = self.clock;
         let epoch = self.epoch;
         let model = Arc::clone(&self.model);
@@ -725,6 +829,7 @@ impl<E: Emission> SessionPool<E> {
             smoothing_scalar_tokens: 0,
         };
         if active.is_empty() {
+            drop(tick_span);
             return report;
         }
 
@@ -801,6 +906,7 @@ impl<E: Emission> SessionPool<E> {
                 report.lockstep_tokens += depth * group.len();
                 report.smoothing_batched_tokens += batched_rows;
                 report.smoothing_scalar_tokens += scalar_rows;
+                self.metrics.group_size.record(group.len() as u64);
             }
             straggler_from = grouped_until;
             report.scalar_tokens = report.tokens - report.lockstep_tokens;
@@ -841,10 +947,31 @@ impl<E: Emission> SessionPool<E> {
                     std::mem::take(&mut sc.tick_smoothing_rows) as usize;
             }
         }
-        self.lockstep_tokens += report.lockstep_tokens as u64;
-        self.scalar_tokens += report.scalar_tokens as u64;
-        self.smoothing_batched += report.smoothing_batched_tokens as u64;
-        self.smoothing_scalar += report.smoothing_scalar_tokens as u64;
+        self.metrics.rebinds.add(report.rebound as u64);
+        self.metrics
+            .lockstep_tokens
+            .add(report.lockstep_tokens as u64);
+        self.metrics.scalar_tokens.add(report.scalar_tokens as u64);
+        self.metrics
+            .smoothing_batched
+            .add(report.smoothing_batched_tokens as u64);
+        self.metrics
+            .smoothing_scalar
+            .add(report.smoothing_scalar_tokens as u64);
+        if self.metrics.bound_max.is_live() {
+            // Pool-level aggregates instead of a per-session label: bounded
+            // metric cardinality regardless of session churn, refreshed once
+            // per tick and only when a registry is attached.
+            let (mut max, mut sum) = (0.0f64, 0.0f64);
+            for s in self.slots.iter().filter(|s| s.active) {
+                let b = s.bound_carry + s.ws.sparse_error_bound();
+                max = max.max(b);
+                sum += b;
+            }
+            self.metrics.bound_max.set(max);
+            self.metrics.bound_sum.set(sum);
+        }
+        drop(tick_span);
         report
     }
 
@@ -988,7 +1115,7 @@ impl<E: Emission> SessionPool<E> {
         let mut evicted = Vec::with_capacity(idle.len());
         for (slot, generation) in idle {
             self.close_slot(slot);
-            self.evicted += 1;
+            self.metrics.evicted.inc();
             evicted.push(SessionId {
                 slot: slot as u32,
                 generation,

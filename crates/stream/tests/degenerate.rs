@@ -112,14 +112,14 @@ fn log_reference_backend_is_rejected_at_construction() {
     let config = StreamConfig::default()
         .with_lag(4)
         .with_backend(InferenceBackend::LogReference);
-    match StreamingDecoder::with_config(&m, config) {
+    match StreamingDecoder::with_config(&m, config.clone()) {
         Err(StreamError::UnsupportedBackend { .. }) => {}
         other => panic!("expected UnsupportedBackend, got {other:?}"),
     }
     assert!(SessionPool::with_config(Arc::clone(&m), config).is_err());
     // The scaled default is accepted by both.
     let scaled = StreamConfig::default().with_lag(4);
-    assert!(StreamingDecoder::with_config(&m, scaled).is_ok());
+    assert!(StreamingDecoder::with_config(&m, scaled.clone()).is_ok());
     assert!(SessionPool::with_config(Arc::clone(&m), scaled).is_ok());
 }
 

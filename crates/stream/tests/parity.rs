@@ -230,7 +230,7 @@ proptest! {
             .map(|(i, &len)| random_seq(v, len, seed.wrapping_add(10 + i as u64)))
             .collect();
 
-        let mut pool = SessionPool::with_config(Arc::clone(&m), config).unwrap();
+        let mut pool = SessionPool::with_config(Arc::clone(&m), config.clone()).unwrap();
         let mut ids: Vec<Option<dhmm_stream::SessionId>> = vec![None; lens.len()];
         let mut pushed = vec![0usize; lens.len()];
         let mut offset = 0;
@@ -260,7 +260,7 @@ proptest! {
             let mut got = Vec::new();
             pool.take_committed(id, &mut got).unwrap();
 
-            let mut dec = StreamingDecoder::with_config(&m, config).unwrap();
+            let mut dec = StreamingDecoder::with_config(&m, config.clone()).unwrap();
             let mut want = Vec::new();
             for obs in seq {
                 want.extend_from_slice(dec.push(obs).committed);

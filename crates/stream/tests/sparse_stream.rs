@@ -71,7 +71,7 @@ proptest! {
         let seq = random_seq(v, len, seed.wrapping_add(1));
         let base = StreamConfig::default().with_lag(lag);
 
-        let mut scaled = StreamingDecoder::with_config(&model, base).unwrap();
+        let mut scaled = StreamingDecoder::with_config(&model, base.clone()).unwrap();
         let mut sparse = StreamingDecoder::with_config(
             &model,
             base.with_backend(InferenceBackend::Sparse(SparseParams::exact())),
@@ -172,7 +172,7 @@ proptest! {
             .with_parallelism(Parallelism::Serial)
             .with_lockstep(lockstep);
 
-        let mut pool = SessionPool::with_config(Arc::clone(&m), config).unwrap();
+        let mut pool = SessionPool::with_config(Arc::clone(&m), config.clone()).unwrap();
         prop_assert_eq!(pool.lockstep_enabled(), lockstep);
 
         let lens = [24usize, 17, 9];
@@ -197,7 +197,7 @@ proptest! {
             let mut got = Vec::new();
             pool.take_committed(*id, &mut got).unwrap();
 
-            let (want, ll, bound) = run_decoder(&m, config, seq);
+            let (want, ll, bound) = run_decoder(&m, config.clone(), seq);
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(pool.log_likelihood(*id).unwrap().to_bits(), ll.to_bits());
             prop_assert_eq!(
@@ -218,7 +218,7 @@ fn invalid_sparse_params_are_rejected_at_construction() {
         SparseParams::top_p(0.0),
     ] {
         let config = StreamConfig::default().with_backend(InferenceBackend::Sparse(bad));
-        match StreamingDecoder::with_config(&model, config) {
+        match StreamingDecoder::with_config(&model, config.clone()) {
             Err(StreamError::InvalidConfig { .. }) => {}
             other => panic!("expected InvalidConfig for {bad:?}, got {other:?}"),
         }

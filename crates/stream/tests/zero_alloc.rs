@@ -10,10 +10,13 @@
 use dhmm_hmm::emission::DiscreteEmission;
 use dhmm_hmm::Hmm;
 use dhmm_linalg::Matrix;
-use dhmm_stream::StreamingDecoder;
+use dhmm_stream::{
+    Parallelism, Registry, SessionPool, StreamConfig, StreamingDecoder, TelemetrySink,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 struct CountingAllocator;
 
@@ -54,8 +57,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-#[test]
-fn push_performs_zero_heap_allocation_after_warm_up() {
+fn model() -> Hmm<DiscreteEmission> {
     let emission = DiscreteEmission::new(
         Matrix::from_rows(&[
             vec![0.5, 0.3, 0.1, 0.1],
@@ -71,40 +73,121 @@ fn push_performs_zero_heap_allocation_after_warm_up() {
         vec![0.1, 0.2, 0.7],
     ])
     .unwrap();
-    let model = Hmm::new(vec![0.5, 0.3, 0.2], transition, emission).unwrap();
+    Hmm::new(vec![0.5, 0.3, 0.2], transition, emission).unwrap()
+}
+
+#[test]
+fn push_performs_zero_heap_allocation_after_warm_up() {
+    let model = model();
     let seq: Vec<usize> = (0..512).map(|i| (i * 7 + i / 5) % 4).collect();
 
-    for lag in [0usize, 1, 8, 64] {
-        let mut dec = StreamingDecoder::new(&model, lag);
-        // Warm-up stream: exercises every buffer at its steady-state size,
-        // including the flush-tail commit and the final smoothing pass.
-        let mut sink = 0usize;
-        for obs in &seq {
-            sink += dec.push(obs).committed.len();
+    // Both sinks: the instrumented record path (counters, histogram buckets,
+    // span clock reads) must be exactly as allocation-free as the no-op one.
+    for telemetry in [
+        TelemetrySink::Disabled,
+        TelemetrySink::Registry(Registry::new()),
+    ] {
+        for lag in [0usize, 1, 8, 64] {
+            let config = StreamConfig::default()
+                .with_lag(lag)
+                .with_telemetry(telemetry.clone());
+            let mut dec = StreamingDecoder::with_config(&model, config).unwrap();
+            // Warm-up stream: exercises every buffer at its steady-state
+            // size, including the flush-tail commit and the final smoothing
+            // pass.
+            let mut sink = 0usize;
+            for obs in &seq {
+                sink += dec.push(obs).committed.len();
+            }
+            sink += dec.flush().committed.len();
+            assert_eq!(sink, seq.len(), "lag={lag}");
+            dec.reset();
+
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            TRACKING.with(|t| t.set(true));
+            let mut sink = 0usize;
+            let mut ll = 0.0;
+            for obs in &seq {
+                let step = dec.push(obs);
+                sink += step.committed.len() + step.smoothed.len();
+                ll = step.log_likelihood;
+            }
+            let flush = dec.flush();
+            sink += flush.committed.len();
+            TRACKING.with(|t| t.set(false));
+            let after = ALLOCATIONS.load(Ordering::SeqCst);
+            assert_eq!(
+                after - before,
+                0,
+                "lag={lag} telemetry={}: {} allocations on the warm path",
+                telemetry.enabled(),
+                after - before
+            );
+            assert!(sink > 0 && ll.is_finite(), "lag={lag}");
         }
-        sink += dec.flush().committed.len();
-        assert_eq!(sink, seq.len(), "lag={lag}");
-        dec.reset();
+    }
+}
+
+/// One warmed-up pool tick cycle (push + tick + take) under each sink,
+/// counting allocations on the measured thread. The tick path is not
+/// strictly allocation-free (band vectors, lockstep group staging), but
+/// attaching a registry must add **zero** allocations over the disabled
+/// sink — the record path is counters and preallocated histogram buckets
+/// only.
+#[test]
+fn telemetry_adds_zero_allocations_to_the_pool_tick_path() {
+    let model = Arc::new(model());
+    let seq: Vec<usize> = (0..256).map(|i| (i * 7 + i / 5) % 4).collect();
+
+    let mut allocs = [0u64, 0];
+    for (run, telemetry) in [
+        TelemetrySink::Disabled,
+        TelemetrySink::Registry(Registry::new()),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let config = StreamConfig::default()
+            .with_lag(4)
+            .with_parallelism(Parallelism::Serial)
+            .with_telemetry(telemetry);
+        let mut pool = SessionPool::with_config(Arc::clone(&model), config).unwrap();
+        let ids: Vec<_> = (0..4).map(|_| pool.create()).collect();
+        let mut out = Vec::with_capacity(seq.len() * ids.len());
+        // Warm-up pass: size every grow-only buffer (rings, panels, queues).
+        for chunk in seq.chunks(8) {
+            for &id in &ids {
+                for &obs in chunk {
+                    pool.push(id, obs).unwrap();
+                }
+            }
+            pool.tick();
+            for &id in &ids {
+                pool.take_committed(id, &mut out).unwrap();
+            }
+        }
 
         let before = ALLOCATIONS.load(Ordering::SeqCst);
         TRACKING.with(|t| t.set(true));
-        let mut sink = 0usize;
-        let mut ll = 0.0;
-        for obs in &seq {
-            let step = dec.push(obs);
-            sink += step.committed.len() + step.smoothed.len();
-            ll = step.log_likelihood;
+        for chunk in seq.chunks(8) {
+            for &id in &ids {
+                for &obs in chunk {
+                    pool.push(id, obs).unwrap();
+                }
+            }
+            pool.tick();
+            for &id in &ids {
+                pool.take_committed(id, &mut out).unwrap();
+            }
         }
-        let flush = dec.flush();
-        sink += flush.committed.len();
         TRACKING.with(|t| t.set(false));
-        let after = ALLOCATIONS.load(Ordering::SeqCst);
-        assert_eq!(
-            after - before,
-            0,
-            "lag={lag}: {} allocations on the warm path",
-            after - before
-        );
-        assert!(sink > 0 && ll.is_finite(), "lag={lag}");
+        allocs[run] = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        assert!(!out.is_empty());
     }
+    assert_eq!(
+        allocs[1], allocs[0],
+        "registry-backed tick path allocated more than the disabled one \
+         (disabled={}, enabled={})",
+        allocs[0], allocs[1]
+    );
 }

@@ -1,0 +1,355 @@
+//! Log-bucketed histograms (HDR-style) and span timers.
+//!
+//! Values are `u64` (nanoseconds for latency, plain counts for size
+//! distributions). Buckets follow the HDR scheme: values below
+//! 2^[`SUB_BUCKET_BITS`] get exact unit buckets, every higher power-of-2
+//! octave is split into [`SUB_BUCKETS`] linear sub-buckets. A quantile read
+//! returns the lower bound of the bucket holding the target rank, so the
+//! error is bounded by one bucket width — at most [`REL_ERROR`] of the value
+//! (12.5% with 8 sub-buckets), and *exact* for values below [`SUB_BUCKETS`].
+//!
+//! Recording is `bucket_index` (a couple of shifts off `leading_zeros`) plus
+//! three relaxed `fetch_add`s — lock-free, allocation-free, wait-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// log2 of the sub-buckets per octave.
+const SUB_BUCKET_BITS: u32 = 3;
+
+/// Linear sub-buckets per power-of-2 octave (and the count of exact unit
+/// buckets at the bottom).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Relative quantile error bound: one bucket width over the bucket's lower
+/// bound, i.e. `2^-SUB_BUCKET_BITS`. Recorded in bench JSON metadata so
+/// artifact readers know the precision of every percentile column.
+pub const REL_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
+
+/// Total buckets needed to cover the full `u64` range: the exact buckets
+/// plus `(64 - SUB_BUCKET_BITS)` octaves of `SUB_BUCKETS` each.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BUCKET_BITS as usize) + 1) << SUB_BUCKET_BITS;
+
+/// Bucket index of a value — exact below `SUB_BUCKETS`, octave/sub-bucket
+/// above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros();
+        let sub = ((v >> (octave - SUB_BUCKET_BITS)) & (SUB_BUCKETS - 1)) as usize;
+        (((octave - SUB_BUCKET_BITS + 1) as usize) << SUB_BUCKET_BITS) + sub
+    }
+}
+
+/// Inclusive lower bound of a bucket (the value `quantile` reports).
+#[inline]
+fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        index as u64
+    } else {
+        let octave = (index >> SUB_BUCKET_BITS) as u32 + SUB_BUCKET_BITS - 1;
+        let sub = (index as u64) & (SUB_BUCKETS - 1);
+        (1u64 << octave) + (sub << (octave - SUB_BUCKET_BITS))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        // `from_fn` sidesteps `AtomicU64: !Copy` array initialization.
+        Self {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A cheap clonable handle on a log-bucketed histogram (or a no-op).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    pub(crate) inner: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A histogram that ignores every record; its spans skip the clock read.
+    pub fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live histogram not registered in any registry (bench-local use).
+    pub fn detached() -> Self {
+        Self {
+            inner: Some(Arc::new(HistogramCore::new())),
+        }
+    }
+
+    pub(crate) fn from_core(core: Arc<HistogramCore>) -> Self {
+        Self { inner: Some(core) }
+    }
+
+    /// Records one value. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.inner {
+            core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            core.count.fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a span that records its elapsed nanoseconds on drop (or
+    /// [`Span::stop`]). On a no-op histogram the span holds no clock —
+    /// creating and dropping it does nothing at all.
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            hist: self,
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded values (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded values (exact — count and sum are exact).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// The q-quantile (`0.0 ..= 1.0`) as the lower bound of the bucket
+    /// holding the nearest-rank sample: an underestimate by less than one
+    /// bucket width (≤ [`REL_ERROR`] relative; exact below [`SUB_BUCKETS`]).
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A consistent point-in-time copy for multi-quantile readout (each
+    /// `quantile` call otherwise re-walks the live buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.inner {
+            None => HistogramSnapshot {
+                buckets: Box::new([0; NUM_BUCKETS]),
+                count: 0,
+                sum: 0,
+            },
+            Some(core) => {
+                let mut buckets = Box::new([0u64; NUM_BUCKETS]);
+                for (out, b) in buckets.iter_mut().zip(core.buckets.iter()) {
+                    *out = b.load(Ordering::Relaxed);
+                }
+                HistogramSnapshot {
+                    buckets,
+                    // Re-derive the count from the copied buckets so the
+                    // snapshot is self-consistent under concurrent writers.
+                    count: 0,
+                    sum: core.sum.load(Ordering::Relaxed),
+                }
+                .with_recount()
+            }
+        }
+    }
+
+    /// Whether records are observable (live), as opposed to a no-op.
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets.
+#[derive(Debug)]
+pub struct HistogramSnapshot {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    fn with_recount(mut self) -> Self {
+        self.count = self.buckets.iter().sum();
+        self
+    }
+
+    /// Number of recorded values in this snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values in this snapshot.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded values in this snapshot.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest-rank: the smallest bucket whose cumulative count reaches
+        // ceil(q · n), clamped to [1, n].
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= target {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(NUM_BUCKETS - 1)
+    }
+}
+
+/// A borrowed timer recording into its histogram on drop. Obtain via
+/// [`Histogram::span`]; call [`Span::stop`] to record early at a precise
+/// point, or let scope exit do it.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Records now and disarms the drop.
+    pub fn stop(mut self) {
+        self.record_once();
+    }
+
+    #[inline]
+    fn record_once(&mut self) {
+        if let Some(start) = self.start.take() {
+            let ns = start.elapsed().as_nanos();
+            self.hist.record(ns.min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.record_once();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_have_exact_buckets() {
+        for v in 0..SUB_BUCKETS {
+            let i = bucket_index(v);
+            assert_eq!(bucket_lower_bound(i), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_tight() {
+        // Every bucket's lower bound maps back to that bucket, and bounds
+        // strictly increase — together: buckets partition the value range.
+        let mut prev = None;
+        for i in 0..NUM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "bucket {i} lower bound {lo}");
+            if let Some(p) = prev {
+                assert!(lo > p, "bucket {i}: {lo} <= {p}");
+            }
+            prev = Some(lo);
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_error_is_within_one_bucket_width() {
+        let h = Histogram::detached();
+        // A deterministic spread over five decades.
+        let mut values: Vec<u64> = Vec::new();
+        let mut x = 3u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            values.push(x % 10_000_000);
+        }
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let approx = h.quantile(q);
+            assert!(approx <= exact, "q={q}: {approx} > exact {exact}");
+            let width = (exact as f64 * REL_ERROR).max(1.0);
+            assert!(
+                exact as f64 - approx as f64 <= width + 1.0,
+                "q={q}: exact {exact}, approx {approx}, width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_and_count_are_exact() {
+        let h = Histogram::detached();
+        for v in [1u64, 2, 3, 4, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 20);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn spans_record_elapsed_nanoseconds() {
+        let h = Histogram::detached();
+        {
+            let span = h.span();
+            std::hint::black_box(17u64);
+            span.stop();
+        }
+        drop(h.span());
+        assert_eq!(h.count(), 2);
+        let n = Histogram::noop();
+        drop(n.span());
+        assert_eq!(n.count(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::detached();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

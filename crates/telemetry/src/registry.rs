@@ -1,0 +1,389 @@
+//! The metric registry and its Prometheus-style text exposition.
+//!
+//! A [`Registry`] owns the registered metrics; handles returned at
+//! registration share the same atomics, so recording never touches the
+//! registry lock — only registration (cold) and [`Registry::render`]
+//! (the scrape path) do. Registration is idempotent: asking for an existing
+//! `(name, labels)` pair returns a handle on the same storage, so components
+//! that are rebuilt (a re-created pool, a test re-running a constructor)
+//! accumulate into one time series instead of shadowing it.
+//!
+//! Besides owned metrics, the registry accepts *function metrics* — plain
+//! `fn` pointers evaluated at render time — so process-global counters in
+//! dependency-free crates (the runtime worker pool, the ascent engine) can
+//! be exposed without those crates linking against this one.
+
+use crate::histogram::{Histogram, HistogramCore};
+use crate::metrics::{Counter, Gauge};
+use std::fmt::Write as _;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+    CounterFn(fn() -> u64),
+    GaugeFn(fn() -> f64),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) | Metric::CounterFn(_) => "counter",
+            Metric::Gauge(_) | Metric::GaugeFn(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: &'static str,
+    /// Pre-rendered `{k="v",...}` label block (empty for no labels).
+    labels: String,
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A process- or instance-scoped collection of metrics with cheap handle
+/// cloning and a text exposition encoder. `Clone` shares the same storage.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Vec<Entry>>>,
+}
+
+fn render_labels(labels: &[(&'static str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether two handles view the same registry.
+    pub fn ptr_eq(&self, other: &Registry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn register_or_get<T>(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+        get_existing: impl Fn(&Metric) -> Option<T>,
+        make: impl FnOnce() -> (Metric, T),
+    ) -> T {
+        let rendered = render_labels(labels);
+        let mut entries = self.inner.lock().expect("telemetry registry poisoned");
+        for e in entries.iter() {
+            if e.name == name && e.labels == rendered {
+                if let Some(handle) = get_existing(&e.metric) {
+                    return handle;
+                }
+                panic!("metric {name}{rendered} re-registered with a different type");
+            }
+        }
+        let (metric, handle) = make();
+        entries.push(Entry {
+            name,
+            labels: rendered,
+            help,
+            metric,
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+    ) -> Counter {
+        self.register_or_get(
+            name,
+            labels,
+            help,
+            |m| match m {
+                Metric::Counter(cell) => Some(Counter::from_cell(cell.clone())),
+                _ => None,
+            },
+            || {
+                let cell = Arc::new(AtomicU64::new(0));
+                (Metric::Counter(cell.clone()), Counter::from_cell(cell))
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+    ) -> Gauge {
+        self.register_or_get(
+            name,
+            labels,
+            help,
+            |m| match m {
+                Metric::Gauge(cell) => Some(Gauge::from_cell(cell.clone())),
+                _ => None,
+            },
+            || {
+                let cell = Arc::new(AtomicU64::new(0));
+                (Metric::Gauge(cell.clone()), Gauge::from_cell(cell))
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a histogram, exposed as a quantile summary.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+    ) -> Histogram {
+        self.register_or_get(
+            name,
+            labels,
+            help,
+            |m| match m {
+                Metric::Histogram(core) => Some(Histogram::from_core(core.clone())),
+                _ => None,
+            },
+            || {
+                let h = Histogram::detached();
+                let core = h.inner.clone().expect("detached histogram is live");
+                (Metric::Histogram(core), h)
+            },
+        )
+    }
+
+    /// Registers a counter read from a plain function at render time — for
+    /// process-global tallies living in crates below this one (the runtime
+    /// worker pool, the ascent engine). Idempotent per `(name, labels)`.
+    pub fn counter_fn(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+        f: fn() -> u64,
+    ) {
+        self.register_or_get(
+            name,
+            labels,
+            help,
+            |m| match m {
+                Metric::CounterFn(_) => Some(()),
+                _ => None,
+            },
+            || (Metric::CounterFn(f), ()),
+        )
+    }
+
+    /// Registers a gauge read from a plain function at render time.
+    pub fn gauge_fn(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        help: &'static str,
+        f: fn() -> f64,
+    ) {
+        self.register_or_get(
+            name,
+            labels,
+            help,
+            |m| match m {
+                Metric::GaugeFn(_) => Some(()),
+                _ => None,
+            },
+            || (Metric::GaugeFn(f), ()),
+        )
+    }
+
+    /// Encodes every registered metric in Prometheus text exposition style:
+    /// `# HELP` / `# TYPE` once per metric name (at its first appearance, in
+    /// registration order), then one sample line per label set. Histograms
+    /// render as summaries — `{quantile="0.5"|"0.99"|"0.999"}` plus `_sum`
+    /// and `_count` — with the quantile labels appended after any metric
+    /// labels. Floats render with up to 6 significant decimals; counters as
+    /// integers.
+    pub fn render(&self) -> String {
+        let entries = self.inner.lock().expect("telemetry registry poisoned");
+        let mut out = String::new();
+        let mut seen: Vec<&'static str> = Vec::new();
+        for e in entries.iter() {
+            if !seen.contains(&e.name) {
+                seen.push(e.name);
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} {}", e.name, e.metric.type_name());
+            }
+            match &e.metric {
+                Metric::Counter(cell) => {
+                    let v = cell.load(std::sync::atomic::Ordering::Relaxed);
+                    let _ = writeln!(out, "{}{} {}", e.name, e.labels, v);
+                }
+                Metric::CounterFn(f) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, e.labels, f());
+                }
+                Metric::Gauge(cell) => {
+                    let v = f64::from_bits(cell.load(std::sync::atomic::Ordering::Relaxed));
+                    let _ = writeln!(out, "{}{} {}", e.name, e.labels, format_f64(v));
+                }
+                Metric::GaugeFn(f) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, e.labels, format_f64(f()));
+                }
+                Metric::Histogram(core) => {
+                    let snap = Histogram::from_core(core.clone()).snapshot();
+                    for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            e.name,
+                            merge_quantile_label(&e.labels, label),
+                            snap.quantile(q)
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum{} {}", e.name, e.labels, snap.sum());
+                    let _ = writeln!(out, "{}_count{} {}", e.name, e.labels, snap.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends `quantile="q"` to a pre-rendered label block.
+fn merge_quantile_label(labels: &str, q: &str) -> String {
+    if labels.is_empty() {
+        format!("{{quantile=\"{q}\"}}")
+    } else {
+        format!("{},quantile=\"{q}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// Gauge formatting: Rust's shortest round-tripping float `Display`
+/// (integral values print bare — `7`, not `7.0`).
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// The process-global registry — what [`crate::TelemetrySink::process_global`]
+/// records into and a serving binary exposes on its `metrics` verb.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("dhmm_x_total", &[("verb", "push")], "h");
+        let b = r.counter("dhmm_x_total", &[("verb", "push")], "h");
+        let c = r.counter("dhmm_x_total", &[("verb", "flush")], "h");
+        a.add(2);
+        b.add(3);
+        c.inc();
+        assert_eq!(a.value(), 5);
+        assert_eq!(c.value(), 1);
+        let text = r.render();
+        assert!(text.contains("dhmm_x_total{verb=\"push\"} 5"), "{text}");
+        assert!(text.contains("dhmm_x_total{verb=\"flush\"} 1"), "{text}");
+        // One HELP/TYPE header for the shared name.
+        assert_eq!(text.matches("# TYPE dhmm_x_total counter").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn re_registering_with_a_different_type_panics() {
+        let r = Registry::new();
+        let _ = r.counter("dhmm_y", &[], "h");
+        let _ = r.gauge("dhmm_y", &[], "h");
+    }
+
+    #[test]
+    fn histograms_render_as_summaries() {
+        let r = Registry::new();
+        let h = r.histogram("dhmm_tick_ns", &[], "tick latency");
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let text = r.render();
+        assert!(text.contains("# TYPE dhmm_tick_ns summary"), "{text}");
+        assert!(text.contains("dhmm_tick_ns{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("dhmm_tick_ns{quantile=\"0.999\"}"), "{text}");
+        assert!(text.contains("dhmm_tick_ns_sum 600"), "{text}");
+        assert!(text.contains("dhmm_tick_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    fn labeled_histograms_merge_quantile_labels() {
+        let r = Registry::new();
+        let h = r.histogram("dhmm_req_ns", &[("verb", "push")], "request latency");
+        h.record(50);
+        let text = r.render();
+        assert!(
+            text.contains("dhmm_req_ns{verb=\"push\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dhmm_req_ns_count{verb=\"push\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn function_metrics_are_read_at_render_time() {
+        fn answer() -> u64 {
+            42
+        }
+        fn level() -> f64 {
+            2.5
+        }
+        let r = Registry::new();
+        r.counter_fn("dhmm_fn_total", &[], "fn counter", answer);
+        r.counter_fn("dhmm_fn_total", &[], "fn counter", answer); // idempotent
+        r.gauge_fn("dhmm_fn_level", &[], "fn gauge", level);
+        let text = r.render();
+        assert!(text.contains("dhmm_fn_total 42"), "{text}");
+        assert!(text.contains("dhmm_fn_level 2.5"), "{text}");
+        assert_eq!(text.matches("dhmm_fn_total 42").count(), 1);
+    }
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        assert!(global().ptr_eq(global()));
+    }
+
+    #[test]
+    fn gauges_render_integers_bare() {
+        let r = Registry::new();
+        let g = r.gauge("dhmm_epoch", &[], "epoch");
+        g.set(7.0);
+        assert!(r.render().contains("dhmm_epoch 7\n"));
+    }
+}

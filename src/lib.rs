@@ -16,6 +16,9 @@
 //! * [`serve`] — a TCP serving front-end over the streaming sessions:
 //!   length-delimited protocol, epoch-versioned model hot-swap,
 //!   backpressure-aware session API,
+//! * [`telemetry`] — lock-free counters/gauges/histograms with a
+//!   Prometheus-style text exposition, threaded through runtime, stream,
+//!   serve and training (no-op when disabled),
 //! * [`prob`] / [`linalg`] — the probability and dense linear-algebra
 //!   substrates everything is built on,
 //! * [`data`] — the toy, synthetic-WSJ and synthetic-OCR dataset generators,
@@ -67,6 +70,10 @@ pub use dhmm_stream as stream;
 
 /// TCP serving front-end: protocol, server, backpressure, hot-swap.
 pub use dhmm_serve as serve;
+
+/// Zero-overhead metrics: counters, gauges, log-bucketed histograms,
+/// span timers, and Prometheus-style text exposition.
+pub use dhmm_telemetry as telemetry;
 
 /// Probability distributions and divergences.
 pub use dhmm_prob as prob;

@@ -11,6 +11,7 @@ use dhmm::hmm::{BaumWelchConfig, DiscreteEmission, Hmm, InferenceBackend};
 use dhmm::runtime::Parallelism;
 use dhmm::serve::{format_sid, Request, Response, ServeConfig, ServeError};
 use dhmm::stream::{SessionId, SessionPool, StreamConfig, StreamError, StreamingDecoder};
+use dhmm::telemetry::{Registry, TelemetrySink, REL_ERROR};
 use std::sync::Arc;
 
 /// The three training configs and the two serving-layer configs share the
@@ -86,6 +87,37 @@ fn streaming_and_serving_surfaces_resolve_through_the_facade() {
     assert_eq!(req, Request::Flush { id });
     let resp = Response::parse("ok closed").unwrap();
     assert_eq!(resp, Response::Closed);
+}
+
+/// The telemetry layer resolves through the facade: a sink threads into
+/// every config that documents `with_telemetry`, handles record, and the
+/// registry renders exposition text.
+#[test]
+fn telemetry_surface_resolves_through_the_facade() {
+    let sink = TelemetrySink::Registry(Registry::new());
+    assert!(sink.enabled());
+    assert!(!TelemetrySink::Disabled.enabled());
+    const _: () = assert!(REL_ERROR > 0.0 && REL_ERROR < 1.0);
+
+    // Configs accept the sink through the shared builder idiom.
+    let st = StreamConfig::default().with_telemetry(sink.clone());
+    assert_eq!(st.telemetry, sink);
+    let sv = ServeConfig::default().with_telemetry(sink.clone());
+    assert_eq!(sv.telemetry, sink);
+    let b = BaumWelchConfig::default().with_telemetry(sink.clone());
+    assert_eq!(b.telemetry, sink);
+
+    // Handles record and the registry renders Prometheus-style text.
+    let c = sink.counter("facade_test_total", &[], "facade audit counter");
+    c.add(2);
+    let h = sink.histogram("facade_test_ns", &[], "facade audit histogram");
+    h.record(5);
+    let text = sink.registry().expect("registry sink").render();
+    assert!(text.contains("facade_test_total 2"));
+    assert!(text.contains("facade_test_ns_count 1"));
+
+    // The serving protocol's metrics verb is reachable too.
+    assert_eq!(Request::parse("metrics").unwrap(), Request::Metrics);
 }
 
 /// Every layer's error funnels into the facade's `DhmmError`.
